@@ -1,0 +1,79 @@
+// Ablation: the Fig 1 rule chain on the running example. Each variant adds
+// one optimization layer; the chain (predicate pushdown -> model pruning ->
+// model-projection pushdown -> inlining -> join elimination) is exactly the
+// interaction the paper's §2 walk-through describes.
+
+#include "bench_util.h"
+#include "raven/raven.h"
+
+namespace raven {
+namespace {
+
+constexpr std::int64_t kRows = 100000;
+
+constexpr const char* kQuery =
+    "WITH data AS (SELECT * FROM patient_info "
+    "  JOIN blood_tests ON id = id JOIN prenatal_tests ON id = id) "
+    "SELECT id, length_of_stay "
+    "FROM PREDICT(MODEL='los', DATA=data) WITH(length_of_stay float) "
+    "WHERE pregnant = 1 AND length_of_stay > 7";
+
+enum Level {
+  kNoOpt = 0,
+  kPushdown = 1,
+  kPruning = 2,
+  kProjection = 3,
+  kInlining = 4,
+  kJoinElim = 5,
+};
+
+std::unique_ptr<RavenContext> MakeContext(int level) {
+  RavenOptions options;
+  options.optimizer.predicate_pushdown = level >= kPushdown;
+  options.optimizer.predicate_model_pruning = level >= kPruning;
+  options.optimizer.model_projection_pushdown = level >= kProjection;
+  options.optimizer.projection_pushdown = level >= kProjection;
+  options.optimizer.model_inlining = level >= kInlining;
+  options.optimizer.join_elimination = level >= kJoinElim;
+  options.optimizer.nn_translation = false;
+  auto ctx = std::make_unique<RavenContext>(options);
+  const auto& data = bench::Hospital(kRows);
+  bench::MustOk(ctx->RegisterTable("patient_info", data.patient_info), "t1");
+  bench::MustOk(ctx->RegisterTable("blood_tests", data.blood_tests), "t2");
+  bench::MustOk(ctx->RegisterTable("prenatal_tests", data.prenatal_tests),
+                "t3");
+  bench::MustOk(ctx->InsertModel(
+                    "los", data::HospitalTreeScript(),
+                    bench::Must(data::TrainHospitalTree(
+                                    bench::Hospital(kRows), 8),
+                                "train")),
+                "model");
+  return ctx;
+}
+
+void BM_RuleChain(benchmark::State& state) {
+  auto ctx = MakeContext(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = ctx->Query(kQuery);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->table.num_rows());
+  }
+  static const char* kNames[] = {"none",
+                                 "+predicate_pushdown",
+                                 "+model_pruning",
+                                 "+projection_pushdown",
+                                 "+model_inlining",
+                                 "+join_elimination"};
+  state.SetLabel(kNames[state.range(0)]);
+}
+
+BENCHMARK(BM_RuleChain)
+    ->DenseRange(0, 5)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace raven

@@ -1,0 +1,123 @@
+// Fig 2(b): model clustering (flight delay). The paper clusters 700K tuples
+// with k-means, precompiles one pruned model per cluster, and reports up to
+// ~54% lower inference time, with diminishing returns as k grows; the
+// hospital dataset does NOT benefit (its categoricals are already binary,
+// so few features drop).
+//
+// Series: k=0 is the unclustered baseline; k in {2,4,8,16,32} are clustered
+// variants. Hospital control shows the no-benefit case.
+
+#include "bench_util.h"
+#include "ir/clustered_model.h"
+#include "optimizer/specialize.h"
+
+namespace raven {
+namespace {
+
+constexpr std::int64_t kFlightRows = 100000;  // paper: 700K (scaled down)
+
+const ml::ModelPipeline& FlightModel() {
+  static auto* model = new ml::ModelPipeline(bench::Must(
+      data::TrainFlightLogreg(bench::Flight(kFlightRows), 0.0),
+      "train logreg"));
+  return *model;
+}
+
+const ir::ClusteredModel& FlightClustered(std::int64_t k) {
+  static auto* cache = new std::map<std::int64_t, ir::ClusteredModel>();
+  auto it = cache->find(k);
+  if (it == cache->end()) {
+    optimizer::ClusteringOptions options;
+    options.k = k;
+    it = cache->emplace(
+                  k, bench::Must(optimizer::BuildClusteredModel(
+                                     FlightModel(),
+                                     bench::Flight(kFlightRows).flights,
+                                     options),
+                                 "cluster"))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_Fig2b_FlightBaseline(benchmark::State& state) {
+  const auto& model = FlightModel();
+  Tensor x = bench::Must(
+      bench::Flight(kFlightRows).flights.ToTensor(model.input_columns),
+      "tensor");
+  for (auto _ : state) {
+    auto preds = model.Predict(x);
+    benchmark::DoNotOptimize(preds);
+  }
+  state.counters["k"] = 0;
+  state.counters["features"] = static_cast<double>(model.NumFeatures());
+}
+
+void BM_Fig2b_FlightClustered(benchmark::State& state) {
+  const std::int64_t k = state.range(0);
+  const auto& clustered = FlightClustered(k);
+  Tensor x = bench::Must(
+      bench::Flight(kFlightRows).flights.ToTensor(
+          FlightModel().input_columns),
+      "tensor");
+  for (auto _ : state) {
+    auto preds = clustered.Predict(x);
+    benchmark::DoNotOptimize(preds);
+  }
+  double avg_features = 0;
+  for (const auto& m : clustered.cluster_models) {
+    avg_features += static_cast<double>(m.NumFeatures());
+  }
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["avg_features"] =
+      avg_features / static_cast<double>(clustered.cluster_models.size());
+}
+
+// Hospital control: binary categoricals -> clustering drops few features.
+void BM_Fig2b_HospitalBaseline(benchmark::State& state) {
+  const auto& data = bench::Hospital(50000);
+  static auto* model = new ml::ModelPipeline(
+      bench::Must(data::TrainHospitalTree(data, 8), "train tree"));
+  Tensor x =
+      bench::Must(data.joined.ToTensor(model->input_columns), "tensor");
+  for (auto _ : state) {
+    auto preds = model->Predict(x);
+    benchmark::DoNotOptimize(preds);
+  }
+  state.counters["k"] = 0;
+}
+
+void BM_Fig2b_HospitalClustered(benchmark::State& state) {
+  const std::int64_t k = state.range(0);
+  const auto& data = bench::Hospital(50000);
+  static auto* model = new ml::ModelPipeline(
+      bench::Must(data::TrainHospitalTree(data, 8), "train tree"));
+  static auto* cache = new std::map<std::int64_t, ir::ClusteredModel>();
+  auto it = cache->find(k);
+  if (it == cache->end()) {
+    optimizer::ClusteringOptions options;
+    options.k = k;
+    it = cache->emplace(k, bench::Must(optimizer::BuildClusteredModel(
+                                           *model, data.joined, options),
+                                       "cluster"))
+             .first;
+  }
+  Tensor x =
+      bench::Must(data.joined.ToTensor(model->input_columns), "tensor");
+  for (auto _ : state) {
+    auto preds = it->second.Predict(x);
+    benchmark::DoNotOptimize(preds);
+  }
+  state.counters["k"] = static_cast<double>(k);
+}
+
+#define FIG2B_ARGS ->Iterations(5)->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_Fig2b_FlightBaseline) FIG2B_ARGS;
+BENCHMARK(BM_Fig2b_FlightClustered)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32) FIG2B_ARGS;
+BENCHMARK(BM_Fig2b_HospitalBaseline) FIG2B_ARGS;
+BENCHMARK(BM_Fig2b_HospitalClustered)->Arg(4)->Arg(16) FIG2B_ARGS;
+
+}  // namespace
+}  // namespace raven

@@ -1,0 +1,58 @@
+#ifndef RAVEN_BENCH_BENCH_UTIL_H_
+#define RAVEN_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the benchmark harness. Each bench binary regenerates
+// one table/figure of the paper (see EXPERIMENTS.md for the index and the
+// paper-vs-measured comparison).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "data/flight.h"
+#include "data/hospital.h"
+
+namespace raven::bench {
+
+/// Process-wide dataset cache so size sweeps reuse generated data.
+inline const data::HospitalDataset& Hospital(std::int64_t n) {
+  static auto* cache = new std::map<std::int64_t, data::HospitalDataset>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    it = cache->emplace(n, data::MakeHospitalDataset(n, 1234)).first;
+  }
+  return it->second;
+}
+
+inline const data::FlightDataset& Flight(std::int64_t n) {
+  static auto* cache = new std::map<std::int64_t, data::FlightDataset>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    it = cache->emplace(n, data::MakeFlightDataset(n, 4321)).first;
+  }
+  return it->second;
+}
+
+/// Aborts the benchmark with a readable message on setup failure.
+template <typename T>
+T Must(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    fprintf(stderr, "bench setup failed (%s): %s\n", what,
+            result.status().ToString().c_str());
+    abort();
+  }
+  return std::move(result).value();
+}
+
+inline void MustOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    fprintf(stderr, "bench setup failed (%s): %s\n", what,
+            status.ToString().c_str());
+    abort();
+  }
+}
+
+}  // namespace raven::bench
+
+#endif  // RAVEN_BENCH_BENCH_UTIL_H_

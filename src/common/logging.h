@@ -1,0 +1,59 @@
+#ifndef RAVEN_COMMON_LOGGING_H_
+#define RAVEN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace raven {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level below which log statements are discarded.
+/// Defaults to kWarning so tests and benchmarks stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace raven
+
+#define RAVEN_LOG(level)                                            \
+  ::raven::internal::LogMessage(::raven::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+/// Invariant check that aborts (with location) when violated. Used for
+/// programmer errors, never for user-input validation (which returns
+/// Status).
+#define RAVEN_DCHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::raven::internal::LogMessage(::raven::LogLevel::kError, __FILE__, \
+                                    __LINE__)                           \
+          << "DCHECK failed: " #cond;                                   \
+      ::abort();                                                        \
+    }                                                                   \
+  } while (false)
+
+#endif  // RAVEN_COMMON_LOGGING_H_

@@ -1,0 +1,76 @@
+#ifndef RAVEN_COMMON_RNG_H_
+#define RAVEN_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace raven {
+
+/// Deterministic xorshift128+ random number generator. All synthetic data,
+/// model initialization, and property tests use this so every experiment is
+/// reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    s0_ = seed ^ 0xA0761D6478BD642FULL;
+    s1_ = (seed << 1) | 1;
+    // Warm up so nearby seeds diverge.
+    for (int i = 0; i < 8; ++i) NextU64();
+  }
+
+  std::uint64_t NextU64() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t NextUint(std::uint64_t n) { return NextU64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    NextUint(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = NextDouble();
+    while (u1 <= 1e-12) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+  }
+
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace raven
+
+#endif  // RAVEN_COMMON_RNG_H_

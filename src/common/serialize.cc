@@ -1,0 +1,116 @@
+#include "common/serialize.h"
+
+namespace raven {
+
+Status BinaryReader::ReadRaw(void* out, std::size_t n) {
+  if (pos_ + n > size_) {
+    return Status::OutOfRange("binary buffer truncated: need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(size_ - pos_));
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Result<std::uint8_t> BinaryReader::ReadU8() {
+  std::uint8_t v;
+  RAVEN_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<std::uint32_t> BinaryReader::ReadU32() {
+  std::uint32_t v;
+  RAVEN_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<std::uint64_t> BinaryReader::ReadU64() {
+  std::uint64_t v;
+  RAVEN_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<std::int32_t> BinaryReader::ReadI32() {
+  std::int32_t v;
+  RAVEN_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<std::int64_t> BinaryReader::ReadI64() {
+  std::int64_t v;
+  RAVEN_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<double> BinaryReader::ReadF64() {
+  double v;
+  RAVEN_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<float> BinaryReader::ReadF32() {
+  float v;
+  RAVEN_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<bool> BinaryReader::ReadBool() {
+  RAVEN_ASSIGN_OR_RETURN(std::uint8_t v, ReadU8());
+  return v != 0;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  RAVEN_ASSIGN_OR_RETURN(std::uint32_t n, ReadU32());
+  if (pos_ + n > size_) {
+    return Status::OutOfRange("string length exceeds buffer");
+  }
+  std::string s(data_ + pos_, n);
+  pos_ += n;
+  return s;
+}
+
+namespace {
+
+template <typename T, typename ReaderFn>
+Result<std::vector<T>> ReadPodVector(BinaryReader* reader, ReaderFn read_one) {
+  auto n_result = reader->ReadU64();
+  if (!n_result.ok()) return n_result.status();
+  const std::uint64_t n = n_result.value();
+  // Sanity bound: refuse absurd element counts from corrupt buffers.
+  if (n > (1ULL << 33)) {
+    return Status::OutOfRange("vector length implausibly large");
+  }
+  std::vector<T> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto v = read_one();
+    if (!v.ok()) return v.status();
+    out.push_back(std::move(v).value());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<double>> BinaryReader::ReadF64Vector() {
+  return ReadPodVector<double>(this, [this] { return ReadF64(); });
+}
+
+Result<std::vector<float>> BinaryReader::ReadF32Vector() {
+  return ReadPodVector<float>(this, [this] { return ReadF32(); });
+}
+
+Result<std::vector<std::int32_t>> BinaryReader::ReadI32Vector() {
+  return ReadPodVector<std::int32_t>(this, [this] { return ReadI32(); });
+}
+
+Result<std::vector<std::int64_t>> BinaryReader::ReadI64Vector() {
+  return ReadPodVector<std::int64_t>(this, [this] { return ReadI64(); });
+}
+
+Result<std::vector<std::string>> BinaryReader::ReadStringVector() {
+  return ReadPodVector<std::string>(this, [this] { return ReadString(); });
+}
+
+}  // namespace raven

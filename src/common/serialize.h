@@ -1,0 +1,104 @@
+#ifndef RAVEN_COMMON_SERIALIZE_H_
+#define RAVEN_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace raven {
+
+/// Append-only little-endian binary writer. Used for the NNRT model format,
+/// the ML model store, and the out-of-process wire protocol.
+class BinaryWriter {
+ public:
+  void WriteU8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void WriteU32(std::uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(std::uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI32(std::int32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(std::int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  /// Length-prefixed string.
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s);
+  }
+
+  void WriteF64Vector(const std::vector<double>& v) {
+    WriteU64(v.size());
+    if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(double));
+  }
+  void WriteF32Vector(const std::vector<float>& v) {
+    WriteU64(v.size());
+    if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(float));
+  }
+  void WriteI32Vector(const std::vector<std::int32_t>& v) {
+    WriteU64(v.size());
+    if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(std::int32_t));
+  }
+  void WriteI64Vector(const std::vector<std::int64_t>& v) {
+    WriteU64(v.size());
+    if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(std::int64_t));
+  }
+  void WriteStringVector(const std::vector<std::string>& v) {
+    WriteU64(v.size());
+    for (const auto& s : v) WriteString(s);
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+
+ private:
+  void WriteRaw(const void* data, std::size_t n) {
+    const std::size_t old = buf_.size();
+    buf_.resize(old + n);
+    std::memcpy(buf_.data() + old, data, n);
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a binary buffer produced by BinaryWriter.
+/// Every accessor returns Status/Result so corrupt or truncated payloads
+/// surface as errors rather than undefined behaviour.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+  BinaryReader(const char* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  Result<std::uint8_t> ReadU8();
+  Result<std::uint32_t> ReadU32();
+  Result<std::uint64_t> ReadU64();
+  Result<std::int32_t> ReadI32();
+  Result<std::int64_t> ReadI64();
+  Result<double> ReadF64();
+  Result<float> ReadF32();
+  Result<bool> ReadBool();
+  Result<std::string> ReadString();
+  Result<std::vector<double>> ReadF64Vector();
+  Result<std::vector<float>> ReadF32Vector();
+  Result<std::vector<std::int32_t>> ReadI32Vector();
+  Result<std::vector<std::int64_t>> ReadI64Vector();
+  Result<std::vector<std::string>> ReadStringVector();
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status ReadRaw(void* out, std::size_t n);
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace raven
+
+#endif  // RAVEN_COMMON_SERIALIZE_H_

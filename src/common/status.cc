@@ -1,0 +1,53 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace raven {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+
+void DieOnBadAccess(const Status& status) {
+  std::fprintf(stderr, "Result<T> accessed with error status: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace raven

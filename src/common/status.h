@@ -1,0 +1,159 @@
+#ifndef RAVEN_COMMON_STATUS_H_
+#define RAVEN_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace raven {
+
+/// Error categories used across all Raven subsystems.
+///
+/// Raven follows the database-engine convention (Arrow, RocksDB, LevelDB) of
+/// propagating errors through `Status` / `Result<T>` return values rather
+/// than exceptions. All public APIs that can fail return one of the two.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kIoError,
+  kParseError,
+  kTypeError,
+  kExecutionError,
+};
+
+/// Human-readable name for a status code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path (no
+/// allocation); carries a message string on the error path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union. `Result<T>` either holds a `T` (status OK) or an
+/// error `Status`. Accessing the value of an errored result aborts, so
+/// callers must check `ok()` first (or use RAVEN_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success). Implicit by design so
+  /// functions can `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const;
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+/// Aborts the process with `status`'s message. Out-of-line so Result stays
+/// header-only without pulling in <cstdio>.
+[[noreturn]] void DieOnBadAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!ok()) internal::DieOnBadAccess(status_);
+}
+
+}  // namespace raven
+
+/// Propagates a non-OK Status out of the calling function.
+#define RAVEN_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::raven::Status _raven_status = (expr);    \
+    if (!_raven_status.ok()) return _raven_status; \
+  } while (false)
+
+#define RAVEN_CONCAT_IMPL(x, y) x##y
+#define RAVEN_CONCAT(x, y) RAVEN_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// moves the value into `lhs`.
+#define RAVEN_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  RAVEN_ASSIGN_OR_RETURN_IMPL(                                  \
+      RAVEN_CONCAT(_raven_result_, __LINE__), lhs, rexpr)
+
+#define RAVEN_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                                \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).value()
+
+#endif  // RAVEN_COMMON_STATUS_H_

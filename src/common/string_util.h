@@ -1,0 +1,28 @@
+#ifndef RAVEN_COMMON_STRING_UTIL_H_
+#define RAVEN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace raven {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> SplitString(const std::string& s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string TrimString(const std::string& s);
+
+/// ASCII lower-casing (SQL keywords are case-insensitive).
+std::string ToLower(const std::string& s);
+std::string ToUpper(const std::string& s);
+
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+
+}  // namespace raven
+
+#endif  // RAVEN_COMMON_STRING_UTIL_H_

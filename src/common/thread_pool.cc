@@ -1,0 +1,110 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace raven {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+namespace {
+
+// Shared between ParallelFor and its worker tasks; kept alive by
+// shared_ptr so a late-dequeued task never touches a dead stack frame.
+struct ParallelForState {
+  explicit ParallelForState(std::size_t n_in,
+                            std::function<void(std::size_t)> fn_in)
+      : n(n_in), fn(std::move(fn_in)) {}
+  const std::size_t n;
+  const std::function<void(std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || threads_.size() == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto state = std::make_shared<ParallelForState>(n, fn);
+  // The calling thread participates below, so spawn one fewer pool worker
+  // than the target parallelism to avoid oversubscribing the cores.
+  const std::size_t workers =
+      std::min(n - 1, threads_.size() > 1 ? threads_.size() - 1
+                                          : threads_.size());
+  for (std::size_t w = 0; w < workers; ++w) {
+    Submit([state] {
+      for (;;) {
+        const std::size_t i = state->next.fetch_add(1);
+        if (i >= state->n) break;
+        state->fn(i);
+        if (state->done.fetch_add(1) + 1 == state->n) {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->cv.notify_one();
+        }
+      }
+    });
+  }
+  // The calling thread also participates, so ParallelFor makes progress even
+  // when all pool workers are busy with unrelated tasks.
+  for (;;) {
+    const std::size_t i = state->next.fetch_add(1);
+    if (i >= state->n) break;
+    state->fn(i);
+    if (state->done.fetch_add(1) + 1 == state->n) break;
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() == state->n; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool =
+      new ThreadPool(std::max(2u, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+}  // namespace raven

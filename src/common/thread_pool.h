@@ -1,0 +1,50 @@
+#ifndef RAVEN_COMMON_THREAD_POOL_H_
+#define RAVEN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace raven {
+
+/// A fixed-size worker pool used for parallel scan+PREDICT execution and the
+/// simulated accelerator backend. Tasks are plain std::function<void()>;
+/// completion is tracked per-batch via ParallelFor.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until all
+  /// iterations finish. fn must be thread-safe. When n==0 returns
+  /// immediately; when the pool has a single thread, runs inline.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Shared process-wide pool sized to the hardware concurrency.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace raven
+
+#endif  // RAVEN_COMMON_THREAD_POOL_H_

@@ -1,0 +1,29 @@
+#ifndef RAVEN_COMMON_TIMER_H_
+#define RAVEN_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace raven {
+
+/// Monotonic wall-clock stopwatch used by benchmark harnesses and the
+/// execution-statistics plumbing.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace raven
+
+#endif  // RAVEN_COMMON_TIMER_H_

@@ -1,0 +1,223 @@
+#include "data/hospital.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace raven::data {
+namespace {
+
+// Model feature set. Note fetal_hr is deliberately NOT a model input (it
+// is only measured for pregnant patients, so it would be a perfect proxy
+// for pregnancy); the trained tree therefore tests the pregnant one-hot
+// indicator directly, matching the paper's Fig 1 tree.
+constexpr const char* kFeatureColumns[] = {
+    "age",       "weight", "bp",       "hematocrit", "glucose",
+    "platelets", "gender", "pregnant", "amnio"};
+
+}  // namespace
+
+std::vector<std::string> HospitalFeatureColumns() {
+  return std::vector<std::string>(std::begin(kFeatureColumns),
+                                  std::end(kFeatureColumns));
+}
+
+double HospitalLengthOfStay(double age, double pregnant, double bp,
+                            double fetal_hr, double noise) {
+  // Piecewise signal shaped like the paper's example tree (Fig 1): blood
+  // pressure dominates, with pregnancy/age interactions (the paper's tree
+  // splits on pregnant, then age <= 35 vs > 35).
+  (void)fetal_hr;
+  double days;
+  if (bp > 140.0) {
+    days = 7.0 + (age > 60 ? 2.0 : 0.0);
+  } else if (bp > 120.0) {
+    days = 4.0;
+  } else {
+    days = 2.0;
+  }
+  if (pregnant > 0.5) {
+    days += age <= 35.0 ? 2.0 : 4.0;
+  }
+  return days + noise;
+}
+
+HospitalDataset MakeHospitalDataset(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> id(static_cast<std::size_t>(n));
+  std::vector<double> age(static_cast<std::size_t>(n));
+  std::vector<double> gender(static_cast<std::size_t>(n));
+  std::vector<double> pregnant(static_cast<std::size_t>(n));
+  std::vector<double> weight(static_cast<std::size_t>(n));
+  std::vector<double> bp(static_cast<std::size_t>(n));
+  std::vector<double> hematocrit(static_cast<std::size_t>(n));
+  std::vector<double> glucose(static_cast<std::size_t>(n));
+  std::vector<double> platelets(static_cast<std::size_t>(n));
+  std::vector<double> fetal_hr(static_cast<std::size_t>(n));
+  std::vector<double> amnio(static_cast<std::size_t>(n));
+  std::vector<double> los(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    id[s] = static_cast<double>(i);
+    age[s] = std::floor(rng.Uniform(18.0, 90.0));
+    gender[s] = rng.NextBool(0.5) ? 1.0 : 0.0;  // 0 = F, 1 = M
+    const bool can_be_pregnant = gender[s] == 0.0 && age[s] < 50.0;
+    pregnant[s] = can_be_pregnant && rng.NextBool(0.35) ? 1.0 : 0.0;
+    weight[s] = 55.0 + 25.0 * rng.NextDouble() + 0.2 * age[s];
+    bp[s] = 95.0 + 0.6 * age[s] + 12.0 * rng.NextGaussian();
+    hematocrit[s] = 40.0 + 5.0 * rng.NextGaussian();
+    glucose[s] = 95.0 + 20.0 * rng.NextGaussian();
+    platelets[s] = 250.0 + 60.0 * rng.NextGaussian();
+    fetal_hr[s] = pregnant[s] > 0.5 ? 110.0 + 40.0 * rng.NextDouble() : 0.0;
+    amnio[s] = pregnant[s] > 0.5 && rng.NextBool(0.2) ? 1.0 : 0.0;
+    los[s] = HospitalLengthOfStay(age[s], pregnant[s], bp[s], fetal_hr[s],
+                                  0.3 * rng.NextGaussian());
+  }
+
+  const std::vector<std::string> sex_dict = {"F", "M"};
+  HospitalDataset data;
+  (void)data.patient_info.AddNumericColumn("id", id);
+  (void)data.patient_info.AddNumericColumn("age", age);
+  (void)data.patient_info.AddCategoricalColumn("gender", gender, sex_dict);
+  (void)data.patient_info.AddNumericColumn("pregnant", pregnant);
+  (void)data.patient_info.AddNumericColumn("weight", weight);
+
+  (void)data.blood_tests.AddNumericColumn("id", id);
+  (void)data.blood_tests.AddNumericColumn("bp", bp);
+  (void)data.blood_tests.AddNumericColumn("hematocrit", hematocrit);
+  (void)data.blood_tests.AddNumericColumn("glucose", glucose);
+  (void)data.blood_tests.AddNumericColumn("platelets", platelets);
+
+  (void)data.prenatal_tests.AddNumericColumn("id", id);
+  (void)data.prenatal_tests.AddNumericColumn("fetal_hr", fetal_hr);
+  (void)data.prenatal_tests.AddNumericColumn("amnio", amnio);
+
+  (void)data.joined.AddNumericColumn("id", std::move(id));
+  (void)data.joined.AddNumericColumn("age", std::move(age));
+  (void)data.joined.AddNumericColumn("weight", std::move(weight));
+  (void)data.joined.AddNumericColumn("bp", std::move(bp));
+  (void)data.joined.AddNumericColumn("hematocrit", std::move(hematocrit));
+  (void)data.joined.AddNumericColumn("glucose", std::move(glucose));
+  (void)data.joined.AddNumericColumn("platelets", std::move(platelets));
+  (void)data.joined.AddNumericColumn("fetal_hr", std::move(fetal_hr));
+  (void)data.joined.AddCategoricalColumn("gender", std::move(gender),
+                                         sex_dict);
+  (void)data.joined.AddNumericColumn("pregnant", std::move(pregnant));
+  (void)data.joined.AddNumericColumn("amnio", std::move(amnio));
+  (void)data.joined.AddNumericColumn("length_of_stay", std::move(los));
+  return data;
+}
+
+namespace {
+
+/// Builds the shared featurizer (scaler over vitals, one-hot over the
+/// binary categoricals) and the featurized training matrix.
+Result<std::pair<ml::ModelPipeline, Tensor>> PrepareHospital(
+    const HospitalDataset& data) {
+  ml::ModelPipeline pipeline;
+  pipeline.input_columns = HospitalFeatureColumns();
+  ml::FeatureBranch scaler;
+  scaler.name = "scaler";
+  scaler.kind = ml::TransformKind::kScaler;
+  scaler.input_columns = {0, 1, 2, 3, 4, 5};  // numeric vitals
+  ml::FeatureBranch onehot;
+  onehot.name = "onehot";
+  onehot.kind = ml::TransformKind::kOneHot;
+  onehot.input_columns = {6, 7, 8};  // gender, pregnant, amnio
+  pipeline.featurizer.AddBranch(std::move(scaler));
+  pipeline.featurizer.AddBranch(std::move(onehot));
+
+  RAVEN_ASSIGN_OR_RETURN(Tensor x,
+                         data.joined.ToTensor(pipeline.input_columns));
+  RAVEN_RETURN_IF_ERROR(pipeline.featurizer.Fit(x));
+  RAVEN_ASSIGN_OR_RETURN(Tensor features, pipeline.featurizer.Transform(x));
+  return std::make_pair(std::move(pipeline), std::move(features));
+}
+
+std::vector<float> HospitalLabels(const HospitalDataset& data) {
+  const auto col = data.joined.GetColumn("length_of_stay");
+  std::vector<float> y;
+  y.reserve((*col)->data.size());
+  for (double v : (*col)->data) y.push_back(static_cast<float>(v));
+  return y;
+}
+
+}  // namespace
+
+Result<ml::ModelPipeline> TrainHospitalTree(const HospitalDataset& data,
+                                            std::int64_t max_depth) {
+  RAVEN_ASSIGN_OR_RETURN(auto prepared, PrepareHospital(data));
+  auto& [pipeline, features] = prepared;
+  ml::TreeTrainOptions options;
+  options.max_depth = max_depth;
+  ml::DecisionTree tree;
+  RAVEN_RETURN_IF_ERROR(tree.Fit(features, HospitalLabels(data), options));
+  pipeline.predictor = std::move(tree);
+  return std::move(pipeline);
+}
+
+Result<ml::ModelPipeline> TrainHospitalForest(const HospitalDataset& data,
+                                              std::int64_t num_trees,
+                                              std::int64_t max_depth) {
+  RAVEN_ASSIGN_OR_RETURN(auto prepared, PrepareHospital(data));
+  auto& [pipeline, features] = prepared;
+  ml::ForestTrainOptions options;
+  options.num_trees = num_trees;
+  options.tree.max_depth = max_depth;
+  ml::RandomForest forest;
+  RAVEN_RETURN_IF_ERROR(forest.Fit(features, HospitalLabels(data), options));
+  pipeline.predictor = std::move(forest);
+  return std::move(pipeline);
+}
+
+Result<ml::ModelPipeline> TrainHospitalMlp(const HospitalDataset& data) {
+  RAVEN_ASSIGN_OR_RETURN(auto prepared, PrepareHospital(data));
+  auto& [pipeline, features] = prepared;
+  ml::MlpTrainOptions options;
+  options.hidden = {32, 16};
+  options.epochs = 8;
+  options.output_activation = ml::Activation::kNone;  // regression head
+  ml::Mlp mlp;
+  RAVEN_RETURN_IF_ERROR(mlp.Fit(features, HospitalLabels(data), options));
+  pipeline.predictor = std::move(mlp);
+  return std::move(pipeline);
+}
+
+namespace {
+
+std::string HospitalScript(const char* estimator) {
+  std::string script =
+      "from sklearn.pipeline import Pipeline, FeatureUnion\n"
+      "from sklearn.preprocessing import StandardScaler, OneHotEncoder\n"
+      "from sklearn.tree import DecisionTreeRegressor\n"
+      "from sklearn.ensemble import RandomForestRegressor\n"
+      "from sklearn.neural_network import MLPRegressor\n"
+      "\n"
+      "model_pipeline = Pipeline([\n"
+      "    ('union', FeatureUnion([\n"
+      "        ('scaler', StandardScaler(columns=['age', 'weight', 'bp',\n"
+      "            'hematocrit', 'glucose', 'platelets'])),\n"
+      "        ('onehot', OneHotEncoder(columns=['gender', 'pregnant',\n"
+      "            'amnio']))\n"
+      "    ])),\n"
+      "    ('clf', ";
+  script += estimator;
+  script += ")\n])\n";
+  return script;
+}
+
+}  // namespace
+
+std::string HospitalTreeScript() {
+  return HospitalScript("DecisionTreeRegressor(max_depth=8)");
+}
+
+std::string HospitalForestScript() {
+  return HospitalScript("RandomForestRegressor(n_estimators=10)");
+}
+
+std::string HospitalMlpScript() {
+  return HospitalScript("MLPRegressor(max_iter=8)");
+}
+
+}  // namespace raven::data

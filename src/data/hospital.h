@@ -1,0 +1,60 @@
+#ifndef RAVEN_DATA_HOSPITAL_H_
+#define RAVEN_DATA_HOSPITAL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "ml/pipeline.h"
+#include "relational/table.h"
+
+namespace raven::data {
+
+/// Synthetic hospital length-of-stay dataset mirroring the paper's running
+/// example (§2, based on the Microsoft hospital-LOS sample): three tables
+/// joinable on `id`, mixed numeric vitals and binary categoricals, and a
+/// learnable LOS signal dominated by blood pressure, age, and pregnancy.
+///
+///   patient_info(id, age, gender, pregnant, weight)
+///   blood_tests(id, bp, hematocrit, glucose, platelets)
+///   prenatal_tests(id, fetal_hr, amnio, prenatal_score)
+struct HospitalDataset {
+  relational::Table patient_info;
+  relational::Table blood_tests;
+  relational::Table prenatal_tests;
+  /// The same rows pre-joined (feature columns only + length_of_stay
+  /// label); used to train models and as the model-clustering sample.
+  relational::Table joined;
+};
+
+/// Column names of the hospital feature set, in model-input order.
+std::vector<std::string> HospitalFeatureColumns();
+
+/// Generates `n` patients deterministically from `seed`.
+HospitalDataset MakeHospitalDataset(std::int64_t n, std::uint64_t seed = 1);
+
+/// Ground-truth-ish label generator exposed for tests.
+double HospitalLengthOfStay(double age, double pregnant, double bp,
+                            double fetal_hr, double noise);
+
+/// Trains the paper's §2 model: FeatureUnion(scaler over vitals, one-hot
+/// over gender/pregnant/amnio) -> DecisionTreeRegressor.
+Result<ml::ModelPipeline> TrainHospitalTree(const HospitalDataset& data,
+                                            std::int64_t max_depth = 8);
+
+/// Random-forest variant (Fig 2(d), Fig 3).
+Result<ml::ModelPipeline> TrainHospitalForest(const HospitalDataset& data,
+                                              std::int64_t num_trees = 10,
+                                              std::int64_t max_depth = 8);
+
+/// MLP variant (Fig 3).
+Result<ml::ModelPipeline> TrainHospitalMlp(const HospitalDataset& data);
+
+/// The pipeline script (Python-subset DSL) matching the trained hospital
+/// models, as a data scientist would INSERT it (paper Fig 1, M).
+std::string HospitalTreeScript();
+std::string HospitalForestScript();
+std::string HospitalMlpScript();
+
+}  // namespace raven::data
+
+#endif  // RAVEN_DATA_HOSPITAL_H_

@@ -1,0 +1,429 @@
+#include "frontend/pipeline_parser.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace raven::frontend {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer.
+// ---------------------------------------------------------------------------
+
+enum class TokKind {
+  kName,
+  kNumber,
+  kString,
+  kPunct,  // one of ( ) [ ] , = .
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  int line = 0;
+};
+
+Result<std::vector<Token>> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '_')) {
+        ++j;
+      }
+      tokens.push_back(Token{TokKind::kName, source.substr(i, j - i), 0.0,
+                             line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      std::size_t j = i + 1;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '.' || source[j] == 'e' ||
+                       source[j] == 'E' ||
+                       ((source[j] == '+' || source[j] == '-') &&
+                        (source[j - 1] == 'e' || source[j - 1] == 'E')))) {
+        ++j;
+      }
+      const std::string text = source.substr(i, j - i);
+      tokens.push_back(Token{TokKind::kNumber, text, std::stod(text), line});
+      i = j;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      std::size_t j = i + 1;
+      std::string value;
+      while (j < n && source[j] != c) {
+        value.push_back(source[j]);
+        ++j;
+      }
+      if (j >= n) {
+        return Status::ParseError("unterminated string at line " +
+                                  std::to_string(line));
+      }
+      tokens.push_back(Token{TokKind::kString, value, 0.0, line});
+      i = j + 1;
+      continue;
+    }
+    if (std::string("()[],=.:").find(c) != std::string::npos) {
+      tokens.push_back(Token{TokKind::kPunct, std::string(1, c), 0.0, line});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at line " + std::to_string(line));
+  }
+  tokens.push_back(Token{TokKind::kEnd, "", 0.0, line});
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<PyScript> ParseScript();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool IsPunct(const char* p) const {
+    return Peek().kind == TokKind::kPunct && Peek().text == p;
+  }
+  Status Expect(const char* p) {
+    if (!IsPunct(p)) {
+      return Status::ParseError("expected '" + std::string(p) + "' at line " +
+                                std::to_string(Peek().line) + ", got '" +
+                                Peek().text + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<PyExpr> ParseExpr();
+  Result<PyExpr> ParseCallOrName(std::string name);
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+Result<PyExpr> Parser::ParseExpr() {
+  const Token& tok = Peek();
+  switch (tok.kind) {
+    case TokKind::kNumber: {
+      PyExpr e;
+      e.kind = PyExpr::Kind::kNumber;
+      e.number = Advance().number;
+      return e;
+    }
+    case TokKind::kString: {
+      PyExpr e;
+      e.kind = PyExpr::Kind::kString;
+      e.str = Advance().text;
+      return e;
+    }
+    case TokKind::kName: {
+      // Dotted name; keep the final segment (module paths are metadata).
+      std::string name = Advance().text;
+      while (IsPunct(".")) {
+        ++pos_;
+        if (Peek().kind != TokKind::kName) {
+          return Status::ParseError("expected name after '.'");
+        }
+        name = Advance().text;
+      }
+      return ParseCallOrName(std::move(name));
+    }
+    case TokKind::kPunct:
+      if (tok.text == "[" || tok.text == "(") {
+        const bool is_list = tok.text == "[";
+        const char* close = is_list ? "]" : ")";
+        ++pos_;
+        PyExpr e;
+        e.kind = is_list ? PyExpr::Kind::kList : PyExpr::Kind::kTuple;
+        while (!IsPunct(close)) {
+          RAVEN_ASSIGN_OR_RETURN(PyExpr item, ParseExpr());
+          e.items.push_back(std::move(item));
+          if (IsPunct(",")) {
+            ++pos_;
+          } else {
+            break;
+          }
+        }
+        RAVEN_RETURN_IF_ERROR(Expect(close));
+        // A 1-element parenthesised expression is just the expression.
+        if (!is_list && e.items.size() == 1 && e.kwargs.empty()) {
+          return std::move(e.items[0]);
+        }
+        return e;
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::ParseError("unexpected token '" + tok.text + "' at line " +
+                            std::to_string(tok.line));
+}
+
+Result<PyExpr> Parser::ParseCallOrName(std::string name) {
+  if (!IsPunct("(")) {
+    PyExpr e;
+    e.kind = PyExpr::Kind::kName;
+    e.name = std::move(name);
+    return e;
+  }
+  ++pos_;  // consume '('
+  PyExpr call;
+  call.kind = PyExpr::Kind::kCall;
+  call.name = std::move(name);
+  while (!IsPunct(")")) {
+    // kwarg?
+    if (Peek().kind == TokKind::kName &&
+        tokens_[pos_ + 1].kind == TokKind::kPunct &&
+        tokens_[pos_ + 1].text == "=") {
+      const std::string key = Advance().text;
+      ++pos_;  // '='
+      RAVEN_ASSIGN_OR_RETURN(PyExpr value, ParseExpr());
+      call.kwargs.emplace_back(key, std::move(value));
+    } else {
+      RAVEN_ASSIGN_OR_RETURN(PyExpr arg, ParseExpr());
+      call.items.push_back(std::move(arg));
+    }
+    if (IsPunct(",")) {
+      ++pos_;
+    } else {
+      break;
+    }
+  }
+  RAVEN_RETURN_IF_ERROR(Expect(")"));
+  return call;
+}
+
+Result<PyScript> Parser::ParseScript() {
+  PyScript script;
+  static const std::set<std::string>* kControlFlow = new std::set<std::string>{
+      "for", "while", "if", "def", "class", "with", "try", "lambda"};
+  while (Peek().kind != TokKind::kEnd) {
+    if (Peek().kind != TokKind::kName) {
+      return Status::ParseError("expected statement at line " +
+                                std::to_string(Peek().line));
+    }
+    const std::string head = Peek().text;
+    if (kControlFlow->count(head) > 0) {
+      // §3.2: loops/conditionals are out of scope for straight-line
+      // analysis; the caller falls back to a UDF.
+      return Status::ParseError("control-flow construct '" + head +
+                                "' is not analyzable (line " +
+                                std::to_string(Peek().line) + ")");
+    }
+    if (head == "from" || head == "import") {
+      // Skip the rest of the logical line: imports carry dependency
+      // metadata only.
+      const int line = Peek().line;
+      while (Peek().kind != TokKind::kEnd && Peek().line == line) ++pos_;
+      continue;
+    }
+    // Assignment: NAME = expr.
+    PyAssignment assignment;
+    assignment.target = Advance().text;
+    RAVEN_RETURN_IF_ERROR(Expect("="));
+    RAVEN_ASSIGN_OR_RETURN(assignment.value, ParseExpr());
+    script.assignments.push_back(std::move(assignment));
+  }
+  return script;
+}
+
+}  // namespace
+
+const PyExpr* PyExpr::FindKwarg(const std::string& key) const {
+  for (const auto& [k, v] : kwargs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<const PyExpr*> PyScript::FindPipelineRoot() const {
+  const PyExpr* root = nullptr;
+  for (const auto& assignment : assignments) {
+    const PyExpr* value = &assignment.value;
+    // Resolve one level of variable alias.
+    if (value->kind == PyExpr::Kind::kName) {
+      for (const auto& prior : assignments) {
+        if (prior.target == value->name) value = &prior.value;
+      }
+    }
+    if (value->kind == PyExpr::Kind::kCall && value->name == "Pipeline") {
+      root = value;
+    }
+  }
+  if (root == nullptr) {
+    return Status::NotFound("no Pipeline(...) assignment found in script");
+  }
+  return root;
+}
+
+Result<PyScript> ParsePipelineScript(const std::string& source) {
+  RAVEN_ASSIGN_OR_RETURN(auto tokens, Lex(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseScript();
+}
+
+namespace {
+
+const std::set<std::string>& TransformKb() {
+  static const std::set<std::string>* kb = new std::set<std::string>{
+      "StandardScaler", "OneHotEncoder", "ColumnSelector", "passthrough"};
+  return *kb;
+}
+
+const std::set<std::string>& EstimatorKb() {
+  static const std::set<std::string>* kb = new std::set<std::string>{
+      "DecisionTreeClassifier", "DecisionTreeRegressor",
+      "RandomForestClassifier", "RandomForestRegressor",
+      "LogisticRegression", "LinearRegression", "Lasso",
+      "MLPClassifier", "MLPRegressor"};
+  return *kb;
+}
+
+Result<std::vector<std::string>> ColumnsKwarg(const PyExpr& call) {
+  std::vector<std::string> columns;
+  const PyExpr* arg = call.FindKwarg("columns");
+  if (arg == nullptr) return columns;  // empty = "all remaining"
+  if (arg->kind != PyExpr::Kind::kList) {
+    return Status::ParseError("columns= must be a list of strings");
+  }
+  for (const auto& item : arg->items) {
+    if (item.kind != PyExpr::Kind::kString) {
+      return Status::ParseError("columns= entries must be strings");
+    }
+    columns.push_back(item.str);
+  }
+  return columns;
+}
+
+/// Parses a ('name', Step(...)) tuple.
+Result<std::pair<std::string, const PyExpr*>> ParseStepTuple(
+    const PyExpr& tuple) {
+  if (tuple.kind != PyExpr::Kind::kTuple || tuple.items.size() != 2 ||
+      tuple.items[0].kind != PyExpr::Kind::kString) {
+    return Status::ParseError(
+        "pipeline steps must be ('name', Step(...)) tuples");
+  }
+  return std::make_pair(tuple.items[0].str, &tuple.items[1]);
+}
+
+}  // namespace
+
+bool KnowledgeBaseContains(const std::string& callable) {
+  return TransformKb().count(callable) > 0 ||
+         EstimatorKb().count(callable) > 0 || callable == "Pipeline" ||
+         callable == "FeatureUnion";
+}
+
+Result<PipelineSpec> ExtractPipelineSpec(const PyScript& script) {
+  RAVEN_ASSIGN_OR_RETURN(const PyExpr* root, script.FindPipelineRoot());
+  if (root->items.size() != 1 ||
+      root->items[0].kind != PyExpr::Kind::kList) {
+    return Status::ParseError("Pipeline(...) expects a list of steps");
+  }
+  PipelineSpec spec;
+  const auto& steps = root->items[0].items;
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    RAVEN_ASSIGN_OR_RETURN(auto named_step, ParseStepTuple(steps[s]));
+    const auto& [step_name, step] = named_step;
+    const bool is_last = s + 1 == steps.size();
+    if (step->kind == PyExpr::Kind::kString && step->str == "passthrough") {
+      spec.branches.push_back(BranchSpec{step_name, "passthrough", {}});
+      continue;
+    }
+    if (step->kind != PyExpr::Kind::kCall) {
+      return Status::ParseError("pipeline step '" + step_name +
+                                "' is not a call");
+    }
+    if (step->name == "FeatureUnion") {
+      if (step->items.size() != 1 ||
+          step->items[0].kind != PyExpr::Kind::kList) {
+        return Status::ParseError("FeatureUnion expects a list of branches");
+      }
+      for (const auto& branch_tuple : step->items[0].items) {
+        RAVEN_ASSIGN_OR_RETURN(auto named_branch,
+                               ParseStepTuple(branch_tuple));
+        const auto& [branch_name, branch] = named_branch;
+        std::string callable;
+        std::vector<std::string> columns;
+        if (branch->kind == PyExpr::Kind::kString &&
+            branch->str == "passthrough") {
+          callable = "passthrough";
+        } else if (branch->kind == PyExpr::Kind::kCall) {
+          callable = branch->name;
+          if (TransformKb().count(callable) == 0) {
+            return Status::InvalidArgument(
+                "unknown transform '" + callable +
+                "' (not in the API knowledge base)");
+          }
+          RAVEN_ASSIGN_OR_RETURN(columns, ColumnsKwarg(*branch));
+        } else {
+          return Status::ParseError("FeatureUnion branch '" + branch_name +
+                                    "' is not a call");
+        }
+        spec.branches.push_back(
+            BranchSpec{branch_name, callable, std::move(columns)});
+      }
+      continue;
+    }
+    if (TransformKb().count(step->name) > 0) {
+      RAVEN_ASSIGN_OR_RETURN(auto columns, ColumnsKwarg(*step));
+      spec.branches.push_back(
+          BranchSpec{step_name, step->name, std::move(columns)});
+      continue;
+    }
+    if (EstimatorKb().count(step->name) > 0) {
+      if (!is_last) {
+        return Status::ParseError("estimator '" + step->name +
+                                  "' must be the final pipeline step");
+      }
+      spec.predictor_callable = step->name;
+      for (const auto& [key, value] : step->kwargs) {
+        if (value.kind == PyExpr::Kind::kNumber) {
+          spec.predictor_params[key] = value.number;
+        }
+      }
+      continue;
+    }
+    return Status::InvalidArgument("unknown pipeline step '" + step->name +
+                                   "' (not in the API knowledge base)");
+  }
+  if (spec.predictor_callable.empty()) {
+    return Status::ParseError("pipeline has no final estimator step");
+  }
+  return spec;
+}
+
+}  // namespace raven::frontend

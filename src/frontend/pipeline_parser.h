@@ -1,0 +1,83 @@
+#ifndef RAVEN_FRONTEND_PIPELINE_PARSER_H_
+#define RAVEN_FRONTEND_PIPELINE_PARSER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace raven::frontend {
+
+/// AST of the Python-subset pipeline DSL. The paper's Static Analyzer lexes
+/// and parses data scientists' Python scripts and maps known API calls to IR
+/// operators via a knowledge base (§3.2); this is the same machinery
+/// restricted to straight-line sklearn-style pipeline definitions — exactly
+/// the class the paper reports covers ~83% of notebook cells (no loops).
+struct PyExpr {
+  enum class Kind { kCall, kList, kTuple, kString, kNumber, kName };
+
+  Kind kind = Kind::kName;
+  /// kName / kCall: dotted callable or variable name (e.g.
+  /// "sklearn.tree.DecisionTreeClassifier" is stored as its last segment).
+  std::string name;
+  double number = 0.0;
+  std::string str;
+  /// kList / kTuple elements, or kCall positional args.
+  std::vector<PyExpr> items;
+  /// kCall keyword arguments in source order.
+  std::vector<std::pair<std::string, PyExpr>> kwargs;
+
+  const PyExpr* FindKwarg(const std::string& key) const;
+};
+
+/// One parsed assignment statement `name = expr`.
+struct PyAssignment {
+  std::string target;
+  PyExpr value;
+};
+
+/// A parsed script: straight-line assignments only. Import lines and
+/// comments are skipped; any control flow (for/while/if/def) fails parsing
+/// with a ParseError, which the analyzer turns into UDF fallback.
+struct PyScript {
+  std::vector<PyAssignment> assignments;
+
+  /// The final pipeline definition: last assignment whose value is a call
+  /// to Pipeline(...), after resolving simple variable aliases.
+  Result<const PyExpr*> FindPipelineRoot() const;
+};
+
+/// Lexes and parses the pipeline script.
+Result<PyScript> ParsePipelineScript(const std::string& source);
+
+// ---------------------------------------------------------------------------
+// Knowledge-base mapping (script AST -> pipeline structure spec).
+// ---------------------------------------------------------------------------
+
+/// Structure of one featurizer branch as declared in the script.
+struct BranchSpec {
+  std::string step_name;
+  std::string callable;                  // e.g. "StandardScaler"
+  std::vector<std::string> columns;      // columns=[...] kwarg
+};
+
+/// Structure of the whole scripted pipeline.
+struct PipelineSpec {
+  std::vector<BranchSpec> branches;      // empty if no featurization stage
+  std::string predictor_callable;        // e.g. "DecisionTreeClassifier"
+  std::map<std::string, double> predictor_params;  // numeric kwargs
+};
+
+/// Maps the parsed script onto a PipelineSpec using the API knowledge base.
+/// Unknown callables produce InvalidArgument with the offending name, which
+/// the analyzer converts to UDF fallback.
+Result<PipelineSpec> ExtractPipelineSpec(const PyScript& script);
+
+/// Whether the knowledge base knows this callable (transform or estimator).
+bool KnowledgeBaseContains(const std::string& callable);
+
+}  // namespace raven::frontend
+
+#endif  // RAVEN_FRONTEND_PIPELINE_PARSER_H_

@@ -1,0 +1,518 @@
+#include "frontend/sql_parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/string_util.h"
+#include "relational/expression.h"
+
+namespace raven::frontend {
+namespace {
+
+using ir::IrNode;
+using ir::IrNodePtr;
+using relational::CompareOp;
+using relational::Expr;
+using relational::ExprPtr;
+
+enum class TokKind { kIdent, kNumber, kString, kOp, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // upper-cased for idents when keyword-checked
+  std::string raw;    // original spelling
+  double number = 0.0;
+};
+
+Result<std::vector<Token>> LexSql(const std::string& sql) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {  // SQL comment
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '@') {
+      std::size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      Token tok;
+      tok.kind = TokKind::kIdent;
+      tok.raw = sql.substr(i, j - i);
+      tok.text = ToUpper(tok.raw);
+      tokens.push_back(std::move(tok));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      std::size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.')) {
+        ++j;
+      }
+      Token tok;
+      tok.kind = TokKind::kNumber;
+      tok.raw = sql.substr(i, j - i);
+      tok.number = std::stod(tok.raw);
+      tokens.push_back(std::move(tok));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      std::string value;
+      while (j < n && sql[j] != '\'') {
+        value.push_back(sql[j]);
+        ++j;
+      }
+      if (j >= n) return Status::ParseError("unterminated SQL string");
+      Token tok;
+      tok.kind = TokKind::kString;
+      tok.raw = value;
+      tok.text = value;
+      tokens.push_back(std::move(tok));
+      i = j + 1;
+      continue;
+    }
+    // Operators.
+    static const char* kTwoChar[] = {"<>", "<=", ">=", "!="};
+    bool matched = false;
+    for (const char* op : kTwoChar) {
+      if (i + 1 < n && sql[i] == op[0] && sql[i + 1] == op[1]) {
+        tokens.push_back(Token{TokKind::kOp, op, op, 0.0});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    if (std::string("=<>(),.*+-/").find(c) != std::string::npos) {
+      tokens.push_back(
+          Token{TokKind::kOp, std::string(1, c), std::string(1, c), 0.0});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected SQL character '") + c +
+                              "'");
+  }
+  tokens.push_back(Token{});
+  return tokens;
+}
+
+class SqlParser {
+ public:
+  SqlParser(std::vector<Token> tokens, const relational::Catalog& catalog,
+            const ModelNodeBuilder& model_builder)
+      : tokens_(std::move(tokens)), catalog_(catalog),
+        model_builder_(model_builder) {}
+
+  Result<ir::IrPlan> ParseStatement();
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    return tokens_[std::min(pos_ + ahead, tokens_.size() - 1)];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool IsKeyword(const char* kw) const {
+    return Peek().kind == TokKind::kIdent && Peek().text == kw;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::ParseError("expected " + std::string(kw) + ", got '" +
+                                Peek().raw + "'");
+    }
+    return Status::OK();
+  }
+  bool IsOp(const char* op) const {
+    return Peek().kind == TokKind::kOp && Peek().text == op;
+  }
+  bool AcceptOp(const char* op) {
+    if (IsOp(op)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectOp(const char* op) {
+    if (!AcceptOp(op)) {
+      return Status::ParseError("expected '" + std::string(op) + "', got '" +
+                                Peek().raw + "'");
+    }
+    return Status::OK();
+  }
+
+  /// Parses `ident` or `alias.ident`, returning the unqualified name.
+  Result<std::string> ParseColumnName();
+
+  Result<IrNodePtr> ParseSelect();
+  Result<IrNodePtr> ParseFromSource();
+  Result<IrNodePtr> ParseTableRefChain();
+  Result<IrNodePtr> ParseDataRef();
+
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseTerm();
+  Result<ExprPtr> ParseFactor();
+
+  /// Resolves a categorical string literal against the column's dictionary.
+  Result<double> ResolveStringLiteral(const std::string& column,
+                                      const std::string& value) const;
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  const relational::Catalog& catalog_;
+  const ModelNodeBuilder& model_builder_;
+  std::map<std::string, IrNodePtr> ctes_;
+  /// Column context for string-literal resolution inside comparisons.
+  std::string pending_column_;
+};
+
+Result<std::string> SqlParser::ParseColumnName() {
+  if (Peek().kind != TokKind::kIdent) {
+    return Status::ParseError("expected column name, got '" + Peek().raw +
+                              "'");
+  }
+  std::string name = Advance().raw;
+  if (IsOp(".")) {
+    ++pos_;
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::ParseError("expected column after qualifier");
+    }
+    name = Advance().raw;  // drop the alias qualifier
+  }
+  return name;
+}
+
+Result<double> SqlParser::ResolveStringLiteral(const std::string& column,
+                                               const std::string& value) const {
+  for (const auto& table_name : catalog_.TableNames()) {
+    auto table = catalog_.GetTable(table_name);
+    if (!table.ok()) continue;
+    auto col = (*table)->GetColumn(column);
+    if (!col.ok() || !(*col)->is_categorical()) continue;
+    const auto& dict = *(*col)->dictionary;
+    for (std::size_t i = 0; i < dict.size(); ++i) {
+      if (dict[i] == value) return static_cast<double>(i);
+    }
+    return Status::NotFound("value '" + value + "' not in dictionary of '" +
+                            column + "'");
+  }
+  return Status::NotFound("no categorical column '" + column +
+                          "' found for string literal '" + value + "'");
+}
+
+Result<ExprPtr> SqlParser::ParseFactor() {
+  if (Peek().kind == TokKind::kNumber) {
+    return relational::Lit(Advance().number);
+  }
+  if (Peek().kind == TokKind::kString) {
+    // Bare strings are resolved against the pending comparison column.
+    if (pending_column_.empty()) {
+      return Status::ParseError(
+          "string literal outside a column comparison: '" + Peek().raw + "'");
+    }
+    RAVEN_ASSIGN_OR_RETURN(double code,
+                           ResolveStringLiteral(pending_column_, Peek().raw));
+    ++pos_;
+    return relational::Lit(code);
+  }
+  if (AcceptOp("(")) {
+    RAVEN_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+    RAVEN_RETURN_IF_ERROR(ExpectOp(")"));
+    return inner;
+  }
+  RAVEN_ASSIGN_OR_RETURN(std::string name, ParseColumnName());
+  pending_column_ = name;
+  return relational::Col(name);
+}
+
+Result<ExprPtr> SqlParser::ParseTerm() {
+  RAVEN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseFactor());
+  while (IsOp("*") || IsOp("/")) {
+    const bool mul = Advance().text == "*";
+    RAVEN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseFactor());
+    lhs = std::make_unique<relational::ArithExpr>(
+        mul ? relational::ArithOp::kMul : relational::ArithOp::kDiv,
+        std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> SqlParser::ParseAdditive() {
+  RAVEN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseTerm());
+  while (IsOp("+") || IsOp("-")) {
+    const bool add = Advance().text == "+";
+    RAVEN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseTerm());
+    lhs = std::make_unique<relational::ArithExpr>(
+        add ? relational::ArithOp::kAdd : relational::ArithOp::kSub,
+        std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> SqlParser::ParseComparison() {
+  pending_column_.clear();
+  RAVEN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+  if (AcceptKeyword("IN")) {
+    RAVEN_RETURN_IF_ERROR(ExpectOp("("));
+    std::vector<double> values;
+    while (!IsOp(")")) {
+      if (Peek().kind == TokKind::kNumber) {
+        values.push_back(Advance().number);
+      } else if (Peek().kind == TokKind::kString) {
+        RAVEN_ASSIGN_OR_RETURN(
+            double code, ResolveStringLiteral(pending_column_, Peek().raw));
+        ++pos_;
+        values.push_back(code);
+      } else {
+        return Status::ParseError("IN list expects literals");
+      }
+      if (!AcceptOp(",")) break;
+    }
+    RAVEN_RETURN_IF_ERROR(ExpectOp(")"));
+    return ExprPtr(std::make_unique<relational::InExpr>(std::move(lhs),
+                                                        std::move(values)));
+  }
+  static const std::pair<const char*, CompareOp> kOps[] = {
+      {"=", CompareOp::kEq},  {"<>", CompareOp::kNe}, {"!=", CompareOp::kNe},
+      {"<=", CompareOp::kLe}, {">=", CompareOp::kGe}, {"<", CompareOp::kLt},
+      {">", CompareOp::kGt}};
+  for (const auto& [text, op] : kOps) {
+    if (AcceptOp(text)) {
+      RAVEN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      pending_column_.clear();
+      return relational::Cmp(op, std::move(lhs), std::move(rhs));
+    }
+  }
+  return lhs;  // bare boolean expression
+}
+
+Result<ExprPtr> SqlParser::ParseNot() {
+  if (AcceptKeyword("NOT")) {
+    RAVEN_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return relational::Not(std::move(operand));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> SqlParser::ParseAnd() {
+  RAVEN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (AcceptKeyword("AND")) {
+    RAVEN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = relational::And(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> SqlParser::ParseOr() {
+  RAVEN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (AcceptKeyword("OR")) {
+    RAVEN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = relational::Or(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<IrNodePtr> SqlParser::ParseDataRef() {
+  if (AcceptOp("(")) {
+    RAVEN_ASSIGN_OR_RETURN(IrNodePtr subquery, ParseSelect());
+    RAVEN_RETURN_IF_ERROR(ExpectOp(")"));
+    return subquery;
+  }
+  if (Peek().kind != TokKind::kIdent) {
+    return Status::ParseError("expected table or CTE name in DATA=");
+  }
+  const std::string name = Advance().raw;
+  // Optional "AS alias".
+  if (AcceptKeyword("AS") && Peek().kind == TokKind::kIdent) ++pos_;
+  auto cte = ctes_.find(name);
+  if (cte != ctes_.end()) return cte->second->Clone();
+  if (catalog_.HasTable(name)) return IrNode::TableScan(name);
+  return Status::NotFound("DATA source '" + name +
+                          "' is neither a CTE nor a table");
+}
+
+Result<IrNodePtr> SqlParser::ParseTableRefChain() {
+  if (Peek().kind != TokKind::kIdent) {
+    return Status::ParseError("expected table name in FROM");
+  }
+  const std::string first = Advance().raw;
+  IrNodePtr left;
+  auto cte = ctes_.find(first);
+  if (cte != ctes_.end()) {
+    left = cte->second->Clone();
+  } else if (catalog_.HasTable(first)) {
+    left = IrNode::TableScan(first);
+  } else {
+    return Status::NotFound("table '" + first + "' not found");
+  }
+  if (AcceptKeyword("AS") && Peek().kind == TokKind::kIdent) ++pos_;
+  while (AcceptKeyword("JOIN")) {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::ParseError("expected table after JOIN");
+    }
+    const std::string right_name = Advance().raw;
+    if (!catalog_.HasTable(right_name)) {
+      return Status::NotFound("table '" + right_name + "' not found");
+    }
+    if (AcceptKeyword("AS") && Peek().kind == TokKind::kIdent) ++pos_;
+    RAVEN_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    RAVEN_ASSIGN_OR_RETURN(std::string left_key, ParseColumnName());
+    RAVEN_RETURN_IF_ERROR(ExpectOp("="));
+    RAVEN_ASSIGN_OR_RETURN(std::string right_key, ParseColumnName());
+    left = IrNode::Join(std::move(left), IrNode::TableScan(right_name),
+                        left_key, right_key);
+  }
+  return left;
+}
+
+Result<IrNodePtr> SqlParser::ParseFromSource() {
+  if (AcceptKeyword("PREDICT")) {
+    RAVEN_RETURN_IF_ERROR(ExpectOp("("));
+    RAVEN_RETURN_IF_ERROR(ExpectKeyword("MODEL"));
+    RAVEN_RETURN_IF_ERROR(ExpectOp("="));
+    std::string model_name;
+    if (Peek().kind == TokKind::kString) {
+      model_name = Advance().raw;
+    } else if (Peek().kind == TokKind::kIdent &&
+               Peek().raw.size() > 1 && Peek().raw[0] == '@') {
+      // DECLARE @var support: @name refers to the stored model "name".
+      model_name = Advance().raw.substr(1);
+    } else {
+      return Status::ParseError("MODEL= expects a string or @variable");
+    }
+    RAVEN_RETURN_IF_ERROR(ExpectOp(","));
+    RAVEN_RETURN_IF_ERROR(ExpectKeyword("DATA"));
+    RAVEN_RETURN_IF_ERROR(ExpectOp("="));
+    RAVEN_ASSIGN_OR_RETURN(IrNodePtr data, ParseDataRef());
+    RAVEN_RETURN_IF_ERROR(ExpectOp(")"));
+    // Optional WITH(output_col [type]).
+    std::string output_column = model_name + "_pred";
+    if (AcceptKeyword("WITH")) {
+      RAVEN_RETURN_IF_ERROR(ExpectOp("("));
+      if (Peek().kind != TokKind::kIdent) {
+        return Status::ParseError("WITH(...) expects an output column name");
+      }
+      output_column = Advance().raw;
+      while (Peek().kind == TokKind::kIdent) ++pos_;  // skip type tokens
+      RAVEN_RETURN_IF_ERROR(ExpectOp(")"));
+    }
+    if (AcceptKeyword("AS") && Peek().kind == TokKind::kIdent) ++pos_;
+    return model_builder_(model_name, std::move(data), output_column);
+  }
+  if (AcceptOp("(")) {
+    RAVEN_ASSIGN_OR_RETURN(IrNodePtr sub, ParseSelect());
+    RAVEN_RETURN_IF_ERROR(ExpectOp(")"));
+    if (AcceptKeyword("AS") && Peek().kind == TokKind::kIdent) ++pos_;
+    return sub;
+  }
+  return ParseTableRefChain();
+}
+
+Result<IrNodePtr> SqlParser::ParseSelect() {
+  RAVEN_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  struct Item {
+    ExprPtr expr;
+    std::string name;
+  };
+  bool star = false;
+  std::vector<Item> items;
+  if (AcceptOp("*")) {
+    star = true;
+  } else {
+    while (true) {
+      const std::size_t before = pos_;
+      RAVEN_ASSIGN_OR_RETURN(ExprPtr expr, ParseAdditive());
+      std::string name;
+      if (AcceptKeyword("AS")) {
+        if (Peek().kind != TokKind::kIdent) {
+          return Status::ParseError("expected alias after AS");
+        }
+        name = Advance().raw;
+      } else if (expr->kind() == Expr::Kind::kColumnRef) {
+        name = static_cast<relational::ColumnRefExpr*>(expr.get())->name();
+      } else {
+        name = "expr" + std::to_string(before);
+      }
+      items.push_back(Item{std::move(expr), std::move(name)});
+      if (!AcceptOp(",")) break;
+    }
+  }
+  RAVEN_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  RAVEN_ASSIGN_OR_RETURN(IrNodePtr source, ParseFromSource());
+  if (AcceptKeyword("WHERE")) {
+    RAVEN_ASSIGN_OR_RETURN(ExprPtr predicate, ParseOr());
+    source = IrNode::Filter(std::move(source), std::move(predicate));
+  }
+  if (AcceptKeyword("LIMIT")) {
+    if (Peek().kind != TokKind::kNumber) {
+      return Status::ParseError("LIMIT expects a number");
+    }
+    source = IrNode::Limit(std::move(source),
+                           static_cast<std::int64_t>(Advance().number));
+  }
+  if (!star) {
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+    for (auto& item : items) {
+      exprs.push_back(std::move(item.expr));
+      names.push_back(std::move(item.name));
+    }
+    source = IrNode::Project(std::move(source), std::move(exprs),
+                             std::move(names));
+  }
+  return source;
+}
+
+Result<ir::IrPlan> SqlParser::ParseStatement() {
+  while (AcceptKeyword("WITH") || AcceptOp(",")) {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::ParseError("expected CTE name after WITH");
+    }
+    const std::string name = Advance().raw;
+    RAVEN_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    RAVEN_RETURN_IF_ERROR(ExpectOp("("));
+    RAVEN_ASSIGN_OR_RETURN(IrNodePtr cte, ParseSelect());
+    RAVEN_RETURN_IF_ERROR(ExpectOp(")"));
+    ctes_[name] = std::move(cte);
+    if (!IsOp(",")) break;
+  }
+  RAVEN_ASSIGN_OR_RETURN(IrNodePtr root, ParseSelect());
+  if (Peek().kind != TokKind::kEnd) {
+    return Status::ParseError("trailing tokens after query: '" + Peek().raw +
+                              "'");
+  }
+  return ir::IrPlan(std::move(root));
+}
+
+}  // namespace
+
+Result<ir::IrPlan> ParseInferenceQuery(const std::string& sql,
+                                       const relational::Catalog& catalog,
+                                       const ModelNodeBuilder& model_builder) {
+  RAVEN_ASSIGN_OR_RETURN(auto tokens, LexSql(sql));
+  SqlParser parser(std::move(tokens), catalog, model_builder);
+  return parser.ParseStatement();
+}
+
+}  // namespace raven::frontend

@@ -1,0 +1,45 @@
+#ifndef RAVEN_FRONTEND_SQL_PARSER_H_
+#define RAVEN_FRONTEND_SQL_PARSER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "ir/ir.h"
+#include "relational/catalog.h"
+
+namespace raven::frontend {
+
+/// Builds the model-scoring IR node for PREDICT(MODEL='name', DATA=...).
+/// The static analyzer supplies this: it looks the model up in the catalog,
+/// analyzes its script, and returns either a ModelPipeline IR node or an
+/// OpaquePipeline fallback. `output_column` is the WITH(...) name.
+using ModelNodeBuilder = std::function<Result<ir::IrNodePtr>(
+    const std::string& model_name, ir::IrNodePtr data,
+    const std::string& output_column)>;
+
+/// Parses an inference query into the unified IR.
+///
+/// Supported grammar (a faithful subset of the paper's SQL Server dialect):
+///
+///   [WITH cte AS ( select )] select
+///   select  := SELECT items FROM source [WHERE pred] [LIMIT n]
+///   items   := * | expr [AS name] {, expr [AS name]}
+///   source  := PREDICT(MODEL='name', DATA=ref) [WITH(col [type])] [AS a]
+///            | table [AS a] {JOIN table [AS a] ON col = col}
+///            | ( select ) [AS a]
+///   ref     := cte-or-table name | ( select )
+///   pred    := OR/AND/NOT tree over comparisons, IN lists, parentheses
+///
+/// Alias qualifiers (`d.bp`) are accepted and stripped — Raven's flattened
+/// schemas use globally unique column names. String literals compared to
+/// dictionary-encoded categorical columns are resolved to their codes at
+/// parse time via the catalog.
+Result<ir::IrPlan> ParseInferenceQuery(const std::string& sql,
+                                       const relational::Catalog& catalog,
+                                       const ModelNodeBuilder& model_builder);
+
+}  // namespace raven::frontend
+
+#endif  // RAVEN_FRONTEND_SQL_PARSER_H_

@@ -1,0 +1,98 @@
+#include "ir/clustered_model.h"
+
+namespace raven::ir {
+
+Result<Tensor> ClusteredModel::Predict(const Tensor& x) const {
+  if (x.rank() != 2) {
+    return Status::InvalidArgument("ClusteredModel::Predict expects [n, d]");
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  if (d != static_cast<std::int64_t>(fallback.input_columns.size())) {
+    return Status::InvalidArgument(
+        "ClusteredModel input width mismatch: got " + std::to_string(d));
+  }
+  // Group rows by cluster, score each group with its specialized model,
+  // then scatter back. Grouping preserves the batch efficiency that makes
+  // clustering worthwhile. Group k is the fallback bucket (no precompiled
+  // model or violated assumption).
+  std::vector<float> routing_row(routing_columns.size());
+  std::vector<std::vector<std::int64_t>> groups(
+      static_cast<std::size_t>(router.k()) + 1);
+  const std::size_t fallback_group = static_cast<std::size_t>(router.k());
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::size_t j = 0; j < routing_columns.size(); ++j) {
+      routing_row[j] = x.raw()[r * d + routing_columns[j]];
+    }
+    std::size_t c = static_cast<std::size_t>(router.AssignRow(
+        routing_row.data(), static_cast<std::int64_t>(routing_row.size())));
+    if (c >= cluster_models.size()) {
+      c = fallback_group;
+    } else if (c < assumptions.size()) {
+      for (const auto& [col, value] : assumptions[c]) {
+        if (x.raw()[r * d + col] != static_cast<float>(value)) {
+          c = fallback_group;
+          break;
+        }
+      }
+    }
+    if (c != fallback_group && c < allowed_values.size()) {
+      for (const auto& [col, values] : allowed_values[c]) {
+        const float v = x.raw()[r * d + col];
+        bool found = false;
+        for (double allowed : values) {
+          if (v == static_cast<float>(allowed)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          c = fallback_group;
+          break;
+        }
+      }
+    }
+    groups[c].push_back(r);
+  }
+
+  Tensor out = Tensor::Zeros({n, 1});
+  for (std::size_t c = 0; c < groups.size(); ++c) {
+    const auto& rows = groups[c];
+    if (rows.empty()) continue;
+    const ml::ModelPipeline& model =
+        c < cluster_models.size() ? cluster_models[c] : fallback;
+    // Specialized models may consume a subset of the raw columns; map their
+    // input names back to positions in the full-width row.
+    std::vector<std::int64_t> col_map;
+    col_map.reserve(model.input_columns.size());
+    for (const auto& name : model.input_columns) {
+      std::int64_t idx = -1;
+      for (std::size_t i = 0; i < fallback.input_columns.size(); ++i) {
+        if (fallback.input_columns[i] == name) {
+          idx = static_cast<std::int64_t>(i);
+          break;
+        }
+      }
+      if (idx < 0) {
+        return Status::Internal("cluster model input '" + name +
+                                "' missing from original inputs");
+      }
+      col_map.push_back(idx);
+    }
+    const std::int64_t dm = static_cast<std::int64_t>(col_map.size());
+    Tensor sub = Tensor::Zeros({static_cast<std::int64_t>(rows.size()), dm});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      for (std::int64_t j = 0; j < dm; ++j) {
+        sub.raw()[static_cast<std::int64_t>(i) * dm + j] =
+            x.raw()[rows[i] * d + col_map[static_cast<std::size_t>(j)]];
+      }
+    }
+    RAVEN_ASSIGN_OR_RETURN(Tensor preds, model.Predict(sub));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      out.raw()[rows[i]] = preds.raw()[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace raven::ir

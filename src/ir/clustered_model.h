@@ -1,0 +1,50 @@
+#ifndef RAVEN_IR_CLUSTERED_MODEL_H_
+#define RAVEN_IR_CLUSTERED_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/kmeans.h"
+#include "ml/pipeline.h"
+#include "tensor/tensor.h"
+
+namespace raven::ir {
+
+/// The model-clustering optimization's artifact (paper §4.1, Fig 2(b)):
+/// a k-means router over a subset of the input columns plus one specialized
+/// (feature-projected) model per cluster. Rows are routed to their
+/// cluster's precompiled model; rows with no precompiled model fall back to
+/// the original pipeline.
+struct ClusteredModel {
+  /// Router fitted on the routing columns (a subset of pipeline inputs).
+  ml::KMeans router;
+  /// Indices (into the pipeline's input columns) used for routing.
+  std::vector<std::int64_t> routing_columns;
+  /// One specialized pipeline per cluster, same input column list as the
+  /// original (specialization drops *features*, not raw inputs, so routing
+  /// stays uniform).
+  std::vector<ml::ModelPipeline> cluster_models;
+  /// Per-cluster value assumptions (input column index, fixed value) that
+  /// the specialized model was compiled under. Rows violating them fall
+  /// back to the original pipeline, preserving exact semantics (the paper's
+  /// "fall back to the original model" rule).
+  std::vector<std::vector<std::pair<std::int64_t, double>>> assumptions;
+  /// Per-cluster allowed value sets (input column index -> values observed
+  /// in the cluster sample). One-hot codes outside the set were projected
+  /// out of the cluster's model ("only specific unique values appear in
+  /// the data", paper §4.1); rows with unseen values fall back.
+  std::vector<std::map<std::int64_t, std::vector<double>>> allowed_values;
+  /// Original pipeline, used when a cluster has no precompiled model or an
+  /// assumption fails.
+  ml::ModelPipeline fallback;
+
+  /// Scores a raw [n, d] batch by routing each row.
+  Result<Tensor> Predict(const Tensor& x) const;
+};
+
+}  // namespace raven::ir
+
+#endif  // RAVEN_IR_CLUSTERED_MODEL_H_

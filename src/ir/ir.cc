@@ -1,0 +1,389 @@
+#include "ir/ir.h"
+
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace raven::ir {
+
+const char* OpCategoryToString(OpCategory category) {
+  switch (category) {
+    case OpCategory::kRelational:
+      return "RA";
+    case OpCategory::kLinearAlgebra:
+      return "LA";
+    case OpCategory::kClassicalMl:
+      return "MLD";
+    case OpCategory::kUdf:
+      return "UDF";
+  }
+  return "?";
+}
+
+const char* IrOpKindToString(IrOpKind kind) {
+  switch (kind) {
+    case IrOpKind::kTableScan:
+      return "TableScan";
+    case IrOpKind::kFilter:
+      return "Filter";
+    case IrOpKind::kProject:
+      return "Project";
+    case IrOpKind::kJoin:
+      return "Join";
+    case IrOpKind::kUnionAll:
+      return "UnionAll";
+    case IrOpKind::kLimit:
+      return "Limit";
+    case IrOpKind::kModelPipeline:
+      return "ModelPipeline";
+    case IrOpKind::kClusteredPredict:
+      return "ClusteredPredict";
+    case IrOpKind::kNnGraph:
+      return "NnGraph";
+    case IrOpKind::kOpaquePipeline:
+      return "OpaquePipeline";
+  }
+  return "?";
+}
+
+OpCategory CategoryOf(IrOpKind kind) {
+  switch (kind) {
+    case IrOpKind::kTableScan:
+    case IrOpKind::kFilter:
+    case IrOpKind::kProject:
+    case IrOpKind::kJoin:
+    case IrOpKind::kUnionAll:
+    case IrOpKind::kLimit:
+      return OpCategory::kRelational;
+    case IrOpKind::kModelPipeline:
+    case IrOpKind::kClusteredPredict:
+      return OpCategory::kClassicalMl;
+    case IrOpKind::kNnGraph:
+      return OpCategory::kLinearAlgebra;
+    case IrOpKind::kOpaquePipeline:
+      return OpCategory::kUdf;
+  }
+  return OpCategory::kUdf;
+}
+
+IrNodePtr IrNode::Clone() const {
+  auto node = std::make_unique<IrNode>(kind);
+  for (const auto& child : children) node->children.push_back(child->Clone());
+  node->table_name = table_name;
+  if (predicate != nullptr) node->predicate = predicate->Clone();
+  for (const auto& e : proj_exprs) node->proj_exprs.push_back(e->Clone());
+  node->proj_names = proj_names;
+  node->left_key = left_key;
+  node->right_key = right_key;
+  node->limit = limit;
+  node->model_name = model_name;
+  node->output_column = output_column;
+  // Model payloads are shared; rules copy-on-write when specializing.
+  node->pipeline = pipeline;
+  node->clustered = clustered;
+  node->nn_graph = nn_graph;
+  node->model_input_columns = model_input_columns;
+  node->opaque_bytes = opaque_bytes;
+  node->opaque_reason = opaque_reason;
+  return node;
+}
+
+IrNodePtr IrNode::TableScan(std::string table) {
+  auto node = std::make_unique<IrNode>(IrOpKind::kTableScan);
+  node->table_name = std::move(table);
+  return node;
+}
+
+IrNodePtr IrNode::Filter(IrNodePtr child, relational::ExprPtr predicate) {
+  auto node = std::make_unique<IrNode>(IrOpKind::kFilter);
+  node->children.push_back(std::move(child));
+  node->predicate = std::move(predicate);
+  return node;
+}
+
+IrNodePtr IrNode::Project(IrNodePtr child,
+                          std::vector<relational::ExprPtr> exprs,
+                          std::vector<std::string> names) {
+  auto node = std::make_unique<IrNode>(IrOpKind::kProject);
+  node->children.push_back(std::move(child));
+  node->proj_exprs = std::move(exprs);
+  node->proj_names = std::move(names);
+  return node;
+}
+
+IrNodePtr IrNode::ProjectColumns(IrNodePtr child,
+                                 const std::vector<std::string>& columns) {
+  std::vector<relational::ExprPtr> exprs;
+  std::vector<std::string> names;
+  for (const auto& c : columns) {
+    exprs.push_back(relational::Col(c));
+    names.push_back(c);
+  }
+  return Project(std::move(child), std::move(exprs), std::move(names));
+}
+
+IrNodePtr IrNode::Join(IrNodePtr left, IrNodePtr right, std::string left_key,
+                       std::string right_key) {
+  auto node = std::make_unique<IrNode>(IrOpKind::kJoin);
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  node->left_key = std::move(left_key);
+  node->right_key = std::move(right_key);
+  return node;
+}
+
+IrNodePtr IrNode::UnionAll(std::vector<IrNodePtr> children) {
+  auto node = std::make_unique<IrNode>(IrOpKind::kUnionAll);
+  node->children = std::move(children);
+  return node;
+}
+
+IrNodePtr IrNode::Limit(IrNodePtr child, std::int64_t limit) {
+  auto node = std::make_unique<IrNode>(IrOpKind::kLimit);
+  node->children.push_back(std::move(child));
+  node->limit = limit;
+  return node;
+}
+
+IrNodePtr IrNode::ModelPipelineNode(IrNodePtr child, std::string model_name,
+                                    std::shared_ptr<ml::ModelPipeline> model,
+                                    std::vector<std::string> input_columns,
+                                    std::string output_column) {
+  auto node = std::make_unique<IrNode>(IrOpKind::kModelPipeline);
+  node->children.push_back(std::move(child));
+  node->model_name = std::move(model_name);
+  node->pipeline = std::move(model);
+  node->model_input_columns = std::move(input_columns);
+  node->output_column = std::move(output_column);
+  return node;
+}
+
+IrNodePtr IrNode::ClusteredPredict(IrNodePtr child, std::string model_name,
+                                   std::shared_ptr<ClusteredModel> model,
+                                   std::vector<std::string> input_columns,
+                                   std::string output_column) {
+  auto node = std::make_unique<IrNode>(IrOpKind::kClusteredPredict);
+  node->children.push_back(std::move(child));
+  node->model_name = std::move(model_name);
+  node->clustered = std::move(model);
+  node->model_input_columns = std::move(input_columns);
+  node->output_column = std::move(output_column);
+  return node;
+}
+
+IrNodePtr IrNode::NnGraph(IrNodePtr child, std::string model_name,
+                          std::shared_ptr<nnrt::Graph> graph,
+                          std::vector<std::string> input_columns,
+                          std::string output_column) {
+  auto node = std::make_unique<IrNode>(IrOpKind::kNnGraph);
+  node->children.push_back(std::move(child));
+  node->model_name = std::move(model_name);
+  node->nn_graph = std::move(graph);
+  node->model_input_columns = std::move(input_columns);
+  node->output_column = std::move(output_column);
+  return node;
+}
+
+IrNodePtr IrNode::OpaquePipeline(IrNodePtr child, std::string model_name,
+                                 std::string bytes, std::string reason,
+                                 std::vector<std::string> input_columns,
+                                 std::string output_column) {
+  auto node = std::make_unique<IrNode>(IrOpKind::kOpaquePipeline);
+  node->children.push_back(std::move(child));
+  node->model_name = std::move(model_name);
+  node->opaque_bytes = std::move(bytes);
+  node->opaque_reason = std::move(reason);
+  node->model_input_columns = std::move(input_columns);
+  node->output_column = std::move(output_column);
+  return node;
+}
+
+IrPlan IrPlan::Clone() const {
+  return root_ == nullptr ? IrPlan() : IrPlan(root_->Clone());
+}
+
+Result<std::vector<std::string>> IrPlan::ComputeSchema(
+    const IrNode& node, const relational::Catalog& catalog) {
+  switch (node.kind) {
+    case IrOpKind::kTableScan: {
+      RAVEN_ASSIGN_OR_RETURN(const relational::Table* table,
+                             catalog.GetTable(node.table_name));
+      return table->ColumnNames();
+    }
+    case IrOpKind::kFilter:
+    case IrOpKind::kLimit:
+      return ComputeSchema(*node.children[0], catalog);
+    case IrOpKind::kProject:
+      return node.proj_names;
+    case IrOpKind::kJoin: {
+      RAVEN_ASSIGN_OR_RETURN(auto left, ComputeSchema(*node.children[0],
+                                                      catalog));
+      RAVEN_ASSIGN_OR_RETURN(auto right, ComputeSchema(*node.children[1],
+                                                       catalog));
+      std::set<std::string> seen(left.begin(), left.end());
+      for (const auto& name : right) {
+        if (seen.insert(name).second) left.push_back(name);
+      }
+      return left;
+    }
+    case IrOpKind::kUnionAll:
+      return ComputeSchema(*node.children[0], catalog);
+    case IrOpKind::kModelPipeline:
+    case IrOpKind::kClusteredPredict:
+    case IrOpKind::kNnGraph:
+    case IrOpKind::kOpaquePipeline: {
+      RAVEN_ASSIGN_OR_RETURN(auto schema,
+                             ComputeSchema(*node.children[0], catalog));
+      schema.push_back(node.output_column);
+      return schema;
+    }
+  }
+  return Status::Internal("unreachable IR kind");
+}
+
+namespace {
+
+Status ValidateNode(const IrNode& node, const relational::Catalog& catalog) {
+  const std::size_t expected_children =
+      node.kind == IrOpKind::kTableScan
+          ? 0
+          : (node.kind == IrOpKind::kJoin
+                 ? 2
+                 : (node.kind == IrOpKind::kUnionAll ? node.children.size()
+                                                     : 1));
+  if (node.kind == IrOpKind::kUnionAll) {
+    if (node.children.empty()) {
+      return Status::InvalidArgument("UnionAll needs >= 1 child");
+    }
+  } else if (node.children.size() != expected_children) {
+    return Status::InvalidArgument(
+        std::string(IrOpKindToString(node.kind)) + " expects " +
+        std::to_string(expected_children) + " children, has " +
+        std::to_string(node.children.size()));
+  }
+  for (const auto& child : node.children) {
+    RAVEN_RETURN_IF_ERROR(ValidateNode(*child, catalog));
+  }
+  // Schema resolvability checks.
+  RAVEN_ASSIGN_OR_RETURN(auto schema, IrPlan::ComputeSchema(node, catalog));
+  (void)schema;
+  if (!node.model_input_columns.empty()) {
+    RAVEN_ASSIGN_OR_RETURN(auto child_schema,
+                           IrPlan::ComputeSchema(*node.children[0], catalog));
+    std::set<std::string> available(child_schema.begin(), child_schema.end());
+    for (const auto& col : node.model_input_columns) {
+      if (available.find(col) == available.end()) {
+        return Status::InvalidArgument("model input column '" + col +
+                                       "' not produced by child of " +
+                                       IrOpKindToString(node.kind));
+      }
+    }
+  }
+  if (node.kind == IrOpKind::kFilter && node.predicate == nullptr) {
+    return Status::InvalidArgument("Filter without predicate");
+  }
+  if (node.kind == IrOpKind::kModelPipeline && node.pipeline == nullptr) {
+    return Status::InvalidArgument("ModelPipeline without pipeline");
+  }
+  if (node.kind == IrOpKind::kNnGraph && node.nn_graph == nullptr) {
+    return Status::InvalidArgument("NnGraph without graph");
+  }
+  return Status::OK();
+}
+
+void PrintNode(const IrNode& node, int indent, std::ostringstream* os) {
+  for (int i = 0; i < indent; ++i) *os << "  ";
+  *os << IrOpKindToString(node.kind) << " [" <<
+      OpCategoryToString(node.category()) << "]";
+  switch (node.kind) {
+    case IrOpKind::kTableScan:
+      *os << " " << node.table_name;
+      break;
+    case IrOpKind::kFilter:
+      *os << " " << node.predicate->ToString();
+      break;
+    case IrOpKind::kProject: {
+      *os << " [";
+      for (std::size_t i = 0; i < node.proj_names.size(); ++i) {
+        if (i > 0) *os << ", ";
+        const std::string expr = node.proj_exprs[i]->ToString();
+        if (expr == node.proj_names[i]) {
+          *os << expr;
+        } else if (expr.size() > 40) {
+          *os << node.proj_names[i] << " := <expr:" << expr.size()
+              << " chars>";
+        } else {
+          *os << node.proj_names[i] << " := " << expr;
+        }
+      }
+      *os << "]";
+      break;
+    }
+    case IrOpKind::kJoin:
+      *os << " on " << node.left_key << " = " << node.right_key;
+      break;
+    case IrOpKind::kLimit:
+      *os << " " << node.limit;
+      break;
+    case IrOpKind::kModelPipeline:
+      *os << " model='" << node.model_name << "' "
+          << node.pipeline->Summary() << " -> " << node.output_column;
+      break;
+    case IrOpKind::kClusteredPredict:
+      *os << " model='" << node.model_name << "' k=" << node.clustered->router.k()
+          << " -> " << node.output_column;
+      break;
+    case IrOpKind::kNnGraph:
+      *os << " model='" << node.model_name << "' ("
+          << node.nn_graph->nodes().size() << " LA ops) -> "
+          << node.output_column;
+      break;
+    case IrOpKind::kOpaquePipeline:
+      *os << " model='" << node.model_name << "' reason='"
+          << node.opaque_reason << "' -> " << node.output_column;
+      break;
+    default:
+      break;
+  }
+  *os << "\n";
+  for (const auto& child : node.children) {
+    PrintNode(*child, indent + 1, os);
+  }
+}
+
+}  // namespace
+
+Status IrPlan::Validate(const relational::Catalog& catalog) const {
+  if (root_ == nullptr) return Status::InvalidArgument("empty plan");
+  return ValidateNode(*root_, catalog);
+}
+
+std::string IrPlan::ToString() const {
+  if (root_ == nullptr) return "(empty plan)\n";
+  std::ostringstream os;
+  PrintNode(*root_, 0, &os);
+  return os.str();
+}
+
+std::size_t IrPlan::CountKind(IrOpKind kind) const {
+  std::size_t count = 0;
+  VisitIr(root(), [&](const IrNode* node) {
+    if (node->kind == kind) ++count;
+  });
+  return count;
+}
+
+void VisitIr(IrNode* node, const std::function<void(IrNode*)>& fn) {
+  if (node == nullptr) return;
+  fn(node);
+  for (auto& child : node->children) VisitIr(child.get(), fn);
+}
+
+void VisitIr(const IrNode* node,
+             const std::function<void(const IrNode*)>& fn) {
+  if (node == nullptr) return;
+  fn(node);
+  for (const auto& child : node->children) VisitIr(child.get(), fn);
+}
+
+}  // namespace raven::ir

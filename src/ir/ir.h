@@ -1,0 +1,158 @@
+#ifndef RAVEN_IR_IR_H_
+#define RAVEN_IR_IR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/clustered_model.h"
+#include "ml/pipeline.h"
+#include "nnrt/graph.h"
+#include "relational/catalog.h"
+#include "relational/expression.h"
+
+namespace raven::ir {
+
+/// Operator taxonomy of the unified IR (paper §3.1): relational algebra,
+/// linear algebra, classical-ML / data featurizers, and black-box UDFs.
+enum class OpCategory { kRelational, kLinearAlgebra, kClassicalMl, kUdf };
+
+const char* OpCategoryToString(OpCategory category);
+
+/// Operator kinds spanning both worlds. The IR deliberately mixes
+/// higher-level operators (kModelPipeline — a whole sklearn-style pipeline)
+/// and lower-level ones (kNnGraph — raw linear algebra), like MLIR: rules
+/// lower between levels to unlock different optimizations.
+enum class IrOpKind {
+  // Relational algebra (RA).
+  kTableScan,
+  kFilter,
+  kProject,
+  kJoin,
+  kUnionAll,
+  kLimit,
+  // Classical ML + featurizers (MLD). A pipeline node scores a trained
+  // ModelPipeline (featurizer branches + predictor) over named columns.
+  kModelPipeline,
+  kClusteredPredict,
+  // Linear algebra (LA): an NNRT dataflow graph produced by NN translation.
+  kNnGraph,
+  // Black-box fallback: an unanalyzable pipeline, kept as stored bytes.
+  kOpaquePipeline,
+};
+
+const char* IrOpKindToString(IrOpKind kind);
+OpCategory CategoryOf(IrOpKind kind);
+
+struct IrNode;
+using IrNodePtr = std::unique_ptr<IrNode>;
+
+/// A node of the unified IR plan tree. Payload fields are populated per
+/// kind; unused fields stay empty. Plans are trees (sufficient for the
+/// query shapes Raven optimizes; the paper's figures are trees too).
+struct IrNode {
+  IrOpKind kind;
+  std::vector<IrNodePtr> children;
+
+  // --- RA payloads ---------------------------------------------------------
+  std::string table_name;                       // kTableScan
+  relational::ExprPtr predicate;                // kFilter
+  std::vector<relational::ExprPtr> proj_exprs;  // kProject
+  std::vector<std::string> proj_names;          // kProject
+  std::string left_key, right_key;              // kJoin
+  std::int64_t limit = 0;                       // kLimit
+
+  // --- ML payloads ---------------------------------------------------------
+  /// Stored-model name this node came from (for cache keys / EXPLAIN).
+  std::string model_name;
+  /// Output column the prediction is exposed as.
+  std::string output_column;
+  /// kModelPipeline: the (possibly optimizer-specialized) pipeline.
+  std::shared_ptr<ml::ModelPipeline> pipeline;
+  /// kClusteredPredict payload.
+  std::shared_ptr<ClusteredModel> clustered;
+  /// kNnGraph payload plus the relational columns feeding the graph input.
+  std::shared_ptr<nnrt::Graph> nn_graph;
+  std::vector<std::string> model_input_columns;
+  /// kOpaquePipeline: stored bytes + why analysis failed.
+  std::string opaque_bytes;
+  std::string opaque_reason;
+
+  explicit IrNode(IrOpKind k) : kind(k) {}
+
+  OpCategory category() const { return CategoryOf(kind); }
+
+  IrNodePtr Clone() const;
+
+  // Factories.
+  static IrNodePtr TableScan(std::string table);
+  static IrNodePtr Filter(IrNodePtr child, relational::ExprPtr predicate);
+  static IrNodePtr Project(IrNodePtr child,
+                           std::vector<relational::ExprPtr> exprs,
+                           std::vector<std::string> names);
+  /// Convenience projection of plain columns.
+  static IrNodePtr ProjectColumns(IrNodePtr child,
+                                  const std::vector<std::string>& columns);
+  static IrNodePtr Join(IrNodePtr left, IrNodePtr right, std::string left_key,
+                        std::string right_key);
+  static IrNodePtr UnionAll(std::vector<IrNodePtr> children);
+  static IrNodePtr Limit(IrNodePtr child, std::int64_t limit);
+  static IrNodePtr ModelPipelineNode(IrNodePtr child, std::string model_name,
+                                     std::shared_ptr<ml::ModelPipeline> model,
+                                     std::vector<std::string> input_columns,
+                                     std::string output_column);
+  static IrNodePtr ClusteredPredict(IrNodePtr child, std::string model_name,
+                                    std::shared_ptr<ClusteredModel> model,
+                                    std::vector<std::string> input_columns,
+                                    std::string output_column);
+  static IrNodePtr NnGraph(IrNodePtr child, std::string model_name,
+                           std::shared_ptr<nnrt::Graph> graph,
+                           std::vector<std::string> input_columns,
+                           std::string output_column);
+  static IrNodePtr OpaquePipeline(IrNodePtr child, std::string model_name,
+                                  std::string bytes, std::string reason,
+                                  std::vector<std::string> input_columns,
+                                  std::string output_column);
+};
+
+/// A full inference-query plan: the IR tree plus bookkeeping the optimizer
+/// and tests use.
+class IrPlan {
+ public:
+  IrPlan() = default;
+  explicit IrPlan(IrNodePtr root) : root_(std::move(root)) {}
+
+  IrNode* root() { return root_.get(); }
+  const IrNode* root() const { return root_.get(); }
+  IrNodePtr& mutable_root() { return root_; }
+
+  IrPlan Clone() const;
+
+  /// Output column names of `node` given the catalog's table schemas.
+  static Result<std::vector<std::string>> ComputeSchema(
+      const IrNode& node, const relational::Catalog& catalog);
+
+  /// Structural validation: children counts, schema resolvability, model
+  /// input columns present in child schema.
+  Status Validate(const relational::Catalog& catalog) const;
+
+  /// Indented tree dump (EXPLAIN).
+  std::string ToString() const;
+
+  /// Number of nodes of the given kind anywhere in the plan.
+  std::size_t CountKind(IrOpKind kind) const;
+
+ private:
+  IrNodePtr root_;
+};
+
+/// Applies `fn` to every node (pre-order); fn may mutate payloads.
+void VisitIr(IrNode* node, const std::function<void(IrNode*)>& fn);
+void VisitIr(const IrNode* node,
+             const std::function<void(const IrNode*)>& fn);
+
+}  // namespace raven::ir
+
+#endif  // RAVEN_IR_IR_H_

@@ -1,0 +1,406 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace raven::ml {
+
+struct DecisionTree::BuildContext {
+  const Tensor* x = nullptr;
+  const std::vector<float>* y = nullptr;
+  TreeTrainOptions options;
+  Rng rng{0};
+};
+
+namespace {
+
+/// Mean of y over indices[begin, end).
+double MeanOf(const std::vector<float>& y,
+              const std::vector<std::int64_t>& indices, std::int64_t begin,
+              std::int64_t end) {
+  double sum = 0.0;
+  for (std::int64_t i = begin; i < end; ++i) {
+    sum += y[static_cast<std::size_t>(indices[static_cast<std::size_t>(i)])];
+  }
+  return sum / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+Status DecisionTree::Fit(const Tensor& x, const std::vector<float>& y,
+                         const TreeTrainOptions& options) {
+  if (x.rank() != 2) {
+    return Status::InvalidArgument("DecisionTree::Fit expects X of rank 2");
+  }
+  if (x.dim(0) != static_cast<std::int64_t>(y.size())) {
+    return Status::InvalidArgument("X rows != y size");
+  }
+  if (x.dim(0) == 0) {
+    return Status::InvalidArgument("cannot fit a tree on 0 rows");
+  }
+  feature_.clear();
+  threshold_.clear();
+  left_.clear();
+  right_.clear();
+  value_.clear();
+  num_features_ = x.dim(1);
+
+  BuildContext ctx;
+  ctx.x = &x;
+  ctx.y = &y;
+  ctx.options = options;
+  ctx.rng = Rng(options.seed);
+  std::vector<std::int64_t> indices(static_cast<std::size_t>(x.dim(0)));
+  std::iota(indices.begin(), indices.end(), 0);
+  root_ = BuildNode(&ctx, &indices, 0, x.dim(0), 0);
+  return Status::OK();
+}
+
+std::int32_t DecisionTree::BuildNode(BuildContext* ctx,
+                                     std::vector<std::int64_t>* indices,
+                                     std::int64_t begin, std::int64_t end,
+                                     std::int64_t depth) {
+  const Tensor& x = *ctx->x;
+  const std::vector<float>& y = *ctx->y;
+  const std::int64_t n = end - begin;
+  const double mean = MeanOf(y, *indices, begin, end);
+
+  auto make_leaf = [&]() {
+    const std::int32_t id = static_cast<std::int32_t>(feature_.size());
+    feature_.push_back(-1);
+    threshold_.push_back(0.0f);
+    left_.push_back(-1);
+    right_.push_back(-1);
+    value_.push_back(static_cast<float>(mean));
+    return id;
+  };
+
+  if (depth >= ctx->options.max_depth ||
+      n < 2 * ctx->options.min_samples_leaf) {
+    return make_leaf();
+  }
+
+  // Pick the (feature, threshold) pair minimizing weighted child variance,
+  // evaluating a quantile grid of candidate thresholds per feature.
+  double parent_sse = 0.0;
+  for (std::int64_t i = begin; i < end; ++i) {
+    const double d =
+        y[static_cast<std::size_t>((*indices)[static_cast<std::size_t>(i)])] -
+        mean;
+    parent_sse += d * d;
+  }
+  if (parent_sse <= 1e-9) return make_leaf();
+
+  std::vector<std::int64_t> feature_pool(
+      static_cast<std::size_t>(num_features_));
+  std::iota(feature_pool.begin(), feature_pool.end(), 0);
+  std::int64_t pool_size = num_features_;
+  if (ctx->options.max_features > 0 &&
+      ctx->options.max_features < num_features_) {
+    // Fisher-Yates prefix shuffle to sample features without replacement.
+    for (std::int64_t i = 0; i < ctx->options.max_features; ++i) {
+      const std::int64_t j =
+          i + static_cast<std::int64_t>(
+                  ctx->rng.NextUint(static_cast<std::uint64_t>(
+                      num_features_ - i)));
+      std::swap(feature_pool[static_cast<std::size_t>(i)],
+                feature_pool[static_cast<std::size_t>(j)]);
+    }
+    pool_size = ctx->options.max_features;
+  }
+
+  double best_score = parent_sse;
+  std::int64_t best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<float, float>> pairs;  // (x value, y value)
+  pairs.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t p = 0; p < pool_size; ++p) {
+    const std::int64_t f = feature_pool[static_cast<std::size_t>(p)];
+    pairs.clear();
+    for (std::int64_t i = begin; i < end; ++i) {
+      const std::int64_t row = (*indices)[static_cast<std::size_t>(i)];
+      pairs.emplace_back(x.At(row, f), y[static_cast<std::size_t>(row)]);
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (pairs.front().first == pairs.back().first) continue;  // constant
+
+    // Prefix sums over the sorted order allow O(1) split evaluation.
+    const std::int64_t candidates =
+        std::min<std::int64_t>(ctx->options.candidate_splits, n - 1);
+    std::vector<double> prefix_sum(static_cast<std::size_t>(n) + 1, 0.0);
+    std::vector<double> prefix_sq(static_cast<std::size_t>(n) + 1, 0.0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      prefix_sum[static_cast<std::size_t>(i + 1)] =
+          prefix_sum[static_cast<std::size_t>(i)] +
+          pairs[static_cast<std::size_t>(i)].second;
+      prefix_sq[static_cast<std::size_t>(i + 1)] =
+          prefix_sq[static_cast<std::size_t>(i)] +
+          static_cast<double>(pairs[static_cast<std::size_t>(i)].second) *
+              pairs[static_cast<std::size_t>(i)].second;
+    }
+    for (std::int64_t c = 1; c <= candidates; ++c) {
+      // Quantile position; split between k-1 and k.
+      std::int64_t k = n * c / (candidates + 1);
+      k = std::clamp<std::int64_t>(k, ctx->options.min_samples_leaf,
+                                   n - ctx->options.min_samples_leaf);
+      if (k <= 0 || k >= n) continue;
+      const float xv_lo = pairs[static_cast<std::size_t>(k - 1)].first;
+      const float xv_hi = pairs[static_cast<std::size_t>(k)].first;
+      if (xv_lo == xv_hi) continue;  // split would not separate values
+      const double sum_l = prefix_sum[static_cast<std::size_t>(k)];
+      const double sq_l = prefix_sq[static_cast<std::size_t>(k)];
+      const double sum_r = prefix_sum[static_cast<std::size_t>(n)] - sum_l;
+      const double sq_r = prefix_sq[static_cast<std::size_t>(n)] - sq_l;
+      const double sse_l = sq_l - sum_l * sum_l / static_cast<double>(k);
+      const double sse_r = sq_r - sum_r * sum_r / static_cast<double>(n - k);
+      const double score = sse_l + sse_r;
+      if (score < best_score - 1e-12) {
+        best_score = score;
+        best_feature = f;
+        best_threshold = 0.5 * (static_cast<double>(xv_lo) + xv_hi);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  // Partition indices in place.
+  auto mid_it = std::partition(
+      indices->begin() + begin, indices->begin() + end,
+      [&](std::int64_t row) {
+        return x.At(row, best_feature) <= best_threshold;
+      });
+  const std::int64_t mid = mid_it - indices->begin();
+  if (mid == begin || mid == end) return make_leaf();
+
+  const std::int32_t id = static_cast<std::int32_t>(feature_.size());
+  feature_.push_back(static_cast<std::int32_t>(best_feature));
+  threshold_.push_back(static_cast<float>(best_threshold));
+  left_.push_back(-1);
+  right_.push_back(-1);
+  value_.push_back(0.0f);
+  const std::int32_t left_id = BuildNode(ctx, indices, begin, mid, depth + 1);
+  const std::int32_t right_id = BuildNode(ctx, indices, mid, end, depth + 1);
+  left_[static_cast<std::size_t>(id)] = left_id;
+  right_[static_cast<std::size_t>(id)] = right_id;
+  return id;
+}
+
+float DecisionTree::PredictRow(const float* row,
+                               std::int64_t num_features) const {
+  std::int32_t node = root_;
+  while (feature_[static_cast<std::size_t>(node)] >= 0) {
+    const std::int32_t f = feature_[static_cast<std::size_t>(node)];
+    // Out-of-range features read as 0 (pruned models never hit this).
+    const float v = f < num_features ? row[f] : 0.0f;
+    node = v <= threshold_[static_cast<std::size_t>(node)]
+               ? left_[static_cast<std::size_t>(node)]
+               : right_[static_cast<std::size_t>(node)];
+  }
+  return value_[static_cast<std::size_t>(node)];
+}
+
+Result<Tensor> DecisionTree::Predict(const Tensor& x) const {
+  if (x.rank() != 2) {
+    return Status::InvalidArgument("DecisionTree::Predict expects [n, d]");
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  Tensor out = Tensor::Zeros({n, 1});
+  for (std::int64_t r = 0; r < n; ++r) {
+    out.raw()[r] = PredictRow(x.raw() + r * d, d);
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursively copies the reachable subtree under interval constraints.
+std::int32_t CopyPruned(const DecisionTree& src,
+                        const std::vector<double>& lo,
+                        const std::vector<double>& hi, std::int32_t node,
+                        std::vector<std::int32_t>* feature,
+                        std::vector<float>* threshold,
+                        std::vector<std::int32_t>* left,
+                        std::vector<std::int32_t>* right,
+                        std::vector<float>* value) {
+  const std::size_t i = static_cast<std::size_t>(node);
+  const std::int32_t f = src.feature()[i];
+  if (f < 0) {
+    const std::int32_t id = static_cast<std::int32_t>(feature->size());
+    feature->push_back(-1);
+    threshold->push_back(0.0f);
+    left->push_back(-1);
+    right->push_back(-1);
+    value->push_back(src.value()[i]);
+    return id;
+  }
+  const double t = src.threshold()[i];
+  const double flo = lo[static_cast<std::size_t>(f)];
+  const double fhi = hi[static_cast<std::size_t>(f)];
+  if (fhi <= t) {
+    // All admissible values go left.
+    return CopyPruned(src, lo, hi, src.left()[i], feature, threshold, left,
+                      right, value);
+  }
+  if (flo > t) {
+    return CopyPruned(src, lo, hi, src.right()[i], feature, threshold, left,
+                      right, value);
+  }
+  const std::int32_t id = static_cast<std::int32_t>(feature->size());
+  feature->push_back(f);
+  threshold->push_back(src.threshold()[i]);
+  left->push_back(-1);
+  right->push_back(-1);
+  value->push_back(0.0f);
+  const std::int32_t l = CopyPruned(src, lo, hi, src.left()[i], feature,
+                                    threshold, left, right, value);
+  const std::int32_t r = CopyPruned(src, lo, hi, src.right()[i], feature,
+                                    threshold, left, right, value);
+  (*left)[static_cast<std::size_t>(id)] = l;
+  (*right)[static_cast<std::size_t>(id)] = r;
+  return id;
+}
+
+}  // namespace
+
+DecisionTree DecisionTree::PruneWithIntervals(
+    const std::vector<FeatureInterval>& intervals) const {
+  std::vector<double> lo(static_cast<std::size_t>(num_features_),
+                         -std::numeric_limits<double>::infinity());
+  std::vector<double> hi(static_cast<std::size_t>(num_features_),
+                         std::numeric_limits<double>::infinity());
+  for (const auto& iv : intervals) {
+    if (iv.feature < 0 || iv.feature >= num_features_) continue;
+    lo[static_cast<std::size_t>(iv.feature)] =
+        std::max(lo[static_cast<std::size_t>(iv.feature)], iv.lo);
+    hi[static_cast<std::size_t>(iv.feature)] =
+        std::min(hi[static_cast<std::size_t>(iv.feature)], iv.hi);
+  }
+  DecisionTree pruned;
+  pruned.num_features_ = num_features_;
+  if (feature_.empty()) return pruned;
+  pruned.root_ =
+      CopyPruned(*this, lo, hi, root_, &pruned.feature_, &pruned.threshold_,
+                 &pruned.left_, &pruned.right_, &pruned.value_);
+  return pruned;
+}
+
+std::vector<std::int64_t> DecisionTree::UsedFeatures() const {
+  std::vector<bool> used(static_cast<std::size_t>(num_features_), false);
+  for (std::int32_t f : feature_) {
+    if (f >= 0) used[static_cast<std::size_t>(f)] = true;
+  }
+  std::vector<std::int64_t> out;
+  for (std::int64_t f = 0; f < num_features_; ++f) {
+    if (used[static_cast<std::size_t>(f)]) out.push_back(f);
+  }
+  return out;
+}
+
+std::int64_t DecisionTree::num_leaves() const {
+  std::int64_t n = 0;
+  for (std::int32_t f : feature_) {
+    if (f < 0) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+std::int64_t DepthOf(const DecisionTree& t, std::int32_t node) {
+  const std::size_t i = static_cast<std::size_t>(node);
+  if (t.feature()[i] < 0) return 0;
+  return 1 + std::max(DepthOf(t, t.left()[i]), DepthOf(t, t.right()[i]));
+}
+
+}  // namespace
+
+std::int64_t DecisionTree::depth() const {
+  if (feature_.empty()) return 0;
+  return DepthOf(*this, root_);
+}
+
+Result<DecisionTree> DecisionTree::FromArrays(
+    std::int64_t num_features, std::vector<std::int32_t> feature,
+    std::vector<float> threshold, std::vector<std::int32_t> left,
+    std::vector<std::int32_t> right, std::vector<float> value,
+    std::int32_t root) {
+  const std::size_t n = feature.size();
+  if (threshold.size() != n || left.size() != n || right.size() != n ||
+      value.size() != n) {
+    return Status::InvalidArgument("tree array length mismatch");
+  }
+  if (n == 0) return Status::InvalidArgument("tree must have >= 1 node");
+  if (root < 0 || static_cast<std::size_t>(root) >= n) {
+    return Status::OutOfRange("tree root out of range");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (feature[i] >= 0) {
+      if (feature[i] >= num_features) {
+        return Status::OutOfRange("tree feature index out of range");
+      }
+      if (left[i] < 0 || static_cast<std::size_t>(left[i]) >= n || right[i] < 0 ||
+          static_cast<std::size_t>(right[i]) >= n) {
+        return Status::OutOfRange("tree child index out of range");
+      }
+    }
+  }
+  DecisionTree t;
+  t.num_features_ = num_features;
+  t.root_ = root;
+  t.feature_ = std::move(feature);
+  t.threshold_ = std::move(threshold);
+  t.left_ = std::move(left);
+  t.right_ = std::move(right);
+  t.value_ = std::move(value);
+  return t;
+}
+
+void DecisionTree::Serialize(BinaryWriter* writer) const {
+  writer->WriteI64(num_features_);
+  writer->WriteI32(root_);
+  writer->WriteI32Vector(feature_);
+  writer->WriteF32Vector(threshold_);
+  writer->WriteI32Vector(left_);
+  writer->WriteI32Vector(right_);
+  writer->WriteF32Vector(value_);
+}
+
+Result<DecisionTree> DecisionTree::Deserialize(BinaryReader* reader) {
+  RAVEN_ASSIGN_OR_RETURN(std::int64_t num_features, reader->ReadI64());
+  RAVEN_ASSIGN_OR_RETURN(std::int32_t root, reader->ReadI32());
+  RAVEN_ASSIGN_OR_RETURN(auto feature, reader->ReadI32Vector());
+  RAVEN_ASSIGN_OR_RETURN(auto threshold, reader->ReadF32Vector());
+  RAVEN_ASSIGN_OR_RETURN(auto left, reader->ReadI32Vector());
+  RAVEN_ASSIGN_OR_RETURN(auto right, reader->ReadI32Vector());
+  RAVEN_ASSIGN_OR_RETURN(auto value, reader->ReadF32Vector());
+  return FromArrays(num_features, std::move(feature), std::move(threshold),
+                    std::move(left), std::move(right), std::move(value),
+                    root);
+}
+
+Status DecisionTree::RemapFeatures(
+    const std::vector<std::int64_t>& old_to_new) {
+  if (static_cast<std::int64_t>(old_to_new.size()) != num_features_) {
+    return Status::InvalidArgument("feature remap size mismatch");
+  }
+  std::int64_t new_count = 0;
+  for (std::int64_t v : old_to_new) new_count = std::max(new_count, v + 1);
+  for (auto& f : feature_) {
+    if (f < 0) continue;
+    const std::int64_t nf = old_to_new[static_cast<std::size_t>(f)];
+    if (nf < 0) {
+      return Status::InvalidArgument(
+          "tree still references dropped feature " + std::to_string(f));
+    }
+    f = static_cast<std::int32_t>(nf);
+  }
+  num_features_ = new_count;
+  return Status::OK();
+}
+
+}  // namespace raven::ml

@@ -1,0 +1,117 @@
+#ifndef RAVEN_ML_DECISION_TREE_H_
+#define RAVEN_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace raven::ml {
+
+/// Training hyper-parameters for CART regression trees. Classification
+/// targets are trained as regression to the class value (the paper's
+/// length-of-stay tree predicts values like 2/4/7 days).
+struct TreeTrainOptions {
+  std::int64_t max_depth = 8;
+  std::int64_t min_samples_leaf = 8;
+  /// Number of candidate thresholds evaluated per feature (quantile grid).
+  std::int64_t candidate_splits = 32;
+  /// Features subsampled per split (<= 0 means all; used by forests).
+  std::int64_t max_features = -1;
+  std::uint64_t seed = 17;
+};
+
+/// A closed interval constraint on one feature, used by predicate-based
+/// model pruning (paper §4.1): WHERE-clause predicates become intervals and
+/// tree branches incompatible with them are removed.
+struct FeatureInterval {
+  std::int64_t feature = -1;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+};
+
+/// CART decision tree stored as flattened parallel arrays (the same layout
+/// the NNRT TreeEnsemble kernel consumes). Node i is a leaf iff
+/// feature[i] < 0, in which case value[i] is the prediction; otherwise the
+/// test is x[feature[i]] <= threshold[i] ? left[i] : right[i].
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  /// Trains on X [n, d] with targets y [n].
+  Status Fit(const Tensor& x, const std::vector<float>& y,
+             const TreeTrainOptions& options = TreeTrainOptions());
+
+  /// Scalar prediction for one row (interpreted walk — this is the
+  /// "classical framework" baseline path in the paper's figures).
+  float PredictRow(const float* row, std::int64_t num_features) const;
+
+  /// Predictions for X [n, d] as a [n, 1] tensor.
+  Result<Tensor> Predict(const Tensor& x) const;
+
+  /// Returns a copy of this tree with every branch unreachable under the
+  /// given per-feature interval constraints removed. Intervals on features
+  /// the tree never tests are ignored. The pruned tree is observationally
+  /// equivalent on all inputs satisfying the constraints.
+  DecisionTree PruneWithIntervals(
+      const std::vector<FeatureInterval>& intervals) const;
+
+  /// Indices of features actually tested by some internal node.
+  std::vector<std::int64_t> UsedFeatures() const;
+
+  std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(feature_.size());
+  }
+  std::int64_t num_leaves() const;
+  std::int64_t depth() const;
+  std::int64_t num_features() const { return num_features_; }
+
+  /// Flattened arrays (shared with the NNRT TreeEnsemble layout).
+  const std::vector<std::int32_t>& feature() const { return feature_; }
+  const std::vector<float>& threshold() const { return threshold_; }
+  const std::vector<std::int32_t>& left() const { return left_; }
+  const std::vector<std::int32_t>& right() const { return right_; }
+  const std::vector<float>& value() const { return value_; }
+  std::int32_t root() const { return root_; }
+
+  /// Builds a tree directly from flattened arrays (converters, tests).
+  static Result<DecisionTree> FromArrays(std::int64_t num_features,
+                                         std::vector<std::int32_t> feature,
+                                         std::vector<float> threshold,
+                                         std::vector<std::int32_t> left,
+                                         std::vector<std::int32_t> right,
+                                         std::vector<float> value,
+                                         std::int32_t root = 0);
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<DecisionTree> Deserialize(BinaryReader* reader);
+
+  /// Renumbers features according to old->new index map; -1 entries mean
+  /// the feature is unused by the pruned model (must not be referenced).
+  Status RemapFeatures(const std::vector<std::int64_t>& old_to_new);
+
+ private:
+  friend class RandomForest;
+
+  struct BuildContext;
+  std::int32_t BuildNode(BuildContext* ctx, std::vector<std::int64_t>* indices,
+                         std::int64_t begin, std::int64_t end,
+                         std::int64_t depth);
+
+  std::int64_t num_features_ = 0;
+  std::int32_t root_ = 0;
+  std::vector<std::int32_t> feature_;
+  std::vector<float> threshold_;
+  std::vector<std::int32_t> left_;
+  std::vector<std::int32_t> right_;
+  std::vector<float> value_;
+};
+
+}  // namespace raven::ml
+
+#endif  // RAVEN_ML_DECISION_TREE_H_

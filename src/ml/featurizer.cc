@@ -1,0 +1,363 @@
+#include "ml/featurizer.h"
+
+#include <cmath>
+
+namespace raven::ml {
+
+Status StandardScaler::Fit(const Tensor& x) {
+  if (x.rank() != 2) {
+    return Status::InvalidArgument("StandardScaler::Fit expects [n, d]");
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  if (n == 0) return Status::InvalidArgument("cannot fit scaler on 0 rows");
+  mean_.assign(static_cast<std::size_t>(d), 0.0);
+  scale_.assign(static_cast<std::size_t>(d), 1.0);
+  for (std::int64_t c = 0; c < d; ++c) {
+    double sum = 0.0;
+    for (std::int64_t r = 0; r < n; ++r) sum += x.At(r, c);
+    const double mean = sum / static_cast<double>(n);
+    double var = 0.0;
+    for (std::int64_t r = 0; r < n; ++r) {
+      const double diff = x.At(r, c) - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<double>(n);
+    mean_[static_cast<std::size_t>(c)] = mean;
+    scale_[static_cast<std::size_t>(c)] = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
+  }
+  return Status::OK();
+}
+
+Result<Tensor> StandardScaler::Transform(const Tensor& x) const {
+  if (x.rank() != 2 ||
+      x.dim(1) != static_cast<std::int64_t>(mean_.size())) {
+    return Status::InvalidArgument("StandardScaler::Transform shape mismatch");
+  }
+  Tensor out = Tensor::Zeros(x.shape());
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  // Float32 arithmetic, bit-identical to the NNRT Scaler kernel: tree
+  // thresholds learned on these features sit exactly on feature values, so
+  // the interpreted and translated paths must round identically.
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = 0; c < d; ++c) {
+      out.At(r, c) =
+          (x.At(r, c) - static_cast<float>(mean_[static_cast<std::size_t>(c)])) *
+          static_cast<float>(scale_[static_cast<std::size_t>(c)]);
+    }
+  }
+  return out;
+}
+
+void StandardScaler::Serialize(BinaryWriter* writer) const {
+  writer->WriteF64Vector(mean_);
+  writer->WriteF64Vector(scale_);
+}
+
+Result<StandardScaler> StandardScaler::Deserialize(BinaryReader* reader) {
+  StandardScaler s;
+  RAVEN_ASSIGN_OR_RETURN(s.mean_, reader->ReadF64Vector());
+  RAVEN_ASSIGN_OR_RETURN(s.scale_, reader->ReadF64Vector());
+  if (s.mean_.size() != s.scale_.size()) {
+    return Status::ParseError("scaler mean/scale length mismatch");
+  }
+  return s;
+}
+
+Status OneHotEncoder::Fit(const Tensor& x) {
+  if (x.rank() != 2) {
+    return Status::InvalidArgument("OneHotEncoder::Fit expects [n, d]");
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  cardinalities_.assign(static_cast<std::size_t>(d), 1);
+  kept_codes_.assign(static_cast<std::size_t>(d), {});
+  for (std::int64_t c = 0; c < d; ++c) {
+    std::int64_t max_code = 0;
+    for (std::int64_t r = 0; r < n; ++r) {
+      max_code = std::max(
+          max_code, static_cast<std::int64_t>(std::llround(x.At(r, c))));
+    }
+    cardinalities_[static_cast<std::size_t>(c)] = max_code + 1;
+  }
+  return Status::OK();
+}
+
+std::int64_t OneHotEncoder::ColumnWidth(std::size_t col) const {
+  if (col < kept_codes_.size() && !kept_codes_[col].empty()) {
+    return static_cast<std::int64_t>(kept_codes_[col].size());
+  }
+  return cardinalities_[col];
+}
+
+std::vector<std::int64_t> OneHotEncoder::EmittedCodes(std::size_t col) const {
+  if (col < kept_codes_.size() && !kept_codes_[col].empty()) {
+    return kept_codes_[col];
+  }
+  std::vector<std::int64_t> codes(
+      static_cast<std::size_t>(cardinalities_[col]));
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    codes[i] = static_cast<std::int64_t>(i);
+  }
+  return codes;
+}
+
+Status OneHotEncoder::RestrictColumn(std::size_t col,
+                                     std::vector<std::int64_t> codes) {
+  if (col >= cardinalities_.size()) {
+    return Status::OutOfRange("OneHotEncoder column out of range");
+  }
+  if (kept_codes_.size() != cardinalities_.size()) {
+    kept_codes_.assign(cardinalities_.size(), {});
+  }
+  for (std::int64_t code : codes) {
+    if (code < 0 || code >= cardinalities_[col]) {
+      return Status::OutOfRange("kept code out of range");
+    }
+  }
+  if (static_cast<std::int64_t>(codes.size()) == cardinalities_[col]) {
+    kept_codes_[col].clear();  // full set: no restriction
+  } else {
+    kept_codes_[col] = std::move(codes);
+  }
+  return Status::OK();
+}
+
+std::int64_t OneHotEncoder::TotalOutputFeatures() const {
+  std::int64_t total = 0;
+  for (std::size_t c = 0; c < cardinalities_.size(); ++c) {
+    total += ColumnWidth(c);
+  }
+  return total;
+}
+
+Result<Tensor> OneHotEncoder::Transform(const Tensor& x) const {
+  if (x.rank() != 2 ||
+      x.dim(1) != static_cast<std::int64_t>(cardinalities_.size())) {
+    return Status::InvalidArgument("OneHotEncoder::Transform shape mismatch");
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  const std::int64_t width = TotalOutputFeatures();
+  Tensor out = Tensor::Zeros({n, width});
+  for (std::int64_t r = 0; r < n; ++r) {
+    std::int64_t offset = 0;
+    for (std::int64_t c = 0; c < d; ++c) {
+      const std::size_t cs = static_cast<std::size_t>(c);
+      const std::int64_t code =
+          static_cast<std::int64_t>(std::llround(x.At(r, c)));
+      const std::int64_t w = ColumnWidth(cs);
+      if (kept_codes_.size() > cs && !kept_codes_[cs].empty()) {
+        const auto& kept = kept_codes_[cs];
+        for (std::size_t i = 0; i < kept.size(); ++i) {
+          if (kept[i] == code) {
+            out.raw()[r * width + offset + static_cast<std::int64_t>(i)] =
+                1.0f;
+            break;
+          }
+        }
+      } else if (code >= 0 && code < cardinalities_[cs]) {
+        out.raw()[r * width + offset + code] = 1.0f;
+      }
+      offset += w;
+    }
+  }
+  return out;
+}
+
+void OneHotEncoder::Serialize(BinaryWriter* writer) const {
+  writer->WriteI64Vector(cardinalities_);
+  writer->WriteU64(kept_codes_.size());
+  for (const auto& kept : kept_codes_) writer->WriteI64Vector(kept);
+}
+
+Result<OneHotEncoder> OneHotEncoder::Deserialize(BinaryReader* reader) {
+  OneHotEncoder e;
+  RAVEN_ASSIGN_OR_RETURN(e.cardinalities_, reader->ReadI64Vector());
+  RAVEN_ASSIGN_OR_RETURN(std::uint64_t n, reader->ReadU64());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    RAVEN_ASSIGN_OR_RETURN(auto kept, reader->ReadI64Vector());
+    e.kept_codes_.push_back(std::move(kept));
+  }
+  if (e.kept_codes_.size() != e.cardinalities_.size()) {
+    e.kept_codes_.assign(e.cardinalities_.size(), {});
+  }
+  return e;
+}
+
+const char* TransformKindToString(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kIdentity:
+      return "identity";
+    case TransformKind::kScaler:
+      return "scaler";
+    case TransformKind::kOneHot:
+      return "onehot";
+  }
+  return "?";
+}
+
+std::int64_t FeatureBranch::OutputWidth() const {
+  switch (kind) {
+    case TransformKind::kIdentity:
+    case TransformKind::kScaler:
+      return static_cast<std::int64_t>(input_columns.size());
+    case TransformKind::kOneHot:
+      return onehot.TotalOutputFeatures();
+  }
+  return 0;
+}
+
+Result<Tensor> SelectColumns(const Tensor& x,
+                             const std::vector<std::int64_t>& columns) {
+  if (x.rank() != 2) {
+    return Status::InvalidArgument("SelectColumns expects [n, d]");
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  for (std::int64_t c : columns) {
+    if (c < 0 || c >= d) {
+      return Status::OutOfRange("column index " + std::to_string(c) +
+                                " out of range (d=" + std::to_string(d) + ")");
+    }
+  }
+  const std::int64_t m = static_cast<std::int64_t>(columns.size());
+  Tensor out = Tensor::Zeros({n, m});
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t j = 0; j < m; ++j) {
+      out.At(r, j) = x.At(r, columns[static_cast<std::size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+Status Featurizer::Fit(const Tensor& x) {
+  for (auto& branch : branches_) {
+    RAVEN_ASSIGN_OR_RETURN(Tensor sub, SelectColumns(x, branch.input_columns));
+    switch (branch.kind) {
+      case TransformKind::kIdentity:
+        break;
+      case TransformKind::kScaler:
+        RAVEN_RETURN_IF_ERROR(branch.scaler.Fit(sub));
+        break;
+      case TransformKind::kOneHot:
+        RAVEN_RETURN_IF_ERROR(branch.onehot.Fit(sub));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<Tensor> Featurizer::Transform(const Tensor& x) const {
+  const std::int64_t n = x.dim(0);
+  const std::int64_t width = OutputWidth();
+  Tensor out = Tensor::Zeros({n, width});
+  std::int64_t offset = 0;
+  for (const auto& branch : branches_) {
+    RAVEN_ASSIGN_OR_RETURN(Tensor sub, SelectColumns(x, branch.input_columns));
+    Tensor transformed;
+    switch (branch.kind) {
+      case TransformKind::kIdentity:
+        transformed = std::move(sub);
+        break;
+      case TransformKind::kScaler: {
+        RAVEN_ASSIGN_OR_RETURN(transformed, branch.scaler.Transform(sub));
+        break;
+      }
+      case TransformKind::kOneHot: {
+        RAVEN_ASSIGN_OR_RETURN(transformed, branch.onehot.Transform(sub));
+        break;
+      }
+    }
+    const std::int64_t w = transformed.dim(1);
+    for (std::int64_t r = 0; r < n; ++r) {
+      std::copy(transformed.raw() + r * w, transformed.raw() + (r + 1) * w,
+                out.raw() + r * width + offset);
+    }
+    offset += w;
+  }
+  return out;
+}
+
+std::int64_t Featurizer::OutputWidth() const {
+  std::int64_t total = 0;
+  for (const auto& branch : branches_) total += branch.OutputWidth();
+  return total;
+}
+
+std::vector<FeatureProvenance> Featurizer::Provenance() const {
+  std::vector<FeatureProvenance> out;
+  for (std::size_t b = 0; b < branches_.size(); ++b) {
+    const FeatureBranch& branch = branches_[b];
+    switch (branch.kind) {
+      case TransformKind::kIdentity:
+      case TransformKind::kScaler:
+        for (std::int64_t col : branch.input_columns) {
+          out.push_back(FeatureProvenance{col, static_cast<std::int64_t>(b),
+                                          branch.kind, -1});
+        }
+        break;
+      case TransformKind::kOneHot:
+        for (std::size_t c = 0; c < branch.input_columns.size(); ++c) {
+          for (std::int64_t code : branch.onehot.EmittedCodes(c)) {
+            out.push_back(FeatureProvenance{branch.input_columns[c],
+                                            static_cast<std::int64_t>(b),
+                                            branch.kind, code});
+          }
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+void Featurizer::Serialize(BinaryWriter* writer) const {
+  writer->WriteU64(branches_.size());
+  for (const auto& branch : branches_) {
+    writer->WriteString(branch.name);
+    writer->WriteI64Vector(branch.input_columns);
+    writer->WriteU8(static_cast<std::uint8_t>(branch.kind));
+    switch (branch.kind) {
+      case TransformKind::kIdentity:
+        break;
+      case TransformKind::kScaler:
+        branch.scaler.Serialize(writer);
+        break;
+      case TransformKind::kOneHot:
+        branch.onehot.Serialize(writer);
+        break;
+    }
+  }
+}
+
+Result<Featurizer> Featurizer::Deserialize(BinaryReader* reader) {
+  Featurizer f;
+  RAVEN_ASSIGN_OR_RETURN(std::uint64_t n, reader->ReadU64());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    FeatureBranch branch;
+    RAVEN_ASSIGN_OR_RETURN(branch.name, reader->ReadString());
+    RAVEN_ASSIGN_OR_RETURN(branch.input_columns, reader->ReadI64Vector());
+    RAVEN_ASSIGN_OR_RETURN(std::uint8_t kind, reader->ReadU8());
+    if (kind > 2) return Status::ParseError("bad transform kind");
+    branch.kind = static_cast<TransformKind>(kind);
+    switch (branch.kind) {
+      case TransformKind::kIdentity:
+        break;
+      case TransformKind::kScaler: {
+        RAVEN_ASSIGN_OR_RETURN(branch.scaler,
+                               StandardScaler::Deserialize(reader));
+        break;
+      }
+      case TransformKind::kOneHot: {
+        RAVEN_ASSIGN_OR_RETURN(branch.onehot,
+                               OneHotEncoder::Deserialize(reader));
+        break;
+      }
+    }
+    f.branches_.push_back(std::move(branch));
+  }
+  return f;
+}
+
+}  // namespace raven::ml

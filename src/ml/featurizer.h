@@ -1,0 +1,154 @@
+#ifndef RAVEN_ML_FEATURIZER_H_
+#define RAVEN_ML_FEATURIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace raven::ml {
+
+/// z-score standardizer: y = (x - mean) / std, per column.
+/// The scikit-learn StandardScaler equivalent.
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Learns per-column mean/std over the selected columns of X ([n, d]).
+  Status Fit(const Tensor& x);
+  /// Applies the learned transform; x must have the fitted column count.
+  Result<Tensor> Transform(const Tensor& x) const;
+
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& scale() const { return scale_; }
+  /// Directly installs parameters (used by tests and converters).
+  void SetParams(std::vector<double> mean, std::vector<double> scale) {
+    mean_ = std::move(mean);
+    scale_ = std::move(scale);
+  }
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<StandardScaler> Deserialize(BinaryReader* reader);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;  // 1 / std (0-variance columns get scale 1).
+};
+
+/// One-hot encoder over integer category codes. Each input column i with
+/// cardinality c_i expands to c_i binary features; codes outside [0, c_i)
+/// produce an all-zero block (handle_unknown="ignore").
+///
+/// Model-projection pushdown (paper §4.1, Fig 2(a)) drops individual
+/// one-hot features whose downstream weight is zero: `kept_codes` restricts
+/// the emitted codes per column, shrinking the output block. An empty kept
+/// list means "all codes".
+class OneHotEncoder {
+ public:
+  OneHotEncoder() = default;
+
+  /// Learns cardinalities = max code + 1 per column.
+  Status Fit(const Tensor& x);
+  Result<Tensor> Transform(const Tensor& x) const;
+
+  const std::vector<std::int64_t>& cardinalities() const {
+    return cardinalities_;
+  }
+  void SetCardinalities(std::vector<std::int64_t> cards) {
+    cardinalities_ = std::move(cards);
+    kept_codes_.assign(cardinalities_.size(), {});
+  }
+  std::int64_t TotalOutputFeatures() const;
+
+  /// Codes emitted for column `col` in output order.
+  std::vector<std::int64_t> EmittedCodes(std::size_t col) const;
+  /// Number of features column `col` contributes.
+  std::int64_t ColumnWidth(std::size_t col) const;
+  /// Restricts column `col` to the given codes (ascending, deduplicated by
+  /// caller). Passing all codes clears the restriction.
+  Status RestrictColumn(std::size_t col, std::vector<std::int64_t> codes);
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<OneHotEncoder> Deserialize(BinaryReader* reader);
+
+ private:
+  std::vector<std::int64_t> cardinalities_;
+  /// Parallel to cardinalities_; empty inner vector = all codes kept.
+  std::vector<std::vector<std::int64_t>> kept_codes_;
+};
+
+/// The kind of transform a featurizer branch applies.
+enum class TransformKind : std::uint8_t {
+  kIdentity = 0,  ///< pass-through numeric columns
+  kScaler = 1,    ///< StandardScaler
+  kOneHot = 2,    ///< OneHotEncoder
+};
+
+const char* TransformKindToString(TransformKind kind);
+
+/// One branch of a FeatureUnion: a column subset plus a transform. Branch
+/// outputs are concatenated in declaration order, matching
+/// sklearn.pipeline.FeatureUnion.
+struct FeatureBranch {
+  std::string name;
+  std::vector<std::int64_t> input_columns;
+  TransformKind kind = TransformKind::kIdentity;
+  StandardScaler scaler;  // valid when kind == kScaler
+  OneHotEncoder onehot;   // valid when kind == kOneHot
+
+  /// Number of output features this branch emits.
+  std::int64_t OutputWidth() const;
+};
+
+/// Where each output feature of a featurizer came from. This provenance is
+/// what makes the Raven cross-optimizations possible: predicate-based
+/// pruning and model-projection pushdown both need to map model features
+/// back to relational columns.
+struct FeatureProvenance {
+  std::int64_t input_column = -1;   ///< source column in the raw input
+  std::int64_t branch_index = -1;   ///< which FeatureBranch produced it
+  TransformKind kind = TransformKind::kIdentity;
+  /// For one-hot features: the category code this feature indicates,
+  /// otherwise -1.
+  std::int64_t category = -1;
+};
+
+/// A full featurization stage: an ordered set of branches whose outputs are
+/// concatenated. Input is the raw [n, d] matrix; output is [n, F].
+class Featurizer {
+ public:
+  Featurizer() = default;
+
+  void AddBranch(FeatureBranch branch) {
+    branches_.push_back(std::move(branch));
+  }
+  const std::vector<FeatureBranch>& branches() const { return branches_; }
+  std::vector<FeatureBranch>& mutable_branches() { return branches_; }
+
+  /// Fits every branch on its column subset of X.
+  Status Fit(const Tensor& x);
+  Result<Tensor> Transform(const Tensor& x) const;
+
+  /// Total output feature count.
+  std::int64_t OutputWidth() const;
+
+  /// Provenance of each output feature, in output order.
+  std::vector<FeatureProvenance> Provenance() const;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<Featurizer> Deserialize(BinaryReader* reader);
+
+ private:
+  std::vector<FeatureBranch> branches_;
+};
+
+/// Extracts the selected columns of a rank-2 tensor as a new tensor.
+Result<Tensor> SelectColumns(const Tensor& x,
+                             const std::vector<std::int64_t>& columns);
+
+}  // namespace raven::ml
+
+#endif  // RAVEN_ML_FEATURIZER_H_

@@ -1,0 +1,142 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace raven::ml {
+namespace {
+
+double SquaredDistance(const float* a, const float* b, std::int64_t d) {
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < d; ++i) {
+    const double diff = static_cast<double>(a[i]) - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+Status KMeans::Fit(const Tensor& x, const KMeansOptions& options) {
+  if (x.rank() != 2) {
+    return Status::InvalidArgument("KMeans::Fit expects [n, d]");
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  if (n == 0 || options.k <= 0) {
+    return Status::InvalidArgument("KMeans needs rows and k > 0");
+  }
+  const std::int64_t k = std::min<std::int64_t>(options.k, n);
+  Rng rng(options.seed);
+
+  // k-means++ seeding.
+  centroids_.clear();
+  std::vector<double> min_dist(static_cast<std::size_t>(n),
+                               std::numeric_limits<double>::max());
+  const std::int64_t first =
+      static_cast<std::int64_t>(rng.NextUint(static_cast<std::uint64_t>(n)));
+  centroids_.emplace_back(x.raw() + first * d, x.raw() + (first + 1) * d);
+  while (static_cast<std::int64_t>(centroids_.size()) < k) {
+    double total = 0.0;
+    for (std::int64_t r = 0; r < n; ++r) {
+      const double dist =
+          SquaredDistance(x.raw() + r * d, centroids_.back().data(), d);
+      min_dist[static_cast<std::size_t>(r)] =
+          std::min(min_dist[static_cast<std::size_t>(r)], dist);
+      total += min_dist[static_cast<std::size_t>(r)];
+    }
+    double pick = rng.NextDouble() * total;
+    std::int64_t chosen = n - 1;
+    for (std::int64_t r = 0; r < n; ++r) {
+      pick -= min_dist[static_cast<std::size_t>(r)];
+      if (pick <= 0.0) {
+        chosen = r;
+        break;
+      }
+    }
+    centroids_.emplace_back(x.raw() + chosen * d, x.raw() + (chosen + 1) * d);
+  }
+
+  // Lloyd iterations.
+  std::vector<std::int64_t> assign(static_cast<std::size_t>(n), -1);
+  for (std::int64_t iter = 0; iter < options.max_iters; ++iter) {
+    bool changed = false;
+    for (std::int64_t r = 0; r < n; ++r) {
+      const std::int64_t c = AssignRow(x.raw() + r * d, d);
+      if (c != assign[static_cast<std::size_t>(r)]) {
+        assign[static_cast<std::size_t>(r)] = c;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    std::vector<std::vector<double>> sums(
+        static_cast<std::size_t>(k),
+        std::vector<double>(static_cast<std::size_t>(d), 0.0));
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(k), 0);
+    for (std::int64_t r = 0; r < n; ++r) {
+      const std::size_t c =
+          static_cast<std::size_t>(assign[static_cast<std::size_t>(r)]);
+      ++counts[c];
+      const float* row = x.raw() + r * d;
+      for (std::int64_t i = 0; i < d; ++i) sums[c][static_cast<std::size_t>(i)] += row[i];
+    }
+    for (std::int64_t c = 0; c < k; ++c) {
+      if (counts[static_cast<std::size_t>(c)] == 0) continue;  // keep old
+      for (std::int64_t i = 0; i < d; ++i) {
+        centroids_[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)] =
+            static_cast<float>(sums[static_cast<std::size_t>(c)]
+                                   [static_cast<std::size_t>(i)] /
+                               static_cast<double>(
+                                   counts[static_cast<std::size_t>(c)]));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::int64_t KMeans::AssignRow(const float* row,
+                               std::int64_t num_features) const {
+  std::int64_t best = 0;
+  double best_dist = std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    const double dist =
+        SquaredDistance(row, centroids_[c].data(), num_features);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = static_cast<std::int64_t>(c);
+    }
+  }
+  return best;
+}
+
+Result<std::vector<std::int64_t>> KMeans::Assign(const Tensor& x) const {
+  if (x.rank() != 2 || x.dim(1) != num_features()) {
+    return Status::InvalidArgument("KMeans::Assign shape mismatch");
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    out[static_cast<std::size_t>(r)] = AssignRow(x.raw() + r * d, d);
+  }
+  return out;
+}
+
+void KMeans::Serialize(BinaryWriter* writer) const {
+  writer->WriteU64(centroids_.size());
+  for (const auto& c : centroids_) writer->WriteF32Vector(c);
+}
+
+Result<KMeans> KMeans::Deserialize(BinaryReader* reader) {
+  KMeans km;
+  RAVEN_ASSIGN_OR_RETURN(std::uint64_t k, reader->ReadU64());
+  for (std::uint64_t i = 0; i < k; ++i) {
+    RAVEN_ASSIGN_OR_RETURN(auto c, reader->ReadF32Vector());
+    km.centroids_.push_back(std::move(c));
+  }
+  return km;
+}
+
+}  // namespace raven::ml

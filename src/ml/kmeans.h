@@ -1,0 +1,55 @@
+#ifndef RAVEN_ML_KMEANS_H_
+#define RAVEN_ML_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace raven::ml {
+
+/// Lloyd's k-means with k-means++ seeding. Used by the model-clustering
+/// optimization (paper §4.1, Fig 2(b)): cluster historical data offline,
+/// derive per-cluster constant features, and precompile one specialized
+/// model per cluster.
+struct KMeansOptions {
+  std::int64_t k = 8;
+  std::int64_t max_iters = 25;
+  std::uint64_t seed = 47;
+};
+
+class KMeans {
+ public:
+  KMeans() = default;
+
+  Status Fit(const Tensor& x, const KMeansOptions& options = KMeansOptions());
+
+  /// Nearest-centroid index for one row.
+  std::int64_t AssignRow(const float* row, std::int64_t num_features) const;
+  /// Assignment vector for a batch.
+  Result<std::vector<std::int64_t>> Assign(const Tensor& x) const;
+
+  std::int64_t k() const {
+    return static_cast<std::int64_t>(centroids_.size());
+  }
+  std::int64_t num_features() const {
+    return centroids_.empty()
+               ? 0
+               : static_cast<std::int64_t>(centroids_.front().size());
+  }
+  const std::vector<std::vector<float>>& centroids() const {
+    return centroids_;
+  }
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<KMeans> Deserialize(BinaryReader* reader);
+
+ private:
+  std::vector<std::vector<float>> centroids_;
+};
+
+}  // namespace raven::ml
+
+#endif  // RAVEN_ML_KMEANS_H_

@@ -1,0 +1,165 @@
+#include "ml/linear_model.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace raven::ml {
+namespace {
+
+double SoftThreshold(double w, double lambda) {
+  if (w > lambda) return w - lambda;
+  if (w < -lambda) return w + lambda;
+  return 0.0;
+}
+
+}  // namespace
+
+Status LinearModel::Fit(const Tensor& x, const std::vector<float>& y,
+                        const LinearTrainOptions& options) {
+  if (x.rank() != 2 || x.dim(0) != static_cast<std::int64_t>(y.size())) {
+    return Status::InvalidArgument("LinearModel::Fit shape mismatch");
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  if (n == 0) return Status::InvalidArgument("cannot fit on 0 rows");
+  weights_.assign(static_cast<std::size_t>(d), 0.0);
+  bias_ = 0.0;
+
+  std::vector<double> grad(static_cast<std::size_t>(d), 0.0);
+  for (std::int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_bias = 0.0;
+    for (std::int64_t r = 0; r < n; ++r) {
+      const float* row = x.raw() + r * d;
+      double margin = bias_;
+      for (std::int64_t c = 0; c < d; ++c) {
+        margin += weights_[static_cast<std::size_t>(c)] * row[c];
+      }
+      double err;
+      if (kind_ == LinearKind::kLogistic) {
+        const double p = 1.0 / (1.0 + std::exp(-margin));
+        err = p - y[static_cast<std::size_t>(r)];
+      } else {
+        err = margin - y[static_cast<std::size_t>(r)];
+      }
+      for (std::int64_t c = 0; c < d; ++c) {
+        grad[static_cast<std::size_t>(c)] += err * row[c];
+      }
+      grad_bias += err;
+    }
+    const double lr = options.learning_rate / static_cast<double>(n);
+    for (std::int64_t c = 0; c < d; ++c) {
+      double w = weights_[static_cast<std::size_t>(c)] -
+                 lr * grad[static_cast<std::size_t>(c)];
+      if (options.l1 > 0.0) {
+        w = SoftThreshold(w, options.learning_rate * options.l1);
+      }
+      weights_[static_cast<std::size_t>(c)] = w;
+    }
+    bias_ -= lr * grad_bias;
+  }
+  return Status::OK();
+}
+
+float LinearModel::PredictRow(const float* row,
+                              std::int64_t num_features) const {
+  // `num_features` is the caller's row width; the model reads its own
+  // weight count, which callers must not under-provision.
+  (void)num_features;
+  double margin = bias_;
+  for (std::size_t c = 0; c < weights_.size(); ++c) {
+    margin += weights_[c] * row[c];
+  }
+  if (kind_ == LinearKind::kLogistic) {
+    return static_cast<float>(1.0 / (1.0 + std::exp(-margin)));
+  }
+  return static_cast<float>(margin);
+}
+
+Result<Tensor> LinearModel::Predict(const Tensor& x) const {
+  if (x.rank() != 2 ||
+      x.dim(1) != static_cast<std::int64_t>(weights_.size())) {
+    return Status::InvalidArgument("LinearModel::Predict shape mismatch");
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  Tensor out = Tensor::Zeros({n, 1});
+  for (std::int64_t r = 0; r < n; ++r) {
+    out.raw()[r] = PredictRow(x.raw() + r * d, d);
+  }
+  return out;
+}
+
+double LinearModel::Sparsity() const {
+  if (weights_.empty()) return 0.0;
+  std::int64_t zeros = 0;
+  for (double w : weights_) {
+    if (w == 0.0) ++zeros;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(weights_.size());
+}
+
+std::vector<std::int64_t> LinearModel::NonZeroFeatures() const {
+  std::vector<std::int64_t> out;
+  for (std::size_t c = 0; c < weights_.size(); ++c) {
+    if (weights_[c] != 0.0) out.push_back(static_cast<std::int64_t>(c));
+  }
+  return out;
+}
+
+std::int64_t LinearModel::ThresholdWeights(double threshold) {
+  std::int64_t zeroed = 0;
+  for (double& w : weights_) {
+    if (w != 0.0 && std::fabs(w) < threshold) {
+      w = 0.0;
+      ++zeroed;
+    }
+  }
+  return zeroed;
+}
+
+Status LinearModel::ProjectFeatures(const std::vector<std::int64_t>& keep,
+                                    const std::vector<double>& fixed_values) {
+  const std::int64_t d = num_features();
+  if (static_cast<std::int64_t>(fixed_values.size()) != d) {
+    return Status::InvalidArgument("fixed_values size mismatch");
+  }
+  std::vector<bool> kept(static_cast<std::size_t>(d), false);
+  std::vector<double> new_weights;
+  new_weights.reserve(keep.size());
+  for (std::int64_t k : keep) {
+    if (k < 0 || k >= d) {
+      return Status::OutOfRange("ProjectFeatures index out of range");
+    }
+    kept[static_cast<std::size_t>(k)] = true;
+    new_weights.push_back(weights_[static_cast<std::size_t>(k)]);
+  }
+  // Dropped features contribute their fixed value to the bias.
+  for (std::int64_t c = 0; c < d; ++c) {
+    if (!kept[static_cast<std::size_t>(c)]) {
+      bias_ += weights_[static_cast<std::size_t>(c)] *
+               fixed_values[static_cast<std::size_t>(c)];
+    }
+  }
+  weights_ = std::move(new_weights);
+  return Status::OK();
+}
+
+void LinearModel::Serialize(BinaryWriter* writer) const {
+  writer->WriteU8(static_cast<std::uint8_t>(kind_));
+  writer->WriteF64Vector(weights_);
+  writer->WriteF64(bias_);
+}
+
+Result<LinearModel> LinearModel::Deserialize(BinaryReader* reader) {
+  LinearModel m;
+  RAVEN_ASSIGN_OR_RETURN(std::uint8_t kind, reader->ReadU8());
+  if (kind > 1) return Status::ParseError("bad linear kind");
+  m.kind_ = static_cast<LinearKind>(kind);
+  RAVEN_ASSIGN_OR_RETURN(m.weights_, reader->ReadF64Vector());
+  RAVEN_ASSIGN_OR_RETURN(m.bias_, reader->ReadF64());
+  return m;
+}
+
+}  // namespace raven::ml

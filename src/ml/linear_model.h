@@ -1,0 +1,77 @@
+#ifndef RAVEN_ML_LINEAR_MODEL_H_
+#define RAVEN_ML_LINEAR_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace raven::ml {
+
+/// Whether the linear model is a plain regression or a logistic classifier.
+enum class LinearKind : std::uint8_t { kRegression = 0, kLogistic = 1 };
+
+/// Training options for gradient descent with optional L1 proximal step.
+/// L1 produces genuinely sparse weights, which is what model-projection
+/// pushdown (paper §4.1, Fig 2(a)) exploits.
+struct LinearTrainOptions {
+  std::int64_t epochs = 60;
+  double learning_rate = 0.1;
+  /// L1 regularization strength; 0 disables the proximal step.
+  double l1 = 0.0;
+  std::uint64_t seed = 31;
+};
+
+/// Linear / logistic model: y = x . w + b (logistic applies a sigmoid).
+class LinearModel {
+ public:
+  LinearModel() = default;
+  explicit LinearModel(LinearKind kind) : kind_(kind) {}
+
+  Status Fit(const Tensor& x, const std::vector<float>& y,
+             const LinearTrainOptions& options = LinearTrainOptions());
+
+  float PredictRow(const float* row, std::int64_t num_features) const;
+  /// [n, 1] predictions (probabilities for logistic).
+  Result<Tensor> Predict(const Tensor& x) const;
+
+  LinearKind kind() const { return kind_; }
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  void SetParams(std::vector<double> weights, double bias) {
+    weights_ = std::move(weights);
+    bias_ = bias;
+  }
+  void set_kind(LinearKind kind) { kind_ = kind; }
+  std::int64_t num_features() const {
+    return static_cast<std::int64_t>(weights_.size());
+  }
+
+  /// Fraction of exactly-zero weights (the paper quotes 41.75% / 80.96%).
+  double Sparsity() const;
+  /// Indices of features with non-zero weight.
+  std::vector<std::int64_t> NonZeroFeatures() const;
+  /// Zeroes out all weights with |w| < threshold (lossy pushdown study).
+  std::int64_t ThresholdWeights(double threshold);
+
+  /// Keeps only `keep` features (in order); weights are re-indexed. Folds
+  /// dropped features' contribution at their fixed values into the bias —
+  /// `fixed_values[i]` supplies the value for dropped feature i (0 for pure
+  /// zero-weight drops).
+  Status ProjectFeatures(const std::vector<std::int64_t>& keep,
+                         const std::vector<double>& fixed_values);
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<LinearModel> Deserialize(BinaryReader* reader);
+
+ private:
+  LinearKind kind_ = LinearKind::kRegression;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace raven::ml
+
+#endif  // RAVEN_ML_LINEAR_MODEL_H_

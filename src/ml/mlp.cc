@@ -1,0 +1,201 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace raven::ml {
+namespace {
+
+float ApplyActivation(Activation a, float v) {
+  switch (a) {
+    case Activation::kNone:
+      return v;
+    case Activation::kRelu:
+      return v > 0 ? v : 0.0f;
+    case Activation::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-v));
+    case Activation::kTanh:
+      return std::tanh(v);
+  }
+  return v;
+}
+
+float ActivationGrad(Activation a, float post) {
+  switch (a) {
+    case Activation::kNone:
+      return 1.0f;
+    case Activation::kRelu:
+      return post > 0 ? 1.0f : 0.0f;
+    case Activation::kSigmoid:
+      return post * (1.0f - post);
+    case Activation::kTanh:
+      return 1.0f - post * post;
+  }
+  return 1.0f;
+}
+
+}  // namespace
+
+Status Mlp::Fit(const Tensor& x, const std::vector<float>& y,
+                const MlpTrainOptions& options) {
+  if (x.rank() != 2 || x.dim(0) != static_cast<std::int64_t>(y.size())) {
+    return Status::InvalidArgument("Mlp::Fit shape mismatch");
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  if (n == 0) return Status::InvalidArgument("cannot fit on 0 rows");
+
+  // Build layer stack: d -> hidden... -> 1.
+  layers_.clear();
+  Rng rng(options.seed);
+  std::vector<std::int64_t> sizes;
+  sizes.push_back(d);
+  for (std::int64_t h : options.hidden) sizes.push_back(h);
+  sizes.push_back(1);
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    DenseLayer layer;
+    layer.in = sizes[l];
+    layer.out = sizes[l + 1];
+    layer.activation = (l + 2 == sizes.size()) ? options.output_activation
+                                               : Activation::kRelu;
+    const double bound = std::sqrt(6.0 / static_cast<double>(layer.in + layer.out));
+    layer.weights.resize(static_cast<std::size_t>(layer.in * layer.out));
+    for (auto& w : layer.weights) {
+      w = static_cast<float>(rng.Uniform(-bound, bound));
+    }
+    layer.bias.assign(static_cast<std::size_t>(layer.out), 0.0f);
+    layers_.push_back(std::move(layer));
+  }
+
+  // Plain SGD, one sample at a time (adequate for the small nets Raven's
+  // benchmarks need; the inference path is what the paper measures).
+  std::vector<std::vector<float>> acts(layers_.size() + 1);
+  std::vector<std::vector<float>> deltas(layers_.size());
+  for (std::int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    for (std::int64_t r = 0; r < n; ++r) {
+      // Forward.
+      acts[0].assign(x.raw() + r * d, x.raw() + (r + 1) * d);
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const DenseLayer& layer = layers_[l];
+        acts[l + 1].assign(static_cast<std::size_t>(layer.out), 0.0f);
+        for (std::int64_t j = 0; j < layer.out; ++j) {
+          float v = layer.bias[static_cast<std::size_t>(j)];
+          for (std::int64_t i = 0; i < layer.in; ++i) {
+            v += acts[l][static_cast<std::size_t>(i)] *
+                 layer.weights[static_cast<std::size_t>(i * layer.out + j)];
+          }
+          acts[l + 1][static_cast<std::size_t>(j)] =
+              ApplyActivation(layer.activation, v);
+        }
+      }
+      // Backward. For sigmoid output + log loss and linear output + MSE the
+      // output delta is (pred - target) either way.
+      const float pred = acts.back()[0];
+      const float target = y[static_cast<std::size_t>(r)];
+      deltas.back().assign(1, pred - target);
+      if (layers_.back().activation != Activation::kSigmoid &&
+          layers_.back().activation != Activation::kNone) {
+        deltas.back()[0] *= ActivationGrad(layers_.back().activation, pred);
+      }
+      for (std::size_t l = layers_.size() - 1; l-- > 0;) {
+        const DenseLayer& next = layers_[l + 1];
+        deltas[l].assign(static_cast<std::size_t>(layers_[l].out), 0.0f);
+        for (std::int64_t i = 0; i < next.in; ++i) {
+          float acc = 0.0f;
+          for (std::int64_t j = 0; j < next.out; ++j) {
+            acc += next.weights[static_cast<std::size_t>(i * next.out + j)] *
+                   deltas[l + 1][static_cast<std::size_t>(j)];
+          }
+          deltas[l][static_cast<std::size_t>(i)] =
+              acc * ActivationGrad(layers_[l].activation,
+                                   acts[l + 1][static_cast<std::size_t>(i)]);
+        }
+      }
+      // Update.
+      const float lr = static_cast<float>(options.learning_rate);
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        DenseLayer& layer = layers_[l];
+        for (std::int64_t i = 0; i < layer.in; ++i) {
+          const float a = acts[l][static_cast<std::size_t>(i)];
+          if (a == 0.0f) continue;
+          for (std::int64_t j = 0; j < layer.out; ++j) {
+            layer.weights[static_cast<std::size_t>(i * layer.out + j)] -=
+                lr * a * deltas[l][static_cast<std::size_t>(j)];
+          }
+        }
+        for (std::int64_t j = 0; j < layer.out; ++j) {
+          layer.bias[static_cast<std::size_t>(j)] -=
+              lr * deltas[l][static_cast<std::size_t>(j)];
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+float Mlp::PredictRow(const float* row, std::int64_t num_features) const {
+  std::vector<float> cur(row, row + num_features);
+  std::vector<float> next;
+  for (const auto& layer : layers_) {
+    next.assign(static_cast<std::size_t>(layer.out), 0.0f);
+    for (std::int64_t j = 0; j < layer.out; ++j) {
+      float v = layer.bias[static_cast<std::size_t>(j)];
+      for (std::int64_t i = 0; i < layer.in; ++i) {
+        v += cur[static_cast<std::size_t>(i)] *
+             layer.weights[static_cast<std::size_t>(i * layer.out + j)];
+      }
+      next[static_cast<std::size_t>(j)] = ApplyActivation(layer.activation, v);
+    }
+    cur.swap(next);
+  }
+  return cur.empty() ? 0.0f : cur[0];
+}
+
+Result<Tensor> Mlp::Predict(const Tensor& x) const {
+  if (x.rank() != 2 || layers_.empty() || x.dim(1) != layers_.front().in) {
+    return Status::InvalidArgument("Mlp::Predict shape mismatch");
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  Tensor out = Tensor::Zeros({n, 1});
+  for (std::int64_t r = 0; r < n; ++r) {
+    out.raw()[r] = PredictRow(x.raw() + r * d, d);
+  }
+  return out;
+}
+
+void Mlp::Serialize(BinaryWriter* writer) const {
+  writer->WriteU64(layers_.size());
+  for (const auto& layer : layers_) {
+    writer->WriteI64(layer.in);
+    writer->WriteI64(layer.out);
+    writer->WriteU8(static_cast<std::uint8_t>(layer.activation));
+    writer->WriteF32Vector(layer.weights);
+    writer->WriteF32Vector(layer.bias);
+  }
+}
+
+Result<Mlp> Mlp::Deserialize(BinaryReader* reader) {
+  Mlp mlp;
+  RAVEN_ASSIGN_OR_RETURN(std::uint64_t n, reader->ReadU64());
+  for (std::uint64_t l = 0; l < n; ++l) {
+    DenseLayer layer;
+    RAVEN_ASSIGN_OR_RETURN(layer.in, reader->ReadI64());
+    RAVEN_ASSIGN_OR_RETURN(layer.out, reader->ReadI64());
+    RAVEN_ASSIGN_OR_RETURN(std::uint8_t act, reader->ReadU8());
+    if (act > 3) return Status::ParseError("bad activation");
+    layer.activation = static_cast<Activation>(act);
+    RAVEN_ASSIGN_OR_RETURN(layer.weights, reader->ReadF32Vector());
+    RAVEN_ASSIGN_OR_RETURN(layer.bias, reader->ReadF32Vector());
+    if (static_cast<std::int64_t>(layer.weights.size()) !=
+            layer.in * layer.out ||
+        static_cast<std::int64_t>(layer.bias.size()) != layer.out) {
+      return Status::ParseError("MLP layer size mismatch");
+    }
+    mlp.layers_.push_back(std::move(layer));
+  }
+  return mlp;
+}
+
+}  // namespace raven::ml

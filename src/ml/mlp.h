@@ -1,0 +1,69 @@
+#ifndef RAVEN_ML_MLP_H_
+#define RAVEN_ML_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace raven::ml {
+
+/// Activation applied after a dense layer.
+enum class Activation : std::uint8_t {
+  kNone = 0,
+  kRelu = 1,
+  kSigmoid = 2,
+  kTanh = 3,
+};
+
+/// One dense layer: y = act(x W + b), W stored row-major [in, out].
+struct DenseLayer {
+  std::int64_t in = 0;
+  std::int64_t out = 0;
+  std::vector<float> weights;  // in * out
+  std::vector<float> bias;     // out
+  Activation activation = Activation::kNone;
+};
+
+/// Multi-layer perceptron training options (SGD on MSE / log loss).
+struct MlpTrainOptions {
+  std::vector<std::int64_t> hidden = {32, 16};
+  std::int64_t epochs = 30;
+  double learning_rate = 0.05;
+  std::uint64_t seed = 41;
+  /// Final activation: sigmoid for binary targets, none for regression.
+  Activation output_activation = Activation::kSigmoid;
+};
+
+/// A small feed-forward network. Raven treats the MLP as an inherently
+/// LA-category model: its conversion to an NNRT graph is a direct layer ->
+/// Gemm+activation mapping.
+class Mlp {
+ public:
+  Mlp() = default;
+
+  Status Fit(const Tensor& x, const std::vector<float>& y,
+             const MlpTrainOptions& options = MlpTrainOptions());
+
+  /// Forward pass; returns [n, 1].
+  Result<Tensor> Predict(const Tensor& x) const;
+  float PredictRow(const float* row, std::int64_t num_features) const;
+
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+  void AddLayer(DenseLayer layer) { layers_.push_back(std::move(layer)); }
+  std::int64_t num_features() const {
+    return layers_.empty() ? 0 : layers_.front().in;
+  }
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<Mlp> Deserialize(BinaryReader* reader);
+
+ private:
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace raven::ml
+
+#endif  // RAVEN_ML_MLP_H_

@@ -1,0 +1,132 @@
+#include "ml/pipeline.h"
+
+#include <sstream>
+
+namespace raven::ml {
+
+PredictorKind KindOf(const Predictor& predictor) {
+  if (std::holds_alternative<DecisionTree>(predictor)) {
+    return PredictorKind::kDecisionTree;
+  }
+  if (std::holds_alternative<RandomForest>(predictor)) {
+    return PredictorKind::kRandomForest;
+  }
+  if (std::holds_alternative<LinearModel>(predictor)) {
+    return PredictorKind::kLinearModel;
+  }
+  return PredictorKind::kMlp;
+}
+
+const char* PredictorKindToString(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kDecisionTree:
+      return "DecisionTree";
+    case PredictorKind::kRandomForest:
+      return "RandomForest";
+    case PredictorKind::kLinearModel:
+      return "LinearModel";
+    case PredictorKind::kMlp:
+      return "MLP";
+  }
+  return "?";
+}
+
+Result<Tensor> PredictWith(const Predictor& predictor,
+                           const Tensor& features) {
+  return std::visit(
+      [&](const auto& model) -> Result<Tensor> {
+        return model.Predict(features);
+      },
+      predictor);
+}
+
+Result<Tensor> ModelPipeline::Predict(const Tensor& x) const {
+  if (featurizer.branches().empty()) {
+    return PredictWith(predictor, x);
+  }
+  RAVEN_ASSIGN_OR_RETURN(Tensor features, featurizer.Transform(x));
+  return PredictWith(predictor, features);
+}
+
+Result<float> ModelPipeline::PredictRow(const float* row,
+                                        std::int64_t width) const {
+  // Row-at-a-time path: featurize a 1-row tensor, then walk the predictor.
+  RAVEN_ASSIGN_OR_RETURN(
+      Tensor one_row,
+      Tensor::FromData({1, width},
+                       std::vector<float>(row, row + width)));
+  RAVEN_ASSIGN_OR_RETURN(Tensor pred, Predict(one_row));
+  return pred.raw()[0];
+}
+
+std::int64_t ModelPipeline::NumFeatures() const {
+  if (!featurizer.branches().empty()) return featurizer.OutputWidth();
+  return std::visit(
+      [](const auto& model) -> std::int64_t { return model.num_features(); },
+      predictor);
+}
+
+std::string ModelPipeline::Summary() const {
+  std::ostringstream os;
+  os << "ModelPipeline(inputs=" << input_columns.size()
+     << ", features=" << NumFeatures()
+     << ", predictor=" << PredictorKindToString(KindOf(predictor)) << ")";
+  return os.str();
+}
+
+void ModelPipeline::Serialize(BinaryWriter* writer) const {
+  writer->WriteString("RAVEN_ML_PIPELINE_V1");
+  writer->WriteStringVector(input_columns);
+  featurizer.Serialize(writer);
+  writer->WriteU8(static_cast<std::uint8_t>(KindOf(predictor)));
+  std::visit([&](const auto& model) { model.Serialize(writer); }, predictor);
+}
+
+Result<ModelPipeline> ModelPipeline::Deserialize(BinaryReader* reader) {
+  RAVEN_ASSIGN_OR_RETURN(std::string magic, reader->ReadString());
+  if (magic != "RAVEN_ML_PIPELINE_V1") {
+    return Status::ParseError("bad model pipeline magic");
+  }
+  ModelPipeline p;
+  RAVEN_ASSIGN_OR_RETURN(p.input_columns, reader->ReadStringVector());
+  RAVEN_ASSIGN_OR_RETURN(p.featurizer, Featurizer::Deserialize(reader));
+  RAVEN_ASSIGN_OR_RETURN(std::uint8_t kind, reader->ReadU8());
+  switch (static_cast<PredictorKind>(kind)) {
+    case PredictorKind::kDecisionTree: {
+      RAVEN_ASSIGN_OR_RETURN(auto m, DecisionTree::Deserialize(reader));
+      p.predictor = std::move(m);
+      break;
+    }
+    case PredictorKind::kRandomForest: {
+      RAVEN_ASSIGN_OR_RETURN(auto m, RandomForest::Deserialize(reader));
+      p.predictor = std::move(m);
+      break;
+    }
+    case PredictorKind::kLinearModel: {
+      RAVEN_ASSIGN_OR_RETURN(auto m, LinearModel::Deserialize(reader));
+      p.predictor = std::move(m);
+      break;
+    }
+    case PredictorKind::kMlp: {
+      RAVEN_ASSIGN_OR_RETURN(auto m, Mlp::Deserialize(reader));
+      p.predictor = std::move(m);
+      break;
+    }
+    default:
+      return Status::ParseError("bad predictor kind tag");
+  }
+  return p;
+}
+
+std::string ModelPipeline::ToBytes() const {
+  BinaryWriter writer;
+  Serialize(&writer);
+  return writer.Release();
+}
+
+Result<ModelPipeline> ModelPipeline::FromBytes(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  return Deserialize(&reader);
+}
+
+}  // namespace raven::ml

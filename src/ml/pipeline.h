@@ -1,0 +1,68 @@
+#ifndef RAVEN_ML_PIPELINE_H_
+#define RAVEN_ML_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "ml/decision_tree.h"
+#include "ml/featurizer.h"
+#include "ml/linear_model.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+#include "tensor/tensor.h"
+
+namespace raven::ml {
+
+/// The terminal estimator of a pipeline.
+using Predictor = std::variant<DecisionTree, RandomForest, LinearModel, Mlp>;
+
+/// Kind discriminator for Predictor (used in serialization and the IR).
+enum class PredictorKind : std::uint8_t {
+  kDecisionTree = 0,
+  kRandomForest = 1,
+  kLinearModel = 2,
+  kMlp = 3,
+};
+
+PredictorKind KindOf(const Predictor& predictor);
+const char* PredictorKindToString(PredictorKind kind);
+
+/// A trained model pipeline: named raw input columns, a featurization stage
+/// (FeatureUnion of scaler/one-hot/identity branches), and a predictor.
+/// This is the unit stored in the model catalog and referenced by PREDICT —
+/// the MLflow-style "model pipeline" of the paper (§1).
+struct ModelPipeline {
+  /// Names of the raw input columns, in the order the featurizer indexes
+  /// them. These bind to relational column names at optimization time.
+  std::vector<std::string> input_columns;
+  Featurizer featurizer;
+  Predictor predictor;
+
+  /// Featurize + predict; x is the raw [n, |input_columns|] matrix.
+  Result<Tensor> Predict(const Tensor& x) const;
+
+  /// Row-at-a-time scoring on raw inputs (the interpreted baseline path).
+  Result<float> PredictRow(const float* row, std::int64_t width) const;
+
+  /// Number of post-featurization features the predictor consumes.
+  std::int64_t NumFeatures() const;
+
+  std::string Summary() const;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<ModelPipeline> Deserialize(BinaryReader* reader);
+
+  std::string ToBytes() const;
+  static Result<ModelPipeline> FromBytes(const std::string& bytes);
+};
+
+/// Applies `predictor` to featurized input.
+Result<Tensor> PredictWith(const Predictor& predictor, const Tensor& features);
+
+}  // namespace raven::ml
+
+#endif  // RAVEN_ML_PIPELINE_H_

@@ -1,0 +1,122 @@
+#include "ml/random_forest.h"
+
+#include "common/rng.h"
+
+namespace raven::ml {
+
+Status RandomForest::Fit(const Tensor& x, const std::vector<float>& y,
+                         const ForestTrainOptions& options) {
+  if (x.rank() != 2 || x.dim(0) != static_cast<std::int64_t>(y.size())) {
+    return Status::InvalidArgument("RandomForest::Fit shape mismatch");
+  }
+  trees_.clear();
+  Rng rng(options.seed);
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  const std::int64_t sample_n = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(options.subsample * static_cast<double>(n)));
+  for (std::int64_t t = 0; t < options.num_trees; ++t) {
+    // Bootstrap sample.
+    Tensor sx = Tensor::Zeros({sample_n, d});
+    std::vector<float> sy(static_cast<std::size_t>(sample_n));
+    for (std::int64_t i = 0; i < sample_n; ++i) {
+      const std::int64_t row = static_cast<std::int64_t>(
+          rng.NextUint(static_cast<std::uint64_t>(n)));
+      std::copy(x.raw() + row * d, x.raw() + (row + 1) * d, sx.raw() + i * d);
+      sy[static_cast<std::size_t>(i)] = y[static_cast<std::size_t>(row)];
+    }
+    TreeTrainOptions tree_options = options.tree;
+    tree_options.seed = options.seed * 1315423911ULL + static_cast<std::uint64_t>(t);
+    if (tree_options.max_features <= 0) {
+      // Forest default: sqrt(d) features per split.
+      std::int64_t mf = 1;
+      while (mf * mf < d) ++mf;
+      tree_options.max_features = mf;
+    }
+    DecisionTree tree;
+    RAVEN_RETURN_IF_ERROR(tree.Fit(sx, sy, tree_options));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+float RandomForest::PredictRow(const float* row,
+                               std::int64_t num_features) const {
+  if (trees_.empty()) return 0.0f;
+  float sum = 0.0f;
+  for (const auto& tree : trees_) sum += tree.PredictRow(row, num_features);
+  return sum / static_cast<float>(trees_.size());
+}
+
+Result<Tensor> RandomForest::Predict(const Tensor& x) const {
+  if (x.rank() != 2) {
+    return Status::InvalidArgument("RandomForest::Predict expects [n, d]");
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  Tensor out = Tensor::Zeros({n, 1});
+  for (std::int64_t r = 0; r < n; ++r) {
+    out.raw()[r] = PredictRow(x.raw() + r * d, d);
+  }
+  return out;
+}
+
+RandomForest RandomForest::PruneWithIntervals(
+    const std::vector<FeatureInterval>& intervals) const {
+  RandomForest pruned;
+  for (const auto& tree : trees_) {
+    pruned.trees_.push_back(tree.PruneWithIntervals(intervals));
+  }
+  return pruned;
+}
+
+std::vector<std::int64_t> RandomForest::UsedFeatures() const {
+  std::vector<bool> used(static_cast<std::size_t>(num_features()), false);
+  for (const auto& tree : trees_) {
+    for (std::int64_t f : tree.UsedFeatures()) {
+      used[static_cast<std::size_t>(f)] = true;
+    }
+  }
+  std::vector<std::int64_t> out;
+  for (std::size_t f = 0; f < used.size(); ++f) {
+    if (used[f]) out.push_back(static_cast<std::int64_t>(f));
+  }
+  return out;
+}
+
+Status RandomForest::RemapFeatures(
+    const std::vector<std::int64_t>& old_to_new) {
+  for (auto& tree : trees_) {
+    RAVEN_RETURN_IF_ERROR(tree.RemapFeatures(old_to_new));
+  }
+  return Status::OK();
+}
+
+std::int64_t RandomForest::num_features() const {
+  std::int64_t d = 0;
+  for (const auto& tree : trees_) d = std::max(d, tree.num_features());
+  return d;
+}
+
+std::int64_t RandomForest::total_nodes() const {
+  std::int64_t n = 0;
+  for (const auto& tree : trees_) n += tree.num_nodes();
+  return n;
+}
+
+void RandomForest::Serialize(BinaryWriter* writer) const {
+  writer->WriteU64(trees_.size());
+  for (const auto& tree : trees_) tree.Serialize(writer);
+}
+
+Result<RandomForest> RandomForest::Deserialize(BinaryReader* reader) {
+  RandomForest forest;
+  RAVEN_ASSIGN_OR_RETURN(std::uint64_t n, reader->ReadU64());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    RAVEN_ASSIGN_OR_RETURN(DecisionTree tree, DecisionTree::Deserialize(reader));
+    forest.trees_.push_back(std::move(tree));
+  }
+  return forest;
+}
+
+}  // namespace raven::ml

@@ -1,0 +1,45 @@
+#ifndef RAVEN_NNRT_DEVICE_H_
+#define RAVEN_NNRT_DEVICE_H_
+
+#include <string>
+
+namespace raven::nnrt {
+
+/// Execution device for an inference session.
+///
+/// kCpu runs kernels on the host and reports measured wall time.
+///
+/// kAccelerator is the paper's GPU substitute (DESIGN.md §1): the run is
+/// still executed on the CPU for bit-exact results, but the reported
+/// `simulated_micros` follows the canonical accelerator cost model
+///     t = launch_overhead_us + flops / flops_per_us
+/// which reproduces the Fig 2(d) mechanism — launch overhead dominates tiny
+/// batches (GPU ≈ CPU), throughput dominates large batches (GPU up to ~15×).
+enum class DeviceType { kCpu, kAccelerator };
+
+struct DeviceSpec {
+  DeviceType type = DeviceType::kCpu;
+  /// Fixed per-inference-call overhead (kernel launch + transfer setup).
+  double launch_overhead_us = 0.0;
+  /// Sustained throughput for the simulated accelerator.
+  double flops_per_us = 1.0;
+
+  static DeviceSpec Cpu() { return DeviceSpec{DeviceType::kCpu, 0.0, 1.0}; }
+
+  /// Default accelerator roughly shaped like the paper's K80 relative to a
+  /// 16-vCPU host: ~60 us launch overhead, ~20 GFLOP/s effective per-query
+  /// throughput (2e4 flops/us).
+  static DeviceSpec Accelerator(double launch_overhead_us = 60.0,
+                                double flops_per_us = 2.0e4) {
+    return DeviceSpec{DeviceType::kAccelerator, launch_overhead_us,
+                      flops_per_us};
+  }
+
+  std::string ToString() const {
+    return type == DeviceType::kCpu ? "cpu" : "accelerator";
+  }
+};
+
+}  // namespace raven::nnrt
+
+#endif  // RAVEN_NNRT_DEVICE_H_

@@ -1,0 +1,72 @@
+#include "nnrt/executor.h"
+
+#include "common/timer.h"
+#include "nnrt/kernels.h"
+
+namespace raven::nnrt {
+
+Result<TensorMap> ExecuteGraph(const Graph& graph, const TensorMap& inputs,
+                               RunStats* stats) {
+  Timer timer;
+  TensorMap env;
+  for (const auto& [name, tensor] : graph.initializers()) {
+    env[name] = tensor;
+  }
+  for (const auto& name : graph.inputs()) {
+    auto it = inputs.find(name);
+    if (it == inputs.end()) {
+      return Status::InvalidArgument("missing graph input '" + name + "'");
+    }
+    env[name] = it->second;
+  }
+
+  RAVEN_ASSIGN_OR_RETURN(auto order, graph.TopologicalOrder());
+  double total_flops = 0.0;
+  std::size_t executed = 0;
+  for (std::size_t idx : order) {
+    const Node& node = graph.nodes()[idx];
+    const Kernel* kernel = FindKernel(node.op_type);
+    if (kernel == nullptr) {
+      return Status::Unimplemented("no NNRT kernel for op '" + node.op_type +
+                                   "' (node '" + node.name + "')");
+    }
+    KernelContext ctx;
+    ctx.node = &node;
+    ctx.inputs.reserve(node.inputs.size());
+    for (const auto& in : node.inputs) {
+      auto it = env.find(in);
+      if (it == env.end()) {
+        return Status::ExecutionError("value '" + in +
+                                      "' not materialized before node '" +
+                                      node.name + "'");
+      }
+      ctx.inputs.push_back(&it->second);
+    }
+    ctx.outputs.resize(node.outputs.size());
+    RAVEN_RETURN_IF_ERROR((*kernel)(&ctx));
+    for (std::size_t o = 0; o < node.outputs.size(); ++o) {
+      env[node.outputs[o]] = std::move(ctx.outputs[o]);
+    }
+    total_flops += ctx.flops;
+    ++executed;
+  }
+
+  TensorMap out;
+  for (const auto& name : graph.outputs()) {
+    auto it = env.find(name);
+    if (it == env.end()) {
+      return Status::ExecutionError("graph output '" + name +
+                                    "' was not produced");
+    }
+    out[name] = std::move(it->second);
+  }
+  if (stats != nullptr) {
+    stats->wall_micros = timer.ElapsedMicros();
+    stats->simulated_micros = stats->wall_micros;
+    stats->flops = total_flops;
+    stats->nodes_executed = executed;
+  }
+  return out;
+}
+
+}  // namespace raven::nnrt

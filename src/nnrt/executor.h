@@ -1,0 +1,33 @@
+#ifndef RAVEN_NNRT_EXECUTOR_H_
+#define RAVEN_NNRT_EXECUTOR_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "nnrt/graph.h"
+#include "tensor/tensor.h"
+
+namespace raven::nnrt {
+
+/// Execution statistics for one graph run. `simulated_micros` is the
+/// device-model time used for the accelerator backend (launch overhead +
+/// flops / throughput); for the CPU device it equals measured wall time.
+struct RunStats {
+  double wall_micros = 0.0;
+  double simulated_micros = 0.0;
+  double flops = 0.0;
+  std::size_t nodes_executed = 0;
+};
+
+using TensorMap = std::unordered_map<std::string, Tensor>;
+
+/// Executes `graph` over the given named inputs, returning the map of graph
+/// outputs. Initializers seed the environment; nodes run in topological
+/// order on the calling thread.
+Result<TensorMap> ExecuteGraph(const Graph& graph, const TensorMap& inputs,
+                               RunStats* stats = nullptr);
+
+}  // namespace raven::nnrt
+
+#endif  // RAVEN_NNRT_EXECUTOR_H_

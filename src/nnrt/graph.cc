@@ -1,0 +1,299 @@
+#include "nnrt/graph.h"
+
+#include <queue>
+#include <set>
+#include <sstream>
+
+namespace raven::nnrt {
+
+namespace {
+
+template <typename T>
+Result<T> GetTypedAttr(const std::map<std::string, AttrValue>& attrs,
+                       const std::string& key, const char* type_name) {
+  auto it = attrs.find(key);
+  if (it == attrs.end()) {
+    return Status::NotFound("attribute '" + key + "' not present");
+  }
+  const T* v = std::get_if<T>(&it->second);
+  if (v == nullptr) {
+    return Status::TypeError("attribute '" + key + "' is not a " + type_name);
+  }
+  return *v;
+}
+
+}  // namespace
+
+Result<std::int64_t> Node::GetIntAttr(const std::string& key) const {
+  return GetTypedAttr<std::int64_t>(attrs, key, "int");
+}
+
+Result<double> Node::GetFloatAttr(const std::string& key) const {
+  return GetTypedAttr<double>(attrs, key, "float");
+}
+
+Result<std::string> Node::GetStringAttr(const std::string& key) const {
+  return GetTypedAttr<std::string>(attrs, key, "string");
+}
+
+Result<std::vector<std::int64_t>> Node::GetIntsAttr(
+    const std::string& key) const {
+  return GetTypedAttr<std::vector<std::int64_t>>(attrs, key, "int list");
+}
+
+Result<std::vector<double>> Node::GetFloatsAttr(const std::string& key) const {
+  return GetTypedAttr<std::vector<double>>(attrs, key, "float list");
+}
+
+Result<Tensor> Node::GetTensorAttr(const std::string& key) const {
+  return GetTypedAttr<Tensor>(attrs, key, "tensor");
+}
+
+std::int64_t Node::GetIntAttrOr(const std::string& key,
+                                std::int64_t dflt) const {
+  auto r = GetIntAttr(key);
+  return r.ok() ? r.value() : dflt;
+}
+
+double Node::GetFloatAttrOr(const std::string& key, double dflt) const {
+  auto r = GetFloatAttr(key);
+  return r.ok() ? r.value() : dflt;
+}
+
+std::string Node::GetStringAttrOr(const std::string& key,
+                                  const std::string& dflt) const {
+  auto r = GetStringAttr(key);
+  return r.ok() ? r.value() : dflt;
+}
+
+Status Graph::Validate() const {
+  std::set<std::string> produced(inputs_.begin(), inputs_.end());
+  for (const auto& [name, tensor] : initializers_) {
+    (void)tensor;
+    produced.insert(name);
+  }
+  // Producers must be unique across nodes and not collide with inputs or
+  // initializers.
+  for (const auto& node : nodes_) {
+    for (const auto& out : node.outputs) {
+      if (!produced.insert(out).second) {
+        return Status::InvalidArgument("value '" + out +
+                                       "' has multiple producers");
+      }
+    }
+  }
+  for (const auto& node : nodes_) {
+    for (const auto& in : node.inputs) {
+      if (produced.find(in) == produced.end()) {
+        return Status::InvalidArgument("node '" + node.name + "' input '" +
+                                       in + "' has no producer");
+      }
+    }
+  }
+  for (const auto& out : outputs_) {
+    if (produced.find(out) == produced.end()) {
+      return Status::InvalidArgument("graph output '" + out +
+                                     "' has no producer");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::size_t>> Graph::TopologicalOrder() const {
+  // Map producer value -> node index.
+  std::unordered_map<std::string, std::size_t> producer;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const auto& out : nodes_[i].outputs) producer[out] = i;
+  }
+  std::vector<std::size_t> indegree(nodes_.size(), 0);
+  std::vector<std::vector<std::size_t>> consumers(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    std::set<std::size_t> deps;
+    for (const auto& in : nodes_[i].inputs) {
+      auto it = producer.find(in);
+      if (it != producer.end()) deps.insert(it->second);
+    }
+    indegree[i] = deps.size();
+    for (std::size_t d : deps) consumers[d].push_back(i);
+  }
+  std::queue<std::size_t> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const std::size_t i = ready.front();
+    ready.pop();
+    order.push_back(i);
+    for (std::size_t c : consumers[i]) {
+      if (--indegree[c] == 0) ready.push(c);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return Status::InvalidArgument("graph contains a cycle");
+  }
+  return order;
+}
+
+std::size_t Graph::CountOps(const std::string& op_type) const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.op_type == op_type) ++n;
+  }
+  return n;
+}
+
+std::string Graph::FreshValueName(const std::string& prefix) {
+  return prefix + "_" + std::to_string(name_counter_++);
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream os;
+  os << "NNRT graph (" << nodes_.size() << " nodes, " << initializers_.size()
+     << " initializers)\n";
+  os << "  inputs:";
+  for (const auto& in : inputs_) os << " " << in;
+  os << "\n  outputs:";
+  for (const auto& out : outputs_) os << " " << out;
+  os << "\n";
+  for (const auto& node : nodes_) {
+    os << "  " << node.op_type << " [" << node.name << "] (";
+    for (std::size_t i = 0; i < node.inputs.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << node.inputs[i];
+    }
+    os << ") -> (";
+    for (std::size_t i = 0; i < node.outputs.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << node.outputs[i];
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+constexpr std::uint8_t kAttrInt = 0;
+constexpr std::uint8_t kAttrFloat = 1;
+constexpr std::uint8_t kAttrString = 2;
+constexpr std::uint8_t kAttrInts = 3;
+constexpr std::uint8_t kAttrFloats = 4;
+constexpr std::uint8_t kAttrTensor = 5;
+
+void SerializeAttr(const AttrValue& attr, BinaryWriter* writer) {
+  if (const auto* v = std::get_if<std::int64_t>(&attr)) {
+    writer->WriteU8(kAttrInt);
+    writer->WriteI64(*v);
+  } else if (const auto* v = std::get_if<double>(&attr)) {
+    writer->WriteU8(kAttrFloat);
+    writer->WriteF64(*v);
+  } else if (const auto* v = std::get_if<std::string>(&attr)) {
+    writer->WriteU8(kAttrString);
+    writer->WriteString(*v);
+  } else if (const auto* v = std::get_if<std::vector<std::int64_t>>(&attr)) {
+    writer->WriteU8(kAttrInts);
+    writer->WriteI64Vector(*v);
+  } else if (const auto* v = std::get_if<std::vector<double>>(&attr)) {
+    writer->WriteU8(kAttrFloats);
+    writer->WriteF64Vector(*v);
+  } else if (const auto* v = std::get_if<Tensor>(&attr)) {
+    writer->WriteU8(kAttrTensor);
+    v->Serialize(writer);
+  }
+}
+
+Result<AttrValue> DeserializeAttr(BinaryReader* reader) {
+  RAVEN_ASSIGN_OR_RETURN(std::uint8_t tag, reader->ReadU8());
+  switch (tag) {
+    case kAttrInt: {
+      RAVEN_ASSIGN_OR_RETURN(std::int64_t v, reader->ReadI64());
+      return AttrValue(v);
+    }
+    case kAttrFloat: {
+      RAVEN_ASSIGN_OR_RETURN(double v, reader->ReadF64());
+      return AttrValue(v);
+    }
+    case kAttrString: {
+      RAVEN_ASSIGN_OR_RETURN(std::string v, reader->ReadString());
+      return AttrValue(std::move(v));
+    }
+    case kAttrInts: {
+      RAVEN_ASSIGN_OR_RETURN(auto v, reader->ReadI64Vector());
+      return AttrValue(std::move(v));
+    }
+    case kAttrFloats: {
+      RAVEN_ASSIGN_OR_RETURN(auto v, reader->ReadF64Vector());
+      return AttrValue(std::move(v));
+    }
+    case kAttrTensor: {
+      RAVEN_ASSIGN_OR_RETURN(Tensor v, Tensor::Deserialize(reader));
+      return AttrValue(std::move(v));
+    }
+    default:
+      return Status::ParseError("unknown attribute tag " +
+                                std::to_string(tag));
+  }
+}
+
+}  // namespace
+
+void Graph::Serialize(BinaryWriter* writer) const {
+  writer->WriteString("RAVEN_NNRT_GRAPH_V1");
+  writer->WriteStringVector(inputs_);
+  writer->WriteStringVector(outputs_);
+  writer->WriteU64(initializers_.size());
+  for (const auto& [name, tensor] : initializers_) {
+    writer->WriteString(name);
+    tensor.Serialize(writer);
+  }
+  writer->WriteU64(nodes_.size());
+  for (const auto& node : nodes_) {
+    writer->WriteString(node.op_type);
+    writer->WriteString(node.name);
+    writer->WriteStringVector(node.inputs);
+    writer->WriteStringVector(node.outputs);
+    writer->WriteU64(node.attrs.size());
+    for (const auto& [key, attr] : node.attrs) {
+      writer->WriteString(key);
+      SerializeAttr(attr, writer);
+    }
+  }
+  writer->WriteU64(name_counter_);
+}
+
+Result<Graph> Graph::Deserialize(BinaryReader* reader) {
+  RAVEN_ASSIGN_OR_RETURN(std::string magic, reader->ReadString());
+  if (magic != "RAVEN_NNRT_GRAPH_V1") {
+    return Status::ParseError("bad NNRT graph magic: " + magic);
+  }
+  Graph graph;
+  RAVEN_ASSIGN_OR_RETURN(graph.inputs_, reader->ReadStringVector());
+  RAVEN_ASSIGN_OR_RETURN(graph.outputs_, reader->ReadStringVector());
+  RAVEN_ASSIGN_OR_RETURN(std::uint64_t n_init, reader->ReadU64());
+  for (std::uint64_t i = 0; i < n_init; ++i) {
+    RAVEN_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+    RAVEN_ASSIGN_OR_RETURN(Tensor tensor, Tensor::Deserialize(reader));
+    graph.initializers_[name] = std::move(tensor);
+  }
+  RAVEN_ASSIGN_OR_RETURN(std::uint64_t n_nodes, reader->ReadU64());
+  for (std::uint64_t i = 0; i < n_nodes; ++i) {
+    Node node;
+    RAVEN_ASSIGN_OR_RETURN(node.op_type, reader->ReadString());
+    RAVEN_ASSIGN_OR_RETURN(node.name, reader->ReadString());
+    RAVEN_ASSIGN_OR_RETURN(node.inputs, reader->ReadStringVector());
+    RAVEN_ASSIGN_OR_RETURN(node.outputs, reader->ReadStringVector());
+    RAVEN_ASSIGN_OR_RETURN(std::uint64_t n_attrs, reader->ReadU64());
+    for (std::uint64_t a = 0; a < n_attrs; ++a) {
+      RAVEN_ASSIGN_OR_RETURN(std::string key, reader->ReadString());
+      RAVEN_ASSIGN_OR_RETURN(AttrValue attr, DeserializeAttr(reader));
+      node.attrs.emplace(std::move(key), std::move(attr));
+    }
+    graph.nodes_.push_back(std::move(node));
+  }
+  RAVEN_ASSIGN_OR_RETURN(graph.name_counter_, reader->ReadU64());
+  return graph;
+}
+
+}  // namespace raven::nnrt

@@ -1,0 +1,114 @@
+#ifndef RAVEN_NNRT_GRAPH_H_
+#define RAVEN_NNRT_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace raven::nnrt {
+
+/// Node attribute: scalar, list, or tensor payload. Tree ensembles store
+/// their flattened node arrays as tensor attributes, mirroring how
+/// ai.onnx.ml.TreeEnsemble* carries its trees.
+using AttrValue = std::variant<std::int64_t, double, std::string,
+                               std::vector<std::int64_t>, std::vector<double>,
+                               Tensor>;
+
+/// A single operator invocation in an NNRT dataflow graph. Inputs/outputs
+/// are value names; the executor binds them to tensors at run time.
+struct Node {
+  std::string op_type;
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::map<std::string, AttrValue> attrs;
+
+  bool HasAttr(const std::string& key) const { return attrs.count(key) > 0; }
+
+  Result<std::int64_t> GetIntAttr(const std::string& key) const;
+  Result<double> GetFloatAttr(const std::string& key) const;
+  Result<std::string> GetStringAttr(const std::string& key) const;
+  Result<std::vector<std::int64_t>> GetIntsAttr(const std::string& key) const;
+  Result<std::vector<double>> GetFloatsAttr(const std::string& key) const;
+  Result<Tensor> GetTensorAttr(const std::string& key) const;
+
+  /// Attribute accessors with defaults for optional attributes.
+  std::int64_t GetIntAttrOr(const std::string& key, std::int64_t dflt) const;
+  double GetFloatAttrOr(const std::string& key, double dflt) const;
+  std::string GetStringAttrOr(const std::string& key,
+                              const std::string& dflt) const;
+};
+
+/// An NNRT model graph: named inputs/outputs, constant initializers, and a
+/// list of nodes. Graphs are stored topologically unsorted; the executor and
+/// optimizer sort on demand.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Declares a runtime-provided input value.
+  void AddInput(const std::string& name) { inputs_.push_back(name); }
+  /// Declares a graph output value.
+  void AddOutput(const std::string& name) { outputs_.push_back(name); }
+  /// Binds a constant tensor to a value name.
+  void AddInitializer(const std::string& name, Tensor tensor) {
+    initializers_[name] = std::move(tensor);
+  }
+  /// Appends a node; returns its index.
+  std::size_t AddNode(Node node) {
+    nodes_.push_back(std::move(node));
+    return nodes_.size() - 1;
+  }
+
+  const std::vector<std::string>& inputs() const { return inputs_; }
+  const std::vector<std::string>& outputs() const { return outputs_; }
+  const std::unordered_map<std::string, Tensor>& initializers() const {
+    return initializers_;
+  }
+  std::unordered_map<std::string, Tensor>& mutable_initializers() {
+    return initializers_;
+  }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  std::vector<Node>& mutable_nodes() { return nodes_; }
+  std::vector<std::string>& mutable_inputs() { return inputs_; }
+  std::vector<std::string>& mutable_outputs() { return outputs_; }
+
+  /// Structural checks: every node input must be produced by an initializer,
+  /// a graph input, or another node; no duplicate value producers; every
+  /// graph output must be produced.
+  Status Validate() const;
+
+  /// Returns node indices in topological (dataflow) order, or an error if
+  /// the graph has a cycle.
+  Result<std::vector<std::size_t>> TopologicalOrder() const;
+
+  /// Total number of nodes with the given op type.
+  std::size_t CountOps(const std::string& op_type) const;
+
+  /// Fresh value name with the given prefix, unique within the graph.
+  std::string FreshValueName(const std::string& prefix);
+
+  /// Multi-line structural dump for debugging and EXPLAIN output.
+  std::string ToString() const;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<Graph> Deserialize(BinaryReader* reader);
+
+ private:
+  std::vector<std::string> inputs_;
+  std::vector<std::string> outputs_;
+  std::unordered_map<std::string, Tensor> initializers_;
+  std::vector<Node> nodes_;
+  std::uint64_t name_counter_ = 0;
+};
+
+}  // namespace raven::nnrt
+
+#endif  // RAVEN_NNRT_GRAPH_H_

@@ -1,0 +1,214 @@
+#include "nnrt/graph_optimizer.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "nnrt/kernels.h"
+
+namespace raven::nnrt {
+namespace {
+
+/// Evaluates nodes whose inputs are all initializers; their outputs become
+/// initializers and the node is dropped.
+Result<std::size_t> FoldConstants(Graph* graph) {
+  std::size_t folded = 0;
+  RAVEN_ASSIGN_OR_RETURN(auto order, graph->TopologicalOrder());
+  auto& inits = graph->mutable_initializers();
+  std::unordered_set<std::string> runtime_inputs(graph->inputs().begin(),
+                                                 graph->inputs().end());
+  std::vector<bool> remove(graph->nodes().size(), false);
+  for (std::size_t idx : order) {
+    Node& node = graph->mutable_nodes()[idx];
+    if (node.op_type == "Identity") continue;  // Handled separately.
+    bool all_const = !node.inputs.empty();
+    for (const auto& in : node.inputs) {
+      if (runtime_inputs.count(in) > 0 || inits.find(in) == inits.end()) {
+        all_const = false;
+        break;
+      }
+    }
+    if (!all_const) continue;
+    const Kernel* kernel = FindKernel(node.op_type);
+    if (kernel == nullptr) continue;
+    KernelContext ctx;
+    ctx.node = &node;
+    for (const auto& in : node.inputs) ctx.inputs.push_back(&inits.at(in));
+    ctx.outputs.resize(node.outputs.size());
+    Status st = (*kernel)(&ctx);
+    if (!st.ok()) continue;  // Leave the node; runtime will report the error.
+    for (std::size_t o = 0; o < node.outputs.size(); ++o) {
+      inits[node.outputs[o]] = std::move(ctx.outputs[o]);
+    }
+    remove[idx] = true;
+    ++folded;
+  }
+  if (folded > 0) {
+    std::vector<Node> kept;
+    kept.reserve(graph->nodes().size() - folded);
+    for (std::size_t i = 0; i < graph->nodes().size(); ++i) {
+      if (!remove[i]) kept.push_back(std::move(graph->mutable_nodes()[i]));
+    }
+    graph->mutable_nodes() = std::move(kept);
+  }
+  return folded;
+}
+
+/// Rewrites consumers of Identity outputs to consume the Identity's input,
+/// then drops the Identity nodes (unless they produce a graph output).
+std::size_t EliminateIdentities(Graph* graph) {
+  std::unordered_map<std::string, std::string> alias;
+  std::set<std::string> graph_outputs(graph->outputs().begin(),
+                                      graph->outputs().end());
+  std::vector<Node> kept;
+  std::size_t removed = 0;
+  for (auto& node : graph->mutable_nodes()) {
+    if (node.op_type == "Identity" && node.inputs.size() == 1 &&
+        node.outputs.size() == 1 &&
+        graph_outputs.find(node.outputs[0]) == graph_outputs.end()) {
+      alias[node.outputs[0]] = node.inputs[0];
+      ++removed;
+    } else {
+      kept.push_back(std::move(node));
+    }
+  }
+  if (removed == 0) {
+    // Nodes were moved into `kept`; restore them even when nothing changed.
+    graph->mutable_nodes() = std::move(kept);
+    return 0;
+  }
+  auto resolve = [&alias](const std::string& name) {
+    std::string cur = name;
+    while (true) {
+      auto it = alias.find(cur);
+      if (it == alias.end()) return cur;
+      cur = it->second;
+    }
+  };
+  for (auto& node : kept) {
+    for (auto& in : node.inputs) in = resolve(in);
+  }
+  graph->mutable_nodes() = std::move(kept);
+  return removed;
+}
+
+/// Fuses MatMul(x, W) followed by Add(y, b) — with b a constant row vector —
+/// into a single Gemm(x, W, b).
+std::size_t FuseGemm(Graph* graph) {
+  // Count consumers per value so we only fuse single-use intermediates.
+  std::unordered_map<std::string, int> uses;
+  for (const auto& node : graph->nodes()) {
+    for (const auto& in : node.inputs) uses[in]++;
+  }
+  std::set<std::string> graph_outputs(graph->outputs().begin(),
+                                      graph->outputs().end());
+  std::unordered_map<std::string, std::size_t> producer;
+  for (std::size_t i = 0; i < graph->nodes().size(); ++i) {
+    for (const auto& out : graph->nodes()[i].outputs) producer[out] = i;
+  }
+  const auto& inits = graph->initializers();
+  std::vector<bool> remove(graph->nodes().size(), false);
+  std::size_t fused = 0;
+  for (auto& node : graph->mutable_nodes()) {
+    if (node.op_type != "Add" || node.inputs.size() != 2) continue;
+    // Identify which side is the constant bias.
+    int bias_side = -1;
+    if (inits.count(node.inputs[1]) > 0) {
+      bias_side = 1;
+    } else if (inits.count(node.inputs[0]) > 0) {
+      bias_side = 0;
+    } else {
+      continue;
+    }
+    const std::string& mm_value = node.inputs[bias_side == 1 ? 0 : 1];
+    auto pit = producer.find(mm_value);
+    if (pit == producer.end()) continue;
+    Node& mm = graph->mutable_nodes()[pit->second];
+    if (mm.op_type != "MatMul" || remove[pit->second]) continue;
+    if (uses[mm_value] != 1 || graph_outputs.count(mm_value) > 0) continue;
+    // Rewrite the Add node into a Gemm consuming the MatMul's inputs.
+    node.op_type = "Gemm";
+    node.inputs = {mm.inputs[0], mm.inputs[1],
+                   node.inputs[static_cast<std::size_t>(bias_side)]};
+    remove[pit->second] = true;
+    ++fused;
+  }
+  if (fused > 0) {
+    std::vector<Node> kept;
+    for (std::size_t i = 0; i < graph->nodes().size(); ++i) {
+      if (!remove[i]) kept.push_back(std::move(graph->mutable_nodes()[i]));
+    }
+    graph->mutable_nodes() = std::move(kept);
+  }
+  return fused;
+}
+
+/// Removes nodes whose outputs are not (transitively) needed by any graph
+/// output, and initializers that no surviving node consumes.
+std::size_t EliminateDeadNodes(Graph* graph) {
+  std::unordered_map<std::string, std::size_t> producer;
+  for (std::size_t i = 0; i < graph->nodes().size(); ++i) {
+    for (const auto& out : graph->nodes()[i].outputs) producer[out] = i;
+  }
+  std::vector<bool> live(graph->nodes().size(), false);
+  std::vector<std::string> frontier = graph->outputs();
+  while (!frontier.empty()) {
+    const std::string value = frontier.back();
+    frontier.pop_back();
+    auto it = producer.find(value);
+    if (it == producer.end() || live[it->second]) continue;
+    live[it->second] = true;
+    for (const auto& in : graph->nodes()[it->second].inputs) {
+      frontier.push_back(in);
+    }
+  }
+  std::size_t removed = 0;
+  std::vector<Node> kept;
+  for (std::size_t i = 0; i < graph->nodes().size(); ++i) {
+    if (live[i]) {
+      kept.push_back(std::move(graph->mutable_nodes()[i]));
+    } else {
+      ++removed;
+    }
+  }
+  graph->mutable_nodes() = std::move(kept);
+  // Drop unused initializers (outputs excepted — an output may be a folded
+  // constant).
+  std::unordered_set<std::string> used(graph->outputs().begin(),
+                                       graph->outputs().end());
+  for (const auto& node : graph->nodes()) {
+    for (const auto& in : node.inputs) used.insert(in);
+  }
+  auto& inits = graph->mutable_initializers();
+  for (auto it = inits.begin(); it != inits.end();) {
+    if (used.find(it->first) == used.end()) {
+      it = inits.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace
+
+Status OptimizeGraph(Graph* graph, GraphOptStats* stats) {
+  RAVEN_RETURN_IF_ERROR(graph->Validate());
+  GraphOptStats local;
+  for (int pass = 0; pass < 8; ++pass) {
+    const std::size_t identities = EliminateIdentities(graph);
+    RAVEN_ASSIGN_OR_RETURN(const std::size_t folded, FoldConstants(graph));
+    const std::size_t fused = FuseGemm(graph);
+    const std::size_t dead = EliminateDeadNodes(graph);
+    local.identities_removed += identities;
+    local.constants_folded += folded;
+    local.gemms_fused += fused;
+    local.dead_nodes_removed += dead;
+    if (identities + folded + fused + dead == 0) break;
+  }
+  RAVEN_RETURN_IF_ERROR(graph->Validate());
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace raven::nnrt

@@ -1,0 +1,31 @@
+#ifndef RAVEN_NNRT_GRAPH_OPTIMIZER_H_
+#define RAVEN_NNRT_GRAPH_OPTIMIZER_H_
+
+#include "common/status.h"
+#include "nnrt/graph.h"
+
+namespace raven::nnrt {
+
+/// Statistics of one optimization run, used by tests and EXPLAIN output.
+struct GraphOptStats {
+  std::size_t constants_folded = 0;
+  std::size_t identities_removed = 0;
+  std::size_t dead_nodes_removed = 0;
+  std::size_t gemms_fused = 0;
+};
+
+/// Compiler-style optimizations inside the NN runtime (paper §2 "compiler
+/// optimizations", implemented in ONNX Runtime there):
+///   1. constant folding — any node whose inputs are all initializers is
+///      evaluated at optimization time and replaced by an initializer. This
+///      is what makes predicate-derived constants (e.g. pregnant = 1)
+///      propagate through the network;
+///   2. identity elimination;
+///   3. MatMul + Add(bias row vector) fusion into Gemm;
+///   4. dead-node elimination (nodes not reachable from graph outputs).
+/// Runs rules to a fixpoint. The graph's observable outputs are unchanged.
+Status OptimizeGraph(Graph* graph, GraphOptStats* stats = nullptr);
+
+}  // namespace raven::nnrt
+
+#endif  // RAVEN_NNRT_GRAPH_OPTIMIZER_H_

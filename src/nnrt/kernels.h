@@ -1,0 +1,42 @@
+#ifndef RAVEN_NNRT_KERNELS_H_
+#define RAVEN_NNRT_KERNELS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nnrt/graph.h"
+#include "tensor/tensor.h"
+
+namespace raven::nnrt {
+
+/// Per-invocation kernel state: bound input tensors, output slots, and a
+/// floating-point-operation estimate used by the simulated-accelerator cost
+/// model (see DESIGN.md §1, GPU substitution).
+struct KernelContext {
+  const Node* node = nullptr;
+  std::vector<const Tensor*> inputs;
+  std::vector<Tensor> outputs;
+  double flops = 0.0;
+
+  const Tensor& input(std::size_t i) const { return *inputs[i]; }
+  std::size_t num_inputs() const { return inputs.size(); }
+};
+
+using Kernel = std::function<Status(KernelContext*)>;
+
+/// Looks up the CPU kernel for `op_type`; nullptr when unsupported (callers
+/// turn that into a Status and, at the Raven layer, into external-runtime
+/// fallback).
+const Kernel* FindKernel(const std::string& op_type);
+
+/// True if the executor has a kernel for this op type.
+bool IsOpSupported(const std::string& op_type);
+
+/// All registered op types, sorted (for diagnostics and docs).
+std::vector<std::string> SupportedOps();
+
+}  // namespace raven::nnrt
+
+#endif  // RAVEN_NNRT_KERNELS_H_

@@ -1,0 +1,101 @@
+#include "nnrt/session.h"
+
+#include "common/timer.h"
+
+namespace raven::nnrt {
+
+Result<std::unique_ptr<InferenceSession>> InferenceSession::Create(
+    Graph graph, const SessionOptions& options) {
+  RAVEN_RETURN_IF_ERROR(graph.Validate());
+  GraphOptStats opt_stats;
+  if (options.enable_graph_optimizations) {
+    RAVEN_RETURN_IF_ERROR(OptimizeGraph(&graph, &opt_stats));
+  }
+  return std::unique_ptr<InferenceSession>(
+      new InferenceSession(std::move(graph), options.device, opt_stats));
+}
+
+Result<std::unique_ptr<InferenceSession>> InferenceSession::FromBytes(
+    const std::string& bytes, const SessionOptions& options) {
+  BinaryReader reader(bytes);
+  RAVEN_ASSIGN_OR_RETURN(Graph graph, Graph::Deserialize(&reader));
+  return Create(std::move(graph), options);
+}
+
+Result<TensorMap> InferenceSession::Run(const TensorMap& inputs,
+                                        RunStats* stats) const {
+  RunStats local;
+  RAVEN_ASSIGN_OR_RETURN(TensorMap out, ExecuteGraph(graph_, inputs, &local));
+  if (device_.type == DeviceType::kAccelerator) {
+    local.simulated_micros =
+        device_.launch_overhead_us + local.flops / device_.flops_per_us;
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+Result<Tensor> InferenceSession::RunSingle(const Tensor& input,
+                                           RunStats* stats) const {
+  if (graph_.inputs().size() != 1 || graph_.outputs().size() != 1) {
+    return Status::InvalidArgument(
+        "RunSingle requires a single-input/single-output graph");
+  }
+  TensorMap in;
+  in[graph_.inputs()[0]] = input;
+  RAVEN_ASSIGN_OR_RETURN(TensorMap out, Run(in, stats));
+  return std::move(out.at(graph_.outputs()[0]));
+}
+
+std::string InferenceSession::ToBytes() const {
+  BinaryWriter writer;
+  graph_.Serialize(&writer);
+  return writer.Release();
+}
+
+Result<std::shared_ptr<InferenceSession>> SessionCache::GetOrCreate(
+    const std::string& key, const std::string& bytes,
+    const SessionOptions& options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.second);
+      ++hits_;
+      return it->second.first;
+    }
+    ++misses_;
+  }
+  // Build outside the lock; duplicate builds are harmless (last one wins).
+  RAVEN_ASSIGN_OR_RETURN(auto session,
+                         InferenceSession::FromBytes(bytes, options));
+  std::shared_ptr<InferenceSession> shared = std::move(session);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.second);
+    return it->second.first;
+  }
+  lru_.push_front(key);
+  entries_[key] = {shared, lru_.begin()};
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return shared;
+}
+
+void SessionCache::Invalidate(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.erase(it->second.second);
+    entries_.erase(it);
+  }
+}
+
+std::size_t SessionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace raven::nnrt

@@ -1,0 +1,104 @@
+#ifndef RAVEN_NNRT_SESSION_H_
+#define RAVEN_NNRT_SESSION_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "nnrt/device.h"
+#include "nnrt/executor.h"
+#include "nnrt/graph.h"
+#include "nnrt/graph_optimizer.h"
+
+namespace raven::nnrt {
+
+/// Options controlling session construction.
+struct SessionOptions {
+  /// Run the NNRT graph optimizer (constant folding, fusion, DCE) once at
+  /// session-creation time, like ONNX Runtime's graph optimization level.
+  bool enable_graph_optimizations = true;
+  DeviceSpec device = DeviceSpec::Cpu();
+};
+
+/// An inference session: an optimized, immutable graph plus the device it
+/// runs on. Mirrors ONNX Runtime's InferenceSession: construction does the
+/// expensive work (deserialize + optimize) once; Run() is then called many
+/// times. Thread-compatible: concurrent Run() calls are safe because
+/// execution state is per-call.
+class InferenceSession {
+ public:
+  /// Builds a session from an in-memory graph.
+  static Result<std::unique_ptr<InferenceSession>> Create(
+      Graph graph, const SessionOptions& options = SessionOptions());
+
+  /// Builds a session from a serialized model (the model-store format).
+  static Result<std::unique_ptr<InferenceSession>> FromBytes(
+      const std::string& bytes, const SessionOptions& options = SessionOptions());
+
+  /// Runs the graph. On the accelerator device, stats->simulated_micros
+  /// follows the device cost model; on CPU it equals wall time.
+  Result<TensorMap> Run(const TensorMap& inputs, RunStats* stats = nullptr) const;
+
+  /// Convenience for single-input/single-output models.
+  Result<Tensor> RunSingle(const Tensor& input, RunStats* stats = nullptr) const;
+
+  const Graph& graph() const { return graph_; }
+  const DeviceSpec& device() const { return device_; }
+  const GraphOptStats& optimization_stats() const { return opt_stats_; }
+
+  /// Serializes the (optimized) graph back to model bytes.
+  std::string ToBytes() const;
+
+ private:
+  InferenceSession(Graph graph, DeviceSpec device, GraphOptStats opt_stats)
+      : graph_(std::move(graph)), device_(device), opt_stats_(opt_stats) {}
+
+  Graph graph_;
+  DeviceSpec device_;
+  GraphOptStats opt_stats_;
+};
+
+/// LRU cache of inference sessions keyed by model name/version. This is the
+/// SQL Server-side "model and inference-session caching" that makes Raven
+/// beat standalone ONNX Runtime on small requests (paper §5 observation ii):
+/// repeated inference queries reuse the session instead of re-deserializing
+/// and re-optimizing the model. Thread-safe.
+class SessionCache {
+ public:
+  explicit SessionCache(std::size_t capacity = 32) : capacity_(capacity) {}
+
+  /// Returns the cached session for `key`, or builds one from `bytes` via
+  /// the provided options, inserting it (and evicting the least recently
+  /// used entry if at capacity).
+  Result<std::shared_ptr<InferenceSession>> GetOrCreate(
+      const std::string& key, const std::string& bytes,
+      const SessionOptions& options = SessionOptions());
+
+  /// Removes a cached session (e.g. when a model is updated
+  /// transactionally).
+  void Invalidate(const std::string& key);
+
+  std::size_t size() const;
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  // MRU-first list of keys plus index into it.
+  std::list<std::string> lru_;
+  std::unordered_map<std::string,
+                     std::pair<std::shared_ptr<InferenceSession>,
+                               std::list<std::string>::iterator>>
+      entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace raven::nnrt
+
+#endif  // RAVEN_NNRT_SESSION_H_

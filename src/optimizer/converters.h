@@ -1,0 +1,42 @@
+#ifndef RAVEN_OPTIMIZER_CONVERTERS_H_
+#define RAVEN_OPTIMIZER_CONVERTERS_H_
+
+#include "common/status.h"
+#include "ml/pipeline.h"
+#include "nnrt/graph.h"
+#include "relational/expression.h"
+
+namespace raven::optimizer {
+
+/// Options for NN translation (paper §4.2, Fig 2(d)).
+struct NnTranslationOptions {
+  /// When true, trees and forests are lowered all the way to GEMM layers
+  /// (the novel MLD -> LA transformation); when false they stay as the
+  /// higher-level TreeEnsemble op (the ONNX-ML-style encoding).
+  bool lower_trees_to_gemm = true;
+};
+
+/// Translates a trained model pipeline into an NNRT dataflow graph with a
+/// single input "X" ([n, |input_columns|] raw matrix) and output "Y"
+/// ([n, 1] predictions). Featurizer branches become GatherColumns /
+/// Scaler / OneHot ops; predictors become Gemm stacks, Sigmoid heads, or
+/// tree encodings. The translated graph computes exactly the pipeline's
+/// Predict function (float32).
+Result<nnrt::Graph> PipelineToNnGraph(
+    const ml::ModelPipeline& pipeline,
+    const NnTranslationOptions& options = NnTranslationOptions());
+
+/// Model inlining (paper §4.2, Fig 2(c)): compiles a decision-tree pipeline
+/// into a relational scalar expression (nested CASE WHEN over raw columns),
+/// the stand-in for SQL Server UDF inlining (Froid). Supported when the
+/// predictor is a DecisionTree and every feature comes from an identity,
+/// scaler, or one-hot branch (scaler tests are rewritten into raw-space
+/// thresholds; one-hot tests into equality predicates).
+Result<relational::ExprPtr> TreeToCaseExpr(const ml::ModelPipeline& pipeline);
+
+/// True if TreeToCaseExpr supports this pipeline.
+bool IsInlinable(const ml::ModelPipeline& pipeline);
+
+}  // namespace raven::optimizer
+
+#endif  // RAVEN_OPTIMIZER_CONVERTERS_H_

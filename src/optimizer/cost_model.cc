@@ -1,0 +1,174 @@
+#include "optimizer/cost_model.h"
+
+#include <cmath>
+
+namespace raven::optimizer {
+namespace {
+
+constexpr double kFilterSelectivity = 0.4;
+
+double PredictorRowCost(const ml::Predictor& predictor) {
+  if (const auto* tree = std::get_if<ml::DecisionTree>(&predictor)) {
+    return 2.0 * static_cast<double>(tree->depth());
+  }
+  if (const auto* forest = std::get_if<ml::RandomForest>(&predictor)) {
+    double cost = 0.0;
+    for (const auto& tree : forest->trees()) {
+      cost += 2.0 * static_cast<double>(tree.depth());
+    }
+    return cost;
+  }
+  if (const auto* linear = std::get_if<ml::LinearModel>(&predictor)) {
+    return 2.0 * static_cast<double>(linear->num_features()) +
+           (linear->kind() == ml::LinearKind::kLogistic ? 4.0 : 0.0);
+  }
+  const auto& mlp = std::get<ml::Mlp>(predictor);
+  double cost = 0.0;
+  for (const auto& layer : mlp.layers()) {
+    cost += 2.0 * static_cast<double>(layer.in) * static_cast<double>(layer.out);
+  }
+  return cost;
+}
+
+}  // namespace
+
+double PipelineRowCost(const ml::ModelPipeline& pipeline) {
+  double featurize = 0.0;
+  for (const auto& branch : pipeline.featurizer.branches()) {
+    switch (branch.kind) {
+      case ml::TransformKind::kIdentity:
+        featurize += static_cast<double>(branch.input_columns.size());
+        break;
+      case ml::TransformKind::kScaler:
+        featurize += 2.0 * static_cast<double>(branch.input_columns.size());
+        break;
+      case ml::TransformKind::kOneHot:
+        featurize += static_cast<double>(branch.OutputWidth());
+        break;
+    }
+  }
+  return featurize + PredictorRowCost(pipeline.predictor);
+}
+
+double NnGraphRowCost(const nnrt::Graph& graph) {
+  // Static estimate: Gemm/MatMul dominate; use initializer shapes.
+  double cost = 0.0;
+  for (const auto& node : graph.nodes()) {
+    if (node.op_type == "Gemm" || node.op_type == "MatMul") {
+      // Weight is the second input; look it up among initializers.
+      if (node.inputs.size() >= 2) {
+        auto it = graph.initializers().find(node.inputs[1]);
+        if (it != graph.initializers().end() && it->second.rank() == 2) {
+          cost += 2.0 * static_cast<double>(it->second.dim(0)) *
+                  static_cast<double>(it->second.dim(1));
+          continue;
+        }
+      }
+      cost += 16.0;  // unknown operand: nominal
+    } else {
+      cost += 4.0;  // element-wise ops, per feature (nominal)
+    }
+  }
+  return cost;
+}
+
+Result<PlanCost> EstimateCost(const ir::IrNode& node,
+                              const relational::Catalog& catalog) {
+  using ir::IrOpKind;
+  switch (node.kind) {
+    case IrOpKind::kTableScan: {
+      RAVEN_ASSIGN_OR_RETURN(const relational::Table* table,
+                             catalog.GetTable(node.table_name));
+      const double rows = static_cast<double>(table->num_rows());
+      const double cols = static_cast<double>(table->num_columns());
+      return PlanCost{rows, rows * cols};
+    }
+    case IrOpKind::kFilter: {
+      RAVEN_ASSIGN_OR_RETURN(PlanCost child,
+                             EstimateCost(*node.children[0], catalog));
+      const std::size_t conjuncts =
+          relational::ExtractConjuncts(*node.predicate).size();
+      const double selectivity =
+          std::pow(kFilterSelectivity, static_cast<double>(conjuncts));
+      return PlanCost{child.output_rows * selectivity,
+                      child.total_cost + child.output_rows *
+                                             static_cast<double>(conjuncts)};
+    }
+    case IrOpKind::kProject: {
+      RAVEN_ASSIGN_OR_RETURN(PlanCost child,
+                             EstimateCost(*node.children[0], catalog));
+      return PlanCost{child.output_rows,
+                      child.total_cost +
+                          child.output_rows *
+                              static_cast<double>(node.proj_exprs.size())};
+    }
+    case IrOpKind::kJoin: {
+      RAVEN_ASSIGN_OR_RETURN(PlanCost left,
+                             EstimateCost(*node.children[0], catalog));
+      RAVEN_ASSIGN_OR_RETURN(PlanCost right,
+                             EstimateCost(*node.children[1], catalog));
+      return PlanCost{left.output_rows,
+                      left.total_cost + right.total_cost +
+                          2.0 * (left.output_rows + right.output_rows)};
+    }
+    case IrOpKind::kUnionAll: {
+      PlanCost total{0.0, 0.0};
+      for (const auto& child : node.children) {
+        RAVEN_ASSIGN_OR_RETURN(PlanCost c, EstimateCost(*child, catalog));
+        total.output_rows += c.output_rows;
+        total.total_cost += c.total_cost;
+      }
+      return total;
+    }
+    case IrOpKind::kLimit: {
+      RAVEN_ASSIGN_OR_RETURN(PlanCost child,
+                             EstimateCost(*node.children[0], catalog));
+      return PlanCost{
+          std::min(child.output_rows, static_cast<double>(node.limit)),
+          child.total_cost};
+    }
+    case IrOpKind::kModelPipeline: {
+      RAVEN_ASSIGN_OR_RETURN(PlanCost child,
+                             EstimateCost(*node.children[0], catalog));
+      return PlanCost{child.output_rows,
+                      child.total_cost +
+                          child.output_rows * PipelineRowCost(*node.pipeline)};
+    }
+    case IrOpKind::kClusteredPredict: {
+      RAVEN_ASSIGN_OR_RETURN(PlanCost child,
+                             EstimateCost(*node.children[0], catalog));
+      double avg_cost = 0.0;
+      if (!node.clustered->cluster_models.empty()) {
+        for (const auto& model : node.clustered->cluster_models) {
+          avg_cost += PipelineRowCost(model);
+        }
+        avg_cost /= static_cast<double>(node.clustered->cluster_models.size());
+      } else {
+        avg_cost = PipelineRowCost(node.clustered->fallback);
+      }
+      const double routing =
+          2.0 * static_cast<double>(node.clustered->routing_columns.size()) *
+          static_cast<double>(node.clustered->router.k());
+      return PlanCost{child.output_rows,
+                      child.total_cost +
+                          child.output_rows * (avg_cost + routing)};
+    }
+    case IrOpKind::kNnGraph: {
+      RAVEN_ASSIGN_OR_RETURN(PlanCost child,
+                             EstimateCost(*node.children[0], catalog));
+      return PlanCost{child.output_rows,
+                      child.total_cost +
+                          child.output_rows * NnGraphRowCost(*node.nn_graph)};
+    }
+    case IrOpKind::kOpaquePipeline: {
+      RAVEN_ASSIGN_OR_RETURN(PlanCost child,
+                             EstimateCost(*node.children[0], catalog));
+      // Opaque pipelines run out of process; charge a serialization tax.
+      return PlanCost{child.output_rows,
+                      child.total_cost + child.output_rows * 64.0};
+    }
+  }
+  return Status::Internal("unreachable IR kind in EstimateCost");
+}
+
+}  // namespace raven::optimizer

@@ -1,0 +1,35 @@
+#ifndef RAVEN_OPTIMIZER_COST_MODEL_H_
+#define RAVEN_OPTIMIZER_COST_MODEL_H_
+
+#include "common/status.h"
+#include "ir/ir.h"
+#include "relational/catalog.h"
+
+namespace raven::optimizer {
+
+/// Cardinality and cost estimate for a plan subtree. Units are abstract
+/// "work units" (roughly: one scalar op). This is the seed of the paper's
+/// planned cost-based Cascades optimizer (§4.3): the heuristic pipeline
+/// uses it today to choose between model inlining and NN translation, and
+/// EXPLAIN surfaces it.
+struct PlanCost {
+  double output_rows = 0.0;
+  double total_cost = 0.0;
+};
+
+/// Per-row scoring cost of a model pipeline (featurization + predictor).
+double PipelineRowCost(const ml::ModelPipeline& pipeline);
+
+/// Static per-row cost of an NNRT graph (sum of kernel flop estimates for a
+/// single-row batch).
+double NnGraphRowCost(const nnrt::Graph& graph);
+
+/// Estimates cardinality and cost bottom-up. Filters use a fixed 0.4
+/// selectivity unless the predicate is a conjunction (0.4 per conjunct);
+/// joins assume key-FK matches (|left| rows out).
+Result<PlanCost> EstimateCost(const ir::IrNode& node,
+                              const relational::Catalog& catalog);
+
+}  // namespace raven::optimizer
+
+#endif  // RAVEN_OPTIMIZER_COST_MODEL_H_

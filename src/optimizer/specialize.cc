@@ -1,0 +1,612 @@
+#include "optimizer/specialize.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+namespace raven::optimizer {
+namespace {
+
+using ml::FeatureProvenance;
+using ml::ModelPipeline;
+using ml::PredictorKind;
+using ml::TransformKind;
+using relational::CompareOp;
+using relational::SimplePredicate;
+
+/// Per-raw-column constraint derived from predicates: an interval plus an
+/// optional exact value.
+struct ColumnConstraint {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool has_fixed = false;
+  double fixed = 0.0;
+};
+
+std::map<std::int64_t, ColumnConstraint> BuildConstraints(
+    const ModelPipeline& pipeline,
+    const std::vector<SimplePredicate>& predicates) {
+  std::map<std::string, std::int64_t> col_index;
+  for (std::size_t i = 0; i < pipeline.input_columns.size(); ++i) {
+    col_index[pipeline.input_columns[i]] = static_cast<std::int64_t>(i);
+  }
+  std::map<std::int64_t, ColumnConstraint> constraints;
+  for (const auto& pred : predicates) {
+    auto it = col_index.find(pred.column);
+    if (it == col_index.end()) continue;  // predicate on a non-model column
+    ColumnConstraint& c = constraints[it->second];
+    switch (pred.op) {
+      case CompareOp::kEq:
+        c.has_fixed = true;
+        c.fixed = pred.constant;
+        c.lo = std::max(c.lo, pred.constant);
+        c.hi = std::min(c.hi, pred.constant);
+        break;
+      case CompareOp::kLt:
+        // Closed-interval approximation of a strict bound is sound for
+        // pruning: we only remove branches *proven* unreachable.
+        c.hi = std::min(c.hi, pred.constant);
+        break;
+      case CompareOp::kLe:
+        c.hi = std::min(c.hi, pred.constant);
+        break;
+      case CompareOp::kGt:
+        c.lo = std::max(c.lo, pred.constant);
+        break;
+      case CompareOp::kGe:
+        c.lo = std::max(c.lo, pred.constant);
+        break;
+      case CompareOp::kNe:
+        break;  // not usable for intervals
+    }
+  }
+  return constraints;
+}
+
+/// Synthesizes identity provenance when the pipeline has no featurizer.
+std::vector<FeatureProvenance> ProvenanceOf(const ModelPipeline& pipeline) {
+  if (!pipeline.featurizer.branches().empty()) {
+    return pipeline.featurizer.Provenance();
+  }
+  std::vector<FeatureProvenance> prov;
+  const std::int64_t d = pipeline.NumFeatures();
+  for (std::int64_t f = 0; f < d; ++f) {
+    prov.push_back(FeatureProvenance{f, -1, TransformKind::kIdentity, -1});
+  }
+  return prov;
+}
+
+/// Affine transform applied to raw column values by the branch that
+/// produced feature `f` (y = (x - offset) * scale). Identity/one-hot
+/// features get offset 0 / scale 1.
+void FeatureAffine(const ModelPipeline& pipeline, const FeatureProvenance& p,
+                   double* offset, double* scale) {
+  *offset = 0.0;
+  *scale = 1.0;
+  if (p.kind != TransformKind::kScaler || p.branch_index < 0) return;
+  const auto& branch = pipeline.featurizer.branches()
+                           [static_cast<std::size_t>(p.branch_index)];
+  for (std::size_t c = 0; c < branch.input_columns.size(); ++c) {
+    if (branch.input_columns[c] == p.input_column) {
+      *offset = branch.scaler.mean()[c];
+      *scale = branch.scaler.scale()[c];
+      return;
+    }
+  }
+}
+
+std::int64_t TreeNodesOf(const ModelPipeline& pipeline) {
+  if (const auto* tree = std::get_if<ml::DecisionTree>(&pipeline.predictor)) {
+    return tree->num_nodes();
+  }
+  if (const auto* forest =
+          std::get_if<ml::RandomForest>(&pipeline.predictor)) {
+    return forest->total_nodes();
+  }
+  return 0;
+}
+
+/// Rebuilds pipeline with only the `keep`-marked features. For linear
+/// predictors, features with a fixed value fold into the bias.
+/// `fixed_values[f]` is meaningful when `fixed_mask[f]`.
+Result<SpecializationResult> RebuildWithFeatureMask(
+    const ModelPipeline& pipeline, const std::vector<bool>& keep,
+    const std::vector<bool>& fixed_mask,
+    const std::vector<double>& fixed_values, ml::Predictor new_predictor) {
+  const auto prov = ProvenanceOf(pipeline);
+  const std::int64_t f_total = static_cast<std::int64_t>(prov.size());
+
+  SpecializationResult result;
+  result.features_before = f_total;
+  result.tree_nodes_before = TreeNodesOf(pipeline);
+  (void)fixed_mask;
+  (void)fixed_values;
+
+  // Which raw input columns survive: a column survives iff any of its
+  // features is kept.
+  std::set<std::int64_t> kept_raw;
+  for (std::int64_t f = 0; f < f_total; ++f) {
+    if (keep[static_cast<std::size_t>(f)]) {
+      kept_raw.insert(prov[static_cast<std::size_t>(f)].input_column);
+    }
+  }
+
+  // Raw index remap old -> new (original order preserved).
+  const std::int64_t d_old =
+      static_cast<std::int64_t>(pipeline.input_columns.size());
+  std::vector<std::int64_t> raw_old_to_new(static_cast<std::size_t>(d_old),
+                                           -1);
+  std::vector<std::string> new_inputs;
+  for (std::int64_t c = 0; c < d_old; ++c) {
+    if (kept_raw.count(c) > 0) {
+      raw_old_to_new[static_cast<std::size_t>(c)] =
+          static_cast<std::int64_t>(new_inputs.size());
+      new_inputs.push_back(
+          pipeline.input_columns[static_cast<std::size_t>(c)]);
+    }
+  }
+
+  // Rebuild the featurizer branch by branch.
+  ml::Featurizer new_featurizer;
+  if (!pipeline.featurizer.branches().empty()) {
+    const auto& branches = pipeline.featurizer.branches();
+    for (std::size_t b = 0; b < branches.size(); ++b) {
+      const auto& branch = branches[b];
+      ml::FeatureBranch nb;
+      nb.name = branch.name;
+      nb.kind = branch.kind;
+      std::vector<double> new_mean;
+      std::vector<double> new_scale;
+      std::vector<std::int64_t> new_cards;
+      std::vector<std::vector<std::int64_t>> new_kept_codes;
+      for (std::size_t c = 0; c < branch.input_columns.size(); ++c) {
+        const std::int64_t raw = branch.input_columns[c];
+        // Collect this column's kept features (in provenance order).
+        bool any_kept = false;
+        std::vector<std::int64_t> kept_codes;
+        for (std::int64_t f = 0; f < f_total; ++f) {
+          const auto& p = prov[static_cast<std::size_t>(f)];
+          if (p.branch_index != static_cast<std::int64_t>(b) ||
+              p.input_column != raw) {
+            continue;
+          }
+          if (keep[static_cast<std::size_t>(f)]) {
+            any_kept = true;
+            if (branch.kind == TransformKind::kOneHot) {
+              kept_codes.push_back(p.category);
+            }
+          }
+        }
+        if (!any_kept) continue;  // column dropped from this branch
+        nb.input_columns.push_back(raw_old_to_new[static_cast<std::size_t>(raw)]);
+        switch (branch.kind) {
+          case TransformKind::kIdentity:
+            break;
+          case TransformKind::kScaler:
+            new_mean.push_back(branch.scaler.mean()[c]);
+            new_scale.push_back(branch.scaler.scale()[c]);
+            break;
+          case TransformKind::kOneHot:
+            new_cards.push_back(branch.onehot.cardinalities()[c]);
+            new_kept_codes.push_back(std::move(kept_codes));
+            break;
+        }
+      }
+      if (nb.input_columns.empty()) continue;  // whole branch dropped
+      if (nb.kind == TransformKind::kScaler) {
+        nb.scaler.SetParams(std::move(new_mean), std::move(new_scale));
+      } else if (nb.kind == TransformKind::kOneHot) {
+        nb.onehot.SetCardinalities(new_cards);
+        for (std::size_t c = 0; c < new_kept_codes.size(); ++c) {
+          if (static_cast<std::int64_t>(new_kept_codes[c].size()) !=
+              new_cards[c]) {
+            RAVEN_RETURN_IF_ERROR(
+                nb.onehot.RestrictColumn(c, std::move(new_kept_codes[c])));
+          }
+        }
+      }
+      new_featurizer.AddBranch(std::move(nb));
+    }
+  }
+
+  result.pipeline.input_columns = new_inputs;
+  result.pipeline.featurizer = std::move(new_featurizer);
+  result.pipeline.predictor = std::move(new_predictor);
+  result.kept_inputs = std::move(new_inputs);
+  result.features_after = result.pipeline.NumFeatures();
+  result.tree_nodes_after = TreeNodesOf(result.pipeline);
+  result.changed = true;
+  return result;
+}
+
+SpecializationResult Unchanged(const ModelPipeline& pipeline) {
+  SpecializationResult result;
+  result.pipeline = pipeline;
+  result.kept_inputs = pipeline.input_columns;
+  result.changed = false;
+  result.features_before = result.features_after = pipeline.NumFeatures();
+  result.tree_nodes_before = result.tree_nodes_after = TreeNodesOf(pipeline);
+  return result;
+}
+
+/// Shared specialization path for tree/forest predictors: prune with
+/// intervals (possibly empty), then drop unused features.
+template <typename TreeModel>
+Result<SpecializationResult> SpecializeTrees(
+    const ModelPipeline& pipeline, const TreeModel& model,
+    const std::vector<ml::FeatureInterval>& intervals) {
+  TreeModel pruned =
+      intervals.empty() ? model : model.PruneWithIntervals(intervals);
+  const std::vector<std::int64_t> used = pruned.UsedFeatures();
+  const std::int64_t f_total = pipeline.NumFeatures();
+  std::vector<bool> keep(static_cast<std::size_t>(f_total), false);
+  for (std::int64_t f : used) keep[static_cast<std::size_t>(f)] = true;
+  // Degenerate single-leaf model: keep one feature so shapes stay sane.
+  if (used.empty() && f_total > 0) keep[0] = true;
+
+  // Feature remap for the predictor.
+  std::vector<std::int64_t> old_to_new(static_cast<std::size_t>(f_total), -1);
+  std::int64_t next = 0;
+  for (std::int64_t f = 0; f < f_total; ++f) {
+    if (keep[static_cast<std::size_t>(f)]) {
+      old_to_new[static_cast<std::size_t>(f)] = next++;
+    }
+  }
+  RAVEN_RETURN_IF_ERROR(pruned.RemapFeatures(old_to_new));
+  return RebuildWithFeatureMask(pipeline, keep,
+                                std::vector<bool>(keep.size(), false),
+                                std::vector<double>(keep.size(), 0.0),
+                                ml::Predictor(std::move(pruned)));
+}
+
+}  // namespace
+
+Result<SpecializationResult> PruneWithPredicates(
+    const ModelPipeline& pipeline,
+    const std::vector<SimplePredicate>& predicates) {
+  const auto constraints = BuildConstraints(pipeline, predicates);
+  if (constraints.empty()) return Unchanged(pipeline);
+  const auto prov = ProvenanceOf(pipeline);
+  const std::int64_t f_total = static_cast<std::int64_t>(prov.size());
+
+  // Translate raw-column constraints into per-feature intervals / fixed
+  // values in featurized space.
+  std::vector<ml::FeatureInterval> intervals;
+  std::vector<bool> fixed_mask(static_cast<std::size_t>(f_total), false);
+  std::vector<double> fixed_values(static_cast<std::size_t>(f_total), 0.0);
+  for (std::int64_t f = 0; f < f_total; ++f) {
+    const auto& p = prov[static_cast<std::size_t>(f)];
+    auto it = constraints.find(p.input_column);
+    if (it == constraints.end()) continue;
+    const ColumnConstraint& c = it->second;
+    if (p.kind == TransformKind::kOneHot) {
+      if (!c.has_fixed) continue;  // intervals don't determine a category
+      const double v =
+          p.category == static_cast<std::int64_t>(std::llround(c.fixed))
+              ? 1.0
+              : 0.0;
+      intervals.push_back(ml::FeatureInterval{f, v, v});
+      fixed_mask[static_cast<std::size_t>(f)] = true;
+      fixed_values[static_cast<std::size_t>(f)] = v;
+      continue;
+    }
+    double offset = 0.0;
+    double scale = 1.0;
+    FeatureAffine(pipeline, p, &offset, &scale);
+    // y = (x - offset) * scale with scale > 0 preserves ordering.
+    const double lo = c.lo == -std::numeric_limits<double>::infinity()
+                          ? c.lo
+                          : (c.lo - offset) * scale;
+    const double hi = c.hi == std::numeric_limits<double>::infinity()
+                          ? c.hi
+                          : (c.hi - offset) * scale;
+    intervals.push_back(ml::FeatureInterval{f, lo, hi});
+    if (c.has_fixed) {
+      fixed_mask[static_cast<std::size_t>(f)] = true;
+      fixed_values[static_cast<std::size_t>(f)] = (c.fixed - offset) * scale;
+    }
+  }
+  if (intervals.empty()) return Unchanged(pipeline);
+
+  switch (ml::KindOf(pipeline.predictor)) {
+    case PredictorKind::kDecisionTree: {
+      const auto& tree = std::get<ml::DecisionTree>(pipeline.predictor);
+      RAVEN_ASSIGN_OR_RETURN(auto result,
+                             SpecializeTrees(pipeline, tree, intervals));
+      result.changed = result.tree_nodes_after < result.tree_nodes_before ||
+                       result.features_after < result.features_before;
+      return result;
+    }
+    case PredictorKind::kRandomForest: {
+      const auto& forest = std::get<ml::RandomForest>(pipeline.predictor);
+      RAVEN_ASSIGN_OR_RETURN(auto result,
+                             SpecializeTrees(pipeline, forest, intervals));
+      result.changed = result.tree_nodes_after < result.tree_nodes_before ||
+                       result.features_after < result.features_before;
+      return result;
+    }
+    case PredictorKind::kLinearModel: {
+      const auto& linear = std::get<ml::LinearModel>(pipeline.predictor);
+      // Keep unfixed features; fold fixed ones into the bias.
+      std::vector<bool> keep(static_cast<std::size_t>(f_total), true);
+      bool any_fixed = false;
+      std::vector<std::int64_t> kept_list;
+      double bias_delta = 0.0;
+      for (std::int64_t f = 0; f < f_total; ++f) {
+        if (fixed_mask[static_cast<std::size_t>(f)]) {
+          keep[static_cast<std::size_t>(f)] = false;
+          bias_delta += linear.weights()[static_cast<std::size_t>(f)] *
+                        fixed_values[static_cast<std::size_t>(f)];
+          any_fixed = true;
+        } else {
+          kept_list.push_back(f);
+        }
+      }
+      if (!any_fixed) return Unchanged(pipeline);
+      ml::LinearModel specialized(linear.kind());
+      std::vector<double> new_weights;
+      new_weights.reserve(kept_list.size());
+      for (std::int64_t f : kept_list) {
+        new_weights.push_back(linear.weights()[static_cast<std::size_t>(f)]);
+      }
+      specialized.SetParams(std::move(new_weights),
+                            linear.bias() + bias_delta);
+      return RebuildWithFeatureMask(pipeline, keep, fixed_mask, fixed_values,
+                                    ml::Predictor(std::move(specialized)));
+    }
+    case PredictorKind::kMlp:
+      // MLP constants fold later, inside the translated NNRT graph.
+      return Unchanged(pipeline);
+  }
+  return Status::Internal("unreachable predictor kind");
+}
+
+Result<SpecializationResult> ProjectUnusedFeatures(
+    const ModelPipeline& pipeline) {
+  const std::int64_t f_total = pipeline.NumFeatures();
+  switch (ml::KindOf(pipeline.predictor)) {
+    case PredictorKind::kDecisionTree: {
+      const auto& tree = std::get<ml::DecisionTree>(pipeline.predictor);
+      if (static_cast<std::int64_t>(tree.UsedFeatures().size()) == f_total) {
+        return Unchanged(pipeline);
+      }
+      RAVEN_ASSIGN_OR_RETURN(auto result, SpecializeTrees(pipeline, tree, {}));
+      result.changed = result.features_after < result.features_before;
+      return result;
+    }
+    case PredictorKind::kRandomForest: {
+      const auto& forest = std::get<ml::RandomForest>(pipeline.predictor);
+      if (static_cast<std::int64_t>(forest.UsedFeatures().size()) ==
+          f_total) {
+        return Unchanged(pipeline);
+      }
+      RAVEN_ASSIGN_OR_RETURN(auto result,
+                             SpecializeTrees(pipeline, forest, {}));
+      result.changed = result.features_after < result.features_before;
+      return result;
+    }
+    case PredictorKind::kLinearModel: {
+      const auto& linear = std::get<ml::LinearModel>(pipeline.predictor);
+      const auto nonzero = linear.NonZeroFeatures();
+      if (static_cast<std::int64_t>(nonzero.size()) == f_total) {
+        return Unchanged(pipeline);
+      }
+      std::vector<bool> keep(static_cast<std::size_t>(f_total), false);
+      std::vector<double> new_weights;
+      for (std::int64_t f : nonzero) {
+        keep[static_cast<std::size_t>(f)] = true;
+        new_weights.push_back(linear.weights()[static_cast<std::size_t>(f)]);
+      }
+      if (nonzero.empty() && f_total > 0) {
+        keep[0] = true;  // degenerate all-zero model keeps one feature
+        new_weights.push_back(0.0);
+      }
+      ml::LinearModel specialized(linear.kind());
+      specialized.SetParams(std::move(new_weights), linear.bias());
+      return RebuildWithFeatureMask(
+          pipeline, keep, std::vector<bool>(keep.size(), false),
+          std::vector<double>(keep.size(), 0.0),
+          ml::Predictor(std::move(specialized)));
+    }
+    case PredictorKind::kMlp:
+      return Unchanged(pipeline);
+  }
+  return Status::Internal("unreachable predictor kind");
+}
+
+Result<SpecializationResult> RestrictToValueSets(
+    const ModelPipeline& pipeline,
+    const std::map<std::int64_t, std::vector<double>>& value_sets) {
+  if (value_sets.empty()) return Unchanged(pipeline);
+  const auto prov = ProvenanceOf(pipeline);
+  const std::int64_t f_total = static_cast<std::int64_t>(prov.size());
+
+  auto code_allowed = [&](std::int64_t col, std::int64_t code) {
+    auto it = value_sets.find(col);
+    if (it == value_sets.end()) return true;
+    for (double v : it->second) {
+      if (static_cast<std::int64_t>(std::llround(v)) == code) return true;
+    }
+    return false;
+  };
+
+  std::vector<bool> keep(static_cast<std::size_t>(f_total), true);
+  bool any_dropped = false;
+  for (std::int64_t f = 0; f < f_total; ++f) {
+    const auto& p = prov[static_cast<std::size_t>(f)];
+    if (p.kind != TransformKind::kOneHot) continue;
+    if (!code_allowed(p.input_column, p.category)) {
+      keep[static_cast<std::size_t>(f)] = false;
+      any_dropped = true;
+    }
+  }
+  if (!any_dropped) return Unchanged(pipeline);
+
+  switch (ml::KindOf(pipeline.predictor)) {
+    case PredictorKind::kLinearModel: {
+      // Dropped features are identically zero on in-set rows, so their
+      // weights simply vanish — no bias folding.
+      const auto& linear = std::get<ml::LinearModel>(pipeline.predictor);
+      ml::LinearModel specialized(linear.kind());
+      std::vector<double> new_weights;
+      for (std::int64_t f = 0; f < f_total; ++f) {
+        if (keep[static_cast<std::size_t>(f)]) {
+          new_weights.push_back(
+              linear.weights()[static_cast<std::size_t>(f)]);
+        }
+      }
+      specialized.SetParams(std::move(new_weights), linear.bias());
+      return RebuildWithFeatureMask(
+          pipeline, keep, std::vector<bool>(keep.size(), false),
+          std::vector<double>(keep.size(), 0.0),
+          ml::Predictor(std::move(specialized)));
+    }
+    case PredictorKind::kDecisionTree: {
+      // Absent codes pin their indicator features to 0.
+      std::vector<ml::FeatureInterval> intervals;
+      for (std::int64_t f = 0; f < f_total; ++f) {
+        if (!keep[static_cast<std::size_t>(f)]) {
+          intervals.push_back(ml::FeatureInterval{f, 0.0, 0.0});
+        }
+      }
+      const auto& tree = std::get<ml::DecisionTree>(pipeline.predictor);
+      return SpecializeTrees(pipeline, tree, intervals);
+    }
+    case PredictorKind::kRandomForest: {
+      std::vector<ml::FeatureInterval> intervals;
+      for (std::int64_t f = 0; f < f_total; ++f) {
+        if (!keep[static_cast<std::size_t>(f)]) {
+          intervals.push_back(ml::FeatureInterval{f, 0.0, 0.0});
+        }
+      }
+      const auto& forest = std::get<ml::RandomForest>(pipeline.predictor);
+      return SpecializeTrees(pipeline, forest, intervals);
+    }
+    case PredictorKind::kMlp:
+      return Unchanged(pipeline);
+  }
+  return Status::Internal("unreachable predictor kind");
+}
+
+Result<ir::ClusteredModel> BuildClusteredModel(
+    const ModelPipeline& pipeline, const relational::Table& sample,
+    const ClusteringOptions& options) {
+  // Determine routing columns: explicitly given, else every one-hot input.
+  std::vector<std::int64_t> routing;
+  if (!options.routing_columns.empty()) {
+    for (const auto& name : options.routing_columns) {
+      bool found = false;
+      for (std::size_t i = 0; i < pipeline.input_columns.size(); ++i) {
+        if (pipeline.input_columns[i] == name) {
+          routing.push_back(static_cast<std::int64_t>(i));
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::NotFound("routing column '" + name +
+                                "' not a pipeline input");
+      }
+    }
+  } else {
+    std::set<std::int64_t> onehot_cols;
+    for (const auto& branch : pipeline.featurizer.branches()) {
+      if (branch.kind != TransformKind::kOneHot) continue;
+      for (std::int64_t c : branch.input_columns) onehot_cols.insert(c);
+    }
+    routing.assign(onehot_cols.begin(), onehot_cols.end());
+  }
+  if (routing.empty()) {
+    return Status::InvalidArgument(
+        "model clustering needs at least one routing column");
+  }
+
+  RAVEN_ASSIGN_OR_RETURN(Tensor x, sample.ToTensor(pipeline.input_columns));
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  Tensor routing_matrix =
+      Tensor::Zeros({n, static_cast<std::int64_t>(routing.size())});
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::size_t j = 0; j < routing.size(); ++j) {
+      routing_matrix.raw()[r * static_cast<std::int64_t>(routing.size()) +
+                           static_cast<std::int64_t>(j)] =
+          x.raw()[r * d + routing[j]];
+    }
+  }
+  ir::ClusteredModel out;
+  ml::KMeansOptions km_options;
+  km_options.k = options.k;
+  km_options.max_iters = options.max_iters;
+  km_options.seed = options.seed;
+  RAVEN_RETURN_IF_ERROR(out.router.Fit(routing_matrix, km_options));
+  out.routing_columns = routing;
+  out.fallback = pipeline;
+
+  RAVEN_ASSIGN_OR_RETURN(auto assignment, out.router.Assign(routing_matrix));
+  for (std::int64_t c = 0; c < out.router.k(); ++c) {
+    // Summarize each routing column within this cluster: constant columns
+    // become equality predicates (feature fixing); small value sets become
+    // one-hot code restrictions ("only specific unique values appear").
+    std::vector<std::pair<std::int64_t, double>> constants;
+    std::map<std::int64_t, std::vector<double>> value_sets;
+    bool cluster_empty = true;
+    for (std::size_t j = 0; j < routing.size(); ++j) {
+      std::set<double> values;
+      for (std::int64_t r = 0; r < n; ++r) {
+        if (assignment[static_cast<std::size_t>(r)] != c) continue;
+        cluster_empty = false;
+        values.insert(x.raw()[r * d + routing[j]]);
+      }
+      if (values.empty()) continue;
+      if (values.size() == 1) {
+        constants.emplace_back(routing[j], *values.begin());
+      } else {
+        value_sets[routing[j]] =
+            std::vector<double>(values.begin(), values.end());
+      }
+    }
+    if (cluster_empty) {
+      out.cluster_models.push_back(pipeline);
+      out.assumptions.push_back({});
+      out.allowed_values.push_back({});
+      continue;
+    }
+    ModelPipeline specialized = pipeline;
+    if (!constants.empty()) {
+      std::vector<SimplePredicate> predicates;
+      for (const auto& [col, value] : constants) {
+        predicates.push_back(SimplePredicate{
+            pipeline.input_columns[static_cast<std::size_t>(col)],
+            CompareOp::kEq, value});
+      }
+      RAVEN_ASSIGN_OR_RETURN(auto result,
+                             PruneWithPredicates(specialized, predicates));
+      specialized = std::move(result.pipeline);
+    }
+    // Re-map the value-set column indices into the (possibly narrowed)
+    // specialized pipeline before restricting codes.
+    std::map<std::int64_t, std::vector<double>> remapped_sets;
+    for (const auto& [col, values] : value_sets) {
+      const std::string& name =
+          pipeline.input_columns[static_cast<std::size_t>(col)];
+      for (std::size_t i = 0; i < specialized.input_columns.size(); ++i) {
+        if (specialized.input_columns[i] == name) {
+          remapped_sets[static_cast<std::int64_t>(i)] = values;
+          break;
+        }
+      }
+    }
+    if (!remapped_sets.empty()) {
+      RAVEN_ASSIGN_OR_RETURN(auto result,
+                             RestrictToValueSets(specialized, remapped_sets));
+      specialized = std::move(result.pipeline);
+    }
+    out.cluster_models.push_back(std::move(specialized));
+    out.assumptions.push_back(std::move(constants));
+    out.allowed_values.push_back(std::move(value_sets));
+  }
+  return out;
+}
+
+}  // namespace raven::optimizer

@@ -1,0 +1,82 @@
+#ifndef RAVEN_OPTIMIZER_SPECIALIZE_H_
+#define RAVEN_OPTIMIZER_SPECIALIZE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/clustered_model.h"
+#include "ml/pipeline.h"
+#include "relational/expression.h"
+#include "relational/table.h"
+
+namespace raven::optimizer {
+
+/// Output of a pipeline specialization: the rewritten pipeline, the raw
+/// input columns it still needs, and size accounting for EXPLAIN/tests.
+struct SpecializationResult {
+  ml::ModelPipeline pipeline;
+  /// Raw input column names kept, in original order (== pipeline.input_columns).
+  std::vector<std::string> kept_inputs;
+  bool changed = false;
+  std::int64_t features_before = 0;
+  std::int64_t features_after = 0;
+  std::int64_t tree_nodes_before = 0;
+  std::int64_t tree_nodes_after = 0;
+};
+
+/// Predicate-based model pruning (paper §4.1): specializes `pipeline` under
+/// the given column predicates, which are guaranteed to hold for every row
+/// reaching the model.
+///  - decision trees / forests: branches incompatible with the implied
+///    feature intervals are removed, then unused features projected out;
+///  - linear models: features fixed by equality predicates (numeric values
+///    and whole one-hot blocks) are folded into the bias and dropped;
+///  - MLPs: returned unchanged (their constants fold later inside the NNRT
+///    graph optimizer).
+/// The specialized pipeline is observationally equivalent to the original
+/// on all rows satisfying the predicates.
+Result<SpecializationResult> PruneWithPredicates(
+    const ml::ModelPipeline& pipeline,
+    const std::vector<relational::SimplePredicate>& predicates);
+
+/// Model-projection pushdown (paper §4.1, Fig 2(a)): drops features the
+/// predictor provably ignores — zero-weight features of L1-regularized
+/// linear models, features untested by any tree. Raw input columns none of
+/// whose features survive are dropped from the pipeline, enabling
+/// relational projection pushdown and join elimination upstream.
+Result<SpecializationResult> ProjectUnusedFeatures(
+    const ml::ModelPipeline& pipeline);
+
+/// Value-set specialization (paper §4.1: "only specific unique values
+/// appear in the data"): restricts each listed one-hot input column to the
+/// given codes, projecting all other codes' features out of the model.
+/// Sound on any row whose column values stay within the sets (those
+/// features are identically zero there); rows outside the sets must be
+/// routed elsewhere (ClusteredModel handles that with its fallback).
+Result<SpecializationResult> RestrictToValueSets(
+    const ml::ModelPipeline& pipeline,
+    const std::map<std::int64_t, std::vector<double>>& value_sets);
+
+/// Options for offline model clustering (paper §4.1, Fig 2(b)).
+struct ClusteringOptions {
+  std::int64_t k = 8;
+  std::int64_t max_iters = 20;
+  std::uint64_t seed = 53;
+  /// Raw input columns (by name) to cluster on; empty = all one-hot
+  /// (categorical) inputs of the pipeline.
+  std::vector<std::string> routing_columns;
+};
+
+/// Builds the clustering artifact: k-means over the routing columns of a
+/// historical sample, plus one precompiled (predicate-pruned) model per
+/// cluster for the routing-column values that are constant within it.
+Result<ir::ClusteredModel> BuildClusteredModel(
+    const ml::ModelPipeline& pipeline, const relational::Table& sample,
+    const ClusteringOptions& options);
+
+}  // namespace raven::optimizer
+
+#endif  // RAVEN_OPTIMIZER_SPECIALIZE_H_

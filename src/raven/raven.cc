@@ -1,0 +1,96 @@
+#include "raven/raven.h"
+
+#include "common/timer.h"
+
+namespace raven {
+
+RavenContext::RavenContext(RavenOptions options)
+    : options_(std::move(options)),
+      session_cache_(options_.session_cache_capacity),
+      analyzer_(&catalog_),
+      optimizer_(&catalog_, options_.optimizer),
+      executor_(&catalog_, &session_cache_) {}
+
+Status RavenContext::RegisterTable(const std::string& name,
+                                   relational::Table table) {
+  return catalog_.RegisterTable(name, std::move(table));
+}
+
+Status RavenContext::InsertModel(const std::string& name,
+                                 const std::string& script,
+                                 const ml::ModelPipeline& pipeline) {
+  return catalog_.InsertModel(name, script, pipeline.ToBytes());
+}
+
+Status RavenContext::UpdateModel(const std::string& name,
+                                 const std::string& script,
+                                 const ml::ModelPipeline& pipeline) {
+  return catalog_.UpdateModel(name, script, pipeline.ToBytes());
+}
+
+Status RavenContext::BuildClusteredModel(
+    const std::string& model_name, const std::string& sample_table,
+    const optimizer::ClusteringOptions& options) {
+  RAVEN_ASSIGN_OR_RETURN(relational::StoredModel stored,
+                         catalog_.GetModel(model_name));
+  RAVEN_ASSIGN_OR_RETURN(ml::ModelPipeline pipeline,
+                         ml::ModelPipeline::FromBytes(stored.pipeline_bytes));
+  RAVEN_ASSIGN_OR_RETURN(const relational::Table* sample,
+                         catalog_.GetTable(sample_table));
+  RAVEN_ASSIGN_OR_RETURN(ir::ClusteredModel artifact,
+                         optimizer::BuildClusteredModel(pipeline, *sample,
+                                                        options));
+  optimizer_.RegisterClusteredModel(
+      model_name, std::make_shared<ir::ClusteredModel>(std::move(artifact)));
+  return Status::OK();
+}
+
+Result<ir::IrPlan> RavenContext::Prepare(
+    const std::string& sql, optimizer::OptimizationReport* report) {
+  RAVEN_ASSIGN_OR_RETURN(ir::IrPlan plan, analyzer_.Analyze(sql));
+  RAVEN_RETURN_IF_ERROR(optimizer_.Optimize(&plan, report));
+  return plan;
+}
+
+Result<relational::Table> RavenContext::ExecutePlan(
+    const ir::IrPlan& plan, runtime::ExecutionStats* stats) {
+  return executor_.Execute(plan, options_.execution, stats);
+}
+
+Result<QueryResult> RavenContext::Query(const std::string& sql) {
+  Timer timer;
+  QueryResult result;
+  RAVEN_ASSIGN_OR_RETURN(ir::IrPlan plan,
+                         analyzer_.Analyze(sql, &result.analysis));
+  RAVEN_RETURN_IF_ERROR(optimizer_.Optimize(&plan, &result.optimization));
+  result.generated_sql = runtime::GenerateSql(*plan.root());
+  RAVEN_ASSIGN_OR_RETURN(result.table,
+                         executor_.Execute(plan, options_.execution,
+                                           &result.execution));
+  result.total_millis = timer.ElapsedMillis();
+  return result;
+}
+
+Result<std::string> RavenContext::Explain(const std::string& sql) {
+  frontend::AnalysisStats analysis;
+  RAVEN_ASSIGN_OR_RETURN(ir::IrPlan plan, analyzer_.Analyze(sql, &analysis));
+  optimizer::OptimizationReport report;
+  RAVEN_RETURN_IF_ERROR(optimizer_.Optimize(&plan, &report));
+  std::string out = "=== Unified IR (after static analysis) ===\n";
+  out += report.before;
+  if (analysis.used_udf_fallback) {
+    out += "-- UDF fallback: " + analysis.fallback_reason + "\n";
+  }
+  out += "=== Optimized IR ===\n";
+  out += report.after;
+  out += "=== Rules ===\n";
+  for (const auto& [rule, fired] : report.rule_applications) {
+    out += "  " + rule + ": " + std::to_string(fired) + "\n";
+  }
+  out += "=== Generated SQL ===\n";
+  out += runtime::GenerateSql(*plan.root());
+  out += "\n";
+  return out;
+}
+
+}  // namespace raven

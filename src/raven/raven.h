@@ -1,0 +1,109 @@
+#ifndef RAVEN_RAVEN_RAVEN_H_
+#define RAVEN_RAVEN_RAVEN_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "frontend/analyzer.h"
+#include "ml/pipeline.h"
+#include "nnrt/session.h"
+#include "optimizer/cross_optimizer.h"
+#include "optimizer/specialize.h"
+#include "relational/catalog.h"
+#include "relational/table.h"
+#include "runtime/codegen.h"
+#include "runtime/plan_executor.h"
+
+namespace raven {
+
+/// Result of one inference query: the output table plus the artifacts of
+/// every stage (analysis, optimization, execution) for inspection.
+struct QueryResult {
+  relational::Table table;
+  frontend::AnalysisStats analysis;
+  optimizer::OptimizationReport optimization;
+  runtime::ExecutionStats execution;
+  /// The rewritten SQL emitted by the Runtime Code Generator.
+  std::string generated_sql;
+  double total_millis = 0.0;
+};
+
+/// Top-level configuration.
+struct RavenOptions {
+  optimizer::OptimizerOptions optimizer;
+  runtime::ExecutionOptions execution;
+  std::size_t session_cache_capacity = 32;
+};
+
+/// The Raven system facade: an in-memory RDBMS with models stored in its
+/// catalog, a static analyzer for inference queries, the cross optimizer,
+/// and the integrated NNRT runtime (paper Fig 1 end-to-end).
+///
+/// Typical use:
+///   RavenContext ctx;
+///   ctx.RegisterTable("patients", table);
+///   ctx.InsertModel("duration_of_stay", script, pipeline);
+///   auto result = ctx.Query(
+///       "SELECT id, p FROM PREDICT(MODEL='duration_of_stay', "
+///       "DATA=patients) WITH(p float) WHERE p > 7");
+class RavenContext {
+ public:
+  explicit RavenContext(RavenOptions options = RavenOptions());
+
+  // -- Data & model registration -------------------------------------------
+  Status RegisterTable(const std::string& name, relational::Table table);
+  /// INSERT INTO models(name, script, pipeline): stores the script and the
+  /// serialized trained pipeline in the catalog.
+  Status InsertModel(const std::string& name, const std::string& script,
+                     const ml::ModelPipeline& pipeline);
+  /// Transactional model replacement (bumps version; cached inference
+  /// sessions for the old version age out of the LRU cache).
+  Status UpdateModel(const std::string& name, const std::string& script,
+                     const ml::ModelPipeline& pipeline);
+
+  /// Builds and registers a model-clustering artifact from a sample table
+  /// (paper §4.1: clustering runs offline on historical data).
+  Status BuildClusteredModel(const std::string& model_name,
+                             const std::string& sample_table,
+                             const optimizer::ClusteringOptions& options);
+
+  // -- Query execution -------------------------------------------------------
+  /// Full path: static analysis -> cross optimization -> code generation ->
+  /// execution.
+  Result<QueryResult> Query(const std::string& sql);
+
+  /// Analyze + optimize only; returns the IR before/after and the
+  /// generated SQL.
+  Result<std::string> Explain(const std::string& sql);
+
+  /// Analyze + optimize, returning the plan (benchmark harness hook:
+  /// optimize once, execute many times).
+  Result<ir::IrPlan> Prepare(const std::string& sql,
+                             optimizer::OptimizationReport* report = nullptr);
+  /// Executes a prepared plan.
+  Result<relational::Table> ExecutePlan(const ir::IrPlan& plan,
+                                        runtime::ExecutionStats* stats = nullptr);
+
+  // -- Component access -------------------------------------------------------
+  relational::Catalog& catalog() { return catalog_; }
+  const relational::Catalog& catalog() const { return catalog_; }
+  optimizer::CrossOptimizer& cross_optimizer() { return optimizer_; }
+  nnrt::SessionCache& session_cache() { return session_cache_; }
+  runtime::ExecutionOptions& execution_options() { return options_.execution; }
+  optimizer::OptimizerOptions& optimizer_options() {
+    return optimizer_.mutable_options();
+  }
+
+ private:
+  RavenOptions options_;
+  relational::Catalog catalog_;
+  nnrt::SessionCache session_cache_;
+  frontend::StaticAnalyzer analyzer_;
+  optimizer::CrossOptimizer optimizer_;
+  runtime::PlanExecutor executor_;
+};
+
+}  // namespace raven
+
+#endif  // RAVEN_RAVEN_RAVEN_H_

@@ -1,0 +1,75 @@
+#ifndef RAVEN_RELATIONAL_CATALOG_H_
+#define RAVEN_RELATIONAL_CATALOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace raven::relational {
+
+/// A stored model: the pipeline script (the paper's Python source), the
+/// serialized trained pipeline bytes, and a version stamp. Storing models
+/// alongside data is the paper's central governance argument (§1): models
+/// inherit transactional updates, versioning, and auditability.
+struct StoredModel {
+  std::string name;
+  std::string script;
+  std::string pipeline_bytes;
+  std::int64_t version = 1;
+};
+
+/// Database catalog: named tables plus a model store with transactional
+/// (atomic, versioned, audited) model updates. Thread-safe.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // -- Tables -------------------------------------------------------------
+  Status RegisterTable(const std::string& name, Table table);
+  Result<const Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  // -- Model store ----------------------------------------------------------
+  /// INSERT INTO scoring_models: fails if the name exists (use UpdateModel).
+  Status InsertModel(const std::string& name, const std::string& script,
+                     const std::string& pipeline_bytes);
+  /// Atomically replaces a model, bumping its version and notifying
+  /// invalidation listeners (e.g. the inference-session cache).
+  Status UpdateModel(const std::string& name, const std::string& script,
+                     const std::string& pipeline_bytes);
+  Status DropModel(const std::string& name);
+  Result<StoredModel> GetModel(const std::string& name) const;
+  bool HasModel(const std::string& name) const;
+  std::vector<std::string> ModelNames() const;
+
+  /// Versioned cache key "<name>@v<version>" for the session cache.
+  Result<std::string> ModelCacheKey(const std::string& name) const;
+
+  /// Audit log of model-store mutations ("INSERT name v1", ...).
+  const std::vector<std::string>& AuditLog() const { return audit_log_; }
+
+  /// Registers a callback fired (with the model name) on update/drop.
+  void AddInvalidationListener(std::function<void(const std::string&)> fn) {
+    listeners_.push_back(std::move(fn));
+  }
+
+ private:
+  void Notify(const std::string& name);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Table> tables_;
+  std::map<std::string, StoredModel> models_;
+  std::vector<std::string> audit_log_;
+  std::vector<std::function<void(const std::string&)>> listeners_;
+};
+
+}  // namespace raven::relational
+
+#endif  // RAVEN_RELATIONAL_CATALOG_H_

@@ -1,0 +1,42 @@
+#ifndef RAVEN_RELATIONAL_CHUNK_H_
+#define RAVEN_RELATIONAL_CHUNK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace raven::relational {
+
+/// Preferred number of rows per execution batch (DuckDB-style vectorized
+/// execution).
+inline constexpr std::int64_t kChunkSize = 2048;
+
+/// A batch of rows flowing between physical operators, stored columnar.
+struct DataChunk {
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> cols;
+
+  std::int64_t num_rows() const {
+    return cols.empty() ? 0 : static_cast<std::int64_t>(cols.front().size());
+  }
+  std::int64_t num_cols() const {
+    return static_cast<std::int64_t>(cols.size());
+  }
+
+  Result<std::int64_t> ColumnIndex(const std::string& name) const {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return static_cast<std::int64_t>(i);
+    }
+    return Status::NotFound("chunk column '" + name + "' not found");
+  }
+
+  void Clear() {
+    for (auto& c : cols) c.clear();
+  }
+};
+
+}  // namespace raven::relational
+
+#endif  // RAVEN_RELATIONAL_CHUNK_H_

@@ -1,0 +1,100 @@
+#include "relational/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace raven::relational {
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  const auto& cols = table.columns();
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    if (c > 0) out << ",";
+    out << cols[c].name;
+  }
+  out << "\n";
+  const std::int64_t n = table.num_rows();
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      if (c > 0) out << ",";
+      if (cols[c].is_categorical()) {
+        const auto code =
+            static_cast<std::size_t>(cols[c].data[static_cast<std::size_t>(r)]);
+        out << (code < cols[c].dictionary->size()
+                    ? (*cols[c].dictionary)[code]
+                    : "");
+      } else {
+        out << cols[c].data[static_cast<std::size_t>(r)];
+      }
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::string line;
+  if (!std::getline(in, line)) return Status::ParseError("empty CSV");
+  const std::vector<std::string> header = SplitString(TrimString(line), ',');
+  std::vector<std::vector<std::string>> raw(header.size());
+  while (std::getline(in, line)) {
+    if (TrimString(line).empty()) continue;
+    const std::vector<std::string> fields = SplitString(line, ',');
+    if (fields.size() != header.size()) {
+      return Status::ParseError("CSV row has " +
+                                std::to_string(fields.size()) +
+                                " fields, expected " +
+                                std::to_string(header.size()));
+    }
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      raw[c].push_back(TrimString(fields[c]));
+    }
+  }
+  Table table;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    bool numeric = true;
+    std::vector<double> nums;
+    nums.reserve(raw[c].size());
+    for (const auto& field : raw[c]) {
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        numeric = false;
+        break;
+      }
+      nums.push_back(v);
+    }
+    if (numeric) {
+      RAVEN_RETURN_IF_ERROR(table.AddNumericColumn(header[c], std::move(nums)));
+    } else {
+      std::map<std::string, double> dict_index;
+      std::vector<std::string> dictionary;
+      std::vector<double> codes;
+      codes.reserve(raw[c].size());
+      for (const auto& field : raw[c]) {
+        auto it = dict_index.find(field);
+        if (it == dict_index.end()) {
+          const double code = static_cast<double>(dictionary.size());
+          dict_index[field] = code;
+          dictionary.push_back(field);
+          codes.push_back(code);
+        } else {
+          codes.push_back(it->second);
+        }
+      }
+      RAVEN_RETURN_IF_ERROR(table.AddCategoricalColumn(
+          header[c], std::move(codes), std::move(dictionary)));
+    }
+  }
+  return table;
+}
+
+}  // namespace raven::relational

@@ -1,0 +1,21 @@
+#ifndef RAVEN_RELATIONAL_CSV_H_
+#define RAVEN_RELATIONAL_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace raven::relational {
+
+/// Writes a table to CSV (categorical columns emit their dictionary
+/// strings).
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV with a header row. Columns whose values all parse as numbers
+/// become numeric; anything else becomes a dictionary-encoded categorical.
+Result<Table> ReadCsv(const std::string& path);
+
+}  // namespace raven::relational
+
+#endif  // RAVEN_RELATIONAL_CSV_H_

@@ -1,0 +1,333 @@
+#include "relational/expression.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace raven::relational {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CompareOp FlipCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;
+  }
+}
+
+Status ColumnRefExpr::Evaluate(const DataChunk& chunk,
+                               std::vector<double>* out) const {
+  RAVEN_ASSIGN_OR_RETURN(std::int64_t idx, chunk.ColumnIndex(name_));
+  *out = chunk.cols[static_cast<std::size_t>(idx)];
+  return Status::OK();
+}
+
+Status LiteralExpr::Evaluate(const DataChunk& chunk,
+                             std::vector<double>* out) const {
+  out->assign(static_cast<std::size_t>(chunk.num_rows()), value_);
+  return Status::OK();
+}
+
+std::string LiteralExpr::ToString() const {
+  std::ostringstream os;
+  os << value_;
+  return os.str();
+}
+
+Status CompareExpr::Evaluate(const DataChunk& chunk,
+                             std::vector<double>* out) const {
+  std::vector<double> l;
+  std::vector<double> r;
+  RAVEN_RETURN_IF_ERROR(lhs_->Evaluate(chunk, &l));
+  RAVEN_RETURN_IF_ERROR(rhs_->Evaluate(chunk, &r));
+  out->resize(l.size());
+  switch (op_) {
+    case CompareOp::kEq:
+      for (std::size_t i = 0; i < l.size(); ++i) (*out)[i] = l[i] == r[i];
+      break;
+    case CompareOp::kNe:
+      for (std::size_t i = 0; i < l.size(); ++i) (*out)[i] = l[i] != r[i];
+      break;
+    case CompareOp::kLt:
+      for (std::size_t i = 0; i < l.size(); ++i) (*out)[i] = l[i] < r[i];
+      break;
+    case CompareOp::kLe:
+      for (std::size_t i = 0; i < l.size(); ++i) (*out)[i] = l[i] <= r[i];
+      break;
+    case CompareOp::kGt:
+      for (std::size_t i = 0; i < l.size(); ++i) (*out)[i] = l[i] > r[i];
+      break;
+    case CompareOp::kGe:
+      for (std::size_t i = 0; i < l.size(); ++i) (*out)[i] = l[i] >= r[i];
+      break;
+  }
+  return Status::OK();
+}
+
+std::string CompareExpr::ToString() const {
+  return "(" + lhs_->ToString() + " " + CompareOpToString(op_) + " " +
+         rhs_->ToString() + ")";
+}
+
+Status ArithExpr::Evaluate(const DataChunk& chunk,
+                           std::vector<double>* out) const {
+  std::vector<double> l;
+  std::vector<double> r;
+  RAVEN_RETURN_IF_ERROR(lhs_->Evaluate(chunk, &l));
+  RAVEN_RETURN_IF_ERROR(rhs_->Evaluate(chunk, &r));
+  out->resize(l.size());
+  switch (op_) {
+    case ArithOp::kAdd:
+      for (std::size_t i = 0; i < l.size(); ++i) (*out)[i] = l[i] + r[i];
+      break;
+    case ArithOp::kSub:
+      for (std::size_t i = 0; i < l.size(); ++i) (*out)[i] = l[i] - r[i];
+      break;
+    case ArithOp::kMul:
+      for (std::size_t i = 0; i < l.size(); ++i) (*out)[i] = l[i] * r[i];
+      break;
+    case ArithOp::kDiv:
+      for (std::size_t i = 0; i < l.size(); ++i) (*out)[i] = l[i] / r[i];
+      break;
+  }
+  return Status::OK();
+}
+
+std::string ArithExpr::ToString() const {
+  const char* op = "?";
+  switch (op_) {
+    case ArithOp::kAdd:
+      op = "+";
+      break;
+    case ArithOp::kSub:
+      op = "-";
+      break;
+    case ArithOp::kMul:
+      op = "*";
+      break;
+    case ArithOp::kDiv:
+      op = "/";
+      break;
+  }
+  return "(" + lhs_->ToString() + " " + op + " " + rhs_->ToString() + ")";
+}
+
+Status LogicalExpr::Evaluate(const DataChunk& chunk,
+                             std::vector<double>* out) const {
+  std::vector<double> l;
+  RAVEN_RETURN_IF_ERROR(lhs_->Evaluate(chunk, &l));
+  if (op_ == LogicalOp::kNot) {
+    out->resize(l.size());
+    for (std::size_t i = 0; i < l.size(); ++i) (*out)[i] = l[i] == 0.0;
+    return Status::OK();
+  }
+  if (rhs_ == nullptr) {
+    return Status::InvalidArgument("binary logical op missing rhs");
+  }
+  std::vector<double> r;
+  RAVEN_RETURN_IF_ERROR(rhs_->Evaluate(chunk, &r));
+  out->resize(l.size());
+  if (op_ == LogicalOp::kAnd) {
+    for (std::size_t i = 0; i < l.size(); ++i) {
+      (*out)[i] = (l[i] != 0.0 && r[i] != 0.0) ? 1.0 : 0.0;
+    }
+  } else {
+    for (std::size_t i = 0; i < l.size(); ++i) {
+      (*out)[i] = (l[i] != 0.0 || r[i] != 0.0) ? 1.0 : 0.0;
+    }
+  }
+  return Status::OK();
+}
+
+std::string LogicalExpr::ToString() const {
+  if (op_ == LogicalOp::kNot) return "NOT " + lhs_->ToString();
+  return "(" + lhs_->ToString() +
+         (op_ == LogicalOp::kAnd ? " AND " : " OR ") + rhs_->ToString() + ")";
+}
+
+Status CaseWhenExpr::Evaluate(const DataChunk& chunk,
+                              std::vector<double>* out) const {
+  const std::size_t n = static_cast<std::size_t>(chunk.num_rows());
+  std::vector<double> else_vals;
+  if (else_ != nullptr) {
+    RAVEN_RETURN_IF_ERROR(else_->Evaluate(chunk, &else_vals));
+  } else {
+    else_vals.assign(n, 0.0);
+  }
+  *out = std::move(else_vals);
+  std::vector<bool> decided(n, false);
+  std::vector<double> cond;
+  std::vector<double> val;
+  for (const auto& arm : arms_) {
+    RAVEN_RETURN_IF_ERROR(arm.when->Evaluate(chunk, &cond));
+    RAVEN_RETURN_IF_ERROR(arm.then->Evaluate(chunk, &val));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!decided[i] && cond[i] != 0.0) {
+        (*out)[i] = val[i];
+        decided[i] = true;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string CaseWhenExpr::ToString() const {
+  std::ostringstream os;
+  os << "CASE";
+  for (const auto& arm : arms_) {
+    os << " WHEN " << arm.when->ToString() << " THEN "
+       << arm.then->ToString();
+  }
+  if (else_ != nullptr) os << " ELSE " << else_->ToString();
+  os << " END";
+  return os.str();
+}
+
+ExprPtr CaseWhenExpr::Clone() const {
+  std::vector<Arm> arms;
+  arms.reserve(arms_.size());
+  for (const auto& arm : arms_) {
+    arms.push_back(Arm{arm.when->Clone(), arm.then->Clone()});
+  }
+  return std::make_unique<CaseWhenExpr>(std::move(arms),
+                                        else_ ? else_->Clone() : nullptr);
+}
+
+void CaseWhenExpr::CollectColumns(std::set<std::string>* out) const {
+  for (const auto& arm : arms_) {
+    arm.when->CollectColumns(out);
+    arm.then->CollectColumns(out);
+  }
+  if (else_ != nullptr) else_->CollectColumns(out);
+}
+
+Status InExpr::Evaluate(const DataChunk& chunk,
+                        std::vector<double>* out) const {
+  std::vector<double> v;
+  RAVEN_RETURN_IF_ERROR(input_->Evaluate(chunk, &v));
+  out->resize(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    bool found = false;
+    for (double candidate : values_) {
+      if (v[i] == candidate) {
+        found = true;
+        break;
+      }
+    }
+    (*out)[i] = found ? 1.0 : 0.0;
+  }
+  return Status::OK();
+}
+
+std::string InExpr::ToString() const {
+  std::ostringstream os;
+  os << input_->ToString() << " IN (";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << values_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+ExprPtr Col(const std::string& name) {
+  return std::make_unique<ColumnRefExpr>(name);
+}
+ExprPtr Lit(double value) { return std::make_unique<LiteralExpr>(value); }
+ExprPtr Cmp(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<CompareExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(CompareOp::kEq, std::move(lhs), std::move(rhs));
+}
+ExprPtr Lt(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(CompareOp::kLt, std::move(lhs), std::move(rhs));
+}
+ExprPtr Le(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(CompareOp::kLe, std::move(lhs), std::move(rhs));
+}
+ExprPtr Gt(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(CompareOp::kGt, std::move(lhs), std::move(rhs));
+}
+ExprPtr Ge(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(CompareOp::kGe, std::move(lhs), std::move(rhs));
+}
+ExprPtr And(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<LogicalExpr>(LogicalOp::kAnd, std::move(lhs),
+                                       std::move(rhs));
+}
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<LogicalExpr>(LogicalOp::kOr, std::move(lhs),
+                                       std::move(rhs));
+}
+ExprPtr Not(ExprPtr operand) {
+  return std::make_unique<LogicalExpr>(LogicalOp::kNot, std::move(operand),
+                                       nullptr);
+}
+
+std::vector<const Expr*> ExtractConjuncts(const Expr& expr) {
+  std::vector<const Expr*> out;
+  if (expr.kind() == Expr::Kind::kLogical) {
+    const auto& logical = static_cast<const LogicalExpr&>(expr);
+    if (logical.op() == LogicalOp::kAnd) {
+      auto l = ExtractConjuncts(logical.lhs());
+      auto r = ExtractConjuncts(*logical.rhs());
+      out.insert(out.end(), l.begin(), l.end());
+      out.insert(out.end(), r.begin(), r.end());
+      return out;
+    }
+  }
+  out.push_back(&expr);
+  return out;
+}
+
+std::optional<SimplePredicate> MatchSimplePredicate(const Expr& expr) {
+  if (expr.kind() != Expr::Kind::kCompare) return std::nullopt;
+  const auto& cmp = static_cast<const CompareExpr&>(expr);
+  const Expr& l = cmp.lhs();
+  const Expr& r = cmp.rhs();
+  if (l.kind() == Expr::Kind::kColumnRef && r.kind() == Expr::Kind::kLiteral) {
+    return SimplePredicate{
+        static_cast<const ColumnRefExpr&>(l).name(), cmp.op(),
+        static_cast<const LiteralExpr&>(r).value()};
+  }
+  if (l.kind() == Expr::Kind::kLiteral && r.kind() == Expr::Kind::kColumnRef) {
+    return SimplePredicate{
+        static_cast<const ColumnRefExpr&>(r).name(), FlipCompareOp(cmp.op()),
+        static_cast<const LiteralExpr&>(l).value()};
+  }
+  return std::nullopt;
+}
+
+ExprPtr ConjoinClones(const std::vector<const Expr*>& conjuncts) {
+  ExprPtr out;
+  for (const Expr* c : conjuncts) {
+    out = out == nullptr ? c->Clone() : And(std::move(out), c->Clone());
+  }
+  return out;
+}
+
+}  // namespace raven::relational

@@ -1,0 +1,356 @@
+#include "relational/operators.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/thread_pool.h"
+
+namespace raven::relational {
+
+ScanOperator::ScanOperator(const Table* table, std::int64_t begin,
+                           std::int64_t end)
+    : table_(table), begin_(begin),
+      end_(end < 0 ? table->num_rows() : end) {}
+
+Status ScanOperator::Open() {
+  cursor_ = begin_;
+  if (begin_ < 0 || end_ > table_->num_rows() || begin_ > end_) {
+    return Status::OutOfRange("scan range invalid");
+  }
+  return Status::OK();
+}
+
+Result<bool> ScanOperator::Next(DataChunk* out) {
+  if (cursor_ >= end_) return false;
+  const std::int64_t n = std::min(kChunkSize, end_ - cursor_);
+  out->names.clear();
+  out->cols.clear();
+  out->names.reserve(static_cast<std::size_t>(table_->num_columns()));
+  out->cols.reserve(static_cast<std::size_t>(table_->num_columns()));
+  for (const auto& col : table_->columns()) {
+    out->names.push_back(col.name);
+    out->cols.emplace_back(col.data.begin() + cursor_,
+                           col.data.begin() + cursor_ + n);
+  }
+  cursor_ += n;
+  return true;
+}
+
+Result<bool> FilterOperator::Next(DataChunk* out) {
+  DataChunk chunk;
+  std::vector<double> mask;
+  while (true) {
+    RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(&chunk));
+    if (!more) return false;
+    RAVEN_RETURN_IF_ERROR(predicate_->Evaluate(chunk, &mask));
+    // Compact matching rows.
+    std::vector<std::int64_t> selected;
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (mask[i] != 0.0) selected.push_back(static_cast<std::int64_t>(i));
+    }
+    if (selected.empty()) continue;  // fully filtered; pull next chunk
+    out->names = chunk.names;
+    out->cols.assign(chunk.cols.size(), {});
+    for (std::size_t c = 0; c < chunk.cols.size(); ++c) {
+      out->cols[c].reserve(selected.size());
+      for (std::int64_t i : selected) {
+        out->cols[c].push_back(chunk.cols[c][static_cast<std::size_t>(i)]);
+      }
+    }
+    return true;
+  }
+}
+
+Result<bool> ProjectOperator::Next(DataChunk* out) {
+  DataChunk chunk;
+  RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(&chunk));
+  if (!more) return false;
+  out->names = names_;
+  out->cols.assign(exprs_.size(), {});
+  for (std::size_t e = 0; e < exprs_.size(); ++e) {
+    RAVEN_RETURN_IF_ERROR(exprs_[e]->Evaluate(chunk, &out->cols[e]));
+  }
+  return true;
+}
+
+Status HashJoinOperator::Open() {
+  RAVEN_RETURN_IF_ERROR(left_->Open());
+  RAVEN_RETURN_IF_ERROR(right_->Open());
+  // Materialize the build (right) side.
+  build_names_.clear();
+  build_cols_.clear();
+  hash_.clear();
+  DataChunk chunk;
+  std::int64_t key_idx = -1;
+  std::int64_t row_id = 0;
+  while (true) {
+    RAVEN_ASSIGN_OR_RETURN(bool more, right_->Next(&chunk));
+    if (!more) break;
+    if (build_names_.empty()) {
+      build_names_ = chunk.names;
+      build_cols_.assign(chunk.cols.size(), {});
+      RAVEN_ASSIGN_OR_RETURN(key_idx, chunk.ColumnIndex(right_key_));
+    }
+    const std::int64_t n = chunk.num_rows();
+    for (std::size_t c = 0; c < chunk.cols.size(); ++c) {
+      build_cols_[c].insert(build_cols_[c].end(), chunk.cols[c].begin(),
+                            chunk.cols[c].end());
+    }
+    for (std::int64_t i = 0; i < n; ++i) {
+      hash_[chunk.cols[static_cast<std::size_t>(key_idx)]
+                      [static_cast<std::size_t>(i)]]
+          .push_back(row_id + i);
+    }
+    row_id += n;
+  }
+  return Status::OK();
+}
+
+Result<bool> HashJoinOperator::Next(DataChunk* out) {
+  DataChunk chunk;
+  while (true) {
+    RAVEN_ASSIGN_OR_RETURN(bool more, left_->Next(&chunk));
+    if (!more) return false;
+    RAVEN_ASSIGN_OR_RETURN(std::int64_t key_idx,
+                           chunk.ColumnIndex(left_key_));
+    // Output schema: all probe columns, then build columns whose names do
+    // not collide with probe columns (the equi-key dedupes naturally).
+    if (build_emit_cols_.empty()) {
+      for (std::size_t c = 0; c < build_names_.size(); ++c) {
+        bool shadowed = false;
+        for (const auto& name : chunk.names) {
+          if (name == build_names_[c]) {
+            shadowed = true;
+            break;
+          }
+        }
+        if (!shadowed) build_emit_cols_.push_back(c);
+      }
+    }
+    out->names = chunk.names;
+    for (std::size_t c : build_emit_cols_) {
+      out->names.push_back(build_names_[c]);
+    }
+    out->cols.assign(out->names.size(), {});
+    const std::int64_t n = chunk.num_rows();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double key = chunk.cols[static_cast<std::size_t>(key_idx)]
+                                   [static_cast<std::size_t>(i)];
+      auto it = hash_.find(key);
+      if (it == hash_.end()) continue;
+      for (std::int64_t build_row : it->second) {
+        for (std::size_t c = 0; c < chunk.cols.size(); ++c) {
+          out->cols[c].push_back(chunk.cols[c][static_cast<std::size_t>(i)]);
+        }
+        for (std::size_t e = 0; e < build_emit_cols_.size(); ++e) {
+          out->cols[chunk.cols.size() + e].push_back(
+              build_cols_[build_emit_cols_[e]]
+                         [static_cast<std::size_t>(build_row)]);
+        }
+      }
+    }
+    if (out->num_rows() > 0) return true;
+    // All probe rows missed; continue with the next chunk.
+  }
+}
+
+Status UnionAllOperator::Open() {
+  for (auto& child : children_) {
+    RAVEN_RETURN_IF_ERROR(child->Open());
+  }
+  current_ = 0;
+  return Status::OK();
+}
+
+Result<bool> UnionAllOperator::Next(DataChunk* out) {
+  while (current_ < children_.size()) {
+    RAVEN_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(out));
+    if (more) return true;
+    ++current_;
+  }
+  return false;
+}
+
+Result<bool> LimitOperator::Next(DataChunk* out) {
+  if (emitted_ >= limit_) return false;
+  RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+  if (!more) return false;
+  const std::int64_t n = out->num_rows();
+  if (emitted_ + n > limit_) {
+    const std::int64_t keep = limit_ - emitted_;
+    for (auto& col : out->cols) col.resize(static_cast<std::size_t>(keep));
+  }
+  emitted_ += out->num_rows();
+  return true;
+}
+
+Result<bool> PredictOperator::Next(DataChunk* out) {
+  DataChunk chunk;
+  RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(&chunk));
+  if (!more) return false;
+  const std::int64_t n = chunk.num_rows();
+  const std::int64_t k = static_cast<std::int64_t>(input_columns_.size());
+  Tensor input = Tensor::Zeros({n, k});
+  for (std::int64_t j = 0; j < k; ++j) {
+    RAVEN_ASSIGN_OR_RETURN(
+        std::int64_t idx,
+        chunk.ColumnIndex(input_columns_[static_cast<std::size_t>(j)]));
+    const auto& col = chunk.cols[static_cast<std::size_t>(idx)];
+    for (std::int64_t r = 0; r < n; ++r) {
+      input.raw()[r * k + j] =
+          static_cast<float>(col[static_cast<std::size_t>(r)]);
+    }
+  }
+  RAVEN_ASSIGN_OR_RETURN(std::vector<double> preds, scorer_(input));
+  if (static_cast<std::int64_t>(preds.size()) != n) {
+    return Status::ExecutionError("scorer returned " +
+                                  std::to_string(preds.size()) +
+                                  " predictions for " + std::to_string(n) +
+                                  " rows");
+  }
+  *out = std::move(chunk);
+  out->names.push_back(output_name_);
+  out->cols.push_back(std::move(preds));
+  return true;
+}
+
+Result<bool> AggregateOperator::Next(DataChunk* out) {
+  if (done_) return false;
+  done_ = true;
+  struct Acc {
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::int64_t count = 0;
+  };
+  std::vector<Acc> accs(aggs_.size());
+  DataChunk chunk;
+  while (true) {
+    RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(&chunk));
+    if (!more) break;
+    const std::int64_t n = chunk.num_rows();
+    for (std::size_t a = 0; a < aggs_.size(); ++a) {
+      Acc& acc = accs[a];
+      if (aggs_[a].kind == AggKind::kCount) {
+        acc.count += n;
+        continue;
+      }
+      RAVEN_ASSIGN_OR_RETURN(std::int64_t idx,
+                             chunk.ColumnIndex(aggs_[a].column));
+      const auto& col = chunk.cols[static_cast<std::size_t>(idx)];
+      for (double v : col) {
+        if (acc.count == 0) {
+          acc.min = v;
+          acc.max = v;
+        } else {
+          acc.min = std::min(acc.min, v);
+          acc.max = std::max(acc.max, v);
+        }
+        acc.sum += v;
+        ++acc.count;
+      }
+    }
+  }
+  out->names.clear();
+  out->cols.clear();
+  for (std::size_t a = 0; a < aggs_.size(); ++a) {
+    double v = 0.0;
+    switch (aggs_[a].kind) {
+      case AggKind::kCount:
+        v = static_cast<double>(accs[a].count);
+        break;
+      case AggKind::kSum:
+        v = accs[a].sum;
+        break;
+      case AggKind::kAvg:
+        v = accs[a].count > 0
+                ? accs[a].sum / static_cast<double>(accs[a].count)
+                : 0.0;
+        break;
+      case AggKind::kMin:
+        v = accs[a].min;
+        break;
+      case AggKind::kMax:
+        v = accs[a].max;
+        break;
+    }
+    out->names.push_back(aggs_[a].output_name);
+    out->cols.push_back({v});
+  }
+  return true;
+}
+
+Result<Table> MaterializeAll(PhysicalOperator* root) {
+  RAVEN_RETURN_IF_ERROR(root->Open());
+  Table out;
+  DataChunk chunk;
+  bool first = true;
+  std::vector<std::vector<double>> cols;
+  std::vector<std::string> names;
+  while (true) {
+    RAVEN_ASSIGN_OR_RETURN(bool more, root->Next(&chunk));
+    if (!more) break;
+    if (first) {
+      names = chunk.names;
+      cols.assign(chunk.cols.size(), {});
+      first = false;
+    }
+    for (std::size_t c = 0; c < chunk.cols.size(); ++c) {
+      cols[c].insert(cols[c].end(), chunk.cols[c].begin(),
+                     chunk.cols[c].end());
+    }
+  }
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    RAVEN_RETURN_IF_ERROR(out.AddNumericColumn(names[c], std::move(cols[c])));
+  }
+  return out;
+}
+
+Result<Table> ExecutePartitionedParallel(const Table& base,
+                                         std::int64_t num_partitions,
+                                         const PartitionPlanFactory& factory) {
+  const std::int64_t n = base.num_rows();
+  num_partitions = std::max<std::int64_t>(1, std::min(num_partitions, n));
+  const std::int64_t per = (n + num_partitions - 1) / num_partitions;
+  std::vector<Result<Table>> results(
+      static_cast<std::size_t>(num_partitions),
+      Result<Table>(Status::Internal("partition not executed")));
+  ThreadPool::Global().ParallelFor(
+      static_cast<std::size_t>(num_partitions), [&](std::size_t p) {
+        const std::int64_t begin = static_cast<std::int64_t>(p) * per;
+        const std::int64_t end = std::min(n, begin + per);
+        OperatorPtr plan = factory(begin, end);
+        results[p] = plan == nullptr
+                         ? Result<Table>(Status::ExecutionError(
+                               "partition plan construction failed"))
+                         : MaterializeAll(plan.get());
+      });
+  Table merged;
+  std::vector<std::vector<double>> cols;
+  std::vector<std::string> names;
+  bool first = true;
+  for (auto& result : results) {
+    if (!result.ok()) return result.status();
+    Table& part = result.value();
+    if (part.num_columns() == 0) continue;  // partition produced no rows
+    if (first) {
+      names = part.ColumnNames();
+      cols.assign(names.size(), {});
+      first = false;
+    }
+    if (part.ColumnNames() != names) {
+      return Status::ExecutionError("partition schema mismatch");
+    }
+    for (std::size_t c = 0; c < names.size(); ++c) {
+      auto& src = part.mutable_columns()[c].data;
+      cols[c].insert(cols[c].end(), src.begin(), src.end());
+    }
+  }
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    RAVEN_RETURN_IF_ERROR(
+        merged.AddNumericColumn(names[c], std::move(cols[c])));
+  }
+  return merged;
+}
+
+}  // namespace raven::relational

@@ -1,0 +1,209 @@
+#ifndef RAVEN_RELATIONAL_OPERATORS_H_
+#define RAVEN_RELATIONAL_OPERATORS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/chunk.h"
+#include "relational/expression.h"
+#include "relational/table.h"
+#include "tensor/tensor.h"
+
+namespace raven::relational {
+
+/// Pull-based (volcano-style) physical operator producing columnar chunks.
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  /// Prepares state; called once before Next.
+  virtual Status Open() { return Status::OK(); }
+  /// Produces the next chunk; returns false at end of stream.
+  virtual Result<bool> Next(DataChunk* out) = 0;
+  virtual std::string Name() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<PhysicalOperator>;
+
+/// Sequential scan over a row range of an in-memory table. Ranged scans are
+/// how the parallel scan+PREDICT mode partitions work without copying.
+class ScanOperator final : public PhysicalOperator {
+ public:
+  /// Scans rows [begin, end) of `table` (end < 0 means all rows). The table
+  /// must outlive the operator.
+  explicit ScanOperator(const Table* table, std::int64_t begin = 0,
+                        std::int64_t end = -1);
+
+  Status Open() override;
+  Result<bool> Next(DataChunk* out) override;
+  std::string Name() const override { return "Scan"; }
+
+ private:
+  const Table* table_;
+  std::int64_t begin_;
+  std::int64_t end_;
+  std::int64_t cursor_ = 0;
+};
+
+/// Filters rows by a boolean expression.
+class FilterOperator final : public PhysicalOperator {
+ public:
+  FilterOperator(OperatorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(DataChunk* out) override;
+  std::string Name() const override { return "Filter"; }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+/// Computes named expressions per row (projection).
+class ProjectOperator final : public PhysicalOperator {
+ public:
+  ProjectOperator(OperatorPtr child, std::vector<ExprPtr> exprs,
+                  std::vector<std::string> names)
+      : child_(std::move(child)), exprs_(std::move(exprs)),
+        names_(std::move(names)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(DataChunk* out) override;
+  std::string Name() const override { return "Project"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  std::vector<std::string> names_;
+};
+
+/// In-memory hash join (inner, single equi-key). The right child is the
+/// build side and is fully materialized at Open.
+class HashJoinOperator final : public PhysicalOperator {
+ public:
+  HashJoinOperator(OperatorPtr left, OperatorPtr right, std::string left_key,
+                   std::string right_key)
+      : left_(std::move(left)), right_(std::move(right)),
+        left_key_(std::move(left_key)), right_key_(std::move(right_key)) {}
+
+  Status Open() override;
+  Result<bool> Next(DataChunk* out) override;
+  std::string Name() const override { return "HashJoin"; }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::string left_key_;
+  std::string right_key_;
+
+  // Build-side storage: column-major values plus key -> row ids.
+  std::vector<std::string> build_names_;
+  std::vector<std::vector<double>> build_cols_;
+  std::unordered_map<double, std::vector<std::int64_t>> hash_;
+  std::vector<std::size_t> build_emit_cols_;  // columns not shadowing left
+};
+
+/// Concatenation of multiple children with identical schemas.
+class UnionAllOperator final : public PhysicalOperator {
+ public:
+  explicit UnionAllOperator(std::vector<OperatorPtr> children)
+      : children_(std::move(children)) {}
+
+  Status Open() override;
+  Result<bool> Next(DataChunk* out) override;
+  std::string Name() const override { return "UnionAll"; }
+
+ private:
+  std::vector<OperatorPtr> children_;
+  std::size_t current_ = 0;
+};
+
+/// Emits at most `limit` rows.
+class LimitOperator final : public PhysicalOperator {
+ public:
+  LimitOperator(OperatorPtr child, std::int64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(DataChunk* out) override;
+  std::string Name() const override { return "Limit"; }
+
+ private:
+  OperatorPtr child_;
+  std::int64_t limit_;
+  std::int64_t emitted_ = 0;
+};
+
+/// Batch scoring callback: maps a [n, k] feature tensor to n predictions.
+/// The runtime layer binds this to an in-process NNRT session, an
+/// interpreted ML model, an out-of-process worker, or a container client.
+using BatchScorer =
+    std::function<Result<std::vector<double>>(const Tensor& input)>;
+
+/// The PREDICT physical operator (paper §5): evaluates a model over the
+/// child's rows, appending the prediction as a new column. Pass-through of
+/// the child's columns preserves downstream predicate access.
+class PredictOperator final : public PhysicalOperator {
+ public:
+  PredictOperator(OperatorPtr child, std::vector<std::string> input_columns,
+                  std::string output_name, BatchScorer scorer)
+      : child_(std::move(child)), input_columns_(std::move(input_columns)),
+        output_name_(std::move(output_name)), scorer_(std::move(scorer)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(DataChunk* out) override;
+  std::string Name() const override { return "Predict"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<std::string> input_columns_;
+  std::string output_name_;
+  BatchScorer scorer_;
+};
+
+/// Scalar aggregates over the entire input (one output row).
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+struct AggregateSpec {
+  AggKind kind = AggKind::kCount;
+  std::string column;  // ignored for kCount
+  std::string output_name;
+};
+
+class AggregateOperator final : public PhysicalOperator {
+ public:
+  AggregateOperator(OperatorPtr child, std::vector<AggregateSpec> aggs)
+      : child_(std::move(child)), aggs_(std::move(aggs)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(DataChunk* out) override;
+  std::string Name() const override { return "Aggregate"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<AggregateSpec> aggs_;
+  bool done_ = false;
+};
+
+/// Drains an operator tree into a materialized table.
+Result<Table> MaterializeAll(PhysicalOperator* root);
+
+/// Builds a plan per row-partition of `base` and executes the partitions on
+/// the global thread pool, concatenating results. This is the engine's
+/// automatic scan+PREDICT parallelization (paper §5, Fig 3 observation iii).
+using PartitionPlanFactory =
+    std::function<OperatorPtr(std::int64_t begin_row, std::int64_t end_row)>;
+
+Result<Table> ExecutePartitionedParallel(const Table& base,
+                                         std::int64_t num_partitions,
+                                         const PartitionPlanFactory& factory);
+
+}  // namespace raven::relational
+
+#endif  // RAVEN_RELATIONAL_OPERATORS_H_

@@ -1,0 +1,46 @@
+#include "relational/statistics.h"
+
+#include <set>
+
+namespace raven::relational {
+
+namespace {
+constexpr std::int64_t kDistinctCap = 64;
+}  // namespace
+
+ColumnStats ComputeColumnStats(const Column& column) {
+  ColumnStats stats;
+  stats.num_rows = column.size();
+  if (column.data.empty()) return stats;
+  stats.min = column.data.front();
+  stats.max = column.data.front();
+  std::set<double> distinct;
+  for (double v : column.data) {
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+    if (stats.distinct_exact) {
+      distinct.insert(v);
+      if (static_cast<std::int64_t>(distinct.size()) > kDistinctCap) {
+        stats.distinct_exact = false;
+        distinct.clear();
+      }
+    }
+  }
+  stats.distinct = stats.distinct_exact
+                       ? static_cast<std::int64_t>(distinct.size())
+                       : kDistinctCap + 1;
+  if (stats.distinct_exact && stats.distinct == 1) {
+    stats.constant = stats.min;
+  }
+  return stats;
+}
+
+std::map<std::string, ColumnStats> ComputeTableStats(const Table& table) {
+  std::map<std::string, ColumnStats> out;
+  for (const auto& column : table.columns()) {
+    out[column.name] = ComputeColumnStats(column);
+  }
+  return out;
+}
+
+}  // namespace raven::relational

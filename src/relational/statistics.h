@@ -1,0 +1,37 @@
+#ifndef RAVEN_RELATIONAL_STATISTICS_H_
+#define RAVEN_RELATIONAL_STATISTICS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace raven::relational {
+
+/// Per-column summary statistics used by data-property-derived predicate
+/// pruning (paper §4.1: "Using data statistics, we might observe that only
+/// specific unique values appear in the data ... we can derive predicates").
+struct ColumnStats {
+  double min = 0.0;
+  double max = 0.0;
+  std::int64_t num_rows = 0;
+  /// Number of distinct values, tracked exactly up to a small cap
+  /// (past the cap the column is treated as high-cardinality).
+  std::int64_t distinct = 0;
+  bool distinct_exact = true;
+  /// Set when the column holds a single value across all rows.
+  std::optional<double> constant;
+};
+
+/// Computes stats for one column (single pass).
+ColumnStats ComputeColumnStats(const Column& column);
+
+/// Computes stats for every column of a table.
+std::map<std::string, ColumnStats> ComputeTableStats(const Table& table);
+
+}  // namespace raven::relational
+
+#endif  // RAVEN_RELATIONAL_STATISTICS_H_

@@ -1,0 +1,152 @@
+#include "relational/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace raven::relational {
+
+Status Table::AddColumn(Column column) {
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument(
+        "column '" + column.name + "' has " + std::to_string(column.size()) +
+        " rows; table has " + std::to_string(num_rows()));
+  }
+  if (HasColumn(column.name)) {
+    return Status::AlreadyExists("duplicate column '" + column.name + "'");
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Status Table::AddNumericColumn(const std::string& name,
+                               std::vector<double> data) {
+  Column c;
+  c.name = name;
+  c.data = std::move(data);
+  return AddColumn(std::move(c));
+}
+
+Status Table::AddCategoricalColumn(const std::string& name,
+                                   std::vector<double> codes,
+                                   std::vector<std::string> dictionary) {
+  Column c;
+  c.name = name;
+  c.data = std::move(codes);
+  c.dictionary = std::move(dictionary);
+  return AddColumn(std::move(c));
+}
+
+Result<std::int64_t> Table::ColumnIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<std::int64_t>(i);
+  }
+  return Status::NotFound("column '" + name + "' not found");
+}
+
+bool Table::HasColumn(const std::string& name) const {
+  return ColumnIndex(name).ok();
+}
+
+Result<const Column*> Table::GetColumn(const std::string& name) const {
+  RAVEN_ASSIGN_OR_RETURN(std::int64_t idx, ColumnIndex(name));
+  return &columns_[static_cast<std::size_t>(idx)];
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+Table Table::Head(std::int64_t n) const {
+  return SliceRows(0, std::min(n, num_rows()));
+}
+
+Table Table::SliceRows(std::int64_t begin, std::int64_t end) const {
+  Table out;
+  begin = std::max<std::int64_t>(0, begin);
+  end = std::min(end, num_rows());
+  for (const auto& c : columns_) {
+    Column nc;
+    nc.name = c.name;
+    nc.dictionary = c.dictionary;
+    if (begin < end) {
+      nc.data.assign(c.data.begin() + begin, c.data.begin() + end);
+    }
+    out.columns_.push_back(std::move(nc));
+  }
+  return out;
+}
+
+Result<Tensor> Table::ToTensor(
+    const std::vector<std::string>& column_names) const {
+  const std::int64_t n = num_rows();
+  const std::int64_t k = static_cast<std::int64_t>(column_names.size());
+  Tensor out = Tensor::Zeros({n, k});
+  for (std::int64_t j = 0; j < k; ++j) {
+    RAVEN_ASSIGN_OR_RETURN(
+        const Column* col,
+        GetColumn(column_names[static_cast<std::size_t>(j)]));
+    for (std::int64_t r = 0; r < n; ++r) {
+      out.raw()[r * k + j] =
+          static_cast<float>(col->data[static_cast<std::size_t>(r)]);
+    }
+  }
+  return out;
+}
+
+Result<Table> Table::FromTensor(const Tensor& tensor,
+                                std::vector<std::string> names) {
+  if (tensor.rank() != 2) {
+    return Status::InvalidArgument("FromTensor expects rank-2");
+  }
+  const std::int64_t n = tensor.dim(0);
+  const std::int64_t k = tensor.dim(1);
+  if (names.empty()) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      names.push_back("col" + std::to_string(j));
+    }
+  }
+  if (static_cast<std::int64_t>(names.size()) != k) {
+    return Status::InvalidArgument("FromTensor name count mismatch");
+  }
+  Table out;
+  for (std::int64_t j = 0; j < k; ++j) {
+    std::vector<double> data(static_cast<std::size_t>(n));
+    for (std::int64_t r = 0; r < n; ++r) {
+      data[static_cast<std::size_t>(r)] = tensor.raw()[r * k + j];
+    }
+    RAVEN_RETURN_IF_ERROR(
+        out.AddNumericColumn(names[static_cast<std::size_t>(j)],
+                             std::move(data)));
+  }
+  return out;
+}
+
+std::string Table::ToString(std::int64_t max_rows) const {
+  std::ostringstream os;
+  os << "Table(" << num_rows() << " rows x " << num_columns() << " cols)\n";
+  for (const auto& c : columns_) {
+    os << std::setw(14) << c.name;
+  }
+  os << "\n";
+  const std::int64_t n = std::min(max_rows, num_rows());
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (const auto& c : columns_) {
+      if (c.is_categorical()) {
+        const auto code = static_cast<std::size_t>(
+            c.data[static_cast<std::size_t>(r)]);
+        os << std::setw(14)
+           << (code < c.dictionary->size() ? (*c.dictionary)[code] : "?");
+      } else {
+        os << std::setw(14) << c.data[static_cast<std::size_t>(r)];
+      }
+    }
+    os << "\n";
+  }
+  if (n < num_rows()) os << "  ... (" << (num_rows() - n) << " more)\n";
+  return os.str();
+}
+
+}  // namespace raven::relational

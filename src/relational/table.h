@@ -1,0 +1,78 @@
+#ifndef RAVEN_RELATIONAL_TABLE_H_
+#define RAVEN_RELATIONAL_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace raven::relational {
+
+/// A column of a columnar table. The engine is numeric at its core (like a
+/// vectorized engine executing on encoded data): categorical columns are
+/// dictionary-encoded, storing the code in `data` and the human-readable
+/// categories in `dictionary`.
+struct Column {
+  std::string name;
+  std::vector<double> data;
+  /// Present iff the column is categorical; data values are indices into it.
+  std::optional<std::vector<std::string>> dictionary;
+
+  bool is_categorical() const { return dictionary.has_value(); }
+  std::int64_t size() const { return static_cast<std::int64_t>(data.size()); }
+};
+
+/// An in-memory columnar table.
+class Table {
+ public:
+  Table() = default;
+
+  /// Adds a column; all columns must end up the same length.
+  Status AddColumn(Column column);
+  Status AddNumericColumn(const std::string& name, std::vector<double> data);
+  Status AddCategoricalColumn(const std::string& name,
+                              std::vector<double> codes,
+                              std::vector<std::string> dictionary);
+
+  std::int64_t num_rows() const {
+    return columns_.empty() ? 0 : columns_.front().size();
+  }
+  std::int64_t num_columns() const {
+    return static_cast<std::int64_t>(columns_.size());
+  }
+
+  const std::vector<Column>& columns() const { return columns_; }
+  std::vector<Column>& mutable_columns() { return columns_; }
+
+  /// Column index by name, or error.
+  Result<std::int64_t> ColumnIndex(const std::string& name) const;
+  bool HasColumn(const std::string& name) const;
+  Result<const Column*> GetColumn(const std::string& name) const;
+
+  std::vector<std::string> ColumnNames() const;
+
+  /// Returns the first `n` rows (all columns) as a new table.
+  Table Head(std::int64_t n) const;
+  /// Returns rows [begin, end).
+  Table SliceRows(std::int64_t begin, std::int64_t end) const;
+
+  /// Packs the named columns into a float32 [n, k] tensor (model input).
+  Result<Tensor> ToTensor(const std::vector<std::string>& column_names) const;
+
+  /// Builds a table from a tensor, naming columns col0..colk-1 unless names
+  /// are given.
+  static Result<Table> FromTensor(const Tensor& tensor,
+                                  std::vector<std::string> names = {});
+
+  std::string ToString(std::int64_t max_rows = 10) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace raven::relational
+
+#endif  // RAVEN_RELATIONAL_TABLE_H_

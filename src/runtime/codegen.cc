@@ -1,0 +1,307 @@
+#include "runtime/codegen.h"
+
+#include <functional>
+#include <sstream>
+
+#include "nnrt/executor.h"
+
+namespace raven::runtime {
+namespace {
+
+using ir::IrNode;
+using ir::IrOpKind;
+using relational::BatchScorer;
+using relational::OperatorPtr;
+
+/// Stats destination captured BY VALUE into scorer closures. The pointed-to
+/// stats/mutex live in PlanExecutor::Execute's frame, which strictly
+/// outlives every partition; the RuntimeContext itself may not (the
+/// parallel plan factory builds per-partition contexts on its own stack),
+/// so closures must never capture it by reference.
+struct StatsSink {
+  ExecutionStats* stats = nullptr;
+  std::mutex* mu = nullptr;
+};
+
+void AccumulateStats(const StatsSink& sink, std::int64_t rows,
+                     const nnrt::RunStats* nn_stats) {
+  if (sink.stats == nullptr) return;
+  std::unique_lock<std::mutex> lock;
+  if (sink.mu != nullptr) {
+    lock = std::unique_lock<std::mutex>(*sink.mu);
+  }
+  sink.stats->predict_batches += 1;
+  sink.stats->rows_out += rows;
+  if (nn_stats != nullptr) {
+    sink.stats->nn_wall_micros += nn_stats->wall_micros;
+    sink.stats->nn_simulated_micros += nn_stats->simulated_micros;
+  }
+}
+
+/// Scores via the interpreted classical-ML path (the baseline "framework"
+/// path and the execution of non-translated pipelines).
+BatchScorer MakeInterpretedScorer(std::shared_ptr<ml::ModelPipeline> pipeline,
+                                  const RuntimeContext& ctx) {
+  const StatsSink sink{ctx.stats, ctx.stats_mu};
+  return [pipeline, sink](const Tensor& input)
+             -> Result<std::vector<double>> {
+    RAVEN_ASSIGN_OR_RETURN(Tensor preds, pipeline->Predict(input));
+    AccumulateStats(sink, preds.dim(0), nullptr);
+    std::vector<double> out(preds.data().begin(), preds.data().end());
+    return out;
+  };
+}
+
+BatchScorer MakeClusteredScorer(std::shared_ptr<ir::ClusteredModel> model,
+                                const RuntimeContext& ctx) {
+  const StatsSink sink{ctx.stats, ctx.stats_mu};
+  return [model, sink](const Tensor& input) -> Result<std::vector<double>> {
+    RAVEN_ASSIGN_OR_RETURN(Tensor preds, model->Predict(input));
+    AccumulateStats(sink, preds.dim(0), nullptr);
+    std::vector<double> out(preds.data().begin(), preds.data().end());
+    return out;
+  };
+}
+
+/// In-process NNRT scoring through the session cache (model + session
+/// caching is what wins the small-batch regime in Fig 3).
+Result<BatchScorer> MakeNnScorer(const IrNode& node,
+                                 const RuntimeContext& ctx) {
+  BinaryWriter writer;
+  node.nn_graph->Serialize(&writer);
+  const std::string bytes = writer.Release();
+  std::string key = node.model_name;
+  auto versioned = ctx.catalog->ModelCacheKey(node.model_name);
+  if (versioned.ok()) key = versioned.value();
+  key += "#" + std::to_string(std::hash<std::string>{}(bytes));
+  nnrt::SessionOptions session_options;
+  session_options.device = ctx.options.device;
+  RAVEN_ASSIGN_OR_RETURN(
+      auto session,
+      ctx.session_cache->GetOrCreate(key, bytes, session_options));
+  const StatsSink sink{ctx.stats, ctx.stats_mu};
+  return BatchScorer([session, sink](const Tensor& input)
+                         -> Result<std::vector<double>> {
+    nnrt::RunStats stats;
+    RAVEN_ASSIGN_OR_RETURN(Tensor preds, session->RunSingle(input, &stats));
+    AccumulateStats(sink, preds.dim(0), &stats);
+    std::vector<double> out(preds.data().begin(), preds.data().end());
+    return out;
+  });
+}
+
+/// Out-of-process scoring: one worker process per query execution (the
+/// sp_execute_external_script lifecycle). The WorkerClient is shared by the
+/// scorer's closures and serialized with a mutex.
+Result<BatchScorer> MakeExternalScorer(WorkerCommand kind,
+                                       std::string model_bytes,
+                                       const RuntimeContext& ctx) {
+  ExternalRuntimeOptions ext = ctx.options.external;
+  if (ctx.options.mode == ExecutionMode::kContainer) {
+    ext.boot_millis += ctx.options.container_extra_boot_millis;
+  }
+  auto client = std::make_shared<WorkerClient>();
+  RAVEN_RETURN_IF_ERROR(client->Start(ext));
+  auto mu = std::make_shared<std::mutex>();
+  const StatsSink sink{ctx.stats, ctx.stats_mu};
+  return BatchScorer([client, mu, kind, model_bytes = std::move(model_bytes),
+                      sink](const Tensor& input)
+                         -> Result<std::vector<double>> {
+    std::lock_guard<std::mutex> lock(*mu);
+    RAVEN_ASSIGN_OR_RETURN(Tensor preds,
+                           client->Score(kind, model_bytes, input));
+    AccumulateStats(sink, preds.dim(0), nullptr);
+    std::vector<double> out(preds.data().begin(), preds.data().end());
+    return out;
+  });
+}
+
+Result<BatchScorer> ScorerFor(const IrNode& node, const RuntimeContext& ctx) {
+  switch (node.kind) {
+    case IrOpKind::kModelPipeline: {
+      if (ctx.options.mode == ExecutionMode::kInProcess) {
+        return MakeInterpretedScorer(node.pipeline, ctx);
+      }
+      return MakeExternalScorer(WorkerCommand::kScorePipeline,
+                                node.pipeline->ToBytes(), ctx);
+    }
+    case IrOpKind::kClusteredPredict:
+      // Clustering artifacts live in the optimizer process; always local.
+      return MakeClusteredScorer(node.clustered, ctx);
+    case IrOpKind::kNnGraph: {
+      if (ctx.options.mode == ExecutionMode::kInProcess) {
+        return MakeNnScorer(node, ctx);
+      }
+      BinaryWriter writer;
+      node.nn_graph->Serialize(&writer);
+      return MakeExternalScorer(WorkerCommand::kScoreGraph, writer.Release(),
+                                ctx);
+    }
+    case IrOpKind::kOpaquePipeline:
+      // Unanalyzable pipelines never run in-process: ship them to the
+      // external runtime (container mode adds its boot cost).
+      return MakeExternalScorer(WorkerCommand::kScorePipeline,
+                                node.opaque_bytes, ctx);
+    default:
+      return Status::Internal("ScorerFor on a non-model node");
+  }
+}
+
+}  // namespace
+
+const char* ExecutionModeToString(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kInProcess:
+      return "in-process";
+    case ExecutionMode::kOutOfProcess:
+      return "out-of-process";
+    case ExecutionMode::kContainer:
+      return "container";
+  }
+  return "?";
+}
+
+Result<OperatorPtr> BuildPhysicalPlan(const IrNode& node,
+                                      const RuntimeContext& ctx) {
+  switch (node.kind) {
+    case IrOpKind::kTableScan: {
+      RAVEN_ASSIGN_OR_RETURN(const relational::Table* table,
+                             ctx.catalog->GetTable(node.table_name));
+      if (node.table_name == ctx.partition_table) {
+        return OperatorPtr(std::make_unique<relational::ScanOperator>(
+            table, ctx.partition_begin, ctx.partition_end));
+      }
+      return OperatorPtr(std::make_unique<relational::ScanOperator>(table));
+    }
+    case IrOpKind::kFilter: {
+      RAVEN_ASSIGN_OR_RETURN(auto child,
+                             BuildPhysicalPlan(*node.children[0], ctx));
+      return OperatorPtr(std::make_unique<relational::FilterOperator>(
+          std::move(child), node.predicate->Clone()));
+    }
+    case IrOpKind::kProject: {
+      RAVEN_ASSIGN_OR_RETURN(auto child,
+                             BuildPhysicalPlan(*node.children[0], ctx));
+      std::vector<relational::ExprPtr> exprs;
+      exprs.reserve(node.proj_exprs.size());
+      for (const auto& e : node.proj_exprs) exprs.push_back(e->Clone());
+      return OperatorPtr(std::make_unique<relational::ProjectOperator>(
+          std::move(child), std::move(exprs), node.proj_names));
+    }
+    case IrOpKind::kJoin: {
+      RAVEN_ASSIGN_OR_RETURN(auto left,
+                             BuildPhysicalPlan(*node.children[0], ctx));
+      RAVEN_ASSIGN_OR_RETURN(auto right,
+                             BuildPhysicalPlan(*node.children[1], ctx));
+      return OperatorPtr(std::make_unique<relational::HashJoinOperator>(
+          std::move(left), std::move(right), node.left_key, node.right_key));
+    }
+    case IrOpKind::kUnionAll: {
+      std::vector<OperatorPtr> children;
+      for (const auto& child : node.children) {
+        RAVEN_ASSIGN_OR_RETURN(auto op, BuildPhysicalPlan(*child, ctx));
+        children.push_back(std::move(op));
+      }
+      return OperatorPtr(std::make_unique<relational::UnionAllOperator>(
+          std::move(children)));
+    }
+    case IrOpKind::kLimit: {
+      RAVEN_ASSIGN_OR_RETURN(auto child,
+                             BuildPhysicalPlan(*node.children[0], ctx));
+      return OperatorPtr(std::make_unique<relational::LimitOperator>(
+          std::move(child), node.limit));
+    }
+    case IrOpKind::kModelPipeline:
+    case IrOpKind::kClusteredPredict:
+    case IrOpKind::kNnGraph:
+    case IrOpKind::kOpaquePipeline: {
+      RAVEN_ASSIGN_OR_RETURN(auto child,
+                             BuildPhysicalPlan(*node.children[0], ctx));
+      RAVEN_ASSIGN_OR_RETURN(auto scorer, ScorerFor(node, ctx));
+      return OperatorPtr(std::make_unique<relational::PredictOperator>(
+          std::move(child), node.model_input_columns, node.output_column,
+          std::move(scorer)));
+    }
+  }
+  return Status::Internal("unreachable IR kind in BuildPhysicalPlan");
+}
+
+namespace {
+
+void GenerateSqlNode(const IrNode& node, std::ostringstream* os) {
+  switch (node.kind) {
+    case IrOpKind::kTableScan:
+      *os << node.table_name;
+      return;
+    case IrOpKind::kFilter:
+      *os << "(SELECT * FROM ";
+      GenerateSqlNode(*node.children[0], os);
+      *os << " WHERE " << node.predicate->ToString() << ")";
+      return;
+    case IrOpKind::kProject: {
+      *os << "(SELECT ";
+      for (std::size_t i = 0; i < node.proj_names.size(); ++i) {
+        if (i > 0) *os << ", ";
+        const std::string expr = node.proj_exprs[i]->ToString();
+        if (expr == node.proj_names[i]) {
+          *os << expr;
+        } else {
+          *os << expr << " AS " << node.proj_names[i];
+        }
+      }
+      *os << " FROM ";
+      GenerateSqlNode(*node.children[0], os);
+      *os << ")";
+      return;
+    }
+    case IrOpKind::kJoin:
+      *os << "(SELECT * FROM ";
+      GenerateSqlNode(*node.children[0], os);
+      *os << " JOIN ";
+      GenerateSqlNode(*node.children[1], os);
+      *os << " ON " << node.left_key << " = " << node.right_key << ")";
+      return;
+    case IrOpKind::kUnionAll: {
+      *os << "(";
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) *os << " UNION ALL ";
+        *os << "SELECT * FROM ";
+        GenerateSqlNode(*node.children[i], os);
+      }
+      *os << ")";
+      return;
+    }
+    case IrOpKind::kLimit:
+      *os << "(SELECT * FROM ";
+      GenerateSqlNode(*node.children[0], os);
+      *os << " LIMIT " << node.limit << ")";
+      return;
+    case IrOpKind::kModelPipeline:
+    case IrOpKind::kClusteredPredict:
+    case IrOpKind::kNnGraph:
+    case IrOpKind::kOpaquePipeline: {
+      const char* runtime = node.kind == IrOpKind::kNnGraph
+                                ? "NNRT"
+                                : (node.kind == IrOpKind::kOpaquePipeline
+                                       ? "EXTERNAL"
+                                       : "CLASSICAL");
+      *os << "(SELECT *, PREDICT(MODEL='" << node.model_name
+          << "', RUNTIME='" << runtime << "') AS " << node.output_column
+          << " FROM ";
+      GenerateSqlNode(*node.children[0], os);
+      *os << ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string GenerateSql(const IrNode& node) {
+  std::ostringstream os;
+  os << "SELECT * FROM ";
+  GenerateSqlNode(node, &os);
+  return os.str();
+}
+
+}  // namespace raven::runtime

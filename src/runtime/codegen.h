@@ -1,0 +1,80 @@
+#ifndef RAVEN_RUNTIME_CODEGEN_H_
+#define RAVEN_RUNTIME_CODEGEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "ir/ir.h"
+#include "nnrt/session.h"
+#include "relational/catalog.h"
+#include "relational/operators.h"
+#include "runtime/external_runtime.h"
+
+namespace raven::runtime {
+
+/// Where model scoring runs (paper §5, in decreasing integration order).
+enum class ExecutionMode {
+  kInProcess,     ///< NNRT linked into the engine (PREDICT operator)
+  kOutOfProcess,  ///< raven_worker child process over pipes (Raven Ext)
+  kContainer,     ///< per-query worker with container boot cost (fallback)
+};
+
+const char* ExecutionModeToString(ExecutionMode mode);
+
+/// Execution configuration for one query.
+struct ExecutionOptions {
+  ExecutionMode mode = ExecutionMode::kInProcess;
+  /// Number of scan+PREDICT partitions; >1 enables the engine's automatic
+  /// parallelization (paper §5 observation iii). Only single-base-table
+  /// plans in in-process mode parallelize; others run sequentially.
+  std::int64_t parallelism = 1;
+  /// NNRT device for in-process sessions (CPU or simulated accelerator).
+  nnrt::DeviceSpec device = nnrt::DeviceSpec::Cpu();
+  /// Out-of-process worker configuration.
+  ExternalRuntimeOptions external;
+  /// Containerized execution adds container start-up on top of the worker
+  /// boot cost.
+  std::int64_t container_extra_boot_millis = 600;
+};
+
+/// Accumulated execution statistics (thread-safe accumulation is handled by
+/// the executor).
+struct ExecutionStats {
+  std::int64_t rows_out = 0;
+  std::int64_t predict_batches = 0;
+  double nn_wall_micros = 0.0;
+  /// Device-model time for accelerator sessions (== wall time on CPU).
+  double nn_simulated_micros = 0.0;
+};
+
+/// Shared state for building physical plans.
+struct RuntimeContext {
+  const relational::Catalog* catalog = nullptr;
+  nnrt::SessionCache* session_cache = nullptr;
+  ExecutionOptions options;
+  /// Optional stats sink; may be updated from multiple partitions.
+  ExecutionStats* stats = nullptr;
+  std::mutex* stats_mu = nullptr;
+
+  /// When set, TableScan nodes over `partition_table` scan only
+  /// [partition_begin, partition_end) — the parallel-execution hook.
+  std::string partition_table;
+  std::int64_t partition_begin = 0;
+  std::int64_t partition_end = -1;
+};
+
+/// Raven's Runtime Code Generator: lowers an optimized IR plan to a
+/// physical operator tree over the relational engine, binding each model
+/// node to a scorer for the configured execution mode.
+Result<relational::OperatorPtr> BuildPhysicalPlan(const ir::IrNode& node,
+                                                  const RuntimeContext& ctx);
+
+/// Renders the optimized IR back to SQL text (the paper's code generator
+/// emits a rewritten SQL query; this is that artifact, used by EXPLAIN).
+std::string GenerateSql(const ir::IrNode& node);
+
+}  // namespace raven::runtime
+
+#endif  // RAVEN_RUNTIME_CODEGEN_H_

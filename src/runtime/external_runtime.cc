@@ -1,0 +1,126 @@
+#include "runtime/external_runtime.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace raven::runtime {
+
+Result<std::string> ResolveWorkerPath(const std::string& configured) {
+  if (!configured.empty()) {
+    if (::access(configured.c_str(), X_OK) == 0) return configured;
+    return Status::NotFound("worker binary not executable: " + configured);
+  }
+  if (const char* env = std::getenv("RAVEN_WORKER_PATH")) {
+    if (::access(env, X_OK) == 0) return std::string(env);
+  }
+  // Derive from the current executable: build/<dir>/binary ->
+  // build/tools/raven_worker.
+  char exe[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (n > 0) {
+    exe[n] = '\0';
+    std::string dir(exe);
+    const std::size_t slash = dir.rfind('/');
+    if (slash != std::string::npos) {
+      dir = dir.substr(0, slash);
+      for (const char* rel : {"/../tools/raven_worker", "/raven_worker",
+                              "/tools/raven_worker"}) {
+        const std::string candidate = dir + rel;
+        if (::access(candidate.c_str(), X_OK) == 0) return candidate;
+      }
+    }
+  }
+  return Status::NotFound(
+      "cannot locate raven_worker binary (set $RAVEN_WORKER_PATH)");
+}
+
+WorkerClient::~WorkerClient() { Stop(); }
+
+Status WorkerClient::Start(const ExternalRuntimeOptions& options) {
+  RAVEN_ASSIGN_OR_RETURN(std::string path,
+                         ResolveWorkerPath(options.worker_path));
+  int to_pipe[2];
+  int from_pipe[2];
+  if (::pipe(to_pipe) != 0 || ::pipe(from_pipe) != 0) {
+    return Status::IoError("pipe() failed");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) return Status::IoError("fork() failed");
+  if (pid == 0) {
+    // Child: stdin <- to_pipe, stdout -> from_pipe.
+    ::dup2(to_pipe[0], STDIN_FILENO);
+    ::dup2(from_pipe[1], STDOUT_FILENO);
+    ::close(to_pipe[0]);
+    ::close(to_pipe[1]);
+    ::close(from_pipe[0]);
+    ::close(from_pipe[1]);
+    const std::string boot_arg =
+        "--boot-ms=" + std::to_string(options.boot_millis);
+    ::execl(path.c_str(), path.c_str(), boot_arg.c_str(),
+            static_cast<char*>(nullptr));
+    ::_exit(127);  // exec failed
+  }
+  ::close(to_pipe[0]);
+  ::close(from_pipe[1]);
+  pid_ = pid;
+  to_worker_ = to_pipe[1];
+  from_worker_ = from_pipe[0];
+  // Handshake: the worker answers the ping only after its boot delay, so
+  // callers pay the runtime start-up cost here, like
+  // sp_execute_external_script does.
+  ScoreRequest ping;
+  ping.command = WorkerCommand::kPing;
+  RAVEN_RETURN_IF_ERROR(WriteFrame(to_worker_, EncodeRequest(ping)));
+  RAVEN_ASSIGN_OR_RETURN(std::string payload, ReadFrame(from_worker_));
+  RAVEN_ASSIGN_OR_RETURN(ScoreResponse response, DecodeResponse(payload));
+  if (!response.ok) {
+    Stop();
+    return Status::ExecutionError("worker ping failed: " + response.error);
+  }
+  return Status::OK();
+}
+
+Result<Tensor> WorkerClient::Score(WorkerCommand kind,
+                                   const std::string& model_bytes,
+                                   const Tensor& input) {
+  if (!running()) return Status::ExecutionError("worker not running");
+  ScoreRequest request;
+  request.command = kind;
+  request.model_bytes = model_bytes;
+  request.input = input;
+  RAVEN_RETURN_IF_ERROR(WriteFrame(to_worker_, EncodeRequest(request)));
+  RAVEN_ASSIGN_OR_RETURN(std::string payload, ReadFrame(from_worker_));
+  RAVEN_ASSIGN_OR_RETURN(ScoreResponse response, DecodeResponse(payload));
+  if (!response.ok) {
+    return Status::ExecutionError("worker scoring failed: " + response.error);
+  }
+  return response.output;
+}
+
+void WorkerClient::Stop() {
+  if (pid_ <= 0) return;
+  ScoreRequest request;
+  request.command = WorkerCommand::kShutdown;
+  (void)WriteFrame(to_worker_, EncodeRequest(request));
+  ::close(to_worker_);
+  ::close(from_worker_);
+  int status = 0;
+  // Give the worker a moment; kill if it ignores the shutdown.
+  for (int i = 0; i < 100; ++i) {
+    const pid_t done = ::waitpid(pid_, &status, WNOHANG);
+    if (done == pid_) {
+      pid_ = -1;
+      return;
+    }
+    ::usleep(2000);
+  }
+  ::kill(pid_, SIGKILL);
+  ::waitpid(pid_, &status, 0);
+  pid_ = -1;
+}
+
+}  // namespace raven::runtime

@@ -1,0 +1,79 @@
+#include "runtime/plan_executor.h"
+
+#include <set>
+
+#include "relational/operators.h"
+
+namespace raven::runtime {
+namespace {
+
+/// Returns the table name if the plan's only base relation is exactly one
+/// TableScan (the parallelizable shape), empty otherwise.
+std::string SingleScanTable(const ir::IrNode* root) {
+  std::vector<std::string> scans;
+  ir::VisitIr(root, [&](const ir::IrNode* node) {
+    if (node->kind == ir::IrOpKind::kTableScan) {
+      scans.push_back(node->table_name);
+    }
+  });
+  return scans.size() == 1 ? scans[0] : std::string();
+}
+
+}  // namespace
+
+Result<relational::Table> PlanExecutor::Execute(const ir::IrPlan& plan,
+                                                const ExecutionOptions& options,
+                                                ExecutionStats* stats) {
+  if (plan.root() == nullptr) {
+    return Status::InvalidArgument("cannot execute an empty plan");
+  }
+  std::mutex stats_mu;
+  RuntimeContext ctx;
+  ctx.catalog = catalog_;
+  ctx.session_cache = session_cache_;
+  ctx.options = options;
+  ctx.stats = stats;
+  ctx.stats_mu = &stats_mu;
+
+  const std::string base_table =
+      options.parallelism > 1 && options.mode == ExecutionMode::kInProcess
+          ? SingleScanTable(plan.root())
+          : std::string();
+  if (!base_table.empty()) {
+    RAVEN_ASSIGN_OR_RETURN(const relational::Table* table,
+                           catalog_->GetTable(base_table));
+    // Partitioned execution: each partition gets its own operator tree
+    // scanning a disjoint row range; scorers share cached sessions.
+    Status build_error = Status::OK();
+    std::mutex build_mu;
+    auto factory = [&](std::int64_t begin,
+                       std::int64_t end) -> relational::OperatorPtr {
+      RuntimeContext part_ctx = ctx;
+      part_ctx.partition_table = base_table;
+      part_ctx.partition_begin = begin;
+      part_ctx.partition_end = end;
+      auto op = BuildPhysicalPlan(*plan.root(), part_ctx);
+      if (!op.ok()) {
+        std::lock_guard<std::mutex> lock(build_mu);
+        if (build_error.ok()) build_error = op.status();
+        return nullptr;
+      }
+      return std::move(op).value();
+    };
+    // Wrap the factory so a failed build yields an empty operator that the
+    // partition runner reports as an error.
+    auto result = relational::ExecutePartitionedParallel(
+        *table, options.parallelism,
+        [&](std::int64_t begin, std::int64_t end) -> relational::OperatorPtr {
+          auto op = factory(begin, end);
+          return op;
+        });
+    if (!build_error.ok()) return build_error;
+    return result;
+  }
+
+  RAVEN_ASSIGN_OR_RETURN(auto root_op, BuildPhysicalPlan(*plan.root(), ctx));
+  return relational::MaterializeAll(root_op.get());
+}
+
+}  // namespace raven::runtime

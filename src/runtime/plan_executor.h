@@ -1,0 +1,38 @@
+#ifndef RAVEN_RUNTIME_PLAN_EXECUTOR_H_
+#define RAVEN_RUNTIME_PLAN_EXECUTOR_H_
+
+#include <mutex>
+
+#include "common/status.h"
+#include "ir/ir.h"
+#include "nnrt/session.h"
+#include "relational/catalog.h"
+#include "relational/table.h"
+#include "runtime/codegen.h"
+
+namespace raven::runtime {
+
+/// Executes optimized IR plans against the relational engine.
+///
+/// In-process plans whose only base relation is a single table scan
+/// automatically parallelize across `options.parallelism` partitions
+/// (paper §5: "SQL Server automatically parallelizes both the scan and
+/// PREDICT operators"); everything else runs sequentially.
+class PlanExecutor {
+ public:
+  PlanExecutor(const relational::Catalog* catalog,
+               nnrt::SessionCache* session_cache)
+      : catalog_(catalog), session_cache_(session_cache) {}
+
+  Result<relational::Table> Execute(const ir::IrPlan& plan,
+                                    const ExecutionOptions& options,
+                                    ExecutionStats* stats = nullptr);
+
+ private:
+  const relational::Catalog* catalog_;
+  nnrt::SessionCache* session_cache_;
+};
+
+}  // namespace raven::runtime
+
+#endif  // RAVEN_RUNTIME_PLAN_EXECUTOR_H_

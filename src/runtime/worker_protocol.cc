@@ -1,0 +1,100 @@
+#include "runtime/worker_protocol.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace raven::runtime {
+
+std::string EncodeRequest(const ScoreRequest& request) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<std::uint8_t>(request.command));
+  writer.WriteString(request.model_bytes);
+  request.input.Serialize(&writer);
+  return writer.Release();
+}
+
+Result<ScoreRequest> DecodeRequest(const std::string& payload) {
+  BinaryReader reader(payload);
+  ScoreRequest request;
+  RAVEN_ASSIGN_OR_RETURN(std::uint8_t command, reader.ReadU8());
+  if (command > 3) return Status::ParseError("bad worker command");
+  request.command = static_cast<WorkerCommand>(command);
+  RAVEN_ASSIGN_OR_RETURN(request.model_bytes, reader.ReadString());
+  RAVEN_ASSIGN_OR_RETURN(request.input, Tensor::Deserialize(&reader));
+  return request;
+}
+
+std::string EncodeResponse(const ScoreResponse& response) {
+  BinaryWriter writer;
+  writer.WriteBool(response.ok);
+  writer.WriteString(response.error);
+  response.output.Serialize(&writer);
+  return writer.Release();
+}
+
+Result<ScoreResponse> DecodeResponse(const std::string& payload) {
+  BinaryReader reader(payload);
+  ScoreResponse response;
+  RAVEN_ASSIGN_OR_RETURN(response.ok, reader.ReadBool());
+  RAVEN_ASSIGN_OR_RETURN(response.error, reader.ReadString());
+  RAVEN_ASSIGN_OR_RETURN(response.output, Tensor::Deserialize(&reader));
+  return response;
+}
+
+Status WriteFrame(int fd, const std::string& payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char header[4];
+  std::memcpy(header, &len, 4);
+  std::string framed(header, 4);
+  framed += payload;
+  std::size_t written = 0;
+  while (written < framed.size()) {
+    const ssize_t n =
+        ::write(fd, framed.data() + written, framed.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("worker pipe write failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status ReadFull(int fd, char* buf, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, buf + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("worker pipe read failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IoError("worker pipe closed unexpectedly");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ReadFrame(int fd) {
+  char header[4];
+  RAVEN_RETURN_IF_ERROR(ReadFull(fd, header, 4));
+  std::uint32_t len = 0;
+  std::memcpy(&len, header, 4);
+  if (len > (1u << 30)) return Status::OutOfRange("worker frame too large");
+  std::string payload(len, '\0');
+  if (len > 0) {
+    RAVEN_RETURN_IF_ERROR(ReadFull(fd, payload.data(), len));
+  }
+  return payload;
+}
+
+}  // namespace raven::runtime

@@ -1,0 +1,48 @@
+#ifndef RAVEN_RUNTIME_WORKER_PROTOCOL_H_
+#define RAVEN_RUNTIME_WORKER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace raven::runtime {
+
+/// Wire protocol between the database process and the out-of-process
+/// scoring worker (`tools/raven_worker`), the stand-in for SQL Server's
+/// sp_execute_external_script runtime (paper §5, "Raven Ext"). Frames are
+/// [u32 length][payload]; payloads use the common BinaryWriter encoding.
+
+enum class WorkerCommand : std::uint8_t {
+  kPing = 0,
+  kScorePipeline = 1,  ///< payload: pipeline bytes + input tensor
+  kScoreGraph = 2,     ///< payload: NNRT graph bytes + input tensor
+  kShutdown = 3,
+};
+
+struct ScoreRequest {
+  WorkerCommand command = WorkerCommand::kPing;
+  std::string model_bytes;
+  Tensor input;
+};
+
+struct ScoreResponse {
+  bool ok = false;
+  std::string error;
+  Tensor output;
+};
+
+std::string EncodeRequest(const ScoreRequest& request);
+Result<ScoreRequest> DecodeRequest(const std::string& payload);
+std::string EncodeResponse(const ScoreResponse& response);
+Result<ScoreResponse> DecodeResponse(const std::string& payload);
+
+/// Blocking full-frame I/O on file descriptors (length-prefixed).
+Status WriteFrame(int fd, const std::string& payload);
+Result<std::string> ReadFrame(int fd);
+
+}  // namespace raven::runtime
+
+#endif  // RAVEN_RUNTIME_WORKER_PROTOCOL_H_

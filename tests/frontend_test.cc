@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "data/flight.h"
+#include "data/hospital.h"
+#include "frontend/analyzer.h"
+#include "frontend/pipeline_parser.h"
+#include "frontend/sql_parser.h"
+#include "ir/ir.h"
+
+namespace raven::frontend {
+namespace {
+
+TEST(PipelineParserTest, ParsesSimplePipeline) {
+  const std::string script =
+      "from sklearn.pipeline import Pipeline\n"
+      "from sklearn.tree import DecisionTreeClassifier\n"
+      "# a comment\n"
+      "model_pipeline = Pipeline([('clf', DecisionTreeClassifier("
+      "max_depth=6))])\n";
+  PyScript parsed = *ParsePipelineScript(script);
+  EXPECT_EQ(parsed.assignments.size(), 1u);
+  PipelineSpec spec = *ExtractPipelineSpec(parsed);
+  EXPECT_EQ(spec.predictor_callable, "DecisionTreeClassifier");
+  EXPECT_EQ(spec.predictor_params.at("max_depth"), 6.0);
+  EXPECT_TRUE(spec.branches.empty());
+}
+
+TEST(PipelineParserTest, ParsesFeatureUnion) {
+  PyScript parsed = *ParsePipelineScript(data::HospitalTreeScript());
+  PipelineSpec spec = *ExtractPipelineSpec(parsed);
+  ASSERT_EQ(spec.branches.size(), 2u);
+  EXPECT_EQ(spec.branches[0].callable, "StandardScaler");
+  EXPECT_EQ(spec.branches[0].columns.front(), "age");
+  EXPECT_EQ(spec.branches[1].callable, "OneHotEncoder");
+  EXPECT_EQ(spec.predictor_callable, "DecisionTreeRegressor");
+}
+
+TEST(PipelineParserTest, VariableAliasResolved) {
+  const std::string script =
+      "clf = Pipeline([('m', LinearRegression())])\n"
+      "model_pipeline = clf\n";
+  PyScript parsed = *ParsePipelineScript(script);
+  PipelineSpec spec = *ExtractPipelineSpec(parsed);
+  EXPECT_EQ(spec.predictor_callable, "LinearRegression");
+}
+
+TEST(PipelineParserTest, ControlFlowRejected) {
+  const std::string script =
+      "for i in range(10):\n"
+      "    train(i)\n";
+  auto result = ParsePipelineScript(script);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("control-flow"),
+            std::string::npos);
+}
+
+TEST(PipelineParserTest, UnknownEstimatorRejected) {
+  const std::string script =
+      "model_pipeline = Pipeline([('clf', XGBoostMagicClassifier())])\n";
+  PyScript parsed = *ParsePipelineScript(script);
+  auto spec = ExtractPipelineSpec(parsed);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("XGBoostMagicClassifier"),
+            std::string::npos);
+}
+
+TEST(PipelineParserTest, UnterminatedStringIsParseError) {
+  EXPECT_FALSE(ParsePipelineScript("x = 'oops\n").ok());
+}
+
+TEST(PipelineParserTest, NoPipelineFound) {
+  PyScript parsed = *ParsePipelineScript("x = 5\n");
+  EXPECT_FALSE(ExtractPipelineSpec(parsed).ok());
+}
+
+TEST(PipelineParserTest, KnowledgeBase) {
+  EXPECT_TRUE(KnowledgeBaseContains("StandardScaler"));
+  EXPECT_TRUE(KnowledgeBaseContains("MLPRegressor"));
+  EXPECT_FALSE(KnowledgeBaseContains("TransformerLM"));
+}
+
+class SqlParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = data::MakeHospitalDataset(50, 5);
+    ASSERT_TRUE(
+        catalog_.RegisterTable("patient_info", data.patient_info).ok());
+    ASSERT_TRUE(catalog_.RegisterTable("blood_tests", data.blood_tests).ok());
+    ASSERT_TRUE(
+        catalog_.RegisterTable("prenatal_tests", data.prenatal_tests).ok());
+    model_builder_ = [](const std::string& name, ir::IrNodePtr child,
+                        const std::string& out) -> Result<ir::IrNodePtr> {
+      // Test double: record the model reference without catalog lookup.
+      return ir::IrNode::OpaquePipeline(std::move(child), name, "", "test",
+                                        {}, out);
+    };
+  }
+
+  relational::Catalog catalog_;
+  ModelNodeBuilder model_builder_;
+};
+
+TEST_F(SqlParserTest, SimpleSelect) {
+  auto plan = std::move(ParseInferenceQuery(
+      "SELECT id, age FROM patient_info WHERE age > 40", catalog_,
+      model_builder_)).value();
+  EXPECT_EQ(plan.CountKind(ir::IrOpKind::kProject), 1u);
+  EXPECT_EQ(plan.CountKind(ir::IrOpKind::kFilter), 1u);
+  EXPECT_TRUE(plan.Validate(catalog_).ok());
+}
+
+TEST_F(SqlParserTest, JoinChain) {
+  auto plan = std::move(ParseInferenceQuery(
+      "SELECT * FROM patient_info AS pi "
+      "JOIN blood_tests AS bt ON pi.id = bt.id "
+      "JOIN prenatal_tests AS pt ON bt.id = pt.id",
+      catalog_, model_builder_)).value();
+  EXPECT_EQ(plan.CountKind(ir::IrOpKind::kJoin), 2u);
+  EXPECT_EQ(plan.CountKind(ir::IrOpKind::kTableScan), 3u);
+}
+
+TEST_F(SqlParserTest, PaperRunningExample) {
+  const std::string sql =
+      "WITH data AS (SELECT * FROM patient_info AS pi "
+      "  JOIN blood_tests AS bt ON pi.id = bt.id "
+      "  JOIN prenatal_tests AS pt ON bt.id = pt.id) "
+      "SELECT d.id, p.length_of_stay "
+      "FROM PREDICT(MODEL='duration_of_stay', DATA=data AS d) "
+      "WITH(length_of_stay float) AS p "
+      "WHERE d.pregnant = 1 AND p.length_of_stay > 7";
+  auto plan = std::move(ParseInferenceQuery(sql, catalog_, model_builder_)).value();
+  EXPECT_EQ(plan.CountKind(ir::IrOpKind::kOpaquePipeline), 1u);
+  EXPECT_EQ(plan.CountKind(ir::IrOpKind::kJoin), 2u);
+  const std::string s = plan.ToString();
+  EXPECT_NE(s.find("duration_of_stay"), std::string::npos);
+  EXPECT_NE(s.find("length_of_stay"), std::string::npos);
+}
+
+TEST_F(SqlParserTest, AtVariableModelReference) {
+  auto plan = std::move(ParseInferenceQuery(
+      "SELECT * FROM PREDICT(MODEL=@my_model, DATA=patient_info)", catalog_,
+      model_builder_)).value();
+  bool found = false;
+  ir::VisitIr(plan.root(), [&](const ir::IrNode* node) {
+    if (node->kind == ir::IrOpKind::kOpaquePipeline) {
+      EXPECT_EQ(node->model_name, "my_model");
+      found = true;
+    }
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SqlParserTest, StringLiteralResolvesAgainstDictionary) {
+  auto plan = std::move(ParseInferenceQuery(
+      "SELECT id FROM patient_info WHERE gender = 'F'", catalog_,
+      model_builder_)).value();
+  // 'F' is code 0 in the gender dictionary.
+  bool found = false;
+  ir::VisitIr(plan.root(), [&](const ir::IrNode* node) {
+    if (node->kind == ir::IrOpKind::kFilter) {
+      EXPECT_NE(node->predicate->ToString().find("(gender = 0)"),
+                std::string::npos);
+      found = true;
+    }
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SqlParserTest, UnknownStringValueIsError) {
+  auto result = ParseInferenceQuery(
+      "SELECT id FROM patient_info WHERE gender = 'X'", catalog_,
+      model_builder_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(SqlParserTest, ErrorsOnBadSyntax) {
+  EXPECT_FALSE(
+      ParseInferenceQuery("SELECT FROM x", catalog_, model_builder_).ok());
+  EXPECT_FALSE(ParseInferenceQuery("SELECT * FROM missing_table", catalog_,
+                                   model_builder_)
+                   .ok());
+  EXPECT_FALSE(ParseInferenceQuery("SELECT * FROM patient_info trailing junk(",
+                                   catalog_, model_builder_)
+                   .ok());
+  EXPECT_FALSE(ParseInferenceQuery(
+                   "SELECT * FROM PREDICT(MODEL=42, DATA=patient_info)",
+                   catalog_, model_builder_)
+                   .ok());
+}
+
+TEST_F(SqlParserTest, LimitAndIn) {
+  auto plan = std::move(ParseInferenceQuery(
+      "SELECT id FROM patient_info WHERE pregnant IN (1) LIMIT 3", catalog_,
+      model_builder_)).value();
+  EXPECT_EQ(plan.CountKind(ir::IrOpKind::kLimit), 1u);
+}
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = data::MakeHospitalDataset(800, 6);
+    ASSERT_TRUE(catalog_.RegisterTable("patients", data_.joined).ok());
+    pipeline_ = *data::TrainHospitalTree(data_, 5);
+  }
+
+  data::HospitalDataset data_;
+  relational::Catalog catalog_;
+  ml::ModelPipeline pipeline_;
+};
+
+TEST_F(AnalyzerTest, AnalyzableScriptYieldsModelPipelineNode) {
+  ASSERT_TRUE(catalog_.InsertModel("los", data::HospitalTreeScript(),
+                                   pipeline_.ToBytes()).ok());
+  StaticAnalyzer analyzer(&catalog_);
+  AnalysisStats stats;
+  auto plan = std::move(analyzer.Analyze(
+      "SELECT * FROM PREDICT(MODEL='los', DATA=patients) WITH(pred float)",
+      &stats)).value();
+  EXPECT_EQ(plan.CountKind(ir::IrOpKind::kModelPipeline), 1u);
+  EXPECT_EQ(plan.CountKind(ir::IrOpKind::kOpaquePipeline), 0u);
+  EXPECT_FALSE(stats.used_udf_fallback);
+}
+
+TEST_F(AnalyzerTest, UnanalyzableScriptFallsBackToUdf) {
+  const std::string script =
+      "import custom_lib\n"
+      "model_pipeline = Pipeline([('clf', custom_lib.MagicModel())])\n";
+  ASSERT_TRUE(catalog_.InsertModel("magic", script, pipeline_.ToBytes()).ok());
+  StaticAnalyzer analyzer(&catalog_);
+  AnalysisStats stats;
+  auto plan = std::move(analyzer.Analyze(
+      "SELECT * FROM PREDICT(MODEL='magic', DATA=patients)", &stats)).value();
+  EXPECT_EQ(plan.CountKind(ir::IrOpKind::kOpaquePipeline), 1u);
+  EXPECT_TRUE(stats.used_udf_fallback);
+  EXPECT_FALSE(stats.fallback_reason.empty());
+}
+
+TEST_F(AnalyzerTest, ScriptModelMismatchFallsBack) {
+  // Script claims a logistic regression; stored pipeline is a tree.
+  ASSERT_TRUE(catalog_.InsertModel("mismatch", data::FlightLogregScript(),
+                                   pipeline_.ToBytes()).ok());
+  StaticAnalyzer analyzer(&catalog_);
+  AnalysisStats stats;
+  auto plan = std::move(analyzer.Analyze(
+      "SELECT * FROM PREDICT(MODEL='mismatch', DATA=patients)", &stats)).value();
+  EXPECT_EQ(plan.CountKind(ir::IrOpKind::kOpaquePipeline), 1u);
+  EXPECT_TRUE(stats.used_udf_fallback);
+}
+
+TEST_F(AnalyzerTest, MissingModelIsHardError) {
+  StaticAnalyzer analyzer(&catalog_);
+  EXPECT_FALSE(
+      analyzer.Analyze("SELECT * FROM PREDICT(MODEL='nope', DATA=patients)")
+          .ok());
+}
+
+TEST_F(AnalyzerTest, AnalysisIsFast) {
+  // The paper reports <10 ms static analysis; allow generous slack for CI.
+  ASSERT_TRUE(catalog_.InsertModel("los", data::HospitalTreeScript(),
+                                   pipeline_.ToBytes()).ok());
+  StaticAnalyzer analyzer(&catalog_);
+  AnalysisStats stats;
+  (void)*analyzer.Analyze(
+      "SELECT * FROM PREDICT(MODEL='los', DATA=patients)", &stats);
+  EXPECT_LT(stats.script_analysis_micros + stats.sql_parse_micros, 100000.0);
+}
+
+TEST(SpecMatchTest, ChecksBranchKindsAndColumns) {
+  auto data = data::MakeHospitalDataset(300, 7);
+  auto pipeline = *data::TrainHospitalTree(data, 4);
+  PyScript parsed = *ParsePipelineScript(data::HospitalTreeScript());
+  PipelineSpec spec = *ExtractPipelineSpec(parsed);
+  EXPECT_TRUE(
+      StaticAnalyzer::CheckSpecMatchesPipeline(spec, pipeline).ok());
+  // Swap branch callables -> kind mismatch.
+  std::swap(spec.branches[0].callable, spec.branches[1].callable);
+  EXPECT_FALSE(
+      StaticAnalyzer::CheckSpecMatchesPipeline(spec, pipeline).ok());
+}
+
+}  // namespace
+}  // namespace raven::frontend

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "data/hospital.h"
+#include "ir/clustered_model.h"
+#include "ir/ir.h"
+#include "ml/pipeline.h"
+#include "optimizer/specialize.h"
+#include "relational/catalog.h"
+
+namespace raven::ir {
+namespace {
+
+void FillCatalog(relational::Catalog* catalog) {
+  relational::Table t;
+  (void)t.AddNumericColumn("id", {0, 1, 2});
+  (void)t.AddNumericColumn("a", {1, 2, 3});
+  (void)t.AddNumericColumn("b", {4, 5, 6});
+  (void)catalog->RegisterTable("t", std::move(t));
+  relational::Table u;
+  (void)u.AddNumericColumn("id", {0, 1, 2});
+  (void)u.AddNumericColumn("c", {7, 8, 9});
+  (void)catalog->RegisterTable("u", std::move(u));
+}
+
+std::shared_ptr<ml::ModelPipeline> TinyPipeline() {
+  auto pipeline = std::make_shared<ml::ModelPipeline>();
+  pipeline->input_columns = {"a", "b"};
+  ml::LinearModel model(ml::LinearKind::kRegression);
+  model.SetParams({1.0, 1.0}, 0.0);
+  pipeline->predictor = std::move(model);
+  return pipeline;
+}
+
+TEST(IrTest, SchemaComputation) {
+  relational::Catalog catalog;
+  FillCatalog(&catalog);
+  IrNodePtr plan = IrNode::Join(IrNode::TableScan("t"), IrNode::TableScan("u"),
+                                "id", "id");
+  auto schema = *IrPlan::ComputeSchema(*plan, catalog);
+  EXPECT_EQ(schema, (std::vector<std::string>{"id", "a", "b", "c"}));
+
+  IrNodePtr model = IrNode::ModelPipelineNode(std::move(plan), "m",
+                                              TinyPipeline(), {"a", "b"},
+                                              "pred");
+  schema = *IrPlan::ComputeSchema(*model, catalog);
+  EXPECT_EQ(schema.back(), "pred");
+}
+
+TEST(IrTest, ValidateChecksModelInputs) {
+  relational::Catalog catalog;
+  FillCatalog(&catalog);
+  IrPlan good(IrNode::ModelPipelineNode(IrNode::TableScan("t"), "m",
+                                        TinyPipeline(), {"a", "b"}, "pred"));
+  EXPECT_TRUE(good.Validate(catalog).ok());
+  IrPlan bad(IrNode::ModelPipelineNode(IrNode::TableScan("u"), "m",
+                                       TinyPipeline(), {"a", "b"}, "pred"));
+  EXPECT_FALSE(bad.Validate(catalog).ok());
+}
+
+TEST(IrTest, ValidateChecksArity) {
+  relational::Catalog catalog;
+  FillCatalog(&catalog);
+  auto filter = std::make_unique<IrNode>(IrOpKind::kFilter);
+  filter->predicate = relational::Gt(relational::Col("a"), relational::Lit(1));
+  // Filter with no child.
+  IrPlan plan(std::move(filter));
+  EXPECT_FALSE(plan.Validate(catalog).ok());
+}
+
+TEST(IrTest, CloneIsDeep) {
+  relational::Catalog catalog;
+  FillCatalog(&catalog);
+  IrPlan plan(IrNode::Filter(IrNode::TableScan("t"),
+                             relational::Gt(relational::Col("a"),
+                                            relational::Lit(1))));
+  IrPlan copy = plan.Clone();
+  // Mutating the copy must not affect the original.
+  copy.mutable_root()->predicate =
+      relational::Lt(relational::Col("b"), relational::Lit(0));
+  EXPECT_NE(plan.root()->predicate->ToString(),
+            copy.root()->predicate->ToString());
+}
+
+TEST(IrTest, ToStringShowsStructure) {
+  IrPlan plan(IrNode::ModelPipelineNode(IrNode::TableScan("t"), "model_x",
+                                        TinyPipeline(), {"a", "b"}, "pred"));
+  const std::string s = plan.ToString();
+  EXPECT_NE(s.find("ModelPipeline"), std::string::npos);
+  EXPECT_NE(s.find("model_x"), std::string::npos);
+  EXPECT_NE(s.find("TableScan"), std::string::npos);
+  EXPECT_NE(s.find("[MLD]"), std::string::npos);
+  EXPECT_NE(s.find("[RA]"), std::string::npos);
+}
+
+TEST(IrTest, CountKind) {
+  IrPlan plan(IrNode::Join(IrNode::TableScan("t"), IrNode::TableScan("u"),
+                           "id", "id"));
+  EXPECT_EQ(plan.CountKind(IrOpKind::kTableScan), 2u);
+  EXPECT_EQ(plan.CountKind(IrOpKind::kJoin), 1u);
+  EXPECT_EQ(plan.CountKind(IrOpKind::kFilter), 0u);
+}
+
+TEST(IrTest, CategoryTaxonomy) {
+  EXPECT_EQ(CategoryOf(IrOpKind::kTableScan), OpCategory::kRelational);
+  EXPECT_EQ(CategoryOf(IrOpKind::kModelPipeline), OpCategory::kClassicalMl);
+  EXPECT_EQ(CategoryOf(IrOpKind::kNnGraph), OpCategory::kLinearAlgebra);
+  EXPECT_EQ(CategoryOf(IrOpKind::kOpaquePipeline), OpCategory::kUdf);
+}
+
+TEST(ClusteredModelTest, MatchesFallbackSemantics) {
+  // Build a clustered artifact over the hospital model and check exact
+  // agreement with the original pipeline (fallback-on-violation makes the
+  // transformation lossless).
+  auto data = data::MakeHospitalDataset(3000, 77);
+  auto pipeline = *data::TrainHospitalTree(data, 6);
+  optimizer::ClusteringOptions options;
+  options.k = 4;
+  ClusteredModel clustered =
+      *optimizer::BuildClusteredModel(pipeline, data.joined, options);
+  EXPECT_EQ(clustered.cluster_models.size(),
+            static_cast<std::size_t>(clustered.router.k()));
+
+  auto fresh = data::MakeHospitalDataset(500, 78);
+  Tensor x = *fresh.joined.ToTensor(pipeline.input_columns);
+  Tensor expected = *pipeline.Predict(x);
+  Tensor actual = *clustered.Predict(x);
+  EXPECT_TRUE(expected.AllClose(actual, 1e-5f));
+}
+
+TEST(ClusteredModelTest, RejectsWidthMismatch) {
+  auto data = data::MakeHospitalDataset(500, 79);
+  auto pipeline = *data::TrainHospitalTree(data, 4);
+  optimizer::ClusteringOptions options;
+  options.k = 2;
+  ClusteredModel clustered =
+      *optimizer::BuildClusteredModel(pipeline, data.joined, options);
+  EXPECT_FALSE(clustered.Predict(Tensor::Zeros({2, 3})).ok());
+}
+
+}  // namespace
+}  // namespace raven::ir

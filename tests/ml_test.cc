@@ -1,0 +1,471 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+#include "ml/featurizer.h"
+#include "ml/kmeans.h"
+#include "ml/linear_model.h"
+#include "ml/mlp.h"
+#include "ml/pipeline.h"
+#include "ml/random_forest.h"
+
+namespace raven::ml {
+namespace {
+
+/// y = 2*x0 - x1 + noise-free offset; simple learnable regression target.
+std::pair<Tensor, std::vector<float>> LinearToy(std::int64_t n,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor x = Tensor::Zeros({n, 2});
+  std::vector<float> y(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    x.At(i, 0) = static_cast<float>(rng.Uniform(-1, 1));
+    x.At(i, 1) = static_cast<float>(rng.Uniform(-1, 1));
+    y[static_cast<std::size_t>(i)] = 2.0f * x.At(i, 0) - x.At(i, 1) + 0.5f;
+  }
+  return {std::move(x), std::move(y)};
+}
+
+/// Step-function target ideal for trees: y depends on x0 and x1 regions.
+std::pair<Tensor, std::vector<float>> TreeToy(std::int64_t n,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor x = Tensor::Zeros({n, 3});
+  std::vector<float> y(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    x.At(i, 0) = static_cast<float>(rng.Uniform(0, 10));
+    x.At(i, 1) = static_cast<float>(rng.Uniform(0, 10));
+    x.At(i, 2) = static_cast<float>(rng.Uniform(0, 10));  // irrelevant
+    y[static_cast<std::size_t>(i)] =
+        x.At(i, 0) <= 5.0f ? (x.At(i, 1) <= 3.0f ? 1.0f : 2.0f) : 7.0f;
+  }
+  return {std::move(x), std::move(y)};
+}
+
+TEST(StandardScalerTest, FitTransform) {
+  Tensor x = *Tensor::FromData({4, 1}, {0, 2, 4, 6});
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(x).ok());
+  EXPECT_NEAR(scaler.mean()[0], 3.0, 1e-9);
+  Tensor out = *scaler.Transform(x);
+  // Mean 0, unit variance.
+  float sum = 0;
+  for (float v : out.data()) sum += v;
+  EXPECT_NEAR(sum, 0.0f, 1e-5f);
+}
+
+TEST(StandardScalerTest, ConstantColumnSafe) {
+  Tensor x = *Tensor::FromData({3, 1}, {5, 5, 5});
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(x).ok());
+  Tensor out = *scaler.Transform(x);
+  for (float v : out.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(OneHotEncoderTest, FitTransform) {
+  Tensor x = *Tensor::FromData({3, 2}, {0, 1, 2, 0, 1, 1});
+  OneHotEncoder enc;
+  ASSERT_TRUE(enc.Fit(x).ok());
+  EXPECT_EQ(enc.cardinalities(), (std::vector<std::int64_t>{3, 2}));
+  EXPECT_EQ(enc.TotalOutputFeatures(), 5);
+  Tensor out = *enc.Transform(x);
+  EXPECT_TRUE(out.Equals(*Tensor::FromData(
+      {3, 5}, {1, 0, 0, 0, 1, 0, 0, 1, 1, 0, 0, 1, 0, 0, 1})));
+}
+
+TEST(OneHotEncoderTest, RestrictColumnDropsCodes) {
+  OneHotEncoder enc;
+  enc.SetCardinalities({4});
+  ASSERT_TRUE(enc.RestrictColumn(0, {1, 3}).ok());
+  EXPECT_EQ(enc.TotalOutputFeatures(), 2);
+  Tensor x = *Tensor::FromData({4, 1}, {0, 1, 2, 3});
+  Tensor out = *enc.Transform(x);
+  EXPECT_TRUE(out.Equals(
+      *Tensor::FromData({4, 2}, {0, 0, 1, 0, 0, 0, 0, 1})));
+  EXPECT_EQ(enc.EmittedCodes(0), (std::vector<std::int64_t>{1, 3}));
+}
+
+TEST(OneHotEncoderTest, RestrictValidation) {
+  OneHotEncoder enc;
+  enc.SetCardinalities({3});
+  EXPECT_FALSE(enc.RestrictColumn(1, {0}).ok());
+  EXPECT_FALSE(enc.RestrictColumn(0, {5}).ok());
+  // Full set clears the restriction.
+  ASSERT_TRUE(enc.RestrictColumn(0, {0, 1, 2}).ok());
+  EXPECT_EQ(enc.TotalOutputFeatures(), 3);
+}
+
+TEST(FeaturizerTest, BranchesConcatInOrder) {
+  Featurizer featurizer;
+  FeatureBranch identity;
+  identity.kind = TransformKind::kIdentity;
+  identity.input_columns = {0};
+  FeatureBranch onehot;
+  onehot.kind = TransformKind::kOneHot;
+  onehot.input_columns = {1};
+  featurizer.AddBranch(std::move(identity));
+  featurizer.AddBranch(std::move(onehot));
+  Tensor x = *Tensor::FromData({2, 2}, {3.5f, 0, 4.5f, 1});
+  ASSERT_TRUE(featurizer.Fit(x).ok());
+  Tensor out = *featurizer.Transform(x);
+  EXPECT_TRUE(out.Equals(
+      *Tensor::FromData({2, 3}, {3.5f, 1, 0, 4.5f, 0, 1})));
+  const auto prov = featurizer.Provenance();
+  ASSERT_EQ(prov.size(), 3u);
+  EXPECT_EQ(prov[0].input_column, 0);
+  EXPECT_EQ(prov[1].input_column, 1);
+  EXPECT_EQ(prov[1].category, 0);
+  EXPECT_EQ(prov[2].category, 1);
+}
+
+TEST(FeaturizerTest, SerializeRoundTrip) {
+  Featurizer featurizer;
+  FeatureBranch scaler;
+  scaler.kind = TransformKind::kScaler;
+  scaler.input_columns = {0, 1};
+  featurizer.AddBranch(std::move(scaler));
+  Tensor x = *Tensor::FromData({3, 2}, {1, 2, 3, 4, 5, 6});
+  ASSERT_TRUE(featurizer.Fit(x).ok());
+  BinaryWriter w;
+  featurizer.Serialize(&w);
+  const std::string buf = w.Release();
+  BinaryReader r(buf);
+  Featurizer back = *Featurizer::Deserialize(&r);
+  EXPECT_TRUE((*featurizer.Transform(x)).Equals(*back.Transform(x)));
+}
+
+TEST(DecisionTreeTest, LearnsStepFunction) {
+  auto [x, y] = TreeToy(2000, 3);
+  DecisionTree tree;
+  TreeTrainOptions options;
+  options.max_depth = 6;
+  ASSERT_TRUE(tree.Fit(x, y, options).ok());
+  Tensor preds = *tree.Predict(x);
+  double mse = 0;
+  for (std::int64_t i = 0; i < x.dim(0); ++i) {
+    const double d = preds.raw()[i] - y[static_cast<std::size_t>(i)];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(x.dim(0));
+  EXPECT_LT(mse, 0.05);
+  EXPECT_GT(tree.num_nodes(), 3);
+  EXPECT_GE(tree.depth(), 2);
+}
+
+TEST(DecisionTreeTest, IgnoresIrrelevantFeature) {
+  auto [x, y] = TreeToy(2000, 4);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(x, y).ok());
+  // Feature 2 is pure noise; a healthy CART should rarely split on it at
+  // shallow depth. Verify features 0 and 1 are used.
+  const auto used = tree.UsedFeatures();
+  EXPECT_NE(std::find(used.begin(), used.end(), 0), used.end());
+  EXPECT_NE(std::find(used.begin(), used.end(), 1), used.end());
+}
+
+TEST(DecisionTreeTest, PruneWithIntervalsPreservesSemantics) {
+  auto [x, y] = TreeToy(3000, 5);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(x, y).ok());
+  // Constraint: x0 <= 5. Pruned tree must agree on all satisfying rows.
+  DecisionTree pruned =
+      tree.PruneWithIntervals({FeatureInterval{0, -1e30, 5.0}});
+  EXPECT_LT(pruned.num_nodes(), tree.num_nodes());
+  for (std::int64_t i = 0; i < x.dim(0); ++i) {
+    if (x.At(i, 0) <= 5.0f) {
+      EXPECT_EQ(tree.PredictRow(x.raw() + i * 3, 3),
+                pruned.PredictRow(x.raw() + i * 3, 3));
+    }
+  }
+}
+
+TEST(DecisionTreeTest, PruneToSingleLeaf) {
+  auto [x, y] = TreeToy(1000, 6);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(x, y).ok());
+  DecisionTree pruned = tree.PruneWithIntervals(
+      {FeatureInterval{0, 7.0, 8.0}});  // only the x0>5 region
+  // All rows with x0 in [7,8] predict ~7.
+  EXPECT_LE(pruned.depth(), tree.depth());
+  float row[3] = {7.5f, 1.0f, 0.0f};
+  EXPECT_NEAR(pruned.PredictRow(row, 3), 7.0f, 0.2f);
+}
+
+TEST(DecisionTreeTest, SerializeRoundTrip) {
+  auto [x, y] = TreeToy(500, 7);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(x, y).ok());
+  BinaryWriter w;
+  tree.Serialize(&w);
+  const std::string buf = w.Release();
+  BinaryReader r(buf);
+  DecisionTree back = *DecisionTree::Deserialize(&r);
+  EXPECT_TRUE((*tree.Predict(x)).Equals(*back.Predict(x)));
+}
+
+TEST(DecisionTreeTest, FromArraysValidates) {
+  EXPECT_FALSE(DecisionTree::FromArrays(2, {0}, {1.f}, {5}, {1}, {0.f}).ok());
+  EXPECT_FALSE(DecisionTree::FromArrays(2, {7}, {1.f}, {0}, {0}, {0.f}).ok());
+  EXPECT_TRUE(
+      DecisionTree::FromArrays(2, {-1}, {0.f}, {-1}, {-1}, {3.f}).ok());
+}
+
+TEST(DecisionTreeTest, RemapFeatures) {
+  DecisionTree tree = *DecisionTree::FromArrays(
+      3, {2, -1, -1}, {1.f, 0.f, 0.f}, {1, -1, -1}, {2, -1, -1},
+      {0.f, 10.f, 20.f});
+  ASSERT_TRUE(tree.RemapFeatures({-1, -1, 0}).ok());
+  EXPECT_EQ(tree.num_features(), 1);
+  float row[1] = {0.5f};
+  EXPECT_EQ(tree.PredictRow(row, 1), 10.0f);
+}
+
+TEST(RandomForestTest, BeatsSingleNoise) {
+  auto [x, y] = TreeToy(2000, 8);
+  RandomForest forest;
+  ForestTrainOptions options;
+  options.num_trees = 8;
+  ASSERT_TRUE(forest.Fit(x, y, options).ok());
+  EXPECT_EQ(forest.trees().size(), 8u);
+  Tensor preds = *forest.Predict(x);
+  double mse = 0;
+  for (std::int64_t i = 0; i < x.dim(0); ++i) {
+    const double d = preds.raw()[i] - y[static_cast<std::size_t>(i)];
+    mse += d * d;
+  }
+  EXPECT_LT(mse / static_cast<double>(x.dim(0)), 0.8);
+}
+
+TEST(RandomForestTest, PruneAndSerialize) {
+  auto [x, y] = TreeToy(1500, 9);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Fit(x, y).ok());
+  RandomForest pruned =
+      forest.PruneWithIntervals({FeatureInterval{0, -1e30, 5.0}});
+  EXPECT_LE(pruned.total_nodes(), forest.total_nodes());
+  BinaryWriter w;
+  forest.Serialize(&w);
+  const std::string buf = w.Release();
+  BinaryReader r(buf);
+  RandomForest back = *RandomForest::Deserialize(&r);
+  EXPECT_TRUE((*forest.Predict(x)).Equals(*back.Predict(x)));
+}
+
+TEST(LinearModelTest, FitsLinearTarget) {
+  auto [x, y] = LinearToy(2000, 10);
+  LinearModel model(LinearKind::kRegression);
+  LinearTrainOptions options;
+  options.epochs = 200;
+  options.learning_rate = 0.5;
+  ASSERT_TRUE(model.Fit(x, y, options).ok());
+  EXPECT_NEAR(model.weights()[0], 2.0, 0.1);
+  EXPECT_NEAR(model.weights()[1], -1.0, 0.1);
+  EXPECT_NEAR(model.bias(), 0.5, 0.1);
+}
+
+TEST(LinearModelTest, L1ProducesSparsity) {
+  Rng rng(11);
+  const std::int64_t n = 1500;
+  const std::int64_t d = 30;
+  Tensor x = Tensor::Zeros({n, d});
+  std::vector<float> y(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      x.At(i, j) = static_cast<float>(rng.Uniform(-1, 1));
+    }
+    // Only features 0 and 1 matter.
+    const double logit = 3.0 * x.At(i, 0) - 2.0 * x.At(i, 1);
+    y[static_cast<std::size_t>(i)] = rng.NextBool(1 / (1 + std::exp(-logit)));
+  }
+  LinearModel dense(LinearKind::kLogistic);
+  LinearTrainOptions dense_options;
+  dense_options.epochs = 80;
+  ASSERT_TRUE(dense.Fit(x, y, dense_options).ok());
+  LinearModel sparse(LinearKind::kLogistic);
+  LinearTrainOptions sparse_options;
+  sparse_options.epochs = 80;
+  sparse_options.l1 = 0.02;
+  ASSERT_TRUE(sparse.Fit(x, y, sparse_options).ok());
+  EXPECT_GT(sparse.Sparsity(), dense.Sparsity());
+  EXPECT_GT(sparse.Sparsity(), 0.4);
+  // The true signal features survive.
+  const auto nonzero = sparse.NonZeroFeatures();
+  EXPECT_NE(std::find(nonzero.begin(), nonzero.end(), 0), nonzero.end());
+  EXPECT_NE(std::find(nonzero.begin(), nonzero.end(), 1), nonzero.end());
+}
+
+TEST(LinearModelTest, ProjectFeaturesFoldsBias) {
+  LinearModel model(LinearKind::kRegression);
+  model.SetParams({1.0, 2.0, 3.0}, 0.5);
+  // Keep features 0 and 2; feature 1 fixed at value 10.
+  ASSERT_TRUE(model.ProjectFeatures({0, 2}, {0.0, 10.0, 0.0}).ok());
+  EXPECT_EQ(model.num_features(), 2);
+  EXPECT_NEAR(model.bias(), 0.5 + 2.0 * 10.0, 1e-9);
+  float row[2] = {1.0f, 1.0f};
+  EXPECT_NEAR(model.PredictRow(row, 2), 1.0 + 3.0 + 20.5, 1e-5);
+}
+
+TEST(LinearModelTest, ThresholdWeights) {
+  LinearModel model(LinearKind::kRegression);
+  model.SetParams({0.001, 0.5, -0.0005, 2.0}, 0.0);
+  EXPECT_EQ(model.ThresholdWeights(0.01), 2);
+  EXPECT_NEAR(model.Sparsity(), 0.5, 1e-9);
+}
+
+TEST(LinearModelTest, SerializeRoundTrip) {
+  LinearModel model(LinearKind::kLogistic);
+  model.SetParams({0.1, -0.2, 0.0}, 1.5);
+  BinaryWriter w;
+  model.Serialize(&w);
+  const std::string buf = w.Release();
+  BinaryReader r(buf);
+  LinearModel back = *LinearModel::Deserialize(&r);
+  EXPECT_EQ(back.kind(), LinearKind::kLogistic);
+  EXPECT_EQ(back.weights(), model.weights());
+  EXPECT_EQ(back.bias(), model.bias());
+}
+
+TEST(MlpTest, LearnsXorishTarget) {
+  Rng rng(12);
+  const std::int64_t n = 1200;
+  Tensor x = Tensor::Zeros({n, 2});
+  std::vector<float> y(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    x.At(i, 0) = static_cast<float>(rng.Uniform(-1, 1));
+    x.At(i, 1) = static_cast<float>(rng.Uniform(-1, 1));
+    y[static_cast<std::size_t>(i)] =
+        (x.At(i, 0) * x.At(i, 1) > 0) ? 1.0f : 0.0f;
+  }
+  Mlp mlp;
+  MlpTrainOptions options;
+  options.hidden = {16};
+  options.epochs = 60;
+  options.learning_rate = 0.1;
+  ASSERT_TRUE(mlp.Fit(x, y, options).ok());
+  Tensor preds = *mlp.Predict(x);
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if ((preds.raw()[i] > 0.5f) == (y[static_cast<std::size_t>(i)] > 0.5f)) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(n), 0.85);
+}
+
+TEST(MlpTest, SerializeRoundTrip) {
+  auto [x, y] = LinearToy(200, 13);
+  Mlp mlp;
+  MlpTrainOptions options;
+  options.hidden = {4};
+  options.epochs = 3;
+  options.output_activation = Activation::kNone;
+  ASSERT_TRUE(mlp.Fit(x, y, options).ok());
+  BinaryWriter w;
+  mlp.Serialize(&w);
+  const std::string buf = w.Release();
+  BinaryReader r(buf);
+  Mlp back = *Mlp::Deserialize(&r);
+  EXPECT_TRUE((*mlp.Predict(x)).Equals(*back.Predict(x)));
+}
+
+TEST(KMeansTest, SeparatesClusters) {
+  Rng rng(14);
+  const std::int64_t n = 600;
+  Tensor x = Tensor::Zeros({n, 2});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double cx = (i % 3) * 10.0;
+    x.At(i, 0) = static_cast<float>(cx + rng.NextGaussian() * 0.5);
+    x.At(i, 1) = static_cast<float>(cx + rng.NextGaussian() * 0.5);
+  }
+  KMeans km;
+  KMeansOptions options;
+  options.k = 3;
+  ASSERT_TRUE(km.Fit(x, options).ok());
+  auto assign = *km.Assign(x);
+  // Points in the same generated cluster share an assignment.
+  for (std::int64_t i = 3; i < n; i += 3) {
+    EXPECT_EQ(assign[static_cast<std::size_t>(i)], assign[0]);
+  }
+  EXPECT_NE(assign[0], assign[1]);
+}
+
+TEST(KMeansTest, KLargerThanNClamps) {
+  Tensor x = *Tensor::FromData({2, 1}, {0, 10});
+  KMeans km;
+  KMeansOptions options;
+  options.k = 8;
+  ASSERT_TRUE(km.Fit(x, options).ok());
+  EXPECT_EQ(km.k(), 2);
+}
+
+TEST(PipelineTest, FeaturizeThenPredict) {
+  auto [x, y] = TreeToy(1000, 15);
+  ModelPipeline pipeline;
+  pipeline.input_columns = {"a", "b", "c"};
+  FeatureBranch identity;
+  identity.kind = TransformKind::kIdentity;
+  identity.input_columns = {0, 1, 2};
+  pipeline.featurizer.AddBranch(std::move(identity));
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(x, y).ok());
+  pipeline.predictor = std::move(tree);
+  Tensor preds = *pipeline.Predict(x);
+  EXPECT_EQ(preds.dim(0), 1000);
+  // Row path equals batch path.
+  for (std::int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(*pipeline.PredictRow(x.raw() + i * 3, 3), preds.raw()[i]);
+  }
+}
+
+TEST(PipelineTest, SerializeRoundTripAllPredictors) {
+  auto [x, y] = TreeToy(300, 16);
+  for (int kind = 0; kind < 4; ++kind) {
+    ModelPipeline pipeline;
+    pipeline.input_columns = {"a", "b", "c"};
+    switch (kind) {
+      case 0: {
+        DecisionTree m;
+        ASSERT_TRUE(m.Fit(x, y).ok());
+        pipeline.predictor = std::move(m);
+        break;
+      }
+      case 1: {
+        RandomForest m;
+        ForestTrainOptions fo;
+        fo.num_trees = 3;
+        ASSERT_TRUE(m.Fit(x, y, fo).ok());
+        pipeline.predictor = std::move(m);
+        break;
+      }
+      case 2: {
+        LinearModel m(LinearKind::kRegression);
+        ASSERT_TRUE(m.Fit(x, y).ok());
+        pipeline.predictor = std::move(m);
+        break;
+      }
+      case 3: {
+        Mlp m;
+        MlpTrainOptions mo;
+        mo.hidden = {4};
+        mo.epochs = 2;
+        mo.output_activation = Activation::kNone;
+        ASSERT_TRUE(m.Fit(x, y, mo).ok());
+        pipeline.predictor = std::move(m);
+        break;
+      }
+    }
+    ModelPipeline back = *ModelPipeline::FromBytes(pipeline.ToBytes());
+    EXPECT_TRUE((*pipeline.Predict(x)).AllClose(*back.Predict(x)))
+        << "predictor kind " << kind;
+    EXPECT_EQ(back.input_columns, pipeline.input_columns);
+  }
+}
+
+TEST(PipelineTest, FromBytesRejectsGarbage) {
+  EXPECT_FALSE(ModelPipeline::FromBytes("not a pipeline").ok());
+}
+
+}  // namespace
+}  // namespace raven::ml

@@ -1,0 +1,420 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nnrt/device.h"
+#include "nnrt/executor.h"
+#include "nnrt/graph.h"
+#include "nnrt/graph_optimizer.h"
+#include "nnrt/kernels.h"
+#include "nnrt/session.h"
+
+namespace raven::nnrt {
+namespace {
+
+Node MakeNode(const std::string& op, std::vector<std::string> inputs,
+              std::vector<std::string> outputs) {
+  Node node;
+  node.op_type = op;
+  node.name = op + "_" + outputs.front();
+  node.inputs = std::move(inputs);
+  node.outputs = std::move(outputs);
+  return node;
+}
+
+Result<Tensor> RunSingleOp(Node node, std::vector<Tensor> inputs) {
+  Graph graph;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    graph.AddInput(node.inputs[i]);
+  }
+  graph.AddOutput(node.outputs[0]);
+  TensorMap env;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    env[node.inputs[i]] = std::move(inputs[i]);
+  }
+  graph.AddNode(std::move(node));
+  RAVEN_ASSIGN_OR_RETURN(TensorMap out, ExecuteGraph(graph, env));
+  return out.begin()->second;
+}
+
+TEST(KernelTest, AddBroadcastRowVector) {
+  Tensor a = *Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({10, 20, 30});
+  Tensor out = *RunSingleOp(MakeNode("Add", {"a", "b"}, {"y"}), {a, b});
+  EXPECT_TRUE(out.Equals(*Tensor::FromData({2, 3}, {11, 22, 33, 14, 25, 36})));
+}
+
+TEST(KernelTest, AddScalarBroadcast) {
+  Tensor a = *Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor out = *RunSingleOp(MakeNode("Add", {"a", "b"}, {"y"}),
+                            {a, Tensor::Scalar(1.0f)});
+  EXPECT_TRUE(out.Equals(*Tensor::FromData({2, 2}, {2, 3, 4, 5})));
+}
+
+TEST(KernelTest, AddShapeMismatchFails) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({2});
+  EXPECT_FALSE(RunSingleOp(MakeNode("Add", {"a", "b"}, {"y"}), {a, b}).ok());
+}
+
+TEST(KernelTest, MatMul) {
+  Tensor a = *Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = *Tensor::FromData({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor out = *RunSingleOp(MakeNode("MatMul", {"a", "b"}, {"y"}), {a, b});
+  EXPECT_TRUE(out.Equals(*Tensor::FromData({2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(KernelTest, GemmWithBias) {
+  Tensor x = *Tensor::FromData({1, 2}, {1, 2});
+  Tensor w = *Tensor::FromData({2, 2}, {1, 0, 0, 1});
+  Tensor b = Tensor::FromVector({10, 20});
+  Node node = MakeNode("Gemm", {"x", "w", "b"}, {"y"});
+  Tensor out = *RunSingleOp(std::move(node), {x, w, b});
+  EXPECT_TRUE(out.Equals(*Tensor::FromData({1, 2}, {11, 22})));
+}
+
+TEST(KernelTest, ReluSigmoidTanh) {
+  Tensor x = *Tensor::FromData({1, 3}, {-1, 0, 2});
+  Tensor relu = *RunSingleOp(MakeNode("Relu", {"x"}, {"y"}), {x});
+  EXPECT_TRUE(relu.Equals(*Tensor::FromData({1, 3}, {0, 0, 2})));
+  Tensor sig = *RunSingleOp(MakeNode("Sigmoid", {"x"}, {"y"}), {x});
+  EXPECT_NEAR(sig.raw()[1], 0.5f, 1e-6f);
+  EXPECT_NEAR(sig.raw()[2], 1.0f / (1.0f + std::exp(-2.0f)), 1e-6f);
+  Tensor th = *RunSingleOp(MakeNode("Tanh", {"x"}, {"y"}), {x});
+  EXPECT_NEAR(th.raw()[0], std::tanh(-1.0f), 1e-6f);
+}
+
+TEST(KernelTest, SoftmaxRows) {
+  Tensor x = *Tensor::FromData({2, 2}, {0, 0, 1, 3});
+  Tensor out = *RunSingleOp(MakeNode("Softmax", {"x"}, {"y"}), {x});
+  EXPECT_NEAR(out.At(0, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(out.At(1, 0) + out.At(1, 1), 1.0f, 1e-6f);
+  EXPECT_GT(out.At(1, 1), out.At(1, 0));
+}
+
+TEST(KernelTest, ConcatAxis1) {
+  Tensor a = *Tensor::FromData({2, 1}, {1, 2});
+  Tensor b = *Tensor::FromData({2, 2}, {3, 4, 5, 6});
+  Tensor out = *RunSingleOp(MakeNode("Concat", {"a", "b"}, {"y"}), {a, b});
+  EXPECT_TRUE(out.Equals(*Tensor::FromData({2, 3}, {1, 3, 4, 2, 5, 6})));
+}
+
+TEST(KernelTest, GatherColumns) {
+  Tensor x = *Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Node node = MakeNode("GatherColumns", {"x"}, {"y"});
+  node.attrs["indices"] = std::vector<std::int64_t>{2, 0};
+  Tensor out = *RunSingleOp(std::move(node), {x});
+  EXPECT_TRUE(out.Equals(*Tensor::FromData({2, 2}, {3, 1, 6, 4})));
+}
+
+TEST(KernelTest, GatherColumnsOutOfRangeFails) {
+  Tensor x = Tensor::Zeros({1, 2});
+  Node node = MakeNode("GatherColumns", {"x"}, {"y"});
+  node.attrs["indices"] = std::vector<std::int64_t>{5};
+  EXPECT_FALSE(RunSingleOp(std::move(node), {x}).ok());
+}
+
+TEST(KernelTest, OneHot) {
+  Tensor x = *Tensor::FromData({3, 1}, {0, 2, 7});  // 7 out of range
+  Node node = MakeNode("OneHot", {"x"}, {"y"});
+  node.attrs["depth"] = static_cast<std::int64_t>(3);
+  Tensor out = *RunSingleOp(std::move(node), {x});
+  EXPECT_TRUE(out.Equals(
+      *Tensor::FromData({3, 3}, {1, 0, 0, 0, 0, 1, 0, 0, 0})));
+}
+
+TEST(KernelTest, Scaler) {
+  Tensor x = *Tensor::FromData({2, 2}, {10, 100, 20, 200});
+  Node node = MakeNode("Scaler", {"x"}, {"y"});
+  node.attrs["offset"] = std::vector<double>{10.0, 100.0};
+  node.attrs["scale"] = std::vector<double>{0.5, 0.1};
+  Tensor out = *RunSingleOp(std::move(node), {x});
+  EXPECT_TRUE(out.Equals(*Tensor::FromData({2, 2}, {0, 0, 5, 10})));
+}
+
+TEST(KernelTest, ArgMaxAndReduceSum) {
+  Tensor x = *Tensor::FromData({2, 3}, {1, 5, 2, 9, 0, 3});
+  Tensor am = *RunSingleOp(MakeNode("ArgMax", {"x"}, {"y"}), {x});
+  EXPECT_TRUE(am.Equals(*Tensor::FromData({2, 1}, {1, 0})));
+  Tensor rs = *RunSingleOp(MakeNode("ReduceSum", {"x"}, {"y"}), {x});
+  EXPECT_TRUE(rs.Equals(*Tensor::FromData({2, 1}, {8, 12})));
+}
+
+TEST(KernelTest, ComparisonOps) {
+  Tensor a = *Tensor::FromData({1, 3}, {1, 2, 3});
+  Tensor b = *Tensor::FromData({1, 3}, {2, 2, 2});
+  EXPECT_TRUE(RunSingleOp(MakeNode("Less", {"a", "b"}, {"y"}), {a, b})
+                  ->Equals(*Tensor::FromData({1, 3}, {1, 0, 0})));
+  EXPECT_TRUE(RunSingleOp(MakeNode("LessOrEqual", {"a", "b"}, {"y"}), {a, b})
+                  ->Equals(*Tensor::FromData({1, 3}, {1, 1, 0})));
+  EXPECT_TRUE(RunSingleOp(MakeNode("Greater", {"a", "b"}, {"y"}), {a, b})
+                  ->Equals(*Tensor::FromData({1, 3}, {0, 0, 1})));
+  EXPECT_TRUE(RunSingleOp(MakeNode("Equal", {"a", "b"}, {"y"}), {a, b})
+                  ->Equals(*Tensor::FromData({1, 3}, {0, 1, 0})));
+}
+
+TEST(KernelTest, TreeEnsembleSingleTree) {
+  // Tree: x0 <= 5 ? 1 : (x1 <= 0 ? 2 : 3)
+  Node node = MakeNode("TreeEnsemble", {"x"}, {"y"});
+  node.attrs["roots"] = Tensor::FromVector({0});
+  node.attrs["feature"] = Tensor::FromVector({0, -1, 1, -1, -1});
+  node.attrs["threshold"] = Tensor::FromVector({5, 0, 0, 0, 0});
+  node.attrs["left"] = Tensor::FromVector({1, -1, 3, -1, -1});
+  node.attrs["right"] = Tensor::FromVector({2, -1, 4, -1, -1});
+  node.attrs["value"] = Tensor::FromVector({0, 1, 0, 2, 3});
+  Tensor x = *Tensor::FromData({3, 2}, {4, 0, 6, -1, 6, 1});
+  Tensor out = *RunSingleOp(std::move(node), {x});
+  EXPECT_TRUE(out.Equals(*Tensor::FromData({3, 1}, {1, 2, 3})));
+}
+
+TEST(KernelTest, TreeEnsembleAverageAndSigmoid) {
+  // Two single-leaf trees with values 0 and 2 -> average 1; sigmoid(1).
+  Node node = MakeNode("TreeEnsemble", {"x"}, {"y"});
+  node.attrs["roots"] = Tensor::FromVector({0, 1});
+  node.attrs["feature"] = Tensor::FromVector({-1, -1});
+  node.attrs["threshold"] = Tensor::FromVector({0, 0});
+  node.attrs["left"] = Tensor::FromVector({-1, -1});
+  node.attrs["right"] = Tensor::FromVector({-1, -1});
+  node.attrs["value"] = Tensor::FromVector({0, 2});
+  node.attrs["aggregate"] = static_cast<std::int64_t>(1);
+  node.attrs["post"] = static_cast<std::int64_t>(1);
+  Tensor x = Tensor::Zeros({1, 1});
+  Tensor out = *RunSingleOp(std::move(node), {x});
+  EXPECT_NEAR(out.raw()[0], 1.0f / (1.0f + std::exp(-1.0f)), 1e-6f);
+}
+
+TEST(GraphTest, ValidateCatchesMissingProducer) {
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddNode(MakeNode("Relu", {"nope"}, {"y"}));
+  graph.AddOutput("y");
+  EXPECT_FALSE(graph.Validate().ok());
+}
+
+TEST(GraphTest, ValidateCatchesDuplicateProducer) {
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddNode(MakeNode("Relu", {"x"}, {"y"}));
+  graph.AddNode(MakeNode("Neg", {"x"}, {"y"}));
+  graph.AddOutput("y");
+  EXPECT_FALSE(graph.Validate().ok());
+}
+
+TEST(GraphTest, TopologicalOrderDetectsCycle) {
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddNode(MakeNode("Add", {"x", "b"}, {"a"}));
+  graph.AddNode(MakeNode("Add", {"a", "x"}, {"b"}));
+  graph.AddOutput("b");
+  EXPECT_FALSE(graph.TopologicalOrder().ok());
+}
+
+TEST(GraphTest, ExecutesOutOfOrderNodes) {
+  // Nodes appended in reverse dataflow order still execute correctly.
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddNode(MakeNode("Relu", {"mid"}, {"y"}));
+  graph.AddNode(MakeNode("Neg", {"x"}, {"mid"}));
+  graph.AddOutput("y");
+  TensorMap in;
+  in["x"] = *Tensor::FromData({1, 2}, {-3, 4});
+  TensorMap out = *ExecuteGraph(graph, in);
+  EXPECT_TRUE(out.at("y").Equals(*Tensor::FromData({1, 2}, {3, 0})));
+}
+
+TEST(GraphTest, MissingInputIsError) {
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddNode(MakeNode("Relu", {"x"}, {"y"}));
+  graph.AddOutput("y");
+  EXPECT_FALSE(ExecuteGraph(graph, {}).ok());
+}
+
+TEST(GraphTest, UnknownOpIsError) {
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddNode(MakeNode("Conv3DTranspose", {"x"}, {"y"}));
+  graph.AddOutput("y");
+  TensorMap in;
+  in["x"] = Tensor::Zeros({1, 1});
+  auto result = ExecuteGraph(graph, in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(GraphTest, SerializeRoundTrip) {
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddInitializer("w", *Tensor::FromData({2, 1}, {0.5f, -1.0f}));
+  Node node = MakeNode("Gemm", {"x", "w"}, {"y"});
+  node.attrs["alpha"] = 1.5;
+  node.attrs["tag"] = std::string("test");
+  node.attrs["dims"] = std::vector<std::int64_t>{2, 1};
+  graph.AddNode(std::move(node));
+  graph.AddOutput("y");
+
+  BinaryWriter w;
+  graph.Serialize(&w);
+  const std::string buf = w.Release();
+  BinaryReader r(buf);
+  Graph back = *Graph::Deserialize(&r);
+  EXPECT_EQ(back.inputs(), graph.inputs());
+  EXPECT_EQ(back.outputs(), graph.outputs());
+  EXPECT_EQ(back.nodes().size(), 1u);
+  EXPECT_EQ(*back.nodes()[0].GetFloatAttr("alpha"), 1.5);
+  EXPECT_EQ(*back.nodes()[0].GetStringAttr("tag"), "test");
+
+  TensorMap in;
+  in["x"] = *Tensor::FromData({1, 2}, {2, 2});
+  TensorMap out = *ExecuteGraph(back, in);
+  EXPECT_NEAR(out.at("y").raw()[0], -1.0f, 1e-6f);
+}
+
+TEST(GraphOptimizerTest, ConstantFolding) {
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddInitializer("a", Tensor::FromVector({1, 2}));
+  graph.AddInitializer("b", Tensor::FromVector({3, 4}));
+  graph.AddNode(MakeNode("Add", {"a", "b"}, {"c"}));   // fully constant
+  graph.AddNode(MakeNode("Add", {"x", "c"}, {"y"}));   // depends on input
+  graph.AddOutput("y");
+  GraphOptStats stats;
+  ASSERT_TRUE(OptimizeGraph(&graph, &stats).ok());
+  EXPECT_EQ(stats.constants_folded, 1u);
+  EXPECT_EQ(graph.nodes().size(), 1u);
+  TensorMap in;
+  in["x"] = Tensor::FromVector({10, 10});
+  TensorMap out = *ExecuteGraph(graph, in);
+  EXPECT_TRUE(out.at("y").Equals(Tensor::FromVector({14, 16})));
+}
+
+TEST(GraphOptimizerTest, IdentityElimination) {
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddNode(MakeNode("Identity", {"x"}, {"a"}));
+  graph.AddNode(MakeNode("Identity", {"a"}, {"b"}));
+  graph.AddNode(MakeNode("Relu", {"b"}, {"y"}));
+  graph.AddOutput("y");
+  GraphOptStats stats;
+  ASSERT_TRUE(OptimizeGraph(&graph, &stats).ok());
+  EXPECT_EQ(stats.identities_removed, 2u);
+  EXPECT_EQ(graph.nodes().size(), 1u);
+}
+
+TEST(GraphOptimizerTest, GemmFusion) {
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddInitializer("w", *Tensor::FromData({2, 2}, {1, 0, 0, 1}));
+  graph.AddInitializer("b", Tensor::FromVector({5, 5}));
+  graph.AddNode(MakeNode("MatMul", {"x", "w"}, {"mm"}));
+  graph.AddNode(MakeNode("Add", {"mm", "b"}, {"y"}));
+  graph.AddOutput("y");
+  GraphOptStats stats;
+  ASSERT_TRUE(OptimizeGraph(&graph, &stats).ok());
+  EXPECT_EQ(stats.gemms_fused, 1u);
+  EXPECT_EQ(graph.CountOps("Gemm"), 1u);
+  EXPECT_EQ(graph.CountOps("MatMul"), 0u);
+  TensorMap in;
+  in["x"] = *Tensor::FromData({1, 2}, {1, 2});
+  TensorMap out = *ExecuteGraph(graph, in);
+  EXPECT_TRUE(out.at("y").Equals(*Tensor::FromData({1, 2}, {6, 7})));
+}
+
+TEST(GraphOptimizerTest, DeadNodeElimination) {
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddNode(MakeNode("Relu", {"x"}, {"y"}));
+  graph.AddNode(MakeNode("Neg", {"x"}, {"unused"}));
+  graph.AddOutput("y");
+  GraphOptStats stats;
+  ASSERT_TRUE(OptimizeGraph(&graph, &stats).ok());
+  EXPECT_EQ(stats.dead_nodes_removed, 1u);
+  EXPECT_EQ(graph.nodes().size(), 1u);
+}
+
+TEST(SessionTest, CreateRunAndStats) {
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddInitializer("w", *Tensor::FromData({2, 1}, {1.0f, 1.0f}));
+  graph.AddNode(MakeNode("MatMul", {"x", "w"}, {"y"}));
+  graph.AddOutput("y");
+  auto session = std::move(InferenceSession::Create(std::move(graph))).value();
+  RunStats stats;
+  Tensor out = *session->RunSingle(*Tensor::FromData({1, 2}, {3, 4}), &stats);
+  EXPECT_NEAR(out.raw()[0], 7.0f, 1e-6f);
+  EXPECT_GT(stats.flops, 0.0);
+  EXPECT_GE(stats.wall_micros, 0.0);
+}
+
+TEST(SessionTest, AcceleratorUsesCostModel) {
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddInitializer("w", *Tensor::FromData({2, 2}, {1, 0, 0, 1}));
+  graph.AddNode(MakeNode("MatMul", {"x", "w"}, {"y"}));
+  graph.AddOutput("y");
+  SessionOptions options;
+  options.device = DeviceSpec::Accelerator(/*launch_overhead_us=*/100.0,
+                                           /*flops_per_us=*/1000.0);
+  auto session = std::move(InferenceSession::Create(std::move(graph), options)).value();
+  RunStats stats;
+  (void)*session->RunSingle(*Tensor::FromData({1, 2}, {1, 2}), &stats);
+  // simulated = overhead + flops/throughput.
+  EXPECT_NEAR(stats.simulated_micros, 100.0 + stats.flops / 1000.0, 1e-9);
+}
+
+TEST(SessionTest, RoundTripBytes) {
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddNode(MakeNode("Relu", {"x"}, {"y"}));
+  graph.AddOutput("y");
+  auto session = std::move(InferenceSession::Create(std::move(graph))).value();
+  auto session2 = std::move(InferenceSession::FromBytes(session->ToBytes())).value();
+  Tensor out = *session2->RunSingle(*Tensor::FromData({1, 1}, {-1}));
+  EXPECT_EQ(out.raw()[0], 0.0f);
+}
+
+TEST(SessionCacheTest, HitsAndEviction) {
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddNode(MakeNode("Relu", {"x"}, {"y"}));
+  graph.AddOutput("y");
+  BinaryWriter w;
+  graph.Serialize(&w);
+  const std::string bytes = w.Release();
+
+  SessionCache cache(2);
+  auto a = *cache.GetOrCreate("m1", bytes);
+  auto b = *cache.GetOrCreate("m1", bytes);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  (void)*cache.GetOrCreate("m2", bytes);
+  (void)*cache.GetOrCreate("m3", bytes);  // evicts m1 (capacity 2)
+  EXPECT_EQ(cache.size(), 2u);
+  (void)*cache.GetOrCreate("m1", bytes);  // miss again
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(SessionCacheTest, Invalidate) {
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddNode(MakeNode("Relu", {"x"}, {"y"}));
+  graph.AddOutput("y");
+  BinaryWriter w;
+  graph.Serialize(&w);
+  const std::string bytes = w.Release();
+  SessionCache cache(4);
+  (void)*cache.GetOrCreate("m", bytes);
+  cache.Invalidate("m");
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(KernelRegistryTest, SupportedOps) {
+  EXPECT_TRUE(IsOpSupported("Gemm"));
+  EXPECT_TRUE(IsOpSupported("TreeEnsemble"));
+  EXPECT_FALSE(IsOpSupported("Attention"));
+  EXPECT_GE(SupportedOps().size(), 20u);
+}
+
+}  // namespace
+}  // namespace raven::nnrt

@@ -1,0 +1,187 @@
+// Property tests: every cross optimization must preserve inference-query
+// semantics. We sweep randomized datasets, model families, and predicates
+// (TEST_P), executing each query with the optimizer fully on and fully off
+// and requiring identical results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/flight.h"
+#include "data/hospital.h"
+#include "raven/raven.h"
+
+namespace raven {
+namespace {
+
+struct SemanticsCase {
+  std::uint64_t seed;
+  const char* model;       // "tree", "forest", "logreg", "mlp"
+  const char* predicate;   // SQL WHERE suffix or ""
+  bool split;              // enable model/query splitting
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SemanticsCase>& info) {
+  std::string name = info.param.model;
+  name += "_seed" + std::to_string(info.param.seed);
+  name += info.param.predicate[0] == '\0' ? "_nofilter" : "_filter";
+  if (info.param.split) name += "_split";
+  return name;
+}
+
+class OptimizerSemanticsTest
+    : public ::testing::TestWithParam<SemanticsCase> {};
+
+/// Builds a context over hospital or flight data with the chosen model.
+std::unique_ptr<RavenContext> MakeContext(const SemanticsCase& param,
+                                          bool enable_optimizations) {
+  RavenOptions options;
+  if (!enable_optimizations) {
+    options.optimizer.predicate_pushdown = false;
+    options.optimizer.predicate_model_pruning = false;
+    options.optimizer.model_projection_pushdown = false;
+    options.optimizer.projection_pushdown = false;
+    options.optimizer.join_elimination = false;
+    options.optimizer.model_inlining = false;
+    options.optimizer.nn_translation = false;
+    options.optimizer.model_query_splitting = false;
+  } else {
+    options.optimizer.model_query_splitting = param.split;
+  }
+  auto ctx = std::make_unique<RavenContext>(options);
+  const std::string model = param.model;
+  if (model == "logreg") {
+    auto data = data::MakeFlightDataset(3000, param.seed);
+    EXPECT_TRUE(ctx->RegisterTable("flights", data.flights).ok());
+    auto pipeline = *data::TrainFlightLogreg(data, 0.01);
+    EXPECT_TRUE(
+        ctx->InsertModel("m", data::FlightLogregScript(), pipeline).ok());
+  } else {
+    auto data = data::MakeHospitalDataset(3000, param.seed);
+    EXPECT_TRUE(ctx->RegisterTable("patient_info", data.patient_info).ok());
+    EXPECT_TRUE(ctx->RegisterTable("blood_tests", data.blood_tests).ok());
+    EXPECT_TRUE(
+        ctx->RegisterTable("prenatal_tests", data.prenatal_tests).ok());
+    if (model == "tree") {
+      EXPECT_TRUE(ctx->InsertModel("m", data::HospitalTreeScript(),
+                                   *data::TrainHospitalTree(data, 7)).ok());
+    } else if (model == "forest") {
+      EXPECT_TRUE(ctx->InsertModel("m", data::HospitalForestScript(),
+                                   *data::TrainHospitalForest(data, 4, 5))
+                      .ok());
+    } else {
+      EXPECT_TRUE(ctx->InsertModel("m", data::HospitalMlpScript(),
+                                   *data::TrainHospitalMlp(data)).ok());
+    }
+  }
+  return ctx;
+}
+
+std::string QueryFor(const SemanticsCase& param) {
+  std::string sql;
+  if (std::string(param.model) == "logreg") {
+    sql =
+        "SELECT id, p FROM PREDICT(MODEL='m', DATA=flights) WITH(p float)";
+  } else {
+    sql =
+        "WITH data AS (SELECT * FROM patient_info "
+        "  JOIN blood_tests ON id = id "
+        "  JOIN prenatal_tests ON id = id) "
+        "SELECT id, p FROM PREDICT(MODEL='m', DATA=data) WITH(p float)";
+  }
+  if (param.predicate[0] != '\0') {
+    sql += " WHERE ";
+    sql += param.predicate;
+  }
+  return sql;
+}
+
+TEST_P(OptimizerSemanticsTest, OptimizedEqualsUnoptimized) {
+  const SemanticsCase param = GetParam();
+  auto optimized_ctx = MakeContext(param, true);
+  auto reference_ctx = MakeContext(param, false);
+  const std::string sql = QueryFor(param);
+
+  auto optimized = optimized_ctx->Query(sql);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  auto reference = reference_ctx->Query(sql);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  ASSERT_EQ(optimized->table.num_rows(), reference->table.num_rows());
+  // Splitting reorders rows; compare sorted (id, p) pairs.
+  auto ids_a = (*optimized->table.GetColumn("id"))->data;
+  auto ids_b = (*reference->table.GetColumn("id"))->data;
+  auto p_a = (*optimized->table.GetColumn("p"))->data;
+  auto p_b = (*reference->table.GetColumn("p"))->data;
+  std::vector<std::pair<double, double>> a(ids_a.size());
+  std::vector<std::pair<double, double>> b(ids_b.size());
+  for (std::size_t i = 0; i < ids_a.size(); ++i) {
+    a[i] = {ids_a[i], p_a[i]};
+    b[i] = {ids_b[i], p_b[i]};
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first) << "row " << i;
+    // Inlining computes in double, NNRT in float32: allow tiny drift.
+    EXPECT_NEAR(a[i].second, b[i].second, 2e-3) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OptimizerSemanticsTest,
+    ::testing::Values(
+        SemanticsCase{101, "tree", "", false},
+        SemanticsCase{102, "tree", "pregnant = 1", false},
+        SemanticsCase{103, "tree", "pregnant = 1 AND age > 40", false},
+        SemanticsCase{104, "tree", "pregnant = 1 AND p > 6", false},
+        SemanticsCase{105, "tree", "bp > 130", true},
+        SemanticsCase{106, "forest", "", false},
+        SemanticsCase{107, "forest", "pregnant = 1", false},
+        SemanticsCase{108, "forest", "age <= 50 AND p > 3", false},
+        SemanticsCase{109, "mlp", "", false},
+        SemanticsCase{110, "mlp", "pregnant = 1", false},
+        SemanticsCase{111, "logreg", "", false},
+        SemanticsCase{112, "logreg", "dest = 'AP5'", false},
+        SemanticsCase{113, "logreg", "origin = 'AP3' AND p > 0.4", false},
+        SemanticsCase{114, "tree", "gender = 'F'", false},
+        SemanticsCase{115, "tree", "age > 35 AND age <= 60", true}),
+    CaseName);
+
+/// Clustering property: a clustered artifact never changes results.
+class ClusteringSemanticsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusteringSemanticsTest, ClusteredEqualsOriginal) {
+  const int k = GetParam();
+  RavenOptions options;
+  auto ctx = std::make_unique<RavenContext>(options);
+  auto data = data::MakeFlightDataset(2000, 300 + static_cast<std::uint64_t>(k));
+  ASSERT_TRUE(ctx->RegisterTable("flights", data.flights).ok());
+  auto pipeline = *data::TrainFlightLogreg(data, 0.0);
+  ASSERT_TRUE(ctx->InsertModel("m", data::FlightLogregScript(), pipeline).ok());
+
+  const std::string sql =
+      "SELECT id, p FROM PREDICT(MODEL='m', DATA=flights) WITH(p float)";
+  auto reference = ctx->Query(sql);
+  ASSERT_TRUE(reference.ok());
+
+  optimizer::ClusteringOptions cluster_options;
+  cluster_options.k = k;
+  ASSERT_TRUE(ctx->BuildClusteredModel("m", "flights", cluster_options).ok());
+  auto clustered = ctx->Query(sql);
+  ASSERT_TRUE(clustered.ok());
+  // The reference path runs NN-translated (float32), clustering runs the
+  // interpreted pipeline (double): allow rounding drift only.
+  const auto& e = (*reference->table.GetColumn("p"))->data;
+  const auto& a = (*clustered->table.GetColumn("p"))->data;
+  ASSERT_EQ(e.size(), a.size());
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    EXPECT_NEAR(e[i], a[i], 2e-3) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, ClusteringSemanticsTest,
+                         ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace raven

@@ -1,0 +1,602 @@
+#include <gtest/gtest.h>
+
+#include "data/flight.h"
+#include "data/hospital.h"
+#include "frontend/analyzer.h"
+#include "ir/ir.h"
+#include "optimizer/converters.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/cross_optimizer.h"
+#include "optimizer/rules.h"
+#include "optimizer/specialize.h"
+#include "relational/statistics.h"
+#include "relational/operators.h"
+#include "runtime/plan_executor.h"
+
+namespace raven::optimizer {
+namespace {
+
+using ir::IrNode;
+using ir::IrNodePtr;
+using ir::IrOpKind;
+using ir::IrPlan;
+
+class HospitalFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = data::MakeHospitalDataset(4000, 21);
+    ASSERT_TRUE(
+        catalog_.RegisterTable("patient_info", data_.patient_info).ok());
+    ASSERT_TRUE(catalog_.RegisterTable("blood_tests", data_.blood_tests).ok());
+    ASSERT_TRUE(
+        catalog_.RegisterTable("prenatal_tests", data_.prenatal_tests).ok());
+    ASSERT_TRUE(catalog_.RegisterTable("patients", data_.joined).ok());
+    tree_pipeline_ = *data::TrainHospitalTree(data_, 8);
+    ASSERT_TRUE(catalog_.InsertModel("los", data::HospitalTreeScript(),
+                                     tree_pipeline_.ToBytes()).ok());
+  }
+
+  /// Analyzes the paper's running-example query.
+  IrPlan RunningExamplePlan() {
+    frontend::StaticAnalyzer analyzer(&catalog_);
+    auto plan = analyzer.Analyze(
+        "WITH data AS (SELECT * FROM patient_info AS pi "
+        "  JOIN blood_tests AS bt ON pi.id = bt.id "
+        "  JOIN prenatal_tests AS pt ON bt.id = pt.id) "
+        "SELECT id, length_of_stay "
+        "FROM PREDICT(MODEL='los', DATA=data) WITH(length_of_stay float) "
+        "WHERE pregnant = 1 AND length_of_stay > 7");
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return std::move(plan).value();
+  }
+
+  /// Executes a plan in-process and returns the table.
+  relational::Table Run(const IrPlan& plan) {
+    nnrt::SessionCache cache(8);
+    runtime::PlanExecutor executor(&catalog_, &cache);
+    auto result = executor.Execute(plan, runtime::ExecutionOptions());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  data::HospitalDataset data_;
+  relational::Catalog catalog_;
+  ml::ModelPipeline tree_pipeline_;
+};
+
+const ml::DecisionTree& TreeOf(const ml::ModelPipeline& pipeline) {
+  return std::get<ml::DecisionTree>(pipeline.predictor);
+}
+
+TEST_F(HospitalFixture, PredicatePushdownSinksBelowModel) {
+  IrPlan plan = RunningExamplePlan();
+  auto fired = *ApplyPredicatePushdown(&plan.mutable_root(), catalog_);
+  EXPECT_GT(fired, 0u);
+  ASSERT_TRUE(plan.Validate(catalog_).ok());
+  // pregnant=1 must now sit below the model node; length_of_stay>7 stays
+  // above (it reads the prediction).
+  bool filter_below_model = false;
+  bool filter_above_model = false;
+  ir::VisitIr(plan.root(), [&](const IrNode* node) {
+    if (node->kind != IrOpKind::kModelPipeline) return;
+    ir::VisitIr(node->children[0].get(), [&](const IrNode* below) {
+      if (below->kind == IrOpKind::kFilter &&
+          below->predicate->ToString().find("pregnant") !=
+              std::string::npos) {
+        filter_below_model = true;
+      }
+    });
+  });
+  ir::VisitIr(plan.root(), [&](const IrNode* node) {
+    if (node->kind == IrOpKind::kFilter &&
+        node->predicate->ToString().find("length_of_stay") !=
+            std::string::npos) {
+      filter_above_model = true;
+    }
+  });
+  EXPECT_TRUE(filter_below_model);
+  EXPECT_TRUE(filter_above_model);
+}
+
+TEST_F(HospitalFixture, PredicateModelPruningShrinksTree) {
+  IrPlan plan = RunningExamplePlan();
+  (void)*ApplyPredicatePushdown(&plan.mutable_root(), catalog_);
+  const std::int64_t nodes_before = TreeOf(tree_pipeline_).num_nodes();
+  auto fired = *ApplyPredicateModelPruning(&plan.mutable_root());
+  EXPECT_EQ(fired, 1u);
+  ir::VisitIr(plan.root(), [&](const IrNode* node) {
+    if (node->kind == IrOpKind::kModelPipeline) {
+      EXPECT_LT(TreeOf(*node->pipeline).num_nodes(), nodes_before);
+    }
+  });
+  ASSERT_TRUE(plan.Validate(catalog_).ok());
+}
+
+TEST_F(HospitalFixture, PruningPreservesSemantics) {
+  IrPlan reference = RunningExamplePlan();
+  IrPlan optimized = RunningExamplePlan();
+  (void)*ApplyPredicatePushdown(&optimized.mutable_root(), catalog_);
+  (void)*ApplyPredicateModelPruning(&optimized.mutable_root());
+  relational::Table expected = Run(reference);
+  relational::Table actual = Run(optimized);
+  ASSERT_EQ(expected.num_rows(), actual.num_rows());
+  for (const char* col : {"id", "length_of_stay"}) {
+    EXPECT_EQ((*expected.GetColumn(col))->data, (*actual.GetColumn(col))->data)
+        << col;
+  }
+}
+
+TEST_F(HospitalFixture, JoinEliminationAfterPruning) {
+  // The pruned model (pregnant=1 branch removed? no — kept) may not need
+  // prenatal columns once gender-style features drop. Force the situation
+  // with a model that ignores prenatal columns entirely.
+  ml::ModelPipeline narrow;
+  narrow.input_columns = {"age", "bp"};
+  ml::LinearModel lin(ml::LinearKind::kRegression);
+  lin.SetParams({0.1, 0.05}, 0.0);
+  narrow.predictor = std::move(lin);
+  ASSERT_TRUE(catalog_.InsertModel(
+      "narrow",
+      "model_pipeline = Pipeline([('clf', LinearRegression())])",
+      narrow.ToBytes()).ok());
+  frontend::StaticAnalyzer analyzer(&catalog_);
+  auto plan = std::move(analyzer.Analyze(
+      "WITH data AS (SELECT * FROM patient_info AS pi "
+      "  JOIN blood_tests AS bt ON pi.id = bt.id "
+      "  JOIN prenatal_tests AS pt ON bt.id = pt.id) "
+      "SELECT id, pred FROM PREDICT(MODEL='narrow', DATA=data) "
+      "WITH(pred float)")).value();
+  EXPECT_EQ(plan.CountKind(IrOpKind::kJoin), 2u);
+  auto fired = *ApplyJoinElimination(&plan.mutable_root(), catalog_);
+  EXPECT_GE(fired, 1u);
+  // prenatal_tests provides nothing: its join disappears.
+  EXPECT_EQ(plan.CountKind(IrOpKind::kJoin), 1u);
+  ASSERT_TRUE(plan.Validate(catalog_).ok());
+}
+
+TEST_F(HospitalFixture, ProjectionPushdownNarrowsScans) {
+  frontend::StaticAnalyzer analyzer(&catalog_);
+  auto plan = std::move(analyzer.Analyze(
+      "SELECT id, pred FROM PREDICT(MODEL='los', DATA=patients) "
+      "WITH(pred float)")).value();
+  auto fired = *ApplyProjectionPushdown(&plan.mutable_root(), catalog_);
+  EXPECT_GE(fired, 1u);
+  // The scan must now be wrapped in a Project that drops length_of_stay
+  // (the label column is not a model input).
+  bool narrowed = false;
+  ir::VisitIr(plan.root(), [&](const IrNode* node) {
+    if (node->kind == IrOpKind::kProject) {
+      bool has_label = false;
+      for (const auto& name : node->proj_names) {
+        if (name == "length_of_stay") has_label = true;
+      }
+      if (!has_label && !node->children.empty() &&
+          node->children[0]->kind == IrOpKind::kTableScan) {
+        narrowed = true;
+      }
+    }
+  });
+  EXPECT_TRUE(narrowed);
+  ASSERT_TRUE(plan.Validate(catalog_).ok());
+}
+
+TEST_F(HospitalFixture, ModelInliningProducesCaseProjection) {
+  frontend::StaticAnalyzer analyzer(&catalog_);
+  auto plan = std::move(analyzer.Analyze(
+      "SELECT id, pred FROM PREDICT(MODEL='los', DATA=patients) "
+      "WITH(pred float)")).value();
+  IrPlan reference = plan.Clone();
+  auto fired = *ApplyModelInlining(&plan.mutable_root(), catalog_, 4096);
+  EXPECT_EQ(fired, 1u);
+  EXPECT_EQ(plan.CountKind(IrOpKind::kModelPipeline), 0u);
+  ASSERT_TRUE(plan.Validate(catalog_).ok());
+  // Semantics: inlined CASE expression equals interpreted tree (float32
+  // rounding tolerance because the expression engine computes in double).
+  relational::Table expected = Run(reference);
+  relational::Table actual = Run(plan);
+  ASSERT_EQ(expected.num_rows(), actual.num_rows());
+  const auto& e = (*expected.GetColumn("pred"))->data;
+  const auto& a = (*actual.GetColumn("pred"))->data;
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    EXPECT_NEAR(e[i], a[i], 1e-3) << "row " << i;
+  }
+}
+
+TEST_F(HospitalFixture, InliningRespectsSizeBudget) {
+  frontend::StaticAnalyzer analyzer(&catalog_);
+  auto plan = std::move(analyzer.Analyze(
+      "SELECT * FROM PREDICT(MODEL='los', DATA=patients)")).value();
+  auto fired = *ApplyModelInlining(&plan.mutable_root(), catalog_, 1);
+  EXPECT_EQ(fired, 0u);  // tree bigger than 1 node: not inlined
+}
+
+TEST_F(HospitalFixture, NnTranslationTreeGemmEquivalence) {
+  // The LA lowering of the tree must agree exactly with the interpreted
+  // tree on real data — the core NN-translation correctness property.
+  NnTranslationOptions options;
+  options.lower_trees_to_gemm = true;
+  nnrt::Graph graph = *PipelineToNnGraph(tree_pipeline_, options);
+  auto session = std::move(nnrt::InferenceSession::Create(graph)).value();
+  Tensor x = *data_.joined.ToTensor(tree_pipeline_.input_columns);
+  Tensor expected = *tree_pipeline_.Predict(x);
+  Tensor actual = *session->RunSingle(x);
+  EXPECT_TRUE(expected.AllClose(actual, 1e-4f));
+  EXPECT_GT(graph.CountOps("MatMul") + graph.CountOps("Gemm"), 0u);
+  EXPECT_EQ(graph.CountOps("TreeEnsemble"), 0u);
+}
+
+TEST_F(HospitalFixture, NnTranslationTreeEnsembleOpEquivalence) {
+  NnTranslationOptions options;
+  options.lower_trees_to_gemm = false;
+  nnrt::Graph graph = *PipelineToNnGraph(tree_pipeline_, options);
+  EXPECT_EQ(graph.CountOps("TreeEnsemble"), 1u);
+  auto session = std::move(nnrt::InferenceSession::Create(graph)).value();
+  Tensor x = *data_.joined.ToTensor(tree_pipeline_.input_columns);
+  EXPECT_TRUE(
+      (*tree_pipeline_.Predict(x)).AllClose(*session->RunSingle(x), 1e-4f));
+}
+
+TEST_F(HospitalFixture, NnTranslationForestAndMlp) {
+  auto forest_pipeline = *data::TrainHospitalForest(data_, 5, 5);
+  nnrt::Graph fg = *PipelineToNnGraph(forest_pipeline);
+  auto fs = std::move(nnrt::InferenceSession::Create(fg)).value();
+  Tensor x = *data_.joined.ToTensor(forest_pipeline.input_columns);
+  EXPECT_TRUE(
+      (*forest_pipeline.Predict(x)).AllClose(*fs->RunSingle(x), 1e-3f));
+
+  auto mlp_pipeline = *data::TrainHospitalMlp(data_);
+  nnrt::Graph mg = *PipelineToNnGraph(mlp_pipeline);
+  auto ms = std::move(nnrt::InferenceSession::Create(mg)).value();
+  EXPECT_TRUE((*mlp_pipeline.Predict(x)).AllClose(*ms->RunSingle(x), 1e-3f));
+}
+
+TEST_F(HospitalFixture, ModelQuerySplittingProducesUnion) {
+  frontend::StaticAnalyzer analyzer(&catalog_);
+  auto plan = std::move(analyzer.Analyze(
+      "SELECT id, pred FROM PREDICT(MODEL='los', DATA=patients) "
+      "WITH(pred float)")).value();
+  IrPlan reference = plan.Clone();
+  auto fired = *ApplyModelQuerySplitting(&plan.mutable_root());
+  EXPECT_EQ(fired, 1u);
+  EXPECT_EQ(plan.CountKind(IrOpKind::kUnionAll), 1u);
+  EXPECT_EQ(plan.CountKind(IrOpKind::kModelPipeline), 2u);
+  ASSERT_TRUE(plan.Validate(catalog_).ok());
+  // Semantics preserved modulo row order: compare sorted predictions.
+  relational::Table expected = Run(reference);
+  relational::Table actual = Run(plan);
+  ASSERT_EQ(expected.num_rows(), actual.num_rows());
+  auto e = (*expected.GetColumn("pred"))->data;
+  auto a = (*actual.GetColumn("pred"))->data;
+  std::sort(e.begin(), e.end());
+  std::sort(a.begin(), a.end());
+  for (std::size_t i = 0; i < e.size(); ++i) EXPECT_NEAR(e[i], a[i], 1e-5);
+}
+
+TEST(FlightSpecializeTest, ZeroWeightProjectionDropsFeatures) {
+  auto data = data::MakeFlightDataset(4000, 22);
+  auto pipeline = *data::TrainFlightLogreg(data, 0.02);
+  const auto& linear = std::get<ml::LinearModel>(pipeline.predictor);
+  ASSERT_GT(linear.Sparsity(), 0.2);
+  auto result = *ProjectUnusedFeatures(pipeline);
+  ASSERT_TRUE(result.changed);
+  EXPECT_LT(result.features_after, result.features_before);
+  // Equivalence on fresh data.
+  auto fresh = data::MakeFlightDataset(500, 23);
+  Tensor x_full = *fresh.flights.ToTensor(pipeline.input_columns);
+  Tensor x_kept = *fresh.flights.ToTensor(result.kept_inputs);
+  Tensor expected = *pipeline.Predict(x_full);
+  Tensor actual = *result.pipeline.Predict(x_kept);
+  EXPECT_TRUE(expected.AllClose(actual, 1e-5f));
+}
+
+TEST(FlightSpecializeTest, CategoricalPredicateFoldsOneHotBlock) {
+  auto data = data::MakeFlightDataset(4000, 24);
+  auto pipeline = *data::TrainFlightLogreg(data, 0.0);
+  const std::int64_t features_before = pipeline.NumFeatures();
+  // dest = code 5 fixes the whole dest one-hot block.
+  auto result = *PruneWithPredicates(
+      pipeline, {relational::SimplePredicate{
+                    "dest", relational::CompareOp::kEq, 5.0}});
+  ASSERT_TRUE(result.changed);
+  // The dest block (num_airports features) folds into the bias.
+  EXPECT_EQ(result.features_after, features_before - data.num_airports);
+  // 'dest' no longer a raw input.
+  for (const auto& name : result.kept_inputs) EXPECT_NE(name, "dest");
+  // Equivalence on rows satisfying the predicate.
+  auto fresh = data::MakeFlightDataset(2000, 25);
+  Tensor x_full = *fresh.flights.ToTensor(pipeline.input_columns);
+  Tensor x_kept = *fresh.flights.ToTensor(result.kept_inputs);
+  Tensor expected = *pipeline.Predict(x_full);
+  Tensor actual = *result.pipeline.Predict(x_kept);
+  const auto dest = fresh.flights.GetColumn("dest");
+  for (std::int64_t i = 0; i < x_full.dim(0); ++i) {
+    if ((*dest)->data[static_cast<std::size_t>(i)] == 5.0) {
+      EXPECT_NEAR(expected.raw()[i], actual.raw()[i], 1e-5f);
+    }
+  }
+}
+
+TEST(SpecializeTest, NoPredicatesNoChange) {
+  auto data = data::MakeHospitalDataset(500, 26);
+  auto pipeline = *data::TrainHospitalTree(data, 4);
+  auto result = *PruneWithPredicates(pipeline, {});
+  EXPECT_FALSE(result.changed);
+  auto result2 = *PruneWithPredicates(
+      pipeline, {relational::SimplePredicate{
+                    "not_a_column", relational::CompareOp::kEq, 1.0}});
+  EXPECT_FALSE(result2.changed);
+}
+
+TEST_F(HospitalFixture, CostModelOrdersPlansSensibly) {
+  frontend::StaticAnalyzer analyzer(&catalog_);
+  auto plan = std::move(analyzer.Analyze(
+      "SELECT id, pred FROM PREDICT(MODEL='los', DATA=patients) "
+      "WITH(pred float) WHERE pregnant = 1")).value();
+  PlanCost before = *EstimateCost(*plan.root(), catalog_);
+  IrPlan optimized = plan.Clone();
+  (void)*ApplyPredicatePushdown(&optimized.mutable_root(), catalog_);
+  (void)*ApplyPredicateModelPruning(&optimized.mutable_root());
+  PlanCost after = *EstimateCost(*optimized.root(), catalog_);
+  EXPECT_LT(after.total_cost, before.total_cost);
+  EXPECT_GT(before.output_rows, 0.0);
+}
+
+TEST_F(HospitalFixture, CrossOptimizerEndToEndRunningExample) {
+  CrossOptimizer optimizer(&catalog_, OptimizerOptions());
+  IrPlan plan = RunningExamplePlan();
+  IrPlan reference = plan.Clone();
+  OptimizationReport report;
+  ASSERT_TRUE(optimizer.Optimize(&plan, &report).ok());
+  EXPECT_GT(report.TotalApplications(), 0u);
+  EXPECT_NE(report.before, report.after);
+  // The tree is small: it must be inlined, leaving no model nodes.
+  EXPECT_EQ(plan.CountKind(IrOpKind::kModelPipeline), 0u);
+  // Semantics preserved end to end.
+  relational::Table expected = Run(reference);
+  relational::Table actual = Run(plan);
+  ASSERT_EQ(expected.num_rows(), actual.num_rows());
+  const auto& e = (*expected.GetColumn("length_of_stay"))->data;
+  const auto& a = (*actual.GetColumn("length_of_stay"))->data;
+  for (std::size_t i = 0; i < e.size(); ++i) EXPECT_NEAR(e[i], a[i], 1e-3);
+}
+
+TEST_F(HospitalFixture, ClusteringRuleSwapsNode) {
+  auto artifact = std::make_shared<ir::ClusteredModel>(*BuildClusteredModel(
+      tree_pipeline_, data_.joined, ClusteringOptions{4, 10, 99, {}}));
+  CrossOptimizer optimizer(&catalog_, OptimizerOptions());
+  optimizer.RegisterClusteredModel("los", artifact);
+  frontend::StaticAnalyzer analyzer(&catalog_);
+  auto plan = std::move(analyzer.Analyze(
+      "SELECT id, pred FROM PREDICT(MODEL='los', DATA=patients) "
+      "WITH(pred float)")).value();
+  IrPlan reference = plan.Clone();
+  ASSERT_TRUE(optimizer.Optimize(&plan).ok());
+  EXPECT_EQ(plan.CountKind(IrOpKind::kClusteredPredict), 1u);
+  relational::Table expected = Run(reference);
+  relational::Table actual = Run(plan);
+  EXPECT_EQ((*expected.GetColumn("pred"))->data,
+            (*actual.GetColumn("pred"))->data);
+}
+
+TEST_F(HospitalFixture, OptionsDisableRules) {
+  OptimizerOptions options;
+  options.predicate_pushdown = false;
+  options.predicate_model_pruning = false;
+  options.model_projection_pushdown = false;
+  options.projection_pushdown = false;
+  options.join_elimination = false;
+  options.model_inlining = false;
+  options.nn_translation = false;
+  CrossOptimizer optimizer(&catalog_, options);
+  IrPlan plan = RunningExamplePlan();
+  const std::string before = plan.ToString();
+  OptimizationReport report;
+  ASSERT_TRUE(optimizer.Optimize(&plan, &report).ok());
+  EXPECT_EQ(report.TotalApplications(), 0u);
+  EXPECT_EQ(plan.ToString(), before);
+}
+
+}  // namespace
+}  // namespace raven::optimizer
+
+// ---------------------------------------------------------------------------
+// Data-property-derived pruning and lossy projection (paper §4.1 variants).
+// These live outside the fixture namespace edits above; re-open the
+// namespaces.
+// ---------------------------------------------------------------------------
+
+namespace raven::optimizer {
+namespace {
+
+TEST(DataPropertyPruningTest, StatsDerivePredicates) {
+  // Register a table where every patient is over 35 and none are pregnant:
+  // the rule must specialize the tree exactly as explicit predicates would.
+  auto data = data::MakeHospitalDataset(4000, 31);
+  auto pipeline = *data::TrainHospitalTree(data, 8);
+
+  relational::Catalog catalog;
+  // Filter the joined table to age > 35, pregnant = 0.
+  relational::Table old_only;
+  {
+    const auto& src = data.joined;
+    const auto& age = (*src.GetColumn("age"))->data;
+    const auto& pregnant = (*src.GetColumn("pregnant"))->data;
+    std::vector<std::int64_t> keep;
+    for (std::size_t i = 0; i < age.size(); ++i) {
+      if (age[i] > 35.0 && pregnant[i] == 0.0) {
+        keep.push_back(static_cast<std::int64_t>(i));
+      }
+    }
+    for (const auto& col : src.columns()) {
+      std::vector<double> vals;
+      vals.reserve(keep.size());
+      for (std::int64_t i : keep) {
+        vals.push_back(col.data[static_cast<std::size_t>(i)]);
+      }
+      ASSERT_TRUE(old_only.AddNumericColumn(col.name, std::move(vals)).ok());
+    }
+  }
+  ASSERT_TRUE(catalog.RegisterTable("patients", old_only).ok());
+  ASSERT_TRUE(catalog.InsertModel("los", data::HospitalTreeScript(),
+                                  pipeline.ToBytes()).ok());
+
+  frontend::StaticAnalyzer analyzer(&catalog);
+  auto plan = std::move(analyzer.Analyze(
+      "SELECT id, p FROM PREDICT(MODEL='los', DATA=patients) "
+      "WITH(p float)")).value();
+  ir::IrPlan reference = plan.Clone();
+
+  const std::int64_t nodes_before =
+      std::get<ml::DecisionTree>(pipeline.predictor).num_nodes();
+  auto fired = *ApplyDataPropertyPruning(&plan.mutable_root(), catalog);
+  EXPECT_EQ(fired, 1u);
+  std::int64_t nodes_after = nodes_before;
+  ir::VisitIr(plan.root(), [&](const ir::IrNode* node) {
+    if (node->kind == ir::IrOpKind::kModelPipeline) {
+      nodes_after =
+          std::get<ml::DecisionTree>(node->pipeline->predictor).num_nodes();
+    }
+  });
+  EXPECT_LT(nodes_after, nodes_before);
+
+  // Semantics: identical predictions on this table.
+  nnrt::SessionCache cache(4);
+  runtime::PlanExecutor executor(&catalog, &cache);
+  auto expected = *executor.Execute(reference, runtime::ExecutionOptions());
+  auto actual = *executor.Execute(plan, runtime::ExecutionOptions());
+  EXPECT_EQ((*expected.GetColumn("p"))->data, (*actual.GetColumn("p"))->data);
+}
+
+TEST(DataPropertyPruningTest, NoStatsNoChange) {
+  // Full-range data: min/max predicates exist but prune nothing... or
+  // little; the rule must at minimum keep the plan valid and semantics
+  // intact.
+  auto data = data::MakeHospitalDataset(2000, 32);
+  auto pipeline = *data::TrainHospitalTree(data, 6);
+  relational::Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable("patients", data.joined).ok());
+  ASSERT_TRUE(catalog.InsertModel("los", data::HospitalTreeScript(),
+                                  pipeline.ToBytes()).ok());
+  frontend::StaticAnalyzer analyzer(&catalog);
+  auto plan = std::move(analyzer.Analyze(
+      "SELECT id, p FROM PREDICT(MODEL='los', DATA=patients) "
+      "WITH(p float)")).value();
+  ir::IrPlan reference = plan.Clone();
+  (void)*ApplyDataPropertyPruning(&plan.mutable_root(), catalog);
+  ASSERT_TRUE(plan.Validate(catalog).ok());
+  nnrt::SessionCache cache(4);
+  runtime::PlanExecutor executor(&catalog, &cache);
+  auto expected = *executor.Execute(reference, runtime::ExecutionOptions());
+  auto actual = *executor.Execute(plan, runtime::ExecutionOptions());
+  EXPECT_EQ((*expected.GetColumn("p"))->data, (*actual.GetColumn("p"))->data);
+}
+
+TEST(LossyProjectionTest, TradesAccuracyForFeatures) {
+  auto data = data::MakeFlightDataset(4000, 33);
+  auto pipeline = *data::TrainFlightLogreg(data, 0.0);  // dense model
+  relational::Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable("flights", data.flights).ok());
+  ASSERT_TRUE(catalog.InsertModel("delay", data::FlightLogregScript(),
+                                  pipeline.ToBytes()).ok());
+  frontend::StaticAnalyzer analyzer(&catalog);
+  auto plan = std::move(analyzer.Analyze(
+      "SELECT id, p FROM PREDICT(MODEL='delay', DATA=flights) "
+      "WITH(p float)")).value();
+  ir::IrPlan reference = plan.Clone();
+  auto fired = *ApplyLossyProjection(&plan.mutable_root(), 0.05);
+  EXPECT_EQ(fired, 1u);
+  std::int64_t features_after = pipeline.NumFeatures();
+  ir::VisitIr(plan.root(), [&](const ir::IrNode* node) {
+    if (node->kind == ir::IrOpKind::kModelPipeline) {
+      features_after = node->pipeline->NumFeatures();
+    }
+  });
+  EXPECT_LT(features_after, pipeline.NumFeatures());
+  // Predictions drift, but stay within a loose bound for small weights.
+  nnrt::SessionCache cache(4);
+  runtime::PlanExecutor executor(&catalog, &cache);
+  auto expected = *executor.Execute(reference, runtime::ExecutionOptions());
+  auto actual = *executor.Execute(plan, runtime::ExecutionOptions());
+  const auto& e = (*expected.GetColumn("p"))->data;
+  const auto& a = (*actual.GetColumn("p"))->data;
+  double max_err = 0;
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    max_err = std::max(max_err, std::abs(e[i] - a[i]));
+  }
+  EXPECT_GT(max_err, 0.0);   // it IS lossy
+  EXPECT_LT(max_err, 0.15);  // but bounded
+}
+
+TEST(LossyProjectionTest, ZeroThresholdIsNoop) {
+  auto data = data::MakeFlightDataset(500, 34);
+  auto pipeline = *data::TrainFlightLogreg(data, 0.0);
+  relational::Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable("flights", data.flights).ok());
+  ASSERT_TRUE(catalog.InsertModel("delay", data::FlightLogregScript(),
+                                  pipeline.ToBytes()).ok());
+  frontend::StaticAnalyzer analyzer(&catalog);
+  auto plan = std::move(analyzer.Analyze(
+      "SELECT id FROM PREDICT(MODEL='delay', DATA=flights)")).value();
+  EXPECT_EQ(*ApplyLossyProjection(&plan.mutable_root(), 0.0), 0u);
+}
+
+TEST(ValueSetRestrictionTest, DropsAbsentOneHotCodes) {
+  auto data = data::MakeFlightDataset(3000, 35);
+  auto pipeline = *data::TrainFlightLogreg(data, 0.0);
+  // Restrict dest (input column 5) to codes {1, 2, 3}.
+  auto result = *RestrictToValueSets(pipeline, {{5, {1.0, 2.0, 3.0}}});
+  ASSERT_TRUE(result.changed);
+  EXPECT_EQ(result.features_after,
+            result.features_before - (data.num_airports - 3));
+  // Exact agreement on rows whose dest is in the set.
+  Tensor x = *data.flights.ToTensor(pipeline.input_columns);
+  Tensor expected = *pipeline.Predict(x);
+  Tensor actual = *result.pipeline.Predict(x);
+  const auto& dest = (*data.flights.GetColumn("dest"))->data;
+  for (std::int64_t i = 0; i < x.dim(0); ++i) {
+    const double v = dest[static_cast<std::size_t>(i)];
+    if (v == 1.0 || v == 2.0 || v == 3.0) {
+      EXPECT_NEAR(expected.raw()[i], actual.raw()[i], 1e-5f);
+    }
+  }
+}
+
+TEST(ValueSetRestrictionTest, ClusteringShrinksModels) {
+  // With value-set restriction, clustered flight models must have strictly
+  // fewer features than the original (each cluster sees a subset of
+  // airports), while staying semantically exact via the fallback check.
+  auto data = data::MakeFlightDataset(5000, 36);
+  auto pipeline = *data::TrainFlightLogreg(data, 0.0);
+  ClusteringOptions options;
+  options.k = 8;
+  auto clustered = *BuildClusteredModel(pipeline, data.flights, options);
+  bool any_smaller = false;
+  for (const auto& m : clustered.cluster_models) {
+    if (m.NumFeatures() < pipeline.NumFeatures()) any_smaller = true;
+  }
+  EXPECT_TRUE(any_smaller);
+  Tensor x = *data.flights.ToTensor(pipeline.input_columns);
+  Tensor expected = *pipeline.Predict(x);
+  Tensor actual = *clustered.Predict(x);
+  EXPECT_TRUE(expected.AllClose(actual, 1e-5f));
+}
+
+TEST(ColumnStatsTest, Basics) {
+  relational::Column col;
+  col.name = "x";
+  col.data = {3.0, 1.0, 2.0, 3.0};
+  auto stats = relational::ComputeColumnStats(col);
+  EXPECT_EQ(stats.min, 1.0);
+  EXPECT_EQ(stats.max, 3.0);
+  EXPECT_EQ(stats.distinct, 3);
+  EXPECT_FALSE(stats.constant.has_value());
+  relational::Column constant;
+  constant.name = "c";
+  constant.data = {7.0, 7.0};
+  auto cstats = relational::ComputeColumnStats(constant);
+  ASSERT_TRUE(cstats.constant.has_value());
+  EXPECT_EQ(*cstats.constant, 7.0);
+}
+
+}  // namespace
+}  // namespace raven::optimizer

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "relational/catalog.h"
+#include "relational/csv.h"
+#include "relational/expression.h"
+#include "relational/operators.h"
+#include "relational/table.h"
+
+namespace raven::relational {
+namespace {
+
+Table MakeTable(std::int64_t n) {
+  Table t;
+  std::vector<double> id(static_cast<std::size_t>(n));
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    id[static_cast<std::size_t>(i)] = static_cast<double>(i);
+    v[static_cast<std::size_t>(i)] = static_cast<double>(i % 10);
+  }
+  (void)t.AddNumericColumn("id", std::move(id));
+  (void)t.AddNumericColumn("v", std::move(v));
+  return t;
+}
+
+TEST(TableTest, AddColumnValidations) {
+  Table t;
+  EXPECT_TRUE(t.AddNumericColumn("a", {1, 2}).ok());
+  EXPECT_FALSE(t.AddNumericColumn("a", {3, 4}).ok());  // duplicate
+  EXPECT_FALSE(t.AddNumericColumn("b", {1}).ok());     // length mismatch
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.num_columns(), 1);
+}
+
+TEST(TableTest, CategoricalDictionary) {
+  Table t;
+  ASSERT_TRUE(t.AddCategoricalColumn("c", {0, 1, 0}, {"x", "y"}).ok());
+  const Column* col = *t.GetColumn("c");
+  EXPECT_TRUE(col->is_categorical());
+  EXPECT_EQ((*col->dictionary)[1], "y");
+  EXPECT_NE(t.ToString().find("x"), std::string::npos);
+}
+
+TEST(TableTest, ToTensorAndBack) {
+  Table t = MakeTable(5);
+  Tensor x = *t.ToTensor({"v", "id"});
+  EXPECT_EQ(x.dim(0), 5);
+  EXPECT_EQ(x.At(3, 1), 3.0f);
+  Table back = *Table::FromTensor(x, {"v", "id"});
+  EXPECT_EQ(back.num_rows(), 5);
+  EXPECT_FALSE(t.ToTensor({"missing"}).ok());
+}
+
+TEST(TableTest, SliceRows) {
+  Table t = MakeTable(10);
+  Table s = t.SliceRows(2, 5);
+  EXPECT_EQ(s.num_rows(), 3);
+  EXPECT_EQ((*s.GetColumn("id"))->data[0], 2.0);
+  EXPECT_EQ(t.Head(3).num_rows(), 3);
+}
+
+DataChunk ChunkOf(const Table& t) {
+  DataChunk chunk;
+  for (const auto& c : t.columns()) {
+    chunk.names.push_back(c.name);
+    chunk.cols.push_back(c.data);
+  }
+  return chunk;
+}
+
+TEST(ExpressionTest, CompareAndLogical) {
+  Table t = MakeTable(10);
+  DataChunk chunk = ChunkOf(t);
+  ExprPtr e = And(Gt(Col("v"), Lit(2)), Le(Col("id"), Lit(7)));
+  std::vector<double> out;
+  ASSERT_TRUE(e->Evaluate(chunk, &out).ok());
+  for (std::int64_t i = 0; i < 10; ++i) {
+    const bool expected = (i % 10) > 2 && i <= 7;
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], expected ? 1.0 : 0.0);
+  }
+}
+
+TEST(ExpressionTest, ArithmeticAndCase) {
+  Table t = MakeTable(4);
+  DataChunk chunk = ChunkOf(t);
+  std::vector<CaseWhenExpr::Arm> arms;
+  arms.push_back(CaseWhenExpr::Arm{Lt(Col("v"), Lit(2)), Lit(100)});
+  arms.push_back(CaseWhenExpr::Arm{Lt(Col("v"), Lit(3)), Lit(200)});
+  ExprPtr c = std::make_unique<CaseWhenExpr>(
+      std::move(arms),
+      std::make_unique<ArithExpr>(ArithOp::kMul, Col("v"), Lit(10)));
+  std::vector<double> out;
+  ASSERT_TRUE(c->Evaluate(chunk, &out).ok());
+  EXPECT_EQ(out, (std::vector<double>{100, 100, 200, 30}));
+}
+
+TEST(ExpressionTest, InAndNot) {
+  Table t = MakeTable(5);
+  DataChunk chunk = ChunkOf(t);
+  ExprPtr e = Not(std::make_unique<InExpr>(Col("id"),
+                                           std::vector<double>{1, 3}));
+  std::vector<double> out;
+  ASSERT_TRUE(e->Evaluate(chunk, &out).ok());
+  EXPECT_EQ(out, (std::vector<double>{1, 0, 1, 0, 1}));
+}
+
+TEST(ExpressionTest, CloneIsDeep) {
+  ExprPtr e = And(Gt(Col("v"), Lit(2)), Eq(Col("id"), Lit(3)));
+  ExprPtr c = e->Clone();
+  EXPECT_EQ(e->ToString(), c->ToString());
+}
+
+TEST(ExpressionTest, ConjunctExtractionAndSimpleMatch) {
+  ExprPtr e = And(And(Gt(Col("a"), Lit(1)), Eq(Col("b"), Lit(2))),
+                  Or(Lt(Col("c"), Lit(3)), Eq(Col("d"), Lit(4))));
+  const auto conjuncts = ExtractConjuncts(*e);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  auto simple = MatchSimplePredicate(*conjuncts[0]);
+  ASSERT_TRUE(simple.has_value());
+  EXPECT_EQ(simple->column, "a");
+  EXPECT_EQ(simple->op, CompareOp::kGt);
+  EXPECT_FALSE(MatchSimplePredicate(*conjuncts[2]).has_value());
+  // Flipped form: const < col.
+  ExprPtr flipped = Lt(Lit(5), Col("x"));
+  auto fs = MatchSimplePredicate(*flipped);
+  ASSERT_TRUE(fs.has_value());
+  EXPECT_EQ(fs->op, CompareOp::kGt);
+  EXPECT_EQ(fs->constant, 5.0);
+}
+
+TEST(OperatorTest, ScanChunksAndRange) {
+  Table t = MakeTable(5000);
+  ScanOperator scan(&t);
+  ASSERT_TRUE(scan.Open().ok());
+  DataChunk chunk;
+  std::int64_t total = 0;
+  std::int64_t chunks = 0;
+  while (*scan.Next(&chunk)) {
+    total += chunk.num_rows();
+    ++chunks;
+  }
+  EXPECT_EQ(total, 5000);
+  EXPECT_GE(chunks, 2);
+
+  ScanOperator ranged(&t, 100, 150);
+  ASSERT_TRUE(ranged.Open().ok());
+  ASSERT_TRUE(*ranged.Next(&chunk));
+  EXPECT_EQ(chunk.num_rows(), 50);
+  EXPECT_EQ(chunk.cols[0][0], 100.0);
+}
+
+TEST(OperatorTest, FilterProjectLimit) {
+  Table t = MakeTable(1000);
+  auto scan = std::make_unique<ScanOperator>(&t);
+  auto filter =
+      std::make_unique<FilterOperator>(std::move(scan), Gt(Col("v"), Lit(7)));
+  std::vector<ExprPtr> exprs;
+  exprs.push_back(Col("id"));
+  exprs.push_back(std::make_unique<ArithExpr>(ArithOp::kAdd, Col("v"),
+                                              Lit(100)));
+  auto project = std::make_unique<ProjectOperator>(
+      std::move(filter), std::move(exprs),
+      std::vector<std::string>{"id", "v100"});
+  LimitOperator limit(std::move(project), 5);
+  Table out = *MaterializeAll(&limit);
+  EXPECT_EQ(out.num_rows(), 5);
+  EXPECT_EQ(out.ColumnNames(), (std::vector<std::string>{"id", "v100"}));
+  EXPECT_EQ((*out.GetColumn("v100"))->data[0], 108.0);  // first v>7 is 8
+}
+
+TEST(OperatorTest, HashJoin) {
+  Table left;
+  (void)left.AddNumericColumn("id", {0, 1, 2, 3});
+  (void)left.AddNumericColumn("a", {10, 11, 12, 13});
+  Table right;
+  (void)right.AddNumericColumn("id", {1, 3, 5});
+  (void)right.AddNumericColumn("b", {21, 23, 25});
+  HashJoinOperator join(std::make_unique<ScanOperator>(&left),
+                        std::make_unique<ScanOperator>(&right), "id", "id");
+  Table out = *MaterializeAll(&join);
+  EXPECT_EQ(out.num_rows(), 2);
+  EXPECT_EQ(out.ColumnNames(), (std::vector<std::string>{"id", "a", "b"}));
+  EXPECT_EQ((*out.GetColumn("b"))->data, (std::vector<double>{21, 23}));
+}
+
+TEST(OperatorTest, HashJoinDuplicateBuildKeys) {
+  Table left;
+  (void)left.AddNumericColumn("k", {1});
+  Table right;
+  (void)right.AddNumericColumn("k", {1, 1});
+  (void)right.AddNumericColumn("b", {5, 6});
+  HashJoinOperator join(std::make_unique<ScanOperator>(&left),
+                        std::make_unique<ScanOperator>(&right), "k", "k");
+  Table out = *MaterializeAll(&join);
+  EXPECT_EQ(out.num_rows(), 2);
+}
+
+TEST(OperatorTest, UnionAll) {
+  Table t = MakeTable(10);
+  std::vector<OperatorPtr> children;
+  children.push_back(std::make_unique<ScanOperator>(&t, 0, 4));
+  children.push_back(std::make_unique<ScanOperator>(&t, 4, 10));
+  UnionAllOperator u(std::move(children));
+  Table out = *MaterializeAll(&u);
+  EXPECT_EQ(out.num_rows(), 10);
+}
+
+TEST(OperatorTest, PredictAppendsColumn) {
+  Table t = MakeTable(100);
+  auto scorer = [](const Tensor& input) -> Result<std::vector<double>> {
+    std::vector<double> out(static_cast<std::size_t>(input.dim(0)));
+    for (std::int64_t i = 0; i < input.dim(0); ++i) {
+      out[static_cast<std::size_t>(i)] = 2.0 * input.At(i, 0);
+    }
+    return out;
+  };
+  PredictOperator predict(std::make_unique<ScanOperator>(&t), {"v"}, "pred",
+                          scorer);
+  Table out = *MaterializeAll(&predict);
+  EXPECT_EQ(out.num_columns(), 3);
+  EXPECT_EQ((*out.GetColumn("pred"))->data[7], 14.0);
+}
+
+TEST(OperatorTest, PredictScorerRowMismatchIsError) {
+  Table t = MakeTable(10);
+  auto bad = [](const Tensor&) -> Result<std::vector<double>> {
+    return std::vector<double>{1.0};
+  };
+  PredictOperator predict(std::make_unique<ScanOperator>(&t), {"v"}, "p",
+                          bad);
+  EXPECT_FALSE(MaterializeAll(&predict).ok());
+}
+
+TEST(OperatorTest, Aggregate) {
+  Table t = MakeTable(10);
+  AggregateOperator agg(
+      std::make_unique<ScanOperator>(&t),
+      {AggregateSpec{AggKind::kCount, "", "n"},
+       AggregateSpec{AggKind::kSum, "id", "sum_id"},
+       AggregateSpec{AggKind::kAvg, "id", "avg_id"},
+       AggregateSpec{AggKind::kMin, "v", "min_v"},
+       AggregateSpec{AggKind::kMax, "v", "max_v"}});
+  Table out = *MaterializeAll(&agg);
+  EXPECT_EQ(out.num_rows(), 1);
+  EXPECT_EQ((*out.GetColumn("n"))->data[0], 10.0);
+  EXPECT_EQ((*out.GetColumn("sum_id"))->data[0], 45.0);
+  EXPECT_EQ((*out.GetColumn("avg_id"))->data[0], 4.5);
+  EXPECT_EQ((*out.GetColumn("min_v"))->data[0], 0.0);
+  EXPECT_EQ((*out.GetColumn("max_v"))->data[0], 9.0);
+}
+
+TEST(OperatorTest, PartitionedParallelMatchesSequential) {
+  Table t = MakeTable(10000);
+  auto build = [&t](std::int64_t begin, std::int64_t end) -> OperatorPtr {
+    auto scan = std::make_unique<ScanOperator>(&t, begin, end);
+    return std::make_unique<FilterOperator>(std::move(scan),
+                                            Gt(Col("v"), Lit(4)));
+  };
+  Table parallel = *ExecutePartitionedParallel(t, 4, build);
+  auto seq_plan = build(0, t.num_rows());
+  Table sequential = *MaterializeAll(seq_plan.get());
+  ASSERT_EQ(parallel.num_rows(), sequential.num_rows());
+  EXPECT_EQ((*parallel.GetColumn("id"))->data,
+            (*sequential.GetColumn("id"))->data);
+}
+
+TEST(CatalogTest, TablesAndModels) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable("t", MakeTable(3)).ok());
+  EXPECT_FALSE(catalog.RegisterTable("t", MakeTable(3)).ok());
+  EXPECT_TRUE(catalog.HasTable("t"));
+  EXPECT_FALSE(catalog.GetTable("missing").ok());
+
+  ASSERT_TRUE(catalog.InsertModel("m", "script", "bytes").ok());
+  EXPECT_FALSE(catalog.InsertModel("m", "s", "b").ok());
+  StoredModel model = *catalog.GetModel("m");
+  EXPECT_EQ(model.version, 1);
+  EXPECT_EQ(*catalog.ModelCacheKey("m"), "m@v1");
+
+  std::vector<std::string> invalidated;
+  catalog.AddInvalidationListener(
+      [&](const std::string& name) { invalidated.push_back(name); });
+  ASSERT_TRUE(catalog.UpdateModel("m", "script2", "bytes2").ok());
+  EXPECT_EQ(*catalog.ModelCacheKey("m"), "m@v2");
+  EXPECT_EQ(invalidated, (std::vector<std::string>{"m"}));
+  EXPECT_EQ(catalog.AuditLog().size(), 2u);
+  ASSERT_TRUE(catalog.DropModel("m").ok());
+  EXPECT_FALSE(catalog.GetModel("m").ok());
+  EXPECT_FALSE(catalog.UpdateModel("m", "s", "b").ok());
+}
+
+TEST(CsvTest, RoundTripWithCategoricals) {
+  Table t;
+  (void)t.AddNumericColumn("x", {1.5, 2.5});
+  (void)t.AddCategoricalColumn("c", {0, 1}, {"red", "blue"});
+  const std::string path = "/tmp/raven_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  Table back = *ReadCsv(path);
+  EXPECT_EQ(back.num_rows(), 2);
+  const Column* c = *back.GetColumn("c");
+  EXPECT_TRUE(c->is_categorical());
+  EXPECT_EQ((*c->dictionary)[0], "red");
+  EXPECT_EQ((*back.GetColumn("x"))->data, (std::vector<double>{1.5, 2.5}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsError) {
+  EXPECT_FALSE(ReadCsv("/tmp/does_not_exist_raven.csv").ok());
+}
+
+}  // namespace
+}  // namespace raven::relational

@@ -1,0 +1,91 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace raven {
+namespace {
+
+TEST(TensorTest, ZerosAndShape) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.num_elements(), 6);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+  EXPECT_EQ(ShapeToString(t.shape()), "[2, 3]");
+}
+
+TEST(TensorTest, FromDataValidatesSize) {
+  EXPECT_TRUE(Tensor::FromData({2, 2}, {1, 2, 3, 4}).ok());
+  EXPECT_FALSE(Tensor::FromData({2, 2}, {1, 2, 3}).ok());
+}
+
+TEST(TensorTest, ScalarAndVector) {
+  Tensor s = Tensor::Scalar(2.5f);
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.num_elements(), 1);
+  Tensor v = Tensor::FromVector({1, 2, 3});
+  EXPECT_EQ(v.rank(), 1);
+  EXPECT_EQ(v.dim(0), 3);
+}
+
+TEST(TensorTest, At) {
+  Tensor t = *Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.At(0, 0), 1.0f);
+  EXPECT_EQ(t.At(1, 2), 6.0f);
+  t.At(1, 0) = 9.0f;
+  EXPECT_EQ(t.At(1, 0), 9.0f);
+}
+
+TEST(TensorTest, Reshape) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_TRUE(t.Reshape({3, 2}).ok());
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_FALSE(t.Reshape({4, 2}).ok());
+}
+
+TEST(TensorTest, SliceRows) {
+  Tensor t = *Tensor::FromData({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor s = *t.SliceRows(1, 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.At(0, 0), 3.0f);
+  EXPECT_EQ(s.At(1, 1), 6.0f);
+  EXPECT_FALSE(t.SliceRows(2, 5).ok());
+  EXPECT_FALSE(Tensor::FromVector({1}).SliceRows(0, 1).ok());
+}
+
+TEST(TensorTest, EqualsAndAllClose) {
+  Tensor a = *Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor b = *Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_TRUE(a.Equals(b));
+  b.At(0, 0) = 1.000001f;
+  EXPECT_FALSE(a.Equals(b));
+  EXPECT_TRUE(a.AllClose(b, 1e-4f));
+  EXPECT_FALSE(a.AllClose(Tensor::Zeros({2, 2})));
+  EXPECT_FALSE(a.AllClose(Tensor::Zeros({4})));
+}
+
+TEST(TensorTest, SerializeRoundTrip) {
+  Tensor t = *Tensor::FromData({2, 3}, {1, -2, 3.5f, 0, 1e6f, -7});
+  BinaryWriter w;
+  t.Serialize(&w);
+  const std::string buf = w.Release();
+  BinaryReader r(buf);
+  Tensor back = *Tensor::Deserialize(&r);
+  EXPECT_TRUE(t.Equals(back));
+}
+
+TEST(TensorTest, DeserializeRejectsCorrupt) {
+  BinaryWriter w;
+  w.WriteI64Vector({2, 3});       // shape says 6 elements
+  w.WriteF32Vector({1.0f, 2.0f});  // only 2 provided
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(Tensor::Deserialize(&r).ok());
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t = Tensor::Zeros({100});
+  const std::string s = t.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raven

@@ -1,0 +1,108 @@
+// Out-of-process scoring worker: the stand-in for the external language
+// runtime behind sp_execute_external_script (paper §5, Raven Ext) and for
+// containerized scoring endpoints. Speaks the length-prefixed protocol of
+// runtime/worker_protocol.h on stdin/stdout.
+//
+// Usage: raven_worker [--boot-ms=N]
+//   --boot-ms simulates interpreter start-up (the paper observes ~0.5 s for
+//   the external Python runtime; fork/exec alone is a few milliseconds).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+
+#include "ml/pipeline.h"
+#include "nnrt/session.h"
+#include "runtime/worker_protocol.h"
+
+namespace {
+
+using raven::Result;
+using raven::Status;
+using raven::Tensor;
+using raven::runtime::DecodeRequest;
+using raven::runtime::EncodeResponse;
+using raven::runtime::ReadFrame;
+using raven::runtime::ScoreRequest;
+using raven::runtime::ScoreResponse;
+using raven::runtime::WorkerCommand;
+using raven::runtime::WriteFrame;
+
+Result<Tensor> ScoreOnce(const ScoreRequest& request) {
+  switch (request.command) {
+    case WorkerCommand::kScorePipeline: {
+      RAVEN_ASSIGN_OR_RETURN(
+          raven::ml::ModelPipeline pipeline,
+          raven::ml::ModelPipeline::FromBytes(request.model_bytes));
+      return pipeline.Predict(request.input);
+    }
+    case WorkerCommand::kScoreGraph: {
+      // Sessions are cached per model bytes within the worker's lifetime.
+      static std::unordered_map<
+          std::size_t, std::unique_ptr<raven::nnrt::InferenceSession>>*
+          sessions = new std::unordered_map<
+              std::size_t, std::unique_ptr<raven::nnrt::InferenceSession>>();
+      const std::size_t key = std::hash<std::string>{}(request.model_bytes);
+      auto it = sessions->find(key);
+      if (it == sessions->end()) {
+        RAVEN_ASSIGN_OR_RETURN(
+            auto session,
+            raven::nnrt::InferenceSession::FromBytes(request.model_bytes));
+        it = sessions->emplace(key, std::move(session)).first;
+      }
+      return it->second->RunSingle(request.input);
+    }
+    default:
+      return Status::InvalidArgument("not a scoring command");
+  }
+}
+
+int Serve() {
+  for (;;) {
+    auto payload = ReadFrame(STDIN_FILENO);
+    if (!payload.ok()) return 0;  // parent closed the pipe
+    auto request = DecodeRequest(payload.value());
+    ScoreResponse response;
+    if (!request.ok()) {
+      response.ok = false;
+      response.error = request.status().ToString();
+      if (!WriteFrame(STDOUT_FILENO, EncodeResponse(response)).ok()) return 1;
+      continue;
+    }
+    if (request->command == WorkerCommand::kShutdown) {
+      return 0;
+    }
+    if (request->command == WorkerCommand::kPing) {
+      response.ok = true;
+    } else {
+      auto output = ScoreOnce(request.value());
+      if (output.ok()) {
+        response.ok = true;
+        response.output = std::move(output).value();
+      } else {
+        response.ok = false;
+        response.error = output.status().ToString();
+      }
+    }
+    if (!WriteFrame(STDOUT_FILENO, EncodeResponse(response)).ok()) return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long boot_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--boot-ms=", 10) == 0) {
+      boot_ms = std::strtol(argv[i] + 10, nullptr, 10);
+    }
+  }
+  if (boot_ms > 0) {
+    ::usleep(static_cast<useconds_t>(boot_ms) * 1000);
+  }
+  return Serve();
+}
