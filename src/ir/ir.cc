@@ -383,7 +383,11 @@ void VisitIr(const IrNode* node,
              const std::function<void(const IrNode*)>& fn) {
   if (node == nullptr) return;
   fn(node);
-  for (const auto& child : node->children) VisitIr(child.get(), fn);
+  // Recurse through a const pointer so overload resolution cannot fall into
+  // the non-const VisitIr (child.get() yields IrNode* even here).
+  for (const auto& child : node->children) {
+    VisitIr(static_cast<const IrNode*>(child.get()), fn);
+  }
 }
 
 }  // namespace raven::ir

@@ -199,7 +199,9 @@ TEST(StringUtilTest, PrefixSuffixJoin) {
 TEST(TimerTest, MeasuresElapsed) {
   Timer t;
   volatile double x = 0;
-  for (int i = 0; i < 100000; ++i) x += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i) {
+    x = x + std::sqrt(static_cast<double>(i));
+  }
   EXPECT_GT(t.ElapsedMicros(), 0.0);
   EXPECT_GE(t.ElapsedMillis() * 1000.0, t.ElapsedMicros() * 0.5);
 }

@@ -6,6 +6,7 @@
 #include "frontend/pipeline_parser.h"
 #include "frontend/sql_parser.h"
 #include "ir/ir.h"
+#include "test_util.h"
 
 namespace raven::frontend {
 namespace {
@@ -83,11 +84,8 @@ class SqlParserTest : public ::testing::Test {
  protected:
   void SetUp() override {
     auto data = data::MakeHospitalDataset(50, 5);
-    ASSERT_TRUE(
-        catalog_.RegisterTable("patient_info", data.patient_info).ok());
-    ASSERT_TRUE(catalog_.RegisterTable("blood_tests", data.blood_tests).ok());
-    ASSERT_TRUE(
-        catalog_.RegisterTable("prenatal_tests", data.prenatal_tests).ok());
+    ASSERT_NO_FATAL_FAILURE(test_util::RegisterHospitalTables(
+        &catalog_, data, /*include_joined=*/false));
     model_builder_ = [](const std::string& name, ir::IrNodePtr child,
                         const std::string& out) -> Result<ir::IrNodePtr> {
       // Test double: record the model reference without catalog lookup.

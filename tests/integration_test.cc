@@ -8,6 +8,7 @@
 #include "data/flight.h"
 #include "data/hospital.h"
 #include "raven/raven.h"
+#include "test_util.h"
 
 namespace raven {
 namespace {
@@ -25,14 +26,8 @@ class IntegrationTest : public ::testing::Test {
                                  data::HospitalTreeScript(), pipeline_).ok());
   }
 
-  static constexpr const char* kRunningExample =
-      "WITH data AS (SELECT * FROM patient_info AS pi "
-      "  JOIN blood_tests AS bt ON pi.id = bt.id "
-      "  JOIN prenatal_tests AS pt ON bt.id = pt.id) "
-      "SELECT id, length_of_stay "
-      "FROM PREDICT(MODEL='duration_of_stay', DATA=data) "
-      "WITH(length_of_stay float) "
-      "WHERE pregnant = 1 AND length_of_stay > 7";
+  const std::string kRunningExample =
+      test_util::RunningExampleSql("duration_of_stay");
 
   data::HospitalDataset data_;
   RavenContext ctx_;

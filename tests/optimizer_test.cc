@@ -12,6 +12,7 @@
 #include "relational/statistics.h"
 #include "relational/operators.h"
 #include "runtime/plan_executor.h"
+#include "test_util.h"
 
 namespace raven::optimizer {
 namespace {
@@ -25,29 +26,14 @@ class HospitalFixture : public ::testing::Test {
  protected:
   void SetUp() override {
     data_ = data::MakeHospitalDataset(4000, 21);
-    ASSERT_TRUE(
-        catalog_.RegisterTable("patient_info", data_.patient_info).ok());
-    ASSERT_TRUE(catalog_.RegisterTable("blood_tests", data_.blood_tests).ok());
-    ASSERT_TRUE(
-        catalog_.RegisterTable("prenatal_tests", data_.prenatal_tests).ok());
-    ASSERT_TRUE(catalog_.RegisterTable("patients", data_.joined).ok());
-    tree_pipeline_ = *data::TrainHospitalTree(data_, 8);
-    ASSERT_TRUE(catalog_.InsertModel("los", data::HospitalTreeScript(),
-                                     tree_pipeline_.ToBytes()).ok());
+    ASSERT_NO_FATAL_FAILURE(test_util::RegisterHospitalTables(&catalog_, data_));
+    tree_pipeline_ = test_util::InsertHospitalTreeModel(&catalog_, data_, 8);
+    ASSERT_FALSE(HasFailure()) << "fixture setup failed";
   }
 
   /// Analyzes the paper's running-example query.
   IrPlan RunningExamplePlan() {
-    frontend::StaticAnalyzer analyzer(&catalog_);
-    auto plan = analyzer.Analyze(
-        "WITH data AS (SELECT * FROM patient_info AS pi "
-        "  JOIN blood_tests AS bt ON pi.id = bt.id "
-        "  JOIN prenatal_tests AS pt ON bt.id = pt.id) "
-        "SELECT id, length_of_stay "
-        "FROM PREDICT(MODEL='los', DATA=data) WITH(length_of_stay float) "
-        "WHERE pregnant = 1 AND length_of_stay > 7");
-    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
-    return std::move(plan).value();
+    return test_util::AnalyzePlan(catalog_, test_util::RunningExampleSql());
   }
 
   /// Executes a plan in-process and returns the table.
@@ -75,27 +61,10 @@ TEST_F(HospitalFixture, PredicatePushdownSinksBelowModel) {
   ASSERT_TRUE(plan.Validate(catalog_).ok());
   // pregnant=1 must now sit below the model node; length_of_stay>7 stays
   // above (it reads the prediction).
-  bool filter_below_model = false;
-  bool filter_above_model = false;
-  ir::VisitIr(plan.root(), [&](const IrNode* node) {
-    if (node->kind != IrOpKind::kModelPipeline) return;
-    ir::VisitIr(node->children[0].get(), [&](const IrNode* below) {
-      if (below->kind == IrOpKind::kFilter &&
-          below->predicate->ToString().find("pregnant") !=
-              std::string::npos) {
-        filter_below_model = true;
-      }
-    });
-  });
-  ir::VisitIr(plan.root(), [&](const IrNode* node) {
-    if (node->kind == IrOpKind::kFilter &&
-        node->predicate->ToString().find("length_of_stay") !=
-            std::string::npos) {
-      filter_above_model = true;
-    }
-  });
-  EXPECT_TRUE(filter_below_model);
-  EXPECT_TRUE(filter_above_model);
+  EXPECT_TRUE(test_util::FilterBelowModelMentions(plan.root(), "pregnant"));
+  EXPECT_TRUE(test_util::FilterMentions(plan.root(), "length_of_stay"));
+  EXPECT_FALSE(
+      test_util::FilterBelowModelMentions(plan.root(), "length_of_stay"));
 }
 
 TEST_F(HospitalFixture, PredicateModelPruningShrinksTree) {

@@ -9,6 +9,7 @@
 #include "runtime/plan_executor.h"
 #include "common/timer.h"
 #include "runtime/worker_protocol.h"
+#include "test_util.h"
 
 namespace raven::runtime {
 namespace {
@@ -113,16 +114,12 @@ class ExecutionFixture : public ::testing::Test {
   void SetUp() override {
     data_ = data::MakeHospitalDataset(2000, 55);
     ASSERT_TRUE(catalog_.RegisterTable("patients", data_.joined).ok());
-    pipeline_ = *data::TrainHospitalTree(data_, 6);
-    ASSERT_TRUE(catalog_.InsertModel("los", data::HospitalTreeScript(),
-                                     pipeline_.ToBytes()).ok());
+    pipeline_ = test_util::InsertHospitalTreeModel(&catalog_, data_, 6);
+    ASSERT_FALSE(HasFailure()) << "fixture setup failed";
   }
 
   ir::IrPlan Analyze(const std::string& sql) {
-    frontend::StaticAnalyzer analyzer(&catalog_);
-    auto plan = analyzer.Analyze(sql);
-    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
-    return std::move(plan).value();
+    return test_util::AnalyzePlan(catalog_, sql);
   }
 
   data::HospitalDataset data_;

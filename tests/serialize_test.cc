@@ -1,0 +1,149 @@
+// Dedicated round-trip coverage for common/serialize: every writer/reader
+// pair, mixed-field encode->decode equality, and the truncated/corrupt
+// buffer error paths (bounds-checked readers must fail, never fault).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+
+namespace raven {
+namespace {
+
+TEST(SerializeTest, ScalarRoundTrip) {
+  BinaryWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFull);
+  w.WriteI32(-12345);
+  w.WriteI64(-9876543210LL);
+  w.WriteF64(3.141592653589793);
+  w.WriteF32(2.5f);
+  w.WriteBool(true);
+  w.WriteBool(false);
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(*r.ReadU8(), 0xAB);
+  EXPECT_EQ(*r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.ReadU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(*r.ReadI32(), -12345);
+  EXPECT_EQ(*r.ReadI64(), -9876543210LL);
+  EXPECT_EQ(*r.ReadF64(), 3.141592653589793);
+  EXPECT_EQ(*r.ReadF32(), 2.5f);
+  EXPECT_TRUE(*r.ReadBool());
+  EXPECT_FALSE(*r.ReadBool());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, StringRoundTrip) {
+  BinaryWriter w;
+  w.WriteString("");
+  w.WriteString("hospital_los");
+  w.WriteString(std::string("emb\0edded", 9));  // NUL bytes survive
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(*r.ReadString(), "");
+  EXPECT_EQ(*r.ReadString(), "hospital_los");
+  EXPECT_EQ(*r.ReadString(), std::string("emb\0edded", 9));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, VectorRoundTrip) {
+  const std::vector<double> f64 = {1.5, -2.25, 1e300};
+  const std::vector<float> f32 = {0.5f, -0.125f};
+  const std::vector<std::int32_t> i32 = {-1, 0, std::numeric_limits<std::int32_t>::max()};
+  const std::vector<std::int64_t> i64 = {std::numeric_limits<std::int64_t>::min(), 42};
+  const std::vector<std::string> strs = {"alpha", "", "gamma"};
+
+  BinaryWriter w;
+  w.WriteF64Vector(f64);
+  w.WriteF32Vector(f32);
+  w.WriteI32Vector(i32);
+  w.WriteI64Vector(i64);
+  w.WriteStringVector(strs);
+  w.WriteF64Vector({});  // empty vectors round-trip too
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(*r.ReadF64Vector(), f64);
+  EXPECT_EQ(*r.ReadF32Vector(), f32);
+  EXPECT_EQ(*r.ReadI32Vector(), i32);
+  EXPECT_EQ(*r.ReadI64Vector(), i64);
+  EXPECT_EQ(*r.ReadStringVector(), strs);
+  EXPECT_EQ(r.ReadF64Vector()->size(), 0u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, EmptyBufferFailsEveryRead) {
+  BinaryReader r("", 0);
+  EXPECT_EQ(r.ReadU8().status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.ReadU64().status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.ReadString().status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.ReadF64Vector().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, TruncationFailsAtEveryPrefix) {
+  // A representative mixed payload: truncating at ANY byte must produce a
+  // clean error on some read, never UB or success-with-garbage lengths.
+  BinaryWriter w;
+  w.WriteU32(7);
+  w.WriteString("abcdef");
+  w.WriteF64Vector({1.0, 2.0});
+  const std::string full = w.buffer();
+
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    BinaryReader r(full.data(), cut);
+    bool failed = false;
+    auto u = r.ReadU32();
+    if (!u.ok()) failed = true;
+    if (!failed) {
+      auto s = r.ReadString();
+      if (!s.ok()) failed = true;
+    }
+    if (!failed) {
+      auto v = r.ReadF64Vector();
+      if (!v.ok()) failed = true;
+    }
+    EXPECT_TRUE(failed) << "no error at cut=" << cut;
+  }
+}
+
+TEST(SerializeTest, TruncatedStringLengthIsError) {
+  // String header claims 100 bytes; only 3 present.
+  BinaryWriter w;
+  w.WriteU32(100);
+  const std::string buf = w.buffer() + "abc";
+  BinaryReader r(buf);
+  auto s = r.ReadString();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, ImplausibleVectorLengthIsError) {
+  // A corrupt (huge) element count must be rejected up front instead of
+  // attempting a giant allocation.
+  BinaryWriter w;
+  w.WriteU64(std::numeric_limits<std::uint64_t>::max());
+  BinaryReader r(w.buffer());
+  auto v = r.ReadF64Vector();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, RemainingTracksPosition) {
+  BinaryWriter w;
+  w.WriteU32(1);
+  w.WriteU64(2);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.remaining(), 12u);
+  ASSERT_TRUE(r.ReadU32().ok());
+  EXPECT_EQ(r.remaining(), 8u);
+  ASSERT_TRUE(r.ReadU64().ok());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace raven

@@ -1,0 +1,120 @@
+// Dedicated round-trip coverage for the out-of-process scoring wire
+// protocol (runtime/worker_protocol): request/response encode->decode
+// equality across commands, and truncated/corrupt payload error paths.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "runtime/worker_protocol.h"
+#include "tensor/tensor.h"
+
+namespace raven::runtime {
+namespace {
+
+ScoreRequest MakeRequest(WorkerCommand command) {
+  ScoreRequest request;
+  request.command = command;
+  request.model_bytes = "stored-model-bytes";
+  request.input = *Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  return request;
+}
+
+TEST(WorkerProtocolRoundTrip, RequestAllCommands) {
+  for (WorkerCommand command :
+       {WorkerCommand::kPing, WorkerCommand::kScorePipeline,
+        WorkerCommand::kScoreGraph, WorkerCommand::kShutdown}) {
+    ScoreRequest request = MakeRequest(command);
+    auto decoded = DecodeRequest(EncodeRequest(request));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->command, command);
+    EXPECT_EQ(decoded->model_bytes, request.model_bytes);
+    EXPECT_EQ(decoded->input.shape(), request.input.shape());
+    EXPECT_TRUE(decoded->input.AllClose(request.input, 0.0f));
+  }
+}
+
+TEST(WorkerProtocolRoundTrip, SuccessResponse) {
+  ScoreResponse response;
+  response.ok = true;
+  response.output = *Tensor::FromData({3, 1}, {0.25f, -1.5f, 9.0f});
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->ok);
+  EXPECT_TRUE(decoded->error.empty());
+  EXPECT_EQ(decoded->output.shape(), response.output.shape());
+  EXPECT_TRUE(decoded->output.AllClose(response.output, 0.0f));
+}
+
+TEST(WorkerProtocolRoundTrip, ErrorResponseCarriesMessage) {
+  ScoreResponse response;
+  response.ok = false;
+  response.error = "model deserialization failed";
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_FALSE(decoded->ok);
+  EXPECT_EQ(decoded->error, "model deserialization failed");
+}
+
+TEST(WorkerProtocolErrors, TruncatedRequestAtEveryPrefixFails) {
+  const std::string full = EncodeRequest(MakeRequest(WorkerCommand::kScoreGraph));
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    auto decoded = DecodeRequest(full.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "decode succeeded at cut=" << cut;
+  }
+}
+
+TEST(WorkerProtocolErrors, TruncatedResponseFails) {
+  ScoreResponse response;
+  response.ok = true;
+  response.output = *Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  const std::string full = EncodeResponse(response);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    auto decoded = DecodeResponse(full.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "decode succeeded at cut=" << cut;
+  }
+}
+
+TEST(WorkerProtocolErrors, BadCommandByteIsParseError) {
+  std::string payload = EncodeRequest(MakeRequest(WorkerCommand::kPing));
+  payload[0] = static_cast<char>(0x7F);  // command is the first byte
+  auto decoded = DecodeRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+TEST(WorkerProtocolErrors, EmptyPayloadFails) {
+  EXPECT_FALSE(DecodeRequest("").ok());
+  EXPECT_FALSE(DecodeResponse("").ok());
+}
+
+TEST(WorkerProtocolFrames, PipeRoundTrip) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string payload = EncodeRequest(MakeRequest(WorkerCommand::kScorePipeline));
+  ASSERT_TRUE(WriteFrame(fds[1], payload).ok());
+  auto read_back = ReadFrame(fds[0]);
+  ASSERT_TRUE(read_back.ok()) << read_back.status().ToString();
+  EXPECT_EQ(*read_back, payload);
+  // Empty frames are legal (used for pings).
+  ASSERT_TRUE(WriteFrame(fds[1], "").ok());
+  auto empty = ReadFrame(fds[0]);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WorkerProtocolFrames, ClosedPipeIsIoError) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[1]);  // writer gone -> EOF on read
+  auto result = ReadFrame(fds[0]);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  ::close(fds[0]);
+}
+
+}  // namespace
+}  // namespace raven::runtime

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (configure, build, full ctest) plus an
+# optional sanitizer job.
+#
+#   tools/ci.sh            # tier-1: build + all tests (and build the benches)
+#   tools/ci.sh asan       # tier-1 under -fsanitize=address,undefined
+#   tools/ci.sh all        # both jobs back to back
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+MODE="${1:-tier1}"
+
+run_suite() {
+  local build_dir="$1"; shift
+  cmake -B "${build_dir}" -S . "$@"
+  cmake --build "${build_dir}" -j "${JOBS}"
+  # Benches are EXCLUDE_FROM_ALL; build (never run) them so the perf tooling
+  # keeps compiling in every CI run. The target exists even without
+  # Google Benchmark (no-op).
+  cmake --build "${build_dir}" --target bench -j "${JOBS}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+case "${MODE}" in
+  tier1)
+    run_suite build
+    ;;
+  asan)
+    run_suite build-asan -DRAVEN_SANITIZE=address,undefined
+    ;;
+  all)
+    run_suite build
+    run_suite build-asan -DRAVEN_SANITIZE=address,undefined
+    ;;
+  *)
+    echo "usage: tools/ci.sh [tier1|asan|all]" >&2
+    exit 2
+    ;;
+esac
