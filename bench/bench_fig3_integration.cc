@@ -100,6 +100,15 @@ void RunRaven(benchmark::State& state, const char* kind,
   state.counters["rows"] = static_cast<double>(state.range(0));
 }
 
+/// Scan+PREDICT throughput at an explicit degree of parallelism
+/// (args: rows, dop). The parallelism-1 vs parallelism-8 pair is the
+/// regression signal for the morsel-driven executor: BENCH_*.json tracks
+/// both so a scheduling regression shows up as the ratio collapsing.
+void BM_Fig3_ScanPredictParallelism(benchmark::State& state) {
+  RunRaven(state, "rf", runtime::ExecutionMode::kInProcess, state.range(1));
+  state.counters["dop"] = static_cast<double>(state.range(1));
+}
+
 void BM_Fig3_RF_ORT(benchmark::State& state) { RunOrt(state, "rf"); }
 void BM_Fig3_RF_Raven(benchmark::State& state) {
   RunRaven(state, "rf", runtime::ExecutionMode::kInProcess, 1);
@@ -122,6 +131,10 @@ void BM_Fig3_MLP_RavenExt(benchmark::State& state) {
 // crossovers appear at the same relative positions.
 #define FIG3_SIZES ->Arg(1000)->Arg(10000)->Arg(100000)->Arg(200000)
 
+BENCHMARK(BM_Fig3_ScanPredictParallelism)
+    ->Args({20000, 1})->Args({20000, 8})
+    ->Args({200000, 1})->Args({200000, 8})
+    ->Iterations(2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Fig3_RF_ORT)
     FIG3_SIZES->Iterations(2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Fig3_RF_Raven)

@@ -161,6 +161,10 @@ class SqlParser {
   /// Parses `ident` or `alias.ident`, returning the unqualified name.
   Result<std::string> ParseColumnName();
 
+  /// True when the upcoming tokens start an aggregate call (FUNC '(').
+  bool AtAggregateFunc() const;
+  Result<std::vector<ir::AggregateItem>> ParseAggregateItems();
+
   Result<IrNodePtr> ParseSelect();
   Result<IrNodePtr> ParseFromSource();
   Result<IrNodePtr> ParseTableRefChain();
@@ -429,6 +433,56 @@ Result<IrNodePtr> SqlParser::ParseFromSource() {
   return ParseTableRefChain();
 }
 
+bool SqlParser::AtAggregateFunc() const {
+  if (Peek().kind != TokKind::kIdent) return false;
+  const std::string& kw = Peek().text;
+  if (kw != "COUNT" && kw != "SUM" && kw != "AVG" && kw != "MIN" &&
+      kw != "MAX") {
+    return false;
+  }
+  return Peek(1).kind == TokKind::kOp && Peek(1).text == "(";
+}
+
+Result<std::vector<ir::AggregateItem>> SqlParser::ParseAggregateItems() {
+  std::vector<ir::AggregateItem> items;
+  while (true) {
+    if (!AtAggregateFunc()) {
+      return Status::ParseError(
+          "aggregate queries cannot mix plain select items (no GROUP BY "
+          "support); got '" +
+          Peek().raw + "'");
+    }
+    ir::AggregateItem item;
+    const std::string func = Advance().text;
+    if (func == "COUNT") item.func = ir::AggFunc::kCount;
+    else if (func == "SUM") item.func = ir::AggFunc::kSum;
+    else if (func == "AVG") item.func = ir::AggFunc::kAvg;
+    else if (func == "MIN") item.func = ir::AggFunc::kMin;
+    else item.func = ir::AggFunc::kMax;
+    RAVEN_RETURN_IF_ERROR(ExpectOp("("));
+    if (AcceptOp("*")) {
+      if (item.func != ir::AggFunc::kCount) {
+        return Status::ParseError(func + "(*) is not supported");
+      }
+    } else {
+      RAVEN_ASSIGN_OR_RETURN(item.column, ParseColumnName());
+    }
+    RAVEN_RETURN_IF_ERROR(ExpectOp(")"));
+    if (AcceptKeyword("AS")) {
+      if (Peek().kind != TokKind::kIdent) {
+        return Status::ParseError("expected alias after AS");
+      }
+      item.output_name = Advance().raw;
+    } else {
+      item.output_name = ToLower(func);
+      if (!item.column.empty()) item.output_name += "_" + item.column;
+    }
+    items.push_back(std::move(item));
+    if (!AcceptOp(",")) break;
+  }
+  return items;
+}
+
 Result<IrNodePtr> SqlParser::ParseSelect() {
   RAVEN_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
   struct Item {
@@ -437,8 +491,11 @@ Result<IrNodePtr> SqlParser::ParseSelect() {
   };
   bool star = false;
   std::vector<Item> items;
+  std::vector<ir::AggregateItem> agg_items;
   if (AcceptOp("*")) {
     star = true;
+  } else if (AtAggregateFunc()) {
+    RAVEN_ASSIGN_OR_RETURN(agg_items, ParseAggregateItems());
   } else {
     while (true) {
       const std::size_t before = pos_;
@@ -464,6 +521,12 @@ Result<IrNodePtr> SqlParser::ParseSelect() {
     RAVEN_ASSIGN_OR_RETURN(ExprPtr predicate, ParseOr());
     source = IrNode::Filter(std::move(source), std::move(predicate));
   }
+  const bool aggregated = !agg_items.empty();
+  if (aggregated) {
+    // Aggregation folds the whole (filtered) input into one row; LIMIT, if
+    // present, applies on top of that row.
+    source = IrNode::Aggregate(std::move(source), std::move(agg_items));
+  }
   if (AcceptKeyword("LIMIT")) {
     if (Peek().kind != TokKind::kNumber) {
       return Status::ParseError("LIMIT expects a number");
@@ -471,6 +534,7 @@ Result<IrNodePtr> SqlParser::ParseSelect() {
     source = IrNode::Limit(std::move(source),
                            static_cast<std::int64_t>(Advance().number));
   }
+  if (aggregated) return source;  // output columns come from the aggregates
   if (!star) {
     std::vector<ExprPtr> exprs;
     std::vector<std::string> names;

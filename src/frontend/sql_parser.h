@@ -26,6 +26,10 @@ using ModelNodeBuilder = std::function<Result<ir::IrNodePtr>(
 ///   [WITH cte AS ( select )] select
 ///   select  := SELECT items FROM source [WHERE pred] [LIMIT n]
 ///   items   := * | expr [AS name] {, expr [AS name]}
+///            | agg [AS name] {, agg [AS name]}      -- no GROUP BY;
+///                                                   -- LIMIT applies above
+///                                                   -- the aggregate row
+///   agg     := COUNT(* | col) | SUM(col) | AVG(col) | MIN(col) | MAX(col)
 ///   source  := PREDICT(MODEL='name', DATA=ref) [WITH(col [type])] [AS a]
 ///            | table [AS a] {JOIN table [AS a] ON col = col}
 ///            | ( select ) [AS a]

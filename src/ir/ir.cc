@@ -20,6 +20,22 @@ const char* OpCategoryToString(OpCategory category) {
   return "?";
 }
 
+const char* AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
 const char* IrOpKindToString(IrOpKind kind) {
   switch (kind) {
     case IrOpKind::kTableScan:
@@ -34,6 +50,8 @@ const char* IrOpKindToString(IrOpKind kind) {
       return "UnionAll";
     case IrOpKind::kLimit:
       return "Limit";
+    case IrOpKind::kAggregate:
+      return "Aggregate";
     case IrOpKind::kModelPipeline:
       return "ModelPipeline";
     case IrOpKind::kClusteredPredict:
@@ -54,6 +72,7 @@ OpCategory CategoryOf(IrOpKind kind) {
     case IrOpKind::kJoin:
     case IrOpKind::kUnionAll:
     case IrOpKind::kLimit:
+    case IrOpKind::kAggregate:
       return OpCategory::kRelational;
     case IrOpKind::kModelPipeline:
     case IrOpKind::kClusteredPredict:
@@ -76,6 +95,7 @@ IrNodePtr IrNode::Clone() const {
   node->left_key = left_key;
   node->right_key = right_key;
   node->limit = limit;
+  node->aggregates = aggregates;
   node->model_name = model_name;
   node->output_column = output_column;
   // Model payloads are shared; rules copy-on-write when specializing.
@@ -142,6 +162,14 @@ IrNodePtr IrNode::Limit(IrNodePtr child, std::int64_t limit) {
   auto node = std::make_unique<IrNode>(IrOpKind::kLimit);
   node->children.push_back(std::move(child));
   node->limit = limit;
+  return node;
+}
+
+IrNodePtr IrNode::Aggregate(IrNodePtr child,
+                            std::vector<AggregateItem> aggregates) {
+  auto node = std::make_unique<IrNode>(IrOpKind::kAggregate);
+  node->children.push_back(std::move(child));
+  node->aggregates = std::move(aggregates);
   return node;
 }
 
@@ -228,6 +256,14 @@ Result<std::vector<std::string>> IrPlan::ComputeSchema(
     }
     case IrOpKind::kUnionAll:
       return ComputeSchema(*node.children[0], catalog);
+    case IrOpKind::kAggregate: {
+      std::vector<std::string> names;
+      names.reserve(node.aggregates.size());
+      for (const auto& agg : node.aggregates) {
+        names.push_back(agg.output_name);
+      }
+      return names;
+    }
     case IrOpKind::kModelPipeline:
     case IrOpKind::kClusteredPredict:
     case IrOpKind::kNnGraph:
@@ -282,6 +318,34 @@ Status ValidateNode(const IrNode& node, const relational::Catalog& catalog) {
   if (node.kind == IrOpKind::kFilter && node.predicate == nullptr) {
     return Status::InvalidArgument("Filter without predicate");
   }
+  if (node.kind == IrOpKind::kAggregate) {
+    if (node.aggregates.empty()) {
+      return Status::InvalidArgument("Aggregate without aggregate items");
+    }
+    RAVEN_ASSIGN_OR_RETURN(auto child_schema,
+                           IrPlan::ComputeSchema(*node.children[0], catalog));
+    const std::set<std::string> available(child_schema.begin(),
+                                          child_schema.end());
+    std::set<std::string> outputs;
+    for (const auto& agg : node.aggregates) {
+      if (!outputs.insert(agg.output_name).second) {
+        return Status::InvalidArgument("duplicate aggregate output name '" +
+                                       agg.output_name +
+                                       "' (use AS to disambiguate)");
+      }
+      if (agg.column.empty()) {
+        if (agg.func != AggFunc::kCount) {
+          return Status::InvalidArgument(
+              std::string(AggFuncToString(agg.func)) + " needs a column");
+        }
+        continue;
+      }
+      if (available.find(agg.column) == available.end()) {
+        return Status::InvalidArgument("aggregate column '" + agg.column +
+                                       "' not produced by child");
+      }
+    }
+  }
   if (node.kind == IrOpKind::kModelPipeline && node.pipeline == nullptr) {
     return Status::InvalidArgument("ModelPipeline without pipeline");
   }
@@ -325,6 +389,17 @@ void PrintNode(const IrNode& node, int indent, std::ostringstream* os) {
     case IrOpKind::kLimit:
       *os << " " << node.limit;
       break;
+    case IrOpKind::kAggregate: {
+      *os << " [";
+      for (std::size_t i = 0; i < node.aggregates.size(); ++i) {
+        if (i > 0) *os << ", ";
+        const auto& agg = node.aggregates[i];
+        *os << agg.output_name << " := " << AggFuncToString(agg.func) << "("
+            << (agg.column.empty() ? "*" : agg.column) << ")";
+      }
+      *os << "]";
+      break;
+    }
     case IrOpKind::kModelPipeline:
       *os << " model='" << node.model_name << "' "
           << node.pipeline->Summary() << " -> " << node.output_column;

@@ -33,6 +33,7 @@ enum class IrOpKind {
   kJoin,
   kUnionAll,
   kLimit,
+  kAggregate,
   // Classical ML + featurizers (MLD). A pipeline node scores a trained
   // ModelPipeline (featurizer branches + predictor) over named columns.
   kModelPipeline,
@@ -45,6 +46,19 @@ enum class IrOpKind {
 
 const char* IrOpKindToString(IrOpKind kind);
 OpCategory CategoryOf(IrOpKind kind);
+
+/// Scalar aggregate functions (no GROUP BY: one output row per query, the
+/// shape inference dashboards issue — COUNT of flagged patients, AVG score).
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncToString(AggFunc func);
+
+/// One item of a kAggregate node's output row.
+struct AggregateItem {
+  AggFunc func = AggFunc::kCount;
+  std::string column;  // empty for COUNT(*)
+  std::string output_name;
+};
 
 struct IrNode;
 using IrNodePtr = std::unique_ptr<IrNode>;
@@ -63,6 +77,7 @@ struct IrNode {
   std::vector<std::string> proj_names;          // kProject
   std::string left_key, right_key;              // kJoin
   std::int64_t limit = 0;                       // kLimit
+  std::vector<AggregateItem> aggregates;        // kAggregate
 
   // --- ML payloads ---------------------------------------------------------
   /// Stored-model name this node came from (for cache keys / EXPLAIN).
@@ -99,6 +114,8 @@ struct IrNode {
                         std::string right_key);
   static IrNodePtr UnionAll(std::vector<IrNodePtr> children);
   static IrNodePtr Limit(IrNodePtr child, std::int64_t limit);
+  static IrNodePtr Aggregate(IrNodePtr child,
+                             std::vector<AggregateItem> aggregates);
   static IrNodePtr ModelPipelineNode(IrNodePtr child, std::string model_name,
                                      std::shared_ptr<ml::ModelPipeline> model,
                                      std::vector<std::string> input_columns,

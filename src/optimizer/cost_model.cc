@@ -1,5 +1,6 @@
 #include "optimizer/cost_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace raven::optimizer {
@@ -72,8 +73,18 @@ double NnGraphRowCost(const nnrt::Graph& graph) {
   return cost;
 }
 
-Result<PlanCost> EstimateCost(const ir::IrNode& node,
-                              const relational::Catalog& catalog) {
+namespace {
+
+/// Per-worker fixed overhead of a parallel run (operator-tree cloning,
+/// morsel scheduling, result collection), in abstract work units.
+constexpr double kWorkerStartupCost = 256.0;
+
+/// Recursive body: `dop` is the degree of parallelism the subtree executes
+/// at. Self-costs of morsel-parallelizable operators divide by dop;
+/// cardinalities never do.
+Result<PlanCost> EstimateCostImpl(const ir::IrNode& node,
+                                  const relational::Catalog& catalog,
+                                  double dop) {
   using ir::IrOpKind;
   switch (node.kind) {
     case IrOpKind::kTableScan: {
@@ -81,62 +92,88 @@ Result<PlanCost> EstimateCost(const ir::IrNode& node,
                              catalog.GetTable(node.table_name));
       const double rows = static_cast<double>(table->num_rows());
       const double cols = static_cast<double>(table->num_columns());
-      return PlanCost{rows, rows * cols};
+      return PlanCost{rows, rows * cols / dop};
     }
     case IrOpKind::kFilter: {
       RAVEN_ASSIGN_OR_RETURN(PlanCost child,
-                             EstimateCost(*node.children[0], catalog));
+                             EstimateCostImpl(*node.children[0], catalog,
+                                              dop));
       const std::size_t conjuncts =
           relational::ExtractConjuncts(*node.predicate).size();
       const double selectivity =
           std::pow(kFilterSelectivity, static_cast<double>(conjuncts));
       return PlanCost{child.output_rows * selectivity,
-                      child.total_cost + child.output_rows *
-                                             static_cast<double>(conjuncts)};
+                      child.total_cost +
+                          child.output_rows *
+                              static_cast<double>(conjuncts) / dop};
     }
     case IrOpKind::kProject: {
       RAVEN_ASSIGN_OR_RETURN(PlanCost child,
-                             EstimateCost(*node.children[0], catalog));
+                             EstimateCostImpl(*node.children[0], catalog,
+                                              dop));
       return PlanCost{child.output_rows,
                       child.total_cost +
                           child.output_rows *
-                              static_cast<double>(node.proj_exprs.size())};
+                              static_cast<double>(node.proj_exprs.size()) /
+                              dop};
     }
     case IrOpKind::kJoin: {
       RAVEN_ASSIGN_OR_RETURN(PlanCost left,
-                             EstimateCost(*node.children[0], catalog));
+                             EstimateCostImpl(*node.children[0], catalog,
+                                              dop));
       RAVEN_ASSIGN_OR_RETURN(PlanCost right,
-                             EstimateCost(*node.children[1], catalog));
-      return PlanCost{left.output_rows,
-                      left.total_cost + right.total_cost +
-                          2.0 * (left.output_rows + right.output_rows)};
+                             EstimateCostImpl(*node.children[1], catalog,
+                                              dop));
+      // Build insertion and probe split across workers; the build-buffer
+      // concatenation at the pipeline barrier stays sequential.
+      const double parallel_part =
+          2.0 * (left.output_rows + right.output_rows) / dop;
+      const double merge_part = dop > 1.0 ? right.output_rows : 0.0;
+      return PlanCost{left.output_rows, left.total_cost + right.total_cost +
+                                            parallel_part + merge_part};
     }
     case IrOpKind::kUnionAll: {
       PlanCost total{0.0, 0.0};
       for (const auto& child : node.children) {
-        RAVEN_ASSIGN_OR_RETURN(PlanCost c, EstimateCost(*child, catalog));
+        RAVEN_ASSIGN_OR_RETURN(PlanCost c,
+                               EstimateCostImpl(*child, catalog, dop));
         total.output_rows += c.output_rows;
         total.total_cost += c.total_cost;
       }
       return total;
     }
     case IrOpKind::kLimit: {
+      // LIMIT pins sequential execution (ordered early-out), so everything
+      // below it is costed at dop 1 regardless of the configured target.
       RAVEN_ASSIGN_OR_RETURN(PlanCost child,
-                             EstimateCost(*node.children[0], catalog));
+                             EstimateCostImpl(*node.children[0], catalog,
+                                              1.0));
       return PlanCost{
           std::min(child.output_rows, static_cast<double>(node.limit)),
           child.total_cost};
     }
+    case IrOpKind::kAggregate: {
+      RAVEN_ASSIGN_OR_RETURN(PlanCost child,
+                             EstimateCostImpl(*node.children[0], catalog,
+                                              dop));
+      const double aggs = static_cast<double>(node.aggregates.size());
+      // Accumulation parallelizes; the final partial merge is dop*aggs.
+      return PlanCost{1.0, child.total_cost +
+                               child.output_rows * aggs / dop + dop * aggs};
+    }
     case IrOpKind::kModelPipeline: {
       RAVEN_ASSIGN_OR_RETURN(PlanCost child,
-                             EstimateCost(*node.children[0], catalog));
+                             EstimateCostImpl(*node.children[0], catalog,
+                                              dop));
       return PlanCost{child.output_rows,
                       child.total_cost +
-                          child.output_rows * PipelineRowCost(*node.pipeline)};
+                          child.output_rows * PipelineRowCost(*node.pipeline) /
+                              dop};
     }
     case IrOpKind::kClusteredPredict: {
       RAVEN_ASSIGN_OR_RETURN(PlanCost child,
-                             EstimateCost(*node.children[0], catalog));
+                             EstimateCostImpl(*node.children[0], catalog,
+                                              dop));
       double avg_cost = 0.0;
       if (!node.clustered->cluster_models.empty()) {
         for (const auto& model : node.clustered->cluster_models) {
@@ -151,24 +188,57 @@ Result<PlanCost> EstimateCost(const ir::IrNode& node,
           static_cast<double>(node.clustered->router.k());
       return PlanCost{child.output_rows,
                       child.total_cost +
-                          child.output_rows * (avg_cost + routing)};
+                          child.output_rows * (avg_cost + routing) / dop};
     }
     case IrOpKind::kNnGraph: {
       RAVEN_ASSIGN_OR_RETURN(PlanCost child,
-                             EstimateCost(*node.children[0], catalog));
+                             EstimateCostImpl(*node.children[0], catalog,
+                                              dop));
       return PlanCost{child.output_rows,
                       child.total_cost +
-                          child.output_rows * NnGraphRowCost(*node.nn_graph)};
+                          child.output_rows * NnGraphRowCost(*node.nn_graph) /
+                              dop};
     }
     case IrOpKind::kOpaquePipeline: {
+      // Opaque pipelines run out of process and the executor keeps such
+      // plans sequential; charge a serialization tax at dop 1.
       RAVEN_ASSIGN_OR_RETURN(PlanCost child,
-                             EstimateCost(*node.children[0], catalog));
-      // Opaque pipelines run out of process; charge a serialization tax.
+                             EstimateCostImpl(*node.children[0], catalog,
+                                              1.0));
       return PlanCost{child.output_rows,
                       child.total_cost + child.output_rows * 64.0};
     }
   }
   return Status::Internal("unreachable IR kind in EstimateCost");
+}
+
+}  // namespace
+
+Result<PlanCost> EstimateCost(const ir::IrNode& node,
+                              const relational::Catalog& catalog,
+                              std::int64_t parallelism) {
+  // Mirror the executor's gating exactly: a LIMIT or opaque pipeline
+  // ANYWHERE in the plan forces fully sequential execution, so costing any
+  // part of such a plan at dop > 1 would promise a speedup the runtime
+  // never delivers.
+  bool sequential_only = false;
+  ir::VisitIr(&node, [&](const ir::IrNode* n) {
+    if (n->kind == ir::IrOpKind::kLimit ||
+        n->kind == ir::IrOpKind::kOpaquePipeline) {
+      sequential_only = true;
+    }
+  });
+  const double dop =
+      sequential_only
+          ? 1.0
+          : static_cast<double>(std::max<std::int64_t>(1, parallelism));
+  RAVEN_ASSIGN_OR_RETURN(PlanCost cost, EstimateCostImpl(node, catalog, dop));
+  if (dop > 1.0) {
+    // Worker startup plus the ordered merge of the final result — the
+    // sequential tail that makes tiny inputs cheaper at dop 1.
+    cost.total_cost += dop * kWorkerStartupCost + cost.output_rows;
+  }
+  return cost;
 }
 
 }  // namespace raven::optimizer

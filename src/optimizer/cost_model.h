@@ -1,6 +1,8 @@
 #ifndef RAVEN_OPTIMIZER_COST_MODEL_H_
 #define RAVEN_OPTIMIZER_COST_MODEL_H_
 
+#include <cstdint>
+
 #include "common/status.h"
 #include "ir/ir.h"
 #include "relational/catalog.h"
@@ -27,8 +29,17 @@ double NnGraphRowCost(const nnrt::Graph& graph);
 /// Estimates cardinality and cost bottom-up. Filters use a fixed 0.4
 /// selectivity unless the predicate is a conjunction (0.4 per conjunct);
 /// joins assume key-FK matches (|left| rows out).
+///
+/// `parallelism` > 1 costs the plan as the morsel-driven parallel executor
+/// runs it: scans, filters, projections, model scoring, join build/probe
+/// and aggregate accumulation divide across workers, while per-worker
+/// startup, the ordered result merge, and any subtree under a LIMIT (which
+/// executes sequentially) do not. This keeps the optimizer honest about
+/// plans that parallelize well versus ones that are merge- or
+/// startup-bound.
 Result<PlanCost> EstimateCost(const ir::IrNode& node,
-                              const relational::Catalog& catalog);
+                              const relational::Catalog& catalog,
+                              std::int64_t parallelism = 1);
 
 }  // namespace raven::optimizer
 

@@ -1,5 +1,8 @@
 #include "optimizer/cross_optimizer.h"
 
+#include <algorithm>
+
+#include "optimizer/cost_model.h"
 #include "optimizer/rules.h"
 
 namespace raven::optimizer {
@@ -96,7 +99,26 @@ Status CrossOptimizer::Optimize(ir::IrPlan* plan,
 
   RAVEN_RETURN_IF_ERROR(plan->Validate(*catalog_));
   local.after = plan->ToString();
-  if (report != nullptr) *report = std::move(local);
+  if (report != nullptr) {
+    // Cost the optimized plan both sequentially and at the runtime's degree
+    // of parallelism so EXPLAIN (and future cost-based phases) see what the
+    // morsel-driven executor will actually pay. Skipped when no report was
+    // requested — the walks are pure output.
+    local.costed_parallelism =
+        std::max<std::int64_t>(1, options_.target_parallelism);
+    RAVEN_ASSIGN_OR_RETURN(PlanCost seq,
+                           EstimateCost(*plan->root(), *catalog_));
+    local.sequential_cost = seq.total_cost;
+    if (local.costed_parallelism > 1) {
+      RAVEN_ASSIGN_OR_RETURN(
+          PlanCost par,
+          EstimateCost(*plan->root(), *catalog_, local.costed_parallelism));
+      local.parallel_cost = par.total_cost;
+    } else {
+      local.parallel_cost = seq.total_cost;
+    }
+    *report = std::move(local);
+  }
   return Status::OK();
 }
 

@@ -38,6 +38,10 @@ struct OptimizerOptions {
   std::int64_t inline_max_nodes = 512;
   bool nn_translation = true;
   NnTranslationOptions nn_options;
+  /// Degree of parallelism the runtime will execute the plan at. The cost
+  /// model divides parallelizable work by it, so plan costing no longer
+  /// assumes sequential scans; RavenContext wires the execution option in.
+  std::int64_t target_parallelism = 1;
 };
 
 /// How many times each rule fired plus the plan snapshots for EXPLAIN.
@@ -45,6 +49,11 @@ struct OptimizationReport {
   std::vector<std::pair<std::string, std::size_t>> rule_applications;
   std::string before;
   std::string after;
+  /// Cost of the optimized plan (abstract work units) run sequentially and
+  /// at options.target_parallelism workers (equal when the target is 1).
+  double sequential_cost = 0.0;
+  double parallel_cost = 0.0;
+  std::int64_t costed_parallelism = 1;
 
   std::size_t TotalApplications() const {
     std::size_t total = 0;

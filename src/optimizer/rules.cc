@@ -175,6 +175,9 @@ Result<std::size_t> PushdownWalk(IrNodePtr* node,
 void CollectPredicatesBelow(const IrNode& node,
                             std::vector<relational::SimplePredicate>* out) {
   if (node.kind == IrOpKind::kUnionAll) return;  // branch-local predicates
+  // Aggregation renames/folds columns, so predicates below it do not
+  // constrain the values it emits.
+  if (node.kind == IrOpKind::kAggregate) return;
   if (node.kind == IrOpKind::kFilter) {
     for (const Expr* conjunct : relational::ExtractConjuncts(*node.predicate)) {
       auto simple = relational::MatchSimplePredicate(*conjunct);
@@ -266,6 +269,20 @@ Result<std::size_t> RequireWalk(IrNodePtr* node, const Required& required,
     }
     case IrOpKind::kLimit:
       return RequireWalk(&n.children[0], required, catalog, eliminate_joins);
+    case IrOpKind::kAggregate: {
+      // Only the aggregated columns are needed below, whatever is required
+      // above (the aggregate's outputs are computed, not passed through).
+      // Join elimination must NOT fire here: COUNT/SUM care about the row
+      // multiset, and dropping a join that filters or multiplies rows
+      // (non-1:1 build side) would change the aggregate even though no
+      // build-side column is referenced.
+      std::set<std::string> child_req;
+      for (const auto& agg : n.aggregates) {
+        if (!agg.column.empty()) child_req.insert(agg.column);
+      }
+      return RequireWalk(&n.children[0], Required(std::move(child_req)),
+                         catalog, /*eliminate_joins=*/false);
+    }
     case IrOpKind::kJoin: {
       std::size_t fired = 0;
       RAVEN_ASSIGN_OR_RETURN(auto left_schema,

@@ -9,7 +9,23 @@ RavenContext::RavenContext(RavenOptions options)
       session_cache_(options_.session_cache_capacity),
       analyzer_(&catalog_),
       optimizer_(&catalog_, options_.optimizer),
-      executor_(&catalog_, &session_cache_) {}
+      executor_(&catalog_, &session_cache_) {
+  // When the caller didn't pin an explicit costing target, the optimizer
+  // follows the runtime's parallelism (kept in sync per query, so
+  // post-construction `execution_options().parallelism = N` is honored).
+  optimizer_parallelism_auto_ = options_.optimizer.target_parallelism <= 1;
+}
+
+void RavenContext::SyncOptimizerParallelism() {
+  if (optimizer_parallelism_auto_) {
+    // Only in-process plans parallelize; costing worker/container modes at
+    // dop > 1 would promise speedups the executor never delivers.
+    optimizer_.mutable_options().target_parallelism =
+        options_.execution.mode == runtime::ExecutionMode::kInProcess
+            ? options_.execution.parallelism
+            : 1;
+  }
+}
 
 Status RavenContext::RegisterTable(const std::string& name,
                                    relational::Table table) {
@@ -47,6 +63,7 @@ Status RavenContext::BuildClusteredModel(
 
 Result<ir::IrPlan> RavenContext::Prepare(
     const std::string& sql, optimizer::OptimizationReport* report) {
+  SyncOptimizerParallelism();
   RAVEN_ASSIGN_OR_RETURN(ir::IrPlan plan, analyzer_.Analyze(sql));
   RAVEN_RETURN_IF_ERROR(optimizer_.Optimize(&plan, report));
   return plan;
@@ -59,6 +76,7 @@ Result<relational::Table> RavenContext::ExecutePlan(
 
 Result<QueryResult> RavenContext::Query(const std::string& sql) {
   Timer timer;
+  SyncOptimizerParallelism();
   QueryResult result;
   RAVEN_ASSIGN_OR_RETURN(ir::IrPlan plan,
                          analyzer_.Analyze(sql, &result.analysis));
@@ -72,6 +90,7 @@ Result<QueryResult> RavenContext::Query(const std::string& sql) {
 }
 
 Result<std::string> RavenContext::Explain(const std::string& sql) {
+  SyncOptimizerParallelism();
   frontend::AnalysisStats analysis;
   RAVEN_ASSIGN_OR_RETURN(ir::IrPlan plan, analyzer_.Analyze(sql, &analysis));
   optimizer::OptimizationReport report;
@@ -86,6 +105,12 @@ Result<std::string> RavenContext::Explain(const std::string& sql) {
   out += "=== Rules ===\n";
   for (const auto& [rule, fired] : report.rule_applications) {
     out += "  " + rule + ": " + std::to_string(fired) + "\n";
+  }
+  out += "=== Estimated cost ===\n";
+  out += "  sequential: " + std::to_string(report.sequential_cost) + "\n";
+  if (report.costed_parallelism > 1) {
+    out += "  parallel(dop=" + std::to_string(report.costed_parallelism) +
+           "): " + std::to_string(report.parallel_cost) + "\n";
   }
   out += "=== Generated SQL ===\n";
   out += runtime::GenerateSql(*plan.root());

@@ -96,12 +96,18 @@ class RavenContext {
   }
 
  private:
+  /// Keeps the optimizer's costing parallelism following
+  /// execution_options().parallelism unless the caller pinned an explicit
+  /// optimizer.target_parallelism at construction.
+  void SyncOptimizerParallelism();
+
   RavenOptions options_;
   relational::Catalog catalog_;
   nnrt::SessionCache session_cache_;
   frontend::StaticAnalyzer analyzer_;
   optimizer::CrossOptimizer optimizer_;
   runtime::PlanExecutor executor_;
+  bool optimizer_parallelism_auto_ = true;
 };
 
 }  // namespace raven

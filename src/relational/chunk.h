@@ -18,6 +18,13 @@ struct DataChunk {
   std::vector<std::string> names;
   std::vector<std::vector<double>> cols;
 
+  /// Provenance of the scan morsel this chunk's rows derive from:
+  /// (source ordinal, morsel index). Operators that transform chunks 1:1
+  /// propagate the key; the parallel executor sorts merged output by it so
+  /// morsel-parallel runs reproduce sequential row order exactly.
+  std::int64_t order_source = 0;
+  std::int64_t order_morsel = 0;
+
   std::int64_t num_rows() const {
     return cols.empty() ? 0 : static_cast<std::int64_t>(cols.front().size());
   }

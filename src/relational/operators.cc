@@ -1,9 +1,8 @@
 #include "relational/operators.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
-
-#include "common/thread_pool.h"
 
 namespace raven::relational {
 
@@ -12,26 +11,50 @@ ScanOperator::ScanOperator(const Table* table, std::int64_t begin,
     : table_(table), begin_(begin),
       end_(end < 0 ? table->num_rows() : end) {}
 
+ScanOperator::ScanOperator(const Table* table,
+                           std::shared_ptr<MorselQueue> morsels,
+                           std::int64_t order_source)
+    : table_(table), begin_(0), end_(table->num_rows()),
+      morsels_(std::move(morsels)), order_source_(order_source) {}
+
 Status ScanOperator::Open() {
   cursor_ = begin_;
   if (begin_ < 0 || end_ > table_->num_rows() || begin_ > end_) {
     return Status::OutOfRange("scan range invalid");
   }
+  if (morsels_ != nullptr && morsels_->total_rows() != table_->num_rows()) {
+    return Status::InvalidArgument("morsel queue sized for different table");
+  }
   return Status::OK();
 }
 
-Result<bool> ScanOperator::Next(DataChunk* out) {
-  if (cursor_ >= end_) return false;
-  const std::int64_t n = std::min(kChunkSize, end_ - cursor_);
+void ScanOperator::EmitRows(std::int64_t begin, std::int64_t n,
+                            DataChunk* out) const {
   out->names.clear();
   out->cols.clear();
   out->names.reserve(static_cast<std::size_t>(table_->num_columns()));
   out->cols.reserve(static_cast<std::size_t>(table_->num_columns()));
   for (const auto& col : table_->columns()) {
     out->names.push_back(col.name);
-    out->cols.emplace_back(col.data.begin() + cursor_,
-                           col.data.begin() + cursor_ + n);
+    out->cols.emplace_back(col.data.begin() + begin,
+                           col.data.begin() + begin + n);
   }
+}
+
+Result<bool> ScanOperator::Next(DataChunk* out) {
+  if (morsels_ != nullptr) {
+    Morsel m;
+    if (!morsels_->Pop(&m)) return false;
+    EmitRows(m.begin, m.end - m.begin, out);
+    out->order_source = order_source_;
+    out->order_morsel = m.index;
+    return true;
+  }
+  if (cursor_ >= end_) return false;
+  const std::int64_t n = std::min(kChunkSize, end_ - cursor_);
+  EmitRows(cursor_, n, out);
+  out->order_source = order_source_;
+  out->order_morsel = (cursor_ - begin_) / kChunkSize;
   cursor_ += n;
   return true;
 }
@@ -50,6 +73,8 @@ Result<bool> FilterOperator::Next(DataChunk* out) {
     }
     if (selected.empty()) continue;  // fully filtered; pull next chunk
     out->names = chunk.names;
+    out->order_source = chunk.order_source;
+    out->order_morsel = chunk.order_morsel;
     out->cols.assign(chunk.cols.size(), {});
     for (std::size_t c = 0; c < chunk.cols.size(); ++c) {
       out->cols[c].reserve(selected.size());
@@ -66,6 +91,8 @@ Result<bool> ProjectOperator::Next(DataChunk* out) {
   RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(&chunk));
   if (!more) return false;
   out->names = names_;
+  out->order_source = chunk.order_source;
+  out->order_morsel = chunk.order_morsel;
   out->cols.assign(exprs_.size(), {});
   for (std::size_t e = 0; e < exprs_.size(); ++e) {
     RAVEN_RETURN_IF_ERROR(exprs_[e]->Evaluate(chunk, &out->cols[e]));
@@ -73,41 +100,156 @@ Result<bool> ProjectOperator::Next(DataChunk* out) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+JoinBuildState::JoinBuildState(std::string right_key, std::int64_t num_workers)
+    : right_key_(std::move(right_key)),
+      buffers_(static_cast<std::size_t>(std::max<std::int64_t>(1,
+                                                               num_workers))) {}
+
+Status JoinBuildState::Append(std::int64_t worker, DataChunk chunk) {
+  if (worker < 0 || worker >= static_cast<std::int64_t>(buffers_.size())) {
+    return Status::InvalidArgument("join build worker id out of range");
+  }
+  buffers_[static_cast<std::size_t>(worker)].push_back(std::move(chunk));
+  return Status::OK();
+}
+
+Status JoinBuildState::FinalizeBuild() {
+  if (finalized_) return Status::Internal("join build finalized twice");
+  // Order the chunks by morsel provenance: this is the row order a
+  // sequential build would have seen, making build row ids — and therefore
+  // duplicate-key probe output — deterministic regardless of which worker
+  // claimed which morsel. stable_sort keeps arrival order for equal keys
+  // (the sequential owning-join case, where all chunks share source 0).
+  std::vector<DataChunk*> chunks;
+  std::int64_t total = 0;
+  for (auto& buffer : buffers_) {
+    for (auto& chunk : buffer) {
+      chunks.push_back(&chunk);
+      total += chunk.num_rows();
+    }
+  }
+  std::stable_sort(chunks.begin(), chunks.end(),
+                   [](const DataChunk* a, const DataChunk* b) {
+                     return a->order_source != b->order_source
+                                ? a->order_source < b->order_source
+                                : a->order_morsel < b->order_morsel;
+                   });
+  if (!chunks.empty()) {
+    names_ = chunks.front()->names;
+    cols_.assign(names_.size(), {});
+    for (std::size_t c = 0; c < names_.size(); ++c) {
+      cols_[c].reserve(static_cast<std::size_t>(total));
+    }
+    for (DataChunk* chunk : chunks) {
+      if (chunk->names != names_) {
+        return Status::ExecutionError("join build chunk schema mismatch");
+      }
+      for (std::size_t c = 0; c < names_.size(); ++c) {
+        cols_[c].insert(cols_[c].end(), chunk->cols[c].begin(),
+                        chunk->cols[c].end());
+      }
+      // Release as we go: peak memory stays ~one chunk above the build.
+      chunk->cols.clear();
+      chunk->cols.shrink_to_fit();
+    }
+  }
+  chunks.clear();
+  buffers_.clear();
+  buffers_.shrink_to_fit();
+  if (total > 0) {
+    std::int64_t key_idx = -1;
+    for (std::size_t c = 0; c < names_.size(); ++c) {
+      if (names_[c] == right_key_) key_idx = static_cast<std::int64_t>(c);
+    }
+    if (key_idx < 0) {
+      return Status::ExecutionError("join build key '" + right_key_ +
+                                    "' not found");
+    }
+    // Striped parallel insertion over row shards; contention is limited to
+    // the per-stripe mutexes.
+    const auto& key_col = cols_[static_cast<std::size_t>(key_idx)];
+    const std::int64_t shards = std::min<std::int64_t>(
+        16, (total + kChunkSize - 1) / kChunkSize);
+    const std::int64_t per = (total + shards - 1) / shards;
+    ThreadPool::Global().ParallelFor(
+        static_cast<std::size_t>(shards), [&](std::size_t s) {
+          const std::int64_t begin = static_cast<std::int64_t>(s) * per;
+          const std::int64_t end = std::min(total, begin + per);
+          for (std::int64_t row = begin; row < end; ++row) {
+            const double key = key_col[static_cast<std::size_t>(row)];
+            Stripe& stripe = stripes_[StripeOf(key)];
+            std::lock_guard<std::mutex> lock(stripe.mu);
+            stripe.map[key].push_back(row);
+          }
+        });
+    // Shard interleaving is racy; ascending row ids == sequential
+    // insertion order, restoring deterministic duplicate-key matches.
+    ThreadPool::Global().ParallelFor(kStripes, [&](std::size_t s) {
+      for (auto& [key, rows] : stripes_[s].map) {
+        std::sort(rows.begin(), rows.end());
+      }
+    });
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+const std::vector<std::int64_t>* JoinBuildState::Lookup(double key) const {
+  const Stripe& stripe = stripes_[StripeOf(key)];
+  auto it = stripe.map.find(key);
+  return it == stripe.map.end() ? nullptr : &it->second;
+}
+
+std::int64_t JoinBuildState::num_rows() const {
+  return cols_.empty() ? 0 : static_cast<std::int64_t>(cols_.front().size());
+}
+
+HashJoinOperator::HashJoinOperator(OperatorPtr left, OperatorPtr right,
+                                   std::string left_key,
+                                   std::string right_key)
+    : left_(std::move(left)), right_(std::move(right)),
+      left_key_(std::move(left_key)),
+      build_(std::make_shared<JoinBuildState>(std::move(right_key), 1)) {}
+
+HashJoinOperator::HashJoinOperator(OperatorPtr left, std::string left_key,
+                                   std::shared_ptr<JoinBuildState> build)
+    : left_(std::move(left)), left_key_(std::move(left_key)),
+      build_(std::move(build)) {}
+
 Status HashJoinOperator::Open() {
   RAVEN_RETURN_IF_ERROR(left_->Open());
+  build_emit_cols_.clear();
+  if (right_ == nullptr) {
+    // Probe-only mode: the shared build pipeline already ran.
+    if (build_ == nullptr || !build_->finalized()) {
+      return Status::Internal("probe-only hash join without finalized build");
+    }
+    return Status::OK();
+  }
   RAVEN_RETURN_IF_ERROR(right_->Open());
-  // Materialize the build (right) side.
-  build_names_.clear();
-  build_cols_.clear();
-  hash_.clear();
   DataChunk chunk;
-  std::int64_t key_idx = -1;
-  std::int64_t row_id = 0;
+  std::int64_t arrival = 0;
   while (true) {
     RAVEN_ASSIGN_OR_RETURN(bool more, right_->Next(&chunk));
     if (!more) break;
-    if (build_names_.empty()) {
-      build_names_ = chunk.names;
-      build_cols_.assign(chunk.cols.size(), {});
-      RAVEN_ASSIGN_OR_RETURN(key_idx, chunk.ColumnIndex(right_key_));
-    }
-    const std::int64_t n = chunk.num_rows();
-    for (std::size_t c = 0; c < chunk.cols.size(); ++c) {
-      build_cols_[c].insert(build_cols_[c].end(), chunk.cols[c].begin(),
-                            chunk.cols[c].end());
-    }
-    for (std::int64_t i = 0; i < n; ++i) {
-      hash_[chunk.cols[static_cast<std::size_t>(key_idx)]
-                      [static_cast<std::size_t>(i)]]
-          .push_back(row_id + i);
-    }
-    row_id += n;
+    // Re-tag with the arrival index: a multi-source build side (e.g. a
+    // union of scans) reuses (source 0, morsel 0..) per branch, and
+    // FinalizeBuild's provenance sort must not interleave the branches.
+    chunk.order_source = 0;
+    chunk.order_morsel = arrival++;
+    RAVEN_RETURN_IF_ERROR(build_->Append(0, std::move(chunk)));
   }
-  return Status::OK();
+  return build_->FinalizeBuild();
 }
 
 Result<bool> HashJoinOperator::Next(DataChunk* out) {
   DataChunk chunk;
+  const auto& build_names = build_->names();
+  const auto& build_cols = build_->cols();
   while (true) {
     RAVEN_ASSIGN_OR_RETURN(bool more, left_->Next(&chunk));
     if (!more) return false;
@@ -116,10 +258,10 @@ Result<bool> HashJoinOperator::Next(DataChunk* out) {
     // Output schema: all probe columns, then build columns whose names do
     // not collide with probe columns (the equi-key dedupes naturally).
     if (build_emit_cols_.empty()) {
-      for (std::size_t c = 0; c < build_names_.size(); ++c) {
+      for (std::size_t c = 0; c < build_names.size(); ++c) {
         bool shadowed = false;
         for (const auto& name : chunk.names) {
-          if (name == build_names_[c]) {
+          if (name == build_names[c]) {
             shadowed = true;
             break;
           }
@@ -128,24 +270,26 @@ Result<bool> HashJoinOperator::Next(DataChunk* out) {
       }
     }
     out->names = chunk.names;
+    out->order_source = chunk.order_source;
+    out->order_morsel = chunk.order_morsel;
     for (std::size_t c : build_emit_cols_) {
-      out->names.push_back(build_names_[c]);
+      out->names.push_back(build_names[c]);
     }
     out->cols.assign(out->names.size(), {});
     const std::int64_t n = chunk.num_rows();
     for (std::int64_t i = 0; i < n; ++i) {
       const double key = chunk.cols[static_cast<std::size_t>(key_idx)]
                                    [static_cast<std::size_t>(i)];
-      auto it = hash_.find(key);
-      if (it == hash_.end()) continue;
-      for (std::int64_t build_row : it->second) {
+      const std::vector<std::int64_t>* matches = build_->Lookup(key);
+      if (matches == nullptr) continue;
+      for (std::int64_t build_row : *matches) {
         for (std::size_t c = 0; c < chunk.cols.size(); ++c) {
           out->cols[c].push_back(chunk.cols[c][static_cast<std::size_t>(i)]);
         }
         for (std::size_t e = 0; e < build_emit_cols_.size(); ++e) {
           out->cols[chunk.cols.size() + e].push_back(
-              build_cols_[build_emit_cols_[e]]
-                         [static_cast<std::size_t>(build_row)]);
+              build_cols[build_emit_cols_[e]]
+                        [static_cast<std::size_t>(build_row)]);
         }
       }
     }
@@ -214,71 +358,139 @@ Result<bool> PredictOperator::Next(DataChunk* out) {
   return true;
 }
 
-Result<bool> AggregateOperator::Next(DataChunk* out) {
-  if (done_) return false;
-  done_ = true;
-  struct Acc {
-    double sum = 0.0;
-    double min = 0.0;
-    double max = 0.0;
-    std::int64_t count = 0;
-  };
-  std::vector<Acc> accs(aggs_.size());
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+void AggPartial::AccumulateValue(double v) {
+  if (count == 0) {
+    min = v;
+    max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  sum += v;
+  ++count;
+}
+
+void AggPartial::MergeFrom(const AggPartial& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  sum += other.sum;
+  count += other.count;
+}
+
+SharedAggregateState::SharedAggregateState(std::vector<AggregateSpec> aggs)
+    : aggs_(std::move(aggs)), totals_(aggs_.size()) {}
+
+void SharedAggregateState::Merge(const std::vector<AggPartial>& partials) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t a = 0; a < totals_.size() && a < partials.size(); ++a) {
+    totals_[a].MergeFrom(partials[a]);
+  }
+}
+
+DataChunk SharedAggregateState::FinalChunk() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DataChunk out;
+  for (std::size_t a = 0; a < aggs_.size(); ++a) {
+    double v = 0.0;
+    const AggPartial& acc = totals_[a];
+    switch (aggs_[a].kind) {
+      case AggKind::kCount:
+        v = static_cast<double>(acc.count);
+        break;
+      case AggKind::kSum:
+        v = acc.sum;
+        break;
+      case AggKind::kAvg:
+        v = acc.count > 0 ? acc.sum / static_cast<double>(acc.count) : 0.0;
+        break;
+      case AggKind::kMin:
+        v = acc.min;
+        break;
+      case AggKind::kMax:
+        v = acc.max;
+        break;
+    }
+    out.names.push_back(aggs_[a].output_name);
+    out.cols.push_back({v});
+  }
+  return out;
+}
+
+AggregateOperator::AggregateOperator(OperatorPtr child,
+                                     std::vector<AggregateSpec> aggs)
+    : child_(std::move(child)), aggs_(std::move(aggs)) {}
+
+AggregateOperator::AggregateOperator(
+    OperatorPtr child, std::shared_ptr<SharedAggregateState> shared)
+    : child_(std::move(child)), shared_(std::move(shared)) {}
+
+Result<std::vector<AggPartial>> AggregateOperator::DrainChild(
+    const std::vector<AggregateSpec>& aggs) {
+  std::vector<AggPartial> partials(aggs.size());
   DataChunk chunk;
   while (true) {
     RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(&chunk));
     if (!more) break;
     const std::int64_t n = chunk.num_rows();
-    for (std::size_t a = 0; a < aggs_.size(); ++a) {
-      Acc& acc = accs[a];
-      if (aggs_[a].kind == AggKind::kCount) {
-        acc.count += n;
+    for (std::size_t a = 0; a < aggs.size(); ++a) {
+      AggPartial& acc = partials[a];
+      if (aggs[a].kind == AggKind::kCount) {
+        acc.count += n;  // no NULLs in this engine: COUNT(col) == COUNT(*)
         continue;
       }
       RAVEN_ASSIGN_OR_RETURN(std::int64_t idx,
-                             chunk.ColumnIndex(aggs_[a].column));
+                             chunk.ColumnIndex(aggs[a].column));
       const auto& col = chunk.cols[static_cast<std::size_t>(idx)];
-      for (double v : col) {
-        if (acc.count == 0) {
-          acc.min = v;
-          acc.max = v;
-        } else {
-          acc.min = std::min(acc.min, v);
-          acc.max = std::max(acc.max, v);
-        }
-        acc.sum += v;
-        ++acc.count;
-      }
+      for (double v : col) acc.AccumulateValue(v);
     }
   }
-  out->names.clear();
-  out->cols.clear();
-  for (std::size_t a = 0; a < aggs_.size(); ++a) {
-    double v = 0.0;
-    switch (aggs_[a].kind) {
-      case AggKind::kCount:
-        v = static_cast<double>(accs[a].count);
-        break;
-      case AggKind::kSum:
-        v = accs[a].sum;
-        break;
-      case AggKind::kAvg:
-        v = accs[a].count > 0
-                ? accs[a].sum / static_cast<double>(accs[a].count)
-                : 0.0;
-        break;
-      case AggKind::kMin:
-        v = accs[a].min;
-        break;
-      case AggKind::kMax:
-        v = accs[a].max;
-        break;
-    }
-    out->names.push_back(aggs_[a].output_name);
-    out->cols.push_back({v});
+  return partials;
+}
+
+Result<bool> AggregateOperator::Next(DataChunk* out) {
+  if (done_) return false;
+  done_ = true;
+  if (shared_ != nullptr) {
+    // Partial-sink mode: accumulate thread-locally, merge once, emit
+    // nothing — the executor renders the final row after all workers join.
+    RAVEN_ASSIGN_OR_RETURN(std::vector<AggPartial> partials,
+                           DrainChild(shared_->aggs()));
+    shared_->Merge(partials);
+    return false;
   }
+  RAVEN_ASSIGN_OR_RETURN(std::vector<AggPartial> partials, DrainChild(aggs_));
+  SharedAggregateState state(aggs_);
+  state.Merge(partials);
+  *out = state.FinalChunk();
   return true;
 }
+
+Result<bool> InstrumentedOperator::Next(DataChunk* out) {
+  const auto start = std::chrono::steady_clock::now();
+  auto result = child_->Next(out);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  slot_->wall_nanos.fetch_add(elapsed, std::memory_order_relaxed);
+  if (result.ok() && result.value()) {
+    slot_->chunks.fetch_add(1, std::memory_order_relaxed);
+    slot_->rows.fetch_add(out->num_rows(), std::memory_order_relaxed);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
 
 Result<Table> MaterializeAll(PhysicalOperator* root) {
   RAVEN_RETURN_IF_ERROR(root->Open());
@@ -298,6 +510,60 @@ Result<Table> MaterializeAll(PhysicalOperator* root) {
     for (std::size_t c = 0; c < chunk.cols.size(); ++c) {
       cols[c].insert(cols[c].end(), chunk.cols[c].begin(),
                      chunk.cols[c].end());
+    }
+  }
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    RAVEN_RETURN_IF_ERROR(out.AddNumericColumn(names[c], std::move(cols[c])));
+  }
+  return out;
+}
+
+Status DrainOrdered(PhysicalOperator* root, std::vector<OrderedChunk>* out) {
+  RAVEN_RETURN_IF_ERROR(root->Open());
+  while (true) {
+    DataChunk chunk;
+    RAVEN_ASSIGN_OR_RETURN(bool more, root->Next(&chunk));
+    if (!more) return Status::OK();
+    OrderedChunk entry;
+    entry.source = chunk.order_source;
+    entry.morsel = chunk.order_morsel;
+    entry.chunk = std::move(chunk);
+    out->push_back(std::move(entry));
+  }
+}
+
+Result<Table> MergeOrderedChunks(
+    std::vector<std::vector<OrderedChunk>> parts) {
+  std::vector<OrderedChunk> all;
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  all.reserve(total);
+  for (auto& part : parts) {
+    for (auto& entry : part) all.push_back(std::move(entry));
+  }
+  // Workers pop morsels in increasing order, so each part is already
+  // sorted; a stable sort across parts restores global sequential order.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const OrderedChunk& a, const OrderedChunk& b) {
+                     return a.source != b.source ? a.source < b.source
+                                                 : a.morsel < b.morsel;
+                   });
+  Table out;
+  std::vector<std::vector<double>> cols;
+  std::vector<std::string> names;
+  bool first = true;
+  for (auto& entry : all) {
+    if (first) {
+      names = entry.chunk.names;
+      cols.assign(names.size(), {});
+      first = false;
+    }
+    if (entry.chunk.names != names) {
+      return Status::ExecutionError("parallel worker chunk schema mismatch");
+    }
+    for (std::size_t c = 0; c < names.size(); ++c) {
+      cols[c].insert(cols[c].end(), entry.chunk.cols[c].begin(),
+                     entry.chunk.cols[c].end());
     }
   }
   for (std::size_t c = 0; c < names.size(); ++c) {

@@ -1,6 +1,8 @@
 #ifndef RAVEN_RELATIONAL_OPERATORS_H_
 #define RAVEN_RELATIONAL_OPERATORS_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "relational/chunk.h"
 #include "relational/expression.h"
 #include "relational/table.h"
@@ -17,6 +20,13 @@
 namespace raven::relational {
 
 /// Pull-based (volcano-style) physical operator producing columnar chunks.
+///
+/// Parallel execution model (morsel-driven): the executor instantiates one
+/// operator tree per worker; trees are thread-confined but share sources
+/// (MorselQueue per scan), join build-side state (JoinBuildState) and
+/// aggregate partial state (SharedAggregateState). An operator instance is
+/// therefore never called from two threads, while the shared state objects
+/// are internally synchronized.
 class PhysicalOperator {
  public:
   virtual ~PhysicalOperator() = default;
@@ -30,8 +40,9 @@ class PhysicalOperator {
 
 using OperatorPtr = std::unique_ptr<PhysicalOperator>;
 
-/// Sequential scan over a row range of an in-memory table. Ranged scans are
-/// how the parallel scan+PREDICT mode partitions work without copying.
+/// Scan over an in-memory table: either a fixed row range (sequential and
+/// legacy range-partitioned modes) or morsel-driven, pulling kChunkSize-row
+/// morsels from a MorselQueue shared with sibling workers.
 class ScanOperator final : public PhysicalOperator {
  public:
   /// Scans rows [begin, end) of `table` (end < 0 means all rows). The table
@@ -39,15 +50,25 @@ class ScanOperator final : public PhysicalOperator {
   explicit ScanOperator(const Table* table, std::int64_t begin = 0,
                         std::int64_t end = -1);
 
+  /// Morsel-driven scan: each Next() claims the next morsel from `morsels`
+  /// (shared across workers) and emits it as one chunk tagged with
+  /// (`order_source`, morsel index) for deterministic merging.
+  ScanOperator(const Table* table, std::shared_ptr<MorselQueue> morsels,
+               std::int64_t order_source);
+
   Status Open() override;
   Result<bool> Next(DataChunk* out) override;
   std::string Name() const override { return "Scan"; }
 
  private:
+  void EmitRows(std::int64_t begin, std::int64_t n, DataChunk* out) const;
+
   const Table* table_;
   std::int64_t begin_;
   std::int64_t end_;
   std::int64_t cursor_ = 0;
+  std::shared_ptr<MorselQueue> morsels_;  // nullptr in range mode
+  std::int64_t order_source_ = 0;
 };
 
 /// Filters rows by a boolean expression.
@@ -83,14 +104,73 @@ class ProjectOperator final : public PhysicalOperator {
   std::vector<std::string> names_;
 };
 
-/// In-memory hash join (inner, single equi-key). The right child is the
-/// build side and is fully materialized at Open.
+/// Shared build side of a morsel-parallel hash join. Workers drain the
+/// build pipeline concurrently, appending chunks to per-worker buffers
+/// (lock-free); FinalizeBuild then orders the chunks by their morsel
+/// provenance — restoring the exact row order a sequential build would have
+/// produced, independent of which worker claimed which morsel — and
+/// populates a hash table striped over `kStripes` independently-locked
+/// partitions so insertion parallelizes without a global lock. Row-id lists
+/// are sorted ascending afterwards, so duplicate-key probe matches come out
+/// in sequential build order too. After FinalizeBuild the structure is
+/// immutable and probed lock-free from any thread.
+class JoinBuildState {
+ public:
+  JoinBuildState(std::string right_key, std::int64_t num_workers);
+
+  /// Appends a build-side chunk on behalf of `worker` (0-based, < the
+  /// num_workers passed at construction); pass by value so callers can
+  /// std::move the drained chunk and skip a deep copy. Thread-safe across
+  /// distinct workers; a single worker must append serially.
+  Status Append(std::int64_t worker, DataChunk chunk);
+
+  /// Orders the buffered chunks, concatenates them (releasing each chunk as
+  /// it is copied, so peak memory stays ~one chunk above the build size),
+  /// and builds the striped hash table on the global pool. Must be called
+  /// exactly once, after all Append calls completed.
+  Status FinalizeBuild();
+
+  // Probe API; valid only after FinalizeBuild.
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<std::vector<double>>& cols() const { return cols_; }
+  /// Row ids matching `key`, or nullptr when the key misses.
+  const std::vector<std::int64_t>* Lookup(double key) const;
+  std::int64_t num_rows() const;
+  bool finalized() const { return finalized_; }
+  const std::string& right_key() const { return right_key_; }
+
+ private:
+  static constexpr std::size_t kStripes = 64;
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<double, std::vector<std::int64_t>> map;
+  };
+  static std::size_t StripeOf(double key) {
+    return std::hash<double>{}(key) % kStripes;
+  }
+
+  std::string right_key_;
+  std::vector<std::vector<DataChunk>> buffers_;  // per-worker, morsel-tagged
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> cols_;
+  std::array<Stripe, kStripes> stripes_;
+  bool finalized_ = false;
+};
+
+/// In-memory hash join (inner, single equi-key). Two modes:
+///  - owning: the right child is drained and hashed at Open (sequential
+///    execution);
+///  - probe-only: the build side was produced by a parallel build pipeline
+///    into a shared, already-finalized JoinBuildState; this operator only
+///    probes it with its own left child.
 class HashJoinOperator final : public PhysicalOperator {
  public:
   HashJoinOperator(OperatorPtr left, OperatorPtr right, std::string left_key,
-                   std::string right_key)
-      : left_(std::move(left)), right_(std::move(right)),
-        left_key_(std::move(left_key)), right_key_(std::move(right_key)) {}
+                   std::string right_key);
+
+  /// Probe-only mode over a finalized shared build.
+  HashJoinOperator(OperatorPtr left, std::string left_key,
+                   std::shared_ptr<JoinBuildState> build);
 
   Status Open() override;
   Result<bool> Next(DataChunk* out) override;
@@ -98,14 +178,9 @@ class HashJoinOperator final : public PhysicalOperator {
 
  private:
   OperatorPtr left_;
-  OperatorPtr right_;
+  OperatorPtr right_;  // nullptr in probe-only mode
   std::string left_key_;
-  std::string right_key_;
-
-  // Build-side storage: column-major values plus key -> row ids.
-  std::vector<std::string> build_names_;
-  std::vector<std::vector<double>> build_cols_;
-  std::unordered_map<double, std::vector<std::int64_t>> hash_;
+  std::shared_ptr<JoinBuildState> build_;
   std::vector<std::size_t> build_emit_cols_;  // columns not shadowing left
 };
 
@@ -143,12 +218,17 @@ class LimitOperator final : public PhysicalOperator {
 /// Batch scoring callback: maps a [n, k] feature tensor to n predictions.
 /// The runtime layer binds this to an in-process NNRT session, an
 /// interpreted ML model, an out-of-process worker, or a container client.
+/// In parallel execution every worker scores through the same underlying
+/// session (cached in nnrt::SessionCache), so scorers must be thread-safe.
 using BatchScorer =
     std::function<Result<std::vector<double>>(const Tensor& input)>;
 
 /// The PREDICT physical operator (paper §5): evaluates a model over the
-/// child's rows, appending the prediction as a new column. Pass-through of
-/// the child's columns preserves downstream predicate access.
+/// child's rows, appending the prediction as a new column. Inference is
+/// batched per chunk — i.e. per morsel under parallel execution — so model
+/// sessions amortize across whole morsels instead of single rows.
+/// Pass-through of the child's columns preserves downstream predicate
+/// access.
 class PredictOperator final : public PhysicalOperator {
  public:
   PredictOperator(OperatorPtr child, std::vector<std::string> input_columns,
@@ -176,27 +256,108 @@ struct AggregateSpec {
   std::string output_name;
 };
 
+/// One aggregate's running state; mergeable across workers.
+struct AggPartial {
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::int64_t count = 0;
+
+  void AccumulateValue(double v);
+  void MergeFrom(const AggPartial& other);
+};
+
+/// Merge point for thread-local aggregate partials: every worker's
+/// AggregateOperator accumulates locally (no synchronization on the hot
+/// path) and merges once at end-of-input; FinalChunk then renders the
+/// single global output row. Thread-safe.
+class SharedAggregateState {
+ public:
+  explicit SharedAggregateState(std::vector<AggregateSpec> aggs);
+
+  const std::vector<AggregateSpec>& aggs() const { return aggs_; }
+  void Merge(const std::vector<AggPartial>& partials);
+  DataChunk FinalChunk() const;
+
+ private:
+  std::vector<AggregateSpec> aggs_;
+  std::vector<AggPartial> totals_;
+  mutable std::mutex mu_;
+};
+
+/// Full-input scalar aggregation. Two modes:
+///  - terminal: emits the one-row result itself (sequential execution);
+///  - partial sink: accumulates thread-locally, merges into a shared
+///    SharedAggregateState at end-of-input and emits nothing — the parallel
+///    executor renders the final row after all workers finish.
 class AggregateOperator final : public PhysicalOperator {
  public:
-  AggregateOperator(OperatorPtr child, std::vector<AggregateSpec> aggs)
-      : child_(std::move(child)), aggs_(std::move(aggs)) {}
+  AggregateOperator(OperatorPtr child, std::vector<AggregateSpec> aggs);
+  AggregateOperator(OperatorPtr child,
+                    std::shared_ptr<SharedAggregateState> shared);
 
   Status Open() override { return child_->Open(); }
   Result<bool> Next(DataChunk* out) override;
   std::string Name() const override { return "Aggregate"; }
 
  private:
+  Result<std::vector<AggPartial>> DrainChild(
+      const std::vector<AggregateSpec>& aggs);
+
   OperatorPtr child_;
-  std::vector<AggregateSpec> aggs_;
+  std::vector<AggregateSpec> aggs_;  // terminal mode
+  std::shared_ptr<SharedAggregateState> shared_;  // sink mode
   bool done_ = false;
+};
+
+/// Lock-free accumulation target for one instrumented operator, shared by
+/// that operator's per-worker clones.
+struct OperatorStatsSlot {
+  std::atomic<std::int64_t> rows{0};
+  std::atomic<std::int64_t> chunks{0};
+  std::atomic<std::int64_t> wall_nanos{0};
+};
+
+/// Transparent wrapper recording rows/chunks/wall-time of the wrapped
+/// operator's Next into an OperatorStatsSlot via atomics — no external
+/// mutex, safe across parallel workers.
+class InstrumentedOperator final : public PhysicalOperator {
+ public:
+  InstrumentedOperator(OperatorPtr child, OperatorStatsSlot* slot)
+      : child_(std::move(child)), slot_(slot) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(DataChunk* out) override;
+  std::string Name() const override { return child_->Name(); }
+
+ private:
+  OperatorPtr child_;
+  OperatorStatsSlot* slot_;
 };
 
 /// Drains an operator tree into a materialized table.
 Result<Table> MaterializeAll(PhysicalOperator* root);
 
+/// A produced chunk plus its merge key for order-restoring parallel merges.
+struct OrderedChunk {
+  std::int64_t source = 0;
+  std::int64_t morsel = 0;
+  DataChunk chunk;
+};
+
+/// Opens and drains `root`, appending every produced chunk with its
+/// provenance key to `out` (worker-side half of a parallel run).
+Status DrainOrdered(PhysicalOperator* root, std::vector<OrderedChunk>* out);
+
+/// Concatenates the workers' chunks sorted by (source, morsel) into one
+/// table — reproducing sequential row order (joins included: the build side
+/// re-orders itself to sequential row ids, see JoinBuildState).
+Result<Table> MergeOrderedChunks(std::vector<std::vector<OrderedChunk>> parts);
+
 /// Builds a plan per row-partition of `base` and executes the partitions on
-/// the global thread pool, concatenating results. This is the engine's
-/// automatic scan+PREDICT parallelization (paper §5, Fig 3 observation iii).
+/// the global thread pool, concatenating results. Legacy range-partitioned
+/// parallelism, kept for callers that pre-split row ranges themselves; the
+/// engine's own parallel path is morsel-driven (see PlanExecutor).
 using PartitionPlanFactory =
     std::function<OperatorPtr(std::int64_t begin_row, std::int64_t end_row)>;
 

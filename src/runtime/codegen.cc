@@ -13,36 +13,33 @@ using ir::IrOpKind;
 using relational::BatchScorer;
 using relational::OperatorPtr;
 
-/// Stats destination captured BY VALUE into scorer closures. The pointed-to
-/// stats/mutex live in PlanExecutor::Execute's frame, which strictly
-/// outlives every partition; the RuntimeContext itself may not (the
-/// parallel plan factory builds per-partition contexts on its own stack),
-/// so closures must never capture it by reference.
+void AtomicAddDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+/// Stats destination captured BY VALUE into scorer closures. The collector
+/// lives in PlanExecutor::Execute's frame, which strictly outlives every
+/// worker; the RuntimeContext itself may not (worker trees are built from
+/// per-worker contexts on their own stacks), so closures must never capture
+/// it by reference. All accumulation is atomic — no external mutex.
 struct StatsSink {
-  ExecutionStats* stats = nullptr;
-  std::mutex* mu = nullptr;
+  StatsCollector* collector = nullptr;
 };
 
 void AccumulateStats(const StatsSink& sink, std::int64_t rows,
                      const nnrt::RunStats* nn_stats) {
-  if (sink.stats == nullptr) return;
-  std::unique_lock<std::mutex> lock;
-  if (sink.mu != nullptr) {
-    lock = std::unique_lock<std::mutex>(*sink.mu);
-  }
-  sink.stats->predict_batches += 1;
-  sink.stats->rows_out += rows;
-  if (nn_stats != nullptr) {
-    sink.stats->nn_wall_micros += nn_stats->wall_micros;
-    sink.stats->nn_simulated_micros += nn_stats->simulated_micros;
-  }
+  if (sink.collector == nullptr) return;
+  sink.collector->AddPredictBatch(rows, nn_stats);
 }
 
 /// Scores via the interpreted classical-ML path (the baseline "framework"
 /// path and the execution of non-translated pipelines).
 BatchScorer MakeInterpretedScorer(std::shared_ptr<ml::ModelPipeline> pipeline,
                                   const RuntimeContext& ctx) {
-  const StatsSink sink{ctx.stats, ctx.stats_mu};
+  const StatsSink sink{ctx.stats};
   return [pipeline, sink](const Tensor& input)
              -> Result<std::vector<double>> {
     RAVEN_ASSIGN_OR_RETURN(Tensor preds, pipeline->Predict(input));
@@ -54,7 +51,7 @@ BatchScorer MakeInterpretedScorer(std::shared_ptr<ml::ModelPipeline> pipeline,
 
 BatchScorer MakeClusteredScorer(std::shared_ptr<ir::ClusteredModel> model,
                                 const RuntimeContext& ctx) {
-  const StatsSink sink{ctx.stats, ctx.stats_mu};
+  const StatsSink sink{ctx.stats};
   return [model, sink](const Tensor& input) -> Result<std::vector<double>> {
     RAVEN_ASSIGN_OR_RETURN(Tensor preds, model->Predict(input));
     AccumulateStats(sink, preds.dim(0), nullptr);
@@ -79,7 +76,7 @@ Result<BatchScorer> MakeNnScorer(const IrNode& node,
   RAVEN_ASSIGN_OR_RETURN(
       auto session,
       ctx.session_cache->GetOrCreate(key, bytes, session_options));
-  const StatsSink sink{ctx.stats, ctx.stats_mu};
+  const StatsSink sink{ctx.stats};
   return BatchScorer([session, sink](const Tensor& input)
                          -> Result<std::vector<double>> {
     nnrt::RunStats stats;
@@ -103,7 +100,7 @@ Result<BatchScorer> MakeExternalScorer(WorkerCommand kind,
   auto client = std::make_shared<WorkerClient>();
   RAVEN_RETURN_IF_ERROR(client->Start(ext));
   auto mu = std::make_shared<std::mutex>();
-  const StatsSink sink{ctx.stats, ctx.stats_mu};
+  const StatsSink sink{ctx.stats};
   return BatchScorer([client, mu, kind, model_bytes = std::move(model_bytes),
                       sink](const Tensor& input)
                          -> Result<std::vector<double>> {
@@ -161,23 +158,90 @@ const char* ExecutionModeToString(ExecutionMode mode) {
   return "?";
 }
 
+namespace {
+
+/// Wraps `op` with stats instrumentation when a collector is attached. The
+/// slot is keyed by IR node, so worker clones of one operator share it and
+/// their counters sum.
+OperatorPtr Instrument(OperatorPtr op, const IrNode& node,
+                       const std::string& label, const RuntimeContext& ctx) {
+  if (ctx.stats == nullptr) return op;
+  relational::OperatorStatsSlot* slot = ctx.stats->SlotFor(&node, label);
+  return std::make_unique<relational::InstrumentedOperator>(std::move(op),
+                                                            slot);
+}
+
+/// Morsel scan over `table` if the parallel state registered this node as a
+/// pipeline source; plain full scan otherwise.
+OperatorPtr MakeScan(const relational::Table* table, const IrNode& node,
+                     const RuntimeContext& ctx) {
+  if (ctx.parallel != nullptr) {
+    auto it = ctx.parallel->scan_queues.find(&node);
+    if (it != ctx.parallel->scan_queues.end()) {
+      return std::make_unique<relational::ScanOperator>(
+          table, it->second.first, it->second.second);
+    }
+  }
+  return std::make_unique<relational::ScanOperator>(table);
+}
+
+relational::AggKind ToAggKind(ir::AggFunc func) {
+  switch (func) {
+    case ir::AggFunc::kCount:
+      return relational::AggKind::kCount;
+    case ir::AggFunc::kSum:
+      return relational::AggKind::kSum;
+    case ir::AggFunc::kAvg:
+      return relational::AggKind::kAvg;
+    case ir::AggFunc::kMin:
+      return relational::AggKind::kMin;
+    case ir::AggFunc::kMax:
+      return relational::AggKind::kMax;
+  }
+  return relational::AggKind::kCount;
+}
+
+}  // namespace
+
+std::vector<relational::AggregateSpec> ToAggregateSpecs(
+    const std::vector<ir::AggregateItem>& items) {
+  std::vector<relational::AggregateSpec> specs;
+  specs.reserve(items.size());
+  for (const auto& item : items) {
+    specs.push_back(relational::AggregateSpec{ToAggKind(item.func),
+                                              item.column,
+                                              item.output_name});
+  }
+  return specs;
+}
+
 Result<OperatorPtr> BuildPhysicalPlan(const IrNode& node,
                                       const RuntimeContext& ctx) {
+  // Subtrees executed by an earlier pipeline (aggregate results) enter the
+  // current pipeline as scans of their materialized table.
+  if (ctx.parallel != nullptr) {
+    auto it = ctx.parallel->materialized.find(&node);
+    if (it != ctx.parallel->materialized.end()) {
+      return Instrument(MakeScan(it->second, node, ctx), node,
+                        "Materialized(" +
+                            std::string(ir::IrOpKindToString(node.kind)) +
+                            ")",
+                        ctx);
+    }
+  }
   switch (node.kind) {
     case IrOpKind::kTableScan: {
       RAVEN_ASSIGN_OR_RETURN(const relational::Table* table,
                              ctx.catalog->GetTable(node.table_name));
-      if (node.table_name == ctx.partition_table) {
-        return OperatorPtr(std::make_unique<relational::ScanOperator>(
-            table, ctx.partition_begin, ctx.partition_end));
-      }
-      return OperatorPtr(std::make_unique<relational::ScanOperator>(table));
+      return Instrument(MakeScan(table, node, ctx), node,
+                        "Scan(" + node.table_name + ")", ctx);
     }
     case IrOpKind::kFilter: {
       RAVEN_ASSIGN_OR_RETURN(auto child,
                              BuildPhysicalPlan(*node.children[0], ctx));
-      return OperatorPtr(std::make_unique<relational::FilterOperator>(
-          std::move(child), node.predicate->Clone()));
+      return Instrument(std::make_unique<relational::FilterOperator>(
+                            std::move(child), node.predicate->Clone()),
+                        node, "Filter", ctx);
     }
     case IrOpKind::kProject: {
       RAVEN_ASSIGN_OR_RETURN(auto child,
@@ -185,16 +249,45 @@ Result<OperatorPtr> BuildPhysicalPlan(const IrNode& node,
       std::vector<relational::ExprPtr> exprs;
       exprs.reserve(node.proj_exprs.size());
       for (const auto& e : node.proj_exprs) exprs.push_back(e->Clone());
-      return OperatorPtr(std::make_unique<relational::ProjectOperator>(
-          std::move(child), std::move(exprs), node.proj_names));
+      return Instrument(std::make_unique<relational::ProjectOperator>(
+                            std::move(child), std::move(exprs),
+                            node.proj_names),
+                        node, "Project", ctx);
+    }
+    case IrOpKind::kAggregate: {
+      RAVEN_ASSIGN_OR_RETURN(auto child,
+                             BuildPhysicalPlan(*node.children[0], ctx));
+      if (ctx.parallel != nullptr) {
+        auto it = ctx.parallel->agg_sinks.find(&node);
+        if (it != ctx.parallel->agg_sinks.end()) {
+          // Partial sink: emits nothing; the executor renders the final row.
+          return Instrument(std::make_unique<relational::AggregateOperator>(
+                                std::move(child), it->second),
+                            node, "Aggregate", ctx);
+        }
+      }
+      return Instrument(std::make_unique<relational::AggregateOperator>(
+                            std::move(child), ToAggregateSpecs(node.aggregates)),
+                        node, "Aggregate", ctx);
     }
     case IrOpKind::kJoin: {
       RAVEN_ASSIGN_OR_RETURN(auto left,
                              BuildPhysicalPlan(*node.children[0], ctx));
+      if (ctx.parallel != nullptr) {
+        auto it = ctx.parallel->join_builds.find(&node);
+        if (it != ctx.parallel->join_builds.end()) {
+          // Probe-only: the shared build pipeline already ran and finalized.
+          return Instrument(std::make_unique<relational::HashJoinOperator>(
+                                std::move(left), node.left_key, it->second),
+                            node, "HashJoin", ctx);
+        }
+      }
       RAVEN_ASSIGN_OR_RETURN(auto right,
                              BuildPhysicalPlan(*node.children[1], ctx));
-      return OperatorPtr(std::make_unique<relational::HashJoinOperator>(
-          std::move(left), std::move(right), node.left_key, node.right_key));
+      return Instrument(std::make_unique<relational::HashJoinOperator>(
+                            std::move(left), std::move(right), node.left_key,
+                            node.right_key),
+                        node, "HashJoin", ctx);
     }
     case IrOpKind::kUnionAll: {
       std::vector<OperatorPtr> children;
@@ -202,14 +295,16 @@ Result<OperatorPtr> BuildPhysicalPlan(const IrNode& node,
         RAVEN_ASSIGN_OR_RETURN(auto op, BuildPhysicalPlan(*child, ctx));
         children.push_back(std::move(op));
       }
-      return OperatorPtr(std::make_unique<relational::UnionAllOperator>(
-          std::move(children)));
+      return Instrument(std::make_unique<relational::UnionAllOperator>(
+                            std::move(children)),
+                        node, "UnionAll", ctx);
     }
     case IrOpKind::kLimit: {
       RAVEN_ASSIGN_OR_RETURN(auto child,
                              BuildPhysicalPlan(*node.children[0], ctx));
-      return OperatorPtr(std::make_unique<relational::LimitOperator>(
-          std::move(child), node.limit));
+      return Instrument(std::make_unique<relational::LimitOperator>(
+                            std::move(child), node.limit),
+                        node, "Limit", ctx);
     }
     case IrOpKind::kModelPipeline:
     case IrOpKind::kClusteredPredict:
@@ -218,12 +313,58 @@ Result<OperatorPtr> BuildPhysicalPlan(const IrNode& node,
       RAVEN_ASSIGN_OR_RETURN(auto child,
                              BuildPhysicalPlan(*node.children[0], ctx));
       RAVEN_ASSIGN_OR_RETURN(auto scorer, ScorerFor(node, ctx));
-      return OperatorPtr(std::make_unique<relational::PredictOperator>(
-          std::move(child), node.model_input_columns, node.output_column,
-          std::move(scorer)));
+      return Instrument(std::make_unique<relational::PredictOperator>(
+                            std::move(child), node.model_input_columns,
+                            node.output_column, std::move(scorer)),
+                        node, "Predict(" + node.model_name + ")", ctx);
     }
   }
   return Status::Internal("unreachable IR kind in BuildPhysicalPlan");
+}
+
+void StatsCollector::AddPredictBatch(std::int64_t rows,
+                                     const nnrt::RunStats* nn_stats) {
+  predict_batches_.fetch_add(1, std::memory_order_relaxed);
+  rows_out_.fetch_add(rows, std::memory_order_relaxed);
+  if (nn_stats != nullptr) {
+    AtomicAddDouble(&nn_wall_micros_, nn_stats->wall_micros);
+    AtomicAddDouble(&nn_simulated_micros_, nn_stats->simulated_micros);
+  }
+}
+
+relational::OperatorStatsSlot* StatsCollector::SlotFor(
+    const void* node, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto key = std::make_pair(node, name);
+  auto it = by_node_.find(key);
+  if (it != by_node_.end()) return it->second;
+  slots_.emplace_back(std::piecewise_construct,
+                      std::forward_as_tuple(name), std::forward_as_tuple());
+  relational::OperatorStatsSlot* slot = &slots_.back().second;
+  by_node_[key] = slot;
+  return slot;
+}
+
+void StatsCollector::Finalize(ExecutionStats* out) const {
+  out->rows_out = rows_out_.load(std::memory_order_relaxed);
+  out->predict_batches = predict_batches_.load(std::memory_order_relaxed);
+  out->nn_wall_micros = nn_wall_micros_.load(std::memory_order_relaxed);
+  out->nn_simulated_micros =
+      nn_simulated_micros_.load(std::memory_order_relaxed);
+  out->partitions_used = partitions_used.load(std::memory_order_relaxed);
+  out->morsels = morsels.load(std::memory_order_relaxed);
+  out->operators.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, slot] : slots_) {
+    OperatorStats op;
+    op.op = name;
+    op.rows = slot.rows.load(std::memory_order_relaxed);
+    op.chunks = slot.chunks.load(std::memory_order_relaxed);
+    op.wall_micros =
+        static_cast<double>(slot.wall_nanos.load(std::memory_order_relaxed)) /
+        1000.0;
+    out->operators.push_back(std::move(op));
+  }
 }
 
 namespace {
@@ -276,6 +417,20 @@ void GenerateSqlNode(const IrNode& node, std::ostringstream* os) {
       GenerateSqlNode(*node.children[0], os);
       *os << " LIMIT " << node.limit << ")";
       return;
+    case IrOpKind::kAggregate: {
+      *os << "(SELECT ";
+      for (std::size_t i = 0; i < node.aggregates.size(); ++i) {
+        if (i > 0) *os << ", ";
+        const auto& agg = node.aggregates[i];
+        *os << ir::AggFuncToString(agg.func) << "("
+            << (agg.column.empty() ? "*" : agg.column) << ") AS "
+            << agg.output_name;
+      }
+      *os << " FROM ";
+      GenerateSqlNode(*node.children[0], os);
+      *os << ")";
+      return;
+    }
     case IrOpKind::kModelPipeline:
     case IrOpKind::kClusteredPredict:
     case IrOpKind::kNnGraph:

@@ -1,11 +1,18 @@
 #ifndef RAVEN_RUNTIME_CODEGEN_H_
 #define RAVEN_RUNTIME_CODEGEN_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "ir/ir.h"
 #include "nnrt/session.h"
 #include "relational/catalog.h"
@@ -26,10 +33,15 @@ const char* ExecutionModeToString(ExecutionMode mode);
 /// Execution configuration for one query.
 struct ExecutionOptions {
   ExecutionMode mode = ExecutionMode::kInProcess;
-  /// Number of scan+PREDICT partitions; >1 enables the engine's automatic
-  /// parallelization (paper §5 observation iii). Only single-base-table
-  /// plans in in-process mode parallelize; others run sequentially.
+  /// Number of morsel-parallel workers; >1 enables the engine's automatic
+  /// parallelization (paper §5 observation iii) for every in-process plan
+  /// shape — scans, joins, aggregates, unions, PREDICT. Plans containing a
+  /// LIMIT, and the out-of-process/container modes, run sequentially.
   std::int64_t parallelism = 1;
+  /// Rows per scan morsel (0 = kChunkSize). Smaller morsels balance skew
+  /// better, larger ones amortize scheduling; tests shrink this to force
+  /// many morsels on small tables.
+  std::int64_t morsel_rows = 0;
   /// NNRT device for in-process sessions (CPU or simulated accelerator).
   nnrt::DeviceSpec device = nnrt::DeviceSpec::Cpu();
   /// Out-of-process worker configuration.
@@ -39,14 +51,90 @@ struct ExecutionOptions {
   std::int64_t container_extra_boot_millis = 600;
 };
 
-/// Accumulated execution statistics (thread-safe accumulation is handled by
-/// the executor).
+/// Per-operator execution counters, summed over all workers that ran a
+/// clone of the operator.
+struct OperatorStats {
+  std::string op;           ///< e.g. "Scan(patients)", "HashJoin", "Predict"
+  std::int64_t rows = 0;    ///< rows emitted
+  std::int64_t chunks = 0;  ///< chunks emitted
+  double wall_micros = 0.0; ///< wall time inside Next (summed across workers)
+};
+
+/// Accumulated execution statistics. Filled from a StatsCollector after the
+/// run completes; plain data, no synchronization required by readers.
 struct ExecutionStats {
   std::int64_t rows_out = 0;
   std::int64_t predict_batches = 0;
   double nn_wall_micros = 0.0;
   /// Device-model time for accelerator sessions (== wall time on CPU).
   double nn_simulated_micros = 0.0;
+  /// Morsel-parallel workers the plan actually executed with (1 when the
+  /// plan ran sequentially).
+  std::int64_t partitions_used = 1;
+  /// Scan morsels dispensed across all pipelines (0 in sequential runs).
+  std::int64_t morsels = 0;
+  /// Per-operator counters in plan-build order.
+  std::vector<OperatorStats> operators;
+};
+
+/// Internal, thread-safe accumulation target shared by all workers of one
+/// execution. Scorer closures and instrumented operators update it through
+/// atomics — no external stats mutex — and the executor folds it into the
+/// caller's ExecutionStats once at the end.
+class StatsCollector {
+ public:
+  void AddPredictBatch(std::int64_t rows, const nnrt::RunStats* nn_stats);
+
+  /// Returns the (stable) stats slot for (`node`, `name`), creating it on
+  /// first use. Called at plan-build time, possibly from several workers.
+  /// Keyed by node AND label: one IR node can surface as two physical
+  /// operators (an aggregate sink and the later scan of its materialized
+  /// result), which must not share counters.
+  relational::OperatorStatsSlot* SlotFor(const void* node,
+                                         const std::string& name);
+
+  /// Renders the atomics into `out` (operators in slot-creation order).
+  void Finalize(ExecutionStats* out) const;
+
+  std::atomic<std::int64_t> partitions_used{1};
+  std::atomic<std::int64_t> morsels{0};
+
+ private:
+  std::atomic<std::int64_t> rows_out_{0};
+  std::atomic<std::int64_t> predict_batches_{0};
+  std::atomic<double> nn_wall_micros_{0.0};
+  std::atomic<double> nn_simulated_micros_{0.0};
+
+  mutable std::mutex mu_;  // guards the slot registry, not the counters
+  std::deque<std::pair<std::string, relational::OperatorStatsSlot>> slots_;
+  std::map<std::pair<const void*, std::string>,
+           relational::OperatorStatsSlot*>
+      by_node_;
+};
+
+/// Shared state of one morsel-parallel execution, built by the PlanExecutor
+/// and read by BuildPhysicalPlan when instantiating each worker's operator
+/// tree. Maps are keyed by IR node identity.
+struct ParallelExecState {
+  std::int64_t num_workers = 1;
+  std::int64_t morsel_rows = relational::kChunkSize;
+  /// Scan sources of the pipeline currently being built: each entry hands
+  /// out morsels to every worker; second = source ordinal for order keys.
+  std::unordered_map<const ir::IrNode*,
+                     std::pair<std::shared_ptr<MorselQueue>, std::int64_t>>
+      scan_queues;
+  /// Joins whose build side already ran as an earlier pipeline; the worker
+  /// trees instantiate probe-only join operators over these.
+  std::unordered_map<const ir::IrNode*,
+                     std::shared_ptr<relational::JoinBuildState>>
+      join_builds;
+  /// Aggregates acting as the sink of the pipeline currently being built.
+  std::unordered_map<const ir::IrNode*,
+                     std::shared_ptr<relational::SharedAggregateState>>
+      agg_sinks;
+  /// Subtrees already executed and materialized (aggregate results); the
+  /// worker trees scan these instead of recursing.
+  std::unordered_map<const ir::IrNode*, const relational::Table*> materialized;
 };
 
 /// Shared state for building physical plans.
@@ -54,20 +142,24 @@ struct RuntimeContext {
   const relational::Catalog* catalog = nullptr;
   nnrt::SessionCache* session_cache = nullptr;
   ExecutionOptions options;
-  /// Optional stats sink; may be updated from multiple partitions.
-  ExecutionStats* stats = nullptr;
-  std::mutex* stats_mu = nullptr;
-
-  /// When set, TableScan nodes over `partition_table` scan only
-  /// [partition_begin, partition_end) — the parallel-execution hook.
-  std::string partition_table;
-  std::int64_t partition_begin = 0;
-  std::int64_t partition_end = -1;
+  /// Optional stats sink; shared across workers, internally synchronized.
+  StatsCollector* stats = nullptr;
+  /// Non-null while building the worker trees of a parallel pipeline.
+  const ParallelExecState* parallel = nullptr;
+  /// Which worker's tree is being built (feeds JoinBuildState::Append).
+  std::int64_t worker_id = 0;
 };
+
+/// Lowers IR aggregate items to the relational operator's specs (shared by
+/// the code generator and the parallel executor's aggregate pipelines).
+std::vector<relational::AggregateSpec> ToAggregateSpecs(
+    const std::vector<ir::AggregateItem>& items);
 
 /// Raven's Runtime Code Generator: lowers an optimized IR plan to a
 /// physical operator tree over the relational engine, binding each model
-/// node to a scorer for the configured execution mode.
+/// node to a scorer for the configured execution mode. With ctx.parallel
+/// set it emits the parallel-aware operator variants (morsel scans,
+/// probe-only joins, aggregate partial sinks) for worker ctx.worker_id.
 Result<relational::OperatorPtr> BuildPhysicalPlan(const ir::IrNode& node,
                                                   const RuntimeContext& ctx);
 

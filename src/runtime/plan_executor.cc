@@ -1,79 +1,260 @@
 #include "runtime/plan_executor.h"
 
-#include <set>
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "relational/operators.h"
 
 namespace raven::runtime {
 namespace {
 
-/// Returns the table name if the plan's only base relation is exactly one
-/// TableScan (the parallelizable shape), empty otherwise.
-std::string SingleScanTable(const ir::IrNode* root) {
-  std::vector<std::string> scans;
-  ir::VisitIr(root, [&](const ir::IrNode* node) {
-    if (node->kind == ir::IrOpKind::kTableScan) {
-      scans.push_back(node->table_name);
-    }
+using ir::IrNode;
+using ir::IrOpKind;
+using relational::OperatorPtr;
+using relational::OrderedChunk;
+using relational::Table;
+
+bool PlanContains(const IrNode* root, IrOpKind kind) {
+  bool found = false;
+  ir::VisitIr(root, [&](const IrNode* node) {
+    if (node->kind == kind) found = true;
   });
-  return scans.size() == 1 ? scans[0] : std::string();
+  return found;
 }
+
+/// Orchestrates one morsel-parallel execution: owns the shared state the
+/// worker trees read, the materialized intermediates, and the pipeline
+/// schedule (aggregates bottom-up, join builds before their probes, root
+/// pipeline last).
+class MorselExecutor {
+ public:
+  MorselExecutor(RuntimeContext base_ctx, std::int64_t workers)
+      : base_ctx_(std::move(base_ctx)) {
+    state_.num_workers = std::max<std::int64_t>(1, workers);
+    state_.morsel_rows = base_ctx_.options.morsel_rows > 0
+                             ? base_ctx_.options.morsel_rows
+                             : relational::kChunkSize;
+    base_ctx_.parallel = &state_;
+  }
+
+  Result<Table> Execute(const IrNode& root) {
+    // Aggregates are pipeline breakers producing one row; run each (deepest
+    // first) as its own parallel pipeline and splice the result in as a
+    // materialized source for everything above it.
+    std::vector<const IrNode*> aggregates;
+    CollectAggregatesPostOrder(&root, &aggregates);
+    for (const IrNode* agg : aggregates) {
+      RAVEN_RETURN_IF_ERROR(MaterializeAggregate(agg));
+    }
+    auto it = state_.materialized.find(&root);
+    if (it != state_.materialized.end()) return *it->second;  // root was an agg
+    return RunPipeline(root, /*agg_sink=*/nullptr);
+  }
+
+  std::int64_t morsels_dispensed() const { return morsels_dispensed_; }
+
+ private:
+  static void CollectAggregatesPostOrder(const IrNode* node,
+                                         std::vector<const IrNode*>* out) {
+    for (const auto& child : node->children) {
+      CollectAggregatesPostOrder(child.get(), out);
+    }
+    if (node->kind == IrOpKind::kAggregate) out->push_back(node);
+  }
+
+  Status MaterializeAggregate(const IrNode* agg) {
+    auto sink = std::make_shared<relational::SharedAggregateState>(
+        ToAggregateSpecs(agg->aggregates));
+    state_.agg_sinks[agg] = sink;
+    auto drained = RunPipeline(*agg, sink.get());
+    state_.agg_sinks.erase(agg);
+    RAVEN_RETURN_IF_ERROR(drained.status());
+    relational::DataChunk final_chunk = sink->FinalChunk();
+    Table result;
+    for (std::size_t c = 0; c < final_chunk.names.size(); ++c) {
+      RAVEN_RETURN_IF_ERROR(result.AddNumericColumn(
+          final_chunk.names[c], std::move(final_chunk.cols[c])));
+    }
+    owned_.push_back(std::move(result));
+    state_.materialized[agg] = &owned_.back();
+    return Status::OK();
+  }
+
+  /// Runs the build side of every join in the pipeline rooted at `node`
+  /// (bottom-up) and registers the finalized shared hash tables, so the
+  /// pipeline's worker trees probe instead of re-building.
+  Status PrepareJoinBuilds(const IrNode* node) {
+    if (state_.materialized.count(node) > 0) return Status::OK();
+    if (node->kind == IrOpKind::kJoin) {
+      RAVEN_RETURN_IF_ERROR(PrepareJoinBuilds(node->children[0].get()));
+      // Nested joins inside the build subtree run as part of its pipeline.
+      RAVEN_RETURN_IF_ERROR(PrepareJoinBuilds(node->children[1].get()));
+      auto build = std::make_shared<relational::JoinBuildState>(
+          node->right_key, state_.num_workers);
+      RAVEN_RETURN_IF_ERROR(
+          RunBuildPipeline(*node->children[1], build.get()));
+      RAVEN_RETURN_IF_ERROR(build->FinalizeBuild());
+      state_.join_builds[node] = std::move(build);
+      return Status::OK();
+    }
+    for (const auto& child : node->children) {
+      RAVEN_RETURN_IF_ERROR(PrepareJoinBuilds(child.get()));
+    }
+    return Status::OK();
+  }
+
+  /// Registers a fresh morsel queue for every scan source of the pipeline
+  /// rooted at `node` (table scans and materialized intermediates), keyed
+  /// by node identity and ordered by visit order so merged output matches
+  /// sequential execution.
+  Status AssignScanQueues(const IrNode* node, std::int64_t* ordinal) {
+    auto add_queue = [&](const IrNode* source,
+                         std::int64_t rows) {
+      auto queue = std::make_shared<MorselQueue>(rows, state_.morsel_rows);
+      morsels_dispensed_ += queue->num_morsels();
+      state_.scan_queues[source] = {std::move(queue), (*ordinal)++};
+    };
+    auto mat = state_.materialized.find(node);
+    if (mat != state_.materialized.end()) {
+      add_queue(node, mat->second->num_rows());
+      return Status::OK();
+    }
+    if (node->kind == IrOpKind::kTableScan) {
+      RAVEN_ASSIGN_OR_RETURN(const Table* table,
+                             base_ctx_.catalog->GetTable(node->table_name));
+      add_queue(node, table->num_rows());
+      return Status::OK();
+    }
+    if (node->kind == IrOpKind::kJoin &&
+        state_.join_builds.count(node) > 0) {
+      // Build side already ran as its own pipeline; only the probe side
+      // feeds this one.
+      return AssignScanQueues(node->children[0].get(), ordinal);
+    }
+    for (const auto& child : node->children) {
+      RAVEN_RETURN_IF_ERROR(AssignScanQueues(child.get(), ordinal));
+    }
+    return Status::OK();
+  }
+
+  /// Spawns the worker trees for the pipeline rooted at `root` and invokes
+  /// `consume(worker, tree)` on each worker's thread to drain it.
+  Status RunWorkers(
+      const IrNode& root,
+      const std::function<Status(std::int64_t, relational::PhysicalOperator*)>&
+          consume) {
+    state_.scan_queues.clear();
+    std::int64_t ordinal = 0;
+    RAVEN_RETURN_IF_ERROR(AssignScanQueues(&root, &ordinal));
+    std::mutex error_mu;
+    Status first_error = Status::OK();
+    TaskGroup group;
+    for (std::int64_t w = 0; w < state_.num_workers; ++w) {
+      group.Spawn([this, w, &root, &consume, &error_mu, &first_error] {
+        RuntimeContext ctx = base_ctx_;
+        ctx.worker_id = w;
+        Status status = Status::OK();
+        auto tree = BuildPhysicalPlan(root, ctx);
+        if (!tree.ok()) {
+          status = tree.status();
+        } else {
+          status = consume(w, tree.value().get());
+        }
+        if (!status.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = status;
+        }
+      });
+    }
+    group.Wait();
+    return first_error;
+  }
+
+  /// Drains `build_root`'s worker trees into the shared join build state.
+  Status RunBuildPipeline(const IrNode& build_root,
+                          relational::JoinBuildState* build) {
+    return RunWorkers(
+        build_root,
+        [build](std::int64_t worker,
+                relational::PhysicalOperator* tree) -> Status {
+          RAVEN_RETURN_IF_ERROR(tree->Open());
+          relational::DataChunk chunk;
+          while (true) {
+            RAVEN_ASSIGN_OR_RETURN(bool more, tree->Next(&chunk));
+            if (!more) return Status::OK();
+            // Moved-from chunk is fine: every operator's Next overwrites
+            // names/cols before use.
+            RAVEN_RETURN_IF_ERROR(build->Append(worker, std::move(chunk)));
+          }
+        });
+  }
+
+  /// Runs the pipeline rooted at `root` to completion. With `agg_sink` set
+  /// the pipeline's worker trees end in partial-aggregate sinks and emit no
+  /// rows; otherwise the workers' chunks are merged in morsel order.
+  Result<Table> RunPipeline(const IrNode& root,
+                            relational::SharedAggregateState* agg_sink) {
+    RAVEN_RETURN_IF_ERROR(PrepareJoinBuilds(&root));
+    std::vector<std::vector<OrderedChunk>> per_worker(
+        static_cast<std::size_t>(state_.num_workers));
+    RAVEN_RETURN_IF_ERROR(RunWorkers(
+        root, [&per_worker](std::int64_t worker,
+                            relational::PhysicalOperator* tree) -> Status {
+          return relational::DrainOrdered(
+              tree, &per_worker[static_cast<std::size_t>(worker)]);
+        }));
+    if (agg_sink != nullptr) return Table();  // result lives in the sink
+    return relational::MergeOrderedChunks(std::move(per_worker));
+  }
+
+  RuntimeContext base_ctx_;
+  ParallelExecState state_;
+  std::deque<Table> owned_;  // materialized aggregate outputs (stable ptrs)
+  std::int64_t morsels_dispensed_ = 0;
+};
 
 }  // namespace
 
-Result<relational::Table> PlanExecutor::Execute(const ir::IrPlan& plan,
-                                                const ExecutionOptions& options,
-                                                ExecutionStats* stats) {
+Result<Table> PlanExecutor::Execute(const ir::IrPlan& plan,
+                                    const ExecutionOptions& options,
+                                    ExecutionStats* stats) {
   if (plan.root() == nullptr) {
     return Status::InvalidArgument("cannot execute an empty plan");
   }
-  std::mutex stats_mu;
+  StatsCollector collector;
   RuntimeContext ctx;
   ctx.catalog = catalog_;
   ctx.session_cache = session_cache_;
   ctx.options = options;
-  ctx.stats = stats;
-  ctx.stats_mu = &stats_mu;
+  ctx.stats = stats != nullptr ? &collector : nullptr;
 
-  const std::string base_table =
-      options.parallelism > 1 && options.mode == ExecutionMode::kInProcess
-          ? SingleScanTable(plan.root())
-          : std::string();
-  if (!base_table.empty()) {
-    RAVEN_ASSIGN_OR_RETURN(const relational::Table* table,
-                           catalog_->GetTable(base_table));
-    // Partitioned execution: each partition gets its own operator tree
-    // scanning a disjoint row range; scorers share cached sessions.
-    Status build_error = Status::OK();
-    std::mutex build_mu;
-    auto factory = [&](std::int64_t begin,
-                       std::int64_t end) -> relational::OperatorPtr {
-      RuntimeContext part_ctx = ctx;
-      part_ctx.partition_table = base_table;
-      part_ctx.partition_begin = begin;
-      part_ctx.partition_end = end;
-      auto op = BuildPhysicalPlan(*plan.root(), part_ctx);
-      if (!op.ok()) {
-        std::lock_guard<std::mutex> lock(build_mu);
-        if (build_error.ok()) build_error = op.status();
-        return nullptr;
-      }
-      return std::move(op).value();
-    };
-    // Wrap the factory so a failed build yields an empty operator that the
-    // partition runner reports as an error.
-    auto result = relational::ExecutePartitionedParallel(
-        *table, options.parallelism,
-        [&](std::int64_t begin, std::int64_t end) -> relational::OperatorPtr {
-          auto op = factory(begin, end);
-          return op;
-        });
-    if (!build_error.ok()) return build_error;
-    return result;
+  // Morsel-parallel execution covers every in-process plan shape except:
+  // LIMIT (an ordered early-out — splitting it across workers changes which
+  // rows survive) and opaque pipelines (each worker tree would boot its own
+  // external process).
+  const bool parallel =
+      options.parallelism > 1 && options.mode == ExecutionMode::kInProcess &&
+      !PlanContains(plan.root(), IrOpKind::kLimit) &&
+      !PlanContains(plan.root(), IrOpKind::kOpaquePipeline);
+
+  Result<Table> result = Status::Internal("not executed");
+  if (parallel) {
+    MorselExecutor executor(ctx, options.parallelism);
+    result = executor.Execute(*plan.root());
+    collector.partitions_used.store(options.parallelism);
+    collector.morsels.store(executor.morsels_dispensed());
+  } else {
+    auto root_op = BuildPhysicalPlan(*plan.root(), ctx);
+    result = root_op.ok() ? relational::MaterializeAll(root_op.value().get())
+                          : Result<Table>(root_op.status());
   }
-
-  RAVEN_ASSIGN_OR_RETURN(auto root_op, BuildPhysicalPlan(*plan.root(), ctx));
-  return relational::MaterializeAll(root_op.get());
+  if (stats != nullptr) collector.Finalize(stats);
+  return result;
 }
 
 }  // namespace raven::runtime

@@ -1,8 +1,6 @@
 #ifndef RAVEN_RUNTIME_PLAN_EXECUTOR_H_
 #define RAVEN_RUNTIME_PLAN_EXECUTOR_H_
 
-#include <mutex>
-
 #include "common/status.h"
 #include "ir/ir.h"
 #include "nnrt/session.h"
@@ -14,10 +12,18 @@ namespace raven::runtime {
 
 /// Executes optimized IR plans against the relational engine.
 ///
-/// In-process plans whose only base relation is a single table scan
-/// automatically parallelize across `options.parallelism` partitions
-/// (paper §5: "SQL Server automatically parallelizes both the scan and
-/// PREDICT operators"); everything else runs sequentially.
+/// With options.parallelism > 1 every in-process plan shape executes
+/// morsel-driven (paper §5: "SQL Server automatically parallelizes both the
+/// scan and PREDICT operators" — here extended to joins, aggregates and
+/// unions): the plan is decomposed into pipelines at its breakers (hash
+/// join builds, aggregates), each pipeline runs as N symmetric worker
+/// operator trees pulling kChunkSize-row morsels from shared atomic
+/// cursors, and the final merge restores sequential row order from morsel
+/// provenance. Join builds populate a lock-striped shared hash table;
+/// aggregates merge thread-local partials; PREDICT workers share cached
+/// NNRT sessions. Plans containing LIMIT (an inherently ordered early-out)
+/// and the out-of-process/container modes run sequentially, as does
+/// anything with an opaque-pipeline UDF (one external worker per query).
 class PlanExecutor {
  public:
   PlanExecutor(const relational::Catalog* catalog,

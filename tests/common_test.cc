@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "common/rng.h"
 #include "common/serialize.h"
@@ -175,6 +176,91 @@ TEST(ThreadPoolTest, NestedSubmissionsComplete) {
   pool.ParallelFor(8, [&](std::size_t) { total += 1; });
   pool.ParallelFor(8, [&](std::size_t) { total += 1; });
   EXPECT_EQ(total.load(), 16);
+}
+
+// Regression test for the nested-use hazard: ParallelFor from inside a pool
+// worker must not enqueue-and-block on the (possibly saturated) pool. Every
+// pool worker is pinned inside an outer task before any of them issues the
+// nested call, so without the inline-execution guard the sub-iterations
+// could only be claimed by already-blocked threads.
+TEST(ThreadPoolTest, NestedParallelForFromWorkersCompletes) {
+  const std::size_t workers = ThreadPool::Global().num_threads();
+  std::atomic<std::size_t> arrived{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<int> inner_total{0};
+  std::atomic<int> nested_on_worker{0};
+  for (std::size_t t = 0; t < workers; ++t) {
+    // Submit (not TaskGroup) so the tasks run on pool workers only.
+    ThreadPool::Global().Submit([&] {
+      // Saturate the pool: wait until every worker holds a task.
+      arrived += 1;
+      while (arrived.load() < workers) std::this_thread::yield();
+      EXPECT_TRUE(ThreadPool::InPoolWorker());
+      nested_on_worker += 1;
+      ThreadPool::Global().ParallelFor(
+          16, [&](std::size_t) { inner_total += 1; });
+      done += 1;
+    });
+  }
+  while (done.load() < workers) std::this_thread::yield();
+  EXPECT_EQ(nested_on_worker.load(), static_cast<int>(workers));
+  EXPECT_EQ(inner_total.load(), static_cast<int>(workers) * 16);
+}
+
+TEST(ThreadPoolTest, ParallelForInsideSubmitCompletes) {
+  std::atomic<int> total{0};
+  TaskGroup group;
+  for (int t = 0; t < 4; ++t) {
+    group.Spawn([&] {
+      ThreadPool::Global().ParallelFor(32, [&](std::size_t) { total += 1; });
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(total.load(), 4 * 32);
+}
+
+TEST(TaskGroupTest, RunsAllTasksAndWaits) {
+  std::atomic<int> total{0};
+  TaskGroup group;
+  for (int t = 0; t < 64; ++t) {
+    group.Spawn([&] { total += 1; });
+  }
+  group.Wait();
+  EXPECT_EQ(total.load(), 64);
+  // Wait on an empty/finished group is a no-op.
+  group.Wait();
+}
+
+TEST(MorselQueueTest, DispensesDisjointExhaustiveMorsels) {
+  MorselQueue queue(10000, 256);
+  EXPECT_EQ(queue.num_morsels(), 40);  // ceil(10000/256)
+  std::vector<std::atomic<int>> claimed(10000);
+  std::atomic<int> morsels{0};
+  ThreadPool::Global().ParallelFor(8, [&](std::size_t) {
+    Morsel m;
+    while (queue.Pop(&m)) {
+      morsels += 1;
+      EXPECT_EQ(m.index, m.begin / 256);
+      for (std::int64_t r = m.begin; r < m.end; ++r) {
+        claimed[static_cast<std::size_t>(r)] += 1;
+      }
+    }
+  });
+  EXPECT_EQ(morsels.load(), 40);
+  for (const auto& c : claimed) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(MorselQueueTest, EmptyAndOddSizes) {
+  MorselQueue empty(0, 128);
+  Morsel m;
+  EXPECT_FALSE(empty.Pop(&m));
+  EXPECT_EQ(empty.num_morsels(), 0);
+
+  MorselQueue tiny(3, 128);
+  ASSERT_TRUE(tiny.Pop(&m));
+  EXPECT_EQ(m.begin, 0);
+  EXPECT_EQ(m.end, 3);
+  EXPECT_FALSE(tiny.Pop(&m));
 }
 
 TEST(StringUtilTest, Split) {

@@ -193,6 +193,52 @@ TEST_F(SqlParserTest, LimitAndIn) {
   EXPECT_EQ(plan.CountKind(ir::IrOpKind::kLimit), 1u);
 }
 
+TEST_F(SqlParserTest, AggregateSelect) {
+  auto plan = std::move(ParseInferenceQuery(
+      "SELECT COUNT(*) AS n, AVG(age) AS mean_age, MAX(bp) "
+      "FROM patient_info AS pi JOIN blood_tests AS bt ON pi.id = bt.id "
+      "WHERE pregnant = 1",
+      catalog_, model_builder_)).value();
+  EXPECT_EQ(plan.CountKind(ir::IrOpKind::kAggregate), 1u);
+  EXPECT_EQ(plan.CountKind(ir::IrOpKind::kFilter), 1u);
+  ASSERT_EQ(plan.root()->kind, ir::IrOpKind::kAggregate);
+  const auto& aggs = plan.root()->aggregates;
+  ASSERT_EQ(aggs.size(), 3u);
+  EXPECT_EQ(aggs[0].func, ir::AggFunc::kCount);
+  EXPECT_EQ(aggs[0].output_name, "n");
+  EXPECT_EQ(aggs[1].func, ir::AggFunc::kAvg);
+  EXPECT_EQ(aggs[1].column, "age");
+  EXPECT_EQ(aggs[2].output_name, "max_bp");  // default alias
+  EXPECT_TRUE(plan.Validate(catalog_).ok());
+  auto schema = *ir::IrPlan::ComputeSchema(*plan.root(), catalog_);
+  EXPECT_EQ(schema, (std::vector<std::string>{"n", "mean_age", "max_bp"}));
+}
+
+TEST_F(SqlParserTest, AggregateWithLimit) {
+  auto plan = std::move(ParseInferenceQuery(
+      "SELECT COUNT(*) AS n FROM patient_info LIMIT 1", catalog_,
+      model_builder_)).value();
+  ASSERT_EQ(plan.root()->kind, ir::IrOpKind::kLimit);
+  EXPECT_EQ(plan.root()->children[0]->kind, ir::IrOpKind::kAggregate);
+}
+
+TEST_F(SqlParserTest, AggregateErrors) {
+  // Mixing aggregates and plain items is rejected (no GROUP BY support).
+  EXPECT_FALSE(ParseInferenceQuery("SELECT COUNT(*), id FROM patient_info",
+                                   catalog_, model_builder_)
+                   .ok());
+  // Star is only valid under COUNT.
+  EXPECT_FALSE(ParseInferenceQuery("SELECT SUM(*) FROM patient_info",
+                                   catalog_, model_builder_)
+                   .ok());
+  // A column named like an aggregate function still parses as a column
+  // when not followed by '('.
+  auto plan = ParseInferenceQuery("SELECT count FROM patient_info",
+                                  catalog_, model_builder_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->CountKind(ir::IrOpKind::kAggregate), 0u);
+}
+
 class AnalyzerTest : public ::testing::Test {
  protected:
   void SetUp() override {

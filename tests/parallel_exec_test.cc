@@ -1,0 +1,383 @@
+// Parallel-vs-sequential equivalence for every plan shape the morsel-driven
+// executor covers: scan, filter+project, hash join, aggregate, union and
+// PREDICT, across parallelism in {2, 8}, plus ExecutionStats aggregation.
+// Pipelines must match byte-for-byte INCLUDING row order: morsel provenance
+// restores scan order, and the join build re-orders its chunks to the
+// sequential build order before hashing, so even duplicate-key matches come
+// out identically. Sorted comparison appears only where a test wants to be
+// robust rather than to pin ordering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "data/flight.h"
+#include "data/hospital.h"
+#include "optimizer/cross_optimizer.h"
+#include "relational/expression.h"
+#include "runtime/plan_executor.h"
+#include "test_util.h"
+
+namespace raven::runtime {
+namespace {
+
+/// Row-major copy of a table, for order-insensitive comparison.
+std::vector<std::vector<double>> SortedRows(const relational::Table& t) {
+  std::vector<std::vector<double>> rows(
+      static_cast<std::size_t>(t.num_rows()));
+  for (auto& row : rows) row.reserve(static_cast<std::size_t>(t.num_columns()));
+  for (const auto& col : t.columns()) {
+    for (std::int64_t r = 0; r < t.num_rows(); ++r) {
+      rows[static_cast<std::size_t>(r)].push_back(
+          col.data[static_cast<std::size_t>(r)]);
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+void ExpectTablesEqualOrdered(const relational::Table& expected,
+                              const relational::Table& actual) {
+  ASSERT_EQ(expected.ColumnNames(), actual.ColumnNames());
+  ASSERT_EQ(expected.num_rows(), actual.num_rows());
+  for (std::int64_t c = 0; c < expected.num_columns(); ++c) {
+    EXPECT_EQ(expected.columns()[static_cast<std::size_t>(c)].data,
+              actual.columns()[static_cast<std::size_t>(c)].data)
+        << "column " << expected.ColumnNames()[static_cast<std::size_t>(c)];
+  }
+}
+
+void ExpectTablesEqualSorted(const relational::Table& expected,
+                             const relational::Table& actual) {
+  ASSERT_EQ(expected.ColumnNames(), actual.ColumnNames());
+  ASSERT_EQ(expected.num_rows(), actual.num_rows());
+  EXPECT_EQ(SortedRows(expected), SortedRows(actual));
+}
+
+class ParallelExecFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hospital_ = data::MakeHospitalDataset(5000, 77);
+    ASSERT_NO_FATAL_FAILURE(
+        test_util::RegisterHospitalTables(&catalog_, hospital_));
+    test_util::InsertHospitalTreeModel(&catalog_, hospital_, 6);
+    flight_ = data::MakeFlightDataset(4000, 5);
+    ASSERT_NO_FATAL_FAILURE(test_util::RegisterFlightTable(&catalog_, flight_));
+    ASSERT_FALSE(HasFailure()) << "fixture setup failed";
+  }
+
+  /// Executes `plan` at the given parallelism (shrinking morsels so even
+  /// these small tables split into many of them).
+  relational::Table Run(const ir::IrPlan& plan, std::int64_t parallelism,
+                        ExecutionStats* stats = nullptr) {
+    PlanExecutor executor(&catalog_, &cache_);
+    ExecutionOptions options;
+    options.parallelism = parallelism;
+    options.morsel_rows = 512;
+    auto result = executor.Execute(plan, options, stats);
+    if (!result.ok()) {
+      ADD_FAILURE() << "execution failed at parallelism " << parallelism
+                    << ": " << result.status().ToString();
+      return relational::Table();
+    }
+    return std::move(result).value();
+  }
+
+  /// Asserts parallelism ∈ {2, 8} matches parallelism 1 for `sql`.
+  void CheckSqlEquivalence(const std::string& sql, bool ordered) {
+    SCOPED_TRACE(sql);
+    auto plan = test_util::AnalyzePlan(catalog_, sql);
+    CheckPlanEquivalence(plan, ordered);
+  }
+
+  void CheckPlanEquivalence(const ir::IrPlan& plan, bool ordered) {
+    relational::Table sequential = Run(plan, 1);
+    for (std::int64_t n : {2, 8}) {
+      SCOPED_TRACE("parallelism=" + std::to_string(n));
+      relational::Table parallel = Run(plan, n);
+      if (ordered) {
+        ExpectTablesEqualOrdered(sequential, parallel);
+      } else {
+        ExpectTablesEqualSorted(sequential, parallel);
+      }
+    }
+  }
+
+  data::HospitalDataset hospital_;
+  data::FlightDataset flight_;
+  relational::Catalog catalog_;
+  nnrt::SessionCache cache_{8};
+};
+
+TEST_F(ParallelExecFixture, PureScan) {
+  // Star select over a base table: the plan is a bare TableScan. Parallel
+  // output must be byte-identical in row order (morsel merge restores it).
+  CheckSqlEquivalence("SELECT * FROM patients", /*ordered=*/true);
+}
+
+TEST_F(ParallelExecFixture, FilterProject) {
+  CheckSqlEquivalence(
+      "SELECT id, bp, bp * 2 + 1 AS bp2 FROM patients "
+      "WHERE pregnant = 1 AND bp > 100",
+      /*ordered=*/true);
+}
+
+TEST_F(ParallelExecFixture, HashJoinTwoTables) {
+  CheckSqlEquivalence(
+      "SELECT id, age, bp FROM patient_info AS pi "
+      "JOIN blood_tests AS bt ON pi.id = bt.id WHERE age > 40",
+      /*ordered=*/true);
+}
+
+TEST_F(ParallelExecFixture, HashJoinDuplicateBuildKeysDeterministic) {
+  // Duplicate build-side keys: the parallel build must reproduce the
+  // sequential build's row order (FinalizeBuild re-orders chunks by morsel
+  // provenance and sorts row-id lists), so matches come out identically.
+  relational::Table probe;
+  std::vector<double> pk, pv;
+  for (int i = 0; i < 3000; ++i) {
+    pk.push_back(i % 7);
+    pv.push_back(i);
+  }
+  ASSERT_TRUE(probe.AddNumericColumn("k", std::move(pk)).ok());
+  ASSERT_TRUE(probe.AddNumericColumn("pv", std::move(pv)).ok());
+  relational::Table build;
+  std::vector<double> bk, bv;
+  for (int i = 0; i < 2000; ++i) {
+    bk.push_back(i % 7);  // ~286 duplicates per key
+    bv.push_back(1000 + i);
+  }
+  ASSERT_TRUE(build.AddNumericColumn("k", std::move(bk)).ok());
+  ASSERT_TRUE(build.AddNumericColumn("bv", std::move(bv)).ok());
+  ASSERT_TRUE(catalog_.RegisterTable("dup_probe", std::move(probe)).ok());
+  ASSERT_TRUE(catalog_.RegisterTable("dup_build", std::move(build)).ok());
+  CheckSqlEquivalence(
+      "SELECT * FROM dup_probe JOIN dup_build ON k = k",
+      /*ordered=*/true);
+}
+
+TEST_F(ParallelExecFixture, HashJoinThreeTablesAtParallelism8) {
+  // Acceptance shape: a multi-join over the hospital catalog, partitioned
+  // at parallelism 8, byte-identical (sorted) vs sequential.
+  auto plan = test_util::AnalyzePlan(
+      catalog_,
+      "SELECT id, age, bp, fetal_hr FROM patient_info AS pi "
+      "JOIN blood_tests AS bt ON pi.id = bt.id "
+      "JOIN prenatal_tests AS pt ON bt.id = pt.id");
+  relational::Table sequential = Run(plan, 1);
+  EXPECT_EQ(sequential.num_rows(), hospital_.patient_info.num_rows());
+  relational::Table parallel = Run(plan, 8);
+  ExpectTablesEqualOrdered(sequential, parallel);
+  ExpectTablesEqualSorted(sequential, parallel);  // the acceptance check
+}
+
+TEST_F(ParallelExecFixture, Aggregate) {
+  CheckSqlEquivalence(
+      "SELECT COUNT(*) AS n, SUM(id) AS sum_id, MIN(bp) AS min_bp, "
+      "MAX(bp) AS max_bp FROM patients WHERE pregnant = 1",
+      /*ordered=*/true);
+}
+
+TEST_F(ParallelExecFixture, AggregateOverJoinFlightAndHospital) {
+  // Aggregate above a join (two pipeline breakers stacked); also exercises
+  // the flight catalog.
+  CheckSqlEquivalence(
+      "SELECT COUNT(*) AS n, MIN(age) AS min_age FROM patient_info AS pi "
+      "JOIN blood_tests AS bt ON pi.id = bt.id WHERE bp > 100",
+      /*ordered=*/true);
+  CheckSqlEquivalence(
+      "SELECT COUNT(*) AS n, SUM(distance) AS total_distance "
+      "FROM flights WHERE delayed = 1",
+      /*ordered=*/true);
+}
+
+TEST_F(ParallelExecFixture, AvgMatchesWithinTolerance) {
+  // AVG sums partials in worker order; with integer-valued columns the sum
+  // is exact, so even the mean must match bit-for-bit.
+  auto plan = test_util::AnalyzePlan(
+      catalog_, "SELECT AVG(age) AS mean_age, COUNT(*) AS n FROM patient_info");
+  relational::Table sequential = Run(plan, 1);
+  relational::Table parallel = Run(plan, 8);
+  ExpectTablesEqualOrdered(sequential, parallel);
+}
+
+TEST_F(ParallelExecFixture, JoinWithUnionBuildSideKeepsArrivalOrder) {
+  // Build side = union of two >kChunkSize scans: both branches reuse
+  // (source 0, morsel 0..) in sequential mode, so the owning join re-tags
+  // chunks with arrival indices — without that, FinalizeBuild's provenance
+  // sort would interleave the branches and reorder duplicate-key matches.
+  auto make_keyed = [&](const std::string& name, double offset) {
+    relational::Table t;
+    std::vector<double> k, v;
+    for (int i = 0; i < 2500; ++i) {
+      k.push_back(i % 50);
+      v.push_back(offset + i);
+    }
+    ASSERT_TRUE(t.AddNumericColumn("k", std::move(k)).ok());
+    ASSERT_TRUE(t.AddNumericColumn("v", std::move(v)).ok());
+    ASSERT_TRUE(catalog_.RegisterTable(name, std::move(t)).ok());
+  };
+  make_keyed("ub_a", 10000);
+  make_keyed("ub_b", 20000);
+  relational::Table probe;
+  std::vector<double> pk, pv;
+  for (int i = 0; i < 100; ++i) {
+    pk.push_back(i % 50);
+    pv.push_back(i);
+  }
+  ASSERT_TRUE(probe.AddNumericColumn("k", std::move(pk)).ok());
+  ASSERT_TRUE(probe.AddNumericColumn("pv", std::move(pv)).ok());
+  ASSERT_TRUE(catalog_.RegisterTable("ub_probe", std::move(probe)).ok());
+
+  std::vector<ir::IrNodePtr> branches;
+  branches.push_back(ir::IrNode::TableScan("ub_a"));
+  branches.push_back(ir::IrNode::TableScan("ub_b"));
+  ir::IrPlan plan(ir::IrNode::Join(ir::IrNode::TableScan("ub_probe"),
+                                   ir::IrNode::UnionAll(std::move(branches)),
+                                   "k", "k"));
+  // Sequential output must list all ub_a matches before ub_b matches per
+  // probe row (arrival order), and parallel must match it exactly.
+  relational::Table sequential = Run(plan, 1);
+  const auto& v = (*sequential.GetColumn("v"))->data;
+  ASSERT_EQ(sequential.num_rows(), 100 * 100);
+  EXPECT_LT(v[0], 20000);                       // first match from ub_a
+  EXPECT_GE(v[99], 20000);                      // later matches from ub_b
+  CheckPlanEquivalence(plan, /*ordered=*/true);
+}
+
+TEST_F(ParallelExecFixture, UnionAll) {
+  // No UNION in the SQL dialect; build the IR directly, as the model-query
+  // splitting rule does.
+  using relational::Col;
+  using relational::Gt;
+  using relational::Lit;
+  auto make_plan = [] {
+    std::vector<ir::IrNodePtr> branches;
+    branches.push_back(ir::IrNode::Filter(ir::IrNode::TableScan("patients"),
+                                          Gt(Col("bp"), Lit(120))));
+    branches.push_back(ir::IrNode::Filter(
+        ir::IrNode::TableScan("patients"),
+        relational::Not(Gt(Col("bp"), Lit(120)))));
+    return ir::IrPlan(ir::IrNode::UnionAll(std::move(branches)));
+  };
+  // Union children drain in child order per worker and each branch keeps
+  // its own morsel ordering, so even ordered equality holds.
+  CheckPlanEquivalence(make_plan(), /*ordered=*/true);
+}
+
+TEST_F(ParallelExecFixture, PredictPipeline) {
+  CheckSqlEquivalence(
+      "SELECT id, p FROM PREDICT(MODEL='los', DATA=patients) WITH(p float) "
+      "WHERE p > 5",
+      /*ordered=*/true);
+}
+
+TEST_F(ParallelExecFixture, PredictOverJoinAtParallelism8) {
+  // The paper's running example: 3-way join feeding PREDICT, fully
+  // partitioned.
+  auto plan =
+      test_util::AnalyzePlan(catalog_, test_util::RunningExampleSql());
+  relational::Table sequential = Run(plan, 1);
+  EXPECT_GT(sequential.num_rows(), 0);
+  relational::Table parallel = Run(plan, 8);
+  ExpectTablesEqualOrdered(sequential, parallel);
+}
+
+TEST_F(ParallelExecFixture, LimitPlansFallBackToSequential) {
+  auto plan = test_util::AnalyzePlan(
+      catalog_, "SELECT id FROM patients WHERE bp > 100 LIMIT 25");
+  ExecutionStats stats;
+  relational::Table out = Run(plan, 8, &stats);
+  EXPECT_EQ(out.num_rows(), 25);
+  EXPECT_EQ(stats.partitions_used, 1);  // LIMIT pins sequential execution
+  ExpectTablesEqualOrdered(Run(plan, 1), out);
+}
+
+TEST_F(ParallelExecFixture, StatsAggregateAcrossWorkers) {
+  auto plan = test_util::AnalyzePlan(
+      catalog_,
+      "SELECT id, p FROM PREDICT(MODEL='los', DATA=patients) WITH(p float)");
+  ExecutionStats stats;
+  relational::Table out = Run(plan, 4, &stats);
+  ASSERT_EQ(out.num_rows(), hospital_.joined.num_rows());
+
+  EXPECT_EQ(stats.partitions_used, 4);
+  // 5000 rows at 512-row morsels -> 10 morsels dispensed for the one scan.
+  EXPECT_EQ(stats.morsels, 10);
+  EXPECT_GT(stats.predict_batches, 0);
+  EXPECT_EQ(stats.rows_out, hospital_.joined.num_rows());
+
+  // Per-operator counters: every operator of the plan reports, and the
+  // worker-summed row counts are consistent with the table sizes.
+  ASSERT_FALSE(stats.operators.empty());
+  auto find_op = [&](const std::string& prefix) -> const OperatorStats* {
+    for (const auto& op : stats.operators) {
+      if (op.op.rfind(prefix, 0) == 0) return &op;
+    }
+    return nullptr;
+  };
+  const OperatorStats* scan = find_op("Scan(");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->rows, hospital_.joined.num_rows());
+  EXPECT_EQ(scan->chunks, 10);  // one chunk per morsel
+  const OperatorStats* predict = find_op("Predict(");
+  ASSERT_NE(predict, nullptr);
+  EXPECT_EQ(predict->rows, hospital_.joined.num_rows());
+  EXPECT_GE(predict->wall_micros, 0.0);
+
+  // The same query sequentially reports the same totals (work is invariant
+  // to the worker count).
+  ExecutionStats seq_stats;
+  Run(plan, 1, &seq_stats);
+  EXPECT_EQ(seq_stats.partitions_used, 1);
+  EXPECT_EQ(seq_stats.rows_out, stats.rows_out);
+}
+
+TEST_F(ParallelExecFixture, AggregateOverNonKeyJoinSurvivesOptimizer) {
+  // Regression: join elimination must not fire below an aggregate. With a
+  // build side matching only half the probe rows, dropping the join (its
+  // columns are unreferenced by COUNT(*)) would return 4 instead of 2.
+  relational::Table a;
+  ASSERT_TRUE(a.AddNumericColumn("id", {1, 2, 3, 4}).ok());
+  relational::Table b;
+  ASSERT_TRUE(b.AddNumericColumn("bid", {1, 2}).ok());
+  ASSERT_TRUE(catalog_.RegisterTable("probe4", std::move(a)).ok());
+  ASSERT_TRUE(catalog_.RegisterTable("build2", std::move(b)).ok());
+
+  auto plan = test_util::AnalyzePlan(
+      catalog_,
+      "SELECT COUNT(*) AS n FROM probe4 JOIN build2 ON id = bid");
+  optimizer::CrossOptimizer optimizer(&catalog_, optimizer::OptimizerOptions());
+  ASSERT_TRUE(optimizer.Optimize(&plan).ok());
+  EXPECT_EQ(plan.CountKind(ir::IrOpKind::kJoin), 1u);  // join survived
+
+  for (std::int64_t n : {1, 8}) {
+    relational::Table out = Run(plan, n);
+    ASSERT_EQ(out.num_rows(), 1);
+    EXPECT_EQ((*out.GetColumn("n"))->data[0], 2.0) << "parallelism " << n;
+  }
+}
+
+TEST_F(ParallelExecFixture, ParallelErrorPropagates) {
+  // A plan whose scorer fails mid-run must surface the error, not hang or
+  // return partial results: model input column removed from the table.
+  auto plan = test_util::AnalyzePlan(
+      catalog_,
+      "SELECT id, p FROM PREDICT(MODEL='los', DATA=patients) WITH(p float)");
+  // Corrupt the plan: point the model at a column that doesn't exist.
+  ir::VisitIr(plan.root(), [](const ir::IrNode* node) {
+    auto* mutable_node = const_cast<ir::IrNode*>(node);
+    if (mutable_node->kind == ir::IrOpKind::kModelPipeline) {
+      mutable_node->model_input_columns.push_back("no_such_column");
+    }
+  });
+  PlanExecutor executor(&catalog_, &cache_);
+  ExecutionOptions options;
+  options.parallelism = 4;
+  auto result = executor.Execute(plan, options);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace raven::runtime

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Runs the paper-figure benchmarks (bench_fig2* + bench_fig3) with
+# --benchmark_format=json and writes one combined JSON document to
+# BENCH_<short-sha>.json at the repo root — the perf-trajectory data point
+# CI uploads as an artifact.
+#
+#   tools/bench.sh            # full figure sweep (slow; minutes)
+#   tools/bench.sh --smoke    # minimal benchtime + large sizes filtered
+#                             # out; wired into `tools/ci.sh all`
+#
+# The output document maps each bench binary name to Google Benchmark's
+# native JSON (context + benchmarks array), so downstream tooling can diff
+# runs across commits:  { "bench_fig3_integration": {...}, ... }
+#
+# Env: BUILD_DIR (default: build), BENCH_OUT (default: BENCH_<sha>.json).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE=1
+elif [[ -n "${1:-}" ]]; then
+  echo "usage: tools/bench.sh [--smoke]" >&2
+  exit 2
+fi
+
+# Make sure the bench binaries exist and are fresh.
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  cmake -B "${BUILD_DIR}" -S .
+fi
+cmake --build "${BUILD_DIR}" --target bench -j "${JOBS}"
+
+BENCH_ARGS=(--benchmark_format=json)
+if [[ "${SMOKE}" == 1 ]]; then
+  # Minimal benchtime, and skip the large row counts (their Iterations(2)
+  # overrides min_time, so filtering is what keeps smoke fast).
+  # Bare-double min_time (the "0.01s" spelling needs benchmark >= 1.8).
+  BENCH_ARGS+=(--benchmark_min_time=0.01
+               "--benchmark_filter=-/(100000|200000|500000)(/|$)")
+fi
+
+shopt -s nullglob
+BINARIES=("${BUILD_DIR}"/bench/bench_fig2* "${BUILD_DIR}"/bench/bench_fig3*)
+if [[ ${#BINARIES[@]} -eq 0 ]]; then
+  echo "bench.sh: no bench_fig2*/bench_fig3* binaries under ${BUILD_DIR}/bench" >&2
+  echo "bench.sh: is Google Benchmark installed?" >&2
+  exit 1
+fi
+
+SHA="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+OUT="${BENCH_OUT:-BENCH_${SHA}.json}"
+
+{
+  echo '{'
+  first=1
+  for bin in "${BINARIES[@]}"; do
+    [[ -x "${bin}" ]] || continue
+    name="$(basename "${bin}")"
+    [[ "${first}" == 1 ]] || echo ','
+    first=0
+    printf '"%s":\n' "${name}"
+    echo "bench.sh: running ${name}" >&2
+    "${bin}" "${BENCH_ARGS[@]}"
+  done
+  echo '}'
+} > "${OUT}"
+
+if [[ ! -s "${OUT}" ]]; then
+  echo "bench.sh: ${OUT} is empty" >&2
+  exit 1
+fi
+echo "bench.sh: wrote ${OUT}"

@@ -1,21 +1,32 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (configure, build, full ctest) plus an
-# optional sanitizer job.
+# CI entry point: tier-1 verify (configure, build, full ctest) plus the
+# sanitizer jobs.
 #
 #   tools/ci.sh            # tier-1: build + all tests (and build the benches)
 #   tools/ci.sh asan       # tier-1 under -fsanitize=address,undefined
-#   tools/ci.sh all        # both jobs back to back
+#   tools/ci.sh tsan       # runtime/integration suites under ThreadSanitizer
+#                          # (the morsel-parallel executor's race gate)
+#   tools/ci.sh all        # every job back to back + a bench smoke run
 #
-# Exits non-zero on the first failure.
+# ccache is picked up automatically when installed (RAVEN_NO_CCACHE=1
+# disables). Exits non-zero on the first failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 MODE="${1:-tier1}"
 
+CMAKE_EXTRA=()
+if [[ -z "${RAVEN_NO_CCACHE:-}" ]] && command -v ccache >/dev/null 2>&1; then
+  CMAKE_EXTRA+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 run_suite() {
   local build_dir="$1"; shift
-  cmake -B "${build_dir}" -S . "$@"
+  # ${arr[@]+...} keeps empty arrays safe under set -u on bash < 4.4.
+  cmake -B "${build_dir}" -S . \
+    ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"} \
+    ${CONFIG_ARGS[@]+"${CONFIG_ARGS[@]}"}
   cmake --build "${build_dir}" -j "${JOBS}"
   # Benches are EXCLUDE_FROM_ALL; build (never run) them so the perf tooling
   # keeps compiling in every CI run. The target exists even without
@@ -24,19 +35,45 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 }
 
+tier1() {
+  CONFIG_ARGS=()
+  run_suite build
+}
+
+asan() {
+  CONFIG_ARGS=(-DRAVEN_SANITIZE=address,undefined)
+  run_suite build-asan
+}
+
+tsan() {
+  # ThreadSanitizer gate for the morsel-driven parallel executor: the whole
+  # suite runs (it is fast), which covers the runtime + integration suites
+  # the parallel operators live under. Races fail the job via
+  # -fno-sanitize-recover.
+  CONFIG_ARGS=(-DRAVEN_SANITIZE=thread)
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" run_suite build-tsan
+}
+
 case "${MODE}" in
   tier1)
-    run_suite build
+    tier1
     ;;
   asan)
-    run_suite build-asan -DRAVEN_SANITIZE=address,undefined
+    asan
+    ;;
+  tsan)
+    tsan
     ;;
   all)
-    run_suite build
-    run_suite build-asan -DRAVEN_SANITIZE=address,undefined
+    tier1
+    asan
+    tsan
+    # Perf trajectory data point: smoke-run the figure benches and leave
+    # BENCH_<sha>.json at the repo root.
+    tools/bench.sh --smoke
     ;;
   *)
-    echo "usage: tools/ci.sh [tier1|asan|all]" >&2
+    echo "usage: tools/ci.sh [tier1|asan|tsan|all]" >&2
     exit 2
     ;;
 esac
