@@ -1,0 +1,81 @@
+// Morsel-parallel hash GROUP BY: dop 1 vs 8 over low- and high-cardinality
+// keys (ISSUE 3). Low cardinality (a handful of groups) stresses the
+// striped-merge contention path — every worker's thread-local table
+// collapses onto the same few global entries; high cardinality (~n/4
+// distinct key tuples) stresses per-worker hash-table build and the
+// sequential final render. The regression signal is the dop-8-vs-dop-1
+// ratio on multi-core runners, per cardinality regime.
+
+#include "bench_util.h"
+#include "raven/raven.h"
+
+namespace raven {
+namespace {
+
+/// Synthetic keyed table: `low_card` picks between an 8-value key and a
+/// ~n/4-value key, plus one numeric value column to aggregate.
+relational::Table MakeKeyedTable(std::int64_t rows, bool low_card) {
+  Rng rng(low_card ? 91 : 92);
+  const std::int64_t cardinality = low_card ? 8 : std::max<std::int64_t>(
+                                                      1, rows / 4);
+  std::vector<double> key(static_cast<std::size_t>(rows));
+  std::vector<double> value(static_cast<std::size_t>(rows));
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<double>(
+        rng.NextUint(static_cast<std::uint64_t>(cardinality)));
+    value[i] = rng.Uniform(0.0, 1000.0);
+  }
+  relational::Table t;
+  bench::MustOk(t.AddNumericColumn("k", std::move(key)), "key column");
+  bench::MustOk(t.AddNumericColumn("v", std::move(value)), "value column");
+  return t;
+}
+
+void RunGroupBy(benchmark::State& state, bool low_card) {
+  const std::int64_t rows = state.range(0);
+  const std::int64_t dop = state.range(1);
+  RavenContext ctx;
+  ctx.execution_options().parallelism = dop;
+  bench::MustOk(ctx.RegisterTable("keyed", MakeKeyedTable(rows, low_card)),
+                "register");
+  const std::string sql =
+      "SELECT k, COUNT(*) AS n, SUM(v) AS s, MIN(v) AS lo, MAX(v) AS hi "
+      "FROM keyed GROUP BY k";
+  ir::IrPlan plan = bench::Must(ctx.Prepare(sql), "prepare");
+  // Warm-up + correctness guard outside the timed loop.
+  auto warm = ctx.ExecutePlan(plan);
+  bench::MustOk(warm.status(), "warm-up execute");
+  for (auto _ : state) {
+    auto result = ctx.ExecutePlan(plan);
+    if (!result.ok()) {
+      state.SkipWithError("execute failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result->num_rows());
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["dop"] = static_cast<double>(dop);
+  state.counters["groups"] = static_cast<double>(warm->num_rows());
+}
+
+void BM_GroupBy_LowCardinality(benchmark::State& state) {
+  RunGroupBy(state, /*low_card=*/true);
+}
+
+void BM_GroupBy_HighCardinality(benchmark::State& state) {
+  RunGroupBy(state, /*low_card=*/false);
+}
+
+// 50000-row points stay in the --smoke set; 500000 is filtered out there
+// (see tools/bench.sh) and anchors the full sweep.
+BENCHMARK(BM_GroupBy_LowCardinality)
+    ->Args({50000, 1})->Args({50000, 8})
+    ->Args({500000, 1})->Args({500000, 8})
+    ->Iterations(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GroupBy_HighCardinality)
+    ->Args({50000, 1})->Args({50000, 8})
+    ->Args({500000, 1})->Args({500000, 8})
+    ->Iterations(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace raven

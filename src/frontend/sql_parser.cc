@@ -22,6 +22,7 @@ struct Token {
   std::string text;   // upper-cased for idents when keyword-checked
   std::string raw;    // original spelling
   double number = 0.0;
+  std::size_t offset = 0;  // byte offset into the query text (diagnostics)
 };
 
 Result<std::vector<Token>> LexSql(const std::string& sql) {
@@ -48,6 +49,7 @@ Result<std::vector<Token>> LexSql(const std::string& sql) {
       tok.kind = TokKind::kIdent;
       tok.raw = sql.substr(i, j - i);
       tok.text = ToUpper(tok.raw);
+      tok.offset = i;
       tokens.push_back(std::move(tok));
       i = j;
       continue;
@@ -63,7 +65,16 @@ Result<std::vector<Token>> LexSql(const std::string& sql) {
       Token tok;
       tok.kind = TokKind::kNumber;
       tok.raw = sql.substr(i, j - i);
-      tok.number = std::stod(tok.raw);
+      try {
+        tok.number = std::stod(tok.raw);
+      } catch (const std::exception&) {
+        // std::stod throws out_of_range past DBL_MAX (e.g. a 310-digit
+        // literal); surface it as a diagnosable parse error instead.
+        return Status::ParseError("numeric literal '" + tok.raw +
+                                  "' out of range at byte offset " +
+                                  std::to_string(i));
+      }
+      tok.offset = i;
       tokens.push_back(std::move(tok));
       i = j;
       continue;
@@ -75,11 +86,15 @@ Result<std::vector<Token>> LexSql(const std::string& sql) {
         value.push_back(sql[j]);
         ++j;
       }
-      if (j >= n) return Status::ParseError("unterminated SQL string");
+      if (j >= n) {
+        return Status::ParseError("unterminated SQL string at byte offset " +
+                                  std::to_string(i));
+      }
       Token tok;
       tok.kind = TokKind::kString;
       tok.raw = value;
       tok.text = value;
+      tok.offset = i;
       tokens.push_back(std::move(tok));
       i = j + 1;
       continue;
@@ -89,7 +104,7 @@ Result<std::vector<Token>> LexSql(const std::string& sql) {
     bool matched = false;
     for (const char* op : kTwoChar) {
       if (i + 1 < n && sql[i] == op[0] && sql[i + 1] == op[1]) {
-        tokens.push_back(Token{TokKind::kOp, op, op, 0.0});
+        tokens.push_back(Token{TokKind::kOp, op, op, 0.0, i});
         i += 2;
         matched = true;
         break;
@@ -98,14 +113,16 @@ Result<std::vector<Token>> LexSql(const std::string& sql) {
     if (matched) continue;
     if (std::string("=<>(),.*+-/").find(c) != std::string::npos) {
       tokens.push_back(
-          Token{TokKind::kOp, std::string(1, c), std::string(1, c), 0.0});
+          Token{TokKind::kOp, std::string(1, c), std::string(1, c), 0.0, i});
       ++i;
       continue;
     }
     return Status::ParseError(std::string("unexpected SQL character '") + c +
-                              "'");
+                              "' at byte offset " + std::to_string(i));
   }
-  tokens.push_back(Token{});
+  Token end;
+  end.offset = n;
+  tokens.push_back(std::move(end));
   return tokens;
 }
 
@@ -135,8 +152,7 @@ class SqlParser {
   }
   Status ExpectKeyword(const char* kw) {
     if (!AcceptKeyword(kw)) {
-      return Status::ParseError("expected " + std::string(kw) + ", got '" +
-                                Peek().raw + "'");
+      return ErrorHere("expected " + std::string(kw));
     }
     return Status::OK();
   }
@@ -152,10 +168,21 @@ class SqlParser {
   }
   Status ExpectOp(const char* op) {
     if (!AcceptOp(op)) {
-      return Status::ParseError("expected '" + std::string(op) + "', got '" +
-                                Peek().raw + "'");
+      return ErrorHere("expected '" + std::string(op) + "'");
     }
     return Status::OK();
+  }
+
+  /// Parse error anchored at the current token: reports what was expected,
+  /// the offending token's spelling, and its byte offset in the query text,
+  /// so generated-query harnesses (and humans) can pinpoint the failure.
+  Status ErrorHere(const std::string& what) const {
+    const Token& tok = Peek();
+    const std::string got = tok.kind == TokKind::kEnd
+                                ? std::string("<end of input>")
+                                : "'" + tok.raw + "'";
+    return Status::ParseError(what + ", got " + got + " at byte offset " +
+                              std::to_string(tok.offset));
   }
 
   /// Parses `ident` or `alias.ident`, returning the unqualified name.
@@ -163,7 +190,9 @@ class SqlParser {
 
   /// True when the upcoming tokens start an aggregate call (FUNC '(').
   bool AtAggregateFunc() const;
-  Result<std::vector<ir::AggregateItem>> ParseAggregateItems();
+  /// Parses one `FUNC(col | *)` call with its default output name (alias
+  /// handling is the caller's).
+  Result<ir::AggregateItem> ParseAggregateCall();
 
   Result<IrNodePtr> ParseSelect();
   Result<IrNodePtr> ParseFromSource();
@@ -189,18 +218,23 @@ class SqlParser {
   std::map<std::string, IrNodePtr> ctes_;
   /// Column context for string-literal resolution inside comparisons.
   std::string pending_column_;
+  /// Non-null while parsing a HAVING predicate: aggregate calls in the
+  /// predicate resolve to (or append hidden) items of this GROUP BY's
+  /// aggregate list and read as their output columns. The group keys are
+  /// carried along so hidden-item names dodge key-name collisions too.
+  std::vector<ir::AggregateItem>* having_agg_items_ = nullptr;
+  const std::vector<std::string>* having_group_keys_ = nullptr;
 };
 
 Result<std::string> SqlParser::ParseColumnName() {
   if (Peek().kind != TokKind::kIdent) {
-    return Status::ParseError("expected column name, got '" + Peek().raw +
-                              "'");
+    return ErrorHere("expected column name");
   }
   std::string name = Advance().raw;
   if (IsOp(".")) {
     ++pos_;
     if (Peek().kind != TokKind::kIdent) {
-      return Status::ParseError("expected column after qualifier");
+      return ErrorHere("expected column after qualifier");
     }
     name = Advance().raw;  // drop the alias qualifier
   }
@@ -226,14 +260,46 @@ Result<double> SqlParser::ResolveStringLiteral(const std::string& column,
 }
 
 Result<ExprPtr> SqlParser::ParseFactor() {
+  if (having_agg_items_ != nullptr && AtAggregateFunc()) {
+    // Aggregate call inside HAVING: reuse the select list's item when one
+    // computes the same thing, otherwise append a hidden item to the GROUP
+    // BY (it exists in the grouped schema but is not projected).
+    RAVEN_ASSIGN_OR_RETURN(ir::AggregateItem item, ParseAggregateCall());
+    for (const auto& existing : *having_agg_items_) {
+      if (existing.func == item.func && existing.column == item.column) {
+        return relational::Col(existing.output_name);
+      }
+    }
+    std::string name = item.output_name;
+    int suffix = 2;
+    auto taken = [&](const std::string& candidate) {
+      for (const auto& existing : *having_agg_items_) {
+        if (existing.output_name == candidate) return true;
+      }
+      if (having_group_keys_ != nullptr) {
+        // Group keys share the grouped output schema: a column literally
+        // named like a default aggregate name (e.g. `count_v`) must not
+        // collide with the hidden item.
+        for (const auto& key : *having_group_keys_) {
+          if (key == candidate) return true;
+        }
+      }
+      return false;
+    };
+    while (taken(name)) {
+      name = item.output_name + "_" + std::to_string(suffix++);
+    }
+    item.output_name = name;
+    having_agg_items_->push_back(item);
+    return relational::Col(item.output_name);
+  }
   if (Peek().kind == TokKind::kNumber) {
     return relational::Lit(Advance().number);
   }
   if (Peek().kind == TokKind::kString) {
     // Bare strings are resolved against the pending comparison column.
     if (pending_column_.empty()) {
-      return Status::ParseError(
-          "string literal outside a column comparison: '" + Peek().raw + "'");
+      return ErrorHere("string literal outside a column comparison");
     }
     RAVEN_ASSIGN_OR_RETURN(double code,
                            ResolveStringLiteral(pending_column_, Peek().raw));
@@ -289,7 +355,7 @@ Result<ExprPtr> SqlParser::ParseComparison() {
         ++pos_;
         values.push_back(code);
       } else {
-        return Status::ParseError("IN list expects literals");
+        return ErrorHere("IN list expects literals");
       }
       if (!AcceptOp(",")) break;
     }
@@ -344,7 +410,7 @@ Result<IrNodePtr> SqlParser::ParseDataRef() {
     return subquery;
   }
   if (Peek().kind != TokKind::kIdent) {
-    return Status::ParseError("expected table or CTE name in DATA=");
+    return ErrorHere("expected table or CTE name in DATA=");
   }
   const std::string name = Advance().raw;
   // Optional "AS alias".
@@ -358,7 +424,7 @@ Result<IrNodePtr> SqlParser::ParseDataRef() {
 
 Result<IrNodePtr> SqlParser::ParseTableRefChain() {
   if (Peek().kind != TokKind::kIdent) {
-    return Status::ParseError("expected table name in FROM");
+    return ErrorHere("expected table name in FROM");
   }
   const std::string first = Advance().raw;
   IrNodePtr left;
@@ -373,7 +439,7 @@ Result<IrNodePtr> SqlParser::ParseTableRefChain() {
   if (AcceptKeyword("AS") && Peek().kind == TokKind::kIdent) ++pos_;
   while (AcceptKeyword("JOIN")) {
     if (Peek().kind != TokKind::kIdent) {
-      return Status::ParseError("expected table after JOIN");
+      return ErrorHere("expected table after JOIN");
     }
     const std::string right_name = Advance().raw;
     if (!catalog_.HasTable(right_name)) {
@@ -403,7 +469,7 @@ Result<IrNodePtr> SqlParser::ParseFromSource() {
       // DECLARE @var support: @name refers to the stored model "name".
       model_name = Advance().raw.substr(1);
     } else {
-      return Status::ParseError("MODEL= expects a string or @variable");
+      return ErrorHere("MODEL= expects a string or @variable");
     }
     RAVEN_RETURN_IF_ERROR(ExpectOp(","));
     RAVEN_RETURN_IF_ERROR(ExpectKeyword("DATA"));
@@ -415,7 +481,7 @@ Result<IrNodePtr> SqlParser::ParseFromSource() {
     if (AcceptKeyword("WITH")) {
       RAVEN_RETURN_IF_ERROR(ExpectOp("("));
       if (Peek().kind != TokKind::kIdent) {
-        return Status::ParseError("WITH(...) expects an output column name");
+        return ErrorHere("WITH(...) expects an output column name");
       }
       output_column = Advance().raw;
       while (Peek().kind == TokKind::kIdent) ++pos_;  // skip type tokens
@@ -443,75 +509,73 @@ bool SqlParser::AtAggregateFunc() const {
   return Peek(1).kind == TokKind::kOp && Peek(1).text == "(";
 }
 
-Result<std::vector<ir::AggregateItem>> SqlParser::ParseAggregateItems() {
-  std::vector<ir::AggregateItem> items;
-  while (true) {
-    if (!AtAggregateFunc()) {
-      return Status::ParseError(
-          "aggregate queries cannot mix plain select items (no GROUP BY "
-          "support); got '" +
-          Peek().raw + "'");
+Result<ir::AggregateItem> SqlParser::ParseAggregateCall() {
+  ir::AggregateItem item;
+  const std::string func = Advance().text;
+  if (func == "COUNT") item.func = ir::AggFunc::kCount;
+  else if (func == "SUM") item.func = ir::AggFunc::kSum;
+  else if (func == "AVG") item.func = ir::AggFunc::kAvg;
+  else if (func == "MIN") item.func = ir::AggFunc::kMin;
+  else item.func = ir::AggFunc::kMax;
+  RAVEN_RETURN_IF_ERROR(ExpectOp("("));
+  if (AcceptOp("*")) {
+    if (item.func != ir::AggFunc::kCount) {
+      return ErrorHere(func + "(*) is not supported");
     }
-    ir::AggregateItem item;
-    const std::string func = Advance().text;
-    if (func == "COUNT") item.func = ir::AggFunc::kCount;
-    else if (func == "SUM") item.func = ir::AggFunc::kSum;
-    else if (func == "AVG") item.func = ir::AggFunc::kAvg;
-    else if (func == "MIN") item.func = ir::AggFunc::kMin;
-    else item.func = ir::AggFunc::kMax;
-    RAVEN_RETURN_IF_ERROR(ExpectOp("("));
-    if (AcceptOp("*")) {
-      if (item.func != ir::AggFunc::kCount) {
-        return Status::ParseError(func + "(*) is not supported");
-      }
-    } else {
-      RAVEN_ASSIGN_OR_RETURN(item.column, ParseColumnName());
-    }
-    RAVEN_RETURN_IF_ERROR(ExpectOp(")"));
-    if (AcceptKeyword("AS")) {
-      if (Peek().kind != TokKind::kIdent) {
-        return Status::ParseError("expected alias after AS");
-      }
-      item.output_name = Advance().raw;
-    } else {
-      item.output_name = ToLower(func);
-      if (!item.column.empty()) item.output_name += "_" + item.column;
-    }
-    items.push_back(std::move(item));
-    if (!AcceptOp(",")) break;
+  } else {
+    RAVEN_ASSIGN_OR_RETURN(item.column, ParseColumnName());
   }
-  return items;
+  RAVEN_RETURN_IF_ERROR(ExpectOp(")"));
+  item.output_name = ToLower(func);
+  if (!item.column.empty()) item.output_name += "_" + item.column;
+  return item;
 }
 
 Result<IrNodePtr> SqlParser::ParseSelect() {
   RAVEN_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
   struct Item {
-    ExprPtr expr;
-    std::string name;
+    ExprPtr expr;           // plain item (null when is_agg)
+    ir::AggregateItem agg;  // aggregate item (when is_agg)
+    bool is_agg = false;
+    std::string name;       // output column name (alias-resolved)
   };
   bool star = false;
   std::vector<Item> items;
-  std::vector<ir::AggregateItem> agg_items;
+  bool any_agg = false;
+  bool any_plain = false;
   if (AcceptOp("*")) {
     star = true;
-  } else if (AtAggregateFunc()) {
-    RAVEN_ASSIGN_OR_RETURN(agg_items, ParseAggregateItems());
   } else {
     while (true) {
-      const std::size_t before = pos_;
-      RAVEN_ASSIGN_OR_RETURN(ExprPtr expr, ParseAdditive());
-      std::string name;
-      if (AcceptKeyword("AS")) {
-        if (Peek().kind != TokKind::kIdent) {
-          return Status::ParseError("expected alias after AS");
+      Item item;
+      if (AtAggregateFunc()) {
+        RAVEN_ASSIGN_OR_RETURN(item.agg, ParseAggregateCall());
+        item.is_agg = true;
+        any_agg = true;
+        if (AcceptKeyword("AS")) {
+          if (Peek().kind != TokKind::kIdent) {
+            return ErrorHere("expected alias after AS");
+          }
+          item.agg.output_name = Advance().raw;
         }
-        name = Advance().raw;
-      } else if (expr->kind() == Expr::Kind::kColumnRef) {
-        name = static_cast<relational::ColumnRefExpr*>(expr.get())->name();
+        item.name = item.agg.output_name;
       } else {
-        name = "expr" + std::to_string(before);
+        const std::size_t before = pos_;
+        any_plain = true;
+        RAVEN_ASSIGN_OR_RETURN(item.expr, ParseAdditive());
+        if (AcceptKeyword("AS")) {
+          if (Peek().kind != TokKind::kIdent) {
+            return ErrorHere("expected alias after AS");
+          }
+          item.name = Advance().raw;
+        } else if (item.expr->kind() == Expr::Kind::kColumnRef) {
+          item.name =
+              static_cast<relational::ColumnRefExpr*>(item.expr.get())->name();
+        } else {
+          item.name = "expr" + std::to_string(before);
+        }
       }
-      items.push_back(Item{std::move(expr), std::move(name)});
+      items.push_back(std::move(item));
       if (!AcceptOp(",")) break;
     }
   }
@@ -521,37 +585,161 @@ Result<IrNodePtr> SqlParser::ParseSelect() {
     RAVEN_ASSIGN_OR_RETURN(ExprPtr predicate, ParseOr());
     source = IrNode::Filter(std::move(source), std::move(predicate));
   }
-  const bool aggregated = !agg_items.empty();
-  if (aggregated) {
+
+  std::vector<std::string> group_keys;
+  if (AcceptKeyword("GROUP")) {
+    RAVEN_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    while (true) {
+      RAVEN_ASSIGN_OR_RETURN(std::string key, ParseColumnName());
+      group_keys.push_back(std::move(key));
+      if (!AcceptOp(",")) break;
+    }
+  }
+
+  const bool grouped = !group_keys.empty();
+  const bool aggregated = grouped || any_agg;
+  /// Output column names of the select list, for ORDER BY ordinals (empty
+  /// when SELECT *).
+  std::vector<std::string> output_names;
+  /// Wraps `node` in the select-list projection (select order, aliases
+  /// applied; aggregate items read their grouped output column). Consumes
+  /// `items`.
+  auto project_items = [&items](IrNodePtr node) {
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+    for (auto& item : items) {
+      exprs.push_back(item.is_agg ? relational::Col(item.agg.output_name)
+                                  : std::move(item.expr));
+      names.push_back(item.name);
+    }
+    return IrNode::Project(std::move(node), std::move(exprs),
+                           std::move(names));
+  };
+
+  if (grouped) {
+    if (star) {
+      return ErrorHere("SELECT * cannot be combined with GROUP BY");
+    }
+    // Plain select items must be bare references to group keys (grouped
+    // output is one row per key tuple; anything else is ambiguous).
+    std::vector<ir::AggregateItem> agg_items;
+    for (const auto& item : items) {
+      if (item.is_agg) {
+        agg_items.push_back(item.agg);
+        continue;
+      }
+      if (item.expr->kind() != Expr::Kind::kColumnRef) {
+        return ErrorHere("non-aggregate select item '" + item.name +
+                         "' must be a bare GROUP BY key column");
+      }
+      const std::string& column =
+          static_cast<relational::ColumnRefExpr*>(item.expr.get())->name();
+      bool is_key = false;
+      for (const auto& key : group_keys) {
+        if (key == column) {
+          is_key = true;
+          break;
+        }
+      }
+      if (!is_key) {
+        return ErrorHere("select item '" + column +
+                         "' is neither aggregated nor a GROUP BY key");
+      }
+    }
+    if (AcceptKeyword("HAVING")) {
+      having_agg_items_ = &agg_items;
+      having_group_keys_ = &group_keys;
+      auto predicate = ParseOr();
+      having_agg_items_ = nullptr;
+      having_group_keys_ = nullptr;
+      RAVEN_RETURN_IF_ERROR(predicate.status());
+      source = IrNode::GroupBy(std::move(source), group_keys,
+                               std::move(agg_items));
+      source = IrNode::Filter(std::move(source), std::move(predicate).value());
+    } else {
+      source = IrNode::GroupBy(std::move(source), group_keys,
+                               std::move(agg_items));
+    }
+    // Project the select list (hidden HAVING aggregates dropped) on top of
+    // the grouped schema.
+    for (const auto& item : items) output_names.push_back(item.name);
+    source = project_items(std::move(source));
+  } else if (any_agg) {
+    if (any_plain) {
+      return ErrorHere(
+          "mixing aggregates and plain select items requires GROUP BY");
+    }
+    std::vector<ir::AggregateItem> agg_items;
+    for (const auto& item : items) agg_items.push_back(item.agg);
+    for (const auto& item : agg_items) output_names.push_back(item.output_name);
     // Aggregation folds the whole (filtered) input into one row; LIMIT, if
     // present, applies on top of that row.
     source = IrNode::Aggregate(std::move(source), std::move(agg_items));
+  } else {
+    for (const auto& item : items) output_names.push_back(item.name);
+  }
+  if (IsKeyword("HAVING")) {
+    return ErrorHere("HAVING requires GROUP BY");
+  }
+
+  std::vector<ir::SortKey> sort_keys;
+  if (AcceptKeyword("ORDER")) {
+    RAVEN_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    while (true) {
+      ir::SortKey key;
+      if (Peek().kind == TokKind::kNumber) {
+        // 1-based ordinal into the select list (ORDER BY 2 DESC).
+        if (star) {
+          return ErrorHere(
+              "ORDER BY ordinal requires an explicit select list");
+        }
+        const double number = Peek().number;
+        const auto ordinal = static_cast<std::int64_t>(number);
+        if (static_cast<double>(ordinal) != number || ordinal < 1 ||
+            ordinal > static_cast<std::int64_t>(output_names.size())) {
+          return ErrorHere("ORDER BY ordinal out of range (1.." +
+                           std::to_string(output_names.size()) + ")");
+        }
+        ++pos_;
+        key.column = output_names[static_cast<std::size_t>(ordinal - 1)];
+      } else {
+        RAVEN_ASSIGN_OR_RETURN(key.column, ParseColumnName());
+      }
+      if (AcceptKeyword("DESC")) {
+        key.descending = true;
+      } else {
+        AcceptKeyword("ASC");
+      }
+      sort_keys.push_back(std::move(key));
+      if (!AcceptOp(",")) break;
+    }
+  }
+  const bool sorted = !sort_keys.empty();
+
+  // Non-sorted plain selects keep the legacy LIMIT-inside-projection shape
+  // (the projection is 1:1, so the result is identical); with ORDER BY the
+  // projection must be applied first and LIMIT last.
+  if (!aggregated && !star && sorted) {
+    source = project_items(std::move(source));
+  }
+  if (sorted) {
+    source = IrNode::OrderBy(std::move(source), std::move(sort_keys));
   }
   if (AcceptKeyword("LIMIT")) {
     if (Peek().kind != TokKind::kNumber) {
-      return Status::ParseError("LIMIT expects a number");
+      return ErrorHere("LIMIT expects a number");
     }
     source = IrNode::Limit(std::move(source),
                            static_cast<std::int64_t>(Advance().number));
   }
-  if (aggregated) return source;  // output columns come from the aggregates
-  if (!star) {
-    std::vector<ExprPtr> exprs;
-    std::vector<std::string> names;
-    for (auto& item : items) {
-      exprs.push_back(std::move(item.expr));
-      names.push_back(std::move(item.name));
-    }
-    source = IrNode::Project(std::move(source), std::move(exprs),
-                             std::move(names));
-  }
-  return source;
+  if (aggregated || star || sorted) return source;
+  return project_items(std::move(source));
 }
 
 Result<ir::IrPlan> SqlParser::ParseStatement() {
   while (AcceptKeyword("WITH") || AcceptOp(",")) {
     if (Peek().kind != TokKind::kIdent) {
-      return Status::ParseError("expected CTE name after WITH");
+      return ErrorHere("expected CTE name after WITH");
     }
     const std::string name = Advance().raw;
     RAVEN_RETURN_IF_ERROR(ExpectKeyword("AS"));
@@ -563,8 +751,7 @@ Result<ir::IrPlan> SqlParser::ParseStatement() {
   }
   RAVEN_ASSIGN_OR_RETURN(IrNodePtr root, ParseSelect());
   if (Peek().kind != TokKind::kEnd) {
-    return Status::ParseError("trailing tokens after query: '" + Peek().raw +
-                              "'");
+    return ErrorHere("trailing tokens after query");
   }
   return ir::IrPlan(std::move(root));
 }

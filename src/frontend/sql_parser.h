@@ -24,17 +24,32 @@ using ModelNodeBuilder = std::function<Result<ir::IrNodePtr>(
 /// Supported grammar (a faithful subset of the paper's SQL Server dialect):
 ///
 ///   [WITH cte AS ( select )] select
-///   select  := SELECT items FROM source [WHERE pred] [LIMIT n]
-///   items   := * | expr [AS name] {, expr [AS name]}
-///            | agg [AS name] {, agg [AS name]}      -- no GROUP BY;
-///                                                   -- LIMIT applies above
-///                                                   -- the aggregate row
+///   select  := SELECT items FROM source [WHERE pred]
+///              [GROUP BY col {, col} [HAVING pred]]
+///              [ORDER BY key [ASC|DESC] {, key [ASC|DESC]}] [LIMIT n]
+///   items   := * | item {, item}
+///   item    := expr [AS name] | agg [AS name]
 ///   agg     := COUNT(* | col) | SUM(col) | AVG(col) | MIN(col) | MAX(col)
+///   key     := col | ordinal            -- 1-based select-list position
 ///   source  := PREDICT(MODEL='name', DATA=ref) [WITH(col [type])] [AS a]
 ///            | table [AS a] {JOIN table [AS a] ON col = col}
 ///            | ( select ) [AS a]
 ///   ref     := cte-or-table name | ( select )
 ///   pred    := OR/AND/NOT tree over comparisons, IN lists, parentheses
+///
+/// Semantics and restrictions:
+///  - Without GROUP BY, aggregates fold the whole input into one row and
+///    cannot mix with plain select items; with GROUP BY, plain items must
+///    be bare group-key columns (no aggregates at all is SELECT DISTINCT
+///    over the keys). Grouped output is deterministic: one row per key
+///    tuple in ascending key order (ORDER BY can re-sort it).
+///  - HAVING requires GROUP BY; it may reference group keys, select-list
+///    aggregate aliases, or fresh aggregate calls (which are computed but
+///    not projected).
+///  - ORDER BY sorts the final select-list schema (it can use aliases);
+///    ordinals index that list, so `ORDER BY 2 DESC` sorts by the second
+///    output column. LIMIT applies after ORDER BY.
+///  - Parse errors report the offending token and its byte offset.
 ///
 /// Alias qualifiers (`d.bp`) are accepted and stripped — Raven's flattened
 /// schemas use globally unique column names. String literals compared to

@@ -20,6 +20,62 @@ const char* OpCategoryToString(OpCategory category) {
   return "?";
 }
 
+void WriteAggregateItems(const std::vector<AggregateItem>& items,
+                         BinaryWriter* writer) {
+  writer->WriteU64(items.size());
+  for (const auto& item : items) {
+    writer->WriteU8(static_cast<std::uint8_t>(item.func));
+    writer->WriteString(item.column);
+    writer->WriteString(item.output_name);
+  }
+}
+
+Result<std::vector<AggregateItem>> ReadAggregateItems(BinaryReader* reader) {
+  RAVEN_ASSIGN_OR_RETURN(std::uint64_t n, reader->ReadU64());
+  if (n > reader->remaining()) {
+    return Status::ParseError("implausible aggregate-item count");
+  }
+  std::vector<AggregateItem> items;
+  items.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    AggregateItem item;
+    RAVEN_ASSIGN_OR_RETURN(std::uint8_t func, reader->ReadU8());
+    if (func > static_cast<std::uint8_t>(AggFunc::kMax)) {
+      return Status::ParseError("unknown aggregate function code " +
+                                std::to_string(func));
+    }
+    item.func = static_cast<AggFunc>(func);
+    RAVEN_ASSIGN_OR_RETURN(item.column, reader->ReadString());
+    RAVEN_ASSIGN_OR_RETURN(item.output_name, reader->ReadString());
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+void WriteSortKeys(const std::vector<SortKey>& keys, BinaryWriter* writer) {
+  writer->WriteU64(keys.size());
+  for (const auto& key : keys) {
+    writer->WriteString(key.column);
+    writer->WriteBool(key.descending);
+  }
+}
+
+Result<std::vector<SortKey>> ReadSortKeys(BinaryReader* reader) {
+  RAVEN_ASSIGN_OR_RETURN(std::uint64_t n, reader->ReadU64());
+  if (n > reader->remaining()) {
+    return Status::ParseError("implausible sort-key count");
+  }
+  std::vector<SortKey> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SortKey key;
+    RAVEN_ASSIGN_OR_RETURN(key.column, reader->ReadString());
+    RAVEN_ASSIGN_OR_RETURN(key.descending, reader->ReadBool());
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
 const char* AggFuncToString(AggFunc func) {
   switch (func) {
     case AggFunc::kCount:
@@ -52,6 +108,10 @@ const char* IrOpKindToString(IrOpKind kind) {
       return "Limit";
     case IrOpKind::kAggregate:
       return "Aggregate";
+    case IrOpKind::kGroupBy:
+      return "GroupBy";
+    case IrOpKind::kOrderBy:
+      return "OrderBy";
     case IrOpKind::kModelPipeline:
       return "ModelPipeline";
     case IrOpKind::kClusteredPredict:
@@ -73,6 +133,8 @@ OpCategory CategoryOf(IrOpKind kind) {
     case IrOpKind::kUnionAll:
     case IrOpKind::kLimit:
     case IrOpKind::kAggregate:
+    case IrOpKind::kGroupBy:
+    case IrOpKind::kOrderBy:
       return OpCategory::kRelational;
     case IrOpKind::kModelPipeline:
     case IrOpKind::kClusteredPredict:
@@ -96,6 +158,8 @@ IrNodePtr IrNode::Clone() const {
   node->right_key = right_key;
   node->limit = limit;
   node->aggregates = aggregates;
+  node->group_keys = group_keys;
+  node->sort_keys = sort_keys;
   node->model_name = model_name;
   node->output_column = output_column;
   // Model payloads are shared; rules copy-on-write when specializing.
@@ -173,6 +237,22 @@ IrNodePtr IrNode::Aggregate(IrNodePtr child,
   return node;
 }
 
+IrNodePtr IrNode::GroupBy(IrNodePtr child, std::vector<std::string> group_keys,
+                          std::vector<AggregateItem> aggregates) {
+  auto node = std::make_unique<IrNode>(IrOpKind::kGroupBy);
+  node->children.push_back(std::move(child));
+  node->group_keys = std::move(group_keys);
+  node->aggregates = std::move(aggregates);
+  return node;
+}
+
+IrNodePtr IrNode::OrderBy(IrNodePtr child, std::vector<SortKey> sort_keys) {
+  auto node = std::make_unique<IrNode>(IrOpKind::kOrderBy);
+  node->children.push_back(std::move(child));
+  node->sort_keys = std::move(sort_keys);
+  return node;
+}
+
 IrNodePtr IrNode::ModelPipelineNode(IrNodePtr child, std::string model_name,
                                     std::shared_ptr<ml::ModelPipeline> model,
                                     std::vector<std::string> input_columns,
@@ -240,6 +320,7 @@ Result<std::vector<std::string>> IrPlan::ComputeSchema(
     }
     case IrOpKind::kFilter:
     case IrOpKind::kLimit:
+    case IrOpKind::kOrderBy:
       return ComputeSchema(*node.children[0], catalog);
     case IrOpKind::kProject:
       return node.proj_names;
@@ -259,6 +340,14 @@ Result<std::vector<std::string>> IrPlan::ComputeSchema(
     case IrOpKind::kAggregate: {
       std::vector<std::string> names;
       names.reserve(node.aggregates.size());
+      for (const auto& agg : node.aggregates) {
+        names.push_back(agg.output_name);
+      }
+      return names;
+    }
+    case IrOpKind::kGroupBy: {
+      std::vector<std::string> names = node.group_keys;
+      names.reserve(names.size() + node.aggregates.size());
       for (const auto& agg : node.aggregates) {
         names.push_back(agg.output_name);
       }
@@ -318,8 +407,25 @@ Status ValidateNode(const IrNode& node, const relational::Catalog& catalog) {
   if (node.kind == IrOpKind::kFilter && node.predicate == nullptr) {
     return Status::InvalidArgument("Filter without predicate");
   }
-  if (node.kind == IrOpKind::kAggregate) {
-    if (node.aggregates.empty()) {
+  if (node.kind == IrOpKind::kOrderBy) {
+    if (node.sort_keys.empty()) {
+      return Status::InvalidArgument("OrderBy without sort keys");
+    }
+    RAVEN_ASSIGN_OR_RETURN(auto child_schema,
+                           IrPlan::ComputeSchema(*node.children[0], catalog));
+    const std::set<std::string> available(child_schema.begin(),
+                                          child_schema.end());
+    for (const auto& key : node.sort_keys) {
+      if (available.find(key.column) == available.end()) {
+        return Status::InvalidArgument("sort column '" + key.column +
+                                       "' not produced by child");
+      }
+    }
+  }
+  if (node.kind == IrOpKind::kAggregate || node.kind == IrOpKind::kGroupBy) {
+    // A scalar aggregate needs at least one item; a GroupBy without
+    // aggregates is legal — it is SELECT DISTINCT over the keys.
+    if (node.kind == IrOpKind::kAggregate && node.aggregates.empty()) {
       return Status::InvalidArgument("Aggregate without aggregate items");
     }
     RAVEN_ASSIGN_OR_RETURN(auto child_schema,
@@ -327,6 +433,20 @@ Status ValidateNode(const IrNode& node, const relational::Catalog& catalog) {
     const std::set<std::string> available(child_schema.begin(),
                                           child_schema.end());
     std::set<std::string> outputs;
+    if (node.kind == IrOpKind::kGroupBy) {
+      if (node.group_keys.empty()) {
+        return Status::InvalidArgument("GroupBy without group keys");
+      }
+      for (const auto& key : node.group_keys) {
+        if (available.find(key) == available.end()) {
+          return Status::InvalidArgument("group key '" + key +
+                                         "' not produced by child");
+        }
+        if (!outputs.insert(key).second) {
+          return Status::InvalidArgument("duplicate group key '" + key + "'");
+        }
+      }
+    }
     for (const auto& agg : node.aggregates) {
       if (!outputs.insert(agg.output_name).second) {
         return Status::InvalidArgument("duplicate aggregate output name '" +
@@ -396,6 +516,32 @@ void PrintNode(const IrNode& node, int indent, std::ostringstream* os) {
         const auto& agg = node.aggregates[i];
         *os << agg.output_name << " := " << AggFuncToString(agg.func) << "("
             << (agg.column.empty() ? "*" : agg.column) << ")";
+      }
+      *os << "]";
+      break;
+    }
+    case IrOpKind::kGroupBy: {
+      *os << " keys=[";
+      for (std::size_t i = 0; i < node.group_keys.size(); ++i) {
+        if (i > 0) *os << ", ";
+        *os << node.group_keys[i];
+      }
+      *os << "] [";
+      for (std::size_t i = 0; i < node.aggregates.size(); ++i) {
+        if (i > 0) *os << ", ";
+        const auto& agg = node.aggregates[i];
+        *os << agg.output_name << " := " << AggFuncToString(agg.func) << "("
+            << (agg.column.empty() ? "*" : agg.column) << ")";
+      }
+      *os << "]";
+      break;
+    }
+    case IrOpKind::kOrderBy: {
+      *os << " [";
+      for (std::size_t i = 0; i < node.sort_keys.size(); ++i) {
+        if (i > 0) *os << ", ";
+        *os << node.sort_keys[i].column
+            << (node.sort_keys[i].descending ? " DESC" : " ASC");
       }
       *os << "]";
       break;

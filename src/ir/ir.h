@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.h"
 #include "common/status.h"
 #include "ir/clustered_model.h"
 #include "ml/pipeline.h"
@@ -34,6 +35,8 @@ enum class IrOpKind {
   kUnionAll,
   kLimit,
   kAggregate,
+  kGroupBy,
+  kOrderBy,
   // Classical ML + featurizers (MLD). A pipeline node scores a trained
   // ModelPipeline (featurizer branches + predictor) over named columns.
   kModelPipeline,
@@ -47,18 +50,44 @@ enum class IrOpKind {
 const char* IrOpKindToString(IrOpKind kind);
 OpCategory CategoryOf(IrOpKind kind);
 
-/// Scalar aggregate functions (no GROUP BY: one output row per query, the
-/// shape inference dashboards issue — COUNT of flagged patients, AVG score).
+/// Aggregate functions. kAggregate folds the whole input into one row;
+/// kGroupBy emits one row per distinct group-key tuple.
 enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
 
 const char* AggFuncToString(AggFunc func);
 
-/// One item of a kAggregate node's output row.
+/// One item of a kAggregate / kGroupBy node's output.
 struct AggregateItem {
   AggFunc func = AggFunc::kCount;
   std::string column;  // empty for COUNT(*)
   std::string output_name;
+
+  bool operator==(const AggregateItem& other) const {
+    return func == other.func && column == other.column &&
+           output_name == other.output_name;
+  }
 };
+
+/// One key of a kOrderBy node: column name plus direction.
+struct SortKey {
+  std::string column;
+  bool descending = false;
+
+  bool operator==(const SortKey& other) const {
+    return column == other.column && descending == other.descending;
+  }
+};
+
+// Binary serialization of the plan payload structs, in the same
+// BinaryWriter format as models and the worker wire protocol. Nothing on
+// the wire encodes these yet (the worker protocol ships opaque model
+// payloads only); this pins the format — with round-trip and corrupt-buffer
+// tests — for the planned plan-shipping path.
+void WriteAggregateItems(const std::vector<AggregateItem>& items,
+                         BinaryWriter* writer);
+Result<std::vector<AggregateItem>> ReadAggregateItems(BinaryReader* reader);
+void WriteSortKeys(const std::vector<SortKey>& keys, BinaryWriter* writer);
+Result<std::vector<SortKey>> ReadSortKeys(BinaryReader* reader);
 
 struct IrNode;
 using IrNodePtr = std::unique_ptr<IrNode>;
@@ -77,7 +106,9 @@ struct IrNode {
   std::vector<std::string> proj_names;          // kProject
   std::string left_key, right_key;              // kJoin
   std::int64_t limit = 0;                       // kLimit
-  std::vector<AggregateItem> aggregates;        // kAggregate
+  std::vector<AggregateItem> aggregates;        // kAggregate, kGroupBy
+  std::vector<std::string> group_keys;          // kGroupBy
+  std::vector<SortKey> sort_keys;               // kOrderBy
 
   // --- ML payloads ---------------------------------------------------------
   /// Stored-model name this node came from (for cache keys / EXPLAIN).
@@ -116,6 +147,15 @@ struct IrNode {
   static IrNodePtr Limit(IrNodePtr child, std::int64_t limit);
   static IrNodePtr Aggregate(IrNodePtr child,
                              std::vector<AggregateItem> aggregates);
+  /// Grouped aggregation: one output row per distinct `group_keys` tuple,
+  /// schema = group keys then aggregate outputs. Rows are emitted in
+  /// ascending key order (deterministic across degrees of parallelism).
+  /// `aggregates` may be empty: that is SELECT DISTINCT over the keys.
+  static IrNodePtr GroupBy(IrNodePtr child, std::vector<std::string> group_keys,
+                           std::vector<AggregateItem> aggregates);
+  /// Total sort of the child's rows (stable, so equal-key rows keep the
+  /// child's sequential order); schema passes through.
+  static IrNodePtr OrderBy(IrNodePtr child, std::vector<SortKey> sort_keys);
   static IrNodePtr ModelPipelineNode(IrNodePtr child, std::string model_name,
                                      std::shared_ptr<ml::ModelPipeline> model,
                                      std::vector<std::string> input_columns,

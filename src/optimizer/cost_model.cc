@@ -2,11 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <map>
+#include <vector>
 
 namespace raven::optimizer {
 namespace {
 
 constexpr double kFilterSelectivity = 0.4;
+
+/// Fraction of input rows assumed to form distinct group-key tuples when no
+/// distinct-count statistics are available.
+constexpr double kGroupCardinality = 0.1;
 
 double PredictorRowCost(const ml::Predictor& predictor) {
   if (const auto* tree = std::get_if<ml::DecisionTree>(&predictor)) {
@@ -79,24 +86,34 @@ namespace {
 /// morsel scheduling, result collection), in abstract work units.
 constexpr double kWorkerStartupCost = 256.0;
 
+/// State threaded through one costing walk: the catalog plus an optional
+/// per-node sink, so EstimateOperatorCosts gets every subtree's cost from
+/// the same single bottom-up pass that computes the plan total.
+struct CostContext {
+  const relational::Catalog& catalog;
+  std::map<const ir::IrNode*, PlanCost>* sink = nullptr;
+};
+
+Result<PlanCost> EstimateCostImpl(const ir::IrNode& node,
+                                  const CostContext& ctx, double dop);
+
 /// Recursive body: `dop` is the degree of parallelism the subtree executes
 /// at. Self-costs of morsel-parallelizable operators divide by dop;
 /// cardinalities never do.
-Result<PlanCost> EstimateCostImpl(const ir::IrNode& node,
-                                  const relational::Catalog& catalog,
-                                  double dop) {
+Result<PlanCost> EstimateCostNode(const ir::IrNode& node,
+                                  const CostContext& ctx, double dop) {
   using ir::IrOpKind;
   switch (node.kind) {
     case IrOpKind::kTableScan: {
       RAVEN_ASSIGN_OR_RETURN(const relational::Table* table,
-                             catalog.GetTable(node.table_name));
+                             ctx.catalog.GetTable(node.table_name));
       const double rows = static_cast<double>(table->num_rows());
       const double cols = static_cast<double>(table->num_columns());
       return PlanCost{rows, rows * cols / dop};
     }
     case IrOpKind::kFilter: {
       RAVEN_ASSIGN_OR_RETURN(PlanCost child,
-                             EstimateCostImpl(*node.children[0], catalog,
+                             EstimateCostImpl(*node.children[0], ctx,
                                               dop));
       const std::size_t conjuncts =
           relational::ExtractConjuncts(*node.predicate).size();
@@ -109,7 +126,7 @@ Result<PlanCost> EstimateCostImpl(const ir::IrNode& node,
     }
     case IrOpKind::kProject: {
       RAVEN_ASSIGN_OR_RETURN(PlanCost child,
-                             EstimateCostImpl(*node.children[0], catalog,
+                             EstimateCostImpl(*node.children[0], ctx,
                                               dop));
       return PlanCost{child.output_rows,
                       child.total_cost +
@@ -119,10 +136,10 @@ Result<PlanCost> EstimateCostImpl(const ir::IrNode& node,
     }
     case IrOpKind::kJoin: {
       RAVEN_ASSIGN_OR_RETURN(PlanCost left,
-                             EstimateCostImpl(*node.children[0], catalog,
+                             EstimateCostImpl(*node.children[0], ctx,
                                               dop));
       RAVEN_ASSIGN_OR_RETURN(PlanCost right,
-                             EstimateCostImpl(*node.children[1], catalog,
+                             EstimateCostImpl(*node.children[1], ctx,
                                               dop));
       // Build insertion and probe split across workers; the build-buffer
       // concatenation at the pipeline barrier stays sequential.
@@ -136,7 +153,7 @@ Result<PlanCost> EstimateCostImpl(const ir::IrNode& node,
       PlanCost total{0.0, 0.0};
       for (const auto& child : node.children) {
         RAVEN_ASSIGN_OR_RETURN(PlanCost c,
-                               EstimateCostImpl(*child, catalog, dop));
+                               EstimateCostImpl(*child, ctx, dop));
         total.output_rows += c.output_rows;
         total.total_cost += c.total_cost;
       }
@@ -146,7 +163,7 @@ Result<PlanCost> EstimateCostImpl(const ir::IrNode& node,
       // LIMIT pins sequential execution (ordered early-out), so everything
       // below it is costed at dop 1 regardless of the configured target.
       RAVEN_ASSIGN_OR_RETURN(PlanCost child,
-                             EstimateCostImpl(*node.children[0], catalog,
+                             EstimateCostImpl(*node.children[0], ctx,
                                               1.0));
       return PlanCost{
           std::min(child.output_rows, static_cast<double>(node.limit)),
@@ -154,16 +171,46 @@ Result<PlanCost> EstimateCostImpl(const ir::IrNode& node,
     }
     case IrOpKind::kAggregate: {
       RAVEN_ASSIGN_OR_RETURN(PlanCost child,
-                             EstimateCostImpl(*node.children[0], catalog,
+                             EstimateCostImpl(*node.children[0], ctx,
                                               dop));
       const double aggs = static_cast<double>(node.aggregates.size());
       // Accumulation parallelizes; the final partial merge is dop*aggs.
       return PlanCost{1.0, child.total_cost +
                                child.output_rows * aggs / dop + dop * aggs};
     }
+    case IrOpKind::kGroupBy: {
+      RAVEN_ASSIGN_OR_RETURN(PlanCost child,
+                             EstimateCostImpl(*node.children[0], ctx,
+                                              dop));
+      const double width = static_cast<double>(node.group_keys.size() +
+                                               node.aggregates.size());
+      // No distinct-count statistics yet: assume kGroupCardinality of the
+      // input forms distinct key tuples.
+      const double groups =
+          std::max(1.0, child.output_rows * kGroupCardinality);
+      // Thread-local pre-aggregation parallelizes; every worker then pays
+      // one merge of (up to) its whole local table into the striped global
+      // table, and the final render is sequential.
+      return PlanCost{groups, child.total_cost +
+                                  child.output_rows * width / dop +
+                                  dop * groups * width};
+    }
+    case IrOpKind::kOrderBy: {
+      RAVEN_ASSIGN_OR_RETURN(PlanCost child,
+                             EstimateCostImpl(*node.children[0], ctx,
+                                              dop));
+      const double rows = child.output_rows;
+      // The gather-and-sort breaker: the child pipeline parallelizes, the
+      // stable sort itself is a sequential tail (deliberately NOT divided
+      // by dop), plus a gather of the workers' chunks when parallel.
+      const double sort = rows * std::log2(rows + 2.0) *
+                          static_cast<double>(node.sort_keys.size());
+      const double gather = dop > 1.0 ? rows : 0.0;
+      return PlanCost{rows, child.total_cost + sort + gather};
+    }
     case IrOpKind::kModelPipeline: {
       RAVEN_ASSIGN_OR_RETURN(PlanCost child,
-                             EstimateCostImpl(*node.children[0], catalog,
+                             EstimateCostImpl(*node.children[0], ctx,
                                               dop));
       return PlanCost{child.output_rows,
                       child.total_cost +
@@ -172,7 +219,7 @@ Result<PlanCost> EstimateCostImpl(const ir::IrNode& node,
     }
     case IrOpKind::kClusteredPredict: {
       RAVEN_ASSIGN_OR_RETURN(PlanCost child,
-                             EstimateCostImpl(*node.children[0], catalog,
+                             EstimateCostImpl(*node.children[0], ctx,
                                               dop));
       double avg_cost = 0.0;
       if (!node.clustered->cluster_models.empty()) {
@@ -192,7 +239,7 @@ Result<PlanCost> EstimateCostImpl(const ir::IrNode& node,
     }
     case IrOpKind::kNnGraph: {
       RAVEN_ASSIGN_OR_RETURN(PlanCost child,
-                             EstimateCostImpl(*node.children[0], catalog,
+                             EstimateCostImpl(*node.children[0], ctx,
                                               dop));
       return PlanCost{child.output_rows,
                       child.total_cost +
@@ -203,7 +250,7 @@ Result<PlanCost> EstimateCostImpl(const ir::IrNode& node,
       // Opaque pipelines run out of process and the executor keeps such
       // plans sequential; charge a serialization tax at dop 1.
       RAVEN_ASSIGN_OR_RETURN(PlanCost child,
-                             EstimateCostImpl(*node.children[0], catalog,
+                             EstimateCostImpl(*node.children[0], ctx,
                                               1.0));
       return PlanCost{child.output_rows,
                       child.total_cost + child.output_rows * 64.0};
@@ -212,15 +259,16 @@ Result<PlanCost> EstimateCostImpl(const ir::IrNode& node,
   return Status::Internal("unreachable IR kind in EstimateCost");
 }
 
-}  // namespace
+Result<PlanCost> EstimateCostImpl(const ir::IrNode& node,
+                                  const CostContext& ctx, double dop) {
+  RAVEN_ASSIGN_OR_RETURN(PlanCost cost, EstimateCostNode(node, ctx, dop));
+  if (ctx.sink != nullptr) (*ctx.sink)[&node] = cost;
+  return cost;
+}
 
-Result<PlanCost> EstimateCost(const ir::IrNode& node,
-                              const relational::Catalog& catalog,
-                              std::int64_t parallelism) {
-  // Mirror the executor's gating exactly: a LIMIT or opaque pipeline
-  // ANYWHERE in the plan forces fully sequential execution, so costing any
-  // part of such a plan at dop > 1 would promise a speedup the runtime
-  // never delivers.
+/// The dop the executor would run this plan at (LIMIT / opaque pipelines
+/// anywhere force fully sequential execution).
+double EffectiveDop(const ir::IrNode& node, std::int64_t parallelism) {
   bool sequential_only = false;
   ir::VisitIr(&node, [&](const ir::IrNode* n) {
     if (n->kind == ir::IrOpKind::kLimit ||
@@ -228,17 +276,74 @@ Result<PlanCost> EstimateCost(const ir::IrNode& node,
       sequential_only = true;
     }
   });
-  const double dop =
-      sequential_only
-          ? 1.0
-          : static_cast<double>(std::max<std::int64_t>(1, parallelism));
-  RAVEN_ASSIGN_OR_RETURN(PlanCost cost, EstimateCostImpl(node, catalog, dop));
+  return sequential_only
+             ? 1.0
+             : static_cast<double>(std::max<std::int64_t>(1, parallelism));
+}
+
+/// Worker startup plus the ordered merge of the final result — the
+/// sequential tail that makes tiny inputs cheaper at dop 1. Charged to the
+/// plan root only.
+void AddParallelTail(double dop, PlanCost* cost) {
   if (dop > 1.0) {
-    // Worker startup plus the ordered merge of the final result — the
-    // sequential tail that makes tiny inputs cheaper at dop 1.
-    cost.total_cost += dop * kWorkerStartupCost + cost.output_rows;
+    cost->total_cost += dop * kWorkerStartupCost + cost->output_rows;
   }
+}
+
+}  // namespace
+
+Result<PlanCost> EstimateCost(const ir::IrNode& node,
+                              const relational::Catalog& catalog,
+                              std::int64_t parallelism) {
+  // Mirror the executor's gating exactly: costing any part of a
+  // sequential-pinned plan at dop > 1 would promise a speedup the runtime
+  // never delivers.
+  const double dop = EffectiveDop(node, parallelism);
+  const CostContext ctx{catalog, nullptr};
+  RAVEN_ASSIGN_OR_RETURN(PlanCost cost, EstimateCostImpl(node, ctx, dop));
+  AddParallelTail(dop, &cost);
   return cost;
+}
+
+Result<std::vector<OperatorCostRow>> EstimateOperatorCosts(
+    const ir::IrNode& root, const relational::Catalog& catalog,
+    std::int64_t parallelism) {
+  // One bottom-up pass per dop fills every subtree's cost (O(plan size)).
+  std::map<const ir::IrNode*, PlanCost> sequential;
+  std::map<const ir::IrNode*, PlanCost> parallel;
+  const CostContext seq_ctx{catalog, &sequential};
+  RAVEN_ASSIGN_OR_RETURN(PlanCost seq_root,
+                         EstimateCostImpl(root, seq_ctx, 1.0));
+  sequential[&root] = seq_root;
+  const double dop = EffectiveDop(root, parallelism);
+  if (dop > 1.0) {
+    const CostContext par_ctx{catalog, &parallel};
+    RAVEN_ASSIGN_OR_RETURN(PlanCost par_root,
+                           EstimateCostImpl(root, par_ctx, dop));
+    // The root rows mirror the plan-level EstimateCost (parallel tail
+    // included); inner rows stay tail-free, as the executor runs them.
+    AddParallelTail(dop, &par_root);
+    parallel[&root] = par_root;
+  } else {
+    parallel = sequential;  // dop 1: both walks would be identical
+  }
+
+  std::vector<OperatorCostRow> rows;
+  std::function<void(const ir::IrNode&, int)> assemble =
+      [&](const ir::IrNode& node, int depth) {
+        OperatorCostRow row;
+        row.node = &node;
+        row.depth = depth;
+        row.output_rows = sequential[&node].output_rows;
+        row.sequential_cost = sequential[&node].total_cost;
+        row.parallel_cost = parallel[&node].total_cost;
+        rows.push_back(row);
+        for (const auto& child : node.children) {
+          assemble(*child, depth + 1);
+        }
+      };
+  assemble(root, 0);
+  return rows;
 }
 
 }  // namespace raven::optimizer

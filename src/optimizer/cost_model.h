@@ -2,6 +2,7 @@
 #define RAVEN_OPTIMIZER_COST_MODEL_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/status.h"
 #include "ir/ir.h"
@@ -32,14 +33,35 @@ double NnGraphRowCost(const nnrt::Graph& graph);
 ///
 /// `parallelism` > 1 costs the plan as the morsel-driven parallel executor
 /// runs it: scans, filters, projections, model scoring, join build/probe
-/// and aggregate accumulation divide across workers, while per-worker
-/// startup, the ordered result merge, and any subtree under a LIMIT (which
-/// executes sequentially) do not. This keeps the optimizer honest about
-/// plans that parallelize well versus ones that are merge- or
-/// startup-bound.
+/// and (grouped-)aggregate accumulation divide across workers, while
+/// per-worker startup, the ordered result merge, an ORDER BY's stable sort
+/// (a sequential gather-and-sort tail), the GROUP BY striped-table merge,
+/// and any subtree under a LIMIT (which executes sequentially) do not.
+/// This keeps the optimizer honest about plans that parallelize well
+/// versus ones that are merge- or startup-bound.
 Result<PlanCost> EstimateCost(const ir::IrNode& node,
                               const relational::Catalog& catalog,
                               std::int64_t parallelism = 1);
+
+/// One per-operator EXPLAIN cost row: an operator of `root`'s plan with its
+/// subtree's cardinality and cost run sequentially and at the requested
+/// parallelism *within the enclosing plan* — the worker-startup and final
+/// result-merge tail are charged to the root row only, and subtrees under a
+/// LIMIT are costed at dop 1, exactly like the executor runs them.
+struct OperatorCostRow {
+  const ir::IrNode* node = nullptr;
+  int depth = 0;  ///< nesting depth under the plan root (for indentation)
+  double output_rows = 0.0;
+  double sequential_cost = 0.0;
+  double parallel_cost = 0.0;
+};
+
+/// Costs every operator of the plan in one bottom-up pass per dop (O(plan
+/// size), not one EstimateCost call per node) and returns the rows in
+/// preorder; rows.front() is the root and matches EstimateCost(root, ...).
+Result<std::vector<OperatorCostRow>> EstimateOperatorCosts(
+    const ir::IrNode& root, const relational::Catalog& catalog,
+    std::int64_t parallelism);
 
 }  // namespace raven::optimizer
 

@@ -102,21 +102,23 @@ Status CrossOptimizer::Optimize(ir::IrPlan* plan,
   if (report != nullptr) {
     // Cost the optimized plan both sequentially and at the runtime's degree
     // of parallelism so EXPLAIN (and future cost-based phases) see what the
-    // morsel-driven executor will actually pay. Skipped when no report was
-    // requested — the walks are pure output.
+    // morsel-driven executor will actually pay — per operator, from one
+    // bottom-up pass per dop. Skipped when no report was requested; the
+    // walks are pure output.
     local.costed_parallelism =
         std::max<std::int64_t>(1, options_.target_parallelism);
-    RAVEN_ASSIGN_OR_RETURN(PlanCost seq,
-                           EstimateCost(*plan->root(), *catalog_));
-    local.sequential_cost = seq.total_cost;
-    if (local.costed_parallelism > 1) {
-      RAVEN_ASSIGN_OR_RETURN(
-          PlanCost par,
-          EstimateCost(*plan->root(), *catalog_, local.costed_parallelism));
-      local.parallel_cost = par.total_cost;
-    } else {
-      local.parallel_cost = seq.total_cost;
+    RAVEN_ASSIGN_OR_RETURN(
+        auto rows,
+        EstimateOperatorCosts(*plan->root(), *catalog_,
+                              local.costed_parallelism));
+    for (const auto& row : rows) {
+      local.operator_costs.push_back(OperatorCost{
+          ir::IrOpKindToString(row.node->kind), row.depth, row.output_rows,
+          row.sequential_cost, row.parallel_cost});
     }
+    // rows.front() is the plan root: its columns ARE the plan totals.
+    local.sequential_cost = rows.front().sequential_cost;
+    local.parallel_cost = rows.front().parallel_cost;
     *report = std::move(local);
   }
   return Status::OK();

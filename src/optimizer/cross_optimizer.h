@@ -44,6 +44,19 @@ struct OptimizerOptions {
   std::int64_t target_parallelism = 1;
 };
 
+/// One EXPLAIN cost row: an operator of the optimized plan with the cost of
+/// its whole subtree run sequentially and at the costed parallelism. The
+/// parallel column shows which operators the morsel executor actually
+/// speeds up (e.g. a GROUP BY's accumulation divides by dop while an ORDER
+/// BY's sort is a sequential tail).
+struct OperatorCost {
+  std::string op;      ///< operator kind, e.g. "GroupBy"
+  int depth = 0;       ///< nesting depth in the plan tree (for indentation)
+  double output_rows = 0.0;
+  double sequential_cost = 0.0;
+  double parallel_cost = 0.0;
+};
+
 /// How many times each rule fired plus the plan snapshots for EXPLAIN.
 struct OptimizationReport {
   std::vector<std::pair<std::string, std::size_t>> rule_applications;
@@ -54,6 +67,8 @@ struct OptimizationReport {
   double sequential_cost = 0.0;
   double parallel_cost = 0.0;
   std::int64_t costed_parallelism = 1;
+  /// Per-operator subtree costs of the optimized plan, preorder.
+  std::vector<OperatorCost> operator_costs;
 
   std::size_t TotalApplications() const {
     std::size_t total = 0;

@@ -81,6 +81,41 @@ Result<bool> SinkConjunct(IrNodePtr* node, ExprPtr conjunct,
       }
       return false;
     }
+    case IrOpKind::kGroupBy: {
+      // HAVING → WHERE pull-up: a conjunct reading only group-key columns
+      // holds for every row of a group iff it holds for the group, so it
+      // can filter before aggregation. Conjuncts touching aggregate outputs
+      // must stay above.
+      std::set<std::string> used;
+      conjunct->CollectColumns(&used);
+      const std::set<std::string> keys(n.group_keys.begin(),
+                                       n.group_keys.end());
+      for (const auto& col : used) {
+        if (keys.count(col) == 0) return false;
+      }
+      RAVEN_ASSIGN_OR_RETURN(
+          bool sunk,
+          SinkConjunct(&n.children[0], conjunct->Clone(), catalog, fired));
+      if (!sunk) {
+        n.children[0] =
+            IrNode::Filter(std::move(n.children[0]), std::move(conjunct));
+      }
+      ++*fired;
+      return true;
+    }
+    case IrOpKind::kOrderBy: {
+      // Filtering commutes with sorting (the sort is stable and 1:1), and
+      // filtering first is strictly cheaper.
+      RAVEN_ASSIGN_OR_RETURN(
+          bool sunk,
+          SinkConjunct(&n.children[0], conjunct->Clone(), catalog, fired));
+      if (!sunk) {
+        n.children[0] =
+            IrNode::Filter(std::move(n.children[0]), std::move(conjunct));
+      }
+      ++*fired;
+      return true;
+    }
     case IrOpKind::kModelPipeline:
     case IrOpKind::kClusteredPredict:
     case IrOpKind::kNnGraph:
@@ -176,8 +211,11 @@ void CollectPredicatesBelow(const IrNode& node,
                             std::vector<relational::SimplePredicate>* out) {
   if (node.kind == IrOpKind::kUnionAll) return;  // branch-local predicates
   // Aggregation renames/folds columns, so predicates below it do not
-  // constrain the values it emits.
-  if (node.kind == IrOpKind::kAggregate) return;
+  // constrain the values it emits (conservatively including group keys).
+  if (node.kind == IrOpKind::kAggregate ||
+      node.kind == IrOpKind::kGroupBy) {
+    return;
+  }
   if (node.kind == IrOpKind::kFilter) {
     for (const Expr* conjunct : relational::ExtractConjuncts(*node.predicate)) {
       auto simple = relational::MatchSimplePredicate(*conjunct);
@@ -282,6 +320,28 @@ Result<std::size_t> RequireWalk(IrNodePtr* node, const Required& required,
       }
       return RequireWalk(&n.children[0], Required(std::move(child_req)),
                          catalog, /*eliminate_joins=*/false);
+    }
+    case IrOpKind::kGroupBy: {
+      // The grouped subtree needs exactly the group keys plus the
+      // aggregated columns — this is the projection-pushdown win for wide
+      // PREDICT inputs. Join elimination stays off below for the same
+      // row-multiset reason as kAggregate.
+      std::set<std::string> child_req(n.group_keys.begin(),
+                                      n.group_keys.end());
+      for (const auto& agg : n.aggregates) {
+        if (!agg.column.empty()) child_req.insert(agg.column);
+      }
+      return RequireWalk(&n.children[0], Required(std::move(child_req)),
+                         catalog, /*eliminate_joins=*/false);
+    }
+    case IrOpKind::kOrderBy: {
+      // Sorting passes rows through 1:1; the child must additionally
+      // produce the sort columns.
+      Required child_req = required;
+      if (child_req.has_value()) {
+        for (const auto& key : n.sort_keys) child_req->insert(key.column);
+      }
+      return RequireWalk(&n.children[0], child_req, catalog, eliminate_joins);
     }
     case IrOpKind::kJoin: {
       std::size_t fired = 0;

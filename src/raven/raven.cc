@@ -112,6 +112,20 @@ Result<std::string> RavenContext::Explain(const std::string& sql) {
     out += "  parallel(dop=" + std::to_string(report.costed_parallelism) +
            "): " + std::to_string(report.parallel_cost) + "\n";
   }
+  if (!report.operator_costs.empty()) {
+    out += "  operators (subtree totals):\n";
+    for (const auto& row : report.operator_costs) {
+      out += "    ";
+      for (int i = 0; i < row.depth; ++i) out += "  ";
+      out += row.op + " rows=" + std::to_string(row.output_rows) +
+             " seq=" + std::to_string(row.sequential_cost);
+      if (report.costed_parallelism > 1) {
+        out += " par(dop=" + std::to_string(report.costed_parallelism) +
+               ")=" + std::to_string(row.parallel_cost);
+      }
+      out += "\n";
+    }
+  }
   out += "=== Generated SQL ===\n";
   out += runtime::GenerateSql(*plan.root());
   out += "\n";

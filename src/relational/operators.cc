@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <mutex>
+#include <numeric>
 
 namespace raven::relational {
 
@@ -366,6 +368,13 @@ void AggPartial::AccumulateValue(double v) {
   if (count == 0) {
     min = v;
     max = v;
+  } else if (std::isnan(v) || std::isnan(min)) {
+    // NaN-propagating MIN/MAX: any NaN input makes both NaN, regardless of
+    // accumulation or merge order. std::min/std::max keep or drop a NaN
+    // depending on argument order, which would make parallel results
+    // diverge from sequential (SUM propagates NaN on its own).
+    min = std::numeric_limits<double>::quiet_NaN();
+    max = std::numeric_limits<double>::quiet_NaN();
   } else {
     min = std::min(min, v);
     max = std::max(max, v);
@@ -380,10 +389,33 @@ void AggPartial::MergeFrom(const AggPartial& other) {
     *this = other;
     return;
   }
-  min = std::min(min, other.min);
-  max = std::max(max, other.max);
+  if (std::isnan(min) || std::isnan(other.min)) {
+    min = std::numeric_limits<double>::quiet_NaN();
+    max = std::numeric_limits<double>::quiet_NaN();
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
   sum += other.sum;
   count += other.count;
+}
+
+double FinalizeAggPartial(AggKind kind, const AggPartial& partial) {
+  switch (kind) {
+    case AggKind::kCount:
+      return static_cast<double>(partial.count);
+    case AggKind::kSum:
+      return partial.sum;
+    case AggKind::kAvg:
+      return partial.count > 0
+                 ? partial.sum / static_cast<double>(partial.count)
+                 : 0.0;
+    case AggKind::kMin:
+      return partial.min;
+    case AggKind::kMax:
+      return partial.max;
+  }
+  return 0.0;
 }
 
 SharedAggregateState::SharedAggregateState(std::vector<AggregateSpec> aggs)
@@ -400,27 +432,8 @@ DataChunk SharedAggregateState::FinalChunk() const {
   std::lock_guard<std::mutex> lock(mu_);
   DataChunk out;
   for (std::size_t a = 0; a < aggs_.size(); ++a) {
-    double v = 0.0;
-    const AggPartial& acc = totals_[a];
-    switch (aggs_[a].kind) {
-      case AggKind::kCount:
-        v = static_cast<double>(acc.count);
-        break;
-      case AggKind::kSum:
-        v = acc.sum;
-        break;
-      case AggKind::kAvg:
-        v = acc.count > 0 ? acc.sum / static_cast<double>(acc.count) : 0.0;
-        break;
-      case AggKind::kMin:
-        v = acc.min;
-        break;
-      case AggKind::kMax:
-        v = acc.max;
-        break;
-    }
     out.names.push_back(aggs_[a].output_name);
-    out.cols.push_back({v});
+    out.cols.push_back({FinalizeAggPartial(aggs_[a].kind, totals_[a])});
   }
   return out;
 }
@@ -471,6 +484,238 @@ Result<bool> AggregateOperator::Next(DataChunk* out) {
   SharedAggregateState state(aggs_);
   state.Merge(partials);
   *out = state.FinalChunk();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Grouped aggregation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Renders the (already key-ordered) groups into output columns: keys in
+/// spec order, then the finalized aggregates.
+void RenderGroups(const GroupBySpec& spec, const GroupMap& groups,
+                  std::vector<std::string>* names,
+                  std::vector<std::vector<double>>* cols) {
+  names->clear();
+  names->reserve(spec.keys.size() + spec.aggs.size());
+  for (const auto& key : spec.keys) names->push_back(key);
+  for (const auto& agg : spec.aggs) names->push_back(agg.output_name);
+  cols->assign(names->size(), {});
+  for (auto& col : *cols) col.reserve(groups.size());
+  for (const auto& [key, partials] : groups) {
+    for (std::size_t k = 0; k < spec.keys.size(); ++k) {
+      (*cols)[k].push_back(key[k]);
+    }
+    for (std::size_t a = 0; a < spec.aggs.size(); ++a) {
+      (*cols)[spec.keys.size() + a].push_back(
+          FinalizeAggPartial(spec.aggs[a].kind, partials[a]));
+    }
+  }
+}
+
+}  // namespace
+
+SharedGroupByState::SharedGroupByState(GroupBySpec spec)
+    : spec_(std::move(spec)) {}
+
+std::size_t SharedGroupByState::StripeOf(const std::vector<double>& key) {
+  std::size_t seed = 0xcbf29ce484222325ULL;
+  for (double v : key) {
+    seed ^= std::hash<double>{}(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+            (seed >> 2);
+  }
+  return seed % kStripes;
+}
+
+void SharedGroupByState::Merge(GroupMap local) {
+  // Bucket the worker's groups per stripe first so every stripe mutex is
+  // taken at most once per merge instead of once per group.
+  std::array<std::vector<const GroupMap::value_type*>, kStripes> buckets;
+  for (const auto& entry : local) {
+    buckets[StripeOf(entry.first)].push_back(&entry);
+  }
+  for (std::size_t s = 0; s < kStripes; ++s) {
+    if (buckets[s].empty()) continue;
+    Stripe& stripe = stripes_[s];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const GroupMap::value_type* entry : buckets[s]) {
+      auto [it, inserted] =
+          stripe.groups.try_emplace(entry->first, spec_.aggs.size());
+      for (std::size_t a = 0; a < spec_.aggs.size(); ++a) {
+        it->second[a].MergeFrom(entry->second[a]);
+      }
+      (void)inserted;
+    }
+  }
+}
+
+Result<Table> SharedGroupByState::FinalTable() const {
+  // Each key lives in exactly one stripe, so concatenating the (ordered)
+  // stripe maps into one ordered map restores the canonical ascending
+  // key-tuple order.
+  GroupMap merged;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    merged.insert(stripe.groups.begin(), stripe.groups.end());
+  }
+  // Zero groups renders as a column-less table, matching the engine-wide
+  // empty-result convention (an operator that emits no chunks materializes
+  // to a table without columns) so parallel == sequential on empty input.
+  Table out;
+  if (merged.empty()) return out;
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> cols;
+  RenderGroups(spec_, merged, &names, &cols);
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    RAVEN_RETURN_IF_ERROR(out.AddNumericColumn(names[c], std::move(cols[c])));
+  }
+  return out;
+}
+
+GroupByOperator::GroupByOperator(OperatorPtr child, GroupBySpec spec)
+    : child_(std::move(child)), spec_(std::move(spec)) {}
+
+GroupByOperator::GroupByOperator(OperatorPtr child,
+                                 std::shared_ptr<SharedGroupByState> shared)
+    : child_(std::move(child)), shared_(std::move(shared)) {}
+
+Result<GroupMap> GroupByOperator::DrainChild(const GroupBySpec& spec) {
+  GroupMap groups;
+  DataChunk chunk;
+  std::vector<double> key(spec.keys.size());
+  std::vector<const std::vector<double>*> key_cols(spec.keys.size());
+  std::vector<const std::vector<double>*> agg_cols(spec.aggs.size());
+  while (true) {
+    RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(&chunk));
+    if (!more) break;
+    for (std::size_t k = 0; k < spec.keys.size(); ++k) {
+      RAVEN_ASSIGN_OR_RETURN(std::int64_t idx,
+                             chunk.ColumnIndex(spec.keys[k]));
+      key_cols[k] = &chunk.cols[static_cast<std::size_t>(idx)];
+    }
+    for (std::size_t a = 0; a < spec.aggs.size(); ++a) {
+      if (spec.aggs[a].kind == AggKind::kCount) {
+        agg_cols[a] = nullptr;  // COUNT needs no input column
+        continue;
+      }
+      RAVEN_ASSIGN_OR_RETURN(std::int64_t idx,
+                             chunk.ColumnIndex(spec.aggs[a].column));
+      agg_cols[a] = &chunk.cols[static_cast<std::size_t>(idx)];
+    }
+    const std::int64_t n = chunk.num_rows();
+    for (std::int64_t r = 0; r < n; ++r) {
+      const auto row = static_cast<std::size_t>(r);
+      for (std::size_t k = 0; k < key.size(); ++k) {
+        const double v = (*key_cols[k])[row];
+        // Canonicalize NaN: all NaN payloads are one group (GroupKeyLess
+        // treats them as equal), so they must also hash to one stripe.
+        key[k] = std::isnan(v) ? std::numeric_limits<double>::quiet_NaN() : v;
+      }
+      auto& partials = groups.try_emplace(key, spec.aggs.size()).first->second;
+      for (std::size_t a = 0; a < spec.aggs.size(); ++a) {
+        if (agg_cols[a] == nullptr) {
+          ++partials[a].count;  // no NULLs in this engine: COUNT counts rows
+        } else {
+          partials[a].AccumulateValue((*agg_cols[a])[row]);
+        }
+      }
+    }
+  }
+  return groups;
+}
+
+Result<bool> GroupByOperator::Next(DataChunk* out) {
+  if (done_) return false;
+  done_ = true;
+  if (shared_ != nullptr) {
+    // Partial-sink mode: pre-aggregate thread-locally, merge once, emit
+    // nothing — the executor renders the merged table after all workers
+    // join.
+    RAVEN_ASSIGN_OR_RETURN(GroupMap groups, DrainChild(shared_->spec()));
+    shared_->Merge(std::move(groups));
+    return false;
+  }
+  RAVEN_ASSIGN_OR_RETURN(GroupMap groups, DrainChild(spec_));
+  if (groups.empty()) return false;  // empty input: emit nothing (see above)
+  out->order_source = 0;
+  out->order_morsel = 0;
+  RenderGroups(spec_, groups, &out->names, &out->cols);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Sorting (ORDER BY)
+// ---------------------------------------------------------------------------
+
+Result<Table> SortTable(Table table, const std::vector<SortSpec>& keys) {
+  if (table.num_rows() <= 1 || keys.empty()) return table;
+  std::vector<const std::vector<double>*> key_cols;
+  key_cols.reserve(keys.size());
+  for (const auto& key : keys) {
+    RAVEN_ASSIGN_OR_RETURN(std::int64_t idx, table.ColumnIndex(key.column));
+    key_cols.push_back(&table.columns()[static_cast<std::size_t>(idx)].data);
+  }
+  std::vector<std::size_t> order(static_cast<std::size_t>(table.num_rows()));
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(
+      order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        for (std::size_t k = 0; k < keys.size(); ++k) {
+          // TotalDoubleLess keeps this a strict weak ordering even with
+          // NaN key values (plain < would be UB for stable_sort then).
+          const double va = (*key_cols[k])[a];
+          const double vb = (*key_cols[k])[b];
+          if (TotalDoubleLess(va, vb)) return !keys[k].descending;
+          if (TotalDoubleLess(vb, va)) return keys[k].descending;
+        }
+        return false;  // stable: ties keep input order
+      });
+  for (auto& column : table.mutable_columns()) {
+    std::vector<double> sorted;
+    sorted.reserve(order.size());
+    for (std::size_t r : order) sorted.push_back(column.data[r]);
+    column.data = std::move(sorted);
+  }
+  return table;
+}
+
+Result<bool> SortOperator::Next(DataChunk* out) {
+  if (done_) return false;
+  done_ = true;
+  // Gather: drain the (already opened) child into one columnar buffer.
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> cols;
+  bool first = true;
+  DataChunk chunk;
+  while (true) {
+    RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(&chunk));
+    if (!more) break;
+    if (first) {
+      names = chunk.names;
+      cols.assign(chunk.cols.size(), {});
+      first = false;
+    }
+    for (std::size_t c = 0; c < chunk.cols.size(); ++c) {
+      cols[c].insert(cols[c].end(), chunk.cols[c].begin(),
+                     chunk.cols[c].end());
+    }
+  }
+  if (first) return false;  // empty input: nothing to sort or emit
+  Table gathered;
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    RAVEN_RETURN_IF_ERROR(
+        gathered.AddNumericColumn(names[c], std::move(cols[c])));
+  }
+  RAVEN_ASSIGN_OR_RETURN(Table sorted, SortTable(std::move(gathered), keys_));
+  out->names = names;
+  out->order_source = 0;
+  out->order_morsel = 0;
+  out->cols.clear();
+  out->cols.reserve(sorted.columns().size());
+  for (auto& column : sorted.mutable_columns()) {
+    out->cols.push_back(std::move(column.data));
+  }
   return true;
 }
 

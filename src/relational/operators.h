@@ -1,10 +1,13 @@
 #ifndef RAVEN_RELATIONAL_OPERATORS_H_
 #define RAVEN_RELATIONAL_OPERATORS_H_
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -307,6 +310,128 @@ class AggregateOperator final : public PhysicalOperator {
   OperatorPtr child_;
   std::vector<AggregateSpec> aggs_;  // terminal mode
   std::shared_ptr<SharedAggregateState> shared_;  // sink mode
+  bool done_ = false;
+};
+
+/// Grouped-aggregation spec: group-key columns plus aggregate items. The
+/// operator's output schema is the keys (in spec order) followed by the
+/// aggregate output names; groups are emitted in ascending key-tuple order,
+/// which is what makes parallel and sequential runs byte-identical without
+/// an explicit ORDER BY.
+struct GroupBySpec {
+  std::vector<std::string> keys;
+  std::vector<AggregateSpec> aggs;
+};
+
+/// Total order over doubles for sort/group keys: ordinary `<` on numbers,
+/// with every NaN equivalent to every other NaN and greater than every
+/// number (NaN groups/sorts last, deterministically). Plain `<` is NOT a
+/// strict weak ordering once NaN appears — NaN would compare "equivalent"
+/// to everything — which is undefined behavior for std::stable_sort and
+/// breaks std::map invariants.
+inline bool TotalDoubleLess(double a, double b) {
+  if (std::isnan(a)) return false;
+  if (std::isnan(b)) return true;
+  return a < b;
+}
+
+/// Lexicographic key-tuple order under TotalDoubleLess.
+struct GroupKeyLess {
+  bool operator()(const std::vector<double>& a,
+                  const std::vector<double>& b) const {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end(), TotalDoubleLess);
+  }
+};
+
+/// Per-group running aggregate state. Keyed by the group's key tuple; the
+/// ordered map doubles as the canonical (ascending) output order.
+using GroupMap =
+    std::map<std::vector<double>, std::vector<AggPartial>, GroupKeyLess>;
+
+/// Finalizes one aggregate's partial into its output value (shared by the
+/// scalar and grouped renderers).
+double FinalizeAggPartial(AggKind kind, const AggPartial& partial);
+
+/// Merge point of a morsel-parallel hash GROUP BY: every worker's
+/// GroupByOperator pre-aggregates into a thread-local GroupMap (no
+/// synchronization on the hot path) and merges it once at end-of-input into
+/// this table, striped over independently-locked partitions so concurrent
+/// merges mostly don't contend. FinalTable renders the groups in ascending
+/// key order. Thread-safe.
+class SharedGroupByState {
+ public:
+  explicit SharedGroupByState(GroupBySpec spec);
+
+  const GroupBySpec& spec() const { return spec_; }
+  void Merge(GroupMap local);
+  Result<Table> FinalTable() const;
+
+ private:
+  static constexpr std::size_t kStripes = 16;
+  struct Stripe {
+    mutable std::mutex mu;  // FinalTable locks through a const view
+    GroupMap groups;
+  };
+  static std::size_t StripeOf(const std::vector<double>& key);
+
+  GroupBySpec spec_;
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// Hash GROUP BY. Two modes, mirroring AggregateOperator:
+///  - terminal: drains the child, aggregates per group and emits the result
+///    itself, groups in ascending key order (sequential execution);
+///  - partial sink: pre-aggregates thread-locally, merges into a shared
+///    SharedGroupByState at end-of-input and emits nothing — the parallel
+///    executor renders the merged table after all workers finish.
+class GroupByOperator final : public PhysicalOperator {
+ public:
+  GroupByOperator(OperatorPtr child, GroupBySpec spec);
+  GroupByOperator(OperatorPtr child,
+                  std::shared_ptr<SharedGroupByState> shared);
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(DataChunk* out) override;
+  std::string Name() const override { return "GroupBy"; }
+
+ private:
+  Result<GroupMap> DrainChild(const GroupBySpec& spec);
+
+  OperatorPtr child_;
+  GroupBySpec spec_;  // terminal mode
+  std::shared_ptr<SharedGroupByState> shared_;  // sink mode
+  bool done_ = false;
+};
+
+/// One ORDER BY key: column plus direction.
+struct SortSpec {
+  std::string column;
+  bool descending = false;
+};
+
+/// Stable-sorts `table`'s rows by the given keys (later keys break ties of
+/// earlier ones; input order breaks remaining ties, so the result is fully
+/// deterministic for any input order that is itself deterministic).
+Result<Table> SortTable(Table table, const std::vector<SortSpec>& keys);
+
+/// ORDER BY as a gather-and-sort pipeline breaker: drains and materializes
+/// the child at Next-time, sorts, and emits the result as one chunk. Under
+/// parallel execution the executor instead materializes the child pipeline
+/// morsel-parallel, sorts the merged (sequential-order) table once, and
+/// splices it in as a scan source — same SortTable, same determinism.
+class SortOperator final : public PhysicalOperator {
+ public:
+  SortOperator(OperatorPtr child, std::vector<SortSpec> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(DataChunk* out) override;
+  std::string Name() const override { return "Sort"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortSpec> keys_;
   bool done_ = false;
 };
 

@@ -215,6 +215,23 @@ std::vector<relational::AggregateSpec> ToAggregateSpecs(
   return specs;
 }
 
+relational::GroupBySpec ToGroupBySpec(const ir::IrNode& node) {
+  relational::GroupBySpec spec;
+  spec.keys = node.group_keys;
+  spec.aggs = ToAggregateSpecs(node.aggregates);
+  return spec;
+}
+
+std::vector<relational::SortSpec> ToSortSpecs(
+    const std::vector<ir::SortKey>& keys) {
+  std::vector<relational::SortSpec> specs;
+  specs.reserve(keys.size());
+  for (const auto& key : keys) {
+    specs.push_back(relational::SortSpec{key.column, key.descending});
+  }
+  return specs;
+}
+
 Result<OperatorPtr> BuildPhysicalPlan(const IrNode& node,
                                       const RuntimeContext& ctx) {
   // Subtrees executed by an earlier pipeline (aggregate results) enter the
@@ -269,6 +286,39 @@ Result<OperatorPtr> BuildPhysicalPlan(const IrNode& node,
       return Instrument(std::make_unique<relational::AggregateOperator>(
                             std::move(child), ToAggregateSpecs(node.aggregates)),
                         node, "Aggregate", ctx);
+    }
+    case IrOpKind::kGroupBy: {
+      RAVEN_ASSIGN_OR_RETURN(auto child,
+                             BuildPhysicalPlan(*node.children[0], ctx));
+      if (ctx.parallel != nullptr) {
+        auto it = ctx.parallel->group_sinks.find(&node);
+        if (it != ctx.parallel->group_sinks.end()) {
+          // Partial sink: pre-aggregates thread-locally and emits nothing;
+          // the executor renders the merged table.
+          return Instrument(std::make_unique<relational::GroupByOperator>(
+                                std::move(child), it->second),
+                            node, "GroupBy", ctx);
+        }
+        return Status::Internal(
+            "parallel GroupBy reached without a sink or materialization");
+      }
+      return Instrument(std::make_unique<relational::GroupByOperator>(
+                            std::move(child), ToGroupBySpec(node)),
+                        node, "GroupBy", ctx);
+    }
+    case IrOpKind::kOrderBy: {
+      if (ctx.parallel != nullptr) {
+        // The parallel executor materializes every OrderBy subtree before
+        // building worker trees; sorting a single worker's partial stream
+        // would be wrong.
+        return Status::Internal(
+            "parallel OrderBy reached without materialization");
+      }
+      RAVEN_ASSIGN_OR_RETURN(auto child,
+                             BuildPhysicalPlan(*node.children[0], ctx));
+      return Instrument(std::make_unique<relational::SortOperator>(
+                            std::move(child), ToSortSpecs(node.sort_keys)),
+                        node, "Sort", ctx);
     }
     case IrOpKind::kJoin: {
       RAVEN_ASSIGN_OR_RETURN(auto left,
@@ -431,6 +481,38 @@ void GenerateSqlNode(const IrNode& node, std::ostringstream* os) {
       *os << ")";
       return;
     }
+    case IrOpKind::kGroupBy: {
+      *os << "(SELECT ";
+      for (std::size_t i = 0; i < node.group_keys.size(); ++i) {
+        if (i > 0) *os << ", ";
+        *os << node.group_keys[i];
+      }
+      for (const auto& agg : node.aggregates) {
+        *os << ", " << ir::AggFuncToString(agg.func) << "("
+            << (agg.column.empty() ? "*" : agg.column) << ") AS "
+            << agg.output_name;
+      }
+      *os << " FROM ";
+      GenerateSqlNode(*node.children[0], os);
+      *os << " GROUP BY ";
+      for (std::size_t i = 0; i < node.group_keys.size(); ++i) {
+        if (i > 0) *os << ", ";
+        *os << node.group_keys[i];
+      }
+      *os << ")";
+      return;
+    }
+    case IrOpKind::kOrderBy:
+      *os << "(SELECT * FROM ";
+      GenerateSqlNode(*node.children[0], os);
+      *os << " ORDER BY ";
+      for (std::size_t i = 0; i < node.sort_keys.size(); ++i) {
+        if (i > 0) *os << ", ";
+        *os << node.sort_keys[i].column
+            << (node.sort_keys[i].descending ? " DESC" : " ASC");
+      }
+      *os << ")";
+      return;
     case IrOpKind::kModelPipeline:
     case IrOpKind::kClusteredPredict:
     case IrOpKind::kNnGraph:

@@ -132,6 +132,12 @@ struct ParallelExecState {
   std::unordered_map<const ir::IrNode*,
                      std::shared_ptr<relational::SharedAggregateState>>
       agg_sinks;
+  /// Grouped aggregations acting as the sink of the pipeline currently
+  /// being built (thread-local pre-aggregation merged into the shared
+  /// lock-striped table).
+  std::unordered_map<const ir::IrNode*,
+                     std::shared_ptr<relational::SharedGroupByState>>
+      group_sinks;
   /// Subtrees already executed and materialized (aggregate results); the
   /// worker trees scan these instead of recursing.
   std::unordered_map<const ir::IrNode*, const relational::Table*> materialized;
@@ -154,6 +160,13 @@ struct RuntimeContext {
 /// the code generator and the parallel executor's aggregate pipelines).
 std::vector<relational::AggregateSpec> ToAggregateSpecs(
     const std::vector<ir::AggregateItem>& items);
+
+/// Lowers a kGroupBy node's payload to the relational GroupBySpec.
+relational::GroupBySpec ToGroupBySpec(const ir::IrNode& node);
+
+/// Lowers kOrderBy sort keys to the relational sort specs.
+std::vector<relational::SortSpec> ToSortSpecs(
+    const std::vector<ir::SortKey>& keys);
 
 /// Raven's Runtime Code Generator: lowers an optimized IR plan to a
 /// physical operator tree over the relational engine, binding each model

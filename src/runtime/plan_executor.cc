@@ -43,35 +43,57 @@ class MorselExecutor {
   }
 
   Result<Table> Execute(const IrNode& root) {
-    // Aggregates are pipeline breakers producing one row; run each (deepest
-    // first) as its own parallel pipeline and splice the result in as a
-    // materialized source for everything above it.
-    std::vector<const IrNode*> aggregates;
-    CollectAggregatesPostOrder(&root, &aggregates);
-    for (const IrNode* agg : aggregates) {
-      RAVEN_RETURN_IF_ERROR(MaterializeAggregate(agg));
+    // Pipeline breakers (scalar aggregates, grouped aggregates, sorts) run
+    // each (deepest first) as their own parallel pipeline; the result is
+    // spliced in as a materialized source for everything above it.
+    std::vector<const IrNode*> breakers;
+    CollectBreakersPostOrder(&root, &breakers);
+    for (const IrNode* breaker : breakers) {
+      switch (breaker->kind) {
+        case IrOpKind::kAggregate:
+          RAVEN_RETURN_IF_ERROR(MaterializeAggregate(breaker));
+          break;
+        case IrOpKind::kGroupBy:
+          RAVEN_RETURN_IF_ERROR(MaterializeGroupBy(breaker));
+          break;
+        case IrOpKind::kOrderBy:
+          RAVEN_RETURN_IF_ERROR(MaterializeOrderBy(breaker));
+          break;
+        default:
+          return Status::Internal("unexpected breaker kind");
+      }
     }
     auto it = state_.materialized.find(&root);
-    if (it != state_.materialized.end()) return *it->second;  // root was an agg
-    return RunPipeline(root, /*agg_sink=*/nullptr);
+    if (it != state_.materialized.end()) return *it->second;  // root = breaker
+    return RunPipeline(root, /*has_sink=*/false);
   }
 
   std::int64_t morsels_dispensed() const { return morsels_dispensed_; }
 
  private:
-  static void CollectAggregatesPostOrder(const IrNode* node,
-                                         std::vector<const IrNode*>* out) {
+  static void CollectBreakersPostOrder(const IrNode* node,
+                                       std::vector<const IrNode*>* out) {
     for (const auto& child : node->children) {
-      CollectAggregatesPostOrder(child.get(), out);
+      CollectBreakersPostOrder(child.get(), out);
     }
-    if (node->kind == IrOpKind::kAggregate) out->push_back(node);
+    if (node->kind == IrOpKind::kAggregate ||
+        node->kind == IrOpKind::kGroupBy ||
+        node->kind == IrOpKind::kOrderBy) {
+      out->push_back(node);
+    }
+  }
+
+  Status Materialize(const IrNode* node, Table result) {
+    owned_.push_back(std::move(result));
+    state_.materialized[node] = &owned_.back();
+    return Status::OK();
   }
 
   Status MaterializeAggregate(const IrNode* agg) {
     auto sink = std::make_shared<relational::SharedAggregateState>(
         ToAggregateSpecs(agg->aggregates));
     state_.agg_sinks[agg] = sink;
-    auto drained = RunPipeline(*agg, sink.get());
+    auto drained = RunPipeline(*agg, /*has_sink=*/true);
     state_.agg_sinks.erase(agg);
     RAVEN_RETURN_IF_ERROR(drained.status());
     relational::DataChunk final_chunk = sink->FinalChunk();
@@ -80,9 +102,48 @@ class MorselExecutor {
       RAVEN_RETURN_IF_ERROR(result.AddNumericColumn(
           final_chunk.names[c], std::move(final_chunk.cols[c])));
     }
-    owned_.push_back(std::move(result));
-    state_.materialized[agg] = &owned_.back();
-    return Status::OK();
+    return Materialize(agg, std::move(result));
+  }
+
+  /// Morsel-parallel hash GROUP BY: every worker pre-aggregates its morsels
+  /// into a thread-local table and merges once into the shared lock-striped
+  /// table; the merged result (ascending key order) becomes a materialized
+  /// source.
+  Status MaterializeGroupBy(const IrNode* group) {
+    auto sink = std::make_shared<relational::SharedGroupByState>(
+        ToGroupBySpec(*group));
+    state_.group_sinks[group] = sink;
+    auto drained = RunPipeline(*group, /*has_sink=*/true);
+    state_.group_sinks.erase(group);
+    RAVEN_RETURN_IF_ERROR(drained.status());
+    RAVEN_ASSIGN_OR_RETURN(Table result, sink->FinalTable());
+    return Materialize(group, std::move(result));
+  }
+
+  /// ORDER BY as a gather-and-sort breaker: the child pipeline runs
+  /// morsel-parallel, the provenance merge restores sequential row order,
+  /// and one stable sort then yields output identical to a sequential run.
+  Status MaterializeOrderBy(const IrNode* order) {
+    Table gathered;
+    auto mat = state_.materialized.find(order->children[0].get());
+    if (mat != state_.materialized.end()) {
+      // Child is itself a materialized breaker (e.g. ORDER BY directly over
+      // GROUP BY): steal its table instead of spinning up a copy pipeline.
+      // The plan is a tree, so once the OrderBy result supersedes it no
+      // other pipeline can scan the child's entry — the const_cast moves
+      // out of a table this executor owns (it lives in owned_).
+      gathered = std::move(*const_cast<Table*>(mat->second));
+      state_.materialized.erase(mat);
+    } else {
+      RAVEN_ASSIGN_OR_RETURN(gathered,
+                             RunPipeline(*order->children[0],
+                                         /*has_sink=*/false));
+    }
+    RAVEN_ASSIGN_OR_RETURN(
+        Table sorted,
+        relational::SortTable(std::move(gathered),
+                              ToSortSpecs(order->sort_keys)));
+    return Materialize(order, std::move(sorted));
   }
 
   /// Runs the build side of every join in the pipeline rooted at `node`
@@ -194,11 +255,11 @@ class MorselExecutor {
         });
   }
 
-  /// Runs the pipeline rooted at `root` to completion. With `agg_sink` set
-  /// the pipeline's worker trees end in partial-aggregate sinks and emit no
-  /// rows; otherwise the workers' chunks are merged in morsel order.
-  Result<Table> RunPipeline(const IrNode& root,
-                            relational::SharedAggregateState* agg_sink) {
+  /// Runs the pipeline rooted at `root` to completion. With `has_sink` set
+  /// the pipeline's worker trees end in partial-aggregate (scalar or
+  /// grouped) sinks and emit no rows; otherwise the workers' chunks are
+  /// merged in morsel order.
+  Result<Table> RunPipeline(const IrNode& root, bool has_sink) {
     RAVEN_RETURN_IF_ERROR(PrepareJoinBuilds(&root));
     std::vector<std::vector<OrderedChunk>> per_worker(
         static_cast<std::size_t>(state_.num_workers));
@@ -208,7 +269,7 @@ class MorselExecutor {
           return relational::DrainOrdered(
               tree, &per_worker[static_cast<std::size_t>(worker)]);
         }));
-    if (agg_sink != nullptr) return Table();  // result lives in the sink
+    if (has_sink) return Table();  // result lives in the shared sink
     return relational::MergeOrderedChunks(std::move(per_worker));
   }
 

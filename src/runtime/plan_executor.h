@@ -14,16 +14,19 @@ namespace raven::runtime {
 ///
 /// With options.parallelism > 1 every in-process plan shape executes
 /// morsel-driven (paper §5: "SQL Server automatically parallelizes both the
-/// scan and PREDICT operators" — here extended to joins, aggregates and
-/// unions): the plan is decomposed into pipelines at its breakers (hash
-/// join builds, aggregates), each pipeline runs as N symmetric worker
-/// operator trees pulling kChunkSize-row morsels from shared atomic
-/// cursors, and the final merge restores sequential row order from morsel
-/// provenance. Join builds populate a lock-striped shared hash table;
-/// aggregates merge thread-local partials; PREDICT workers share cached
-/// NNRT sessions. Plans containing LIMIT (an inherently ordered early-out)
-/// and the out-of-process/container modes run sequentially, as does
-/// anything with an opaque-pipeline UDF (one external worker per query).
+/// scan and PREDICT operators" — here extended to joins, aggregates,
+/// grouped aggregates, sorts and unions): the plan is decomposed into
+/// pipelines at its breakers (hash join builds, aggregates, GROUP BY,
+/// ORDER BY), each pipeline runs as N symmetric worker operator trees
+/// pulling kChunkSize-row morsels from shared atomic cursors, and the final
+/// merge restores sequential row order from morsel provenance. Join builds
+/// populate a lock-striped shared hash table; aggregates merge thread-local
+/// partials; GROUP BY pre-aggregates thread-locally and merges into a
+/// lock-striped global table; ORDER BY gathers its parallel child pipeline
+/// and stable-sorts once; PREDICT workers share cached NNRT sessions. Plans
+/// containing LIMIT (an inherently ordered early-out) and the
+/// out-of-process/container modes run sequentially, as does anything with
+/// an opaque-pipeline UDF (one external worker per query).
 class PlanExecutor {
  public:
   PlanExecutor(const relational::Catalog* catalog,

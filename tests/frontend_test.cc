@@ -239,6 +239,190 @@ TEST_F(SqlParserTest, AggregateErrors) {
   EXPECT_EQ(plan->CountKind(ir::IrOpKind::kAggregate), 0u);
 }
 
+TEST_F(SqlParserTest, GroupByBasic) {
+  auto plan = std::move(ParseInferenceQuery(
+      "SELECT pregnant, COUNT(*) AS n, AVG(age) AS mean_age "
+      "FROM patient_info GROUP BY pregnant",
+      catalog_, model_builder_)).value();
+  // Shape: Project (select order/aliases) over GroupBy.
+  ASSERT_EQ(plan.root()->kind, ir::IrOpKind::kProject);
+  const ir::IrNode* group = plan.root()->children[0].get();
+  ASSERT_EQ(group->kind, ir::IrOpKind::kGroupBy);
+  EXPECT_EQ(group->group_keys, (std::vector<std::string>{"pregnant"}));
+  ASSERT_EQ(group->aggregates.size(), 2u);
+  EXPECT_EQ(group->aggregates[0].func, ir::AggFunc::kCount);
+  EXPECT_EQ(group->aggregates[1].column, "age");
+  EXPECT_TRUE(plan.Validate(catalog_).ok());
+  auto schema = *ir::IrPlan::ComputeSchema(*plan.root(), catalog_);
+  EXPECT_EQ(schema, (std::vector<std::string>{"pregnant", "n", "mean_age"}));
+}
+
+TEST_F(SqlParserTest, GroupByMultiKeySelectOrderPreserved) {
+  // Aggregate listed before a key: the projection restores select order.
+  auto plan = std::move(ParseInferenceQuery(
+      "SELECT MAX(age) AS oldest, gender, pregnant FROM patient_info "
+      "GROUP BY gender, pregnant",
+      catalog_, model_builder_)).value();
+  EXPECT_TRUE(plan.Validate(catalog_).ok());
+  auto schema = *ir::IrPlan::ComputeSchema(*plan.root(), catalog_);
+  EXPECT_EQ(schema, (std::vector<std::string>{"oldest", "gender", "pregnant"}));
+}
+
+TEST_F(SqlParserTest, HavingBecomesFilterAboveGroupBy) {
+  auto plan = std::move(ParseInferenceQuery(
+      "SELECT pregnant, AVG(age) AS mean_age FROM patient_info "
+      "GROUP BY pregnant HAVING AVG(age) > 30 AND COUNT(*) > 2",
+      catalog_, model_builder_)).value();
+  ASSERT_EQ(plan.root()->kind, ir::IrOpKind::kProject);
+  const ir::IrNode* filter = plan.root()->children[0].get();
+  ASSERT_EQ(filter->kind, ir::IrOpKind::kFilter);
+  // AVG(age) reuses the select item's output; COUNT(*) becomes a hidden
+  // aggregate that the projection drops again.
+  EXPECT_NE(filter->predicate->ToString().find("mean_age"),
+            std::string::npos);
+  EXPECT_NE(filter->predicate->ToString().find("count"), std::string::npos);
+  const ir::IrNode* group = filter->children[0].get();
+  ASSERT_EQ(group->kind, ir::IrOpKind::kGroupBy);
+  ASSERT_EQ(group->aggregates.size(), 2u);  // mean_age + hidden count
+  EXPECT_TRUE(plan.Validate(catalog_).ok());
+  auto schema = *ir::IrPlan::ComputeSchema(*plan.root(), catalog_);
+  EXPECT_EQ(schema, (std::vector<std::string>{"pregnant", "mean_age"}));
+}
+
+TEST_F(SqlParserTest, GroupByWithoutAggregatesIsDistinct) {
+  // SELECT DISTINCT-shaped: keys only, no aggregate items.
+  auto plan = std::move(ParseInferenceQuery(
+      "SELECT gender, pregnant FROM patient_info GROUP BY gender, pregnant",
+      catalog_, model_builder_)).value();
+  EXPECT_TRUE(plan.Validate(catalog_).ok()) << plan.ToString();
+  EXPECT_EQ(plan.CountKind(ir::IrOpKind::kGroupBy), 1u);
+  auto schema = *ir::IrPlan::ComputeSchema(*plan.root(), catalog_);
+  EXPECT_EQ(schema, (std::vector<std::string>{"gender", "pregnant"}));
+}
+
+TEST_F(SqlParserTest, HavingHiddenAggregateDodgesGroupKeyName) {
+  // A group key literally named like a default aggregate output
+  // ("count_v") must not collide with the hidden HAVING item.
+  relational::Table t;
+  ASSERT_TRUE(t.AddNumericColumn("count_v", {1, 1, 2}).ok());
+  ASSERT_TRUE(t.AddNumericColumn("v", {10, 20, 30}).ok());
+  ASSERT_TRUE(catalog_.RegisterTable("tcol", std::move(t)).ok());
+  auto plan = std::move(ParseInferenceQuery(
+      "SELECT count_v FROM tcol GROUP BY count_v HAVING COUNT(v) > 1",
+      catalog_, model_builder_)).value();
+  EXPECT_TRUE(plan.Validate(catalog_).ok()) << plan.ToString();
+  // The hidden aggregate got a de-collided name.
+  bool found = false;
+  ir::VisitIr(plan.root(), [&](const ir::IrNode* node) {
+    if (node->kind != ir::IrOpKind::kGroupBy) return;
+    ASSERT_EQ(node->aggregates.size(), 1u);
+    EXPECT_EQ(node->aggregates[0].output_name, "count_v_2");
+    found = true;
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SqlParserTest, OrderByColumnsAndOrdinals) {
+  auto plan = std::move(ParseInferenceQuery(
+      "SELECT id, age FROM patient_info ORDER BY age DESC, 1 LIMIT 5",
+      catalog_, model_builder_)).value();
+  // LIMIT must sit above the sort (top-5 by age), sort above the project.
+  ASSERT_EQ(plan.root()->kind, ir::IrOpKind::kLimit);
+  const ir::IrNode* order = plan.root()->children[0].get();
+  ASSERT_EQ(order->kind, ir::IrOpKind::kOrderBy);
+  ASSERT_EQ(order->sort_keys.size(), 2u);
+  EXPECT_EQ(order->sort_keys[0].column, "age");
+  EXPECT_TRUE(order->sort_keys[0].descending);
+  EXPECT_EQ(order->sort_keys[1].column, "id");  // ordinal 1 -> first item
+  EXPECT_FALSE(order->sort_keys[1].descending);
+  EXPECT_EQ(order->children[0]->kind, ir::IrOpKind::kProject);
+  EXPECT_TRUE(plan.Validate(catalog_).ok());
+}
+
+TEST_F(SqlParserTest, GroupByOrderByOrdinalOverAggregate) {
+  auto plan = std::move(ParseInferenceQuery(
+      "SELECT gender, AVG(age) AS mean_age FROM patient_info "
+      "GROUP BY gender ORDER BY 2 DESC",
+      catalog_, model_builder_)).value();
+  ASSERT_EQ(plan.root()->kind, ir::IrOpKind::kOrderBy);
+  ASSERT_EQ(plan.root()->sort_keys.size(), 1u);
+  EXPECT_EQ(plan.root()->sort_keys[0].column, "mean_age");
+  EXPECT_TRUE(plan.root()->sort_keys[0].descending);
+  EXPECT_TRUE(plan.Validate(catalog_).ok());
+}
+
+TEST_F(SqlParserTest, GroupByErrors) {
+  // Non-key plain item.
+  EXPECT_FALSE(ParseInferenceQuery(
+                   "SELECT age, COUNT(*) FROM patient_info GROUP BY pregnant",
+                   catalog_, model_builder_)
+                   .ok());
+  // SELECT * with GROUP BY.
+  EXPECT_FALSE(ParseInferenceQuery(
+                   "SELECT * FROM patient_info GROUP BY pregnant", catalog_,
+                   model_builder_)
+                   .ok());
+  // HAVING without GROUP BY.
+  EXPECT_FALSE(ParseInferenceQuery(
+                   "SELECT COUNT(*) FROM patient_info HAVING COUNT(*) > 1",
+                   catalog_, model_builder_)
+                   .ok());
+  // ORDER BY ordinal out of range / over SELECT *.
+  EXPECT_FALSE(ParseInferenceQuery(
+                   "SELECT id FROM patient_info ORDER BY 2", catalog_,
+                   model_builder_)
+                   .ok());
+  EXPECT_FALSE(ParseInferenceQuery(
+                   "SELECT * FROM patient_info ORDER BY 1", catalog_,
+                   model_builder_)
+                   .ok());
+  // Unknown group key surfaces through Validate.
+  auto plan = ParseInferenceQuery(
+      "SELECT no_such, COUNT(*) FROM patient_info GROUP BY no_such", catalog_,
+      model_builder_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->Validate(catalog_).ok());
+}
+
+TEST_F(SqlParserTest, ParseErrorsReportTokenAndByteOffset) {
+  // "WHRE" is a stray identifier where end-of-query (or a clause) should
+  // be: the error must name the token and its byte offset.
+  const std::string sql = "SELECT id FROM patient_info WHRE age > 40";
+  auto result = ParseInferenceQuery(sql, catalog_, model_builder_);
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().message();
+  EXPECT_NE(message.find("'WHRE'"), std::string::npos) << message;
+  EXPECT_NE(message.find("byte offset " +
+                         std::to_string(sql.find("WHRE"))),
+            std::string::npos)
+      << message;
+
+  // Missing closing parenthesis: the failure point is end-of-input.
+  auto eof = ParseInferenceQuery("SELECT id FROM (SELECT id FROM patient_info",
+                                 catalog_, model_builder_);
+  ASSERT_FALSE(eof.ok());
+  EXPECT_NE(eof.status().message().find("<end of input>"), std::string::npos)
+      << eof.status().message();
+  EXPECT_NE(eof.status().message().find("byte offset"), std::string::npos);
+
+  // Lexer-level error carries an offset too.
+  auto lex = ParseInferenceQuery("SELECT id FROM patient_info WHERE age > #",
+                                 catalog_, model_builder_);
+  ASSERT_FALSE(lex.ok());
+  EXPECT_NE(lex.status().message().find("byte offset 40"), std::string::npos)
+      << lex.status().message();
+
+  // A numeric literal past DBL_MAX is a ParseError, not a crash.
+  auto huge = ParseInferenceQuery(
+      "SELECT id FROM patient_info WHERE age > 1" + std::string(320, '0'),
+      catalog_, model_builder_);
+  ASSERT_FALSE(huge.ok());
+  EXPECT_NE(huge.status().message().find("out of range"), std::string::npos)
+      << huge.status().message();
+  EXPECT_NE(huge.status().message().find("byte offset 40"), std::string::npos)
+      << huge.status().message();
+}
+
 class AnalyzerTest : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -81,6 +81,46 @@ TEST_F(IntegrationTest, ExplainShowsPlansAndRules) {
   EXPECT_NE(explain->find("Generated SQL"), std::string::npos);
 }
 
+TEST_F(IntegrationTest, GroupedInferenceQueryEndToEnd) {
+  // The paper's signature grouped shape through the public API, in
+  // parallel: per-group PREDICT score distribution, HAVING cut, sorted by
+  // score descending.
+  ctx_.execution_options().parallelism = 8;
+  auto result = ctx_.Query(
+      "WITH data AS (SELECT * FROM patient_info "
+      "  JOIN blood_tests ON id = id JOIN prenatal_tests ON id = id) "
+      "SELECT pregnant, AVG(p) AS mean_los, COUNT(*) AS n "
+      "FROM PREDICT(MODEL='duration_of_stay', DATA=data) WITH(p float) "
+      "GROUP BY pregnant HAVING COUNT(*) > 5 ORDER BY 2 DESC");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->table.ColumnNames(),
+            (std::vector<std::string>{"pregnant", "mean_los", "n"}));
+  ASSERT_EQ(result->table.num_rows(), 2);  // pregnant in {0, 1}
+  const auto& means = (*result->table.GetColumn("mean_los"))->data;
+  EXPECT_GE(means[0], means[1]);  // ORDER BY 2 DESC
+  EXPECT_EQ(result->execution.partitions_used, 8);
+}
+
+TEST_F(IntegrationTest, ExplainShowsParallelCostRowsForGroupByAndOrderBy) {
+  ctx_.execution_options().parallelism = 8;
+  auto explain = ctx_.Explain(
+      "WITH data AS (SELECT * FROM patient_info "
+      "  JOIN blood_tests ON id = id JOIN prenatal_tests ON id = id) "
+      "SELECT pregnant, AVG(p) AS mean_los "
+      "FROM PREDICT(MODEL='duration_of_stay', DATA=data) WITH(p float) "
+      "GROUP BY pregnant ORDER BY 2 DESC");
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  // Parallelism-aware cost rows for every operator, the new ones included.
+  EXPECT_NE(explain->find("parallel(dop=8)"), std::string::npos) << *explain;
+  EXPECT_NE(explain->find("operators (subtree totals):"), std::string::npos);
+  EXPECT_NE(explain->find("GroupBy rows="), std::string::npos) << *explain;
+  EXPECT_NE(explain->find("OrderBy rows="), std::string::npos) << *explain;
+  EXPECT_NE(explain->find("par(dop=8)="), std::string::npos) << *explain;
+  // The optimized plan keeps the grouped shape in the printed IR.
+  EXPECT_NE(explain->find("GroupBy [RA] keys=[pregnant]"), std::string::npos)
+      << *explain;
+}
+
 TEST_F(IntegrationTest, TransactionalModelUpdateChangesResults) {
   const std::string sql =
       "WITH data AS (SELECT * FROM patient_info "

@@ -107,6 +107,90 @@ TEST(IrTest, CategoryTaxonomy) {
   EXPECT_EQ(CategoryOf(IrOpKind::kOpaquePipeline), OpCategory::kUdf);
 }
 
+TEST(IrTest, GroupByAndOrderBySchemaAndValidate) {
+  relational::Catalog catalog;
+  FillCatalog(&catalog);
+  std::vector<AggregateItem> aggs;
+  aggs.push_back(AggregateItem{AggFunc::kCount, "", "n"});
+  aggs.push_back(AggregateItem{AggFunc::kAvg, "b", "mean_b"});
+  IrPlan plan(IrNode::OrderBy(
+      IrNode::GroupBy(IrNode::TableScan("t"), {"a"}, std::move(aggs)),
+      {SortKey{"n", true}}));
+  EXPECT_TRUE(plan.Validate(catalog).ok()) << plan.ToString();
+  auto schema = *IrPlan::ComputeSchema(*plan.root(), catalog);
+  EXPECT_EQ(schema, (std::vector<std::string>{"a", "n", "mean_b"}));
+  const std::string s = plan.ToString();
+  EXPECT_NE(s.find("GroupBy"), std::string::npos);
+  EXPECT_NE(s.find("keys=[a]"), std::string::npos);
+  EXPECT_NE(s.find("OrderBy"), std::string::npos);
+  EXPECT_NE(s.find("n DESC"), std::string::npos);
+
+  // Clone preserves the new payloads.
+  IrPlan copy = plan.Clone();
+  EXPECT_EQ(copy.root()->sort_keys, plan.root()->sort_keys);
+  EXPECT_EQ(copy.root()->children[0]->group_keys,
+            plan.root()->children[0]->group_keys);
+  EXPECT_EQ(copy.root()->children[0]->aggregates,
+            plan.root()->children[0]->aggregates);
+
+  // Bad group key / bad sort column fail validation.
+  IrPlan bad_key(IrNode::GroupBy(IrNode::TableScan("t"), {"nope"},
+                                 {AggregateItem{AggFunc::kCount, "", "n"}}));
+  EXPECT_FALSE(bad_key.Validate(catalog).ok());
+  IrPlan bad_sort(
+      IrNode::OrderBy(IrNode::TableScan("t"), {SortKey{"nope", false}}));
+  EXPECT_FALSE(bad_sort.Validate(catalog).ok());
+  IrPlan no_keys(IrNode::GroupBy(IrNode::TableScan("t"), {},
+                                 {AggregateItem{AggFunc::kCount, "", "n"}}));
+  EXPECT_FALSE(no_keys.Validate(catalog).ok());
+  IrPlan no_sort_keys(IrNode::OrderBy(IrNode::TableScan("t"), {}));
+  EXPECT_FALSE(no_sort_keys.Validate(catalog).ok());
+  // A GroupBy with keys but no aggregates is SELECT DISTINCT — legal.
+  IrPlan distinct(IrNode::GroupBy(IrNode::TableScan("t"), {"a", "b"}, {}));
+  EXPECT_TRUE(distinct.Validate(catalog).ok());
+  auto distinct_schema = *IrPlan::ComputeSchema(*distinct.root(), catalog);
+  EXPECT_EQ(distinct_schema, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(IrTest, AggregateItemAndSortKeySerializationRoundTrip) {
+  std::vector<AggregateItem> items;
+  items.push_back(AggregateItem{AggFunc::kCount, "", "n"});
+  items.push_back(AggregateItem{AggFunc::kAvg, "score", "mean_score"});
+  items.push_back(AggregateItem{AggFunc::kMax, "bp", "max_bp"});
+  std::vector<SortKey> keys{SortKey{"mean_score", true}, SortKey{"n", false}};
+
+  BinaryWriter writer;
+  WriteAggregateItems(items, &writer);
+  WriteSortKeys(keys, &writer);
+
+  BinaryReader reader(writer.buffer());
+  auto items_back = ReadAggregateItems(&reader);
+  ASSERT_TRUE(items_back.ok());
+  EXPECT_EQ(*items_back, items);
+  auto keys_back = ReadSortKeys(&reader);
+  ASSERT_TRUE(keys_back.ok());
+  EXPECT_EQ(*keys_back, keys);
+  EXPECT_TRUE(reader.AtEnd());
+
+  // Truncated buffers and corrupt enum codes error instead of faulting.
+  const std::string& buf = writer.buffer();
+  for (std::size_t cut : {std::size_t{1}, buf.size() / 2}) {
+    BinaryReader truncated(buf.data(), cut);
+    auto result = ReadAggregateItems(&truncated);
+    if (result.ok()) {
+      // The prefix may decode; the follow-up read must then fail.
+      EXPECT_FALSE(ReadSortKeys(&truncated).ok());
+    }
+  }
+  BinaryWriter corrupt;
+  corrupt.WriteU64(1);
+  corrupt.WriteU8(250);  // not an AggFunc
+  corrupt.WriteString("x");
+  corrupt.WriteString("y");
+  BinaryReader corrupt_reader(corrupt.buffer());
+  EXPECT_FALSE(ReadAggregateItems(&corrupt_reader).ok());
+}
+
 TEST(ClusteredModelTest, MatchesFallbackSemantics) {
   // Build a clustered artifact over the hospital model and check exact
   // agreement with the original pipeline (fallback-on-violation makes the

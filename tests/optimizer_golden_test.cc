@@ -130,6 +130,88 @@ TEST_F(GoldenFixture, FullChainShapeAndRuleOrder) {
                                      "join_elimination", "projection_pushdown"}));
 }
 
+// GROUP BY / HAVING / ORDER BY goldens: the analyzer's canonical grouped
+// shapes and their path through the optimizer chain.
+
+// HAVING over a group key is pulled below the GroupBy (HAVING -> WHERE),
+// while HAVING over an aggregate output must stay above it.
+TEST_F(GoldenFixture, HavingOnKeyPullsBelowGroupByShape) {
+  ir::IrPlan plan = test_util::AnalyzePlan(
+      catalog_,
+      "SELECT pregnant, COUNT(*) AS n FROM patients "
+      "GROUP BY pregnant HAVING pregnant = 1");
+  EXPECT_PLAN_SHAPE(plan, "Project(Filter(GroupBy(TableScan)))");
+  ASSERT_TRUE(ApplyPredicatePushdown(&plan.mutable_root(), catalog_).ok());
+  ASSERT_TRUE(plan.Validate(catalog_).ok());
+  EXPECT_PLAN_SHAPE(plan, "Project(GroupBy(Filter(TableScan)))");
+
+  ir::IrPlan agg_having = test_util::AnalyzePlan(
+      catalog_,
+      "SELECT pregnant, AVG(bp) AS mean_bp FROM patients "
+      "GROUP BY pregnant HAVING AVG(bp) > 100");
+  ASSERT_TRUE(
+      ApplyPredicatePushdown(&agg_having.mutable_root(), catalog_).ok());
+  ASSERT_TRUE(agg_having.Validate(catalog_).ok());
+  EXPECT_PLAN_SHAPE(agg_having, "Project(Filter(GroupBy(TableScan)))");
+}
+
+// Projection pushdown narrows the grouped subtree to keys + aggregated
+// columns.
+TEST_F(GoldenFixture, GroupByProjectionPushdownShape) {
+  ir::IrPlan plan = test_util::AnalyzePlan(
+      catalog_,
+      "SELECT pregnant, AVG(bp) AS mean_bp FROM patients GROUP BY pregnant");
+  EXPECT_PLAN_SHAPE(plan, "Project(GroupBy(TableScan))");
+  ASSERT_TRUE(ApplyProjectionPushdown(&plan.mutable_root(), catalog_).ok());
+  ASSERT_TRUE(plan.Validate(catalog_).ok());
+  EXPECT_PLAN_SHAPE(plan, "Project(GroupBy(Project(TableScan)))");
+}
+
+// The paper's signature grouped-inference query (per-group PREDICT score
+// distribution with HAVING cut and descending sort) through the full
+// CrossOptimizer chain, with the rule-firing order pinned.
+TEST_F(GoldenFixture, GroupByOverPredictFullChainShapeAndRuleOrder) {
+  OptimizerOptions options;
+  CrossOptimizer optimizer(&catalog_, options);
+  ir::IrPlan plan = test_util::AnalyzePlan(
+      catalog_,
+      "SELECT pregnant, AVG(p) AS mean_pred, COUNT(*) AS n "
+      "FROM PREDICT(MODEL='los', DATA=patients) WITH(p float) "
+      "WHERE bp > 100 "
+      "GROUP BY pregnant HAVING AVG(p) > 0.4 ORDER BY 2 DESC");
+  EXPECT_PLAN_SHAPE(
+      plan,
+      "OrderBy(Project(Filter(GroupBy(Filter(ModelPipeline(TableScan))))))");
+  OptimizationReport report;
+  ASSERT_TRUE(optimizer.Optimize(&plan, &report).ok());
+  ASSERT_TRUE(plan.Validate(catalog_).ok());
+  // WHERE bp > 100 sank below PREDICT (feeding predicate-based model
+  // pruning); the small tree then inlined into a CASE projection; the
+  // HAVING filter (aggregate output) stays above the GroupBy.
+  EXPECT_PLAN_SHAPE(
+      plan,
+      "OrderBy(Project(Filter(GroupBy(Project(Filter(TableScan))))))");
+  std::vector<std::string> fired;
+  for (const auto& [rule, count] : report.rule_applications) {
+    if (count > 0) fired.push_back(rule);
+  }
+  EXPECT_EQ(fired,
+            (std::vector<std::string>{"predicate_pushdown",
+                                      "predicate_model_pruning",
+                                      "model_inlining"}));
+  // Parallelism-aware costing is reported for every operator of the plan,
+  // GroupBy and OrderBy included.
+  bool saw_group = false;
+  bool saw_order = false;
+  for (const auto& row : report.operator_costs) {
+    if (row.op == "GroupBy") saw_group = true;
+    if (row.op == "OrderBy") saw_order = true;
+    EXPECT_GT(row.sequential_cost, 0.0) << row.op;
+  }
+  EXPECT_TRUE(saw_group);
+  EXPECT_TRUE(saw_order);
+}
+
 // The flight-delay workload (paper Fig 2(a)): single-table logreg query.
 // Pins both the nested shape and the preorder kind sequence after the full
 // chain, which exercises model-projection pushdown instead of clustering.

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "data/flight.h"
@@ -53,6 +55,27 @@ void ExpectTablesEqualSorted(const relational::Table& expected,
   ASSERT_EQ(expected.ColumnNames(), actual.ColumnNames());
   ASSERT_EQ(expected.num_rows(), actual.num_rows());
   EXPECT_EQ(SortedRows(expected), SortedRows(actual));
+}
+
+/// Ordered comparison with a tiny relative tolerance. SUM/AVG over
+/// non-integer columns merge their per-worker partials in nondeterministic
+/// worker order, so the result can differ from sequential in the last bits
+/// (integer-valued columns sum exactly and use the strict comparators).
+void ExpectTablesNearOrdered(const relational::Table& expected,
+                             const relational::Table& actual) {
+  ASSERT_EQ(expected.ColumnNames(), actual.ColumnNames());
+  ASSERT_EQ(expected.num_rows(), actual.num_rows());
+  for (std::int64_t c = 0; c < expected.num_columns(); ++c) {
+    const auto& lhs = expected.columns()[static_cast<std::size_t>(c)].data;
+    const auto& rhs = actual.columns()[static_cast<std::size_t>(c)].data;
+    for (std::size_t r = 0; r < lhs.size(); ++r) {
+      const double tolerance =
+          1e-9 * std::max({1.0, std::fabs(lhs[r]), std::fabs(rhs[r])});
+      ASSERT_NEAR(lhs[r], rhs[r], tolerance)
+          << "column " << expected.ColumnNames()[static_cast<std::size_t>(c)]
+          << " row " << r;
+    }
+  }
 }
 
 class ParallelExecFixture : public ::testing::Test {
@@ -186,10 +209,221 @@ TEST_F(ParallelExecFixture, AggregateOverJoinFlightAndHospital) {
       "SELECT COUNT(*) AS n, MIN(age) AS min_age FROM patient_info AS pi "
       "JOIN blood_tests AS bt ON pi.id = bt.id WHERE bp > 100",
       /*ordered=*/true);
-  CheckSqlEquivalence(
+  // distance is non-integral, so SUM's partial-merge order can perturb the
+  // last bits: near comparison (COUNT stays exact either way).
+  auto plan = test_util::AnalyzePlan(
+      catalog_,
       "SELECT COUNT(*) AS n, SUM(distance) AS total_distance "
-      "FROM flights WHERE delayed = 1",
+      "FROM flights WHERE delayed = 1");
+  relational::Table sequential = Run(plan, 1);
+  for (std::int64_t n : {2, 8}) {
+    SCOPED_TRACE("parallelism=" + std::to_string(n));
+    ExpectTablesNearOrdered(sequential, Run(plan, n));
+  }
+}
+
+TEST_F(ParallelExecFixture, GroupByLowCardinalityKey) {
+  // Grouped output is emitted in ascending key order in both modes, so even
+  // ordered equality must hold.
+  CheckSqlEquivalence(
+      "SELECT pregnant, COUNT(*) AS n, MIN(bp) AS min_bp, MAX(bp) AS max_bp, "
+      "SUM(age) AS sum_age FROM patients GROUP BY pregnant",
       /*ordered=*/true);
+}
+
+TEST_F(ParallelExecFixture, GroupByDistinct) {
+  // No aggregates: SELECT DISTINCT over the keys, ascending key order.
+  CheckSqlEquivalence(
+      "SELECT gender, pregnant FROM patients GROUP BY gender, pregnant",
+      /*ordered=*/true);
+}
+
+TEST_F(ParallelExecFixture, GroupByMultiKeyWithWhere) {
+  CheckSqlEquivalence(
+      "SELECT gender, pregnant, COUNT(*) AS n, AVG(age) AS mean_age "
+      "FROM patients WHERE bp > 100 GROUP BY gender, pregnant",
+      /*ordered=*/true);
+}
+
+TEST_F(ParallelExecFixture, GroupByHighCardinalityKey) {
+  // One group per row (id is unique): stresses the thread-local tables and
+  // the striped merge rather than contention on a handful of groups.
+  CheckSqlEquivalence(
+      "SELECT id, COUNT(*) AS n, SUM(bp) AS sum_bp FROM patients GROUP BY id",
+      /*ordered=*/true);
+}
+
+TEST_F(ParallelExecFixture, GroupByHavingAndOrderBy) {
+  // AVG over the non-integer bp column: near-equality (see
+  // ExpectTablesNearOrdered) — partial-merge order perturbs the last bits.
+  auto plan = test_util::AnalyzePlan(
+      catalog_,
+      "SELECT gender, AVG(bp) AS mean_bp FROM patients "
+      "GROUP BY gender HAVING COUNT(*) > 10 ORDER BY 2 DESC");
+  relational::Table sequential = Run(plan, 1);
+  ASSERT_GT(sequential.num_rows(), 0);
+  for (std::int64_t n : {2, 8}) {
+    SCOPED_TRACE("parallelism=" + std::to_string(n));
+    ExpectTablesNearOrdered(sequential, Run(plan, n));
+  }
+}
+
+TEST_F(ParallelExecFixture, GroupByOverPredict) {
+  // The paper's signature grouped-inference shape: per-group PREDICT score
+  // distribution with a HAVING cut and a descending sort. Predictions are
+  // non-integer, so AVG(p) gets the near comparator too.
+  auto plan = test_util::AnalyzePlan(
+      catalog_,
+      "SELECT pregnant, AVG(p) AS mean_pred, COUNT(*) AS n "
+      "FROM PREDICT(MODEL='los', DATA=patients) WITH(p float) "
+      "GROUP BY pregnant HAVING AVG(p) > 0.5 ORDER BY 2 DESC");
+  relational::Table sequential = Run(plan, 1);
+  ASSERT_GT(sequential.num_rows(), 0);
+  for (std::int64_t n : {2, 8}) {
+    SCOPED_TRACE("parallelism=" + std::to_string(n));
+    ExpectTablesNearOrdered(sequential, Run(plan, n));
+  }
+}
+
+TEST_F(ParallelExecFixture, GroupByOverJoin) {
+  CheckSqlEquivalence(
+      "SELECT pregnant, COUNT(*) AS n, MAX(bp) AS max_bp "
+      "FROM patient_info AS pi JOIN blood_tests AS bt ON pi.id = bt.id "
+      "WHERE age > 30 GROUP BY pregnant",
+      /*ordered=*/true);
+}
+
+TEST_F(ParallelExecFixture, GroupByValuesMatchHandComputed) {
+  // Ground truth on a tiny hand-checkable table, at every parallelism.
+  relational::Table t;
+  ASSERT_TRUE(t.AddNumericColumn("k", {2, 1, 2, 1, 2, 3}).ok());
+  ASSERT_TRUE(t.AddNumericColumn("v", {10, 20, 30, 40, 50, 60}).ok());
+  ASSERT_TRUE(catalog_.RegisterTable("tiny", std::move(t)).ok());
+  auto plan = test_util::AnalyzePlan(
+      catalog_,
+      "SELECT k, COUNT(*) AS n, SUM(v) AS s, MIN(v) AS lo, MAX(v) AS hi, "
+      "AVG(v) AS mean FROM tiny GROUP BY k");
+  for (std::int64_t dop : {1, 2, 8}) {
+    SCOPED_TRACE("parallelism=" + std::to_string(dop));
+    relational::Table out = Run(plan, dop);
+    ASSERT_EQ(out.num_rows(), 3);
+    EXPECT_EQ((*out.GetColumn("k"))->data, (std::vector<double>{1, 2, 3}));
+    EXPECT_EQ((*out.GetColumn("n"))->data, (std::vector<double>{2, 3, 1}));
+    EXPECT_EQ((*out.GetColumn("s"))->data, (std::vector<double>{60, 90, 60}));
+    EXPECT_EQ((*out.GetColumn("lo"))->data, (std::vector<double>{20, 10, 60}));
+    EXPECT_EQ((*out.GetColumn("hi"))->data, (std::vector<double>{40, 50, 60}));
+    EXPECT_EQ((*out.GetColumn("mean"))->data,
+              (std::vector<double>{30, 30, 60}));
+  }
+}
+
+TEST_F(ParallelExecFixture, GroupByAndOrderByWithNaNKeys) {
+  // NaN key values: all NaNs form one group and sort last, at every
+  // parallelism — plain operator< would be UB (no strict weak ordering).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  relational::Table t;
+  std::vector<double> k, v;
+  for (int i = 0; i < 3000; ++i) {
+    k.push_back(i % 5 == 0 ? nan : static_cast<double>(i % 3));
+    v.push_back(i);
+  }
+  ASSERT_TRUE(t.AddNumericColumn("k", std::move(k)).ok());
+  ASSERT_TRUE(t.AddNumericColumn("v", std::move(v)).ok());
+  ASSERT_TRUE(catalog_.RegisterTable("nankeys", std::move(t)).ok());
+  auto plan = test_util::AnalyzePlan(
+      catalog_, "SELECT k, COUNT(*) AS n FROM nankeys GROUP BY k");
+  for (std::int64_t dop : {1, 2, 8}) {
+    SCOPED_TRACE("parallelism=" + std::to_string(dop));
+    relational::Table out = Run(plan, dop);
+    ASSERT_EQ(out.num_rows(), 4);  // 0, 1, 2, NaN
+    const auto& keys = (*out.GetColumn("k"))->data;
+    const auto& counts = (*out.GetColumn("n"))->data;
+    EXPECT_TRUE(std::isnan(keys[3]));  // NaN group sorts last
+    EXPECT_EQ(counts[3], 600.0);       // every 5th row
+    EXPECT_EQ(counts[0] + counts[1] + counts[2] + counts[3], 3000.0);
+  }
+  // NaN aggregate INPUTS: MIN/MAX/SUM/AVG over a column containing NaN
+  // must be NaN at every parallelism (NaN-propagating partials), not
+  // depend on which worker saw the NaN first.
+  relational::Table vn;
+  std::vector<double> vk, vv;
+  for (int i = 0; i < 3000; ++i) {
+    vk.push_back(i % 2);
+    vv.push_back(i == 1701 ? nan : static_cast<double>(i));
+  }
+  ASSERT_TRUE(vn.AddNumericColumn("k", std::move(vk)).ok());
+  ASSERT_TRUE(vn.AddNumericColumn("v", std::move(vv)).ok());
+  ASSERT_TRUE(catalog_.RegisterTable("nanvals", std::move(vn)).ok());
+  auto agg_plan = test_util::AnalyzePlan(
+      catalog_,
+      "SELECT k, MIN(v) AS lo, MAX(v) AS hi, COUNT(*) AS n "
+      "FROM nanvals GROUP BY k");
+  for (std::int64_t dop : {1, 2, 8}) {
+    SCOPED_TRACE("parallelism=" + std::to_string(dop));
+    relational::Table out = Run(agg_plan, dop);
+    ASSERT_EQ(out.num_rows(), 2);
+    // k=0 (even rows) is NaN-free; k=1 contains the NaN at row 1701.
+    EXPECT_EQ((*out.GetColumn("lo"))->data[0], 0.0);
+    EXPECT_EQ((*out.GetColumn("hi"))->data[0], 2998.0);
+    EXPECT_TRUE(std::isnan((*out.GetColumn("lo"))->data[1]));
+    EXPECT_TRUE(std::isnan((*out.GetColumn("hi"))->data[1]));
+    EXPECT_EQ((*out.GetColumn("n"))->data[1], 1500.0);
+  }
+
+  auto sorted = test_util::AnalyzePlan(
+      catalog_, "SELECT k, v FROM nankeys ORDER BY k, v DESC");
+  relational::Table sequential = Run(sorted, 1);
+  ASSERT_EQ(sequential.num_rows(), 3000);
+  EXPECT_TRUE(std::isnan((*sequential.GetColumn("k"))->data.back()));
+  for (std::int64_t dop : {2, 8}) {
+    SCOPED_TRACE("parallelism=" + std::to_string(dop));
+    relational::Table parallel = Run(sorted, dop);
+    // v is NaN-free and, with the ORDER BY v tiebreak, uniquely determines
+    // row order; k needs NaN-aware equality (NaN != NaN under ==).
+    EXPECT_EQ((*sequential.GetColumn("v"))->data,
+              (*parallel.GetColumn("v"))->data);
+    const auto& ks = (*sequential.GetColumn("k"))->data;
+    const auto& kp = (*parallel.GetColumn("k"))->data;
+    ASSERT_EQ(ks.size(), kp.size());
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      ASSERT_TRUE(ks[i] == kp[i] || (std::isnan(ks[i]) && std::isnan(kp[i])))
+          << "row " << i;
+    }
+  }
+}
+
+TEST_F(ParallelExecFixture, OrderByRestoresDeterministicOrder) {
+  // Multi-key sort with ties (pregnant is binary): the stable sort must
+  // break ties by sequential row order, making parallel output identical.
+  CheckSqlEquivalence(
+      "SELECT id, age, pregnant FROM patients ORDER BY pregnant DESC, age",
+      /*ordered=*/true);
+  // Sort over a star select (no projection above the scan).
+  CheckSqlEquivalence("SELECT * FROM patients ORDER BY bp DESC",
+                      /*ordered=*/true);
+}
+
+TEST_F(ParallelExecFixture, OrderByIsActuallySorted) {
+  auto plan = test_util::AnalyzePlan(
+      catalog_, "SELECT id, bp FROM patients ORDER BY bp DESC");
+  relational::Table out = Run(plan, 8);
+  const auto& bp = (*out.GetColumn("bp"))->data;
+  ASSERT_EQ(out.num_rows(), hospital_.joined.num_rows());
+  for (std::size_t i = 1; i < bp.size(); ++i) {
+    ASSERT_GE(bp[i - 1], bp[i]) << "row " << i;
+  }
+}
+
+TEST_F(ParallelExecFixture, OrderByWithLimitRunsSequential) {
+  // Top-N: LIMIT still pins sequential execution; result is the sorted
+  // prefix either way.
+  auto plan = test_util::AnalyzePlan(
+      catalog_, "SELECT id, age FROM patients ORDER BY age DESC LIMIT 10");
+  ExecutionStats stats;
+  relational::Table out = Run(plan, 8, &stats);
+  EXPECT_EQ(out.num_rows(), 10);
+  EXPECT_EQ(stats.partitions_used, 1);
+  ExpectTablesEqualOrdered(Run(plan, 1), out);
 }
 
 TEST_F(ParallelExecFixture, AvgMatchesWithinTolerance) {

@@ -1,0 +1,427 @@
+// Randomized differential test harness for the morsel-parallel executor
+// (ISSUE 3 satellite): a seeded random query generator over the hospital
+// and flight catalogs composes scan / filter / project / join / aggregate /
+// GROUP BY / HAVING / ORDER BY / LIMIT / PREDICT shapes, runs every
+// generated query through the full CrossOptimizer chain, and differentially
+// compares parallelism 1 against {2, 8} — order-insensitive multiset
+// comparison by default, order-sensitive when the query has an ORDER BY.
+//
+// The suite is deterministic: the seed defaults to kDefaultFuzzSeed and is
+// printed (with the query text) on every failure. Reproduce a failing run
+// with  RAVEN_FUZZ_SEED=<seed> ./query_fuzz_test.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/flight.h"
+#include "data/hospital.h"
+#include "frontend/analyzer.h"
+#include "optimizer/cross_optimizer.h"
+#include "runtime/plan_executor.h"
+#include "test_util.h"
+
+namespace raven::runtime {
+namespace {
+
+constexpr std::uint64_t kDefaultFuzzSeed = 0xC1DB2020ULL;
+constexpr int kNumQueries = 200;
+
+std::uint64_t FuzzSeed() {
+  if (const char* env = std::getenv("RAVEN_FUZZ_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return kDefaultFuzzSeed;
+}
+
+/// Value range of a column, for generating predicates/HAVING thresholds
+/// that are neither vacuous nor empty.
+struct ColumnRange {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// One FROM-clause the generator can build on.
+struct SourceSpec {
+  std::string from;                       // SQL text after FROM
+  std::vector<std::string> columns;       // full output schema
+  std::vector<std::string> group_cols;    // low-cardinality key candidates
+  std::vector<std::string> numeric_cols;  // aggregation/predicate targets
+};
+
+/// Approximate scalar equality: SUM/AVG partials merge in a different order
+/// under parallel execution, so float aggregates may differ in the last
+/// bits even though every input value is identical.
+bool ApproxEqual(double a, double b) {
+  const double tolerance =
+      1e-9 * std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tolerance;
+}
+
+std::vector<std::vector<double>> Rows(const relational::Table& t) {
+  std::vector<std::vector<double>> rows(
+      static_cast<std::size_t>(t.num_rows()));
+  for (auto& row : rows) {
+    row.reserve(static_cast<std::size_t>(t.num_columns()));
+  }
+  for (const auto& col : t.columns()) {
+    for (std::int64_t r = 0; r < t.num_rows(); ++r) {
+      rows[static_cast<std::size_t>(r)].push_back(
+          col.data[static_cast<std::size_t>(r)]);
+    }
+  }
+  return rows;
+}
+
+void ExpectRowsMatch(const std::vector<std::vector<double>>& expected,
+                     const std::vector<std::vector<double>>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    ASSERT_EQ(expected[r].size(), actual[r].size());
+    for (std::size_t c = 0; c < expected[r].size(); ++c) {
+      ASSERT_PRED2(ApproxEqual, expected[r][c], actual[r][c])
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+/// Differential comparator: schema + row multiset (sorted rows) by default,
+/// exact row order when `ordered`.
+void ExpectTablesMatch(const relational::Table& expected,
+                       const relational::Table& actual, bool ordered) {
+  ASSERT_EQ(expected.ColumnNames(), actual.ColumnNames());
+  ASSERT_EQ(expected.num_rows(), actual.num_rows());
+  auto lhs = Rows(expected);
+  auto rhs = Rows(actual);
+  if (!ordered) {
+    std::sort(lhs.begin(), lhs.end());
+    std::sort(rhs.begin(), rhs.end());
+  }
+  ExpectRowsMatch(lhs, rhs);
+}
+
+class QueryFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hospital_ = data::MakeHospitalDataset(3000, 11);
+    ASSERT_NO_FATAL_FAILURE(
+        test_util::RegisterHospitalTables(&catalog_, hospital_));
+    test_util::InsertHospitalTreeModel(&catalog_, hospital_, 5);
+    flight_ = data::MakeFlightDataset(2000, 7);
+    ASSERT_NO_FATAL_FAILURE(
+        test_util::RegisterFlightTable(&catalog_, flight_));
+    auto logreg = data::TrainFlightLogreg(flight_, 0.01);
+    ASSERT_TRUE(logreg.ok()) << logreg.status().ToString();
+    ASSERT_TRUE(catalog_
+                    .InsertModel("delay", data::FlightLogregScript(),
+                                 logreg->ToBytes())
+                    .ok());
+    BuildSources();
+    ASSERT_FALSE(HasFailure()) << "fixture setup failed";
+  }
+
+  void BuildSources() {
+    auto add = [&](std::string from, std::vector<std::string> columns,
+                   std::vector<std::string> group_cols,
+                   std::vector<std::string> numeric_cols) {
+      sources_.push_back(SourceSpec{std::move(from), std::move(columns),
+                                    std::move(group_cols),
+                                    std::move(numeric_cols)});
+    };
+    const std::vector<std::string> patients_cols = {
+        "id",        "age",      "weight",   "bp",     "hematocrit",
+        "glucose",   "platelets", "fetal_hr", "gender", "pregnant",
+        "amnio",     "length_of_stay"};
+    add("patients", patients_cols, {"gender", "pregnant", "amnio"},
+        {"id", "age", "weight", "bp", "glucose", "fetal_hr"});
+    add("patient_info AS pi JOIN blood_tests AS bt ON pi.id = bt.id",
+        {"id", "age", "gender", "pregnant", "weight", "bp", "hematocrit",
+         "glucose", "platelets"},
+        {"gender", "pregnant"}, {"id", "age", "weight", "bp", "glucose"});
+    add("flights",
+        {"id", "dep_hour", "distance", "day_of_week", "airline", "origin",
+         "dest", "delayed"},
+        {"airline", "day_of_week", "delayed"},
+        {"id", "dep_hour", "distance"});
+    {
+      auto columns = patients_cols;
+      columns.push_back("p");
+      add("PREDICT(MODEL='los', DATA=patients) WITH(p float)", columns,
+          {"gender", "pregnant", "amnio"},
+          {"age", "bp", "fetal_hr", "p"});
+    }
+    add("PREDICT(MODEL='delay', DATA=flights) WITH(p float)",
+        {"id", "dep_hour", "distance", "day_of_week", "airline", "origin",
+         "dest", "delayed", "p"},
+        {"airline", "day_of_week", "delayed"}, {"distance", "dep_hour", "p"});
+
+    // Data-driven literal ranges, so predicates/HAVING thresholds land in
+    // the populated part of each column's domain.
+    for (const auto& name : {"patients", "patient_info", "blood_tests",
+                             "prenatal_tests", "flights"}) {
+      auto table = catalog_.GetTable(name);
+      ASSERT_TRUE(table.ok());
+      for (const auto& col : (*table)->columns()) {
+        const auto [lo, hi] =
+            std::minmax_element(col.data.begin(), col.data.end());
+        if (lo != col.data.end()) {
+          ranges_[col.name] = ColumnRange{*lo, *hi};
+        }
+      }
+    }
+    ranges_["p"] = ColumnRange{0.0, 10.0};  // prediction outputs
+  }
+
+  ColumnRange RangeOf(const std::string& column) const {
+    auto it = ranges_.find(column);
+    return it == ranges_.end() ? ColumnRange{0.0, 100.0} : it->second;
+  }
+
+  template <typename T>
+  const T& PickFrom(Rng& rng, const std::vector<T>& options) {
+    return options[static_cast<std::size_t>(rng.NextUint(options.size()))];
+  }
+
+  std::string Literal(double v) {
+    // Round to keep the SQL text short and the lexer happy.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    return buf;
+  }
+
+  std::string RandomPredicate(Rng& rng, const SourceSpec& source) {
+    static const std::vector<std::string> kOps = {"<", "<=", ">", ">=", "<>"};
+    const int conjuncts = static_cast<int>(rng.UniformInt(1, 2));
+    std::string out;
+    for (int i = 0; i < conjuncts; ++i) {
+      if (i > 0) out += " AND ";
+      const std::string& col = PickFrom(rng, source.numeric_cols);
+      const ColumnRange range = RangeOf(col);
+      out += col + " " + PickFrom(rng, kOps) + " " +
+             Literal(rng.Uniform(range.lo, range.hi));
+    }
+    return out;
+  }
+
+  struct AggChoice {
+    std::string sql;  // e.g. "AVG(bp) AS a1"
+    std::string name;
+  };
+
+  AggChoice RandomAggregate(Rng& rng, const SourceSpec& source, int index) {
+    static const std::vector<std::string> kFuncs = {"COUNT", "SUM", "AVG",
+                                                    "MIN", "MAX"};
+    const std::string& func = PickFrom(rng, kFuncs);
+    AggChoice choice;
+    choice.name = "a" + std::to_string(index);
+    if (func == "COUNT" && rng.NextBool()) {
+      choice.sql = "COUNT(*) AS " + choice.name;
+    } else {
+      choice.sql = func + "(" + PickFrom(rng, source.numeric_cols) + ") AS " +
+                   choice.name;
+    }
+    return choice;
+  }
+
+  /// One random query; `ordered` reports whether it carries an ORDER BY.
+  std::string GenerateQuery(Rng& rng, bool* ordered) {
+    const SourceSpec& source = PickFrom(rng, sources_);
+    *ordered = false;
+    std::string select;
+    std::vector<std::string> output_names;
+    bool grouped = false;
+    std::string tail;
+
+    const double shape = rng.NextDouble();
+    if (shape < 0.15) {
+      select = "*";
+      output_names = source.columns;
+    } else if (shape < 0.35) {
+      // Plain projection, possibly with an arithmetic expression item.
+      // Columns are picked without replacement: duplicate output names
+      // cannot materialize into a table.
+      const int n = static_cast<int>(rng.UniformInt(1, 3));
+      std::vector<std::string> chosen;
+      while (static_cast<int>(chosen.size()) < n &&
+             chosen.size() < source.columns.size()) {
+        const std::string& col = PickFrom(rng, source.columns);
+        if (std::find(chosen.begin(), chosen.end(), col) == chosen.end()) {
+          chosen.push_back(col);
+        }
+      }
+      for (std::size_t i = 0; i < chosen.size(); ++i) {
+        if (i > 0) select += ", ";
+        if (rng.NextBool(0.2)) {
+          select += chosen[i] + " * 2 + 1 AS e" + std::to_string(i);
+          output_names.push_back("e" + std::to_string(i));
+        } else {
+          select += chosen[i];
+          output_names.push_back(chosen[i]);
+        }
+      }
+    } else if (shape < 0.55) {
+      // Scalar aggregates.
+      const int n = static_cast<int>(rng.UniformInt(1, 3));
+      for (int i = 0; i < n; ++i) {
+        if (i > 0) select += ", ";
+        AggChoice agg = RandomAggregate(rng, source, i);
+        select += agg.sql;
+        output_names.push_back(agg.name);
+      }
+    } else {
+      // GROUP BY (the tentpole shape).
+      grouped = true;
+      const int keys = static_cast<int>(
+          rng.UniformInt(1, std::min<std::int64_t>(
+                                2, static_cast<std::int64_t>(
+                                       source.group_cols.size()))));
+      std::vector<std::string> chosen;
+      while (static_cast<int>(chosen.size()) < keys) {
+        const std::string& key = PickFrom(rng, source.group_cols);
+        if (std::find(chosen.begin(), chosen.end(), key) == chosen.end()) {
+          chosen.push_back(key);
+        }
+      }
+      for (const auto& key : chosen) {
+        if (!select.empty()) select += ", ";
+        select += key;
+        output_names.push_back(key);
+      }
+      // 0 aggregates = SELECT DISTINCT over the keys.
+      const int n = static_cast<int>(rng.UniformInt(0, 3));
+      for (int i = 0; i < n; ++i) {
+        select += ", ";
+        AggChoice agg = RandomAggregate(rng, source, i);
+        select += agg.sql;
+        output_names.push_back(agg.name);
+      }
+      tail = " GROUP BY ";
+      for (std::size_t i = 0; i < chosen.size(); ++i) {
+        if (i > 0) tail += ", ";
+        tail += chosen[i];
+      }
+      if (rng.NextBool(0.4)) {
+        tail += " HAVING ";
+        if (rng.NextBool()) {
+          tail += "COUNT(*) > " + std::to_string(rng.UniformInt(1, 30));
+        } else {
+          const std::string& col = PickFrom(rng, source.numeric_cols);
+          const ColumnRange range = RangeOf(col);
+          tail += "AVG(" + col + ") " +
+                  std::string(rng.NextBool() ? ">" : "<=") + " " +
+                  Literal(rng.Uniform(range.lo, range.hi));
+        }
+      }
+    }
+
+    std::string sql = "SELECT " + select + " FROM " + source.from;
+    if (rng.NextBool(0.5)) {
+      sql += " WHERE " + RandomPredicate(rng, source);
+    }
+    sql += tail;
+
+    if (rng.NextBool(grouped ? 0.5 : 0.35)) {
+      *ordered = true;
+      sql += " ORDER BY ";
+      const int n = static_cast<int>(rng.UniformInt(1, 2));
+      for (int i = 0; i < n; ++i) {
+        if (i > 0) sql += ", ";
+        if (select != "*" && rng.NextBool(0.4)) {
+          sql += std::to_string(
+              rng.UniformInt(1,
+                             static_cast<std::int64_t>(output_names.size())));
+        } else {
+          sql += PickFrom(rng, output_names);
+        }
+        sql += rng.NextBool() ? " DESC" : " ASC";
+      }
+      if (rng.NextBool(0.2)) {
+        sql += " LIMIT " + std::to_string(rng.UniformInt(1, 50));
+      }
+    }
+    return sql;
+  }
+
+  Result<relational::Table> Run(const ir::IrPlan& plan,
+                                std::int64_t parallelism) {
+    PlanExecutor executor(&catalog_, &cache_);
+    ExecutionOptions options;
+    options.parallelism = parallelism;
+    options.morsel_rows = 256;  // many morsels even on these small tables
+    return executor.Execute(plan, options);
+  }
+
+  data::HospitalDataset hospital_;
+  data::FlightDataset flight_;
+  relational::Catalog catalog_;
+  nnrt::SessionCache cache_{8};
+  std::vector<SourceSpec> sources_;
+  std::map<std::string, ColumnRange> ranges_;
+};
+
+TEST_F(QueryFuzzTest, DifferentialParallelism200Queries) {
+  const std::uint64_t seed = FuzzSeed();
+  Rng rng(seed);
+  frontend::StaticAnalyzer analyzer(&catalog_);
+  optimizer::CrossOptimizer optimizer(&catalog_,
+                                      optimizer::OptimizerOptions());
+  int executed = 0;
+  for (int q = 0; q < kNumQueries; ++q) {
+    bool ordered = false;
+    const std::string sql = GenerateQuery(rng, &ordered);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " query#" +
+                 std::to_string(q) + (ordered ? " [ordered] " : " ") + sql);
+    auto plan = analyzer.Analyze(sql);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    ASSERT_TRUE(optimizer.Optimize(&plan.value()).ok());
+    auto sequential = Run(*plan, 1);
+    ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+    for (std::int64_t dop : {2, 8}) {
+      SCOPED_TRACE("parallelism=" + std::to_string(dop));
+      auto parallel = Run(*plan, dop);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      ASSERT_NO_FATAL_FAILURE(
+          ExpectTablesMatch(*sequential, *parallel, ordered));
+    }
+    ++executed;
+  }
+  EXPECT_EQ(executed, kNumQueries);
+}
+
+TEST_F(QueryFuzzTest, TruncatedQueriesFailWithDiagnosableErrors) {
+  // Chopping a valid query at a random byte either still parses (a valid
+  // prefix) or fails; parse failures must carry a byte offset so fuzz
+  // findings are diagnosable.
+  const std::uint64_t seed = FuzzSeed() ^ 0x5EEDULL;
+  Rng rng(seed);
+  frontend::StaticAnalyzer analyzer(&catalog_);
+  for (int q = 0; q < 50; ++q) {
+    bool ordered = false;
+    const std::string sql = GenerateQuery(rng, &ordered);
+    const std::size_t cut =
+        static_cast<std::size_t>(rng.UniformInt(1,
+                                                static_cast<std::int64_t>(
+                                                    sql.size() - 1)));
+    const std::string truncated = sql.substr(0, cut);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " query#" +
+                 std::to_string(q) + " cut=" + std::to_string(cut) + " " +
+                 truncated);
+    auto plan = analyzer.Analyze(truncated);
+    if (plan.ok()) continue;
+    if (plan.status().code() == StatusCode::kParseError) {
+      EXPECT_NE(plan.status().message().find("byte offset"),
+                std::string::npos)
+          << plan.status().ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace raven::runtime

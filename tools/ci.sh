@@ -36,6 +36,9 @@ run_suite() {
 }
 
 tier1() {
+  # The full ctest in run_suite includes the `fuzz`-labeled randomized
+  # differential harness (tests/query_fuzz_test.cc); re-run it alone with
+  # `ctest --test-dir build -L fuzz`.
   CONFIG_ARGS=()
   run_suite build
 }
@@ -50,6 +53,10 @@ tsan() {
   # suite runs (it is fast), which covers the runtime + integration suites
   # the parallel operators live under. Races fail the job via
   # -fno-sanitize-recover.
+  # The full suite includes the `fuzz`-labeled harness — 200 random plans x
+  # parallelism {1, 2, 8} is the strongest race probe we have, and a TSan
+  # hit names the offending query via the printed seed. Its timeout is
+  # sized for TSan's ~10x slowdown (see tests/CMakeLists.txt).
   CONFIG_ARGS=(-DRAVEN_SANITIZE=thread)
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" run_suite build-tsan
 }
