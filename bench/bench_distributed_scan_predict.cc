@@ -1,0 +1,76 @@
+// Distributed scan+PREDICT (ISSUE 4): the same inference query executed
+// in-process versus shipped to a 4-worker pool as plan fragments. The pool
+// is warm (spawned once, outside the timed loop), so the measured gap is
+// the steady-state fragment-shipping tax — table-slice serialization, pipe
+// transfer, result-chunk reassembly — against whatever the pool wins by
+// scoring partitions in parallel processes. The regression signals are the
+// distributed-vs-in-process ratio per row count and bytes_shipped per row.
+
+#include "bench_util.h"
+#include "data/hospital.h"
+#include "raven/raven.h"
+
+namespace raven {
+namespace {
+
+/// workers == 0 benchmarks the in-process baseline; > 0 the distributed
+/// mode with that pool size.
+void RunScanPredict(benchmark::State& state) {
+  const std::int64_t rows = state.range(0);
+  const std::int64_t workers = state.range(1);
+  RavenOptions options;
+  if (workers > 0) {
+    options.execution.mode = runtime::ExecutionMode::kDistributed;
+    options.execution.distributed_workers = workers;
+  }
+  RavenContext ctx(options);
+  data::HospitalDataset hospital = data::MakeHospitalDataset(rows, 17);
+  bench::MustOk(ctx.RegisterTable("patients", hospital.joined), "register");
+  auto trained = data::TrainHospitalTree(hospital, 5);
+  bench::MustOk(trained.status(), "train");
+  bench::MustOk(
+      ctx.InsertModel("los", data::HospitalTreeScript(), trained.value()),
+      "insert model");
+  const std::string sql =
+      "SELECT id, p FROM PREDICT(MODEL='los', DATA=patients) "
+      "WITH(p float) WHERE p > 5";
+  ir::IrPlan plan = bench::Must(ctx.Prepare(sql), "prepare");
+  // Warm-up outside the timed loop: spawns the worker pool in distributed
+  // mode, so the timed iterations see the steady warm-pool state.
+  runtime::ExecutionStats warm_stats;
+  auto warm = ctx.ExecutePlan(plan, &warm_stats);
+  bench::MustOk(warm.status(), "warm-up execute");
+  for (auto _ : state) {
+    auto result = ctx.ExecutePlan(plan);
+    if (!result.ok()) {
+      state.SkipWithError("execute failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result->num_rows());
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["bytes_shipped"] =
+      static_cast<double>(warm_stats.bytes_shipped);
+  state.counters["frames"] = static_cast<double>(warm_stats.frames_sent);
+}
+
+void BM_ScanPredict_InProcess(benchmark::State& state) {
+  RunScanPredict(state);
+}
+
+void BM_ScanPredict_Distributed(benchmark::State& state) {
+  RunScanPredict(state);
+}
+
+// 2000/20000-row points stay in the --smoke set; 100000 is filtered out
+// there (see tools/bench.sh) and anchors the full sweep.
+BENCHMARK(BM_ScanPredict_InProcess)
+    ->Args({2000, 0})->Args({20000, 0})->Args({100000, 0})
+    ->Iterations(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanPredict_Distributed)
+    ->Args({2000, 4})->Args({20000, 4})->Args({100000, 4})
+    ->Iterations(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace raven

@@ -611,4 +611,241 @@ void VisitIr(const IrNode* node,
   }
 }
 
+namespace {
+
+constexpr std::uint8_t kFragmentFormatVersion = 1;
+constexpr int kMaxFragmentDepth = 64;
+
+/// Children each kind must carry for the physical builder to be safe
+/// (children[0]/children[1] indexing). -1 = any count (kUnionAll).
+int ExpectedChildren(IrOpKind kind) {
+  switch (kind) {
+    case IrOpKind::kTableScan:
+      return 0;
+    case IrOpKind::kJoin:
+      return 2;
+    case IrOpKind::kUnionAll:
+      return -1;
+    default:
+      return 1;
+  }
+}
+
+Status SerializeNode(const IrNode& node, BinaryWriter* writer) {
+  writer->WriteU8(static_cast<std::uint8_t>(node.kind));
+  switch (node.kind) {
+    case IrOpKind::kTableScan:
+      writer->WriteString(node.table_name);
+      break;
+    case IrOpKind::kFilter:
+      if (node.predicate == nullptr) {
+        return Status::InvalidArgument("filter node without a predicate");
+      }
+      relational::SerializeExpr(*node.predicate, writer);
+      break;
+    case IrOpKind::kProject:
+      if (node.proj_exprs.size() != node.proj_names.size()) {
+        return Status::InvalidArgument(
+            "projection expression/name count mismatch");
+      }
+      writer->WriteStringVector(node.proj_names);
+      for (const auto& expr : node.proj_exprs) {
+        relational::SerializeExpr(*expr, writer);
+      }
+      break;
+    case IrOpKind::kJoin:
+      writer->WriteString(node.left_key);
+      writer->WriteString(node.right_key);
+      break;
+    case IrOpKind::kUnionAll:
+      break;
+    case IrOpKind::kLimit:
+      writer->WriteI64(node.limit);
+      break;
+    case IrOpKind::kAggregate:
+      WriteAggregateItems(node.aggregates, writer);
+      break;
+    case IrOpKind::kGroupBy:
+      writer->WriteStringVector(node.group_keys);
+      WriteAggregateItems(node.aggregates, writer);
+      break;
+    case IrOpKind::kOrderBy:
+      WriteSortKeys(node.sort_keys, writer);
+      break;
+    case IrOpKind::kModelPipeline:
+      if (node.pipeline == nullptr) {
+        return Status::InvalidArgument("pipeline node without a pipeline");
+      }
+      writer->WriteString(node.model_name);
+      writer->WriteString(node.output_column);
+      writer->WriteStringVector(node.model_input_columns);
+      node.pipeline->Serialize(writer);
+      break;
+    case IrOpKind::kNnGraph:
+      if (node.nn_graph == nullptr) {
+        return Status::InvalidArgument("NN-graph node without a graph");
+      }
+      writer->WriteString(node.model_name);
+      writer->WriteString(node.output_column);
+      writer->WriteStringVector(node.model_input_columns);
+      node.nn_graph->Serialize(writer);
+      break;
+    case IrOpKind::kClusteredPredict:
+      return Status::InvalidArgument(
+          "clustered-predict nodes cannot ship: clustering artifacts live in "
+          "the optimizer process");
+    case IrOpKind::kOpaquePipeline:
+      return Status::InvalidArgument(
+          "opaque pipelines cannot ship to pool workers: they score through "
+          "their own external runtime");
+  }
+  writer->WriteU32(static_cast<std::uint32_t>(node.children.size()));
+  for (const auto& child : node.children) {
+    RAVEN_RETURN_IF_ERROR(SerializeNode(*child, writer));
+  }
+  return Status::OK();
+}
+
+Result<IrNodePtr> DeserializeNode(BinaryReader* reader, int depth) {
+  if (depth > kMaxFragmentDepth) {
+    return Status::ParseError("plan fragment too deep (corrupt payload?)");
+  }
+  RAVEN_ASSIGN_OR_RETURN(std::uint8_t tag, reader->ReadU8());
+  if (tag > static_cast<std::uint8_t>(IrOpKind::kOpaquePipeline)) {
+    return Status::ParseError("unknown IR kind code " + std::to_string(tag));
+  }
+  const IrOpKind kind = static_cast<IrOpKind>(tag);
+  auto node = std::make_unique<IrNode>(kind);
+  switch (kind) {
+    case IrOpKind::kTableScan: {
+      RAVEN_ASSIGN_OR_RETURN(node->table_name, reader->ReadString());
+      break;
+    }
+    case IrOpKind::kFilter: {
+      RAVEN_ASSIGN_OR_RETURN(node->predicate,
+                             relational::DeserializeExpr(reader));
+      break;
+    }
+    case IrOpKind::kProject: {
+      RAVEN_ASSIGN_OR_RETURN(node->proj_names, reader->ReadStringVector());
+      node->proj_exprs.reserve(node->proj_names.size());
+      for (std::size_t i = 0; i < node->proj_names.size(); ++i) {
+        RAVEN_ASSIGN_OR_RETURN(auto expr, relational::DeserializeExpr(reader));
+        node->proj_exprs.push_back(std::move(expr));
+      }
+      break;
+    }
+    case IrOpKind::kJoin: {
+      RAVEN_ASSIGN_OR_RETURN(node->left_key, reader->ReadString());
+      RAVEN_ASSIGN_OR_RETURN(node->right_key, reader->ReadString());
+      break;
+    }
+    case IrOpKind::kUnionAll:
+      break;
+    case IrOpKind::kLimit: {
+      RAVEN_ASSIGN_OR_RETURN(node->limit, reader->ReadI64());
+      break;
+    }
+    case IrOpKind::kAggregate: {
+      RAVEN_ASSIGN_OR_RETURN(node->aggregates, ReadAggregateItems(reader));
+      break;
+    }
+    case IrOpKind::kGroupBy: {
+      RAVEN_ASSIGN_OR_RETURN(node->group_keys, reader->ReadStringVector());
+      RAVEN_ASSIGN_OR_RETURN(node->aggregates, ReadAggregateItems(reader));
+      break;
+    }
+    case IrOpKind::kOrderBy: {
+      RAVEN_ASSIGN_OR_RETURN(node->sort_keys, ReadSortKeys(reader));
+      break;
+    }
+    case IrOpKind::kModelPipeline: {
+      RAVEN_ASSIGN_OR_RETURN(node->model_name, reader->ReadString());
+      RAVEN_ASSIGN_OR_RETURN(node->output_column, reader->ReadString());
+      RAVEN_ASSIGN_OR_RETURN(node->model_input_columns,
+                             reader->ReadStringVector());
+      RAVEN_ASSIGN_OR_RETURN(auto pipeline,
+                             ml::ModelPipeline::Deserialize(reader));
+      node->pipeline = std::make_shared<ml::ModelPipeline>(std::move(pipeline));
+      break;
+    }
+    case IrOpKind::kNnGraph: {
+      RAVEN_ASSIGN_OR_RETURN(node->model_name, reader->ReadString());
+      RAVEN_ASSIGN_OR_RETURN(node->output_column, reader->ReadString());
+      RAVEN_ASSIGN_OR_RETURN(node->model_input_columns,
+                             reader->ReadStringVector());
+      RAVEN_ASSIGN_OR_RETURN(auto graph, nnrt::Graph::Deserialize(reader));
+      node->nn_graph = std::make_shared<nnrt::Graph>(std::move(graph));
+      break;
+    }
+    case IrOpKind::kClusteredPredict:
+    case IrOpKind::kOpaquePipeline:
+      return Status::ParseError(
+          std::string(IrOpKindToString(kind)) +
+          " nodes never ship; rejecting fragment payload");
+  }
+  RAVEN_ASSIGN_OR_RETURN(std::uint32_t num_children, reader->ReadU32());
+  if (num_children > reader->remaining()) {
+    return Status::ParseError("implausible fragment child count");
+  }
+  const int expected = ExpectedChildren(kind);
+  if (expected >= 0 && static_cast<int>(num_children) != expected) {
+    return Status::ParseError(
+        std::string(IrOpKindToString(kind)) + " node with " +
+        std::to_string(num_children) + " children (expected " +
+        std::to_string(expected) + ")");
+  }
+  if (expected < 0 && num_children == 0) {
+    return Status::ParseError("UnionAll node without children");
+  }
+  node->children.reserve(num_children);
+  for (std::uint32_t i = 0; i < num_children; ++i) {
+    RAVEN_ASSIGN_OR_RETURN(auto child, DeserializeNode(reader, depth + 1));
+    node->children.push_back(std::move(child));
+  }
+  return node;
+}
+
+}  // namespace
+
+Status SerializeFragment(const IrNode& node, BinaryWriter* writer) {
+  writer->WriteU8(kFragmentFormatVersion);
+  return SerializeNode(node, writer);
+}
+
+Result<IrNodePtr> DeserializeFragment(BinaryReader* reader) {
+  RAVEN_ASSIGN_OR_RETURN(std::uint8_t version, reader->ReadU8());
+  if (version != kFragmentFormatVersion) {
+    return Status::ParseError("unsupported fragment format version " +
+                              std::to_string(version));
+  }
+  return DeserializeNode(reader, 0);
+}
+
+bool IsDistributableFragment(const IrNode& node) {
+  switch (node.kind) {
+    case IrOpKind::kTableScan:
+      return true;
+    case IrOpKind::kFilter:
+    case IrOpKind::kProject:
+    case IrOpKind::kModelPipeline:
+    case IrOpKind::kNnGraph:
+      return !node.children.empty() &&
+             IsDistributableFragment(*node.children[0]);
+    default:
+      return false;
+  }
+}
+
+void CollectDistributableFragments(const IrNode& root,
+                                   std::vector<const IrNode*>* out) {
+  if (IsDistributableFragment(root)) {
+    out->push_back(&root);
+    return;
+  }
+  for (const auto& child : root.children) {
+    CollectDistributableFragments(*child, out);
+  }
+}
+
 }  // namespace raven::ir

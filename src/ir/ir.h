@@ -79,10 +79,9 @@ struct SortKey {
 };
 
 // Binary serialization of the plan payload structs, in the same
-// BinaryWriter format as models and the worker wire protocol. Nothing on
-// the wire encodes these yet (the worker protocol ships opaque model
-// payloads only); this pins the format — with round-trip and corrupt-buffer
-// tests — for the planned plan-shipping path.
+// BinaryWriter format as models and the worker wire protocol. The
+// plan-shipping path (kExecuteFragment) encodes whole fragments with
+// SerializeFragment below; these remain the shared payload encoders.
 void WriteAggregateItems(const std::vector<AggregateItem>& items,
                          BinaryWriter* writer);
 Result<std::vector<AggregateItem>> ReadAggregateItems(BinaryReader* reader);
@@ -209,6 +208,33 @@ class IrPlan {
 void VisitIr(IrNode* node, const std::function<void(IrNode*)>& fn);
 void VisitIr(const IrNode* node,
              const std::function<void(const IrNode*)>& fn);
+
+// -- Plan-fragment wire serialization ---------------------------------------
+//
+// Whole plan subtrees encode to the common BinaryWriter format (versioned,
+// depth-limited on decode) so the engine can ship fragments to persistent
+// pool workers over the kExecuteFragment protocol command. Model payloads
+// travel as their existing serialized forms (ModelPipeline / nnrt::Graph
+// bytes). Two kinds cannot ship and serialize to an error:
+// kClusteredPredict (clustering artifacts live in the optimizer process)
+// and kOpaquePipeline (it must score through its own external runtime).
+
+Status SerializeFragment(const IrNode& node, BinaryWriter* writer);
+Result<IrNodePtr> DeserializeFragment(BinaryReader* reader);
+
+/// True iff the subtree rooted at `node` consists solely of row-wise
+/// operators (filter / project / pipeline / NN-graph scoring) over a single
+/// table scan — the unit the distributed executor ships to workers, because
+/// partitioning the scan's rows and concatenating the partition outputs in
+/// range order is byte-identical to running the subtree over the whole
+/// table.
+bool IsDistributableFragment(const IrNode& node);
+
+/// Collects the maximal distributable subtrees of the plan, in the
+/// deterministic preorder the distributed executor (and its cost-model
+/// mirror) both rely on.
+void CollectDistributableFragments(const IrNode& root,
+                                   std::vector<const IrNode*>* out);
 
 }  // namespace raven::ir
 

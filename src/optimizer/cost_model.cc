@@ -305,6 +305,52 @@ Result<PlanCost> EstimateCost(const ir::IrNode& node,
   return cost;
 }
 
+namespace {
+
+/// Serialization + pipe + deserialization tax per row crossing the worker
+/// boundary, each direction (the scan partition out, the result back).
+constexpr double kShipCostPerRow = 32.0;
+
+/// Fixed cost of one kExecuteFragment exchange (frame encode/decode,
+/// scheduling, response-stream handling), charged per partition.
+constexpr double kFragmentFrameCost = 512.0;
+
+}  // namespace
+
+Result<PlanCost> EstimateDistributedCost(const ir::IrNode& node,
+                                         const relational::Catalog& catalog,
+                                         std::int64_t workers) {
+  RAVEN_ASSIGN_OR_RETURN(PlanCost sequential,
+                         EstimateCost(node, catalog, 1));
+  if (workers <= 1) return sequential;
+  const double w = static_cast<double>(workers);
+  std::vector<const ir::IrNode*> fragments;
+  ir::CollectDistributableFragments(node, &fragments);
+  const CostContext ctx{catalog, nullptr};
+  PlanCost total = sequential;
+  for (const ir::IrNode* fragment : fragments) {
+    RAVEN_ASSIGN_OR_RETURN(PlanCost seq_frag,
+                           EstimateCostImpl(*fragment, ctx, 1.0));
+    RAVEN_ASSIGN_OR_RETURN(PlanCost par_frag,
+                           EstimateCostImpl(*fragment, ctx, w));
+    const ir::IrNode* leaf = fragment;
+    while (leaf->kind != ir::IrOpKind::kTableScan) {
+      leaf = leaf->children[0].get();
+    }
+    RAVEN_ASSIGN_OR_RETURN(const relational::Table* table,
+                           catalog.GetTable(leaf->table_name));
+    const double ship =
+        kShipCostPerRow * (static_cast<double>(table->num_rows()) +
+                           seq_frag.output_rows);
+    // Swap the fragment's sequential compute for pool-parallel compute plus
+    // the shipping tax; the remainder keeps its sequential costing.
+    total.total_cost +=
+        par_frag.total_cost + ship + w * kFragmentFrameCost -
+        seq_frag.total_cost;
+  }
+  return total;
+}
+
 Result<std::vector<OperatorCostRow>> EstimateOperatorCosts(
     const ir::IrNode& root, const relational::Catalog& catalog,
     std::int64_t parallelism) {

@@ -43,6 +43,21 @@ Result<PlanCost> EstimateCost(const ir::IrNode& node,
                               const relational::Catalog& catalog,
                               std::int64_t parallelism = 1);
 
+/// The dop×workers case: costs the plan as ExecutionMode::kDistributed runs
+/// it over a pool of `workers`. Each maximal distributable fragment
+/// (row-wise chain over one scan, ir::CollectDistributableFragments) has
+/// its compute divided across the pool, plus the fragment-shipping tax the
+/// in-process modes never pay: serializing the scan partition out and the
+/// result rows back over the worker pipes, and a per-partition frame
+/// overhead. The remainder above the fragments stays sequential, exactly
+/// like the executor runs it. `workers` <= 1 degenerates to the sequential
+/// estimate. EXPLAIN surfaces this as the "distributed(workers=N)" row so
+/// plans that are shipping-bound (cheap fragments, wide scans) are visibly
+/// worse than their in-process costing.
+Result<PlanCost> EstimateDistributedCost(const ir::IrNode& node,
+                                         const relational::Catalog& catalog,
+                                         std::int64_t workers);
+
 /// One per-operator EXPLAIN cost row: an operator of `root`'s plan with its
 /// subtree's cardinality and cost run sequentially and at the requested
 /// parallelism *within the enclosing plan* — the worker-startup and final

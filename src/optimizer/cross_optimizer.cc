@@ -119,6 +119,14 @@ Status CrossOptimizer::Optimize(ir::IrPlan* plan,
     // rows.front() is the plan root: its columns ARE the plan totals.
     local.sequential_cost = rows.front().sequential_cost;
     local.parallel_cost = rows.front().parallel_cost;
+    if (options_.target_distributed_workers > 1) {
+      local.costed_distributed_workers = options_.target_distributed_workers;
+      RAVEN_ASSIGN_OR_RETURN(
+          PlanCost distributed,
+          EstimateDistributedCost(*plan->root(), *catalog_,
+                                  local.costed_distributed_workers));
+      local.distributed_cost = distributed.total_cost;
+    }
     *report = std::move(local);
   }
   return Status::OK();

@@ -42,6 +42,11 @@ struct OptimizerOptions {
   /// model divides parallelizable work by it, so plan costing no longer
   /// assumes sequential scans; RavenContext wires the execution option in.
   std::int64_t target_parallelism = 1;
+  /// Worker-pool size the plan's distributable fragments would ship to
+  /// under ExecutionMode::kDistributed; 0/1 = not distributed. RavenContext
+  /// wires this from the execution options so EXPLAIN reports the
+  /// fragment-shipping cost of the mode that will actually run.
+  std::int64_t target_distributed_workers = 0;
 };
 
 /// One EXPLAIN cost row: an operator of the optimized plan with the cost of
@@ -67,6 +72,12 @@ struct OptimizationReport {
   double sequential_cost = 0.0;
   double parallel_cost = 0.0;
   std::int64_t costed_parallelism = 1;
+  /// Cost of shipping the plan's distributable fragments to a pool of
+  /// costed_distributed_workers (0 when the target mode isn't distributed):
+  /// fragment compute divided across the pool plus the serialization /
+  /// pipe / frame tax of the kExecuteFragment protocol.
+  double distributed_cost = 0.0;
+  std::int64_t costed_distributed_workers = 0;
   /// Per-operator subtree costs of the optimized plan, preorder.
   std::vector<OperatorCost> operator_costs;
 

@@ -18,13 +18,19 @@ RavenContext::RavenContext(RavenOptions options)
 
 void RavenContext::SyncOptimizerParallelism() {
   if (optimizer_parallelism_auto_) {
-    // Only in-process plans parallelize; costing worker/container modes at
-    // dop > 1 would promise speedups the executor never delivers.
+    // Only in-process plans morsel-parallelize; costing worker/container
+    // modes at dop > 1 would promise speedups the executor never delivers.
+    // Distributed mode runs its in-process remainder sequentially, so its
+    // dop is 1 too — its parallelism lives in the worker pool instead.
     optimizer_.mutable_options().target_parallelism =
         options_.execution.mode == runtime::ExecutionMode::kInProcess
             ? options_.execution.parallelism
             : 1;
   }
+  optimizer_.mutable_options().target_distributed_workers =
+      options_.execution.mode == runtime::ExecutionMode::kDistributed
+          ? options_.execution.distributed_workers
+          : 0;
 }
 
 Status RavenContext::RegisterTable(const std::string& name,
@@ -111,6 +117,11 @@ Result<std::string> RavenContext::Explain(const std::string& sql) {
   if (report.costed_parallelism > 1) {
     out += "  parallel(dop=" + std::to_string(report.costed_parallelism) +
            "): " + std::to_string(report.parallel_cost) + "\n";
+  }
+  if (report.costed_distributed_workers > 1) {
+    out += "  distributed(workers=" +
+           std::to_string(report.costed_distributed_workers) +
+           "): " + std::to_string(report.distributed_cost) + "\n";
   }
   if (!report.operator_costs.empty()) {
     out += "  operators (subtree totals):\n";

@@ -288,6 +288,159 @@ ExprPtr Not(ExprPtr operand) {
                                        nullptr);
 }
 
+void SerializeExpr(const Expr& expr, BinaryWriter* writer) {
+  writer->WriteU8(static_cast<std::uint8_t>(expr.kind()));
+  switch (expr.kind()) {
+    case Expr::Kind::kColumnRef:
+      writer->WriteString(static_cast<const ColumnRefExpr&>(expr).name());
+      return;
+    case Expr::Kind::kLiteral:
+      writer->WriteF64(static_cast<const LiteralExpr&>(expr).value());
+      return;
+    case Expr::Kind::kCompare: {
+      const auto& cmp = static_cast<const CompareExpr&>(expr);
+      writer->WriteU8(static_cast<std::uint8_t>(cmp.op()));
+      SerializeExpr(cmp.lhs(), writer);
+      SerializeExpr(cmp.rhs(), writer);
+      return;
+    }
+    case Expr::Kind::kArith: {
+      const auto& arith = static_cast<const ArithExpr&>(expr);
+      writer->WriteU8(static_cast<std::uint8_t>(arith.op()));
+      SerializeExpr(arith.lhs(), writer);
+      SerializeExpr(arith.rhs(), writer);
+      return;
+    }
+    case Expr::Kind::kLogical: {
+      const auto& logical = static_cast<const LogicalExpr&>(expr);
+      writer->WriteU8(static_cast<std::uint8_t>(logical.op()));
+      SerializeExpr(logical.lhs(), writer);
+      writer->WriteBool(logical.rhs() != nullptr);
+      if (logical.rhs() != nullptr) SerializeExpr(*logical.rhs(), writer);
+      return;
+    }
+    case Expr::Kind::kCaseWhen: {
+      const auto& cw = static_cast<const CaseWhenExpr&>(expr);
+      writer->WriteU64(cw.arms().size());
+      for (const auto& arm : cw.arms()) {
+        SerializeExpr(*arm.when, writer);
+        SerializeExpr(*arm.then, writer);
+      }
+      writer->WriteBool(cw.else_expr() != nullptr);
+      if (cw.else_expr() != nullptr) SerializeExpr(*cw.else_expr(), writer);
+      return;
+    }
+    case Expr::Kind::kIn: {
+      const auto& in = static_cast<const InExpr&>(expr);
+      SerializeExpr(in.input(), writer);
+      writer->WriteF64Vector(in.values());
+      return;
+    }
+  }
+}
+
+namespace {
+
+constexpr int kMaxExprDepth = 128;
+
+Result<ExprPtr> DeserializeExprAt(BinaryReader* reader, int depth) {
+  if (depth > kMaxExprDepth) {
+    return Status::ParseError("expression tree too deep (corrupt payload?)");
+  }
+  RAVEN_ASSIGN_OR_RETURN(std::uint8_t tag, reader->ReadU8());
+  if (tag > static_cast<std::uint8_t>(Expr::Kind::kIn)) {
+    return Status::ParseError("unknown expression kind code " +
+                              std::to_string(tag));
+  }
+  switch (static_cast<Expr::Kind>(tag)) {
+    case Expr::Kind::kColumnRef: {
+      RAVEN_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+      return ExprPtr(std::make_unique<ColumnRefExpr>(std::move(name)));
+    }
+    case Expr::Kind::kLiteral: {
+      RAVEN_ASSIGN_OR_RETURN(double value, reader->ReadF64());
+      return ExprPtr(std::make_unique<LiteralExpr>(value));
+    }
+    case Expr::Kind::kCompare: {
+      RAVEN_ASSIGN_OR_RETURN(std::uint8_t op, reader->ReadU8());
+      if (op > static_cast<std::uint8_t>(CompareOp::kGe)) {
+        return Status::ParseError("unknown compare op code");
+      }
+      RAVEN_ASSIGN_OR_RETURN(ExprPtr lhs,
+                             DeserializeExprAt(reader, depth + 1));
+      RAVEN_ASSIGN_OR_RETURN(ExprPtr rhs,
+                             DeserializeExprAt(reader, depth + 1));
+      return ExprPtr(std::make_unique<CompareExpr>(static_cast<CompareOp>(op),
+                                           std::move(lhs), std::move(rhs)));
+    }
+    case Expr::Kind::kArith: {
+      RAVEN_ASSIGN_OR_RETURN(std::uint8_t op, reader->ReadU8());
+      if (op > static_cast<std::uint8_t>(ArithOp::kDiv)) {
+        return Status::ParseError("unknown arithmetic op code");
+      }
+      RAVEN_ASSIGN_OR_RETURN(ExprPtr lhs,
+                             DeserializeExprAt(reader, depth + 1));
+      RAVEN_ASSIGN_OR_RETURN(ExprPtr rhs,
+                             DeserializeExprAt(reader, depth + 1));
+      return ExprPtr(std::make_unique<ArithExpr>(static_cast<ArithOp>(op),
+                                         std::move(lhs), std::move(rhs)));
+    }
+    case Expr::Kind::kLogical: {
+      RAVEN_ASSIGN_OR_RETURN(std::uint8_t op, reader->ReadU8());
+      if (op > static_cast<std::uint8_t>(LogicalOp::kNot)) {
+        return Status::ParseError("unknown logical op code");
+      }
+      RAVEN_ASSIGN_OR_RETURN(ExprPtr lhs,
+                             DeserializeExprAt(reader, depth + 1));
+      RAVEN_ASSIGN_OR_RETURN(bool has_rhs, reader->ReadBool());
+      ExprPtr rhs;
+      if (has_rhs) {
+        RAVEN_ASSIGN_OR_RETURN(rhs, DeserializeExprAt(reader, depth + 1));
+      }
+      return ExprPtr(std::make_unique<LogicalExpr>(static_cast<LogicalOp>(op),
+                                           std::move(lhs), std::move(rhs)));
+    }
+    case Expr::Kind::kCaseWhen: {
+      RAVEN_ASSIGN_OR_RETURN(std::uint64_t n, reader->ReadU64());
+      if (n > reader->remaining()) {
+        return Status::ParseError("implausible CASE arm count");
+      }
+      std::vector<CaseWhenExpr::Arm> arms;
+      arms.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        CaseWhenExpr::Arm arm;
+        RAVEN_ASSIGN_OR_RETURN(arm.when,
+                               DeserializeExprAt(reader, depth + 1));
+        RAVEN_ASSIGN_OR_RETURN(arm.then,
+                               DeserializeExprAt(reader, depth + 1));
+        arms.push_back(std::move(arm));
+      }
+      RAVEN_ASSIGN_OR_RETURN(bool has_else, reader->ReadBool());
+      ExprPtr else_expr;
+      if (has_else) {
+        RAVEN_ASSIGN_OR_RETURN(else_expr,
+                               DeserializeExprAt(reader, depth + 1));
+      }
+      return ExprPtr(std::make_unique<CaseWhenExpr>(std::move(arms),
+                                            std::move(else_expr)));
+    }
+    case Expr::Kind::kIn: {
+      RAVEN_ASSIGN_OR_RETURN(ExprPtr input,
+                             DeserializeExprAt(reader, depth + 1));
+      RAVEN_ASSIGN_OR_RETURN(std::vector<double> values,
+                             reader->ReadF64Vector());
+      return ExprPtr(std::make_unique<InExpr>(std::move(input), std::move(values)));
+    }
+  }
+  return Status::ParseError("unreachable expression kind");
+}
+
+}  // namespace
+
+Result<ExprPtr> DeserializeExpr(BinaryReader* reader) {
+  return DeserializeExprAt(reader, 0);
+}
+
 std::vector<const Expr*> ExtractConjuncts(const Expr& expr) {
   std::vector<const Expr*> out;
   if (expr.kind() == Expr::Kind::kLogical) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.h"
 #include "common/status.h"
 #include "relational/chunk.h"
 
@@ -248,6 +249,14 @@ struct SimplePredicate {
   CompareOp op = CompareOp::kEq;
   double constant = 0.0;
 };
+
+/// Binary serialization of expression trees, in the common BinaryWriter
+/// format (used by the plan-fragment wire protocol: WHERE predicates and
+/// projection expressions ship to pool workers inside serialized IR
+/// fragments). Deserialization is depth-limited so corrupt payloads fail
+/// with a parse error instead of exhausting the stack.
+void SerializeExpr(const Expr& expr, BinaryWriter* writer);
+Result<ExprPtr> DeserializeExpr(BinaryReader* reader);
 
 /// Splits a predicate tree into top-level AND conjuncts.
 std::vector<const Expr*> ExtractConjuncts(const Expr& expr);

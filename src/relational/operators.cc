@@ -836,32 +836,13 @@ Result<Table> ExecutePartitionedParallel(const Table& base,
                                "partition plan construction failed"))
                          : MaterializeAll(plan.get());
       });
-  Table merged;
-  std::vector<std::vector<double>> cols;
-  std::vector<std::string> names;
-  bool first = true;
+  std::vector<Table> parts;
+  parts.reserve(results.size());
   for (auto& result : results) {
     if (!result.ok()) return result.status();
-    Table& part = result.value();
-    if (part.num_columns() == 0) continue;  // partition produced no rows
-    if (first) {
-      names = part.ColumnNames();
-      cols.assign(names.size(), {});
-      first = false;
-    }
-    if (part.ColumnNames() != names) {
-      return Status::ExecutionError("partition schema mismatch");
-    }
-    for (std::size_t c = 0; c < names.size(); ++c) {
-      auto& src = part.mutable_columns()[c].data;
-      cols[c].insert(cols[c].end(), src.begin(), src.end());
-    }
+    parts.push_back(std::move(result).value());
   }
-  for (std::size_t c = 0; c < names.size(); ++c) {
-    RAVEN_RETURN_IF_ERROR(
-        merged.AddNumericColumn(names[c], std::move(cols[c])));
-  }
-  return merged;
+  return ConcatTables(std::move(parts));
 }
 
 }  // namespace raven::relational

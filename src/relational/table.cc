@@ -149,4 +149,61 @@ std::string Table::ToString(std::int64_t max_rows) const {
   return os.str();
 }
 
+void Table::Serialize(BinaryWriter* writer) const {
+  writer->WriteU64(columns_.size());
+  for (const auto& c : columns_) {
+    writer->WriteString(c.name);
+    writer->WriteF64Vector(c.data);
+    writer->WriteBool(c.dictionary.has_value());
+    if (c.dictionary.has_value()) writer->WriteStringVector(*c.dictionary);
+  }
+}
+
+Result<Table> ConcatTables(std::vector<Table> parts) {
+  Table merged;
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> cols;
+  bool first = true;
+  for (auto& part : parts) {
+    if (part.num_columns() == 0) continue;  // part produced no rows
+    if (first) {
+      names = part.ColumnNames();
+      cols.assign(names.size(), {});
+      first = false;
+    } else if (part.ColumnNames() != names) {
+      return Status::ExecutionError(
+          "cannot concatenate tables with diverging schemas");
+    }
+    for (std::size_t c = 0; c < names.size(); ++c) {
+      auto& src = part.mutable_columns()[c].data;
+      cols[c].insert(cols[c].end(), src.begin(), src.end());
+    }
+  }
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    RAVEN_RETURN_IF_ERROR(
+        merged.AddNumericColumn(names[c], std::move(cols[c])));
+  }
+  return merged;
+}
+
+Result<Table> Table::Deserialize(BinaryReader* reader) {
+  RAVEN_ASSIGN_OR_RETURN(std::uint64_t n, reader->ReadU64());
+  if (n > reader->remaining()) {
+    return Status::ParseError("implausible table column count");
+  }
+  Table out;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Column column;
+    RAVEN_ASSIGN_OR_RETURN(column.name, reader->ReadString());
+    RAVEN_ASSIGN_OR_RETURN(column.data, reader->ReadF64Vector());
+    RAVEN_ASSIGN_OR_RETURN(bool categorical, reader->ReadBool());
+    if (categorical) {
+      RAVEN_ASSIGN_OR_RETURN(auto dictionary, reader->ReadStringVector());
+      column.dictionary = std::move(dictionary);
+    }
+    RAVEN_RETURN_IF_ERROR(out.AddColumn(std::move(column)));
+  }
+  return out;
+}
+
 }  // namespace raven::relational

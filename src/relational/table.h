@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.h"
 #include "common/status.h"
 #include "tensor/tensor.h"
 
@@ -69,9 +70,23 @@ class Table {
 
   std::string ToString(std::int64_t max_rows = 10) const;
 
+  /// Binary serialization in the common BinaryWriter format (columns with
+  /// their dictionaries). Used by the plan-fragment wire protocol to ship
+  /// scan partitions to pool workers.
+  void Serialize(BinaryWriter* writer) const;
+  static Result<Table> Deserialize(BinaryReader* reader);
+
  private:
   std::vector<Column> columns_;
 };
+
+/// Concatenates same-schema tables row-wise (numeric data; dictionaries
+/// are not propagated, matching MaterializeAll's convention). Column-less
+/// parts — the engine-wide "no rows produced" convention — are skipped, so
+/// the result is column-less only when every part is. Fails when non-empty
+/// parts disagree on schema. This is the single merge routine behind both
+/// partitioned-parallel execution and distributed fragment reassembly.
+Result<Table> ConcatTables(std::vector<Table> parts);
 
 }  // namespace raven::relational
 

@@ -114,9 +114,15 @@ Result<BatchScorer> MakeExternalScorer(WorkerCommand kind,
 }
 
 Result<BatchScorer> ScorerFor(const IrNode& node, const RuntimeContext& ctx) {
+  // In distributed mode the model nodes inside shipped fragments score in
+  // the pool workers; any model node left in the in-process remainder (e.g.
+  // a clustered predict over grouped data) scores locally, never through a
+  // one-shot external worker.
+  const bool local_scoring = ctx.options.mode == ExecutionMode::kInProcess ||
+                             ctx.options.mode == ExecutionMode::kDistributed;
   switch (node.kind) {
     case IrOpKind::kModelPipeline: {
-      if (ctx.options.mode == ExecutionMode::kInProcess) {
+      if (local_scoring) {
         return MakeInterpretedScorer(node.pipeline, ctx);
       }
       return MakeExternalScorer(WorkerCommand::kScorePipeline,
@@ -126,7 +132,7 @@ Result<BatchScorer> ScorerFor(const IrNode& node, const RuntimeContext& ctx) {
       // Clustering artifacts live in the optimizer process; always local.
       return MakeClusteredScorer(node.clustered, ctx);
     case IrOpKind::kNnGraph: {
-      if (ctx.options.mode == ExecutionMode::kInProcess) {
+      if (local_scoring) {
         return MakeNnScorer(node, ctx);
       }
       BinaryWriter writer;
@@ -150,6 +156,8 @@ const char* ExecutionModeToString(ExecutionMode mode) {
   switch (mode) {
     case ExecutionMode::kInProcess:
       return "in-process";
+    case ExecutionMode::kDistributed:
+      return "distributed";
     case ExecutionMode::kOutOfProcess:
       return "out-of-process";
     case ExecutionMode::kContainer:
@@ -403,6 +411,9 @@ void StatsCollector::Finalize(ExecutionStats* out) const {
       nn_simulated_micros_.load(std::memory_order_relaxed);
   out->partitions_used = partitions_used.load(std::memory_order_relaxed);
   out->morsels = morsels.load(std::memory_order_relaxed);
+  out->frames_sent = frames_sent.load(std::memory_order_relaxed);
+  out->bytes_shipped = bytes_shipped.load(std::memory_order_relaxed);
+  out->worker_restarts = worker_restarts.load(std::memory_order_relaxed);
   out->operators.clear();
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, slot] : slots_) {

@@ -21,10 +21,12 @@
 
 namespace raven::runtime {
 
-/// Where model scoring runs (paper §5, in decreasing integration order).
+/// Where query execution (and model scoring) runs (paper §5, in decreasing
+/// integration order).
 enum class ExecutionMode {
   kInProcess,     ///< NNRT linked into the engine (PREDICT operator)
-  kOutOfProcess,  ///< raven_worker child process over pipes (Raven Ext)
+  kDistributed,   ///< plan fragments ship to a persistent raven_worker pool
+  kOutOfProcess,  ///< one-shot raven_worker per query over pipes (Raven Ext)
   kContainer,     ///< per-query worker with container boot cost (fallback)
 };
 
@@ -44,11 +46,20 @@ struct ExecutionOptions {
   std::int64_t morsel_rows = 0;
   /// NNRT device for in-process sessions (CPU or simulated accelerator).
   nnrt::DeviceSpec device = nnrt::DeviceSpec::Cpu();
-  /// Out-of-process worker configuration.
+  /// Out-of-process worker configuration (shared by the one-shot Raven Ext
+  /// modes and the kDistributed worker pool: binary path, boot cost).
   ExternalRuntimeOptions external;
   /// Containerized execution adds container start-up on top of the worker
   /// boot cost.
   std::int64_t container_extra_boot_millis = 600;
+  /// kDistributed: size of the persistent worker pool leaf-scan partitions
+  /// spread over. The pool spawns lazily on the first distributed query and
+  /// stays warm across queries.
+  std::int64_t distributed_workers = 2;
+  /// kDistributed: per-frame read timeout guarding against wedged workers
+  /// (<= 0 disables). A timed-out partition retries on a fresh worker, then
+  /// falls back to in-process execution.
+  int distributed_frame_timeout_millis = 30000;
 };
 
 /// Per-operator execution counters, summed over all workers that ran a
@@ -69,10 +80,18 @@ struct ExecutionStats {
   /// Device-model time for accelerator sessions (== wall time on CPU).
   double nn_simulated_micros = 0.0;
   /// Morsel-parallel workers the plan actually executed with (1 when the
-  /// plan ran sequentially).
+  /// plan ran sequentially); pool workers in a distributed run.
   std::int64_t partitions_used = 1;
   /// Scan morsels dispensed across all pipelines (0 in sequential runs).
   std::int64_t morsels = 0;
+  /// Distributed execution: kExecuteFragment request frames sent to pool
+  /// workers (retries included).
+  std::int64_t frames_sent = 0;
+  /// Distributed execution: total request payload bytes shipped to workers
+  /// plus response payload bytes received back.
+  std::int64_t bytes_shipped = 0;
+  /// Distributed execution: pool workers replaced after a failed exchange.
+  std::int64_t worker_restarts = 0;
   /// Per-operator counters in plan-build order.
   std::vector<OperatorStats> operators;
 };
@@ -98,6 +117,9 @@ class StatsCollector {
 
   std::atomic<std::int64_t> partitions_used{1};
   std::atomic<std::int64_t> morsels{0};
+  std::atomic<std::int64_t> frames_sent{0};
+  std::atomic<std::int64_t> bytes_shipped{0};
+  std::atomic<std::int64_t> worker_restarts{0};
 
  private:
   std::atomic<std::int64_t> rows_out_{0};

@@ -6,6 +6,8 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <vector>
 
 namespace raven::runtime {
 
@@ -41,6 +43,10 @@ Result<std::string> ResolveWorkerPath(const std::string& configured) {
 WorkerClient::~WorkerClient() { Stop(); }
 
 Status WorkerClient::Start(const ExternalRuntimeOptions& options) {
+  // Workers die at arbitrary times (crashes, SIGKILL fault injection); a
+  // write into the broken pipe must come back as EPIPE, not SIGPIPE.
+  static std::once_flag sigpipe_once;
+  std::call_once(sigpipe_once, [] { ::signal(SIGPIPE, SIG_IGN); });
   RAVEN_ASSIGN_OR_RETURN(std::string path,
                          ResolveWorkerPath(options.worker_path));
   int to_pipe[2];
@@ -48,6 +54,13 @@ Status WorkerClient::Start(const ExternalRuntimeOptions& options) {
   if (::pipe(to_pipe) != 0 || ::pipe(from_pipe) != 0) {
     return Status::IoError("pipe() failed");
   }
+  // argv assembled before fork: only async-signal-safe calls may run in the
+  // child of a multithreaded parent.
+  const std::string boot_arg =
+      "--boot-ms=" + std::to_string(options.boot_millis);
+  std::vector<const char*> argv = {path.c_str(), boot_arg.c_str()};
+  for (const auto& arg : options.worker_args) argv.push_back(arg.c_str());
+  argv.push_back(nullptr);
   const pid_t pid = ::fork();
   if (pid < 0) return Status::IoError("fork() failed");
   if (pid == 0) {
@@ -58,10 +71,7 @@ Status WorkerClient::Start(const ExternalRuntimeOptions& options) {
     ::close(to_pipe[1]);
     ::close(from_pipe[0]);
     ::close(from_pipe[1]);
-    const std::string boot_arg =
-        "--boot-ms=" + std::to_string(options.boot_millis);
-    ::execl(path.c_str(), path.c_str(), boot_arg.c_str(),
-            static_cast<char*>(nullptr));
+    ::execv(path.c_str(), const_cast<char* const*>(argv.data()));
     ::_exit(127);  // exec failed
   }
   ::close(to_pipe[0]);
@@ -101,11 +111,26 @@ Result<Tensor> WorkerClient::Score(WorkerCommand kind,
   return response.output;
 }
 
+Status WorkerClient::SendFrame(const std::string& payload) {
+  if (!running()) return Status::ExecutionError("worker not running");
+  return WriteFrame(to_worker_, payload);
+}
+
+Result<std::string> WorkerClient::ReceiveFrame(int timeout_millis) {
+  if (!running()) return Status::ExecutionError("worker not running");
+  return ReadFrame(from_worker_, timeout_millis);
+}
+
 void WorkerClient::Stop() {
   if (pid_ <= 0) return;
   ScoreRequest request;
   request.command = WorkerCommand::kShutdown;
-  (void)WriteFrame(to_worker_, EncodeRequest(request));
+  if (WriteFrame(to_worker_, EncodeRequest(request)).ok()) {
+    // The worker acks kShutdown before exiting, which makes the join below
+    // deterministic; a dead/wedged worker skips the ack and falls through
+    // to the kill path. Bounded wait so a wedged worker cannot stall Stop.
+    (void)ReadFrame(from_worker_, /*timeout_millis=*/2000);
+  }
   ::close(to_worker_);
   ::close(from_worker_);
   int status = 0;

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "runtime/worker_protocol.h"
@@ -27,6 +28,9 @@ struct ExternalRuntimeOptions {
   /// sp_execute_external_script lifecycle; when false the worker persists
   /// across calls (used by tests).
   bool per_query_process = true;
+  /// Extra argv entries appended after --boot-ms (e.g. the protocol
+  /// fault-injection flags raven_worker exposes for tests).
+  std::vector<std::string> worker_args;
 };
 
 /// Resolves the worker binary path (options, $RAVEN_WORKER_PATH, or
@@ -45,16 +49,28 @@ class WorkerClient {
   WorkerClient& operator=(const WorkerClient&) = delete;
 
   /// Spawns the worker via fork/exec. Blocks until the worker answers a
-  /// ping (i.e. the simulated runtime boot completed).
+  /// ping (i.e. the simulated runtime boot completed). Also installs a
+  /// process-wide SIGPIPE ignore (once), so writing to a worker that died
+  /// surfaces as an EPIPE IoError instead of killing the engine.
   Status Start(const ExternalRuntimeOptions& options);
 
   bool running() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
 
   /// Ships model bytes + input tensor, returns predictions.
   Result<Tensor> Score(WorkerCommand kind, const std::string& model_bytes,
                        const Tensor& input);
 
-  /// Graceful shutdown (sends kShutdown, reaps the child).
+  /// Raw frame I/O for multi-frame exchanges (the plan-fragment streaming
+  /// protocol). The caller owns request/response pairing; a failed exchange
+  /// leaves the pipe in an unknown state, so treat any error as fatal for
+  /// this worker and restart it.
+  Status SendFrame(const std::string& payload);
+  Result<std::string> ReceiveFrame(int timeout_millis = -1);
+
+  /// Graceful shutdown: sends kShutdown, waits for the worker's ack frame
+  /// (making the join deterministic), then reaps the child — escalating to
+  /// SIGKILL only if the worker ignores the request.
   void Stop();
 
  private:

@@ -4,11 +4,14 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/thread_pool.h"
 #include "relational/operators.h"
+#include "runtime/worker_pool.h"
 
 namespace raven::runtime {
 namespace {
@@ -279,7 +282,234 @@ class MorselExecutor {
   std::int64_t morsels_dispensed_ = 0;
 };
 
+/// Orchestrates one distributed execution: ships every distributable
+/// fragment to the worker pool (one leaf-scan partition per worker, merged
+/// back in range order), then executes the in-process remainder over the
+/// materialized fragment tables. Owns the retry-then-fallback policy that
+/// keeps a query correct through worker deaths.
+class DistributedExecutor {
+ public:
+  DistributedExecutor(RuntimeContext base_ctx, WorkerPool* pool)
+      : base_ctx_(std::move(base_ctx)), pool_(pool) {}
+
+  Result<Table> Execute(const IrNode& original_root) {
+    // Work on a clone: fragment subtrees are spliced out of the tree below,
+    // and the caller's plan must stay reusable.
+    ir::IrNodePtr root = original_root.Clone();
+    std::vector<const IrNode*> fragments;
+    ir::CollectDistributableFragments(*root, &fragments);
+    std::unordered_map<const IrNode*, std::string> splice_names;
+    relational::Catalog overlay;
+    for (std::size_t i = 0; i < fragments.size(); ++i) {
+      RAVEN_ASSIGN_OR_RETURN(Table result, ExecuteFragment(*fragments[i]));
+      if (fragments[i] == root.get()) return result;  // whole plan shipped
+      const std::string name = "__raven_fragment_" + std::to_string(i);
+      RAVEN_RETURN_IF_ERROR(overlay.RegisterTable(name, std::move(result)));
+      splice_names[fragments[i]] = name;
+    }
+    SpliceFragments(&root, splice_names);
+    // The remainder (joins, aggregates, sorts, limits — everything above
+    // the fragments) executes sequentially in-process. Every original leaf
+    // scan lives inside some fragment, so the overlay catalog is the
+    // remainder's complete universe.
+    RuntimeContext ctx = base_ctx_;
+    ctx.catalog = &overlay;
+    RAVEN_ASSIGN_OR_RETURN(auto tree, BuildPhysicalPlan(*root, ctx));
+    return relational::MaterializeAll(tree.get());
+  }
+
+ private:
+  static void SpliceFragments(
+      ir::IrNodePtr* node,
+      const std::unordered_map<const IrNode*, std::string>& names) {
+    auto it = names.find(node->get());
+    if (it != names.end()) {
+      *node = IrNode::TableScan(it->second);
+      return;
+    }
+    for (auto& child : (*node)->children) {
+      SpliceFragments(&child, names);
+    }
+  }
+
+  void CountFrame(const std::string& frame) {
+    if (base_ctx_.stats == nullptr) return;
+    base_ctx_.stats->frames_sent.fetch_add(1, std::memory_order_relaxed);
+    base_ctx_.stats->bytes_shipped.fetch_add(
+        static_cast<std::int64_t>(frame.size()), std::memory_order_relaxed);
+  }
+
+  void CountReceived(std::int64_t bytes) {
+    if (base_ctx_.stats == nullptr) return;
+    base_ctx_.stats->bytes_shipped.fetch_add(bytes,
+                                             std::memory_order_relaxed);
+  }
+
+  /// Executes the fragment in-process over the full scan table (used for
+  /// empty scans, where partitioning has nothing to hand out).
+  Result<Table> ExecuteFragmentInProcess(const IrNode& fragment) {
+    RAVEN_ASSIGN_OR_RETURN(auto tree,
+                           BuildPhysicalPlan(fragment, base_ctx_));
+    return relational::MaterializeAll(tree.get());
+  }
+
+  Result<Table> ExecuteFragment(const IrNode& fragment) {
+    const IrNode* leaf = &fragment;
+    while (leaf->kind != IrOpKind::kTableScan) {
+      leaf = leaf->children[0].get();
+    }
+    RAVEN_ASSIGN_OR_RETURN(const Table* table,
+                           base_ctx_.catalog->GetTable(leaf->table_name));
+    const std::int64_t rows = table->num_rows();
+    const std::int64_t workers = pool_->num_workers();
+    if (rows == 0) return ExecuteFragmentInProcess(fragment);
+    BinaryWriter plan_writer;
+    RAVEN_RETURN_IF_ERROR(ir::SerializeFragment(fragment, &plan_writer));
+    const std::string plan_bytes = plan_writer.Release();
+
+    // One contiguous partition per worker (the first `rows % workers`
+    // partitions absorb the remainder); concatenating partition outputs in
+    // range order reproduces the sequential row order exactly. Only the
+    // encoded frame is kept per partition — it already embeds the slice,
+    // and the fallback path re-decodes it rather than holding a second
+    // copy of the shipped bytes alive for the whole execution.
+    struct Partition {
+      std::int64_t worker = 0;
+      std::int64_t begin = 0;
+      std::int64_t end = 0;
+      std::string frame;
+      Result<Table> result = Status::Internal("not executed");
+    };
+    std::deque<Partition> partitions;
+    const std::int64_t base = rows / workers;
+    const std::int64_t extra = rows % workers;
+    std::int64_t begin = 0;
+    for (std::int64_t w = 0; w < workers && begin < rows; ++w) {
+      const std::int64_t size = base + (w < extra ? 1 : 0);
+      if (size == 0) continue;
+      Partition part;
+      part.worker = w;
+      part.begin = begin;
+      part.end = begin + size;
+      FragmentRequest request;
+      request.plan_bytes = plan_bytes;
+      request.table_name = leaf->table_name;
+      request.range_begin = begin;
+      request.range_end = begin + size;
+      BinaryWriter table_writer;
+      table->SliceRows(begin, begin + size).Serialize(&table_writer);
+      request.table_bytes = table_writer.Release();
+      part.frame = EncodeFragmentRequest(request);
+      partitions.push_back(std::move(part));
+      begin += size;
+    }
+
+    TaskGroup group;
+    for (auto& part : partitions) {
+      group.Spawn([this, &part, leaf] {
+        part.result = RunPartition(part.frame, leaf->table_name, part.begin,
+                                   part.end, part.worker);
+      });
+    }
+    group.Wait();
+
+    std::vector<Table> pieces;
+    pieces.reserve(partitions.size());
+    for (auto& part : partitions) {
+      if (!part.result.ok()) return part.result.status();
+      pieces.push_back(std::move(part.result).value());
+    }
+    // Schema divergence across partitions (a worker sent garbage that
+    // still decoded) fails here rather than corrupting the merge.
+    return relational::ConcatTables(std::move(pieces));
+  }
+
+  /// One partition's lifecycle: try the assigned worker; on any failure
+  /// replace that worker and retry the identical frame once (frames are
+  /// self-contained, so a resend is safe); if the retry also fails, decode
+  /// the frame back and execute the partition in-process — the same decode
+  /// path a worker uses. The partition therefore always completes — the
+  /// failure mode is a diagnosable slowdown, never a wrong answer or a
+  /// hang.
+  Result<Table> RunPartition(const std::string& frame,
+                             const std::string& table_name,
+                             std::int64_t range_begin, std::int64_t range_end,
+                             std::int64_t worker) {
+    CountFrame(frame);
+    auto attempt = pool_->ExecuteFragment(worker, frame);
+    if (!attempt.ok()) {
+      RAVEN_LOG(Warning) << "distributed partition [" << range_begin << ", "
+                         << range_end << ") of " << table_name
+                         << " failed on worker " << worker << ": "
+                         << attempt.status().ToString()
+                         << "; retrying on a fresh worker";
+      Status restarted = pool_->RestartWorker(worker);
+      if (restarted.ok()) {
+        if (base_ctx_.stats != nullptr) {
+          base_ctx_.stats->worker_restarts.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        CountFrame(frame);
+        attempt = pool_->ExecuteFragment(worker, frame);
+      } else {
+        attempt = restarted;
+      }
+    }
+    if (attempt.ok()) {
+      CountReceived(attempt->bytes_received);
+      auto table = attempt->ToTable();
+      if (table.ok()) return table;
+      attempt = table.status();
+    }
+    RAVEN_LOG(Warning) << "distributed partition [" << range_begin << ", "
+                       << range_end << ") of " << table_name
+                       << " exhausted its retry; executing in-process: "
+                       << attempt.status().ToString();
+    RAVEN_ASSIGN_OR_RETURN(FragmentRequest request,
+                           DecodeFragmentRequest(frame));
+    return ExecuteFragmentLocally(request, base_ctx_.session_cache);
+  }
+
+  RuntimeContext base_ctx_;
+  WorkerPool* pool_;
+};
+
 }  // namespace
+
+PlanExecutor::PlanExecutor(const relational::Catalog* catalog,
+                           nnrt::SessionCache* session_cache)
+    : catalog_(catalog), session_cache_(session_cache) {}
+
+PlanExecutor::~PlanExecutor() = default;
+
+WorkerPool* PlanExecutor::worker_pool() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return pool_.get();
+}
+
+WorkerPool* PlanExecutor::EnsurePool(const ExecutionOptions& options) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  WorkerPoolOptions want;
+  want.num_workers = std::max<std::int64_t>(1, options.distributed_workers);
+  want.external = options.external;
+  want.frame_timeout_millis = options.distributed_frame_timeout_millis;
+  if (pool_ != nullptr && pool_->running() &&
+      pool_->options().SameSpawnConfig(want)) {
+    // The timeout is a per-query option, not spawn configuration: follow
+    // it on the warm pool instead of silently keeping the first query's.
+    pool_->set_frame_timeout_millis(want.frame_timeout_millis);
+    return pool_.get();
+  }
+  pool_ = std::make_unique<WorkerPool>();
+  Status started = pool_->Start(want);
+  if (!started.ok()) {
+    RAVEN_LOG(Warning) << "distributed worker pool unavailable, executing "
+                       << "in-process: " << started.ToString();
+    pool_.reset();
+    return nullptr;
+  }
+  return pool_.get();
+}
 
 Result<Table> PlanExecutor::Execute(const ir::IrPlan& plan,
                                     const ExecutionOptions& options,
@@ -294,12 +524,29 @@ Result<Table> PlanExecutor::Execute(const ir::IrPlan& plan,
   ctx.options = options;
   ctx.stats = stats != nullptr ? &collector : nullptr;
 
+  // Distributed execution ships the plan's distributable fragments to the
+  // persistent worker pool and runs the remainder in-process. If the pool
+  // cannot start (no worker binary), the query degrades to the in-process
+  // paths below rather than failing.
+  if (options.mode == ExecutionMode::kDistributed) {
+    WorkerPool* pool = EnsurePool(options);
+    if (pool != nullptr) {
+      DistributedExecutor dexec(ctx, pool);
+      Result<Table> result = dexec.Execute(*plan.root());
+      collector.partitions_used.store(pool->num_workers());
+      if (stats != nullptr) collector.Finalize(stats);
+      return result;
+    }
+  }
+
   // Morsel-parallel execution covers every in-process plan shape except:
   // LIMIT (an ordered early-out — splitting it across workers changes which
   // rows survive) and opaque pipelines (each worker tree would boot its own
   // external process).
   const bool parallel =
-      options.parallelism > 1 && options.mode == ExecutionMode::kInProcess &&
+      options.parallelism > 1 &&
+      (options.mode == ExecutionMode::kInProcess ||
+       options.mode == ExecutionMode::kDistributed) &&
       !PlanContains(plan.root(), IrOpKind::kLimit) &&
       !PlanContains(plan.root(), IrOpKind::kOpaquePipeline);
 

@@ -1,6 +1,9 @@
 #ifndef RAVEN_RUNTIME_PLAN_EXECUTOR_H_
 #define RAVEN_RUNTIME_PLAN_EXECUTOR_H_
 
+#include <memory>
+#include <mutex>
+
 #include "common/status.h"
 #include "ir/ir.h"
 #include "nnrt/session.h"
@@ -9,6 +12,8 @@
 #include "runtime/codegen.h"
 
 namespace raven::runtime {
+
+class WorkerPool;
 
 /// Executes optimized IR plans against the relational engine.
 ///
@@ -27,19 +32,45 @@ namespace raven::runtime {
 /// containing LIMIT (an inherently ordered early-out) and the
 /// out-of-process/container modes run sequentially, as does anything with
 /// an opaque-pipeline UDF (one external worker per query).
+///
+/// ExecutionMode::kDistributed ships the plan's distributable fragments
+/// (row-wise operator chains over a single scan) to a persistent pool of
+/// raven_worker processes: each fragment's leaf scan partitions into one
+/// contiguous row range per pool worker, workers execute their partition
+/// via this same executor and stream chunks back, and the engine merges
+/// partition outputs in range order — byte-identical to a sequential run.
+/// Everything above the fragments (joins, aggregates, sorts, limits)
+/// executes in-process over the materialized fragment tables. A partition
+/// whose worker dies (or wedges past the frame timeout) retries once on a
+/// freshly spawned worker, then falls back to in-process execution, so a
+/// distributed query never fails — or hangs — because of a worker. The
+/// pool spawns lazily on the first distributed query and stays warm across
+/// queries; if it cannot start at all the whole query falls back
+/// in-process.
 class PlanExecutor {
  public:
   PlanExecutor(const relational::Catalog* catalog,
-               nnrt::SessionCache* session_cache)
-      : catalog_(catalog), session_cache_(session_cache) {}
+               nnrt::SessionCache* session_cache);
+  ~PlanExecutor();
 
   Result<relational::Table> Execute(const ir::IrPlan& plan,
                                     const ExecutionOptions& options,
                                     ExecutionStats* stats = nullptr);
 
+  /// The lazily spawned distributed worker pool; nullptr until the first
+  /// distributed query (or after a failed pool start). Exposed for the
+  /// fault-injection tests, which SIGKILL workers through it.
+  WorkerPool* worker_pool();
+
  private:
+  /// Returns the warm pool matching `options`, (re)spawning it when the
+  /// spawn configuration changed; nullptr if the pool cannot start.
+  WorkerPool* EnsurePool(const ExecutionOptions& options);
+
   const relational::Catalog* catalog_;
   nnrt::SessionCache* session_cache_;
+  std::mutex pool_mu_;
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace raven::runtime

@@ -1,0 +1,139 @@
+#include "runtime/worker_pool.h"
+
+#include "ir/ir.h"
+#include "relational/catalog.h"
+#include "runtime/plan_executor.h"
+
+namespace raven::runtime {
+
+Result<relational::Table> FragmentResult::ToTable() const {
+  relational::Table out;
+  if (result_names.empty()) return out;  // column-less empty convention
+  std::vector<std::vector<double>> cols(result_names.size());
+  for (const auto& chunk : chunks) {
+    if (chunk.cols.size() != result_names.size()) {
+      return Status::ParseError("fragment chunk column count mismatch");
+    }
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      cols[c].insert(cols[c].end(), chunk.cols[c].begin(),
+                     chunk.cols[c].end());
+    }
+  }
+  if (!cols.empty() &&
+      static_cast<std::int64_t>(cols.front().size()) != result_rows) {
+    return Status::ParseError("fragment stream row count mismatch");
+  }
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    RAVEN_RETURN_IF_ERROR(
+        out.AddNumericColumn(result_names[c], std::move(cols[c])));
+  }
+  return out;
+}
+
+WorkerPool::~WorkerPool() { Stop(); }
+
+Status WorkerPool::Start(const WorkerPoolOptions& options) {
+  Stop();
+  options_ = options;
+  frame_timeout_millis_.store(options.frame_timeout_millis,
+                              std::memory_order_relaxed);
+  const std::int64_t n = std::max<std::int64_t>(1, options.num_workers);
+  for (std::int64_t w = 0; w < n; ++w) {
+    auto client = std::make_unique<WorkerClient>();
+    Status started = client->Start(options_.external);
+    if (!started.ok()) {
+      workers_.clear();
+      worker_mus_.clear();
+      return Status(started.code(),
+                    "worker pool start failed (worker " + std::to_string(w) +
+                        "/" + std::to_string(n) + "): " + started.message());
+    }
+    workers_.push_back(std::move(client));
+    worker_mus_.push_back(std::make_unique<std::mutex>());
+  }
+  running_ = true;
+  return Status::OK();
+}
+
+void WorkerPool::Stop() {
+  workers_.clear();  // ~WorkerClient sends kShutdown and reaps
+  worker_mus_.clear();
+  running_ = false;
+}
+
+pid_t WorkerPool::worker_pid(std::int64_t w) const {
+  if (w < 0 || w >= num_workers()) return -1;
+  return workers_[static_cast<std::size_t>(w)]->pid();
+}
+
+Result<FragmentResult> WorkerPool::ExecuteFragment(
+    std::int64_t w, const std::string& request_frame) {
+  if (!running_ || w < 0 || w >= num_workers()) {
+    return Status::InvalidArgument("no such pool worker " + std::to_string(w));
+  }
+  std::lock_guard<std::mutex> lock(*worker_mus_[static_cast<std::size_t>(w)]);
+  // The pointer load happens under the lock: a concurrent RestartWorker on
+  // this slot swaps (and destroys) the client.
+  WorkerClient* worker = workers_[static_cast<std::size_t>(w)].get();
+  const int timeout = frame_timeout_millis_.load(std::memory_order_relaxed);
+  RAVEN_RETURN_IF_ERROR(worker->SendFrame(request_frame));
+  FragmentResult result;
+  for (;;) {
+    RAVEN_ASSIGN_OR_RETURN(std::string payload,
+                           worker->ReceiveFrame(timeout));
+    result.bytes_received += static_cast<std::int64_t>(payload.size());
+    RAVEN_ASSIGN_OR_RETURN(FragmentEvent event, DecodeFragmentEvent(payload));
+    switch (event.kind) {
+      case FragmentEventKind::kChunk:
+        result.chunks.push_back(std::move(event.chunk));
+        break;
+      case FragmentEventKind::kDone:
+        result.result_names = std::move(event.result_names);
+        result.result_rows = event.result_rows;
+        return result;
+      case FragmentEventKind::kError:
+        return Status::ExecutionError("worker fragment execution failed: " +
+                                      event.error);
+    }
+  }
+}
+
+Status WorkerPool::RestartWorker(std::int64_t w) {
+  if (w < 0 || w >= num_workers()) {
+    return Status::InvalidArgument("no such pool worker " + std::to_string(w));
+  }
+  std::lock_guard<std::mutex> lock(*worker_mus_[static_cast<std::size_t>(w)]);
+  auto fresh = std::make_unique<WorkerClient>();
+  RAVEN_RETURN_IF_ERROR(fresh->Start(options_.external));
+  workers_[static_cast<std::size_t>(w)] = std::move(fresh);
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<relational::Table> ExecuteFragmentLocally(
+    const FragmentRequest& request, nnrt::SessionCache* session_cache) {
+  BinaryReader table_reader(request.table_bytes);
+  RAVEN_ASSIGN_OR_RETURN(relational::Table slice,
+                         relational::Table::Deserialize(&table_reader));
+  if (slice.num_rows() != request.range_end - request.range_begin) {
+    return Status::ParseError(
+        "fragment slice holds " + std::to_string(slice.num_rows()) +
+        " rows but the partition range claims " +
+        std::to_string(request.range_end - request.range_begin));
+  }
+  BinaryReader plan_reader(request.plan_bytes);
+  RAVEN_ASSIGN_OR_RETURN(ir::IrNodePtr fragment,
+                         ir::DeserializeFragment(&plan_reader));
+  relational::Catalog catalog;
+  RAVEN_RETURN_IF_ERROR(
+      catalog.RegisterTable(request.table_name, std::move(slice)));
+  ir::IrPlan plan(std::move(fragment));
+  PlanExecutor executor(&catalog, session_cache);
+  // Partitions execute sequentially: the partition loop is the parallelism,
+  // and sequential execution keeps partition output byte-identical to the
+  // corresponding rows of a sequential whole-table run.
+  ExecutionOptions options;
+  return executor.Execute(plan, options);
+}
+
+}  // namespace raven::runtime

@@ -1,0 +1,131 @@
+#ifndef RAVEN_RUNTIME_WORKER_POOL_H_
+#define RAVEN_RUNTIME_WORKER_POOL_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nnrt/session.h"
+#include "relational/chunk.h"
+#include "relational/table.h"
+#include "runtime/external_runtime.h"
+#include "runtime/worker_protocol.h"
+
+namespace raven::runtime {
+
+/// Configuration of one persistent worker pool.
+struct WorkerPoolOptions {
+  std::int64_t num_workers = 2;
+  /// Worker binary resolution + simulated runtime boot cost. The boot cost
+  /// is paid once per worker at pool start (that is the point of keeping
+  /// the pool warm), not per query like the one-shot Raven Ext path.
+  ExternalRuntimeOptions external;
+  /// Per-frame read timeout guarding against wedged (not dead) workers;
+  /// <= 0 disables. A timeout fails the exchange, and the caller's
+  /// retry/fallback logic takes over.
+  int frame_timeout_millis = 30000;
+
+  bool SameSpawnConfig(const WorkerPoolOptions& other) const {
+    return num_workers == other.num_workers &&
+           external.worker_path == other.external.worker_path &&
+           external.boot_millis == other.external.boot_millis &&
+           external.worker_args == other.external.worker_args;
+  }
+};
+
+/// Assembled response stream of one fragment partition.
+struct FragmentResult {
+  std::vector<relational::DataChunk> chunks;  ///< result row order
+  std::vector<std::string> result_names;      ///< schema (even when 0 rows)
+  std::int64_t result_rows = 0;
+  std::int64_t bytes_received = 0;  ///< response payload bytes (stats)
+
+  /// Concatenates the chunks into a Table (column-less when the worker
+  /// reported no schema, matching the engine's empty convention).
+  Result<relational::Table> ToTable() const;
+};
+
+/// A pool of N persistent raven_worker processes kept warm across queries —
+/// the paper's out-of-process runtime (§5, Raven Ext) grown from a one-shot
+/// scorer into a distributed plan-fragment executor. Workers are stateless
+/// between frames: each kExecuteFragment carries the whole fragment plus
+/// its scan partition, so any partition can be retried on any fresh worker.
+///
+/// Thread safety: distinct workers can execute fragments concurrently (the
+/// distributed executor dispatches one partition per worker); access to a
+/// single worker is serialized by a per-worker mutex.
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Spawns the workers; fails (with every already-spawned worker stopped)
+  /// if any worker does not come up.
+  Status Start(const WorkerPoolOptions& options);
+  void Stop();
+
+  bool running() const { return running_; }
+  std::int64_t num_workers() const {
+    return static_cast<std::int64_t>(workers_.size());
+  }
+  const WorkerPoolOptions& options() const { return options_; }
+  /// Pid of worker `w` (fault-injection tests SIGKILL through this).
+  pid_t worker_pid(std::int64_t w) const;
+
+  /// Executes one encoded kExecuteFragment frame on worker `w`: sends the
+  /// frame and drains the response stream until kDone. Any I/O error,
+  /// decode error, kError event, or malformed stream fails the call; the
+  /// worker's pipe state is then unknown, so callers must RestartWorker
+  /// before reusing slot `w`.
+  Result<FragmentResult> ExecuteFragment(std::int64_t w,
+                                         const std::string& request_frame);
+
+  /// Replaces worker `w` with a freshly spawned process (counted in
+  /// restarts()).
+  Status RestartWorker(std::int64_t w);
+
+  /// Lifetime count of worker restarts (visible in ExecutionStats).
+  std::int64_t restarts() const {
+    return restarts_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms the frame timeout on a warm pool: the timeout is a per-query
+  /// execution option, not part of the spawn configuration, so changing it
+  /// must not cost a pool respawn.
+  void set_frame_timeout_millis(int timeout_millis) {
+    frame_timeout_millis_.store(timeout_millis, std::memory_order_relaxed);
+  }
+
+ private:
+  WorkerPoolOptions options_;
+  std::atomic<int> frame_timeout_millis_{30000};
+  std::vector<std::unique_ptr<WorkerClient>> workers_;
+  /// Serializes frame exchanges per worker. unique_ptr: mutexes are neither
+  /// movable nor copyable, and the vector is sized at Start.
+  std::vector<std::unique_ptr<std::mutex>> worker_mus_;
+  std::atomic<std::int64_t> restarts_{0};
+  bool running_ = false;
+};
+
+/// Decodes and executes one fragment request in the current process:
+/// deserializes the table slice into a scratch catalog, deserializes the
+/// plan fragment, and runs it through the PlanExecutor sequentially. This
+/// is the single implementation behind both sides of the protocol — the
+/// worker's kExecuteFragment handler and the engine's in-process fallback
+/// when a partition exhausts its retry — so the fallback exercises the same
+/// decode path a worker would.
+Result<relational::Table> ExecuteFragmentLocally(
+    const FragmentRequest& request, nnrt::SessionCache* session_cache);
+
+}  // namespace raven::runtime
+
+#endif  // RAVEN_RUNTIME_WORKER_POOL_H_

@@ -1,11 +1,21 @@
 #include "runtime/worker_protocol.h"
 
 #include <errno.h>
+#include <poll.h>
 #include <unistd.h>
 
 #include <cstring>
 
 namespace raven::runtime {
+
+namespace {
+
+/// Version byte of the kExecuteFragment payload, bumped on layout changes
+/// so mixed-version engine/worker pairs fail with a parse error instead of
+/// misreading each other.
+constexpr std::uint8_t kFragmentProtocolVersion = 1;
+
+}  // namespace
 
 std::string EncodeRequest(const ScoreRequest& request) {
   BinaryWriter writer;
@@ -19,7 +29,13 @@ Result<ScoreRequest> DecodeRequest(const std::string& payload) {
   BinaryReader reader(payload);
   ScoreRequest request;
   RAVEN_ASSIGN_OR_RETURN(std::uint8_t command, reader.ReadU8());
-  if (command > 3) return Status::ParseError("bad worker command");
+  if (command == static_cast<std::uint8_t>(WorkerCommand::kExecuteFragment)) {
+    return Status::ParseError(
+        "fragment payloads decode via DecodeFragmentRequest");
+  }
+  if (command > static_cast<std::uint8_t>(WorkerCommand::kExecuteFragment)) {
+    return Status::ParseError("bad worker command");
+  }
   request.command = static_cast<WorkerCommand>(command);
   RAVEN_ASSIGN_OR_RETURN(request.model_bytes, reader.ReadString());
   RAVEN_ASSIGN_OR_RETURN(request.input, Tensor::Deserialize(&reader));
@@ -41,6 +57,103 @@ Result<ScoreResponse> DecodeResponse(const std::string& payload) {
   RAVEN_ASSIGN_OR_RETURN(response.error, reader.ReadString());
   RAVEN_ASSIGN_OR_RETURN(response.output, Tensor::Deserialize(&reader));
   return response;
+}
+
+std::string EncodeFragmentRequest(const FragmentRequest& request) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<std::uint8_t>(WorkerCommand::kExecuteFragment));
+  writer.WriteU8(kFragmentProtocolVersion);
+  writer.WriteString(request.plan_bytes);
+  writer.WriteString(request.table_name);
+  writer.WriteI64(request.range_begin);
+  writer.WriteI64(request.range_end);
+  writer.WriteString(request.table_bytes);
+  return writer.Release();
+}
+
+Result<FragmentRequest> DecodeFragmentRequest(const std::string& payload) {
+  BinaryReader reader(payload);
+  RAVEN_ASSIGN_OR_RETURN(std::uint8_t command, reader.ReadU8());
+  if (command != static_cast<std::uint8_t>(WorkerCommand::kExecuteFragment)) {
+    return Status::ParseError("not a fragment request");
+  }
+  RAVEN_ASSIGN_OR_RETURN(std::uint8_t version, reader.ReadU8());
+  if (version != kFragmentProtocolVersion) {
+    return Status::ParseError("unsupported fragment protocol version " +
+                              std::to_string(version));
+  }
+  FragmentRequest request;
+  RAVEN_ASSIGN_OR_RETURN(request.plan_bytes, reader.ReadString());
+  RAVEN_ASSIGN_OR_RETURN(request.table_name, reader.ReadString());
+  RAVEN_ASSIGN_OR_RETURN(request.range_begin, reader.ReadI64());
+  RAVEN_ASSIGN_OR_RETURN(request.range_end, reader.ReadI64());
+  if (request.range_begin < 0 || request.range_end < request.range_begin) {
+    return Status::ParseError("bad fragment partition range");
+  }
+  RAVEN_ASSIGN_OR_RETURN(request.table_bytes, reader.ReadString());
+  return request;
+}
+
+std::string EncodeFragmentChunk(const relational::DataChunk& chunk) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<std::uint8_t>(FragmentEventKind::kChunk));
+  writer.WriteStringVector(chunk.names);
+  for (const auto& col : chunk.cols) writer.WriteF64Vector(col);
+  return writer.Release();
+}
+
+std::string EncodeFragmentDone(const std::vector<std::string>& names,
+                               std::int64_t rows) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<std::uint8_t>(FragmentEventKind::kDone));
+  writer.WriteStringVector(names);
+  writer.WriteI64(rows);
+  return writer.Release();
+}
+
+std::string EncodeFragmentError(const std::string& message) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<std::uint8_t>(FragmentEventKind::kError));
+  writer.WriteString(message);
+  return writer.Release();
+}
+
+Result<FragmentEvent> DecodeFragmentEvent(const std::string& payload) {
+  BinaryReader reader(payload);
+  RAVEN_ASSIGN_OR_RETURN(std::uint8_t tag, reader.ReadU8());
+  if (tag > static_cast<std::uint8_t>(FragmentEventKind::kError)) {
+    return Status::ParseError("unknown fragment event kind " +
+                              std::to_string(tag));
+  }
+  FragmentEvent event;
+  event.kind = static_cast<FragmentEventKind>(tag);
+  switch (event.kind) {
+    case FragmentEventKind::kChunk: {
+      RAVEN_ASSIGN_OR_RETURN(event.chunk.names, reader.ReadStringVector());
+      event.chunk.cols.reserve(event.chunk.names.size());
+      for (std::size_t i = 0; i < event.chunk.names.size(); ++i) {
+        RAVEN_ASSIGN_OR_RETURN(auto col, reader.ReadF64Vector());
+        if (i > 0 && col.size() != event.chunk.cols.front().size()) {
+          return Status::ParseError("ragged fragment chunk columns");
+        }
+        event.chunk.cols.push_back(std::move(col));
+      }
+      return event;
+    }
+    case FragmentEventKind::kDone: {
+      RAVEN_ASSIGN_OR_RETURN(event.result_names, reader.ReadStringVector());
+      RAVEN_ASSIGN_OR_RETURN(event.result_rows, reader.ReadI64());
+      if (event.result_rows < 0) {
+        return Status::ParseError("negative fragment row count");
+      }
+      return event;
+    }
+    case FragmentEventKind::kError: {
+      RAVEN_ASSIGN_OR_RETURN(event.error, reader.ReadString());
+      return event;
+    }
+  }
+  return Status::ParseError("unreachable fragment event kind");
 }
 
 Status WriteFrame(int fd, const std::string& payload) {
@@ -65,9 +178,28 @@ Status WriteFrame(int fd, const std::string& payload) {
 
 namespace {
 
-Status ReadFull(int fd, char* buf, std::size_t len) {
+/// Reads exactly `len` bytes, retrying on EINTR and looping over short
+/// reads. With a non-negative timeout every wait polls first, so a worker
+/// that stops mid-frame (truncated write, wedged process) surfaces as a
+/// diagnosable timeout instead of a hang.
+Status ReadFull(int fd, char* buf, std::size_t len, int timeout_millis) {
   std::size_t got = 0;
   while (got < len) {
+    if (timeout_millis >= 0) {
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, timeout_millis);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("worker pipe poll failed: " +
+                               std::string(std::strerror(errno)));
+      }
+      if (ready == 0) {
+        return Status::IoError("worker pipe read timed out after " +
+                               std::to_string(timeout_millis) + "ms");
+      }
+    }
     const ssize_t n = ::read(fd, buf + got, len - got);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -84,15 +216,16 @@ Status ReadFull(int fd, char* buf, std::size_t len) {
 
 }  // namespace
 
-Result<std::string> ReadFrame(int fd) {
+Result<std::string> ReadFrame(int fd, int timeout_millis) {
   char header[4];
-  RAVEN_RETURN_IF_ERROR(ReadFull(fd, header, 4));
+  RAVEN_RETURN_IF_ERROR(ReadFull(fd, header, 4, timeout_millis));
   std::uint32_t len = 0;
   std::memcpy(&len, header, 4);
   if (len > (1u << 30)) return Status::OutOfRange("worker frame too large");
   std::string payload(len, '\0');
   if (len > 0) {
-    RAVEN_RETURN_IF_ERROR(ReadFull(fd, payload.data(), len));
+    RAVEN_RETURN_IF_ERROR(
+        ReadFull(fd, payload.data(), len, timeout_millis));
   }
   return payload;
 }

@@ -3,23 +3,32 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/serialize.h"
 #include "common/status.h"
+#include "relational/chunk.h"
 #include "tensor/tensor.h"
 
 namespace raven::runtime {
 
 /// Wire protocol between the database process and the out-of-process
-/// scoring worker (`tools/raven_worker`), the stand-in for SQL Server's
+/// worker (`tools/raven_worker`), the stand-in for SQL Server's
 /// sp_execute_external_script runtime (paper §5, "Raven Ext"). Frames are
 /// [u32 length][payload]; payloads use the common BinaryWriter encoding.
+///
+/// Two request families share the pipe, dispatched on the leading command
+/// byte: one-shot scoring (kScorePipeline / kScoreGraph: a model plus one
+/// tensor) and plan-fragment execution (kExecuteFragment: a serialized IR
+/// fragment plus one scan partition, answered with a stream of result-chunk
+/// frames terminated by a done/error frame).
 
 enum class WorkerCommand : std::uint8_t {
   kPing = 0,
-  kScorePipeline = 1,  ///< payload: pipeline bytes + input tensor
-  kScoreGraph = 2,     ///< payload: NNRT graph bytes + input tensor
-  kShutdown = 3,
+  kScorePipeline = 1,    ///< payload: pipeline bytes + input tensor
+  kScoreGraph = 2,       ///< payload: NNRT graph bytes + input tensor
+  kShutdown = 3,         ///< acknowledged with an ok ScoreResponse, then exit
+  kExecuteFragment = 4,  ///< payload: FragmentRequest (see below)
 };
 
 struct ScoreRequest {
@@ -39,9 +48,60 @@ Result<ScoreRequest> DecodeRequest(const std::string& payload);
 std::string EncodeResponse(const ScoreResponse& response);
 Result<ScoreResponse> DecodeResponse(const std::string& payload);
 
-/// Blocking full-frame I/O on file descriptors (length-prefixed).
+// -- Plan-fragment execution ------------------------------------------------
+
+/// One partition of a distributed fragment execution: the serialized IR
+/// fragment (ir::SerializeFragment), the leaf scan's table name, the scan
+/// partition range the slice was cut from (engine row coordinates, for
+/// provenance and diagnostics), and the serialized Table slice holding
+/// exactly rows [range_begin, range_end) of the scan. Frames are
+/// self-contained — workers stay stateless across queries, so a retry after
+/// a worker death is a plain resend.
+struct FragmentRequest {
+  std::string plan_bytes;
+  std::string table_name;
+  std::int64_t range_begin = 0;
+  std::int64_t range_end = 0;
+  std::string table_bytes;
+};
+
+std::string EncodeFragmentRequest(const FragmentRequest& request);
+Result<FragmentRequest> DecodeFragmentRequest(const std::string& payload);
+
+/// Response stream of one kExecuteFragment: zero or more kChunk frames in
+/// result row order, then exactly one kDone (schema + total rows, so empty
+/// results keep their column names) or kError frame.
+enum class FragmentEventKind : std::uint8_t {
+  kChunk = 0,
+  kDone = 1,
+  kError = 2,
+};
+
+struct FragmentEvent {
+  FragmentEventKind kind = FragmentEventKind::kError;
+  relational::DataChunk chunk;            ///< kChunk
+  std::vector<std::string> result_names;  ///< kDone
+  std::int64_t result_rows = 0;           ///< kDone
+  std::string error;                      ///< kError
+};
+
+std::string EncodeFragmentChunk(const relational::DataChunk& chunk);
+std::string EncodeFragmentDone(const std::vector<std::string>& names,
+                               std::int64_t rows);
+std::string EncodeFragmentError(const std::string& message);
+Result<FragmentEvent> DecodeFragmentEvent(const std::string& payload);
+
+// -- Frame I/O --------------------------------------------------------------
+
+/// Blocking full-frame I/O on file descriptors (length-prefixed). Both
+/// directions retry on EINTR and loop over short reads/writes. ReadFrame
+/// rejects frames whose header claims more than 1 GiB (a corrupt or
+/// malicious length would otherwise stall the reader for the duration of
+/// the timeout). With `timeout_millis` >= 0 the read polls and fails with
+/// an IoError mentioning "timed out" when no byte arrives within the
+/// window — the engine's guard against a wedged (rather than dead) worker.
 Status WriteFrame(int fd, const std::string& payload);
-Result<std::string> ReadFrame(int fd);
+Result<std::string> ReadFrame(int fd, int timeout_millis = -1);
 
 }  // namespace raven::runtime
 

@@ -1,10 +1,15 @@
-// Randomized differential test harness for the morsel-parallel executor
-// (ISSUE 3 satellite): a seeded random query generator over the hospital
+// Randomized differential test harness for the morsel-parallel AND
+// distributed executors: a seeded random query generator over the hospital
 // and flight catalogs composes scan / filter / project / join / aggregate /
 // GROUP BY / HAVING / ORDER BY / LIMIT / PREDICT shapes, runs every
 // generated query through the full CrossOptimizer chain, and differentially
-// compares parallelism 1 against {2, 8} — order-insensitive multiset
-// comparison by default, order-sensitive when the query has an ORDER BY.
+// compares
+//   - in-process parallelism 1 against {2, 8} (ISSUE 3), and
+//   - in-process dop {1, 8} against distributed execution over warm worker
+//     pools of {2, 4} processes (ISSUE 4) — real raven_worker children,
+//     real fragment serialization, real pipes,
+// order-insensitive multiset comparison by default, order-sensitive when
+// the query has an ORDER BY.
 //
 // The suite is deterministic: the seed defaults to kDefaultFuzzSeed and is
 // printed (with the query text) on every failure. Reproduce a failing run
@@ -358,6 +363,18 @@ class QueryFuzzTest : public ::testing::Test {
     return executor.Execute(plan, options);
   }
 
+  /// Distributed run against `executor`'s warm worker pool.
+  Result<relational::Table> RunDistributed(PlanExecutor* executor,
+                                           const ir::IrPlan& plan,
+                                           std::int64_t workers,
+                                           ExecutionStats* stats) {
+    ExecutionOptions options;
+    options.mode = ExecutionMode::kDistributed;
+    options.distributed_workers = workers;
+    options.distributed_frame_timeout_millis = 60000;  // TSan headroom
+    return executor->Execute(plan, options, stats);
+  }
+
   data::HospitalDataset hospital_;
   data::FlightDataset flight_;
   relational::Catalog catalog_;
@@ -389,6 +406,56 @@ TEST_F(QueryFuzzTest, DifferentialParallelism200Queries) {
       ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
       ASSERT_NO_FATAL_FAILURE(
           ExpectTablesMatch(*sequential, *parallel, ordered));
+    }
+    ++executed;
+  }
+  EXPECT_EQ(executed, kNumQueries);
+}
+
+TEST_F(QueryFuzzTest, DifferentialDistributed200Queries) {
+  // Same generator, same seed, so the same 200 queries as the in-process
+  // differential leg — now compared against distributed execution. One
+  // executor per pool size keeps each pool warm across all 200 queries,
+  // which is exactly the production shape (and what makes this leg fast
+  // enough to run in tier 1).
+  const std::uint64_t seed = FuzzSeed();
+  Rng rng(seed);
+  frontend::StaticAnalyzer analyzer(&catalog_);
+  optimizer::CrossOptimizer optimizer(&catalog_,
+                                      optimizer::OptimizerOptions());
+  PlanExecutor dist2(&catalog_, &cache_);
+  PlanExecutor dist4(&catalog_, &cache_);
+  const std::vector<std::pair<std::int64_t, PlanExecutor*>> pools = {
+      {2, &dist2}, {4, &dist4}};
+  int executed = 0;
+  for (int q = 0; q < kNumQueries; ++q) {
+    bool ordered = false;
+    const std::string sql = GenerateQuery(rng, &ordered);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " query#" +
+                 std::to_string(q) + (ordered ? " [ordered] " : " ") + sql);
+    auto plan = analyzer.Analyze(sql);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    ASSERT_TRUE(optimizer.Optimize(&plan.value()).ok());
+    auto sequential = Run(*plan, 1);
+    ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+    auto parallel8 = Run(*plan, 8);
+    ASSERT_TRUE(parallel8.ok()) << parallel8.status().ToString();
+    for (const auto& [workers, executor] : pools) {
+      SCOPED_TRACE("distributed workers=" + std::to_string(workers));
+      ExecutionStats stats;
+      auto distributed = RunDistributed(executor, *plan, workers, &stats);
+      ASSERT_TRUE(distributed.ok()) << distributed.status().ToString();
+      // A silently missing pool would make this leg vacuous: every plan
+      // the generator emits contains at least one distributable fragment
+      // (its leaf scans), so frames must actually have shipped.
+      ASSERT_NE(executor->worker_pool(), nullptr)
+          << "worker pool failed to start";
+      ASSERT_GT(stats.frames_sent, 0) << "nothing was distributed";
+      ASSERT_EQ(stats.worker_restarts, 0);
+      ASSERT_NO_FATAL_FAILURE(
+          ExpectTablesMatch(*sequential, *distributed, ordered));
+      ASSERT_NO_FATAL_FAILURE(
+          ExpectTablesMatch(*parallel8, *distributed, ordered));
     }
     ++executed;
   }

@@ -1,0 +1,288 @@
+// Distributed-execution tests: the persistent worker pool, plan-fragment
+// shipping, and — this being the whole point of a distributed runtime —
+// protocol fault injection. A SIGKILLed worker mid-query, a worker that
+// truncates a frame, claims a 2 GiB frame, dies silently, or answers with
+// an error must all end in a correct query result via retry/fallback (and a
+// visible worker_restarts stat), never in a wrong answer or a hang.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/hospital.h"
+#include "ir/ir.h"
+#include "raven/raven.h"
+#include "relational/expression.h"
+#include "runtime/plan_executor.h"
+#include "runtime/worker_pool.h"
+#include "test_util.h"
+
+namespace raven::runtime {
+namespace {
+
+void ExpectTablesEqual(const relational::Table& expected,
+                       const relational::Table& actual) {
+  ASSERT_EQ(expected.ColumnNames(), actual.ColumnNames());
+  ASSERT_EQ(expected.num_rows(), actual.num_rows());
+  for (std::int64_t c = 0; c < expected.num_columns(); ++c) {
+    const auto& lhs = expected.columns()[static_cast<std::size_t>(c)].data;
+    const auto& rhs = actual.columns()[static_cast<std::size_t>(c)].data;
+    for (std::size_t r = 0; r < lhs.size(); ++r) {
+      ASSERT_DOUBLE_EQ(lhs[r], rhs[r])
+          << "col " << expected.ColumnNames()[static_cast<std::size_t>(c)]
+          << " row " << r;
+    }
+  }
+}
+
+class WorkerPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hospital_ = data::MakeHospitalDataset(600, 13);
+    ASSERT_NO_FATAL_FAILURE(
+        test_util::RegisterHospitalTables(&catalog_, hospital_));
+    test_util::InsertHospitalTreeModel(&catalog_, hospital_, 4);
+    ASSERT_FALSE(HasFailure()) << "fixture setup failed";
+  }
+
+  ExecutionOptions DistributedOptions(
+      std::int64_t workers,
+      const std::vector<std::string>& worker_args = {}) {
+    ExecutionOptions options;
+    options.mode = ExecutionMode::kDistributed;
+    options.distributed_workers = workers;
+    options.distributed_frame_timeout_millis = 10000;
+    options.external.worker_args = worker_args;
+    return options;
+  }
+
+  Result<relational::Table> RunSequential(PlanExecutor* executor,
+                                          const ir::IrPlan& plan) {
+    return executor->Execute(plan, ExecutionOptions());
+  }
+
+  data::HospitalDataset hospital_;
+  relational::Catalog catalog_;
+  nnrt::SessionCache cache_{8};
+};
+
+TEST_F(WorkerPoolTest, DistributedMatchesInProcessAcrossPlanShapes) {
+  // Fully distributable chains, and plans whose remainder (joins, grouped
+  // aggregation, sorts, LIMIT) executes in-process over fragment tables.
+  const std::vector<std::string> queries = {
+      "SELECT id, age FROM patients WHERE age > 40",
+      "SELECT * FROM patients",
+      "SELECT id, p FROM PREDICT(MODEL='los', DATA=patients) "
+      "WITH(p float) WHERE p > 5",
+      "SELECT pi.id, bt.glucose FROM patient_info AS pi "
+      "JOIN blood_tests AS bt ON pi.id = bt.id WHERE bt.glucose > 100",
+      "SELECT gender, COUNT(*) AS n, AVG(age) AS avg_age FROM patients "
+      "GROUP BY gender",
+      "SELECT id, age FROM patients ORDER BY age DESC, id ASC LIMIT 25",
+      "SELECT COUNT(*) AS n FROM patients WHERE bp > 80",
+      // The paper's running example: PREDICT over a join chain, so the
+      // model node itself sits in the in-process remainder (its child is
+      // not distributable) while the joined scans ship as fragments.
+      test_util::RunningExampleSql(),
+  };
+  PlanExecutor executor(&catalog_, &cache_);
+  const ExecutionOptions distributed = DistributedOptions(3);
+  for (const auto& sql : queries) {
+    SCOPED_TRACE(sql);
+    ir::IrPlan plan = test_util::AnalyzePlan(catalog_, sql);
+    auto expected = RunSequential(&executor, plan);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    ExecutionStats stats;
+    auto actual = executor.Execute(plan, distributed, &stats);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    ASSERT_NO_FATAL_FAILURE(ExpectTablesEqual(*expected, *actual));
+    EXPECT_GT(stats.frames_sent, 0);
+    EXPECT_GT(stats.bytes_shipped, 0);
+    EXPECT_EQ(stats.worker_restarts, 0);
+    EXPECT_EQ(stats.partitions_used, 3);
+  }
+}
+
+TEST_F(WorkerPoolTest, PoolStaysWarmAcrossQueries) {
+  PlanExecutor executor(&catalog_, &cache_);
+  const ExecutionOptions distributed = DistributedOptions(2);
+  ir::IrPlan plan = test_util::AnalyzePlan(
+      catalog_, "SELECT id FROM patients WHERE age > 30");
+  ASSERT_TRUE(executor.Execute(plan, distributed).ok());
+  WorkerPool* pool = executor.worker_pool();
+  ASSERT_NE(pool, nullptr);
+  const pid_t pid0 = pool->worker_pid(0);
+  const pid_t pid1 = pool->worker_pid(1);
+  ASSERT_TRUE(executor.Execute(plan, distributed).ok());
+  // Same processes served both queries: nothing respawned in between.
+  EXPECT_EQ(pool, executor.worker_pool());
+  EXPECT_EQ(pid0, pool->worker_pid(0));
+  EXPECT_EQ(pid1, pool->worker_pid(1));
+  EXPECT_EQ(pool->restarts(), 0);
+}
+
+TEST_F(WorkerPoolTest, SigkilledWorkerRetriesOnFreshWorker) {
+  PlanExecutor executor(&catalog_, &cache_);
+  const ExecutionOptions distributed = DistributedOptions(2);
+  ir::IrPlan plan = test_util::AnalyzePlan(
+      catalog_,
+      "SELECT id, p FROM PREDICT(MODEL='los', DATA=patients) WITH(p float)");
+  auto expected = RunSequential(&executor, plan);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(executor.Execute(plan, distributed).ok());  // spawn the pool
+  WorkerPool* pool = executor.worker_pool();
+  ASSERT_NE(pool, nullptr);
+  ASSERT_EQ(::kill(pool->worker_pid(0), SIGKILL), 0);
+  ExecutionStats stats;
+  auto actual = executor.Execute(plan, distributed, &stats);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  ASSERT_NO_FATAL_FAILURE(ExpectTablesEqual(*expected, *actual));
+  EXPECT_GE(stats.worker_restarts, 1);
+}
+
+TEST_F(WorkerPoolTest, SigkillMidQueryStillYieldsCorrectResult) {
+  PlanExecutor executor(&catalog_, &cache_);
+  const ExecutionOptions distributed = DistributedOptions(2);
+  ir::IrPlan plan = test_util::AnalyzePlan(
+      catalog_,
+      "SELECT id, p FROM PREDICT(MODEL='los', DATA=patients) WITH(p float)");
+  auto expected = RunSequential(&executor, plan);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(executor.Execute(plan, distributed).ok());  // warm pool
+  WorkerPool* pool = executor.worker_pool();
+  ASSERT_NE(pool, nullptr);
+  // Race the kill against the query a few times: depending on timing the
+  // SIGKILL lands before the send (EPIPE), mid-stream (EOF), or after the
+  // exchange (next query restarts). Every interleaving must produce the
+  // correct table.
+  for (int round = 0; round < 5; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const pid_t victim = pool->worker_pid(round % 2);
+    std::thread killer([victim, round] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200 * round));
+      ::kill(victim, SIGKILL);
+    });
+    auto actual = executor.Execute(plan, distributed);
+    killer.join();
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    ASSERT_NO_FATAL_FAILURE(ExpectTablesEqual(*expected, *actual));
+  }
+}
+
+TEST_F(WorkerPoolTest, InjectedProtocolFaultsFallBackWithCorrectResults) {
+  // The worker binary's --fault flags misbehave on every kExecuteFragment:
+  // silent death, a truncated frame, an oversized length header, a
+  // worker-side error. The retry hits the same fault on the fresh worker,
+  // so the partition must complete through the in-process fallback.
+  ir::IrPlan plan = test_util::AnalyzePlan(
+      catalog_, "SELECT id, age FROM patients WHERE age > 40");
+  PlanExecutor reference(&catalog_, &cache_);
+  auto expected = RunSequential(&reference, plan);
+  ASSERT_TRUE(expected.ok());
+  for (const std::string fault : {"die", "truncate", "oversize", "error"}) {
+    SCOPED_TRACE("fault=" + fault);
+    PlanExecutor executor(&catalog_, &cache_);
+    ExecutionStats stats;
+    auto actual = executor.Execute(
+        plan, DistributedOptions(2, {"--fault=" + fault}), &stats);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    ASSERT_NO_FATAL_FAILURE(ExpectTablesEqual(*expected, *actual));
+    EXPECT_GE(stats.worker_restarts, 1) << "retry path never fired";
+  }
+}
+
+TEST_F(WorkerPoolTest, MissingWorkerBinaryFallsBackInProcess) {
+  PlanExecutor executor(&catalog_, &cache_);
+  ExecutionOptions distributed = DistributedOptions(2);
+  distributed.external.worker_path = "/nonexistent/raven_worker";
+  ir::IrPlan plan = test_util::AnalyzePlan(
+      catalog_, "SELECT id, age FROM patients WHERE age > 40");
+  auto expected = RunSequential(&executor, plan);
+  ASSERT_TRUE(expected.ok());
+  ExecutionStats stats;
+  auto actual = executor.Execute(plan, distributed, &stats);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  ASSERT_NO_FATAL_FAILURE(ExpectTablesEqual(*expected, *actual));
+  EXPECT_EQ(executor.worker_pool(), nullptr);
+  EXPECT_EQ(stats.frames_sent, 0);
+}
+
+TEST_F(WorkerPoolTest, StopJoinsWorkersDeterministically) {
+  WorkerPool pool;
+  WorkerPoolOptions options;
+  options.num_workers = 3;
+  ASSERT_TRUE(pool.Start(options).ok());
+  ASSERT_TRUE(pool.running());
+  std::vector<pid_t> pids;
+  for (std::int64_t w = 0; w < pool.num_workers(); ++w) {
+    pids.push_back(pool.worker_pid(w));
+  }
+  pool.Stop();
+  EXPECT_FALSE(pool.running());
+  // The kShutdown ack + reap means no child survives Stop.
+  for (pid_t pid : pids) {
+    EXPECT_NE(::kill(pid, 0), 0) << "worker " << pid << " still alive";
+  }
+}
+
+TEST_F(WorkerPoolTest, PoolExecutesHandBuiltFragment) {
+  // Drive WorkerPool directly (no PlanExecutor): encode a filter-over-scan
+  // fragment plus a table slice, ship it, and reassemble the chunk stream.
+  WorkerPool pool;
+  WorkerPoolOptions options;
+  options.num_workers = 1;
+  ASSERT_TRUE(pool.Start(options).ok());
+
+  auto fragment = ir::IrNode::Filter(
+      ir::IrNode::TableScan("patients"),
+      relational::Gt(relational::Col("age"), relational::Lit(50.0)));
+  BinaryWriter plan_writer;
+  ASSERT_TRUE(ir::SerializeFragment(*fragment, &plan_writer).ok());
+
+  const relational::Table* patients =
+      catalog_.GetTable("patients").value();
+  FragmentRequest request;
+  request.plan_bytes = plan_writer.Release();
+  request.table_name = "patients";
+  request.range_begin = 100;
+  request.range_end = 400;
+  BinaryWriter table_writer;
+  patients->SliceRows(100, 400).Serialize(&table_writer);
+  request.table_bytes = table_writer.Release();
+
+  auto result = pool.ExecuteFragment(0, EncodeFragmentRequest(request));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto table = result->ToTable();
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+
+  auto local = ExecuteFragmentLocally(request, &cache_);
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+  ASSERT_NO_FATAL_FAILURE(ExpectTablesEqual(*local, *table));
+  EXPECT_GT(table->num_rows(), 0);  // slice of 300 rows, some over 50
+}
+
+TEST_F(WorkerPoolTest, ExplainReportsDistributedCost) {
+  RavenOptions options;
+  options.execution.mode = ExecutionMode::kDistributed;
+  options.execution.distributed_workers = 4;
+  RavenContext ctx(options);
+  ASSERT_TRUE(ctx.RegisterTable("patients", hospital_.joined).ok());
+  auto trained = data::TrainHospitalTree(hospital_, 4);
+  ASSERT_TRUE(trained.ok());
+  ASSERT_TRUE(
+      ctx.InsertModel("los", data::HospitalTreeScript(), *trained).ok());
+  auto explain = ctx.Explain(
+      "SELECT id, p FROM PREDICT(MODEL='los', DATA=patients) WITH(p float) "
+      "WHERE p > 5");
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_NE(explain->find("distributed(workers=4)"), std::string::npos)
+      << *explain;
+}
+
+}  // namespace
+}  // namespace raven::runtime

@@ -1,12 +1,17 @@
-// Dedicated round-trip coverage for the out-of-process scoring wire
-// protocol (runtime/worker_protocol): request/response encode->decode
-// equality across commands, and truncated/corrupt payload error paths.
+// Dedicated round-trip coverage for the out-of-process wire protocol
+// (runtime/worker_protocol): request/response encode->decode equality
+// across commands, the kExecuteFragment payload and its chunk/done/error
+// response stream, and truncated/corrupt/oversized payload error paths —
+// the engine-side half of the protocol fault-injection story.
 
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <string>
 
+#include "ir/ir.h"
+#include "relational/expression.h"
 #include "runtime/worker_protocol.h"
 #include "tensor/tensor.h"
 
@@ -89,6 +94,118 @@ TEST(WorkerProtocolErrors, EmptyPayloadFails) {
   EXPECT_FALSE(DecodeResponse("").ok());
 }
 
+FragmentRequest MakeFragmentRequest() {
+  // A realistic fragment: Filter(TableScan) with a composite predicate,
+  // serialized through the real IR encoder, plus a two-column table slice.
+  auto fragment = ir::IrNode::Filter(
+      ir::IrNode::TableScan("patients"),
+      relational::And(
+          relational::Gt(relational::Col("age"), relational::Lit(40.0)),
+          relational::Le(relational::Col("bp"), relational::Lit(120.0))));
+  BinaryWriter plan_writer;
+  EXPECT_TRUE(ir::SerializeFragment(*fragment, &plan_writer).ok());
+  relational::Table slice;
+  EXPECT_TRUE(slice.AddNumericColumn("age", {41.0, 39.0, 77.0}).ok());
+  EXPECT_TRUE(slice.AddNumericColumn("bp", {100.0, 118.0, 130.0}).ok());
+  BinaryWriter table_writer;
+  slice.Serialize(&table_writer);
+  FragmentRequest request;
+  request.plan_bytes = plan_writer.Release();
+  request.table_name = "patients";
+  request.range_begin = 2048;
+  request.range_end = 2051;
+  request.table_bytes = table_writer.Release();
+  return request;
+}
+
+TEST(FragmentProtocolRoundTrip, RequestCarriesPlanRangeAndSlice) {
+  const FragmentRequest request = MakeFragmentRequest();
+  auto decoded = DecodeFragmentRequest(EncodeFragmentRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->plan_bytes, request.plan_bytes);
+  EXPECT_EQ(decoded->table_name, "patients");
+  EXPECT_EQ(decoded->range_begin, 2048);
+  EXPECT_EQ(decoded->range_end, 2051);
+  EXPECT_EQ(decoded->table_bytes, request.table_bytes);
+
+  // The embedded artifacts decode back to equivalent objects.
+  BinaryReader plan_reader(decoded->plan_bytes);
+  auto fragment = ir::DeserializeFragment(&plan_reader);
+  ASSERT_TRUE(fragment.ok()) << fragment.status().ToString();
+  EXPECT_EQ((*fragment)->kind, ir::IrOpKind::kFilter);
+  ASSERT_EQ((*fragment)->children.size(), 1u);
+  EXPECT_EQ((*fragment)->children[0]->table_name, "patients");
+  EXPECT_EQ((*fragment)->predicate->ToString(),
+            "((age > 40) AND (bp <= 120))");
+  BinaryReader table_reader(decoded->table_bytes);
+  auto slice = relational::Table::Deserialize(&table_reader);
+  ASSERT_TRUE(slice.ok()) << slice.status().ToString();
+  EXPECT_EQ(slice->num_rows(), 3);
+  EXPECT_EQ(slice->ColumnNames(),
+            (std::vector<std::string>{"age", "bp"}));
+}
+
+TEST(FragmentProtocolRoundTrip, ScoreDecoderRejectsFragmentCommand) {
+  // The one-shot scoring decoder must hand fragment payloads to the
+  // dedicated decoder instead of misreading them as tensors.
+  const std::string payload = EncodeFragmentRequest(MakeFragmentRequest());
+  auto decoded = DecodeRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+TEST(FragmentProtocolRoundTrip, EventStream) {
+  relational::DataChunk chunk;
+  chunk.names = {"id", "p"};
+  chunk.cols = {{1.0, 2.0}, {0.5, 0.75}};
+  auto chunk_event = DecodeFragmentEvent(EncodeFragmentChunk(chunk));
+  ASSERT_TRUE(chunk_event.ok()) << chunk_event.status().ToString();
+  EXPECT_EQ(chunk_event->kind, FragmentEventKind::kChunk);
+  EXPECT_EQ(chunk_event->chunk.names, chunk.names);
+  EXPECT_EQ(chunk_event->chunk.cols, chunk.cols);
+
+  auto done_event =
+      DecodeFragmentEvent(EncodeFragmentDone({"id", "p"}, 7));
+  ASSERT_TRUE(done_event.ok());
+  EXPECT_EQ(done_event->kind, FragmentEventKind::kDone);
+  EXPECT_EQ(done_event->result_names,
+            (std::vector<std::string>{"id", "p"}));
+  EXPECT_EQ(done_event->result_rows, 7);
+
+  auto error_event =
+      DecodeFragmentEvent(EncodeFragmentError("worker exploded"));
+  ASSERT_TRUE(error_event.ok());
+  EXPECT_EQ(error_event->kind, FragmentEventKind::kError);
+  EXPECT_EQ(error_event->error, "worker exploded");
+}
+
+TEST(FragmentProtocolErrors, TruncatedFragmentRequestAtEveryPrefixFails) {
+  const std::string full = EncodeFragmentRequest(MakeFragmentRequest());
+  for (std::size_t cut = 0; cut < full.size(); cut += 7) {
+    auto decoded = DecodeFragmentRequest(full.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "decode succeeded at cut=" << cut;
+  }
+}
+
+TEST(FragmentProtocolErrors, CorruptEventKindAndNegativeRowsFail) {
+  std::string done = EncodeFragmentDone({"id"}, 5);
+  done[0] = '\x7f';
+  EXPECT_FALSE(DecodeFragmentEvent(done).ok());
+  EXPECT_FALSE(DecodeFragmentEvent("").ok());
+  BinaryWriter writer;
+  writer.WriteU8(1);  // kDone
+  writer.WriteStringVector({"id"});
+  writer.WriteI64(-3);
+  EXPECT_FALSE(DecodeFragmentEvent(writer.Release()).ok());
+}
+
+TEST(FragmentProtocolErrors, BadPartitionRangeFails) {
+  FragmentRequest request = MakeFragmentRequest();
+  request.range_begin = 10;
+  request.range_end = 4;  // end < begin
+  EXPECT_FALSE(DecodeFragmentRequest(EncodeFragmentRequest(request)).ok());
+}
+
 TEST(WorkerProtocolFrames, PipeRoundTrip) {
   int fds[2];
   ASSERT_EQ(::pipe(fds), 0);
@@ -114,6 +231,53 @@ TEST(WorkerProtocolFrames, ClosedPipeIsIoError) {
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIoError);
   ::close(fds[0]);
+}
+
+TEST(WorkerProtocolFrames, OversizedLengthHeaderIsRejected) {
+  // A worker claiming a 2 GiB frame must fail fast, not allocate and wait.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::uint32_t len = 1u << 31;
+  char header[4];
+  std::memcpy(header, &len, 4);
+  ASSERT_EQ(::write(fds[1], header, 4), 4);
+  auto result = ReadFrame(fds[0]);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WorkerProtocolFrames, TruncatedFrameTimesOutInsteadOfHanging) {
+  // Header promises 100 bytes, only 10 arrive, and the writer stays open
+  // (a wedged worker). The timeout turns the stall into a diagnosable
+  // IoError.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::uint32_t len = 100;
+  char header[4];
+  std::memcpy(header, &len, 4);
+  ASSERT_EQ(::write(fds[1], header, 4), 4);
+  ASSERT_EQ(::write(fds[1], "0123456789", 10), 10);
+  auto result = ReadFrame(fds[0], /*timeout_millis=*/50);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().message().find("timed out"), std::string::npos)
+      << result.status().ToString();
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WorkerProtocolFrames, TimeoutDoesNotFireWhenDataArrives) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string payload = EncodeFragmentError("boom");
+  ASSERT_TRUE(WriteFrame(fds[1], payload).ok());
+  auto result = ReadFrame(fds[0], /*timeout_millis=*/1000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 }  // namespace

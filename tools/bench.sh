@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the paper-figure benchmarks (bench_fig2* + bench_fig3) plus the
-# operator-regression benches (bench_groupby_parallelism) with
-# --benchmark_format=json and writes one combined JSON document to
+# operator-regression benches (bench_groupby_parallelism,
+# bench_distributed_scan_predict — in-process vs 4-worker-pool scan+PREDICT)
+# with --benchmark_format=json and writes one combined JSON document to
 # BENCH_<short-sha>.json at the repo root — the perf-trajectory data point
 # CI uploads as an artifact.
 #
@@ -45,9 +46,10 @@ fi
 
 shopt -s nullglob
 BINARIES=("${BUILD_DIR}"/bench/bench_fig2* "${BUILD_DIR}"/bench/bench_fig3*
-          "${BUILD_DIR}"/bench/bench_groupby*)
+          "${BUILD_DIR}"/bench/bench_groupby*
+          "${BUILD_DIR}"/bench/bench_distributed*)
 if [[ ${#BINARIES[@]} -eq 0 ]]; then
-  echo "bench.sh: no bench_fig2*/bench_fig3*/bench_groupby* binaries under ${BUILD_DIR}/bench" >&2
+  echo "bench.sh: no bench_fig2*/bench_fig3*/bench_groupby*/bench_distributed* binaries under ${BUILD_DIR}/bench" >&2
   echo "bench.sh: is Google Benchmark installed?" >&2
   exit 1
 fi

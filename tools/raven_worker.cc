@@ -1,14 +1,28 @@
-// Out-of-process scoring worker: the stand-in for the external language
-// runtime behind sp_execute_external_script (paper §5, Raven Ext) and for
+// Out-of-process worker: the stand-in for the external language runtime
+// behind sp_execute_external_script (paper §5, Raven Ext) and for
 // containerized scoring endpoints. Speaks the length-prefixed protocol of
 // runtime/worker_protocol.h on stdin/stdout.
 //
-// Usage: raven_worker [--boot-ms=N]
+// Two request families arrive on the pipe: one-shot scoring (a model plus
+// one tensor) and kExecuteFragment — a serialized IR plan fragment plus one
+// scan partition, executed through the engine's own PlanExecutor and
+// answered with a stream of result-chunk frames. Workers are persistent
+// (the WorkerPool keeps them warm across queries) and stateless between
+// frames, so any partition can be retried on any worker.
+//
+// Usage: raven_worker [--boot-ms=N] [--fault=MODE]
 //   --boot-ms simulates interpreter start-up (the paper observes ~0.5 s for
 //   the external Python runtime; fork/exec alone is a few milliseconds).
+//   --fault injects a protocol failure on the first kExecuteFragment, for
+//   the engine's fault-injection tests:
+//     die        exit without writing anything (a mid-query crash)
+//     truncate   write a frame header, half the payload, then exit
+//     oversize   claim a 2 GiB frame, then exit
+//     error      answer with a kError event (a worker-side failure)
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +31,8 @@
 
 #include "ml/pipeline.h"
 #include "nnrt/session.h"
+#include "relational/chunk.h"
+#include "runtime/worker_pool.h"
 #include "runtime/worker_protocol.h"
 
 namespace {
@@ -24,13 +40,22 @@ namespace {
 using raven::Result;
 using raven::Status;
 using raven::Tensor;
+using raven::runtime::DecodeFragmentRequest;
 using raven::runtime::DecodeRequest;
+using raven::runtime::EncodeFragmentChunk;
+using raven::runtime::EncodeFragmentDone;
+using raven::runtime::EncodeFragmentError;
 using raven::runtime::EncodeResponse;
+using raven::runtime::ExecuteFragmentLocally;
 using raven::runtime::ReadFrame;
 using raven::runtime::ScoreRequest;
 using raven::runtime::ScoreResponse;
 using raven::runtime::WorkerCommand;
 using raven::runtime::WriteFrame;
+
+enum class FaultMode { kNone, kDie, kTruncate, kOversize, kError };
+
+FaultMode g_fault = FaultMode::kNone;
 
 Result<Tensor> ScoreOnce(const ScoreRequest& request) {
   switch (request.command) {
@@ -61,10 +86,100 @@ Result<Tensor> ScoreOnce(const ScoreRequest& request) {
   }
 }
 
+/// Applies the configured --fault to this fragment exchange. Returns true
+/// when a fault fired and the worker should exit.
+bool MaybeInjectFault() {
+  switch (g_fault) {
+    case FaultMode::kNone:
+      return false;
+    case FaultMode::kDie:
+      return true;
+    case FaultMode::kTruncate: {
+      // Header promises 64 payload bytes; deliver half, then vanish. The
+      // engine's frame timeout turns this into a diagnosable IoError.
+      const std::uint32_t len = 64;
+      char header[4];
+      std::memcpy(header, &len, 4);
+      std::string partial(header, 4);
+      partial.append(32, '\x5a');
+      (void)::write(STDOUT_FILENO, partial.data(), partial.size());
+      return true;
+    }
+    case FaultMode::kOversize: {
+      const std::uint32_t len = 1u << 31;  // over ReadFrame's 1 GiB cap
+      char header[4];
+      std::memcpy(header, &len, 4);
+      (void)::write(STDOUT_FILENO, header, 4);
+      return true;
+    }
+    case FaultMode::kError:
+      (void)WriteFrame(STDOUT_FILENO,
+                       EncodeFragmentError("injected worker fault"));
+      // One-shot: later retries on a restarted worker with the same flag
+      // still fail, exercising the engine's in-process fallback.
+      return true;
+  }
+  return false;
+}
+
+/// Executes one fragment request and streams the result back as kChunk
+/// frames followed by kDone. Worker-side failures answer kError (the frame
+/// stream stays well-formed either way).
+int ServeFragment(const std::string& payload) {
+  if (MaybeInjectFault()) return 0;
+  auto request = DecodeFragmentRequest(payload);
+  if (!request.ok()) {
+    return WriteFrame(STDOUT_FILENO,
+                      EncodeFragmentError(request.status().ToString()))
+                   .ok()
+               ? -1
+               : 1;
+  }
+  // Fragments may carry NNRT graphs; sessions stay cached for the worker's
+  // lifetime, which is what keeps a warm pool cheaper than one-shot spawns.
+  static raven::nnrt::SessionCache* session_cache =
+      new raven::nnrt::SessionCache(32);
+  auto result = ExecuteFragmentLocally(request.value(), session_cache);
+  if (!result.ok()) {
+    return WriteFrame(STDOUT_FILENO,
+                      EncodeFragmentError(result.status().ToString()))
+                   .ok()
+               ? -1
+               : 1;
+  }
+  const raven::relational::Table& table = result.value();
+  const std::int64_t rows = table.num_rows();
+  for (std::int64_t begin = 0; begin < rows;
+       begin += raven::relational::kChunkSize) {
+    const std::int64_t end =
+        std::min(rows, begin + raven::relational::kChunkSize);
+    raven::relational::DataChunk chunk;
+    for (const auto& column : table.columns()) {
+      chunk.names.push_back(column.name);
+      chunk.cols.emplace_back(column.data.begin() + begin,
+                              column.data.begin() + end);
+    }
+    if (!WriteFrame(STDOUT_FILENO, EncodeFragmentChunk(chunk)).ok()) return 1;
+  }
+  if (!WriteFrame(STDOUT_FILENO,
+                  EncodeFragmentDone(table.ColumnNames(), rows))
+           .ok()) {
+    return 1;
+  }
+  return -1;  // keep serving
+}
+
 int Serve() {
   for (;;) {
     auto payload = ReadFrame(STDIN_FILENO);
     if (!payload.ok()) return 0;  // parent closed the pipe
+    if (!payload->empty() &&
+        static_cast<std::uint8_t>((*payload)[0]) ==
+            static_cast<std::uint8_t>(WorkerCommand::kExecuteFragment)) {
+      const int rc = ServeFragment(payload.value());
+      if (rc >= 0) return rc;
+      continue;
+    }
     auto request = DecodeRequest(payload.value());
     ScoreResponse response;
     if (!request.ok()) {
@@ -74,6 +189,10 @@ int Serve() {
       continue;
     }
     if (request->command == WorkerCommand::kShutdown) {
+      // Ack before exiting so the engine can join the worker
+      // deterministically instead of polling waitpid.
+      response.ok = true;
+      (void)WriteFrame(STDOUT_FILENO, EncodeResponse(response));
       return 0;
     }
     if (request->command == WorkerCommand::kPing) {
@@ -99,6 +218,21 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--boot-ms=", 10) == 0) {
       boot_ms = std::strtol(argv[i] + 10, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--fault=", 8) == 0) {
+      const std::string mode = argv[i] + 8;
+      if (mode == "die") {
+        g_fault = FaultMode::kDie;
+      } else if (mode == "truncate") {
+        g_fault = FaultMode::kTruncate;
+      } else if (mode == "oversize") {
+        g_fault = FaultMode::kOversize;
+      } else if (mode == "error") {
+        g_fault = FaultMode::kError;
+      } else if (mode != "none") {
+        std::fprintf(stderr, "raven_worker: unknown --fault mode '%s'\n",
+                     mode.c_str());
+        return 2;
+      }
     }
   }
   if (boot_ms > 0) {
