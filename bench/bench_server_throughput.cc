@@ -1,0 +1,211 @@
+// Server serving-path benchmark: QPS and latency percentiles of the
+// concurrent query server under 1 / 4 / 16 clients, cold vs warm plan
+// cache. Each benchmark iteration runs a fixed batch of statements split
+// across N client threads over real unix-socket connections, measures
+// every statement's round-trip latency, and reports:
+//
+//   qps      statements completed per wall second of the batch
+//   p50_us   median round-trip latency
+//   p99_us   99th-percentile round-trip latency
+//   hit_pct  plan-cache hit rate over the batch
+//
+// Cold runs clear the plan cache before every batch (every statement pays
+// parse + optimize); warm runs pre-warm it once, so the serving path is
+// cache-lookup + execute — the difference is the compilation tax the
+// cache removes from the hot path. Wired into tools/bench.sh (--smoke
+// keeps the row count small).
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "data/flight.h"
+#include "data/hospital.h"
+#include "raven/raven.h"
+#include "server/client.h"
+#include "server/query_server.h"
+
+namespace {
+
+using raven::bench::Must;
+using raven::bench::MustOk;
+
+constexpr std::int64_t kRows = 20000;
+
+/// The served statement mix: hot PREDICT + aggregation shapes a serving
+/// tier would see, all of them cacheable.
+const std::vector<std::string>& StatementMix() {
+  static auto* mix = new std::vector<std::string>{
+      "SELECT id, p FROM PREDICT(MODEL='los', DATA=patients) WITH(p float) "
+      "WHERE p > 7 LIMIT 50",
+      "SELECT gender, COUNT(*) AS n, MIN(age) AS youngest FROM patients "
+      "GROUP BY gender",
+      "SELECT airline, COUNT(*) AS flights FROM flights WHERE distance > "
+      "400 GROUP BY airline",
+      "SELECT id, age, bp FROM patients WHERE bp > 100 ORDER BY id LIMIT "
+      "25",
+  };
+  return *mix;
+}
+
+struct ServerHarness {
+  raven::RavenContext ctx;
+  /// Two listeners over one engine: `warm` has a normal plan cache,
+  /// `cold` has capacity 0 so EVERY statement pays parse + optimize.
+  /// (Clearing a shared cache per batch would not do: a batch replays the
+  /// same 4-statement mix, so all but the first 4 statements would hit —
+  /// "cold" would silently measure the warm path.)
+  std::unique_ptr<raven::server::QueryServer> warm;
+  std::unique_ptr<raven::server::QueryServer> cold;
+
+  ServerHarness() {
+    const auto& hospital = raven::bench::Hospital(kRows);
+    MustOk(ctx.RegisterTable("patients", hospital.joined), "patients");
+    MustOk(ctx.InsertModel(
+               "los", raven::data::HospitalTreeScript(),
+               Must(raven::data::TrainHospitalTree(hospital, 5), "train")),
+           "los");
+    const auto& flight = raven::bench::Flight(kRows);
+    MustOk(ctx.RegisterTable("flights", flight.flights), "flights");
+    raven::server::QueryServerOptions options;
+    options.unix_socket_path =
+        "/tmp/raven_bench_server_warm_" + std::to_string(::getpid()) +
+        ".sock";
+    options.plan_cache_capacity = 64;
+    options.admission.max_concurrent = 8;
+    options.admission.max_queue = 64;
+    options.default_execution.parallelism = 2;
+    warm = std::make_unique<raven::server::QueryServer>(&ctx, options);
+    MustOk(warm->Start(), "warm server start");
+    options.unix_socket_path =
+        "/tmp/raven_bench_server_cold_" + std::to_string(::getpid()) +
+        ".sock";
+    options.plan_cache_capacity = 0;
+    cold = std::make_unique<raven::server::QueryServer>(&ctx, options);
+    MustOk(cold->Start(), "cold server start");
+  }
+
+  ~ServerHarness() {
+    warm->Stop();
+    cold->Stop();
+  }
+};
+
+ServerHarness& Harness() {
+  static auto* harness = new ServerHarness();
+  return *harness;
+}
+
+void BM_ServerThroughput(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const bool warm = state.range(1) != 0;
+  ServerHarness& harness = Harness();
+  raven::server::QueryServer& server =
+      warm ? *harness.warm : *harness.cold;
+  const auto& mix = StatementMix();
+  // Fixed statements-per-batch so QPS is comparable across client counts.
+  const int total_statements = clients * 24;
+
+  if (warm) {
+    // One pass primes every mix entry; the measured batches then hit.
+    raven::server::ServerClient primer;
+    MustOk(primer.ConnectUnix(server.unix_socket_path()), "connect");
+    for (const auto& sql : mix) {
+      auto response = primer.Query(sql);
+      if (!response.ok() ||
+          response->kind != raven::server::ServerResponseKind::kTable) {
+        state.SkipWithError("warmup statement failed");
+        return;
+      }
+    }
+  }
+
+  std::vector<double> latencies;
+  std::int64_t hits = 0;
+  std::int64_t served = 0;
+  double batch_seconds = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::vector<double>> per_client(
+        static_cast<std::size_t>(clients));
+    std::atomic<std::int64_t> batch_hits{0};
+    std::atomic<bool> failed{false};
+    state.ResumeTiming();
+
+    raven::Timer batch_timer;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int tid = 0; tid < clients; ++tid) {
+      threads.emplace_back([&, tid] {
+        raven::server::ServerClient client;
+        if (!client.ConnectUnix(server.unix_socket_path()).ok()) {
+          failed.store(true);
+          return;
+        }
+        auto& mine = per_client[static_cast<std::size_t>(tid)];
+        const int per_thread = total_statements / clients;
+        for (int i = 0; i < per_thread; ++i) {
+          const std::string& sql = mix[static_cast<std::size_t>(
+              (tid + i) % static_cast<int>(mix.size()))];
+          raven::Timer timer;
+          auto response = client.Query(sql);
+          if (!response.ok() ||
+              response->kind !=
+                  raven::server::ServerResponseKind::kTable) {
+            failed.store(true);
+            return;
+          }
+          mine.push_back(timer.ElapsedMicros());
+          if (response->plan_cache_hit) batch_hits.fetch_add(1);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    batch_seconds += batch_timer.ElapsedSeconds();
+
+    if (failed.load()) {
+      state.SkipWithError("client statement failed");
+      return;
+    }
+    for (const auto& mine : per_client) {
+      latencies.insert(latencies.end(), mine.begin(), mine.end());
+      served += static_cast<std::int64_t>(mine.size());
+    }
+    hits += batch_hits.load();
+  }
+
+  if (!latencies.empty() && batch_seconds > 0) {
+    std::sort(latencies.begin(), latencies.end());
+    auto percentile = [&latencies](double p) {
+      const auto index = static_cast<std::size_t>(
+          p * static_cast<double>(latencies.size() - 1));
+      return latencies[index];
+    };
+    state.counters["qps"] = static_cast<double>(served) / batch_seconds;
+    state.counters["p50_us"] = percentile(0.50);
+    state.counters["p99_us"] = percentile(0.99);
+    state.counters["hit_pct"] =
+        100.0 * static_cast<double>(hits) / static_cast<double>(served);
+  }
+}
+
+BENCHMARK(BM_ServerThroughput)
+    ->ArgNames({"clients", "warm"})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace

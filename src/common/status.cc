@@ -29,6 +29,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "TypeError";
     case StatusCode::kExecutionError:
       return "ExecutionError";
+    case StatusCode::kServerBusy:
+      return "ServerBusy";
   }
   return "Unknown";
 }

@@ -24,6 +24,9 @@ enum class StatusCode {
   kParseError,
   kTypeError,
   kExecutionError,
+  /// The query server's admission controller shed the request (execution
+  /// slots and queue both full). Clients should back off and retry.
+  kServerBusy,
 };
 
 /// Human-readable name for a status code (e.g. "InvalidArgument").
@@ -68,6 +71,9 @@ class Status {
   }
   static Status ExecutionError(std::string msg) {
     return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status ServerBusy(std::string msg) {
+    return Status(StatusCode::kServerBusy, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -26,6 +26,13 @@ struct Token {
 };
 
 Result<std::vector<Token>> LexSql(const std::string& sql) {
+  // DoS guard for the server path: a statement arriving over the wire can
+  // be arbitrarily long; bail before tokenizing, not after.
+  if (sql.size() > kMaxSqlLength) {
+    return Status::ParseError(
+        "statement length " + std::to_string(sql.size()) +
+        " exceeds the " + std::to_string(kMaxSqlLength) + "-byte limit");
+  }
   std::vector<Token> tokens;
   std::size_t i = 0;
   const std::size_t n = sql.size();
@@ -111,7 +118,7 @@ Result<std::vector<Token>> LexSql(const std::string& sql) {
       }
     }
     if (matched) continue;
-    if (std::string("=<>(),.*+-/").find(c) != std::string::npos) {
+    if (std::string("=<>(),.*+-/?").find(c) != std::string::npos) {
       tokens.push_back(
           Token{TokKind::kOp, std::string(1, c), std::string(1, c), 0.0, i});
       ++i;
@@ -173,6 +180,23 @@ class SqlParser {
     return Status::OK();
   }
 
+  /// Bounds combined expression + subquery nesting (DoS guard: recursive
+  /// descent turns attacker-controlled nesting into stack depth). Callers
+  /// pair a successful check with a DepthGuard on the same frame.
+  Status CheckDepth() {
+    if (nesting_depth_ >= kMaxNestingDepth) {
+      return ErrorHere("expression nesting depth exceeds " +
+                       std::to_string(kMaxNestingDepth));
+    }
+    return Status::OK();
+  }
+
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth(depth) { ++*depth; }
+    ~DepthGuard() { --*depth; }
+    int* depth;
+  };
+
   /// Parse error anchored at the current token: reports what was expected,
   /// the offending token's spelling, and its byte offset in the query text,
   /// so generated-query harnesses (and humans) can pinpoint the failure.
@@ -216,6 +240,10 @@ class SqlParser {
   const relational::Catalog& catalog_;
   const ModelNodeBuilder& model_builder_;
   std::map<std::string, IrNodePtr> ctes_;
+  /// Current recursion depth across nested expressions and subqueries.
+  int nesting_depth_ = 0;
+  /// `?` placeholders seen so far; indices are assigned lexically.
+  std::int64_t num_params_ = 0;
   /// Column context for string-literal resolution inside comparisons.
   std::string pending_column_;
   /// Non-null while parsing a HAVING predicate: aggregate calls in the
@@ -260,6 +288,8 @@ Result<double> SqlParser::ResolveStringLiteral(const std::string& column,
 }
 
 Result<ExprPtr> SqlParser::ParseFactor() {
+  RAVEN_RETURN_IF_ERROR(CheckDepth());
+  DepthGuard depth(&nesting_depth_);
   if (having_agg_items_ != nullptr && AtAggregateFunc()) {
     // Aggregate call inside HAVING: reuse the select list's item when one
     // computes the same thing, otherwise append a hidden item to the GROUP
@@ -310,6 +340,10 @@ Result<ExprPtr> SqlParser::ParseFactor() {
     RAVEN_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
     RAVEN_RETURN_IF_ERROR(ExpectOp(")"));
     return inner;
+  }
+  if (AcceptOp("?")) {
+    // Prepared-statement placeholder, numbered by lexical position.
+    return ExprPtr(std::make_unique<relational::ParamExpr>(num_params_++));
   }
   RAVEN_ASSIGN_OR_RETURN(std::string name, ParseColumnName());
   pending_column_ = name;
@@ -379,6 +413,10 @@ Result<ExprPtr> SqlParser::ParseComparison() {
 
 Result<ExprPtr> SqlParser::ParseNot() {
   if (AcceptKeyword("NOT")) {
+    // NOT chains recurse without passing through ParseFactor, so they carry
+    // their own depth guard.
+    RAVEN_RETURN_IF_ERROR(CheckDepth());
+    DepthGuard depth(&nesting_depth_);
     RAVEN_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
     return relational::Not(std::move(operand));
   }
@@ -532,6 +570,8 @@ Result<ir::AggregateItem> SqlParser::ParseAggregateCall() {
 }
 
 Result<IrNodePtr> SqlParser::ParseSelect() {
+  RAVEN_RETURN_IF_ERROR(CheckDepth());
+  DepthGuard depth(&nesting_depth_);
   RAVEN_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
   struct Item {
     ExprPtr expr;           // plain item (null when is_agg)
@@ -764,6 +804,24 @@ Result<ir::IrPlan> ParseInferenceQuery(const std::string& sql,
   RAVEN_ASSIGN_OR_RETURN(auto tokens, LexSql(sql));
   SqlParser parser(std::move(tokens), catalog, model_builder);
   return parser.ParseStatement();
+}
+
+Result<std::string> NormalizeSql(const std::string& sql) {
+  RAVEN_ASSIGN_OR_RETURN(auto tokens, LexSql(sql));
+  std::string out;
+  out.reserve(sql.size());
+  for (const auto& tok : tokens) {
+    if (tok.kind == TokKind::kEnd) break;
+    if (!out.empty()) out += ' ';
+    if (tok.kind == TokKind::kString) {
+      out += '\'';
+      out += tok.raw;
+      out += '\'';
+    } else {
+      out += tok.raw;
+    }
+  }
+  return out;
 }
 
 }  // namespace raven::frontend

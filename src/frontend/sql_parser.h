@@ -55,9 +55,33 @@ using ModelNodeBuilder = std::function<Result<ir::IrNodePtr>(
 /// schemas use globally unique column names. String literals compared to
 /// dictionary-encoded categorical columns are resolved to their codes at
 /// parse time via the catalog.
+///
+/// Prepared-statement placeholders: `?` is accepted wherever a numeric
+/// literal is (WHERE/HAVING comparisons, arithmetic). Placeholders are
+/// numbered by lexical position; EXECUTE binds them via
+/// ir::BindPlanParameters before execution. They are not supported inside
+/// IN lists or LIMIT.
+///
+/// Hostile-input guards (the query server feeds untrusted network text
+/// into this parser): statements longer than kMaxSqlLength bytes and
+/// expression/subquery nesting deeper than kMaxNestingDepth fail with a
+/// clean parse error instead of exhausting memory or the stack.
 Result<ir::IrPlan> ParseInferenceQuery(const std::string& sql,
                                        const relational::Catalog& catalog,
                                        const ModelNodeBuilder& model_builder);
+
+/// Hard cap on statement text size (bytes).
+inline constexpr std::size_t kMaxSqlLength = 1 << 20;
+/// Hard cap on combined expression + subquery nesting depth.
+inline constexpr int kMaxNestingDepth = 100;
+
+/// Canonical statement text for plan-cache keys: comments dropped and every
+/// token separated by exactly one space (string literals keep their
+/// quotes). Deliberately conservative — identifier and keyword case are
+/// preserved, because identifiers are case-sensitive and a key collision
+/// would reuse the wrong plan; two spellings that differ only in case miss
+/// the cache, which is merely slower. Fails on text that does not lex.
+Result<std::string> NormalizeSql(const std::string& sql);
 
 }  // namespace raven::frontend
 

@@ -1,5 +1,6 @@
 #include "ir/ir.h"
 
+#include <algorithm>
 #include <functional>
 #include <set>
 #include <sstream>
@@ -846,6 +847,93 @@ void CollectDistributableFragments(const IrNode& root,
   for (const auto& child : root.children) {
     CollectDistributableFragments(*child, out);
   }
+}
+
+namespace {
+
+/// Canonical preorder encoding for fingerprinting: enough payload to
+/// distinguish semantically different plans, none of the in-memory detail
+/// (pointer identity, specialization state) that varies across equivalent
+/// optimizations of the same statement.
+void EncodeForFingerprint(const IrNode& node, BinaryWriter* writer) {
+  writer->WriteU8(static_cast<std::uint8_t>(node.kind));
+  writer->WriteString(node.table_name);
+  writer->WriteString(node.predicate != nullptr ? node.predicate->ToString()
+                                                : "");
+  // Variable-length fields carry their count: without it, adjacent fields
+  // could re-segment into the same byte stream for two different plans.
+  writer->WriteU64(node.proj_exprs.size());
+  for (const auto& e : node.proj_exprs) writer->WriteString(e->ToString());
+  writer->WriteStringVector(node.proj_names);
+  writer->WriteString(node.left_key);
+  writer->WriteString(node.right_key);
+  writer->WriteI64(node.limit);
+  WriteAggregateItems(node.aggregates, writer);
+  writer->WriteStringVector(node.group_keys);
+  WriteSortKeys(node.sort_keys, writer);
+  writer->WriteString(node.model_name);
+  writer->WriteString(node.output_column);
+  writer->WriteStringVector(node.model_input_columns);
+  writer->WriteString(node.opaque_reason);
+  writer->WriteU64(node.children.size());
+  for (const auto& child : node.children) {
+    EncodeForFingerprint(*child, writer);
+  }
+}
+
+}  // namespace
+
+std::uint64_t PlanFingerprint(const IrNode& node) {
+  BinaryWriter writer;
+  EncodeForFingerprint(node, &writer);
+  // FNV-1a (64-bit) over the canonical encoding.
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : writer.buffer()) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::int64_t PlanParamCount(const IrNode& node) {
+  std::int64_t max_index = -1;
+  VisitIr(&node, [&max_index](const IrNode* n) {
+    if (n->predicate != nullptr) {
+      max_index =
+          std::max(max_index, relational::MaxParamIndex(*n->predicate));
+    }
+    for (const auto& e : n->proj_exprs) {
+      max_index = std::max(max_index, relational::MaxParamIndex(*e));
+    }
+  });
+  return max_index + 1;
+}
+
+Result<IrNodePtr> BindPlanParameters(const IrNode& node,
+                                     const std::vector<double>& values) {
+  IrNodePtr bound = node.Clone();
+  Status status = Status::OK();
+  VisitIr(bound.get(), [&values, &status](IrNode* n) {
+    if (!status.ok()) return;
+    if (n->predicate != nullptr) {
+      auto replaced = relational::BindParameters(*n->predicate, values);
+      if (!replaced.ok()) {
+        status = replaced.status();
+        return;
+      }
+      n->predicate = std::move(replaced).value();
+    }
+    for (auto& e : n->proj_exprs) {
+      auto replaced = relational::BindParameters(*e, values);
+      if (!replaced.ok()) {
+        status = replaced.status();
+        return;
+      }
+      e = std::move(replaced).value();
+    }
+  });
+  if (!status.ok()) return status;
+  return bound;
 }
 
 }  // namespace raven::ir

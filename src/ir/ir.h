@@ -236,6 +236,27 @@ bool IsDistributableFragment(const IrNode& node);
 void CollectDistributableFragments(const IrNode& root,
                                    std::vector<const IrNode*>* out);
 
+// -- Plan identity & prepared-statement parameters --------------------------
+
+/// Structural 64-bit fingerprint of the subtree (FNV-1a over a canonical
+/// preorder encoding of kinds and payloads; model payloads hash by stored
+/// name, so two plans over the same stored model fingerprint equal even
+/// when the optimizer specialized their in-memory pipelines differently).
+/// The query server's plan cache uses this to report distinct-plan counts
+/// and tests use it to assert cached-plan identity.
+std::uint64_t PlanFingerprint(const IrNode& node);
+
+/// Number of `?` placeholders the plan's expressions reference (max index
+/// + 1; 0 for a plan without parameters).
+std::int64_t PlanParamCount(const IrNode& node);
+
+/// Deep clone with every ParamExpr replaced by its literal value from
+/// `values` (EXECUTE's bind step). Fails when the plan references an index
+/// outside `values`; fails-fast rather than executing with unbound
+/// placeholders.
+Result<IrNodePtr> BindPlanParameters(const IrNode& node,
+                                     const std::vector<double>& values);
+
 }  // namespace raven::ir
 
 #endif  // RAVEN_IR_IR_H_

@@ -86,10 +86,20 @@ class RavenContext {
                                         runtime::ExecutionStats* stats = nullptr);
 
   // -- Component access -------------------------------------------------------
+  // The server layer (src/server) builds its per-session query pipeline out
+  // of these components directly instead of going through Query(): the
+  // catalog, session cache, and executor are safe to share across
+  // concurrent sessions, while the analyzer is stateless and the optimizer
+  // is serialized by the server (its options carry per-query parallelism
+  // targets). Query()/Explain() themselves are NOT thread-safe against
+  // concurrent use of the same context — route concurrent traffic through
+  // a server::QueryServer.
   relational::Catalog& catalog() { return catalog_; }
   const relational::Catalog& catalog() const { return catalog_; }
+  frontend::StaticAnalyzer& analyzer() { return analyzer_; }
   optimizer::CrossOptimizer& cross_optimizer() { return optimizer_; }
   nnrt::SessionCache& session_cache() { return session_cache_; }
+  runtime::PlanExecutor& executor() { return executor_; }
   runtime::ExecutionOptions& execution_options() { return options_.execution; }
   optimizer::OptimizerOptions& optimizer_options() {
     return optimizer_.mutable_options();

@@ -8,6 +8,7 @@ Status Catalog::RegisterTable(const std::string& name, Table table) {
     return Status::AlreadyExists("table '" + name + "' already registered");
   }
   tables_.emplace(name, std::move(table));
+  BumpVersion();
   return Status::OK();
 }
 
@@ -44,6 +45,7 @@ Status Catalog::InsertModel(const std::string& name, const std::string& script,
   }
   models_[name] = StoredModel{name, script, pipeline_bytes, 1};
   audit_log_.push_back("INSERT model '" + name + "' v1");
+  BumpVersion();
   return Status::OK();
 }
 
@@ -61,6 +63,7 @@ Status Catalog::UpdateModel(const std::string& name, const std::string& script,
     audit_log_.push_back("UPDATE model '" + name + "' v" +
                          std::to_string(it->second.version));
   }
+  BumpVersion();
   Notify(name);
   return Status::OK();
 }
@@ -75,6 +78,7 @@ Status Catalog::DropModel(const std::string& name) {
     models_.erase(it);
     audit_log_.push_back("DROP model '" + name + "'");
   }
+  BumpVersion();
   Notify(name);
   return Status::OK();
 }

@@ -1,6 +1,7 @@
 #ifndef RAVEN_RELATIONAL_CATALOG_H_
 #define RAVEN_RELATIONAL_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -60,9 +61,18 @@ class Catalog {
     listeners_.push_back(std::move(fn));
   }
 
+  /// Monotonic catalog version, bumped by every table or model mutation.
+  /// Plan caches key on it so any catalog change makes previously optimized
+  /// plans unreachable (they were planned against stale schemas/models).
+  std::int64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
  private:
   void Notify(const std::string& name);
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
 
+  std::atomic<std::int64_t> version_{1};
   mutable std::mutex mu_;
   std::map<std::string, Table> tables_;
   std::map<std::string, StoredModel> models_;

@@ -1,5 +1,6 @@
 #include "relational/expression.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -55,6 +56,19 @@ std::string LiteralExpr::ToString() const {
   std::ostringstream os;
   os << value_;
   return os.str();
+}
+
+Status ParamExpr::Evaluate(const DataChunk& chunk,
+                           std::vector<double>* out) const {
+  (void)chunk;
+  (void)out;
+  return Status::ExecutionError("unbound prepared-statement parameter ?" +
+                                std::to_string(index_ + 1) +
+                                " (EXECUTE must bind every ? placeholder)");
+}
+
+std::string ParamExpr::ToString() const {
+  return "?" + std::to_string(index_ + 1);
 }
 
 Status CompareExpr::Evaluate(const DataChunk& chunk,
@@ -336,6 +350,9 @@ void SerializeExpr(const Expr& expr, BinaryWriter* writer) {
       writer->WriteF64Vector(in.values());
       return;
     }
+    case Expr::Kind::kParam:
+      writer->WriteI64(static_cast<const ParamExpr&>(expr).index());
+      return;
   }
 }
 
@@ -348,7 +365,7 @@ Result<ExprPtr> DeserializeExprAt(BinaryReader* reader, int depth) {
     return Status::ParseError("expression tree too deep (corrupt payload?)");
   }
   RAVEN_ASSIGN_OR_RETURN(std::uint8_t tag, reader->ReadU8());
-  if (tag > static_cast<std::uint8_t>(Expr::Kind::kIn)) {
+  if (tag > static_cast<std::uint8_t>(Expr::Kind::kParam)) {
     return Status::ParseError("unknown expression kind code " +
                               std::to_string(tag));
   }
@@ -431,6 +448,13 @@ Result<ExprPtr> DeserializeExprAt(BinaryReader* reader, int depth) {
                              reader->ReadF64Vector());
       return ExprPtr(std::make_unique<InExpr>(std::move(input), std::move(values)));
     }
+    case Expr::Kind::kParam: {
+      RAVEN_ASSIGN_OR_RETURN(std::int64_t index, reader->ReadI64());
+      if (index < 0) {
+        return Status::ParseError("negative parameter index");
+      }
+      return ExprPtr(std::make_unique<ParamExpr>(index));
+    }
   }
   return Status::ParseError("unreachable expression kind");
 }
@@ -481,6 +505,116 @@ ExprPtr ConjoinClones(const std::vector<const Expr*>& conjuncts) {
     out = out == nullptr ? c->Clone() : And(std::move(out), c->Clone());
   }
   return out;
+}
+
+std::int64_t MaxParamIndex(const Expr& expr) {
+  switch (expr.kind()) {
+    case Expr::Kind::kParam:
+      return static_cast<const ParamExpr&>(expr).index();
+    case Expr::Kind::kColumnRef:
+    case Expr::Kind::kLiteral:
+      return -1;
+    case Expr::Kind::kCompare: {
+      const auto& cmp = static_cast<const CompareExpr&>(expr);
+      return std::max(MaxParamIndex(cmp.lhs()), MaxParamIndex(cmp.rhs()));
+    }
+    case Expr::Kind::kArith: {
+      const auto& arith = static_cast<const ArithExpr&>(expr);
+      return std::max(MaxParamIndex(arith.lhs()), MaxParamIndex(arith.rhs()));
+    }
+    case Expr::Kind::kLogical: {
+      const auto& logical = static_cast<const LogicalExpr&>(expr);
+      std::int64_t out = MaxParamIndex(logical.lhs());
+      if (logical.rhs() != nullptr) {
+        out = std::max(out, MaxParamIndex(*logical.rhs()));
+      }
+      return out;
+    }
+    case Expr::Kind::kCaseWhen: {
+      const auto& cw = static_cast<const CaseWhenExpr&>(expr);
+      std::int64_t out = -1;
+      for (const auto& arm : cw.arms()) {
+        out = std::max(out, MaxParamIndex(*arm.when));
+        out = std::max(out, MaxParamIndex(*arm.then));
+      }
+      if (cw.else_expr() != nullptr) {
+        out = std::max(out, MaxParamIndex(*cw.else_expr()));
+      }
+      return out;
+    }
+    case Expr::Kind::kIn:
+      return MaxParamIndex(static_cast<const InExpr&>(expr).input());
+  }
+  return -1;
+}
+
+Result<ExprPtr> BindParameters(const Expr& expr,
+                               const std::vector<double>& values) {
+  switch (expr.kind()) {
+    case Expr::Kind::kParam: {
+      const std::int64_t index = static_cast<const ParamExpr&>(expr).index();
+      if (index < 0 || index >= static_cast<std::int64_t>(values.size())) {
+        return Status::InvalidArgument(
+            "parameter ?" + std::to_string(index + 1) + " is out of range (" +
+            std::to_string(values.size()) + " values bound)");
+      }
+      return Lit(values[static_cast<std::size_t>(index)]);
+    }
+    case Expr::Kind::kColumnRef:
+    case Expr::Kind::kLiteral:
+      return expr.Clone();
+    case Expr::Kind::kCompare: {
+      const auto& cmp = static_cast<const CompareExpr&>(expr);
+      RAVEN_ASSIGN_OR_RETURN(ExprPtr lhs, BindParameters(cmp.lhs(), values));
+      RAVEN_ASSIGN_OR_RETURN(ExprPtr rhs, BindParameters(cmp.rhs(), values));
+      return ExprPtr(std::make_unique<CompareExpr>(cmp.op(), std::move(lhs),
+                                                   std::move(rhs)));
+    }
+    case Expr::Kind::kArith: {
+      const auto& arith = static_cast<const ArithExpr&>(expr);
+      RAVEN_ASSIGN_OR_RETURN(ExprPtr lhs, BindParameters(arith.lhs(), values));
+      RAVEN_ASSIGN_OR_RETURN(ExprPtr rhs, BindParameters(arith.rhs(), values));
+      return ExprPtr(std::make_unique<ArithExpr>(arith.op(), std::move(lhs),
+                                                 std::move(rhs)));
+    }
+    case Expr::Kind::kLogical: {
+      const auto& logical = static_cast<const LogicalExpr&>(expr);
+      RAVEN_ASSIGN_OR_RETURN(ExprPtr lhs,
+                             BindParameters(logical.lhs(), values));
+      ExprPtr rhs;
+      if (logical.rhs() != nullptr) {
+        RAVEN_ASSIGN_OR_RETURN(rhs, BindParameters(*logical.rhs(), values));
+      }
+      return ExprPtr(std::make_unique<LogicalExpr>(logical.op(),
+                                                   std::move(lhs),
+                                                   std::move(rhs)));
+    }
+    case Expr::Kind::kCaseWhen: {
+      const auto& cw = static_cast<const CaseWhenExpr&>(expr);
+      std::vector<CaseWhenExpr::Arm> arms;
+      arms.reserve(cw.arms().size());
+      for (const auto& arm : cw.arms()) {
+        CaseWhenExpr::Arm bound;
+        RAVEN_ASSIGN_OR_RETURN(bound.when, BindParameters(*arm.when, values));
+        RAVEN_ASSIGN_OR_RETURN(bound.then, BindParameters(*arm.then, values));
+        arms.push_back(std::move(bound));
+      }
+      ExprPtr else_expr;
+      if (cw.else_expr() != nullptr) {
+        RAVEN_ASSIGN_OR_RETURN(else_expr,
+                               BindParameters(*cw.else_expr(), values));
+      }
+      return ExprPtr(std::make_unique<CaseWhenExpr>(std::move(arms),
+                                                    std::move(else_expr)));
+    }
+    case Expr::Kind::kIn: {
+      const auto& in = static_cast<const InExpr&>(expr);
+      RAVEN_ASSIGN_OR_RETURN(ExprPtr input,
+                             BindParameters(in.input(), values));
+      return ExprPtr(std::make_unique<InExpr>(std::move(input), in.values()));
+    }
+  }
+  return Status::Internal("unreachable expression kind in BindParameters");
 }
 
 }  // namespace raven::relational

@@ -41,6 +41,7 @@ class Expr {
     kLogical,
     kCaseWhen,
     kIn,
+    kParam,
   };
 
   virtual ~Expr() = default;
@@ -206,6 +207,29 @@ class CaseWhenExpr final : public Expr {
   ExprPtr else_;
 };
 
+/// A `?` placeholder of a prepared statement, identified by its 0-based
+/// lexical position in the statement text. Placeholders never evaluate:
+/// EXECUTE substitutes literals into a clone of the prepared plan
+/// (BindParameters) before execution, so hitting one at runtime means an
+/// unbound parameter — a diagnosable ExecutionError, not UB.
+class ParamExpr final : public Expr {
+ public:
+  explicit ParamExpr(std::int64_t index)
+      : Expr(Kind::kParam), index_(index) {}
+  std::int64_t index() const { return index_; }
+
+  Status Evaluate(const DataChunk& chunk,
+                  std::vector<double>* out) const override;
+  std::string ToString() const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<ParamExpr>(index_);
+  }
+  void CollectColumns(std::set<std::string>*) const override {}
+
+ private:
+  std::int64_t index_;
+};
+
 /// `expr IN (v1, v2, ...)` over numeric constants.
 class InExpr final : public Expr {
  public:
@@ -266,6 +290,16 @@ std::optional<SimplePredicate> MatchSimplePredicate(const Expr& expr);
 
 /// Rebuilds an AND tree from conjunct clones; nullptr when empty.
 ExprPtr ConjoinClones(const std::vector<const Expr*>& conjuncts);
+
+// -- Prepared-statement parameters ------------------------------------------
+
+/// Largest ParamExpr index anywhere in `expr`, or -1 when it has none.
+std::int64_t MaxParamIndex(const Expr& expr);
+
+/// Clone of `expr` with every ParamExpr replaced by the literal value at
+/// its index. Fails on an index outside `values` (too few parameters).
+Result<ExprPtr> BindParameters(const Expr& expr,
+                               const std::vector<double>& values);
 
 }  // namespace raven::relational
 

@@ -92,6 +92,13 @@ struct ExecutionStats {
   std::int64_t bytes_shipped = 0;
   /// Distributed execution: pool workers replaced after a failed exchange.
   std::int64_t worker_restarts = 0;
+  /// Query server: the optimized plan came from the shared plan cache
+  /// (parse + optimize were skipped). Always false for direct API runs.
+  bool plan_cache_hit = false;
+  /// Query server: wall time this query spent queued in the admission
+  /// controller before an execution slot freed up (0 when admitted
+  /// immediately or run outside the server).
+  double queue_wait_micros = 0.0;
   /// Per-operator counters in plan-build order.
   std::vector<OperatorStats> operators;
 };

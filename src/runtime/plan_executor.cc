@@ -482,12 +482,13 @@ PlanExecutor::PlanExecutor(const relational::Catalog* catalog,
 
 PlanExecutor::~PlanExecutor() = default;
 
-WorkerPool* PlanExecutor::worker_pool() {
+std::shared_ptr<WorkerPool> PlanExecutor::worker_pool() {
   std::lock_guard<std::mutex> lock(pool_mu_);
-  return pool_.get();
+  return pool_;
 }
 
-WorkerPool* PlanExecutor::EnsurePool(const ExecutionOptions& options) {
+std::shared_ptr<WorkerPool> PlanExecutor::EnsurePool(
+    const ExecutionOptions& options) {
   std::lock_guard<std::mutex> lock(pool_mu_);
   WorkerPoolOptions want;
   want.num_workers = std::max<std::int64_t>(1, options.distributed_workers);
@@ -498,17 +499,21 @@ WorkerPool* PlanExecutor::EnsurePool(const ExecutionOptions& options) {
     // The timeout is a per-query option, not spawn configuration: follow
     // it on the warm pool instead of silently keeping the first query's.
     pool_->set_frame_timeout_millis(want.frame_timeout_millis);
-    return pool_.get();
+    return pool_;
   }
-  pool_ = std::make_unique<WorkerPool>();
-  Status started = pool_->Start(want);
+  // Replacing the member does not stop a pool another session's in-flight
+  // query still holds: shared ownership keeps it (and its workers) alive
+  // until that query's last exchange completes.
+  auto fresh = std::make_shared<WorkerPool>();
+  Status started = fresh->Start(want);
   if (!started.ok()) {
     RAVEN_LOG(Warning) << "distributed worker pool unavailable, executing "
                        << "in-process: " << started.ToString();
     pool_.reset();
     return nullptr;
   }
-  return pool_.get();
+  pool_ = std::move(fresh);
+  return pool_;
 }
 
 Result<Table> PlanExecutor::Execute(const ir::IrPlan& plan,
@@ -529,9 +534,9 @@ Result<Table> PlanExecutor::Execute(const ir::IrPlan& plan,
   // cannot start (no worker binary), the query degrades to the in-process
   // paths below rather than failing.
   if (options.mode == ExecutionMode::kDistributed) {
-    WorkerPool* pool = EnsurePool(options);
+    std::shared_ptr<WorkerPool> pool = EnsurePool(options);
     if (pool != nullptr) {
-      DistributedExecutor dexec(ctx, pool);
+      DistributedExecutor dexec(ctx, pool.get());
       Result<Table> result = dexec.Execute(*plan.root());
       collector.partitions_used.store(pool->num_workers());
       if (stats != nullptr) collector.Finalize(stats);

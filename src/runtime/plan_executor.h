@@ -53,24 +53,34 @@ class PlanExecutor {
                nnrt::SessionCache* session_cache);
   ~PlanExecutor();
 
+  /// Executes an optimized plan. Safe to call concurrently from many
+  /// threads on the same executor (the query server does exactly that):
+  /// all execution state is per-call, the shared NNRT session cache is
+  /// internally synchronized, and the distributed worker pool is handed
+  /// out by shared ownership so a concurrent respawn cannot pull it out
+  /// from under an in-flight query. The plan must not be mutated while
+  /// executions reference it — cached plans are shared as const.
   Result<relational::Table> Execute(const ir::IrPlan& plan,
                                     const ExecutionOptions& options,
                                     ExecutionStats* stats = nullptr);
 
   /// The lazily spawned distributed worker pool; nullptr until the first
   /// distributed query (or after a failed pool start). Exposed for the
-  /// fault-injection tests, which SIGKILL workers through it.
-  WorkerPool* worker_pool();
+  /// fault-injection tests, which SIGKILL workers through it, and for the
+  /// server's SHOW STATS (restart counts).
+  std::shared_ptr<WorkerPool> worker_pool();
 
  private:
   /// Returns the warm pool matching `options`, (re)spawning it when the
-  /// spawn configuration changed; nullptr if the pool cannot start.
-  WorkerPool* EnsurePool(const ExecutionOptions& options);
+  /// spawn configuration changed; nullptr if the pool cannot start. Shared
+  /// ownership: a query that raced a respawn keeps the old pool alive (and
+  /// its workers running) until its last exchange finishes.
+  std::shared_ptr<WorkerPool> EnsurePool(const ExecutionOptions& options);
 
   const relational::Catalog* catalog_;
   nnrt::SessionCache* session_cache_;
   std::mutex pool_mu_;
-  std::unique_ptr<WorkerPool> pool_;
+  std::shared_ptr<WorkerPool> pool_;
 };
 
 }  // namespace raven::runtime

@@ -4,6 +4,7 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 
 namespace raven::runtime {
@@ -179,17 +180,26 @@ Status WriteFrame(int fd, const std::string& payload) {
 namespace {
 
 /// Reads exactly `len` bytes, retrying on EINTR and looping over short
-/// reads. With a non-negative timeout every wait polls first, so a worker
-/// that stops mid-frame (truncated write, wedged process) surfaces as a
-/// diagnosable timeout instead of a hang.
+/// reads. A non-negative timeout is a TOTAL budget for the whole read,
+/// not a per-byte re-arm: a peer dripping one byte per poll window (a
+/// slow-loris client, or a wedged worker that twitches occasionally)
+/// still trips the deadline instead of pinning the reader forever.
 Status ReadFull(int fd, char* buf, std::size_t len, int timeout_millis) {
   std::size_t got = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(timeout_millis >= 0 ? timeout_millis : 0);
   while (got < len) {
     if (timeout_millis >= 0) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
       struct pollfd pfd;
       pfd.fd = fd;
       pfd.events = POLLIN;
-      const int ready = ::poll(&pfd, 1, timeout_millis);
+      const int ready =
+          remaining > 0 ? ::poll(&pfd, 1, static_cast<int>(remaining)) : 0;
       if (ready < 0) {
         if (errno == EINTR) continue;
         return Status::IoError("worker pipe poll failed: " +
@@ -216,12 +226,17 @@ Status ReadFull(int fd, char* buf, std::size_t len, int timeout_millis) {
 
 }  // namespace
 
-Result<std::string> ReadFrame(int fd, int timeout_millis) {
+Result<std::string> ReadFrame(int fd, int timeout_millis,
+                              std::uint32_t max_frame_bytes) {
   char header[4];
   RAVEN_RETURN_IF_ERROR(ReadFull(fd, header, 4, timeout_millis));
   std::uint32_t len = 0;
   std::memcpy(&len, header, 4);
-  if (len > (1u << 30)) return Status::OutOfRange("worker frame too large");
+  if (len > max_frame_bytes) {
+    return Status::OutOfRange(
+        "frame of " + std::to_string(len) + " bytes exceeds the " +
+        std::to_string(max_frame_bytes) + "-byte cap");
+  }
   std::string payload(len, '\0');
   if (len > 0) {
     RAVEN_RETURN_IF_ERROR(

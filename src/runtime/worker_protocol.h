@@ -95,13 +95,19 @@ Result<FragmentEvent> DecodeFragmentEvent(const std::string& payload);
 
 /// Blocking full-frame I/O on file descriptors (length-prefixed). Both
 /// directions retry on EINTR and loop over short reads/writes. ReadFrame
-/// rejects frames whose header claims more than 1 GiB (a corrupt or
-/// malicious length would otherwise stall the reader for the duration of
-/// the timeout). With `timeout_millis` >= 0 the read polls and fails with
-/// an IoError mentioning "timed out" when no byte arrives within the
-/// window — the engine's guard against a wedged (rather than dead) worker.
+/// rejects frames whose header claims more than `max_frame_bytes` BEFORE
+/// allocating the payload buffer (a corrupt or malicious length would
+/// otherwise cost the claimed allocation and stall the reader for the
+/// duration of the timeout). The default cap is the worker protocol's
+/// 1 GiB; the query server reads client requests with a much smaller cap.
+/// With `timeout_millis` >= 0 the read polls against a TOTAL deadline per
+/// header/payload read (a whole frame is bounded by twice the timeout) —
+/// the guard against wedged workers and slow-loris clients alike; a peer
+/// dripping single bytes cannot re-arm it.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
 Status WriteFrame(int fd, const std::string& payload);
-Result<std::string> ReadFrame(int fd, int timeout_millis = -1);
+Result<std::string> ReadFrame(int fd, int timeout_millis = -1,
+                              std::uint32_t max_frame_bytes = kMaxFrameBytes);
 
 }  // namespace raven::runtime
 

@@ -1,0 +1,76 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace raven::server {
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->Release();
+    controller_ = nullptr;
+  }
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (active_ < options_.max_concurrent) {
+    ++active_;
+    ++lifetime_.admitted;
+    lifetime_.peak_active = std::max(lifetime_.peak_active, active_);
+    return Ticket(this, 0.0);
+  }
+  if (queued_ >= options_.max_queue) {
+    ++lifetime_.shed;
+    return Status::ServerBusy(
+        "admission queue full (" + std::to_string(active_) + " active, " +
+        std::to_string(queued_) + " queued); retry later");
+  }
+  ++queued_;
+  ++lifetime_.ever_queued;
+  lifetime_.peak_queued = std::max(lifetime_.peak_queued, queued_);
+  const auto enqueued = std::chrono::steady_clock::now();
+  auto slot_free = [this] { return active_ < options_.max_concurrent; };
+  bool got_slot = true;
+  if (options_.queue_timeout_millis > 0) {
+    got_slot = cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.queue_timeout_millis),
+        slot_free);
+  } else {
+    cv_.wait(lock, slot_free);
+  }
+  --queued_;
+  const double waited_micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - enqueued)
+          .count();
+  if (!got_slot) {
+    ++lifetime_.timeouts;
+    ++lifetime_.shed;
+    return Status::ServerBusy(
+        "queued " + std::to_string(options_.queue_timeout_millis) +
+        " ms without an execution slot freeing up; retry later");
+  }
+  ++active_;
+  ++lifetime_.admitted;
+  lifetime_.peak_active = std::max(lifetime_.peak_active, active_);
+  return Ticket(this, waited_micros);
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+  }
+  cv_.notify_one();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = lifetime_;
+  out.active = active_;
+  out.queued = queued_;
+  return out;
+}
+
+}  // namespace raven::server

@@ -1,0 +1,100 @@
+#ifndef RAVEN_SERVER_ADMISSION_H_
+#define RAVEN_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace raven::server {
+
+/// Bounds on concurrent query execution (the server's overload valve).
+struct AdmissionOptions {
+  /// Queries executing simultaneously. Each runs its pipelines on the
+  /// shared global ThreadPool, so this bound — not the connection count —
+  /// is what keeps the pool from oversubscribing.
+  std::int64_t max_concurrent = 4;
+  /// Queries allowed to wait for a slot; arrivals beyond this are shed
+  /// immediately with kServerBusy.
+  std::int64_t max_queue = 16;
+  /// Longest a queued query waits before being shed (<= 0: wait forever).
+  std::int64_t queue_timeout_millis = 30000;
+  /// Per-query result cap in rows (0 = unlimited): a query whose result
+  /// exceeds it fails with ExecutionError instead of serializing an
+  /// arbitrarily large response frame. Checked after execution — it bounds
+  /// what is buffered for the wire, not the engine's working memory while
+  /// materializing the result (that would need an in-executor row budget).
+  std::int64_t max_result_rows = 0;
+};
+
+/// Gates query execution: at most max_concurrent tickets are outstanding,
+/// up to max_queue callers block waiting for one, and everyone else is
+/// shed with Status::ServerBusy for the client to retry. Thread-safe.
+class AdmissionController {
+ public:
+  struct Stats {
+    std::int64_t active = 0;       ///< tickets outstanding right now
+    std::int64_t queued = 0;       ///< callers waiting right now
+    std::int64_t admitted = 0;     ///< lifetime successful admissions
+    std::int64_t ever_queued = 0;  ///< admissions that had to wait
+    std::int64_t shed = 0;         ///< rejected: queue full
+    std::int64_t timeouts = 0;     ///< rejected: queue wait expired
+    std::int64_t peak_active = 0;
+    std::int64_t peak_queued = 0;
+  };
+
+  /// RAII execution slot; releasing (destruction) wakes one queued waiter.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept {
+      Release();
+      controller_ = other.controller_;
+      queue_wait_micros_ = other.queue_wait_micros_;
+      other.controller_ = nullptr;
+      return *this;
+    }
+    ~Ticket() { Release(); }
+
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    /// Time spent waiting for the slot (0 when admitted immediately).
+    double queue_wait_micros() const { return queue_wait_micros_; }
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* controller, double queue_wait_micros)
+        : controller_(controller), queue_wait_micros_(queue_wait_micros) {}
+    void Release();
+
+    AdmissionController* controller_ = nullptr;
+    double queue_wait_micros_ = 0.0;
+  };
+
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options) {}
+
+  /// Blocks until a slot frees up (bounded by max_queue / the queue
+  /// timeout) and returns the held slot, or Status::ServerBusy.
+  Result<Ticket> Admit();
+
+  Stats stats() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  void Release();
+
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::int64_t active_ = 0;
+  std::int64_t queued_ = 0;
+  Stats lifetime_;  ///< counters other than the live gauges
+};
+
+}  // namespace raven::server
+
+#endif  // RAVEN_SERVER_ADMISSION_H_

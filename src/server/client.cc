@@ -1,0 +1,118 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "runtime/worker_protocol.h"
+
+namespace raven::server {
+
+Status ServerClient::ConnectUnix(const std::string& socket_path) {
+  if (connected()) return Status::InvalidArgument("already connected");
+  ::signal(SIGPIPE, SIG_IGN);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " +
+                                   socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IoError("socket(AF_UNIX) failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    Close();
+    return Status::IoError("connect(" + socket_path + ") failed: " + error);
+  }
+  return Status::OK();
+}
+
+Status ServerClient::ConnectTcp(const std::string& host, int port) {
+  if (connected()) return Status::InvalidArgument("already connected");
+  ::signal(SIGPIPE, SIG_IGN);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IoError("socket(AF_INET) failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    Close();
+    return Status::IoError("connect(" + host + ":" + std::to_string(port) +
+                           ") failed: " + error);
+  }
+  return Status::OK();
+}
+
+void ServerClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ServerClient::Abort() {
+  if (fd_ >= 0) {
+    // RST rather than FIN-and-wait: the server sees a hard error on its
+    // next read/write of this connection, exactly like a crashed client.
+    struct linger hard = {1, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  }
+  Close();
+}
+
+Status ServerClient::Send(const ClientRequest& request) {
+  if (!connected()) return Status::IoError("not connected");
+  return runtime::WriteFrame(fd_, EncodeClientRequest(request));
+}
+
+Result<ServerResponse> ServerClient::Roundtrip(const ClientRequest& request) {
+  RAVEN_RETURN_IF_ERROR(Send(request));
+  RAVEN_ASSIGN_OR_RETURN(
+      std::string payload,
+      runtime::ReadFrame(fd_, response_timeout_millis_ > 0
+                                  ? response_timeout_millis_
+                                  : -1));
+  return DecodeServerResponse(payload);
+}
+
+Result<ServerResponse> ServerClient::Query(const std::string& sql) {
+  ClientRequest request;
+  request.command = ClientCommand::kQuery;
+  request.sql = sql;
+  return Roundtrip(request);
+}
+
+Result<ServerResponse> ServerClient::ExecutePrepared(
+    const std::string& name, const std::vector<double>& params) {
+  ClientRequest request;
+  request.command = ClientCommand::kExecute;
+  request.statement_name = name;
+  request.params = params;
+  return Roundtrip(request);
+}
+
+Result<ServerResponse> ServerClient::Ping() {
+  ClientRequest request;
+  request.command = ClientCommand::kPing;
+  return Roundtrip(request);
+}
+
+}  // namespace raven::server

@@ -1,0 +1,60 @@
+#ifndef RAVEN_SERVER_CLIENT_H_
+#define RAVEN_SERVER_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/server_protocol.h"
+
+namespace raven::server {
+
+/// Blocking client for the QueryServer frame protocol, used by the
+/// raven_client CLI, the benchmarks, and the test suites. One outstanding
+/// request at a time per connection (the protocol is strict
+/// request/response); not thread-safe — use one client per thread.
+class ServerClient {
+ public:
+  ServerClient() = default;
+  ~ServerClient() { Close(); }
+
+  ServerClient(const ServerClient&) = delete;
+  ServerClient& operator=(const ServerClient&) = delete;
+
+  Status ConnectUnix(const std::string& socket_path);
+  Status ConnectTcp(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Abruptly severs the connection without any protocol goodbye — the
+  /// "client died mid-query" tests use this while a statement is in
+  /// flight.
+  void Abort();
+
+  /// One request/response round trip.
+  Result<ServerResponse> Roundtrip(const ClientRequest& request);
+
+  // Convenience wrappers.
+  Result<ServerResponse> Query(const std::string& sql);
+  Result<ServerResponse> ExecutePrepared(const std::string& name,
+                                         const std::vector<double>& params);
+  Result<ServerResponse> Ping();
+
+  /// Sends a request without waiting for the response (pair with Abort to
+  /// disconnect mid-query).
+  Status Send(const ClientRequest& request);
+
+  /// Response-frame timeout; converts a hung server into a diagnosable
+  /// IoError instead of a stuck test. <= 0 blocks forever.
+  void set_response_timeout_millis(int timeout_millis) {
+    response_timeout_millis_ = timeout_millis;
+  }
+
+ private:
+  int fd_ = -1;
+  int response_timeout_millis_ = 120000;
+};
+
+}  // namespace raven::server
+
+#endif  // RAVEN_SERVER_CLIENT_H_

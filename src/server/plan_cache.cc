@@ -1,0 +1,66 @@
+#include "server/plan_cache.h"
+
+namespace raven::server {
+
+std::shared_ptr<const CachedPlan> PlanCache::Get(
+    const std::string& key, std::int64_t catalog_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second.catalog_version != catalog_version) {
+    // Planned against a catalog that has since changed: the plan may bind
+    // dropped models or miss new pushdown opportunities. Drop it.
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    ++invalidations_;
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++hits_;
+  return it->second.plan;
+}
+
+void PlanCache::Put(const std::string& key, std::int64_t catalog_version,
+                    std::shared_ptr<const CachedPlan> plan) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Two sessions raced the same cold statement; last write wins (both
+    // plans are equivalent, they were planned from the same key).
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    it->second.plan = std::move(plan);
+    it->second.catalog_version = catalog_version;
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Node{std::move(plan), catalog_version, lru_.begin()});
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.evictions = evictions_;
+  out.invalidations = invalidations_;
+  out.entries = static_cast<std::int64_t>(entries_.size());
+  return out;
+}
+
+}  // namespace raven::server

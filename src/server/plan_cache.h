@@ -1,0 +1,83 @@
+#ifndef RAVEN_SERVER_PLAN_CACHE_H_
+#define RAVEN_SERVER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "ir/ir.h"
+
+namespace raven::server {
+
+/// Cache observability counters (SHOW STATS / bench assertions).
+struct PlanCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  /// Entries dropped because the catalog version moved underneath them
+  /// (a table registration or model INSERT/UPDATE/DROP since planning).
+  std::int64_t invalidations = 0;
+  std::int64_t entries = 0;
+};
+
+/// One cached plan: the optimized IR (shared as const — executions never
+/// mutate it, so any number of sessions can run it concurrently), its
+/// structural fingerprint, and the number of `?` placeholders it carries.
+struct CachedPlan {
+  std::shared_ptr<const ir::IrPlan> plan;
+  std::uint64_t fingerprint = 0;
+  std::int64_t param_count = 0;
+};
+
+/// Thread-safe LRU cache of optimized plans, keyed by caller-composed key
+/// text (normalized SQL + the planning-relevant session knobs — see
+/// QueryServer::PlanKey). Every entry records the catalog version it was
+/// planned against: a lookup that finds the key but not the version drops
+/// the entry and reports an invalidation, so a model UPDATE or new table
+/// can never resurrect a plan optimized against stale metadata. This is
+/// the SQL Server-style "one compilation serves every connection" layer
+/// the paper's serving argument leans on — hot PREDICT statements skip
+/// parse + optimize entirely.
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached plan for `key` planned at `catalog_version`, or
+  /// nullptr (counting a miss; a version mismatch also counts an
+  /// invalidation).
+  std::shared_ptr<const CachedPlan> Get(const std::string& key,
+                                        std::int64_t catalog_version);
+
+  /// Inserts (or replaces) the entry, evicting the least-recently-used one
+  /// when at capacity.
+  void Put(const std::string& key, std::int64_t catalog_version,
+           std::shared_ptr<const CachedPlan> plan);
+
+  /// Drops every entry (bench cold-start path). Counters survive.
+  void Clear();
+
+  PlanCacheStats stats() const;
+
+ private:
+  struct Node {
+    std::shared_ptr<const CachedPlan> plan;
+    std::int64_t catalog_version = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<std::string> lru_;  ///< MRU-first, mirrors nnrt::SessionCache
+  std::unordered_map<std::string, Node> entries_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+  std::int64_t invalidations_ = 0;
+};
+
+}  // namespace raven::server
+
+#endif  // RAVEN_SERVER_PLAN_CACHE_H_

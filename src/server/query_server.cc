@@ -1,0 +1,659 @@
+#include "server/query_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "frontend/sql_parser.h"
+#include "runtime/worker_pool.h"
+#include "runtime/worker_protocol.h"
+
+namespace raven::server {
+namespace {
+
+/// Scans one identifier-shaped word starting at `*pos` (skipping leading
+/// whitespace); empty when the text is exhausted or starts with a
+/// non-identifier character.
+std::string NextWord(const std::string& text, std::size_t* pos) {
+  while (*pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[*pos]))) {
+    ++*pos;
+  }
+  const std::size_t begin = *pos;
+  while (*pos < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[*pos])) ||
+          text[*pos] == '_')) {
+    ++*pos;
+  }
+  return text.substr(begin, *pos - begin);
+}
+
+std::string RestFrom(const std::string& text, std::size_t pos) {
+  return TrimString(text.substr(std::min(pos, text.size())));
+}
+
+/// Valid CTE/view name: identifier-shaped (no leading digit) and not a
+/// grammar keyword. Anything else would parse at CREATE but poison every
+/// later statement once spliced in as `WITH <name> AS (...)`.
+Status ValidateViewName(const std::string& name) {
+  if (name.empty() || (!std::isalpha(static_cast<unsigned char>(name[0])) &&
+                       name[0] != '_')) {
+    return Status::InvalidArgument(
+        "view name '" + name +
+        "' must start with a letter or underscore");
+  }
+  static const char* kReserved[] = {
+      "SELECT", "FROM",  "WHERE", "GROUP",   "BY",    "HAVING", "ORDER",
+      "LIMIT",  "JOIN",  "ON",    "AS",      "WITH",  "PREDICT", "MODEL",
+      "DATA",   "AND",   "OR",    "NOT",     "IN",    "ASC",    "DESC",
+      "COUNT",  "SUM",   "AVG",   "MIN",     "MAX"};
+  const std::string upper = ToUpper(name);
+  for (const char* keyword : kReserved) {
+    if (upper == keyword) {
+      return Status::InvalidArgument("view name '" + name +
+                                     "' is a reserved word");
+    }
+  }
+  return Status::OK();
+}
+
+/// Parses the optional `( v1, v2, ... )` parameter list of a SQL-level
+/// EXECUTE. Values are plain doubles (the engine is numeric end to end).
+Result<std::vector<double>> ParseParamList(const std::string& rest) {
+  std::vector<double> params;
+  if (rest.empty()) return params;
+  if (rest.front() != '(' || rest.back() != ')') {
+    return Status::ParseError(
+        "EXECUTE parameters must be parenthesized: EXECUTE name (1, 2.5)");
+  }
+  const std::string inner = TrimString(rest.substr(1, rest.size() - 2));
+  if (inner.empty()) return params;
+  for (const std::string& part : SplitString(inner, ',')) {
+    const std::string value = TrimString(part);
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return Status::ParseError("EXECUTE parameter '" + value +
+                                "' is not a number");
+    }
+    params.push_back(parsed);
+  }
+  return params;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::int64_t>> ServerStats::ToPairs()
+    const {
+  return {
+      {"plan_cache_hits", plan_cache.hits},
+      {"plan_cache_misses", plan_cache.misses},
+      {"plan_cache_evictions", plan_cache.evictions},
+      {"plan_cache_invalidations", plan_cache.invalidations},
+      {"plan_cache_entries", plan_cache.entries},
+      {"queries_active", admission.active},
+      {"queries_queued", admission.queued},
+      {"queries_admitted", admission.admitted},
+      {"queries_ever_queued", admission.ever_queued},
+      {"queries_shed", admission.shed},
+      {"queue_timeouts", admission.timeouts},
+      {"peak_active", admission.peak_active},
+      {"peak_queued", admission.peak_queued},
+      {"queries_served", queries_served},
+      {"statements_prepared", statements_prepared},
+      {"prepared_executions", prepared_executions},
+      {"sessions_opened", sessions_opened},
+      {"sessions_active", sessions_active},
+      {"worker_restarts", worker_restarts},
+      {"catalog_version", catalog_version},
+  };
+}
+
+QueryServer::QueryServer(RavenContext* ctx, QueryServerOptions options)
+    : ctx_(ctx),
+      options_(std::move(options)),
+      plan_cache_(options_.plan_cache_capacity),
+      admission_(options_.admission) {}
+
+QueryServer::~QueryServer() { Stop(); }
+
+Status QueryServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server is already running");
+  }
+  // A client that disappears mid-response must surface as EPIPE on the
+  // connection, not kill the server (same rationale as WorkerClient).
+  ::signal(SIGPIPE, SIG_IGN);
+  if (!options_.unix_socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     options_.unix_socket_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IoError("socket(AF_UNIX) failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    ::unlink(options_.unix_socket_path.c_str());  // stale socket file
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const std::string error = std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::IoError("bind(" + options_.unix_socket_path +
+                             ") failed: " + error);
+    }
+  } else if (options_.tcp_port >= 0) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IoError("socket(AF_INET) failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    const int reuse = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const std::string error = std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::IoError("bind(127.0.0.1:" +
+                             std::to_string(options_.tcp_port) +
+                             ") failed: " + error);
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      bound_tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+  } else {
+    return Status::InvalidArgument(
+        "configure either unix_socket_path or tcp_port");
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen failed: " + error);
+  }
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread(&QueryServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void QueryServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // shutdown() only here: the accept thread still reads listen_fd_, so the
+  // close + reset wait until after the join.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    // Sever every live connection: blocked frame reads return EOF, the
+    // connection threads run to completion (finishing any in-flight
+    // statement first) and mark themselves done.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (Connection& conn : conns_) {
+      if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
+    }
+  }
+  ReapConnections(/*all=*/true);
+  if (!options_.unix_socket_path.empty()) {
+    ::unlink(options_.unix_socket_path.c_str());
+  }
+}
+
+void QueryServer::ReapConnections(bool all) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (all || it->done.load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) it->thread.join();
+      if (it->fd >= 0) ::close(it->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 200);
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    ReapConnections(/*all=*/false);
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener was shut down
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (static_cast<std::int64_t>(conns_.size()) >=
+        options_.max_connections) {
+      // Thread budget exhausted: turn the connection away at the door with
+      // a busy frame rather than silently dropping it.
+      (void)runtime::WriteFrame(
+          fd, EncodeServerResponse(ErrorResponse(Status::ServerBusy(
+                  "connection limit (" +
+                  std::to_string(options_.max_connections) +
+                  ") reached; retry later"))));
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace_back();
+    Connection* conn = &conns_.back();
+    conn->fd = fd;
+    conn->thread = std::thread(&QueryServer::ServeConnection, this, conn);
+  }
+}
+
+void QueryServer::ServeConnection(Connection* conn) {
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  sessions_active_.fetch_add(1, std::memory_order_relaxed);
+  Session session(next_session_id_.fetch_add(1, std::memory_order_relaxed),
+                  options_.default_execution);
+  for (;;) {
+    auto payload = runtime::ReadFrame(
+        conn->fd,
+        options_.idle_timeout_millis > 0 ? options_.idle_timeout_millis : -1,
+        options_.max_request_frame_bytes);
+    if (!payload.ok()) {
+      if (payload.status().code() == StatusCode::kOutOfRange) {
+        // Oversized header: tell the client why before hanging up (the
+        // unread payload makes the stream unusable afterwards).
+        (void)runtime::WriteFrame(
+            conn->fd, EncodeServerResponse(ErrorResponse(payload.status())));
+      }
+      break;  // disconnect (or Stop severed us)
+    }
+    ServerResponse response;
+    auto request = DecodeClientRequest(payload.value());
+    if (!request.ok()) {
+      // Frames are length-delimited, so a malformed payload does not
+      // desynchronize the stream; answer the error and keep serving.
+      response = ErrorResponse(request.status());
+    } else {
+      response = HandleRequest(&session, request.value());
+    }
+    if (!runtime::WriteFrame(conn->fd, EncodeServerResponse(response)).ok()) {
+      break;  // client vanished mid-response
+    }
+  }
+  // Leave the fd open (shutdown only): the reaper closes it after joining
+  // this thread, so the descriptor cannot be recycled while Stop() might
+  // still shut it down.
+  ::shutdown(conn->fd, SHUT_RDWR);
+  sessions_active_.fetch_sub(1, std::memory_order_relaxed);
+  conn->done.store(true, std::memory_order_release);
+}
+
+ServerResponse QueryServer::ErrorResponse(const Status& status) {
+  ServerResponse response;
+  response.kind = status.code() == StatusCode::kServerBusy
+                      ? ServerResponseKind::kBusy
+                      : ServerResponseKind::kError;
+  response.code = status.code();
+  response.message = status.message();
+  return response;
+}
+
+ServerResponse QueryServer::HandleRequest(Session* session,
+                                          const ClientRequest& request) {
+  switch (request.command) {
+    case ClientCommand::kPing: {
+      ServerResponse response;
+      response.kind = ServerResponseKind::kAck;
+      response.message = "pong";
+      return response;
+    }
+    case ClientCommand::kExecute:
+      return HandleExecute(session, request.statement_name, request.params);
+    case ClientCommand::kQuery:
+      return HandleStatement(session, request.sql);
+  }
+  return ErrorResponse(Status::InvalidArgument("unhandled client command"));
+}
+
+ServerResponse QueryServer::HandleStatement(Session* session,
+                                            const std::string& sql) {
+  std::string text = TrimString(sql);
+  while (!text.empty() && text.back() == ';') {
+    text.pop_back();
+    text = TrimString(text);
+  }
+  if (text.empty()) {
+    return ErrorResponse(Status::ParseError("empty statement"));
+  }
+  std::size_t pos = 0;
+  const std::string verb = ToUpper(NextWord(text, &pos));
+  if (verb == "PREPARE") {
+    return HandlePrepare(session, RestFrom(text, pos));
+  }
+  if (verb == "EXECUTE") {
+    const std::string name = NextWord(text, &pos);
+    if (name.empty()) {
+      return ErrorResponse(
+          Status::ParseError("EXECUTE expects a statement name"));
+    }
+    auto params = ParseParamList(RestFrom(text, pos));
+    if (!params.ok()) return ErrorResponse(params.status());
+    return HandleExecute(session, name, params.value());
+  }
+  if (verb == "SET") {
+    return HandleSet(session, RestFrom(text, pos));
+  }
+  if (verb == "SHOW") {
+    const std::string what = ToUpper(NextWord(text, &pos));
+    if (what != "STATS") {
+      return ErrorResponse(
+          Status::ParseError("only SHOW STATS is supported"));
+    }
+    return ShowStats();
+  }
+  if (verb == "CREATE") {
+    return HandleCreateView(session, RestFrom(text, pos));
+  }
+  if (verb == "DROP") {
+    const std::string what = ToUpper(NextWord(text, &pos));
+    const std::string name = NextWord(text, &pos);
+    if (what != "VIEW" || name.empty()) {
+      return ErrorResponse(Status::ParseError("expected DROP VIEW <name>"));
+    }
+    Status dropped = session->DropView(name);
+    if (!dropped.ok()) return ErrorResponse(dropped);
+    ServerResponse response;
+    response.kind = ServerResponseKind::kAck;
+    response.message = "dropped view '" + name + "'";
+    return response;
+  }
+  return RunStatement(session, text);
+}
+
+ServerResponse QueryServer::HandleSet(Session* session,
+                                      const std::string& rest) {
+  // Accept `SET key = value` and `SET key value`.
+  std::string key;
+  std::string value;
+  const std::size_t eq = rest.find('=');
+  if (eq != std::string::npos) {
+    key = TrimString(rest.substr(0, eq));
+    value = TrimString(rest.substr(eq + 1));
+  } else {
+    std::size_t pos = 0;
+    key = NextWord(rest, &pos);
+    value = RestFrom(rest, pos);
+  }
+  if (key.empty() || value.empty()) {
+    return ErrorResponse(Status::ParseError("expected SET <knob> = <value>"));
+  }
+  Status applied = session->ApplySet(key, value);
+  if (!applied.ok()) return ErrorResponse(applied);
+  ServerResponse response;
+  response.kind = ServerResponseKind::kAck;
+  response.message = "SET " + ToLower(key) + " = " + value;
+  return response;
+}
+
+ServerResponse QueryServer::HandleCreateView(Session* session,
+                                             const std::string& rest) {
+  std::size_t pos = 0;
+  std::string word = ToUpper(NextWord(rest, &pos));
+  if (word == "TEMP" || word == "TEMPORARY") {
+    word = ToUpper(NextWord(rest, &pos));
+  }
+  if (word != "VIEW") {
+    return ErrorResponse(
+        Status::ParseError("expected CREATE [TEMP] VIEW <name> AS <select>"));
+  }
+  const std::string name = NextWord(rest, &pos);
+  const std::string as = ToUpper(NextWord(rest, &pos));
+  const std::string body = RestFrom(rest, pos);
+  if (name.empty() || as != "AS" || body.empty()) {
+    return ErrorResponse(
+        Status::ParseError("expected CREATE [TEMP] VIEW <name> AS <select>"));
+  }
+  Status valid_name = ValidateViewName(name);
+  if (!valid_name.ok()) return ErrorResponse(valid_name);
+  // Validate the body now (against the session's existing views) so a
+  // broken view fails its CREATE, not every later statement that uses it.
+  bool cache_hit = false;
+  auto planned =
+      PlanStatement(session, session->RewriteWithViews(body), &cache_hit);
+  if (!planned.ok()) return ErrorResponse(planned.status());
+  if ((*planned)->param_count > 0) {
+    return ErrorResponse(Status::InvalidArgument(
+        "views cannot contain ? placeholders (prepare a statement instead)"));
+  }
+  session->PutView(name, body);
+  ServerResponse response;
+  response.kind = ServerResponseKind::kAck;
+  response.message = "created view '" + name + "'";
+  return response;
+}
+
+ServerResponse QueryServer::HandlePrepare(Session* session,
+                                          const std::string& rest) {
+  std::size_t pos = 0;
+  const std::string name = NextWord(rest, &pos);
+  const std::string as = ToUpper(NextWord(rest, &pos));
+  const std::string body = RestFrom(rest, pos);
+  if (name.empty() || as != "AS" || body.empty()) {
+    return ErrorResponse(
+        Status::ParseError("expected PREPARE <name> AS <select>"));
+  }
+  const std::string rewritten = session->RewriteWithViews(body);
+  // Version read BEFORE planning: if the catalog mutates mid-plan, the
+  // template looks stale on the next EXECUTE and re-plans — never the
+  // other way around (a stale plan that looks permanently fresh).
+  const std::int64_t planned_version = ctx_->catalog().version();
+  bool cache_hit = false;
+  auto planned = PlanStatement(session, rewritten, &cache_hit);
+  if (!planned.ok()) return ErrorResponse(planned.status());
+  PreparedStatement prepared;
+  prepared.name = name;
+  prepared.sql = rewritten;
+  prepared.plan = (*planned)->plan;
+  prepared.param_count = (*planned)->param_count;
+  prepared.fingerprint = (*planned)->fingerprint;
+  prepared.catalog_version = planned_version;
+  prepared.profile = session->PlanProfile();
+  session->prepared()[name] = std::move(prepared);
+  statements_prepared_.fetch_add(1, std::memory_order_relaxed);
+  ServerResponse response;
+  response.kind = ServerResponseKind::kAck;
+  response.message = "prepared '" + name + "' (" +
+                     std::to_string((*planned)->param_count) +
+                     " parameters)";
+  return response;
+}
+
+ServerResponse QueryServer::HandleExecute(Session* session,
+                                          const std::string& name,
+                                          const std::vector<double>& params) {
+  auto it = session->prepared().find(name);
+  if (it == session->prepared().end()) {
+    return ErrorResponse(
+        Status::NotFound("no prepared statement named '" + name + "'"));
+  }
+  PreparedStatement& prepared = it->second;
+  bool cache_hit = true;
+  if (prepared.catalog_version != ctx_->catalog().version() ||
+      prepared.profile != session->PlanProfile()) {
+    // The template went stale: the catalog moved since PREPARE (model
+    // update, new table) or a SET changed the costing targets it was
+    // optimized for. Re-plan from the stored text — same policy as the
+    // plan cache, applied to the session-pinned template. Version read
+    // before planning, same staleness direction as HandlePrepare.
+    const std::int64_t planned_version = ctx_->catalog().version();
+    auto replanned = PlanStatement(session, prepared.sql, &cache_hit);
+    if (!replanned.ok()) return ErrorResponse(replanned.status());
+    prepared.plan = (*replanned)->plan;
+    prepared.param_count = (*replanned)->param_count;
+    prepared.fingerprint = (*replanned)->fingerprint;
+    prepared.catalog_version = planned_version;
+    prepared.profile = session->PlanProfile();
+  }
+  if (static_cast<std::int64_t>(params.size()) != prepared.param_count) {
+    return ErrorResponse(Status::InvalidArgument(
+        "prepared statement '" + name + "' takes " +
+        std::to_string(prepared.param_count) + " parameters, got " +
+        std::to_string(params.size())));
+  }
+  prepared_executions_.fetch_add(1, std::memory_order_relaxed);
+  if (prepared.param_count == 0) {
+    return ExecutePlan(session, *prepared.plan, cache_hit);
+  }
+  auto bound = ir::BindPlanParameters(*prepared.plan->root(), params);
+  if (!bound.ok()) return ErrorResponse(bound.status());
+  const ir::IrPlan bound_plan(std::move(bound).value());
+  return ExecutePlan(session, bound_plan, cache_hit);
+}
+
+ServerResponse QueryServer::RunStatement(Session* session,
+                                         const std::string& sql) {
+  bool cache_hit = false;
+  auto planned =
+      PlanStatement(session, session->RewriteWithViews(sql), &cache_hit);
+  if (!planned.ok()) return ErrorResponse(planned.status());
+  if ((*planned)->param_count > 0) {
+    return ErrorResponse(Status::InvalidArgument(
+        "statement has ? placeholders; use PREPARE/EXECUTE to bind them"));
+  }
+  return ExecutePlan(session, *(*planned)->plan, cache_hit);
+}
+
+Result<std::shared_ptr<const CachedPlan>> QueryServer::PlanStatement(
+    Session* session, const std::string& sql, bool* cache_hit) {
+  RAVEN_ASSIGN_OR_RETURN(std::string normalized,
+                         frontend::NormalizeSql(sql));
+  // The profile is the LAST \x1f-delimited segment and is machine-generated
+  // (Session::PlanProfile must never emit \x1f): however the SQL segment
+  // re-segments — string literals CAN carry arbitrary bytes — the final
+  // separator still delimits the profile unambiguously, so two different
+  // (sql, profile) pairs can't produce the same key.
+  const std::string key = normalized + '\x1f' + session->PlanProfile();
+  const std::int64_t version = ctx_->catalog().version();
+  if (auto cached = plan_cache_.Get(key, version)) {
+    *cache_hit = true;
+    return cached;
+  }
+  *cache_hit = false;
+  RAVEN_ASSIGN_OR_RETURN(std::shared_ptr<const CachedPlan> fresh,
+                         PlanFresh(session, sql));
+  plan_cache_.Put(key, version, fresh);
+  return fresh;
+}
+
+Result<std::shared_ptr<const CachedPlan>> QueryServer::PlanFresh(
+    Session* session, const std::string& sql) {
+  // The analyzer is stateless and the catalog thread-safe, so analysis
+  // runs concurrently across sessions; only Optimize is serialized (its
+  // costing targets are per-query fields on the shared CrossOptimizer).
+  RAVEN_ASSIGN_OR_RETURN(ir::IrPlan plan, ctx_->analyzer().Analyze(sql));
+  {
+    std::lock_guard<std::mutex> lock(optimize_mu_);
+    const runtime::ExecutionOptions& exec = session->execution();
+    optimizer::OptimizerOptions& opts = ctx_->optimizer_options();
+    opts.target_parallelism =
+        exec.mode == runtime::ExecutionMode::kInProcess ? exec.parallelism
+                                                        : 1;
+    opts.target_distributed_workers =
+        exec.mode == runtime::ExecutionMode::kDistributed
+            ? exec.distributed_workers
+            : 0;
+    RAVEN_RETURN_IF_ERROR(ctx_->cross_optimizer().Optimize(&plan));
+  }
+  auto cached = std::make_shared<CachedPlan>();
+  cached->param_count = ir::PlanParamCount(*plan.root());
+  cached->fingerprint = ir::PlanFingerprint(*plan.root());
+  cached->plan = std::make_shared<const ir::IrPlan>(std::move(plan));
+  return std::shared_ptr<const CachedPlan>(std::move(cached));
+}
+
+ServerResponse QueryServer::ExecutePlan(Session* session,
+                                        const ir::IrPlan& plan,
+                                        bool cache_hit) {
+  Timer timer;
+  auto ticket = admission_.Admit();
+  if (!ticket.ok()) return ErrorResponse(ticket.status());
+  runtime::ExecutionStats stats;
+  auto result =
+      ctx_->executor().Execute(plan, session->execution(), &stats);
+  // The serving-path fields of ExecutionStats are filled here — the
+  // response below is built FROM the stats, so an embedder reading the
+  // stats and a client reading the response see the same numbers.
+  stats.plan_cache_hit = cache_hit;
+  stats.queue_wait_micros = ticket->queue_wait_micros();
+  worker_restarts_.fetch_add(stats.worker_restarts,
+                             std::memory_order_relaxed);
+  if (!result.ok()) return ErrorResponse(result.status());
+  const std::int64_t row_cap = options_.admission.max_result_rows;
+  if (row_cap > 0 && result->num_rows() > row_cap) {
+    return ErrorResponse(Status::ExecutionError(
+        "result has " + std::to_string(result->num_rows()) +
+        " rows, over the per-query cap of " + std::to_string(row_cap)));
+  }
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  ServerResponse response;
+  response.kind = ServerResponseKind::kTable;
+  response.table = std::move(result).value();
+  response.plan_cache_hit = stats.plan_cache_hit;
+  response.queue_wait_micros = stats.queue_wait_micros;
+  response.total_millis = timer.ElapsedMillis();
+  return response;
+}
+
+ServerResponse QueryServer::ShowStats() const {
+  ServerResponse response;
+  response.kind = ServerResponseKind::kStats;
+  response.stats = Snapshot().ToPairs();
+  return response;
+}
+
+ServerStats QueryServer::Snapshot() const {
+  ServerStats stats;
+  stats.plan_cache = plan_cache_.stats();
+  stats.admission = admission_.stats();
+  stats.queries_served = queries_served_.load(std::memory_order_relaxed);
+  stats.statements_prepared =
+      statements_prepared_.load(std::memory_order_relaxed);
+  stats.prepared_executions =
+      prepared_executions_.load(std::memory_order_relaxed);
+  stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  stats.sessions_active = sessions_active_.load(std::memory_order_relaxed);
+  stats.worker_restarts = worker_restarts_.load(std::memory_order_relaxed);
+  stats.catalog_version = ctx_->catalog().version();
+  return stats;
+}
+
+}  // namespace raven::server

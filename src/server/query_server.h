@@ -1,0 +1,180 @@
+#ifndef RAVEN_SERVER_QUERY_SERVER_H_
+#define RAVEN_SERVER_QUERY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "raven/raven.h"
+#include "server/admission.h"
+#include "server/plan_cache.h"
+#include "server/server_protocol.h"
+#include "server/session.h"
+
+namespace raven::server {
+
+/// Server configuration. Exactly one listener comes up: the Unix-domain
+/// socket when `unix_socket_path` is set, otherwise TCP on 127.0.0.1 when
+/// `tcp_port` >= 0 (0 lets the kernel pick; see tcp_port() after Start).
+struct QueryServerOptions {
+  std::string unix_socket_path;
+  int tcp_port = -1;
+  std::size_t plan_cache_capacity = 128;
+  AdmissionOptions admission;
+  /// Initial execution knobs of every new session (SET overrides
+  /// per-session).
+  runtime::ExecutionOptions default_execution;
+  /// Simultaneous connections; arrivals beyond this are answered with a
+  /// kBusy frame and closed (each connection costs a thread, so this — not
+  /// the admission cap — bounds the server's thread count).
+  std::int64_t max_connections = 256;
+  /// Request frames larger than this are rejected before their payload
+  /// buffer is allocated: a hostile header cannot cost the server the
+  /// claimed allocation. Statements are capped at frontend::kMaxSqlLength
+  /// anyway; the default leaves headroom for large EXECUTE param vectors.
+  std::uint32_t max_request_frame_bytes = 8u << 20;
+  /// A connection with no complete request for this long is dropped
+  /// (<= 0: never). Without it, max_connections idle sockets would pin
+  /// every slot forever — the cheapest possible denial of service.
+  int idle_timeout_millis = 300000;
+};
+
+/// Aggregate serving counters (SHOW STATS renders these).
+struct ServerStats {
+  PlanCacheStats plan_cache;
+  AdmissionController::Stats admission;
+  std::int64_t queries_served = 0;
+  std::int64_t statements_prepared = 0;
+  std::int64_t prepared_executions = 0;
+  std::int64_t sessions_opened = 0;
+  std::int64_t sessions_active = 0;
+  std::int64_t worker_restarts = 0;
+  std::int64_t catalog_version = 0;
+
+  /// The SHOW STATS key/value pairs, in render order.
+  std::vector<std::pair<std::string, std::int64_t>> ToPairs() const;
+};
+
+/// A long-lived concurrent query service over a RavenContext: accepts
+/// clients on a Unix-domain or TCP socket speaking the length-prefixed
+/// frame protocol of server_protocol.h, gives each connection a Session
+/// (execution knobs, temp views, prepared statements), routes statements
+/// through the shared PlanCache (normalized SQL + catalog version ->
+/// optimized IR), and bounds concurrent execution with the
+/// AdmissionController — admitted queries run on the connection's thread
+/// through the context's shared PlanExecutor, whose pipelines fan out on
+/// the process-wide ThreadPool. Statement verbs handled server-side:
+///
+///   PREPARE <name> AS <select with ? placeholders>
+///   EXECUTE <name> [( v1, v2, ... )]
+///   SET <knob> = <value>
+///   CREATE VIEW <name> AS <select>       -- session-scoped temp view
+///   DROP VIEW <name>
+///   SHOW STATS
+///
+/// Everything else is analyzed as an inference query. The embedding
+/// process must not call ctx->Query() concurrently with a running server
+/// (the server owns the optimizer's per-query costing knobs); direct
+/// catalog/model mutations are fine and invalidate cached plans via the
+/// catalog version.
+class QueryServer {
+ public:
+  QueryServer(RavenContext* ctx, QueryServerOptions options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread.
+  Status Start();
+  /// Stops accepting, severs every live connection (in-flight statements
+  /// finish first — execution is not interruptible), and joins all
+  /// threads. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Bound TCP port (ephemeral port resolved), or -1 for a Unix listener.
+  int tcp_port() const { return bound_tcp_port_; }
+  const std::string& unix_socket_path() const {
+    return options_.unix_socket_path;
+  }
+
+  ServerStats Snapshot() const;
+  PlanCache& plan_cache() { return plan_cache_; }
+  AdmissionController& admission() { return admission_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  /// Joins finished connection threads (called opportunistically from the
+  /// accept loop and exhaustively from Stop).
+  void ReapConnections(bool all);
+
+  ServerResponse HandleRequest(Session* session, const ClientRequest& request);
+  ServerResponse HandleStatement(Session* session, const std::string& sql);
+  ServerResponse HandlePrepare(Session* session, const std::string& rest);
+  ServerResponse HandleExecute(Session* session, const std::string& name,
+                               const std::vector<double>& params);
+  ServerResponse HandleSet(Session* session, const std::string& rest);
+  ServerResponse HandleCreateView(Session* session, const std::string& rest);
+  ServerResponse RunStatement(Session* session, const std::string& sql);
+  ServerResponse ShowStats() const;
+
+  /// Parse + optimize `sql` (already view-rewritten) for the session's
+  /// planning profile, going through the shared plan cache. `cache_hit`
+  /// reports whether parse+optimize were skipped.
+  Result<std::shared_ptr<const CachedPlan>> PlanStatement(
+      Session* session, const std::string& sql, bool* cache_hit);
+  /// The uncached slow path: analyze, then optimize under optimize_mu_
+  /// (the shared CrossOptimizer's costing knobs are per-query state).
+  Result<std::shared_ptr<const CachedPlan>> PlanFresh(Session* session,
+                                                      const std::string& sql);
+
+  /// Admission-gated execution of an optimized plan; fills the response's
+  /// table and serving stats.
+  ServerResponse ExecutePlan(Session* session, const ir::IrPlan& plan,
+                             bool cache_hit);
+
+  static ServerResponse ErrorResponse(const Status& status);
+
+  RavenContext* ctx_;
+  QueryServerOptions options_;
+  PlanCache plan_cache_;
+  AdmissionController admission_;
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int bound_tcp_port_ = -1;
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::list<Connection> conns_;
+
+  /// Serializes optimizer use: CrossOptimizer's costing targets (dop,
+  /// distributed workers) are set per query. Plan-cache hits skip this
+  /// lock entirely, which is what makes the warm path concurrent.
+  std::mutex optimize_mu_;
+
+  std::atomic<std::int64_t> next_session_id_{1};
+  std::atomic<std::int64_t> queries_served_{0};
+  std::atomic<std::int64_t> statements_prepared_{0};
+  std::atomic<std::int64_t> prepared_executions_{0};
+  std::atomic<std::int64_t> sessions_opened_{0};
+  std::atomic<std::int64_t> sessions_active_{0};
+  std::atomic<std::int64_t> worker_restarts_{0};
+};
+
+}  // namespace raven::server
+
+#endif  // RAVEN_SERVER_QUERY_SERVER_H_

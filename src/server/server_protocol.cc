@@ -1,0 +1,99 @@
+#include "server/server_protocol.h"
+
+namespace raven::server {
+
+std::string EncodeClientRequest(const ClientRequest& request) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<std::uint8_t>(request.command));
+  writer.WriteString(request.sql);
+  writer.WriteString(request.statement_name);
+  writer.WriteF64Vector(request.params);
+  return writer.Release();
+}
+
+Result<ClientRequest> DecodeClientRequest(const std::string& payload) {
+  BinaryReader reader(payload);
+  ClientRequest request;
+  RAVEN_ASSIGN_OR_RETURN(std::uint8_t command, reader.ReadU8());
+  if (command > static_cast<std::uint8_t>(ClientCommand::kPing)) {
+    return Status::ParseError("unknown client command code " +
+                              std::to_string(command));
+  }
+  request.command = static_cast<ClientCommand>(command);
+  RAVEN_ASSIGN_OR_RETURN(request.sql, reader.ReadString());
+  RAVEN_ASSIGN_OR_RETURN(request.statement_name, reader.ReadString());
+  RAVEN_ASSIGN_OR_RETURN(request.params, reader.ReadF64Vector());
+  if (!reader.AtEnd()) {
+    return Status::ParseError("trailing bytes after client request");
+  }
+  return request;
+}
+
+std::string EncodeServerResponse(const ServerResponse& response) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<std::uint8_t>(response.kind));
+  writer.WriteString(response.message);
+  writer.WriteI32(static_cast<std::int32_t>(response.code));
+  writer.WriteBool(response.plan_cache_hit);
+  writer.WriteF64(response.queue_wait_micros);
+  writer.WriteF64(response.total_millis);
+  response.table.Serialize(&writer);
+  writer.WriteU64(response.stats.size());
+  for (const auto& [key, value] : response.stats) {
+    writer.WriteString(key);
+    writer.WriteI64(value);
+  }
+  return writer.Release();
+}
+
+Result<ServerResponse> DecodeServerResponse(const std::string& payload) {
+  BinaryReader reader(payload);
+  ServerResponse response;
+  RAVEN_ASSIGN_OR_RETURN(std::uint8_t kind, reader.ReadU8());
+  if (kind > static_cast<std::uint8_t>(ServerResponseKind::kStats)) {
+    return Status::ParseError("unknown server response kind code " +
+                              std::to_string(kind));
+  }
+  response.kind = static_cast<ServerResponseKind>(kind);
+  RAVEN_ASSIGN_OR_RETURN(response.message, reader.ReadString());
+  RAVEN_ASSIGN_OR_RETURN(std::int32_t code, reader.ReadI32());
+  if (code < 0 ||
+      code > static_cast<std::int32_t>(StatusCode::kServerBusy)) {
+    return Status::ParseError("unknown status code in server response");
+  }
+  response.code = static_cast<StatusCode>(code);
+  RAVEN_ASSIGN_OR_RETURN(response.plan_cache_hit, reader.ReadBool());
+  RAVEN_ASSIGN_OR_RETURN(response.queue_wait_micros, reader.ReadF64());
+  RAVEN_ASSIGN_OR_RETURN(response.total_millis, reader.ReadF64());
+  RAVEN_ASSIGN_OR_RETURN(response.table,
+                         relational::Table::Deserialize(&reader));
+  RAVEN_ASSIGN_OR_RETURN(std::uint64_t n, reader.ReadU64());
+  if (n > reader.remaining()) {
+    return Status::ParseError("implausible stats count in server response");
+  }
+  response.stats.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    RAVEN_ASSIGN_OR_RETURN(std::string key, reader.ReadString());
+    RAVEN_ASSIGN_OR_RETURN(std::int64_t value, reader.ReadI64());
+    response.stats.emplace_back(std::move(key), value);
+  }
+  if (!reader.AtEnd()) {
+    return Status::ParseError("trailing bytes after server response");
+  }
+  return response;
+}
+
+Status ResponseStatus(const ServerResponse& response) {
+  switch (response.kind) {
+    case ServerResponseKind::kBusy:
+      return Status::ServerBusy(response.message);
+    case ServerResponseKind::kError:
+      return Status(response.code == StatusCode::kOk ? StatusCode::kInternal
+                                                     : response.code,
+                    response.message);
+    default:
+      return Status::OK();
+  }
+}
+
+}  // namespace raven::server

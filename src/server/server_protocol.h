@@ -1,0 +1,80 @@
+#ifndef RAVEN_SERVER_SERVER_PROTOCOL_H_
+#define RAVEN_SERVER_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace raven::server {
+
+/// Wire protocol between raven_client (or any embedded ServerClient) and
+/// the QueryServer. Frames are the worker protocol's [u32 length][payload]
+/// (runtime::WriteFrame / ReadFrame — same framing, same 1 GiB cap, same
+/// timeout handling); payloads use the common BinaryWriter encoding with a
+/// leading command/kind byte, mirroring runtime/worker_protocol.h.
+///
+/// The conversation is strictly request/response: the client sends one
+/// request frame and reads exactly one response frame. Statement-level
+/// verbs (PREPARE / EXECUTE / SET / CREATE VIEW / DROP VIEW / SHOW STATS)
+/// travel as ordinary kQuery text; kExecute is the binary fast path for
+/// prepared statements (no SQL text, just the name and the parameter
+/// values).
+
+enum class ClientCommand : std::uint8_t {
+  kQuery = 0,    ///< one SQL statement (SELECT/WITH or a server verb)
+  kExecute = 1,  ///< prepared statement: name + positional `?` values
+  kPing = 2,     ///< liveness probe, answered with kAck
+};
+
+struct ClientRequest {
+  ClientCommand command = ClientCommand::kPing;
+  std::string sql;             ///< kQuery
+  std::string statement_name;  ///< kExecute
+  std::vector<double> params;  ///< kExecute: `?` values by index
+};
+
+std::string EncodeClientRequest(const ClientRequest& request);
+Result<ClientRequest> DecodeClientRequest(const std::string& payload);
+
+enum class ServerResponseKind : std::uint8_t {
+  kAck = 0,    ///< statement succeeded without a result set
+  kTable = 1,  ///< result set plus per-query serving stats
+  kError = 2,  ///< statement failed; the connection stays usable
+  kBusy = 3,   ///< admission controller shed the query — back off and retry
+  kStats = 4,  ///< SHOW STATS snapshot (ordered key/value counters)
+};
+
+struct ServerResponse {
+  ServerResponseKind kind = ServerResponseKind::kError;
+  /// kTable: the result set.
+  relational::Table table;
+  /// kAck: optional info text. kError/kBusy: the error message.
+  std::string message;
+  /// kError: the originating StatusCode (kBusy implies kServerBusy).
+  StatusCode code = StatusCode::kOk;
+  /// kTable: true when the plan came from the shared plan cache or a
+  /// prepared statement (parse + optimize were skipped).
+  bool plan_cache_hit = false;
+  /// kTable: wall time spent queued in admission before execution.
+  double queue_wait_micros = 0.0;
+  /// kTable: total server-side statement time.
+  double total_millis = 0.0;
+  /// kStats: counters in render order.
+  std::vector<std::pair<std::string, std::int64_t>> stats;
+};
+
+std::string EncodeServerResponse(const ServerResponse& response);
+Result<ServerResponse> DecodeServerResponse(const std::string& payload);
+
+/// Folds an error/busy response back into a Status (OK for the other
+/// kinds) so client-side code can use the usual RAVEN_* macros.
+Status ResponseStatus(const ServerResponse& response);
+
+}  // namespace raven::server
+
+#endif  // RAVEN_SERVER_SERVER_PROTOCOL_H_

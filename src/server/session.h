@@ -1,0 +1,82 @@
+#ifndef RAVEN_SERVER_SESSION_H_
+#define RAVEN_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/ir.h"
+#include "runtime/codegen.h"
+
+namespace raven::server {
+
+/// One PREPAREd statement: the optimized plan template (with ParamExpr
+/// placeholders still in it), pinned to the catalog version AND planning
+/// profile it was planned under so EXECUTE can detect staleness — a model
+/// update or a SET that changes the costing targets — and re-plan from the
+/// stored text instead of running a template optimized for a different
+/// world.
+struct PreparedStatement {
+  std::string name;
+  std::string sql;  ///< view-rewritten statement text (re-plan source)
+  std::shared_ptr<const ir::IrPlan> plan;
+  std::int64_t param_count = 0;
+  std::uint64_t fingerprint = 0;
+  std::int64_t catalog_version = 0;
+  std::string profile;  ///< Session::PlanProfile() at plan time
+};
+
+/// Per-connection state: execution knobs (SET), prepared statements, and
+/// temp views. Owned and touched by exactly one connection thread — no
+/// locking; everything cross-session lives in the QueryServer (plan cache,
+/// admission, the engine itself).
+class Session {
+ public:
+  Session(std::int64_t id, runtime::ExecutionOptions defaults)
+      : id_(id), execution_(std::move(defaults)) {}
+
+  std::int64_t id() const { return id_; }
+  runtime::ExecutionOptions& execution() { return execution_; }
+  const runtime::ExecutionOptions& execution() const { return execution_; }
+
+  /// Applies `SET key = value`. Keys (case-insensitive): parallelism,
+  /// morsel_rows, mode (inprocess|distributed|outofprocess|container),
+  /// distributed_workers, distributed_frame_timeout_millis.
+  Status ApplySet(const std::string& key, const std::string& value);
+
+  /// The session knobs that change what the optimizer produces (cost-based
+  /// representation choices depend on them); part of the plan-cache key so
+  /// sessions with different targets never share a mis-costed plan.
+  std::string PlanProfile() const;
+
+  // -- Temp views ------------------------------------------------------------
+  /// Registers `name` as a session-scoped view over `select_sql` (the text
+  /// is validated by the caller before this sticks). Re-CREATE replaces.
+  void PutView(const std::string& name, const std::string& select_sql);
+  Status DropView(const std::string& name);
+  bool HasView(const std::string& name) const;
+
+  /// Prepends the session's views as CTEs (in creation order) so any
+  /// statement can reference them; statements see the same text the
+  /// plan-cache key is derived from.
+  std::string RewriteWithViews(const std::string& sql) const;
+
+  // -- Prepared statements ---------------------------------------------------
+  std::map<std::string, PreparedStatement>& prepared() { return prepared_; }
+
+ private:
+  const std::int64_t id_;
+  runtime::ExecutionOptions execution_;
+  std::map<std::string, PreparedStatement> prepared_;
+  /// name -> SELECT text, in creation order (later views may reference
+  /// earlier ones).
+  std::vector<std::pair<std::string, std::string>> views_;
+};
+
+}  // namespace raven::server
+
+#endif  // RAVEN_SERVER_SESSION_H_

@@ -423,6 +423,99 @@ TEST_F(SqlParserTest, ParseErrorsReportTokenAndByteOffset) {
       << huge.status().message();
 }
 
+TEST_F(SqlParserTest, ParameterPlaceholdersNumberedLexically) {
+  auto plan = ParseInferenceQuery(
+      "SELECT id FROM patient_info WHERE age > ? AND weight < ? + 10",
+      catalog_, model_builder_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(ir::PlanParamCount(*plan->root()), 2);
+  // Binding replaces every placeholder with its literal; the bound plan
+  // carries none.
+  auto bound = ir::BindPlanParameters(*plan->root(), {40.0, 90.0});
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(ir::PlanParamCount(**bound), 0);
+  bool saw_forty = false;
+  ir::VisitIr(bound->get(), [&saw_forty](const ir::IrNode* node) {
+    if (node->kind == ir::IrOpKind::kFilter &&
+        node->predicate->ToString().find("40") != std::string::npos) {
+      saw_forty = true;
+    }
+  });
+  EXPECT_TRUE(saw_forty);
+  // Too few values fails fast instead of executing with unbound params.
+  EXPECT_FALSE(ir::BindPlanParameters(*plan->root(), {40.0}).ok());
+  // Fingerprints: the parameterized template and a bound instance differ.
+  EXPECT_NE(ir::PlanFingerprint(*plan->root()),
+            ir::PlanFingerprint(**bound));
+}
+
+TEST_F(SqlParserTest, StatementLengthCapIsACleanParseError) {
+  std::string sql = "SELECT id FROM patient_info --";
+  sql.append(kMaxSqlLength, 'x');
+  auto result = ParseInferenceQuery(sql, catalog_, model_builder_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("exceeds"), std::string::npos)
+      << result.status().message();
+  // One byte under the cap parses (the comment is ignored).
+  std::string under = "SELECT id FROM patient_info --";
+  under.append(kMaxSqlLength - under.size(), 'x');
+  EXPECT_TRUE(ParseInferenceQuery(under, catalog_, model_builder_).ok());
+}
+
+TEST_F(SqlParserTest, NestingDepthCapIsACleanParseError) {
+  // An attacker-controlled paren tower must not turn recursive descent
+  // into a stack overflow: 5000 levels fail with a diagnosable error.
+  std::string deep = "SELECT id FROM patient_info WHERE ";
+  deep.append(5000, '(');
+  deep += "age > 1";
+  deep.append(5000, ')');
+  auto result = ParseInferenceQuery(deep, catalog_, model_builder_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("nesting depth"),
+            std::string::npos)
+      << result.status().message();
+
+  // NOT chains recurse through a different path; guard them too.
+  std::string nots = "SELECT id FROM patient_info WHERE ";
+  for (int i = 0; i < 5000; ++i) nots += "NOT ";
+  nots += "age > 1";
+  auto not_result = ParseInferenceQuery(nots, catalog_, model_builder_);
+  ASSERT_FALSE(not_result.ok());
+  EXPECT_EQ(not_result.status().code(), StatusCode::kParseError);
+
+  // Comfortable nesting still parses.
+  std::string fine = "SELECT id FROM patient_info WHERE ";
+  fine.append(20, '(');
+  fine += "age > 1";
+  fine.append(20, ')');
+  EXPECT_TRUE(ParseInferenceQuery(fine, catalog_, model_builder_).ok());
+}
+
+TEST_F(SqlParserTest, NormalizeSqlCanonicalizesSpacingOnly) {
+  auto a = NormalizeSql(
+      "SELECT   id,age FROM patient_info -- trailing comment\n WHERE age>40");
+  auto b = NormalizeSql(
+      "SELECT id, age\nFROM patient_info WHERE age > 40");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  // Identifier case is preserved: `age` and `AGE` are different columns,
+  // so conflating them would alias distinct plans in the cache.
+  auto lower = NormalizeSql("SELECT age FROM t");
+  auto upper = NormalizeSql("SELECT AGE FROM t");
+  ASSERT_TRUE(lower.ok());
+  ASSERT_TRUE(upper.ok());
+  EXPECT_NE(lower.value(), upper.value());
+  // String literals keep their quotes (and their case).
+  auto quoted = NormalizeSql("SELECT * FROM PREDICT(MODEL='los', DATA=t)");
+  ASSERT_TRUE(quoted.ok());
+  EXPECT_NE(quoted->find("'los'"), std::string::npos);
+  // Text that does not lex does not normalize.
+  EXPECT_FALSE(NormalizeSql("SELECT # FROM t").ok());
+}
+
 class AnalyzerTest : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -4,10 +4,13 @@
 // GROUP BY / HAVING / ORDER BY / LIMIT / PREDICT shapes, runs every
 // generated query through the full CrossOptimizer chain, and differentially
 // compares
-//   - in-process parallelism 1 against {2, 8} (ISSUE 3), and
+//   - in-process parallelism 1 against {2, 8} (ISSUE 3),
 //   - in-process dop {1, 8} against distributed execution over warm worker
 //     pools of {2, 4} processes (ISSUE 4) — real raven_worker children,
-//     real fragment serialization, real pipes,
+//     real fragment serialization, real pipes, and
+//   - in-process dop 1 against the same 200 queries served over a real
+//     socket by a QueryServer to 4 concurrent clients, twice each for
+//     plan-cache coverage (ISSUE 5),
 // order-insensitive multiset comparison by default, order-sensitive when
 // the query has an ORDER BY.
 //
@@ -16,13 +19,17 @@
 // with  RAVEN_FUZZ_SEED=<seed> ./query_fuzz_test.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -30,7 +37,10 @@
 #include "data/hospital.h"
 #include "frontend/analyzer.h"
 #include "optimizer/cross_optimizer.h"
+#include "raven/raven.h"
 #include "runtime/plan_executor.h"
+#include "server/client.h"
+#include "server/query_server.h"
 #include "test_util.h"
 
 namespace raven::runtime {
@@ -460,6 +470,128 @@ TEST_F(QueryFuzzTest, DifferentialDistributed200Queries) {
     ++executed;
   }
   EXPECT_EQ(executed, kNumQueries);
+}
+
+TEST_F(QueryFuzzTest, ServerDifferential200QueriesBy4ConcurrentClients) {
+  // The same 200 seeded queries, this time served over a real socket: one
+  // QueryServer (sessions default to dop 4) takes 4 concurrent clients,
+  // which split the queries round-robin and run TWO passes — the second
+  // pass must be all plan-cache hits. Every result is compared against the
+  // in-process dop-1 ground truth computed up front.
+  const std::uint64_t seed = FuzzSeed();
+  Rng rng(seed);
+  frontend::StaticAnalyzer analyzer(&catalog_);
+  optimizer::CrossOptimizer optimizer(&catalog_,
+                                      optimizer::OptimizerOptions());
+  struct Case {
+    std::string sql;
+    bool ordered = false;
+    relational::Table expected;
+  };
+  std::vector<Case> cases(kNumQueries);
+  for (int q = 0; q < kNumQueries; ++q) {
+    Case& c = cases[static_cast<std::size_t>(q)];
+    c.sql = GenerateQuery(rng, &c.ordered);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " query#" +
+                 std::to_string(q) + " " + c.sql);
+    auto plan = analyzer.Analyze(c.sql);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    ASSERT_TRUE(optimizer.Optimize(&plan.value()).ok());
+    auto sequential = Run(*plan, 1);
+    ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+    c.expected = std::move(sequential).value();
+  }
+
+  // A second context backs the server, loaded with the same deterministic
+  // datasets and models as the fixture catalog.
+  RavenContext server_ctx;
+  ASSERT_NO_FATAL_FAILURE(
+      test_util::RegisterHospitalTables(&server_ctx.catalog(), hospital_));
+  test_util::InsertHospitalTreeModel(&server_ctx.catalog(), hospital_, 5);
+  ASSERT_NO_FATAL_FAILURE(
+      test_util::RegisterFlightTable(&server_ctx.catalog(), flight_));
+  {
+    auto logreg = data::TrainFlightLogreg(flight_, 0.01);
+    ASSERT_TRUE(logreg.ok());
+    ASSERT_TRUE(server_ctx.catalog()
+                    .InsertModel("delay", data::FlightLogregScript(),
+                                 logreg->ToBytes())
+                    .ok());
+  }
+  ASSERT_FALSE(HasFailure());
+
+  server::QueryServerOptions options;
+  options.unix_socket_path = "/tmp/raven_fuzz_server_" +
+                             std::to_string(::getpid()) + ".sock";
+  options.plan_cache_capacity = 512;  // all 200 shapes stay resident
+  options.admission.max_concurrent = 4;
+  options.default_execution.parallelism = 4;
+  server::QueryServer server(&server_ctx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 4;
+  std::atomic<std::int64_t> second_pass_hits{0};
+  std::atomic<int> pass_barrier{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int tid = 0; tid < kClients; ++tid) {
+    clients.emplace_back([&, tid] {
+      // Arrival is owed even when an ASSERT bails out of this lambda
+      // early — otherwise the surviving threads would spin at the barrier
+      // until the ctest timeout instead of reporting the real failure.
+      struct BarrierArrival {
+        std::atomic<int>* barrier;
+        bool arrived = false;
+        void Arrive() {
+          if (!arrived) {
+            arrived = true;
+            barrier->fetch_add(1);
+          }
+        }
+        ~BarrierArrival() { Arrive(); }
+      } arrival{&pass_barrier};
+      server::ServerClient client;
+      Status connected = client.ConnectUnix(server.unix_socket_path());
+      ASSERT_TRUE(connected.ok()) << connected.ToString();
+      for (int pass = 0; pass < 2; ++pass) {
+        if (pass == 1) {
+          // Barrier: pass 2 reads entries OTHER clients planted in pass 1,
+          // so nobody starts it until every client finished planting.
+          arrival.Arrive();
+          while (pass_barrier.load() < kClients) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+        // Rotate the assignment between passes so the cache-hit pass reads
+        // entries another client planted.
+        for (int q = (tid + pass) % kClients; q < kNumQueries;
+             q += kClients) {
+          const Case& c = cases[static_cast<std::size_t>(q)];
+          SCOPED_TRACE("seed=" + std::to_string(seed) + " query#" +
+                       std::to_string(q) + " pass=" + std::to_string(pass) +
+                       (c.ordered ? " [ordered] " : " ") + c.sql);
+          auto response = client.Query(c.sql);
+          ASSERT_TRUE(response.ok()) << response.status().ToString();
+          ASSERT_EQ(response->kind, server::ServerResponseKind::kTable)
+              << response->message;
+          if (pass == 1) {
+            second_pass_hits.fetch_add(response->plan_cache_hit ? 1 : 0);
+          }
+          ASSERT_NO_FATAL_FAILURE(
+              ExpectTablesMatch(c.expected, response->table, c.ordered));
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  // Pass 2 re-issued all 200 queries against a warm cache.
+  EXPECT_EQ(second_pass_hits.load(), kNumQueries);
+  const server::PlanCacheStats stats = server.plan_cache().stats();
+  EXPECT_GE(stats.hits, kNumQueries);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(stats.invalidations, 0);
+  server.Stop();
 }
 
 TEST_F(QueryFuzzTest, TruncatedQueriesFailWithDiagnosableErrors) {

@@ -114,7 +114,7 @@ TEST_F(WorkerPoolTest, PoolStaysWarmAcrossQueries) {
   ir::IrPlan plan = test_util::AnalyzePlan(
       catalog_, "SELECT id FROM patients WHERE age > 30");
   ASSERT_TRUE(executor.Execute(plan, distributed).ok());
-  WorkerPool* pool = executor.worker_pool();
+  std::shared_ptr<WorkerPool> pool = executor.worker_pool();
   ASSERT_NE(pool, nullptr);
   const pid_t pid0 = pool->worker_pid(0);
   const pid_t pid1 = pool->worker_pid(1);
@@ -135,7 +135,7 @@ TEST_F(WorkerPoolTest, SigkilledWorkerRetriesOnFreshWorker) {
   auto expected = RunSequential(&executor, plan);
   ASSERT_TRUE(expected.ok());
   ASSERT_TRUE(executor.Execute(plan, distributed).ok());  // spawn the pool
-  WorkerPool* pool = executor.worker_pool();
+  std::shared_ptr<WorkerPool> pool = executor.worker_pool();
   ASSERT_NE(pool, nullptr);
   ASSERT_EQ(::kill(pool->worker_pid(0), SIGKILL), 0);
   ExecutionStats stats;
@@ -154,7 +154,7 @@ TEST_F(WorkerPoolTest, SigkillMidQueryStillYieldsCorrectResult) {
   auto expected = RunSequential(&executor, plan);
   ASSERT_TRUE(expected.ok());
   ASSERT_TRUE(executor.Execute(plan, distributed).ok());  // warm pool
-  WorkerPool* pool = executor.worker_pool();
+  std::shared_ptr<WorkerPool> pool = executor.worker_pool();
   ASSERT_NE(pool, nullptr);
   // Race the kill against the query a few times: depending on timing the
   // SIGKILL lands before the send (EPIPE), mid-stream (EOF), or after the

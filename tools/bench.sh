@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Runs the paper-figure benchmarks (bench_fig2* + bench_fig3) plus the
 # operator-regression benches (bench_groupby_parallelism,
-# bench_distributed_scan_predict — in-process vs 4-worker-pool scan+PREDICT)
-# with --benchmark_format=json and writes one combined JSON document to
+# bench_distributed_scan_predict — in-process vs 4-worker-pool scan+PREDICT,
+# bench_server_throughput — QPS + p50/p99 of the query server under
+# 1/4/16 concurrent clients, cold vs warm plan cache) with
+# --benchmark_format=json and writes one combined JSON document to
 # BENCH_<short-sha>.json at the repo root — the perf-trajectory data point
 # CI uploads as an artifact.
 #
@@ -47,9 +49,10 @@ fi
 shopt -s nullglob
 BINARIES=("${BUILD_DIR}"/bench/bench_fig2* "${BUILD_DIR}"/bench/bench_fig3*
           "${BUILD_DIR}"/bench/bench_groupby*
-          "${BUILD_DIR}"/bench/bench_distributed*)
+          "${BUILD_DIR}"/bench/bench_distributed*
+          "${BUILD_DIR}"/bench/bench_server*)
 if [[ ${#BINARIES[@]} -eq 0 ]]; then
-  echo "bench.sh: no bench_fig2*/bench_fig3*/bench_groupby*/bench_distributed* binaries under ${BUILD_DIR}/bench" >&2
+  echo "bench.sh: no bench_fig2*/bench_fig3*/bench_groupby*/bench_distributed*/bench_server* binaries under ${BUILD_DIR}/bench" >&2
   echo "bench.sh: is Google Benchmark installed?" >&2
   exit 1
 fi

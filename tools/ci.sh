@@ -37,13 +37,16 @@ run_suite() {
 
 tier1() {
   # The full ctest in run_suite includes the `fuzz`-labeled randomized
-  # differential harness (tests/query_fuzz_test.cc — in-process dop {1,8}
-  # AND distributed {2,4}-worker legs) and the `distributed`-labeled
-  # worker-pool / protocol-fault-injection suite (tests/worker_pool_test.cc:
-  # SIGKILLed workers, truncated/oversized frames, dead worker binaries).
-  # Re-run either alone with `ctest --test-dir build -L fuzz` or
-  # `ctest --test-dir build -L distributed`. Both spawn real raven_worker
-  # children; their timeouts (tests/CMakeLists.txt) are sized for that.
+  # differential harness (tests/query_fuzz_test.cc — in-process dop {1,8},
+  # distributed {2,4}-worker, AND 4-concurrent-client query-server legs),
+  # the `distributed`-labeled worker-pool / protocol-fault-injection suite
+  # (tests/worker_pool_test.cc: SIGKILLed workers, truncated/oversized
+  # frames, dead worker binaries), and the `server`-labeled concurrent
+  # query-server suite (tests/server_test.cc: protocol + plan cache +
+  # admission units, hostile clients, and the 8-client mixed-traffic soak).
+  # Re-run any alone with `ctest --test-dir build -L fuzz|distributed|server`.
+  # All spawn real raven_worker children or socket servers; their timeouts
+  # (tests/CMakeLists.txt) are sized for that.
   CONFIG_ARGS=()
   run_suite build
 }
@@ -59,12 +62,13 @@ tsan() {
   # the parallel operators live under. Races fail the job via
   # -fno-sanitize-recover.
   # The full suite includes the `fuzz`-labeled harness — 200 random plans x
-  # parallelism {1, 2, 8} plus the distributed {2, 4}-worker differential
-  # leg — and the `distributed`-labeled fault-injection suite, whose
-  # partition dispatch (TaskGroup fan-out over pipe I/O) and worker
-  # retry/restart paths are the newest concurrent code. A TSan hit names
-  # the offending query via the printed seed. Timeouts are sized for TSan's
-  # ~10x slowdown (see tests/CMakeLists.txt).
+  # parallelism {1, 2, 8}, the distributed {2, 4}-worker differential leg,
+  # and the 4-concurrent-client server leg — the `distributed`-labeled
+  # fault-injection suite, and the `server`-labeled query-server suite
+  # whose 8-client soak (shared plan cache, admission queue, concurrent
+  # PlanExecutor use, disconnect-mid-query) is the newest concurrent code.
+  # A TSan hit names the offending query via the printed seed. Timeouts are
+  # sized for TSan's ~10x slowdown (see tests/CMakeLists.txt).
   CONFIG_ARGS=(-DRAVEN_SANITIZE=thread)
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" run_suite build-tsan
 }

@@ -1,0 +1,115 @@
+// raven_client: minimal CLI for the raven_serve frame protocol. Sends each
+// --query statement (or each line read from stdin) as one request and
+// prints the response — result tables via Table::ToString, SHOW STATS as
+// key/value lines, errors to stderr.
+//
+// Usage:
+//   raven_client --socket=/tmp/raven.sock --query "SHOW STATS"
+//   echo "SELECT COUNT(*) AS n FROM flights" | raven_client --port=4242
+//
+// Exit status: 0 when every statement succeeded, 1 otherwise.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "server/client.h"
+#include "tool_flags.h"
+
+namespace {
+
+using raven::tools::ParseFlag;
+
+/// Prints one response; returns false for error/busy responses.
+bool PrintResponse(const raven::server::ServerResponse& response) {
+  using raven::server::ServerResponseKind;
+  switch (response.kind) {
+    case ServerResponseKind::kAck:
+      std::printf("ok%s%s\n", response.message.empty() ? "" : ": ",
+                  response.message.c_str());
+      return true;
+    case ServerResponseKind::kTable:
+      std::printf("%s(%lld rows, %.2f ms%s%s)\n",
+                  response.table.ToString(20).c_str(),
+                  static_cast<long long>(response.table.num_rows()),
+                  response.total_millis,
+                  response.plan_cache_hit ? ", plan cache hit" : "",
+                  response.queue_wait_micros > 0 ? ", queued" : "");
+      return true;
+    case ServerResponseKind::kStats:
+      for (const auto& [key, value] : response.stats) {
+        std::printf("%-28s %lld\n", key.c_str(),
+                    static_cast<long long>(value));
+      }
+      return true;
+    case ServerResponseKind::kBusy:
+      std::fprintf(stderr, "busy: %s\n", response.message.c_str());
+      return false;
+    case ServerResponseKind::kError:
+      std::fprintf(stderr, "error: %s\n", response.message.c_str());
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::vector<std::string> queries;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--socket=", &value)) {
+      socket_path = value;
+    } else if (ParseFlag(argv[i], "--host=", &value)) {
+      host = value;
+    } else if (ParseFlag(argv[i], "--port=", &value)) {
+      port = static_cast<int>(
+          raven::tools::FlagInt(value, "--port", "raven_client"));
+    } else if (ParseFlag(argv[i], "--query=", &value)) {
+      queries.push_back(value);
+    } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
+      queries.push_back(argv[++i]);
+    } else {
+      std::fprintf(stderr, "raven_client: unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (socket_path.empty() && port < 0) {
+    std::fprintf(stderr, "raven_client: pass --socket=PATH or --port=N\n");
+    return 2;
+  }
+
+  raven::server::ServerClient client;
+  raven::Status connected = socket_path.empty()
+                                ? client.ConnectTcp(host, port)
+                                : client.ConnectUnix(socket_path);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "raven_client: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+
+  if (queries.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!raven::TrimString(line).empty()) queries.push_back(line);
+    }
+  }
+
+  bool all_ok = true;
+  for (const std::string& sql : queries) {
+    auto response = client.Query(sql);
+    if (!response.ok()) {
+      std::fprintf(stderr, "raven_client: %s\n",
+                   response.status().ToString().c_str());
+      return 1;  // transport failure: stop, the connection is gone
+    }
+    all_ok = PrintResponse(response.value()) && all_ok;
+  }
+  return all_ok ? 0 : 1;
+}

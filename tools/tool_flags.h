@@ -1,0 +1,40 @@
+#ifndef RAVEN_TOOLS_TOOL_FLAGS_H_
+#define RAVEN_TOOLS_TOOL_FLAGS_H_
+
+// Minimal shared flag parsing for the tools/ binaries (raven_serve,
+// raven_client). One convention, one strictness level: `--name=value`,
+// and integer values reject trailing garbage in every tool.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace raven::tools {
+
+/// Matches `--name=value` (name includes the trailing '='); on match
+/// stores the value text and returns true.
+inline bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = arg + len;
+  return true;
+}
+
+/// Strict integer flag value: the whole text must parse, or the process
+/// exits with a usage error naming the flag.
+inline long FlagInt(const std::string& value, const char* flag,
+                    const char* tool) {
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    std::fprintf(stderr, "%s: %s expects an integer, got '%s'\n", tool, flag,
+                 value.c_str());
+    std::exit(2);
+  }
+  return parsed;
+}
+
+}  // namespace raven::tools
+
+#endif  // RAVEN_TOOLS_TOOL_FLAGS_H_
