@@ -148,6 +148,20 @@ OpCategory CategoryOf(IrOpKind kind) {
   return OpCategory::kUdf;
 }
 
+bool IsFusablePipelineKind(IrOpKind kind) {
+  switch (kind) {
+    case IrOpKind::kFilter:
+    case IrOpKind::kProject:
+    case IrOpKind::kModelPipeline:
+    case IrOpKind::kClusteredPredict:
+    case IrOpKind::kNnGraph:
+    case IrOpKind::kOpaquePipeline:
+      return true;
+    default:
+      return false;
+  }
+}
+
 IrNodePtr IrNode::Clone() const {
   auto node = std::make_unique<IrNode>(kind);
   for (const auto& child : children) node->children.push_back(child->Clone());

@@ -375,20 +375,22 @@ Result<std::vector<OperatorCostRow>> EstimateOperatorCosts(
   }
 
   std::vector<OperatorCostRow> rows;
-  std::function<void(const ir::IrNode&, int)> assemble =
-      [&](const ir::IrNode& node, int depth) {
+  std::function<void(const ir::IrNode&, int, bool)> assemble =
+      [&](const ir::IrNode& node, int depth, bool parent_fusable) {
         OperatorCostRow row;
         row.node = &node;
         row.depth = depth;
         row.output_rows = sequential[&node].output_rows;
         row.sequential_cost = sequential[&node].total_cost;
         row.parallel_cost = parallel[&node].total_cost;
+        row.fused_into_parent =
+            parent_fusable && ir::IsFusablePipelineKind(node.kind);
         rows.push_back(row);
         for (const auto& child : node.children) {
-          assemble(*child, depth + 1);
+          assemble(*child, depth + 1, ir::IsFusablePipelineKind(node.kind));
         }
       };
-  assemble(root, 0);
+  assemble(root, 0, /*parent_fusable=*/false);
   return rows;
 }
 

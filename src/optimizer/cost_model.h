@@ -69,6 +69,12 @@ struct OperatorCostRow {
   double output_rows = 0.0;
   double sequential_cost = 0.0;
   double parallel_cost = 0.0;
+  /// The runtime fuses this operator into its parent (both are part of one
+  /// filter/project/PREDICT chain executing as a single pass per chunk, see
+  /// ir::IsFusablePipelineKind). Cost numbers are unchanged — fusion saves
+  /// operator-boundary copies, not the per-row work this model counts —
+  /// but EXPLAIN marks the row so the printed tree matches execution.
+  bool fused_into_parent = false;
 };
 
 /// Costs every operator of the plan in one bottom-up pass per dop (O(plan

@@ -114,7 +114,7 @@ Status CrossOptimizer::Optimize(ir::IrPlan* plan,
     for (const auto& row : rows) {
       local.operator_costs.push_back(OperatorCost{
           ir::IrOpKindToString(row.node->kind), row.depth, row.output_rows,
-          row.sequential_cost, row.parallel_cost});
+          row.sequential_cost, row.parallel_cost, row.fused_into_parent});
     }
     // rows.front() is the plan root: its columns ARE the plan totals.
     local.sequential_cost = rows.front().sequential_cost;

@@ -60,6 +60,10 @@ struct OperatorCost {
   double output_rows = 0.0;
   double sequential_cost = 0.0;
   double parallel_cost = 0.0;
+  /// The runtime executes this operator fused into its parent (one pass per
+  /// chunk over the whole filter/project/PREDICT chain); EXPLAIN marks the
+  /// row so the cost tree matches the physical plan.
+  bool fused_into_parent = false;
 };
 
 /// How many times each rule fired plus the plan snapshots for EXPLAIN.

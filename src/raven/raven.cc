@@ -134,7 +134,21 @@ Result<std::string> RavenContext::Explain(const std::string& sql) {
         out += " par(dop=" + std::to_string(report.costed_parallelism) +
                ")=" + std::to_string(row.parallel_cost);
       }
+      if (row.fused_into_parent) out += " [fused into parent]";
       out += "\n";
+    }
+  }
+  const std::string fused = runtime::DescribeFusedChains(*plan.root());
+  if (!fused.empty()) {
+    // One line per chain the code generator collapses into a single
+    // operator (single pass per chunk), components in execution order.
+    out += "=== Fusion ===\n";
+    std::size_t start = 0;
+    while (start < fused.size()) {
+      std::size_t end = fused.find('\n', start);
+      if (end == std::string::npos) end = fused.size();
+      out += "  " + fused.substr(start, end - start) + "\n";
+      start = end + 1;
     }
   }
   out += "=== Generated SQL ===\n";

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -18,6 +19,15 @@ struct DataChunk {
   std::vector<std::string> names;
   std::vector<std::vector<double>> cols;
 
+  /// Selection vector: ascending row indices into `cols` that are logically
+  /// present. Empty means "all rows selected" (the common case — no
+  /// indirection cost). Filters refine `sel` instead of copying every
+  /// surviving column; consumers either iterate `sel` directly (aggregates,
+  /// join probes) or gather-compact through it (projections, sorts,
+  /// materialization). Producers never emit a chunk whose selection is
+  /// non-empty-but-zero-rows; a filter that kills every row keeps pulling.
+  std::vector<std::int32_t> sel;
+
   /// Provenance of the scan morsel this chunk's rows derive from:
   /// (source ordinal, morsel index). Operators that transform chunks 1:1
   /// propagate the key; the parallel executor sorts merged output by it so
@@ -32,6 +42,13 @@ struct DataChunk {
     return static_cast<std::int64_t>(cols.size());
   }
 
+  bool has_sel() const { return !sel.empty(); }
+
+  /// Logical row count: selected rows if a selection is active, else all.
+  std::int64_t num_selected() const {
+    return has_sel() ? static_cast<std::int64_t>(sel.size()) : num_rows();
+  }
+
   Result<std::int64_t> ColumnIndex(const std::string& name) const {
     for (std::size_t i = 0; i < names.size(); ++i) {
       if (names[i] == name) return static_cast<std::int64_t>(i);
@@ -39,8 +56,23 @@ struct DataChunk {
     return Status::NotFound("chunk column '" + name + "' not found");
   }
 
+  /// Compacts every column through the selection vector and clears it, so
+  /// downstream code that indexes rows positionally sees only selected
+  /// rows. No-op when no selection is active.
+  void FlattenSel() {
+    if (!has_sel()) return;
+    for (auto& c : cols) {
+      std::vector<double> packed;
+      packed.reserve(sel.size());
+      for (std::int32_t i : sel) packed.push_back(c[static_cast<std::size_t>(i)]);
+      c = std::move(packed);
+    }
+    sel.clear();
+  }
+
   void Clear() {
     for (auto& c : cols) c.clear();
+    sel.clear();
   }
 };
 

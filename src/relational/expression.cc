@@ -71,6 +71,11 @@ std::string ParamExpr::ToString() const {
   return "?" + std::to_string(index_ + 1);
 }
 
+// The Evaluate() implementations below allocate fresh temporaries per
+// interior node per chunk — acceptable for the reference interpreter, and
+// exactly the overhead KernelProgram's register pool removes on the query
+// path. Keep any semantic change here mirrored in kernel.cc: the two
+// engines must stay bit-identical (enforced by kernel_test.cc).
 Status CompareExpr::Evaluate(const DataChunk& chunk,
                              std::vector<double>* out) const {
   std::vector<double> l;

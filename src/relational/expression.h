@@ -31,6 +31,13 @@ CompareOp FlipCompareOp(CompareOp op);
 /// results use 0.0 / 1.0. This engine evaluates both WHERE predicates and
 /// inlined models (decision trees compiled to nested CASE WHEN, the
 /// relational analogue of SQL Server UDF inlining).
+///
+/// Query execution no longer walks these trees per chunk: operators
+/// compile them once at Open() into a relational::KernelProgram
+/// (kernel.h) with ordinals resolved and constants folded. Evaluate()
+/// remains as the reference interpreter — kernel_test.cc checks compiled
+/// programs against it bit-for-bit — and for one-off evaluation outside
+/// an operator pipeline.
 class Expr {
  public:
   enum class Kind {

@@ -1,0 +1,564 @@
+#include "relational/kernel.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace raven::relational {
+
+namespace {
+
+double FoldCompare(CompareOp op, double l, double r) {
+  switch (op) {
+    case CompareOp::kEq:
+      return l == r ? 1.0 : 0.0;
+    case CompareOp::kNe:
+      return l != r ? 1.0 : 0.0;
+    case CompareOp::kLt:
+      return l < r ? 1.0 : 0.0;
+    case CompareOp::kLe:
+      return l <= r ? 1.0 : 0.0;
+    case CompareOp::kGt:
+      return l > r ? 1.0 : 0.0;
+    case CompareOp::kGe:
+      return l >= r ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+double FoldArith(ArithOp op, double l, double r) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return l + r;
+    case ArithOp::kSub:
+      return l - r;
+    case ArithOp::kMul:
+      return l * r;
+    case ArithOp::kDiv:
+      return l / r;  // IEEE: +/-inf or NaN on zero divisors, like the
+                     // interpreter; downstream total orders handle NaN
+  }
+  return 0.0;
+}
+
+/// Runs `f(l, r)` over n rows, specialized outside the loop for the operand
+/// shape (vector/vector, vector/scalar, scalar/vector) — the libgdf-style
+/// typed tight loop. Null vector pointer means "use the immediate".
+template <typename F>
+void BinaryKernel(const std::vector<double>* l, double limm,
+                  const std::vector<double>* r, double rimm, std::size_t n,
+                  std::vector<double>* out, F f) {
+  out->resize(n);
+  double* o = out->data();
+  if (l != nullptr && r != nullptr) {
+    const double* a = l->data();
+    const double* b = r->data();
+    for (std::size_t i = 0; i < n; ++i) o[i] = f(a[i], b[i]);
+  } else if (l != nullptr) {
+    const double* a = l->data();
+    for (std::size_t i = 0; i < n; ++i) o[i] = f(a[i], rimm);
+  } else if (r != nullptr) {
+    const double* b = r->data();
+    for (std::size_t i = 0; i < n; ++i) o[i] = f(limm, b[i]);
+  } else {
+    // Two immediates would have been folded at compile time; stay correct
+    // anyway.
+    const double v = f(limm, rimm);
+    for (std::size_t i = 0; i < n; ++i) o[i] = v;
+  }
+}
+
+}  // namespace
+
+Result<std::int64_t> KernelProgram::ResolveOrdinal(
+    const std::vector<std::string>& schema, const std::string& name,
+    const std::string& op_context) {
+  std::int64_t found = -1;
+  int matches = 0;
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i] == name) {
+      found = static_cast<std::int64_t>(i);
+      ++matches;
+    }
+  }
+  if (matches == 0) {
+    return Status::NotFound("column '" + name + "' not found (resolving " +
+                            op_context + ")");
+  }
+  if (matches > 1) {
+    return Status::InvalidArgument(
+        "column '" + name + "' is ambiguous (" + std::to_string(matches) +
+        " matches, resolving " + op_context + ")");
+  }
+  return found;
+}
+
+/// Postorder single-pass compiler. Registers are allocated from a free
+/// list; an instruction's output register is claimed before its argument
+/// registers are released, so outputs never alias inputs (kCase writes its
+/// output before re-reading condition registers).
+class KernelProgram::Compiler {
+ public:
+  Compiler(const std::vector<std::string>& schema, std::string op_context,
+           KernelProgram* prog)
+      : schema_(schema), op_context_(std::move(op_context)), prog_(prog) {}
+
+  Result<KernelOperand> Emit(const Expr& expr) {
+    switch (expr.kind()) {
+      case Expr::Kind::kLiteral:
+        return Immediate(static_cast<const LiteralExpr&>(expr).value());
+      case Expr::Kind::kColumnRef: {
+        const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+        RAVEN_ASSIGN_OR_RETURN(
+            std::int64_t ordinal,
+            ResolveOrdinal(schema_, ref.name(), op_context_));
+        KernelOperand o;
+        o.kind = KernelOperand::Kind::kColumn;
+        o.index = static_cast<std::int32_t>(ordinal);
+        return o;
+      }
+      case Expr::Kind::kParam: {
+        const auto& param = static_cast<const ParamExpr&>(expr);
+        // Same diagnosis as the interpreter, raised at compile (Open) time.
+        return Status::ExecutionError(
+            "unbound prepared-statement parameter ?" +
+            std::to_string(param.index() + 1) +
+            " (EXECUTE must bind every ? placeholder; compiling " +
+            op_context_ + ")");
+      }
+      case Expr::Kind::kCompare: {
+        const auto& cmp = static_cast<const CompareExpr&>(expr);
+        RAVEN_ASSIGN_OR_RETURN(KernelOperand l, Emit(cmp.lhs()));
+        RAVEN_ASSIGN_OR_RETURN(KernelOperand r, Emit(cmp.rhs()));
+        if (IsImm(l) && IsImm(r)) {
+          return Immediate(FoldCompare(cmp.op(), l.imm, r.imm));
+        }
+        Instr instr;
+        instr.op = Instr::Op::kCompare;
+        instr.cmp = cmp.op();
+        instr.args = {l, r};
+        return Push(std::move(instr));
+      }
+      case Expr::Kind::kArith: {
+        const auto& arith = static_cast<const ArithExpr&>(expr);
+        RAVEN_ASSIGN_OR_RETURN(KernelOperand l, Emit(arith.lhs()));
+        RAVEN_ASSIGN_OR_RETURN(KernelOperand r, Emit(arith.rhs()));
+        if (IsImm(l) && IsImm(r)) {
+          return Immediate(FoldArith(arith.op(), l.imm, r.imm));
+        }
+        Instr instr;
+        instr.op = Instr::Op::kArith;
+        instr.arith = arith.op();
+        instr.args = {l, r};
+        return Push(std::move(instr));
+      }
+      case Expr::Kind::kLogical: {
+        const auto& logical = static_cast<const LogicalExpr&>(expr);
+        RAVEN_ASSIGN_OR_RETURN(KernelOperand l, Emit(logical.lhs()));
+        if (logical.op() == LogicalOp::kNot) {
+          if (IsImm(l)) return Immediate(l.imm == 0.0 ? 1.0 : 0.0);
+          Instr instr;
+          instr.op = Instr::Op::kNot;
+          instr.args = {l};
+          return Push(std::move(instr));
+        }
+        if (logical.rhs() == nullptr) {
+          return Status::InvalidArgument("binary logical op missing rhs");
+        }
+        RAVEN_ASSIGN_OR_RETURN(KernelOperand r, Emit(*logical.rhs()));
+        const bool is_and = logical.op() == LogicalOp::kAnd;
+        if (IsImm(l) && IsImm(r)) {
+          const bool lv = l.imm != 0.0;
+          const bool rv = r.imm != 0.0;
+          return Immediate((is_and ? lv && rv : lv || rv) ? 1.0 : 0.0);
+        }
+        Instr instr;
+        instr.op = is_and ? Instr::Op::kAnd : Instr::Op::kOr;
+        instr.args = {l, r};
+        return Push(std::move(instr));
+      }
+      case Expr::Kind::kCaseWhen: {
+        const auto& cw = static_cast<const CaseWhenExpr&>(expr);
+        Instr instr;
+        instr.op = Instr::Op::kCase;
+        bool all_imm = true;
+        for (const auto& arm : cw.arms()) {
+          RAVEN_ASSIGN_OR_RETURN(KernelOperand when, Emit(*arm.when));
+          RAVEN_ASSIGN_OR_RETURN(KernelOperand then, Emit(*arm.then));
+          all_imm = all_imm && IsImm(when) && IsImm(then);
+          instr.args.push_back(when);
+          instr.args.push_back(then);
+        }
+        KernelOperand else_op = Immediate(0.0);
+        if (cw.else_expr() != nullptr) {
+          RAVEN_ASSIGN_OR_RETURN(else_op, Emit(*cw.else_expr()));
+        }
+        all_imm = all_imm && IsImm(else_op);
+        if (all_imm) {
+          // Fold with the interpreter's first-match-wins arm order.
+          double v = else_op.imm;
+          for (std::size_t a = 0; a + 1 < instr.args.size(); a += 2) {
+            if (instr.args[a].imm != 0.0) {
+              v = instr.args[a + 1].imm;
+              break;
+            }
+          }
+          return Immediate(v);
+        }
+        instr.args.push_back(else_op);
+        return Push(std::move(instr));
+      }
+      case Expr::Kind::kIn: {
+        const auto& in = static_cast<const InExpr&>(expr);
+        RAVEN_ASSIGN_OR_RETURN(KernelOperand input, Emit(in.input()));
+        if (IsImm(input)) {
+          bool found = false;
+          for (double candidate : in.values()) {
+            if (input.imm == candidate) {
+              found = true;
+              break;
+            }
+          }
+          return Immediate(found ? 1.0 : 0.0);
+        }
+        Instr instr;
+        instr.op = Instr::Op::kIn;
+        instr.args = {input};
+        instr.in_values = in.values();
+        return Push(std::move(instr));
+      }
+    }
+    return Status::Internal("unreachable expression kind in kernel compile");
+  }
+
+  std::int32_t num_regs() const { return num_regs_; }
+
+ private:
+  static bool IsImm(const KernelOperand& o) {
+    return o.kind == KernelOperand::Kind::kImmediate;
+  }
+
+  static KernelOperand Immediate(double v) {
+    KernelOperand o;
+    o.kind = KernelOperand::Kind::kImmediate;
+    o.imm = v;
+    return o;
+  }
+
+  /// Appends the instruction: claims an output register, then releases the
+  /// argument registers back to the pool (postorder trees die after one
+  /// use, so the pool stays ~tree-depth deep, not tree-size).
+  KernelOperand Push(Instr instr) {
+    std::int32_t out;
+    if (!free_regs_.empty()) {
+      out = free_regs_.back();
+      free_regs_.pop_back();
+    } else {
+      out = num_regs_++;
+    }
+    instr.out = out;
+    for (const KernelOperand& arg : instr.args) {
+      if (arg.kind == KernelOperand::Kind::kRegister) {
+        free_regs_.push_back(arg.index);
+      }
+    }
+    prog_->instrs_.push_back(std::move(instr));
+    KernelOperand o;
+    o.kind = KernelOperand::Kind::kRegister;
+    o.index = out;
+    return o;
+  }
+
+  const std::vector<std::string>& schema_;
+  const std::string op_context_;
+  KernelProgram* prog_;
+  std::vector<std::int32_t> free_regs_;
+  std::int32_t num_regs_ = 0;
+};
+
+Result<KernelProgram> KernelProgram::Compile(
+    const Expr& expr, const std::vector<std::string>& schema,
+    const std::string& op_context) {
+  KernelProgram prog;
+  Compiler compiler(schema, op_context, &prog);
+  RAVEN_ASSIGN_OR_RETURN(prog.result_, compiler.Emit(expr));
+  std::int32_t regs = compiler.num_regs();
+  if (prog.result_.kind == KernelOperand::Kind::kImmediate && regs == 0) {
+    regs = 1;  // splat target for an all-constant expression
+  }
+  prog.regs_.resize(static_cast<std::size_t>(regs));
+  return prog;
+}
+
+const std::vector<double>* KernelProgram::Vec(const KernelOperand& o,
+                                              const DataChunk& chunk) const {
+  switch (o.kind) {
+    case KernelOperand::Kind::kColumn:
+      return &chunk.cols[static_cast<std::size_t>(o.index)];
+    case KernelOperand::Kind::kRegister:
+      return &regs_[static_cast<std::size_t>(o.index)];
+    case KernelOperand::Kind::kImmediate:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+Result<const std::vector<double>*> KernelProgram::Run(const DataChunk& chunk) {
+  const std::size_t n = static_cast<std::size_t>(chunk.num_rows());
+  for (const Instr& instr : instrs_) {
+    std::vector<double>* out = &regs_[static_cast<std::size_t>(instr.out)];
+    switch (instr.op) {
+      case Instr::Op::kCompare: {
+        const auto* l = Vec(instr.args[0], chunk);
+        const auto* r = Vec(instr.args[1], chunk);
+        const double li = instr.args[0].imm;
+        const double ri = instr.args[1].imm;
+        switch (instr.cmp) {
+          case CompareOp::kEq:
+            BinaryKernel(l, li, r, ri, n, out,
+                         [](double a, double b) { return double(a == b); });
+            break;
+          case CompareOp::kNe:
+            BinaryKernel(l, li, r, ri, n, out,
+                         [](double a, double b) { return double(a != b); });
+            break;
+          case CompareOp::kLt:
+            BinaryKernel(l, li, r, ri, n, out,
+                         [](double a, double b) { return double(a < b); });
+            break;
+          case CompareOp::kLe:
+            BinaryKernel(l, li, r, ri, n, out,
+                         [](double a, double b) { return double(a <= b); });
+            break;
+          case CompareOp::kGt:
+            BinaryKernel(l, li, r, ri, n, out,
+                         [](double a, double b) { return double(a > b); });
+            break;
+          case CompareOp::kGe:
+            BinaryKernel(l, li, r, ri, n, out,
+                         [](double a, double b) { return double(a >= b); });
+            break;
+        }
+        break;
+      }
+      case Instr::Op::kArith: {
+        const auto* l = Vec(instr.args[0], chunk);
+        const auto* r = Vec(instr.args[1], chunk);
+        const double li = instr.args[0].imm;
+        const double ri = instr.args[1].imm;
+        switch (instr.arith) {
+          case ArithOp::kAdd:
+            BinaryKernel(l, li, r, ri, n, out,
+                         [](double a, double b) { return a + b; });
+            break;
+          case ArithOp::kSub:
+            BinaryKernel(l, li, r, ri, n, out,
+                         [](double a, double b) { return a - b; });
+            break;
+          case ArithOp::kMul:
+            BinaryKernel(l, li, r, ri, n, out,
+                         [](double a, double b) { return a * b; });
+            break;
+          case ArithOp::kDiv:
+            BinaryKernel(l, li, r, ri, n, out,
+                         [](double a, double b) { return a / b; });
+            break;
+        }
+        break;
+      }
+      case Instr::Op::kAnd: {
+        BinaryKernel(Vec(instr.args[0], chunk), instr.args[0].imm,
+                     Vec(instr.args[1], chunk), instr.args[1].imm, n, out,
+                     [](double a, double b) {
+                       return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+                     });
+        break;
+      }
+      case Instr::Op::kOr: {
+        BinaryKernel(Vec(instr.args[0], chunk), instr.args[0].imm,
+                     Vec(instr.args[1], chunk), instr.args[1].imm, n, out,
+                     [](double a, double b) {
+                       return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+                     });
+        break;
+      }
+      case Instr::Op::kNot: {
+        const auto* v = Vec(instr.args[0], chunk);
+        out->resize(n);
+        double* o = out->data();
+        if (v != nullptr) {
+          const double* a = v->data();
+          for (std::size_t i = 0; i < n; ++i) o[i] = double(a[i] == 0.0);
+        } else {
+          const double c = double(instr.args[0].imm == 0.0);
+          for (std::size_t i = 0; i < n; ++i) o[i] = c;
+        }
+        break;
+      }
+      case Instr::Op::kCase: {
+        const KernelOperand& else_op = instr.args.back();
+        const auto* e = Vec(else_op, chunk);
+        if (e != nullptr) {
+          out->assign(e->begin(), e->end());
+        } else {
+          out->assign(n, else_op.imm);
+        }
+        case_decided_.assign(n, 0);
+        double* o = out->data();
+        for (std::size_t a = 0; a + 1 < instr.args.size(); a += 2) {
+          const auto* cond = Vec(instr.args[a], chunk);
+          const auto* val = Vec(instr.args[a + 1], chunk);
+          const double cond_imm = instr.args[a].imm;
+          const double val_imm = instr.args[a + 1].imm;
+          for (std::size_t i = 0; i < n; ++i) {
+            if (case_decided_[i] != 0) continue;
+            const double c = cond != nullptr ? (*cond)[i] : cond_imm;
+            if (c != 0.0) {
+              o[i] = val != nullptr ? (*val)[i] : val_imm;
+              case_decided_[i] = 1;
+            }
+          }
+        }
+        break;
+      }
+      case Instr::Op::kIn: {
+        const auto* v = Vec(instr.args[0], chunk);
+        out->resize(n);
+        double* o = out->data();
+        for (std::size_t i = 0; i < n; ++i) {
+          const double x = v != nullptr ? (*v)[i] : instr.args[0].imm;
+          bool found = false;
+          for (double candidate : instr.in_values) {
+            if (x == candidate) {
+              found = true;
+              break;
+            }
+          }
+          o[i] = found ? 1.0 : 0.0;
+        }
+        break;
+      }
+    }
+  }
+  switch (result_.kind) {
+    case KernelOperand::Kind::kColumn:
+      return &chunk.cols[static_cast<std::size_t>(result_.index)];
+    case KernelOperand::Kind::kRegister:
+      return &regs_[static_cast<std::size_t>(result_.index)];
+    case KernelOperand::Kind::kImmediate:
+      regs_[0].assign(n, result_.imm);
+      return &regs_[0];
+  }
+  return Status::Internal("unreachable kernel result kind");
+}
+
+Status KernelProgram::RunInto(const DataChunk& chunk,
+                              std::vector<double>* out) {
+  RAVEN_ASSIGN_OR_RETURN(const std::vector<double>* values, Run(chunk));
+  out->assign(values->begin(), values->end());
+  return Status::OK();
+}
+
+void GatherSelected(const std::vector<double>& values,
+                    const std::vector<std::int32_t>& sel,
+                    std::vector<double>* out) {
+  if (sel.empty()) {
+    out->assign(values.begin(), values.end());
+    return;
+  }
+  out->clear();
+  out->reserve(sel.size());
+  for (std::int32_t i : sel) {
+    out->push_back(values[static_cast<std::size_t>(i)]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ExactFloatSum
+// ---------------------------------------------------------------------------
+
+void ExactFloatSum::Add(double v) {
+  if (std::isnan(v)) {
+    saw_nan_ = true;
+    return;
+  }
+  if (std::isinf(v)) {
+    if (v > 0.0) {
+      ++pos_inf_;
+    } else {
+      ++neg_inf_;
+    }
+    return;
+  }
+  AddFinite(v);
+}
+
+void ExactFloatSum::AddFinite(double x) {
+  // One round of the Shewchuk grow-expansion (the fsum inner loop): fold x
+  // through every partial with TwoSum, keeping the non-zero low parts. The
+  // partials stay non-overlapping and magnitude-increasing, so the set
+  // represents the exact real-number sum regardless of input order.
+  std::size_t kept = 0;
+  for (std::size_t j = 0; j < terms_.size(); ++j) {
+    double y = terms_[j];
+    if (std::fabs(x) < std::fabs(y)) std::swap(x, y);
+    const double hi = x + y;
+    if (std::isinf(hi)) {
+      // The running sum left double range. The exact representation is
+      // gone; saturate deterministically to the overflow sign and drop the
+      // partials — the low part of an overflowed TwoSum is +/-inf or NaN
+      // and must never enter the expansion.
+      if (hi > 0.0) {
+        ++pos_inf_;
+      } else {
+        ++neg_inf_;
+      }
+      terms_.clear();
+      return;
+    }
+    const double lo = y - (hi - x);
+    if (lo != 0.0) terms_[kept++] = lo;
+    x = hi;
+  }
+  terms_.resize(kept);
+  terms_.push_back(x);
+}
+
+void ExactFloatSum::MergeFrom(const ExactFloatSum& other) {
+  saw_nan_ = saw_nan_ || other.saw_nan_;
+  pos_inf_ += other.pos_inf_;
+  neg_inf_ += other.neg_inf_;
+  for (double term : other.terms_) AddFinite(term);
+}
+
+double ExactFloatSum::Round() const {
+  if (saw_nan_ || (pos_inf_ > 0 && neg_inf_ > 0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (pos_inf_ > 0) return std::numeric_limits<double>::infinity();
+  if (neg_inf_ > 0) return -std::numeric_limits<double>::infinity();
+  if (terms_.empty()) return 0.0;
+  // fsum's final correctly-rounded collapse: sum from the largest partial
+  // down, then correct the round-to-even tie case using the sign of the
+  // next partial below the first non-zero low part.
+  std::size_t n = terms_.size();
+  double hi = terms_[--n];
+  double lo = 0.0;
+  while (n > 0) {
+    const double x = hi;
+    const double y = terms_[--n];
+    hi = x + y;
+    const double yr = hi - x;
+    lo = y - yr;
+    if (lo != 0.0) break;
+  }
+  if (n > 0 && ((lo < 0.0 && terms_[n - 1] < 0.0) ||
+                (lo > 0.0 && terms_[n - 1] > 0.0))) {
+    const double y = lo * 2.0;
+    const double x = hi + y;
+    if (y == x - hi) hi = x;
+  }
+  return hi;
+}
+
+}  // namespace raven::relational

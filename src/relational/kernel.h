@@ -1,0 +1,153 @@
+#ifndef RAVEN_RELATIONAL_KERNEL_H_
+#define RAVEN_RELATIONAL_KERNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/chunk.h"
+#include "relational/expression.h"
+
+namespace raven::relational {
+
+/// Where one kernel operand's values come from.
+struct KernelOperand {
+  enum class Kind : std::uint8_t {
+    kColumn,     ///< chunk column, by ordinal resolved at compile time
+    kRegister,   ///< a previous instruction's output register
+    kImmediate,  ///< a compile-time constant (literal or folded subtree)
+  };
+  Kind kind = Kind::kImmediate;
+  std::int32_t index = 0;  ///< column ordinal or register index
+  double imm = 0.0;        ///< kImmediate payload
+};
+
+/// An Expr tree compiled once (at operator Open) into a postorder sequence
+/// of typed columnar kernels over a reusable vector-register pool.
+///
+/// Compared to Expr::Evaluate — which re-resolves column names with a
+/// per-chunk string scan and allocates fresh std::vector temporaries for
+/// every interior node of every chunk — a compiled program:
+///  - resolves every column reference to an ordinal exactly once, failing
+///    at compile time (with the column and operator named) on unknown or
+///    ambiguous references;
+///  - folds constant subtrees into immediates;
+///  - runs each binary kernel as a tight loop specialized for its operand
+///    shape (vector/vector, vector/scalar, scalar/vector), writing into
+///    registers that are allocated once and reused for every chunk.
+///
+/// Numeric semantics are identical to the interpreter: the same IEEE-754
+/// operations are applied per row in the same order, so compiled plans
+/// produce byte-identical results. Kernels always evaluate all rows of the
+/// chunk; a selection vector, if any, is applied downstream at gather
+/// points (filters refine it, projections gather through it).
+///
+/// A program is thread-confined like the operator that owns it; distinct
+/// workers compile their own copies from their own operator trees.
+class KernelProgram {
+ public:
+  KernelProgram() = default;
+  KernelProgram(KernelProgram&&) = default;
+  KernelProgram& operator=(KernelProgram&&) = default;
+
+  /// Compiles `expr` against the (positional) column schema the owning
+  /// operator's input chunks will carry. `op_context` names that operator
+  /// for diagnostics, e.g. "Filter" or "Project expression 2 (score)".
+  static Result<KernelProgram> Compile(const Expr& expr,
+                                       const std::vector<std::string>& schema,
+                                       const std::string& op_context);
+
+  /// Evaluates over all rows of `chunk`. The returned vector is either a
+  /// register owned by this program or a column of `chunk`; it is valid
+  /// until the next Run call (or until the chunk mutates). Never returns
+  /// nullptr on OK.
+  Result<const std::vector<double>*> Run(const DataChunk& chunk);
+
+  /// Like Run, but copies the result into `out` (interpreter-parity shape,
+  /// used by tests and callers that keep the values past the next chunk).
+  Status RunInto(const DataChunk& chunk, std::vector<double>* out);
+
+  /// Ordinal of `name` in `schema`; NotFound / InvalidArgument (ambiguous)
+  /// with `name` and `op_context` in the message. Shared by operators that
+  /// resolve plain column references (aggregates, joins, PREDICT inputs)
+  /// so all Open-time schema errors read the same.
+  static Result<std::int64_t> ResolveOrdinal(
+      const std::vector<std::string>& schema, const std::string& name,
+      const std::string& op_context);
+
+  std::size_t num_instructions() const { return instrs_.size(); }
+  std::size_t num_registers() const { return regs_.size(); }
+
+ private:
+  struct Instr {
+    enum class Op : std::uint8_t {
+      kCompare,
+      kArith,
+      kAnd,
+      kOr,
+      kNot,
+      kCase,  ///< args = when0, then0, when1, then1, ..., else
+      kIn,
+    };
+    Op op = Op::kCompare;
+    CompareOp cmp = CompareOp::kEq;
+    ArithOp arith = ArithOp::kAdd;
+    std::int32_t out = 0;
+    std::vector<KernelOperand> args;
+    std::vector<double> in_values;  ///< kIn candidate list
+  };
+
+  class Compiler;
+
+  /// Materializes operand `o`'s values for an n-row chunk: column pointer,
+  /// register pointer, or nullptr for an immediate (the caller then uses
+  /// o.imm as a scalar).
+  const std::vector<double>* Vec(const KernelOperand& o,
+                                 const DataChunk& chunk) const;
+
+  std::vector<Instr> instrs_;
+  mutable std::vector<std::vector<double>> regs_;  ///< reused across chunks
+  std::vector<std::uint8_t> case_decided_;         ///< kCase scratch
+  KernelOperand result_;  ///< where the root's values land
+};
+
+/// Gathers `values` through a selection vector into `out` (plain copy when
+/// `sel` is empty). The compact-output half of selection-vector execution.
+void GatherSelected(const std::vector<double>& values,
+                    const std::vector<std::int32_t>& sel,
+                    std::vector<double>* out);
+
+/// Order-independent, correctly-rounded float accumulator (a Shewchuk /
+/// fsum-style expansion of non-overlapping partials, the compensated form
+/// of Neumaier summation carried to full precision). SUM/AVG built on it
+/// are bit-identical for ANY accumulation or merge order — sequential
+/// chunks, morsel-parallel partials, and distributed fragments all round
+/// the same exact value — which is what restores the engine's byte-
+/// identical-at-any-dop guarantee for float aggregates.
+///
+/// Non-finite inputs are diverted to counters so they cannot poison the
+/// expansion: the rounded result is NaN if any input was NaN or both
+/// infinity signs appeared, +/-infinity if one sign appeared, else the
+/// correctly rounded exact sum. The empty sum rounds to +0.0; an all
+/// negative-zero input stream keeps its -0.0 (IEEE addition identities
+/// fall out of the expansion itself, no special casing).
+class ExactFloatSum {
+ public:
+  void Add(double v);
+  void MergeFrom(const ExactFloatSum& other);
+  /// The correctly rounded value of everything added so far.
+  double Round() const;
+
+ private:
+  void AddFinite(double v);
+
+  std::vector<double> terms_;  ///< increasing magnitude, non-overlapping
+  std::int64_t pos_inf_ = 0;
+  std::int64_t neg_inf_ = 0;
+  bool saw_nan_ = false;
+};
+
+}  // namespace raven::relational
+
+#endif  // RAVEN_RELATIONAL_KERNEL_H_

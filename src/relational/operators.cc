@@ -8,6 +8,35 @@
 
 namespace raven::relational {
 
+namespace {
+
+/// Refines `chunk`'s selection vector to the rows where `mask` (computed
+/// over ALL physical rows) is truthy; returns the selected count. When no
+/// prior selection exists and every row passes, the selection stays empty
+/// (all-rows), avoiding indirection on the common non-selective path.
+std::int64_t RefineSelection(const std::vector<double>& mask,
+                             DataChunk* chunk) {
+  std::vector<std::int32_t> next;
+  if (chunk->has_sel()) {
+    next.reserve(chunk->sel.size());
+    for (std::int32_t i : chunk->sel) {
+      if (mask[static_cast<std::size_t>(i)] != 0.0) next.push_back(i);
+    }
+    chunk->sel = std::move(next);
+    return static_cast<std::int64_t>(chunk->sel.size());
+  }
+  const auto n = static_cast<std::int32_t>(mask.size());
+  next.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (mask[static_cast<std::size_t>(i)] != 0.0) next.push_back(i);
+  }
+  if (static_cast<std::int32_t>(next.size()) == n) return n;  // all selected
+  chunk->sel = std::move(next);
+  return static_cast<std::int64_t>(chunk->sel.size());
+}
+
+}  // namespace
+
 ScanOperator::ScanOperator(const Table* table, std::int64_t begin,
                            std::int64_t end)
     : table_(table), begin_(begin),
@@ -34,6 +63,9 @@ void ScanOperator::EmitRows(std::int64_t begin, std::int64_t n,
                             DataChunk* out) const {
   out->names.clear();
   out->cols.clear();
+  // Callers reuse one chunk across Next calls; a stale selection from the
+  // previous batch must not survive into this one.
+  out->sel.clear();
   out->names.reserve(static_cast<std::size_t>(table_->num_columns()));
   out->cols.reserve(static_cast<std::size_t>(table_->num_columns()));
   for (const auto& col : table_->columns()) {
@@ -61,43 +93,74 @@ Result<bool> ScanOperator::Next(DataChunk* out) {
   return true;
 }
 
+Result<std::vector<std::string>> ScanOperator::OutputColumns() const {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(table_->num_columns()));
+  for (const auto& col : table_->columns()) names.push_back(col.name);
+  return names;
+}
+
+Status FilterOperator::Open() {
+  RAVEN_RETURN_IF_ERROR(child_->Open());
+  RAVEN_ASSIGN_OR_RETURN(std::vector<std::string> schema,
+                         child_->OutputColumns());
+  RAVEN_ASSIGN_OR_RETURN(program_,
+                         KernelProgram::Compile(*predicate_, schema,
+                                                "Filter predicate"));
+  return Status::OK();
+}
+
 Result<bool> FilterOperator::Next(DataChunk* out) {
-  DataChunk chunk;
-  std::vector<double> mask;
   while (true) {
-    RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(&chunk));
+    RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
-    RAVEN_RETURN_IF_ERROR(predicate_->Evaluate(chunk, &mask));
-    // Compact matching rows.
-    std::vector<std::int64_t> selected;
-    for (std::size_t i = 0; i < mask.size(); ++i) {
-      if (mask[i] != 0.0) selected.push_back(static_cast<std::int64_t>(i));
+    // The compiled predicate evaluates every physical row (branch-free
+    // kernels); the selection vector is then refined to survivors — no
+    // column data moves while the selection stays dense. Sparse survivor
+    // sets are compacted immediately: downstream kernels evaluate every
+    // physical row, so an expensive expression above a selective filter
+    // (e.g. an inlined decision tree) must not pay for dead rows. The
+    // copy is bounded by what the pre-selection-vector filter always did.
+    RAVEN_ASSIGN_OR_RETURN(const std::vector<double>* mask,
+                           program_.Run(*out));
+    if (RefineSelection(*mask, out) > 0) {
+      if (out->num_selected() * 2 < out->num_rows()) out->FlattenSel();
+      return true;
     }
-    if (selected.empty()) continue;  // fully filtered; pull next chunk
-    out->names = chunk.names;
-    out->order_source = chunk.order_source;
-    out->order_morsel = chunk.order_morsel;
-    out->cols.assign(chunk.cols.size(), {});
-    for (std::size_t c = 0; c < chunk.cols.size(); ++c) {
-      out->cols[c].reserve(selected.size());
-      for (std::int64_t i : selected) {
-        out->cols[c].push_back(chunk.cols[c][static_cast<std::size_t>(i)]);
-      }
-    }
-    return true;
+    // Fully filtered; pull the next chunk.
   }
 }
 
+Status ProjectOperator::Open() {
+  RAVEN_RETURN_IF_ERROR(child_->Open());
+  RAVEN_ASSIGN_OR_RETURN(std::vector<std::string> schema,
+                         child_->OutputColumns());
+  programs_.clear();
+  programs_.reserve(exprs_.size());
+  for (std::size_t e = 0; e < exprs_.size(); ++e) {
+    RAVEN_ASSIGN_OR_RETURN(
+        KernelProgram program,
+        KernelProgram::Compile(*exprs_[e], schema,
+                               "Project expression '" + names_[e] + "'"));
+    programs_.push_back(std::move(program));
+  }
+  return Status::OK();
+}
+
 Result<bool> ProjectOperator::Next(DataChunk* out) {
-  DataChunk chunk;
-  RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(&chunk));
+  RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(&scratch_));
   if (!more) return false;
   out->names = names_;
-  out->order_source = chunk.order_source;
-  out->order_morsel = chunk.order_morsel;
-  out->cols.assign(exprs_.size(), {});
-  for (std::size_t e = 0; e < exprs_.size(); ++e) {
-    RAVEN_RETURN_IF_ERROR(exprs_[e]->Evaluate(chunk, &out->cols[e]));
+  out->order_source = scratch_.order_source;
+  out->order_morsel = scratch_.order_morsel;
+  out->sel.clear();
+  out->cols.assign(programs_.size(), {});
+  for (std::size_t e = 0; e < programs_.size(); ++e) {
+    RAVEN_ASSIGN_OR_RETURN(const std::vector<double>* values,
+                           programs_[e].Run(scratch_));
+    // Gather through the child's selection: projection doubles as the
+    // compaction point after a filter, one pass per output column.
+    GatherSelected(*values, scratch_.sel, &out->cols[e]);
   }
   return true;
 }
@@ -115,6 +178,9 @@ Status JoinBuildState::Append(std::int64_t worker, DataChunk chunk) {
   if (worker < 0 || worker >= static_cast<std::int64_t>(buffers_.size())) {
     return Status::InvalidArgument("join build worker id out of range");
   }
+  // The build side stores physical rows; compact any pending selection so
+  // FinalizeBuild's concatenation and row ids see only surviving rows.
+  chunk.FlattenSel();
   buffers_[static_cast<std::size_t>(worker)].push_back(std::move(chunk));
   return Status::OK();
 }
@@ -224,69 +290,80 @@ HashJoinOperator::HashJoinOperator(OperatorPtr left, std::string left_key,
 
 Status HashJoinOperator::Open() {
   RAVEN_RETURN_IF_ERROR(left_->Open());
-  build_emit_cols_.clear();
   if (right_ == nullptr) {
     // Probe-only mode: the shared build pipeline already ran.
     if (build_ == nullptr || !build_->finalized()) {
       return Status::Internal("probe-only hash join without finalized build");
     }
-    return Status::OK();
+  } else {
+    RAVEN_RETURN_IF_ERROR(right_->Open());
+    DataChunk chunk;
+    std::int64_t arrival = 0;
+    while (true) {
+      RAVEN_ASSIGN_OR_RETURN(bool more, right_->Next(&chunk));
+      if (!more) break;
+      // Re-tag with the arrival index: a multi-source build side (e.g. a
+      // union of scans) reuses (source 0, morsel 0..) per branch, and
+      // FinalizeBuild's provenance sort must not interleave the branches.
+      chunk.order_source = 0;
+      chunk.order_morsel = arrival++;
+      RAVEN_RETURN_IF_ERROR(build_->Append(0, std::move(chunk)));
+    }
+    RAVEN_RETURN_IF_ERROR(build_->FinalizeBuild());
   }
-  RAVEN_RETURN_IF_ERROR(right_->Open());
-  DataChunk chunk;
-  std::int64_t arrival = 0;
-  while (true) {
-    RAVEN_ASSIGN_OR_RETURN(bool more, right_->Next(&chunk));
-    if (!more) break;
-    // Re-tag with the arrival index: a multi-source build side (e.g. a
-    // union of scans) reuses (source 0, morsel 0..) per branch, and
-    // FinalizeBuild's provenance sort must not interleave the branches.
-    chunk.order_source = 0;
-    chunk.order_morsel = arrival++;
-    RAVEN_RETURN_IF_ERROR(build_->Append(0, std::move(chunk)));
+  // Resolve the probe key and the output schema once, against the probe
+  // child's schema and the finalized build: all probe columns, then build
+  // columns whose names do not collide (the equi-key dedupes naturally).
+  RAVEN_ASSIGN_OR_RETURN(std::vector<std::string> probe_schema,
+                         left_->OutputColumns());
+  RAVEN_ASSIGN_OR_RETURN(
+      left_key_idx_,
+      KernelProgram::ResolveOrdinal(probe_schema, left_key_,
+                                    "HashJoin probe key"));
+  build_emit_cols_.clear();
+  output_columns_ = probe_schema;
+  const auto& build_names = build_->names();
+  for (std::size_t c = 0; c < build_names.size(); ++c) {
+    bool shadowed = false;
+    for (const auto& name : probe_schema) {
+      if (name == build_names[c]) {
+        shadowed = true;
+        break;
+      }
+    }
+    if (!shadowed) {
+      build_emit_cols_.push_back(c);
+      output_columns_.push_back(build_names[c]);
+    }
   }
-  return build_->FinalizeBuild();
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> HashJoinOperator::OutputColumns() const {
+  return output_columns_;
 }
 
 Result<bool> HashJoinOperator::Next(DataChunk* out) {
   DataChunk chunk;
-  const auto& build_names = build_->names();
   const auto& build_cols = build_->cols();
   while (true) {
     RAVEN_ASSIGN_OR_RETURN(bool more, left_->Next(&chunk));
     if (!more) return false;
-    RAVEN_ASSIGN_OR_RETURN(std::int64_t key_idx,
-                           chunk.ColumnIndex(left_key_));
-    // Output schema: all probe columns, then build columns whose names do
-    // not collide with probe columns (the equi-key dedupes naturally).
-    if (build_emit_cols_.empty()) {
-      for (std::size_t c = 0; c < build_names.size(); ++c) {
-        bool shadowed = false;
-        for (const auto& name : chunk.names) {
-          if (name == build_names[c]) {
-            shadowed = true;
-            break;
-          }
-        }
-        if (!shadowed) build_emit_cols_.push_back(c);
-      }
-    }
-    out->names = chunk.names;
+    out->names = output_columns_;
     out->order_source = chunk.order_source;
     out->order_morsel = chunk.order_morsel;
-    for (std::size_t c : build_emit_cols_) {
-      out->names.push_back(build_names[c]);
-    }
-    out->cols.assign(out->names.size(), {});
-    const std::int64_t n = chunk.num_rows();
-    for (std::int64_t i = 0; i < n; ++i) {
-      const double key = chunk.cols[static_cast<std::size_t>(key_idx)]
-                                   [static_cast<std::size_t>(i)];
-      const std::vector<std::int64_t>* matches = build_->Lookup(key);
+    out->sel.clear();
+    out->cols.assign(output_columns_.size(), {});
+    const auto& key_col = chunk.cols[static_cast<std::size_t>(left_key_idx_)];
+    const std::int64_t n = chunk.num_selected();
+    for (std::int64_t s = 0; s < n; ++s) {
+      const auto i = static_cast<std::size_t>(
+          chunk.has_sel() ? chunk.sel[static_cast<std::size_t>(s)] : s);
+      const std::vector<std::int64_t>* matches = build_->Lookup(key_col[i]);
       if (matches == nullptr) continue;
       for (std::int64_t build_row : *matches) {
         for (std::size_t c = 0; c < chunk.cols.size(); ++c) {
-          out->cols[c].push_back(chunk.cols[c][static_cast<std::size_t>(i)]);
+          out->cols[c].push_back(chunk.cols[c][i]);
         }
         for (std::size_t e = 0; e < build_emit_cols_.size(); ++e) {
           out->cols[chunk.cols.size() + e].push_back(
@@ -321,6 +398,9 @@ Result<bool> LimitOperator::Next(DataChunk* out) {
   if (emitted_ >= limit_) return false;
   RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(out));
   if (!more) return false;
+  // Limit counts logical rows; compact first so resize-to-keep trims the
+  // right tail.
+  out->FlattenSel();
   const std::int64_t n = out->num_rows();
   if (emitted_ + n > limit_) {
     const std::int64_t keep = limit_ - emitted_;
@@ -330,21 +410,49 @@ Result<bool> LimitOperator::Next(DataChunk* out) {
   return true;
 }
 
-Result<bool> PredictOperator::Next(DataChunk* out) {
-  DataChunk chunk;
-  RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(&chunk));
-  if (!more) return false;
-  const std::int64_t n = chunk.num_rows();
-  const std::int64_t k = static_cast<std::int64_t>(input_columns_.size());
-  Tensor input = Tensor::Zeros({n, k});
-  for (std::int64_t j = 0; j < k; ++j) {
+Status PredictOperator::Open() {
+  RAVEN_RETURN_IF_ERROR(child_->Open());
+  RAVEN_ASSIGN_OR_RETURN(std::vector<std::string> schema,
+                         child_->OutputColumns());
+  input_idx_.clear();
+  input_idx_.reserve(input_columns_.size());
+  for (const auto& name : input_columns_) {
     RAVEN_ASSIGN_OR_RETURN(
         std::int64_t idx,
-        chunk.ColumnIndex(input_columns_[static_cast<std::size_t>(j)]));
-    const auto& col = chunk.cols[static_cast<std::size_t>(idx)];
-    for (std::int64_t r = 0; r < n; ++r) {
-      input.raw()[r * k + j] =
-          static_cast<float>(col[static_cast<std::size_t>(r)]);
+        KernelProgram::ResolveOrdinal(schema, name, "PREDICT input"));
+    input_idx_.push_back(idx);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> PredictOperator::OutputColumns() const {
+  RAVEN_ASSIGN_OR_RETURN(std::vector<std::string> schema,
+                         child_->OutputColumns());
+  schema.push_back(output_name_);
+  return schema;
+}
+
+Result<bool> PredictOperator::Next(DataChunk* out) {
+  RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+  if (!more) return false;
+  // Assemble the feature tensor straight through the selection vector:
+  // only surviving rows are gathered (and scored).
+  const std::int64_t n = out->num_selected();
+  const std::int64_t k = static_cast<std::int64_t>(input_idx_.size());
+  Tensor input = Tensor::Zeros({n, k});
+  for (std::int64_t j = 0; j < k; ++j) {
+    const auto& col =
+        out->cols[static_cast<std::size_t>(input_idx_[static_cast<std::size_t>(j)])];
+    if (out->has_sel()) {
+      for (std::int64_t r = 0; r < n; ++r) {
+        input.raw()[r * k + j] = static_cast<float>(
+            col[static_cast<std::size_t>(out->sel[static_cast<std::size_t>(r)])]);
+      }
+    } else {
+      for (std::int64_t r = 0; r < n; ++r) {
+        input.raw()[r * k + j] =
+            static_cast<float>(col[static_cast<std::size_t>(r)]);
+      }
     }
   }
   RAVEN_ASSIGN_OR_RETURN(std::vector<double> preds, scorer_(input));
@@ -354,10 +462,142 @@ Result<bool> PredictOperator::Next(DataChunk* out) {
                                   " predictions for " + std::to_string(n) +
                                   " rows");
   }
-  *out = std::move(chunk);
+  // Predictions are per-selected-row; compact the pass-through columns to
+  // match before appending the new column.
+  out->FlattenSel();
   out->names.push_back(output_name_);
   out->cols.push_back(std::move(preds));
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Fused filter -> project -> PREDICT chains
+// ---------------------------------------------------------------------------
+
+Status FusedOperator::Open() {
+  RAVEN_RETURN_IF_ERROR(child_->Open());
+  RAVEN_ASSIGN_OR_RETURN(std::vector<std::string> schema,
+                         child_->OutputColumns());
+  compiled_.clear();
+  compiled_.resize(stages_.size());
+  // Compile each stage against the schema as it evolves through the chain:
+  // a filter keeps it, a projection replaces it, PREDICT appends a column.
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const FusedStage& stage = stages_[s];
+    CompiledStage& cs = compiled_[s];
+    switch (stage.kind) {
+      case FusedStage::Kind::kFilter: {
+        RAVEN_ASSIGN_OR_RETURN(
+            cs.predicate,
+            KernelProgram::Compile(*stage.predicate, schema,
+                                   label_ + " filter predicate"));
+        break;
+      }
+      case FusedStage::Kind::kProject: {
+        cs.exprs.reserve(stage.exprs.size());
+        for (std::size_t e = 0; e < stage.exprs.size(); ++e) {
+          RAVEN_ASSIGN_OR_RETURN(
+              KernelProgram program,
+              KernelProgram::Compile(*stage.exprs[e], schema,
+                                     label_ + " projection '" +
+                                         stage.names[e] + "'"));
+          cs.exprs.push_back(std::move(program));
+        }
+        schema = stage.names;
+        break;
+      }
+      case FusedStage::Kind::kPredict: {
+        cs.input_idx_.reserve(stage.input_columns.size());
+        for (const auto& name : stage.input_columns) {
+          RAVEN_ASSIGN_OR_RETURN(
+              std::int64_t idx,
+              KernelProgram::ResolveOrdinal(schema, name,
+                                            label_ + " PREDICT input"));
+          cs.input_idx_.push_back(idx);
+        }
+        schema.push_back(stage.output_name);
+        break;
+      }
+    }
+  }
+  output_columns_ = std::move(schema);
+  return Status::OK();
+}
+
+Result<bool> FusedOperator::Next(DataChunk* out) {
+  while (true) {
+    RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(&work_));
+    if (!more) return false;
+    bool dead = false;
+    for (std::size_t s = 0; s < stages_.size() && !dead; ++s) {
+      const FusedStage& stage = stages_[s];
+      CompiledStage& cs = compiled_[s];
+      switch (stage.kind) {
+        case FusedStage::Kind::kFilter: {
+          RAVEN_ASSIGN_OR_RETURN(const std::vector<double>* mask,
+                                 cs.predicate.Run(work_));
+          dead = RefineSelection(*mask, &work_) == 0;
+          // Later stages' kernels evaluate every physical row, so compact
+          // sparse survivor sets here rather than evaluate an expensive
+          // projection (inlined trees) or PREDICT gather over dead rows.
+          if (!dead && work_.num_selected() * 2 < work_.num_rows()) {
+            work_.FlattenSel();
+          }
+          break;
+        }
+        case FusedStage::Kind::kProject: {
+          DataChunk projected;
+          projected.names = stage.names;
+          projected.order_source = work_.order_source;
+          projected.order_morsel = work_.order_morsel;
+          projected.cols.assign(cs.exprs.size(), {});
+          for (std::size_t e = 0; e < cs.exprs.size(); ++e) {
+            RAVEN_ASSIGN_OR_RETURN(const std::vector<double>* values,
+                                   cs.exprs[e].Run(work_));
+            GatherSelected(*values, work_.sel, &projected.cols[e]);
+          }
+          work_ = std::move(projected);
+          break;
+        }
+        case FusedStage::Kind::kPredict: {
+          const std::int64_t n = work_.num_selected();
+          const std::int64_t k =
+              static_cast<std::int64_t>(cs.input_idx_.size());
+          Tensor input = Tensor::Zeros({n, k});
+          for (std::int64_t j = 0; j < k; ++j) {
+            const auto& col = work_.cols[static_cast<std::size_t>(
+                cs.input_idx_[static_cast<std::size_t>(j)])];
+            if (work_.has_sel()) {
+              for (std::int64_t r = 0; r < n; ++r) {
+                input.raw()[r * k + j] = static_cast<float>(
+                    col[static_cast<std::size_t>(
+                        work_.sel[static_cast<std::size_t>(r)])]);
+              }
+            } else {
+              for (std::int64_t r = 0; r < n; ++r) {
+                input.raw()[r * k + j] =
+                    static_cast<float>(col[static_cast<std::size_t>(r)]);
+              }
+            }
+          }
+          RAVEN_ASSIGN_OR_RETURN(std::vector<double> preds,
+                                 stage.scorer(input));
+          if (static_cast<std::int64_t>(preds.size()) != n) {
+            return Status::ExecutionError(
+                "scorer returned " + std::to_string(preds.size()) +
+                " predictions for " + std::to_string(n) + " rows");
+          }
+          work_.FlattenSel();
+          work_.names.push_back(stage.output_name);
+          work_.cols.push_back(std::move(preds));
+          break;
+        }
+      }
+    }
+    if (dead) continue;  // every row filtered; pull the next chunk
+    *out = std::move(work_);
+    return true;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -379,7 +619,7 @@ void AggPartial::AccumulateValue(double v) {
     min = std::min(min, v);
     max = std::max(max, v);
   }
-  sum += v;
+  sum.Add(v);
   ++count;
 }
 
@@ -396,7 +636,7 @@ void AggPartial::MergeFrom(const AggPartial& other) {
     min = std::min(min, other.min);
     max = std::max(max, other.max);
   }
-  sum += other.sum;
+  sum.MergeFrom(other.sum);
   count += other.count;
 }
 
@@ -405,10 +645,11 @@ double FinalizeAggPartial(AggKind kind, const AggPartial& partial) {
     case AggKind::kCount:
       return static_cast<double>(partial.count);
     case AggKind::kSum:
-      return partial.sum;
+      return partial.sum.Round();
     case AggKind::kAvg:
+      // Round() is order-independent, so the quotient is too.
       return partial.count > 0
-                 ? partial.sum / static_cast<double>(partial.count)
+                 ? partial.sum.Round() / static_cast<double>(partial.count)
                  : 0.0;
     case AggKind::kMin:
       return partial.min;
@@ -419,21 +660,37 @@ double FinalizeAggPartial(AggKind kind, const AggPartial& partial) {
 }
 
 SharedAggregateState::SharedAggregateState(std::vector<AggregateSpec> aggs)
-    : aggs_(std::move(aggs)), totals_(aggs_.size()) {}
+    : aggs_(std::move(aggs)) {}
 
-void SharedAggregateState::Merge(const std::vector<AggPartial>& partials) {
+void SharedAggregateState::Merge(std::int64_t worker,
+                                 const std::vector<AggPartial>& partials) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (std::size_t a = 0; a < totals_.size() && a < partials.size(); ++a) {
-    totals_[a].MergeFrom(partials[a]);
+  if (worker < 0) worker = 0;
+  const auto slot = static_cast<std::size_t>(worker);
+  if (slot >= worker_partials_.size()) {
+    worker_partials_.resize(slot + 1,
+                            std::vector<AggPartial>(aggs_.size()));
+  }
+  auto& mine = worker_partials_[slot];
+  for (std::size_t a = 0; a < mine.size() && a < partials.size(); ++a) {
+    mine[a].MergeFrom(partials[a]);
   }
 }
 
 DataChunk SharedAggregateState::FinalChunk() const {
   std::lock_guard<std::mutex> lock(mu_);
+  // Fold deposits in ascending worker id — a fixed partition order,
+  // independent of which worker merged first.
+  std::vector<AggPartial> totals(aggs_.size());
+  for (const auto& partials : worker_partials_) {
+    for (std::size_t a = 0; a < totals.size(); ++a) {
+      totals[a].MergeFrom(partials[a]);
+    }
+  }
   DataChunk out;
   for (std::size_t a = 0; a < aggs_.size(); ++a) {
     out.names.push_back(aggs_[a].output_name);
-    out.cols.push_back({FinalizeAggPartial(aggs_[a].kind, totals_[a])});
+    out.cols.push_back({FinalizeAggPartial(aggs_[a].kind, totals[a])});
   }
   return out;
 }
@@ -443,8 +700,32 @@ AggregateOperator::AggregateOperator(OperatorPtr child,
     : child_(std::move(child)), aggs_(std::move(aggs)) {}
 
 AggregateOperator::AggregateOperator(
-    OperatorPtr child, std::shared_ptr<SharedAggregateState> shared)
-    : child_(std::move(child)), shared_(std::move(shared)) {}
+    OperatorPtr child, std::shared_ptr<SharedAggregateState> shared,
+    std::int64_t worker_id)
+    : child_(std::move(child)), shared_(std::move(shared)),
+      worker_id_(worker_id) {}
+
+Status AggregateOperator::Open() {
+  RAVEN_RETURN_IF_ERROR(child_->Open());
+  RAVEN_ASSIGN_OR_RETURN(std::vector<std::string> schema,
+                         child_->OutputColumns());
+  const auto& aggs = specs();
+  agg_idx_.assign(aggs.size(), -1);
+  for (std::size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].kind == AggKind::kCount) continue;  // no input column
+    RAVEN_ASSIGN_OR_RETURN(
+        agg_idx_[a],
+        KernelProgram::ResolveOrdinal(schema, aggs[a].column,
+                                      "Aggregate " + aggs[a].output_name));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> AggregateOperator::OutputColumns() const {
+  std::vector<std::string> names;
+  for (const auto& agg : specs()) names.push_back(agg.output_name);
+  return names;
+}
 
 Result<std::vector<AggPartial>> AggregateOperator::DrainChild(
     const std::vector<AggregateSpec>& aggs) {
@@ -453,17 +734,21 @@ Result<std::vector<AggPartial>> AggregateOperator::DrainChild(
   while (true) {
     RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(&chunk));
     if (!more) break;
-    const std::int64_t n = chunk.num_rows();
+    const std::int64_t n = chunk.num_selected();
     for (std::size_t a = 0; a < aggs.size(); ++a) {
       AggPartial& acc = partials[a];
-      if (aggs[a].kind == AggKind::kCount) {
+      if (agg_idx_[a] < 0) {
         acc.count += n;  // no NULLs in this engine: COUNT(col) == COUNT(*)
         continue;
       }
-      RAVEN_ASSIGN_OR_RETURN(std::int64_t idx,
-                             chunk.ColumnIndex(aggs[a].column));
-      const auto& col = chunk.cols[static_cast<std::size_t>(idx)];
-      for (double v : col) acc.AccumulateValue(v);
+      const auto& col = chunk.cols[static_cast<std::size_t>(agg_idx_[a])];
+      if (chunk.has_sel()) {
+        for (std::int32_t i : chunk.sel) {
+          acc.AccumulateValue(col[static_cast<std::size_t>(i)]);
+        }
+      } else {
+        for (double v : col) acc.AccumulateValue(v);
+      }
     }
   }
   return partials;
@@ -473,16 +758,16 @@ Result<bool> AggregateOperator::Next(DataChunk* out) {
   if (done_) return false;
   done_ = true;
   if (shared_ != nullptr) {
-    // Partial-sink mode: accumulate thread-locally, merge once, emit
+    // Partial-sink mode: accumulate thread-locally, deposit once, emit
     // nothing — the executor renders the final row after all workers join.
     RAVEN_ASSIGN_OR_RETURN(std::vector<AggPartial> partials,
                            DrainChild(shared_->aggs()));
-    shared_->Merge(partials);
+    shared_->Merge(worker_id_, partials);
     return false;
   }
   RAVEN_ASSIGN_OR_RETURN(std::vector<AggPartial> partials, DrainChild(aggs_));
   SharedAggregateState state(aggs_);
-  state.Merge(partials);
+  state.Merge(0, partials);
   *out = state.FinalChunk();
   return true;
 }
@@ -560,11 +845,13 @@ Result<Table> SharedGroupByState::FinalTable() const {
     std::lock_guard<std::mutex> lock(stripe.mu);
     merged.insert(stripe.groups.begin(), stripe.groups.end());
   }
-  // Zero groups renders as a column-less table, matching the engine-wide
-  // empty-result convention (an operator that emits no chunks materializes
-  // to a table without columns) so parallel == sequential on empty input.
+  // Zero groups still renders the grouped schema (keys + aggregate names)
+  // with zero rows: operators above resolve their column ordinals against
+  // this table at Open time, before any chunk flows, and must see the same
+  // schema a sequential GroupByOperator advertises. The executor restores
+  // the engine-wide column-less empty-result convention only when this
+  // table IS the query result (MorselExecutor::Execute root-breaker path).
   Table out;
-  if (merged.empty()) return out;
   std::vector<std::string> names;
   std::vector<std::vector<double>> cols;
   RenderGroups(spec_, merged, &names, &cols);
@@ -581,44 +868,65 @@ GroupByOperator::GroupByOperator(OperatorPtr child,
                                  std::shared_ptr<SharedGroupByState> shared)
     : child_(std::move(child)), shared_(std::move(shared)) {}
 
+Status GroupByOperator::Open() {
+  RAVEN_RETURN_IF_ERROR(child_->Open());
+  RAVEN_ASSIGN_OR_RETURN(std::vector<std::string> schema,
+                         child_->OutputColumns());
+  const GroupBySpec& spec = the_spec();
+  key_idx_.clear();
+  key_idx_.reserve(spec.keys.size());
+  for (const auto& key : spec.keys) {
+    RAVEN_ASSIGN_OR_RETURN(
+        std::int64_t idx,
+        KernelProgram::ResolveOrdinal(schema, key, "GROUP BY key"));
+    key_idx_.push_back(idx);
+  }
+  agg_idx_.assign(spec.aggs.size(), -1);
+  for (std::size_t a = 0; a < spec.aggs.size(); ++a) {
+    if (spec.aggs[a].kind == AggKind::kCount) continue;
+    RAVEN_ASSIGN_OR_RETURN(
+        agg_idx_[a],
+        KernelProgram::ResolveOrdinal(
+            schema, spec.aggs[a].column,
+            "GROUP BY aggregate " + spec.aggs[a].output_name));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> GroupByOperator::OutputColumns() const {
+  const GroupBySpec& spec = the_spec();
+  std::vector<std::string> names;
+  names.reserve(spec.keys.size() + spec.aggs.size());
+  for (const auto& key : spec.keys) names.push_back(key);
+  for (const auto& agg : spec.aggs) names.push_back(agg.output_name);
+  return names;
+}
+
 Result<GroupMap> GroupByOperator::DrainChild(const GroupBySpec& spec) {
   GroupMap groups;
   DataChunk chunk;
   std::vector<double> key(spec.keys.size());
-  std::vector<const std::vector<double>*> key_cols(spec.keys.size());
-  std::vector<const std::vector<double>*> agg_cols(spec.aggs.size());
   while (true) {
     RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(&chunk));
     if (!more) break;
-    for (std::size_t k = 0; k < spec.keys.size(); ++k) {
-      RAVEN_ASSIGN_OR_RETURN(std::int64_t idx,
-                             chunk.ColumnIndex(spec.keys[k]));
-      key_cols[k] = &chunk.cols[static_cast<std::size_t>(idx)];
-    }
-    for (std::size_t a = 0; a < spec.aggs.size(); ++a) {
-      if (spec.aggs[a].kind == AggKind::kCount) {
-        agg_cols[a] = nullptr;  // COUNT needs no input column
-        continue;
-      }
-      RAVEN_ASSIGN_OR_RETURN(std::int64_t idx,
-                             chunk.ColumnIndex(spec.aggs[a].column));
-      agg_cols[a] = &chunk.cols[static_cast<std::size_t>(idx)];
-    }
-    const std::int64_t n = chunk.num_rows();
+    const std::int64_t n = chunk.num_selected();
     for (std::int64_t r = 0; r < n; ++r) {
-      const auto row = static_cast<std::size_t>(r);
+      const auto row = static_cast<std::size_t>(
+          chunk.has_sel() ? chunk.sel[static_cast<std::size_t>(r)] : r);
       for (std::size_t k = 0; k < key.size(); ++k) {
-        const double v = (*key_cols[k])[row];
+        const double v =
+            chunk.cols[static_cast<std::size_t>(key_idx_[k])][row];
         // Canonicalize NaN: all NaN payloads are one group (GroupKeyLess
         // treats them as equal), so they must also hash to one stripe.
         key[k] = std::isnan(v) ? std::numeric_limits<double>::quiet_NaN() : v;
       }
       auto& partials = groups.try_emplace(key, spec.aggs.size()).first->second;
       for (std::size_t a = 0; a < spec.aggs.size(); ++a) {
-        if (agg_cols[a] == nullptr) {
+        if (agg_idx_[a] < 0) {
           ++partials[a].count;  // no NULLs in this engine: COUNT counts rows
         } else {
-          partials[a].AccumulateValue((*agg_cols[a])[row]);
+          partials[a].AccumulateValue(
+              chunk.cols[static_cast<std::size_t>(agg_idx_[a])][row]);
         }
       }
     }
@@ -641,6 +949,7 @@ Result<bool> GroupByOperator::Next(DataChunk* out) {
   if (groups.empty()) return false;  // empty input: emit nothing (see above)
   out->order_source = 0;
   out->order_morsel = 0;
+  out->sel.clear();  // reused chunks must not keep a stale selection
   RenderGroups(spec_, groups, &out->names, &out->cols);
   return true;
 }
@@ -691,6 +1000,7 @@ Result<bool> SortOperator::Next(DataChunk* out) {
   while (true) {
     RAVEN_ASSIGN_OR_RETURN(bool more, child_->Next(&chunk));
     if (!more) break;
+    chunk.FlattenSel();
     if (first) {
       names = chunk.names;
       cols.assign(chunk.cols.size(), {});
@@ -711,6 +1021,7 @@ Result<bool> SortOperator::Next(DataChunk* out) {
   out->names = names;
   out->order_source = 0;
   out->order_morsel = 0;
+  out->sel.clear();  // reused chunks must not keep a stale selection
   out->cols.clear();
   out->cols.reserve(sorted.columns().size());
   for (auto& column : sorted.mutable_columns()) {
@@ -728,7 +1039,7 @@ Result<bool> InstrumentedOperator::Next(DataChunk* out) {
   slot_->wall_nanos.fetch_add(elapsed, std::memory_order_relaxed);
   if (result.ok() && result.value()) {
     slot_->chunks.fetch_add(1, std::memory_order_relaxed);
-    slot_->rows.fetch_add(out->num_rows(), std::memory_order_relaxed);
+    slot_->rows.fetch_add(out->num_selected(), std::memory_order_relaxed);
   }
   return result;
 }
@@ -747,6 +1058,7 @@ Result<Table> MaterializeAll(PhysicalOperator* root) {
   while (true) {
     RAVEN_ASSIGN_OR_RETURN(bool more, root->Next(&chunk));
     if (!more) break;
+    chunk.FlattenSel();
     if (first) {
       names = chunk.names;
       cols.assign(chunk.cols.size(), {});
@@ -769,6 +1081,8 @@ Status DrainOrdered(PhysicalOperator* root, std::vector<OrderedChunk>* out) {
     DataChunk chunk;
     RAVEN_ASSIGN_OR_RETURN(bool more, root->Next(&chunk));
     if (!more) return Status::OK();
+    // Merge/serialize paths downstream index rows positionally.
+    chunk.FlattenSel();
     OrderedChunk entry;
     entry.source = chunk.order_source;
     entry.morsel = chunk.order_morsel;

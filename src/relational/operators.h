@@ -17,6 +17,7 @@
 #include "common/thread_pool.h"
 #include "relational/chunk.h"
 #include "relational/expression.h"
+#include "relational/kernel.h"
 #include "relational/table.h"
 #include "tensor/tensor.h"
 
@@ -34,11 +35,20 @@ class PhysicalOperator {
  public:
   virtual ~PhysicalOperator() = default;
 
-  /// Prepares state; called once before Next.
+  /// Prepares state; called once before Next. Expression-bearing operators
+  /// compile their Expr trees into KernelPrograms here, so unknown or
+  /// ambiguous column references fail at Open time (named, with the
+  /// operator) instead of surfacing mid-scan from per-chunk lookups.
   virtual Status Open() { return Status::OK(); }
   /// Produces the next chunk; returns false at end of stream.
   virtual Result<bool> Next(DataChunk* out) = 0;
   virtual std::string Name() const = 0;
+  /// The positional column schema of the chunks this operator emits. Valid
+  /// after Open() (scans know it earlier); parents call it from their own
+  /// Open() to compile kernels and resolve ordinals once per query.
+  virtual Result<std::vector<std::string>> OutputColumns() const {
+    return Status::Internal("OutputColumns not implemented for " + Name());
+  }
 };
 
 using OperatorPtr = std::unique_ptr<PhysicalOperator>;
@@ -62,6 +72,7 @@ class ScanOperator final : public PhysicalOperator {
   Status Open() override;
   Result<bool> Next(DataChunk* out) override;
   std::string Name() const override { return "Scan"; }
+  Result<std::vector<std::string>> OutputColumns() const override;
 
  private:
   void EmitRows(std::int64_t begin, std::int64_t n, DataChunk* out) const;
@@ -74,22 +85,32 @@ class ScanOperator final : public PhysicalOperator {
   std::int64_t order_source_ = 0;
 };
 
-/// Filters rows by a boolean expression.
+/// Filters rows by a boolean expression. The predicate is compiled to a
+/// KernelProgram at Open; Next refines the chunk's selection vector in
+/// place — surviving rows are marked, not copied — and fully-filtered
+/// chunks are skipped (a produced chunk always has >= 1 selected row).
 class FilterOperator final : public PhysicalOperator {
  public:
   FilterOperator(OperatorPtr child, ExprPtr predicate)
       : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
-  Status Open() override { return child_->Open(); }
+  Status Open() override;
   Result<bool> Next(DataChunk* out) override;
   std::string Name() const override { return "Filter"; }
+  Result<std::vector<std::string>> OutputColumns() const override {
+    return child_->OutputColumns();
+  }
 
  private:
   OperatorPtr child_;
   ExprPtr predicate_;
+  KernelProgram program_;  // compiled at Open
 };
 
-/// Computes named expressions per row (projection).
+/// Computes named expressions per row (projection). Expressions compile to
+/// KernelPrograms at Open; results are gathered through the child chunk's
+/// selection vector, so projection doubles as the compaction point after a
+/// filter.
 class ProjectOperator final : public PhysicalOperator {
  public:
   ProjectOperator(OperatorPtr child, std::vector<ExprPtr> exprs,
@@ -97,14 +118,19 @@ class ProjectOperator final : public PhysicalOperator {
       : child_(std::move(child)), exprs_(std::move(exprs)),
         names_(std::move(names)) {}
 
-  Status Open() override { return child_->Open(); }
+  Status Open() override;
   Result<bool> Next(DataChunk* out) override;
   std::string Name() const override { return "Project"; }
+  Result<std::vector<std::string>> OutputColumns() const override {
+    return names_;
+  }
 
  private:
   OperatorPtr child_;
   std::vector<ExprPtr> exprs_;
   std::vector<std::string> names_;
+  std::vector<KernelProgram> programs_;  // compiled at Open
+  DataChunk scratch_;                    // child chunk, reused per Next
 };
 
 /// Shared build side of a morsel-parallel hash join. Workers drain the
@@ -178,13 +204,17 @@ class HashJoinOperator final : public PhysicalOperator {
   Status Open() override;
   Result<bool> Next(DataChunk* out) override;
   std::string Name() const override { return "HashJoin"; }
+  Result<std::vector<std::string>> OutputColumns() const override;
 
  private:
   OperatorPtr left_;
   OperatorPtr right_;  // nullptr in probe-only mode
   std::string left_key_;
   std::shared_ptr<JoinBuildState> build_;
+  // Resolved once at Open (after the build side is finalized):
+  std::int64_t left_key_idx_ = -1;
   std::vector<std::size_t> build_emit_cols_;  // columns not shadowing left
+  std::vector<std::string> output_columns_;
 };
 
 /// Concatenation of multiple children with identical schemas.
@@ -196,6 +226,10 @@ class UnionAllOperator final : public PhysicalOperator {
   Status Open() override;
   Result<bool> Next(DataChunk* out) override;
   std::string Name() const override { return "UnionAll"; }
+  Result<std::vector<std::string>> OutputColumns() const override {
+    if (children_.empty()) return Status::Internal("UNION ALL of nothing");
+    return children_.front()->OutputColumns();
+  }
 
  private:
   std::vector<OperatorPtr> children_;
@@ -211,6 +245,9 @@ class LimitOperator final : public PhysicalOperator {
   Status Open() override { return child_->Open(); }
   Result<bool> Next(DataChunk* out) override;
   std::string Name() const override { return "Limit"; }
+  Result<std::vector<std::string>> OutputColumns() const override {
+    return child_->OutputColumns();
+  }
 
  private:
   OperatorPtr child_;
@@ -239,15 +276,72 @@ class PredictOperator final : public PhysicalOperator {
       : child_(std::move(child)), input_columns_(std::move(input_columns)),
         output_name_(std::move(output_name)), scorer_(std::move(scorer)) {}
 
-  Status Open() override { return child_->Open(); }
+  Status Open() override;
   Result<bool> Next(DataChunk* out) override;
   std::string Name() const override { return "Predict"; }
+  Result<std::vector<std::string>> OutputColumns() const override;
 
  private:
   OperatorPtr child_;
   std::vector<std::string> input_columns_;
   std::string output_name_;
   BatchScorer scorer_;
+  std::vector<std::int64_t> input_idx_;  // ordinals resolved at Open
+};
+
+/// One stage of a FusedOperator: a filter predicate, a projection, or a
+/// PREDICT input-assembly + scoring step.
+struct FusedStage {
+  enum class Kind { kFilter, kProject, kPredict };
+  Kind kind = Kind::kFilter;
+  // kFilter
+  ExprPtr predicate;
+  // kProject
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+  // kPredict
+  std::vector<std::string> input_columns;
+  std::string output_name;
+  BatchScorer scorer;
+};
+
+/// Executes a filter -> project -> PREDICT-input-assembly chain as a single
+/// pass per chunk: filters refine the selection vector (no copy), the first
+/// projection gathers the surviving rows once, and PREDICT assembles its
+/// feature tensor straight through the selection — so a chunk crosses the
+/// fused chain touching each value once instead of once per operator. The
+/// runtime's codegen collapses adjacent fusable plan nodes into one of
+/// these; EXPLAIN surfaces the chain as a fusion row.
+class FusedOperator final : public PhysicalOperator {
+ public:
+  /// `stages` in execution order; `label` is the display name, e.g.
+  /// "Fused[Filter+Project]".
+  FusedOperator(OperatorPtr child, std::vector<FusedStage> stages,
+                std::string label)
+      : child_(std::move(child)), stages_(std::move(stages)),
+        label_(std::move(label)) {}
+
+  Status Open() override;
+  Result<bool> Next(DataChunk* out) override;
+  std::string Name() const override { return label_; }
+  Result<std::vector<std::string>> OutputColumns() const override {
+    return output_columns_;
+  }
+
+ private:
+  /// Per-stage compiled state (parallel to stages_).
+  struct CompiledStage {
+    KernelProgram predicate;                // kFilter
+    std::vector<KernelProgram> exprs;       // kProject
+    std::vector<std::int64_t> input_idx_;   // kPredict
+  };
+
+  OperatorPtr child_;
+  std::vector<FusedStage> stages_;
+  std::string label_;
+  std::vector<CompiledStage> compiled_;
+  std::vector<std::string> output_columns_;  // schema after the last stage
+  DataChunk work_;  // in-flight chunk, reused across Next calls
 };
 
 /// Scalar aggregates over the entire input (one output row).
@@ -259,9 +353,14 @@ struct AggregateSpec {
   std::string output_name;
 };
 
-/// One aggregate's running state; mergeable across workers.
+/// One aggregate's running state; mergeable across workers. SUM/AVG run on
+/// an ExactFloatSum expansion, so the finalized value is the correctly
+/// rounded exact sum — identical for every accumulation and merge order,
+/// which is what keeps float aggregates byte-identical across dop and
+/// distributed fragmentation (MIN/MAX/COUNT are order-independent by
+/// construction, with NaN-propagating MIN/MAX).
 struct AggPartial {
-  double sum = 0.0;
+  ExactFloatSum sum;
   double min = 0.0;
   double max = 0.0;
   std::int64_t count = 0;
@@ -272,19 +371,25 @@ struct AggPartial {
 
 /// Merge point for thread-local aggregate partials: every worker's
 /// AggregateOperator accumulates locally (no synchronization on the hot
-/// path) and merges once at end-of-input; FinalChunk then renders the
-/// single global output row. Thread-safe.
+/// path) and deposits its partials once at end-of-input, keyed by worker
+/// id; FinalChunk folds the deposits in ascending worker order — a fixed
+/// partition order, independent of worker arrival — and renders the single
+/// global output row. (With exact float sums the fold order no longer
+/// affects SUM/AVG bits, but the fixed order keeps the determinism argument
+/// local and covers every aggregate kind.) Thread-safe.
 class SharedAggregateState {
  public:
   explicit SharedAggregateState(std::vector<AggregateSpec> aggs);
 
   const std::vector<AggregateSpec>& aggs() const { return aggs_; }
-  void Merge(const std::vector<AggPartial>& partials);
+  /// Deposits `worker`'s thread-local partials (merging if the worker
+  /// deposits more than once).
+  void Merge(std::int64_t worker, const std::vector<AggPartial>& partials);
   DataChunk FinalChunk() const;
 
  private:
   std::vector<AggregateSpec> aggs_;
-  std::vector<AggPartial> totals_;
+  std::vector<std::vector<AggPartial>> worker_partials_;  // [worker][agg]
   mutable std::mutex mu_;
 };
 
@@ -296,20 +401,29 @@ class SharedAggregateState {
 class AggregateOperator final : public PhysicalOperator {
  public:
   AggregateOperator(OperatorPtr child, std::vector<AggregateSpec> aggs);
+  /// Sink mode; `worker_id` keys this worker's deposit in the shared state
+  /// so partials fold in fixed partition order.
   AggregateOperator(OperatorPtr child,
-                    std::shared_ptr<SharedAggregateState> shared);
+                    std::shared_ptr<SharedAggregateState> shared,
+                    std::int64_t worker_id = 0);
 
-  Status Open() override { return child_->Open(); }
+  Status Open() override;
   Result<bool> Next(DataChunk* out) override;
   std::string Name() const override { return "Aggregate"; }
+  Result<std::vector<std::string>> OutputColumns() const override;
 
  private:
+  const std::vector<AggregateSpec>& specs() const {
+    return shared_ != nullptr ? shared_->aggs() : aggs_;
+  }
   Result<std::vector<AggPartial>> DrainChild(
       const std::vector<AggregateSpec>& aggs);
 
   OperatorPtr child_;
   std::vector<AggregateSpec> aggs_;  // terminal mode
   std::shared_ptr<SharedAggregateState> shared_;  // sink mode
+  std::int64_t worker_id_ = 0;
+  std::vector<std::int64_t> agg_idx_;  // ordinals at Open; -1 for COUNT
   bool done_ = false;
 };
 
@@ -358,7 +472,10 @@ double FinalizeAggPartial(AggKind kind, const AggPartial& partial);
 /// synchronization on the hot path) and merges it once at end-of-input into
 /// this table, striped over independently-locked partitions so concurrent
 /// merges mostly don't contend. FinalTable renders the groups in ascending
-/// key order. Thread-safe.
+/// key order. Merge arrival order stays unordered by design: per-group
+/// partials use ExactFloatSum, whose result is independent of merge order,
+/// so the striped concurrent merge cannot perturb SUM/AVG bits (and
+/// MIN/MAX/COUNT are order-independent anyway). Thread-safe.
 class SharedGroupByState {
  public:
   explicit SharedGroupByState(GroupBySpec spec);
@@ -391,16 +508,22 @@ class GroupByOperator final : public PhysicalOperator {
   GroupByOperator(OperatorPtr child,
                   std::shared_ptr<SharedGroupByState> shared);
 
-  Status Open() override { return child_->Open(); }
+  Status Open() override;
   Result<bool> Next(DataChunk* out) override;
   std::string Name() const override { return "GroupBy"; }
+  Result<std::vector<std::string>> OutputColumns() const override;
 
  private:
+  const GroupBySpec& the_spec() const {
+    return shared_ != nullptr ? shared_->spec() : spec_;
+  }
   Result<GroupMap> DrainChild(const GroupBySpec& spec);
 
   OperatorPtr child_;
   GroupBySpec spec_;  // terminal mode
   std::shared_ptr<SharedGroupByState> shared_;  // sink mode
+  std::vector<std::int64_t> key_idx_;  // ordinals resolved at Open
+  std::vector<std::int64_t> agg_idx_;  // -1 for COUNT
   bool done_ = false;
 };
 
@@ -428,6 +551,9 @@ class SortOperator final : public PhysicalOperator {
   Status Open() override { return child_->Open(); }
   Result<bool> Next(DataChunk* out) override;
   std::string Name() const override { return "Sort"; }
+  Result<std::vector<std::string>> OutputColumns() const override {
+    return child_->OutputColumns();
+  }
 
  private:
   OperatorPtr child_;
@@ -445,7 +571,8 @@ struct OperatorStatsSlot {
 
 /// Transparent wrapper recording rows/chunks/wall-time of the wrapped
 /// operator's Next into an OperatorStatsSlot via atomics — no external
-/// mutex, safe across parallel workers.
+/// mutex, safe across parallel workers. Rows are counted by selection
+/// (num_selected), so a filter's row count stays "rows that survived".
 class InstrumentedOperator final : public PhysicalOperator {
  public:
   InstrumentedOperator(OperatorPtr child, OperatorStatsSlot* slot)
@@ -454,6 +581,9 @@ class InstrumentedOperator final : public PhysicalOperator {
   Status Open() override { return child_->Open(); }
   Result<bool> Next(DataChunk* out) override;
   std::string Name() const override { return child_->Name(); }
+  Result<std::vector<std::string>> OutputColumns() const override {
+    return child_->OutputColumns();
+  }
 
  private:
   OperatorPtr child_;

@@ -193,6 +193,94 @@ OperatorPtr MakeScan(const relational::Table* table, const IrNode& node,
   return std::make_unique<relational::ScanOperator>(table);
 }
 
+/// Maximal run of fusable single-child operators headed at `node`, in plan
+/// (top-down) order. The caller has already established `node` itself is not
+/// materialized; interior nodes re-check so a node another pipeline executed
+/// is never absorbed (it must enter as a materialized scan instead — today
+/// only breakers materialize, so the guard is belt-and-suspenders).
+std::vector<const IrNode*> CollectFusedChain(const IrNode& node,
+                                             const RuntimeContext& ctx) {
+  std::vector<const IrNode*> chain;
+  const IrNode* cur = &node;
+  while (ir::IsFusablePipelineKind(cur->kind) &&
+         (chain.empty() || ctx.parallel == nullptr ||
+          ctx.parallel->materialized.count(cur) == 0)) {
+    chain.push_back(cur);
+    cur = cur->children[0].get();
+  }
+  return chain;
+}
+
+/// Display label for a fused chain, components in execution order (the
+/// chain is given top-down, so the last element runs first):
+/// "Fused[Filter+Predict(los)+Project]".
+std::string FusedChainLabel(const std::vector<const IrNode*>& chain) {
+  std::string label = "Fused[";
+  for (std::size_t i = chain.size(); i-- > 0;) {
+    const IrNode& n = *chain[i];
+    switch (n.kind) {
+      case IrOpKind::kFilter:
+        label += "Filter";
+        break;
+      case IrOpKind::kProject:
+        label += "Project";
+        break;
+      default:
+        label += "Predict(" + n.model_name + ")";
+        break;
+    }
+    if (i > 0) label += "+";
+  }
+  label += "]";
+  return label;
+}
+
+/// Lowers a fused chain to one FusedOperator over the subtree below it:
+/// stages in execution order, each filter marking rows in the selection
+/// vector and each projection/PREDICT gathering through it, so the whole
+/// chain is a single pass per chunk.
+Result<OperatorPtr> BuildFusedChain(const IrNode& head,
+                                    const std::vector<const IrNode*>& chain,
+                                    const RuntimeContext& ctx) {
+  RAVEN_ASSIGN_OR_RETURN(
+      auto child, BuildPhysicalPlan(*chain.back()->children[0], ctx));
+  std::vector<relational::FusedStage> stages;
+  stages.reserve(chain.size());
+  for (std::size_t i = chain.size(); i-- > 0;) {
+    const IrNode& n = *chain[i];
+    relational::FusedStage stage;
+    switch (n.kind) {
+      case IrOpKind::kFilter:
+        stage.kind = relational::FusedStage::Kind::kFilter;
+        stage.predicate = n.predicate->Clone();
+        break;
+      case IrOpKind::kProject:
+        stage.kind = relational::FusedStage::Kind::kProject;
+        stage.exprs.reserve(n.proj_exprs.size());
+        for (const auto& e : n.proj_exprs) stage.exprs.push_back(e->Clone());
+        stage.names = n.proj_names;
+        break;
+      default: {
+        stage.kind = relational::FusedStage::Kind::kPredict;
+        stage.input_columns = n.model_input_columns;
+        stage.output_name = n.output_column;
+        RAVEN_ASSIGN_OR_RETURN(stage.scorer, ScorerFor(n, ctx));
+        break;
+      }
+    }
+    stages.push_back(std::move(stage));
+  }
+  const std::string label = FusedChainLabel(chain);
+  if (ctx.stats != nullptr && ctx.worker_id == 0) {
+    // Worker 0 only: the N worker clones of a parallel pipeline share one
+    // plan shape, which is one fused chain, not N.
+    ctx.stats->fused_chains.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Instrument(std::make_unique<relational::FusedOperator>(
+                        std::move(child), std::move(stages), label),
+                    head, label, ctx);
+}
+
 relational::AggKind ToAggKind(ir::AggFunc func) {
   switch (func) {
     case ir::AggFunc::kCount:
@@ -254,6 +342,13 @@ Result<OperatorPtr> BuildPhysicalPlan(const IrNode& node,
                         ctx);
     }
   }
+  // Fusion: a run of >= 2 consecutive filter/project/PREDICT nodes lowers
+  // to one FusedOperator doing a single pass per chunk instead of one
+  // operator boundary (and one chunk copy) per node.
+  if (ir::IsFusablePipelineKind(node.kind)) {
+    std::vector<const IrNode*> chain = CollectFusedChain(node, ctx);
+    if (chain.size() >= 2) return BuildFusedChain(node, chain, ctx);
+  }
   switch (node.kind) {
     case IrOpKind::kTableScan: {
       RAVEN_ASSIGN_OR_RETURN(const relational::Table* table,
@@ -285,9 +380,11 @@ Result<OperatorPtr> BuildPhysicalPlan(const IrNode& node,
       if (ctx.parallel != nullptr) {
         auto it = ctx.parallel->agg_sinks.find(&node);
         if (it != ctx.parallel->agg_sinks.end()) {
-          // Partial sink: emits nothing; the executor renders the final row.
+          // Partial sink: emits nothing; the executor renders the final
+          // row. The worker id keys this worker's partial deposit so the
+          // final merge folds workers in a fixed ascending order.
           return Instrument(std::make_unique<relational::AggregateOperator>(
-                                std::move(child), it->second),
+                                std::move(child), it->second, ctx.worker_id),
                             node, "Aggregate", ctx);
         }
       }
@@ -414,6 +511,7 @@ void StatsCollector::Finalize(ExecutionStats* out) const {
   out->frames_sent = frames_sent.load(std::memory_order_relaxed);
   out->bytes_shipped = bytes_shipped.load(std::memory_order_relaxed);
   out->worker_restarts = worker_restarts.load(std::memory_order_relaxed);
+  out->fused_chains = fused_chains.load(std::memory_order_relaxed);
   out->operators.clear();
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, slot] : slots_) {
@@ -549,6 +647,36 @@ std::string GenerateSql(const IrNode& node) {
   std::ostringstream os;
   os << "SELECT * FROM ";
   GenerateSqlNode(node, &os);
+  return os.str();
+}
+
+namespace {
+
+/// Kind-only chain walk mirroring BuildPhysicalPlan's detection (EXPLAIN
+/// runs before execution, so there is no materialization state to consult —
+/// and only non-fusable breakers ever materialize anyway).
+void DescribeFusedChainsNode(const IrNode& node, std::ostringstream* os) {
+  if (ir::IsFusablePipelineKind(node.kind)) {
+    std::vector<const IrNode*> chain;
+    const IrNode* cur = &node;
+    while (ir::IsFusablePipelineKind(cur->kind)) {
+      chain.push_back(cur);
+      cur = cur->children[0].get();
+    }
+    if (chain.size() >= 2) *os << FusedChainLabel(chain) << "\n";
+    DescribeFusedChainsNode(*cur, os);
+    return;
+  }
+  for (const auto& child : node.children) {
+    DescribeFusedChainsNode(*child, os);
+  }
+}
+
+}  // namespace
+
+std::string DescribeFusedChains(const IrNode& node) {
+  std::ostringstream os;
+  DescribeFusedChainsNode(node, &os);
   return os.str();
 }
 

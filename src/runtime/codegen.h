@@ -99,6 +99,9 @@ struct ExecutionStats {
   /// controller before an execution slot freed up (0 when admitted
   /// immediately or run outside the server).
   double queue_wait_micros = 0.0;
+  /// Filter/project/PREDICT chains the code generator collapsed into single
+  /// fused operators (counted once per chain, not per worker clone).
+  std::int64_t fused_chains = 0;
   /// Per-operator counters in plan-build order.
   std::vector<OperatorStats> operators;
 };
@@ -127,6 +130,9 @@ class StatsCollector {
   std::atomic<std::int64_t> frames_sent{0};
   std::atomic<std::int64_t> bytes_shipped{0};
   std::atomic<std::int64_t> worker_restarts{0};
+  /// Bumped by BuildPhysicalPlan once per fused chain (worker 0 only, so N
+  /// worker clones of the same plan don't count a chain N times).
+  std::atomic<std::int64_t> fused_chains{0};
 
  private:
   std::atomic<std::int64_t> rows_out_{0};
@@ -208,6 +214,13 @@ Result<relational::OperatorPtr> BuildPhysicalPlan(const ir::IrNode& node,
 /// Renders the optimized IR back to SQL text (the paper's code generator
 /// emits a rewritten SQL query; this is that artifact, used by EXPLAIN).
 std::string GenerateSql(const ir::IrNode& node);
+
+/// Describes the fused filter/project/PREDICT chains BuildPhysicalPlan will
+/// collapse for this plan, one chain per line in execution order (e.g.
+/// "Fused[Filter+Predict(los)+Project]"). Empty string when the plan has no
+/// chain of length >= 2. Used by EXPLAIN so the printed plan matches what
+/// the runtime actually executes.
+std::string DescribeFusedChains(const ir::IrNode& node);
 
 }  // namespace raven::runtime
 

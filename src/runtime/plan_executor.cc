@@ -67,7 +67,14 @@ class MorselExecutor {
       }
     }
     auto it = state_.materialized.find(&root);
-    if (it != state_.materialized.end()) return *it->second;  // root = breaker
+    if (it != state_.materialized.end()) {  // root = breaker
+      // Materialized intermediates keep their schema even at zero rows (so
+      // parent operators can resolve ordinals at Open time); as a query
+      // result, zero rows renders column-less, exactly like a sequential
+      // run whose root operator emitted no chunks.
+      if (it->second->num_rows() == 0) return Table();
+      return *it->second;
+    }
     return RunPipeline(root, /*has_sink=*/false);
   }
 
@@ -303,6 +310,21 @@ class DistributedExecutor {
     for (std::size_t i = 0; i < fragments.size(); ++i) {
       RAVEN_ASSIGN_OR_RETURN(Table result, ExecuteFragment(*fragments[i]));
       if (fragments[i] == root.get()) return result;  // whole plan shipped
+      if (result.num_columns() == 0) {
+        // Every row died inside the fragment, so the workers sent back
+        // column-less tables. The remainder's operators still resolve
+        // their column ordinals against this table at Open time: restore
+        // the fragment's schema (zero rows) from an in-process build of
+        // its operator tree.
+        RAVEN_ASSIGN_OR_RETURN(auto tree,
+                               BuildPhysicalPlan(*fragments[i], base_ctx_));
+        RAVEN_RETURN_IF_ERROR(tree->Open());
+        RAVEN_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                               tree->OutputColumns());
+        for (const auto& col : names) {
+          RAVEN_RETURN_IF_ERROR(result.AddNumericColumn(col, {}));
+        }
+      }
       const std::string name = "__raven_fragment_" + std::to_string(i);
       RAVEN_RETURN_IF_ERROR(overlay.RegisterTable(name, std::move(result)));
       splice_names[fragments[i]] = name;

@@ -1,0 +1,332 @@
+#include "relational/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "relational/chunk.h"
+#include "relational/expression.h"
+
+namespace raven::relational {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void ExpectBitEqual(const std::vector<double>& expected,
+                    const std::vector<double>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_PRED2(BitEqual, expected[i], actual[i]) << "row " << i;
+  }
+}
+
+/// A chunk whose values exercise every IEEE corner the kernels can hit:
+/// signed zeros, infinities, NaN, denormal-adjacent magnitudes, exact ties.
+DataChunk AdversarialChunk() {
+  DataChunk chunk;
+  chunk.names = {"a", "b", "c"};
+  chunk.cols = {
+      {1.0, -1.0, 0.0, -0.0, kInf, -kInf, kNan, 1e308, 1e-308, 2.5, 7.0,
+       -3.25},
+      {2.0, -1.0, 0.5, 0.0, 1.0, kInf, 2.0, -1e308, 1e-308, 2.5, 0.0, 3.0},
+      {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0},
+  };
+  return chunk;
+}
+
+/// Compiles `expr` and checks Run against the tree-walking interpreter,
+/// bit-for-bit, on the adversarial chunk.
+void ExpectParity(const Expr& expr) {
+  DataChunk chunk = AdversarialChunk();
+  std::vector<double> interpreted;
+  ASSERT_TRUE(expr.Evaluate(chunk, &interpreted).ok()) << expr.ToString();
+  auto program = KernelProgram::Compile(expr, chunk.names, "test");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  std::vector<double> compiled;
+  ASSERT_TRUE(program->RunInto(chunk, &compiled).ok());
+  ExpectBitEqual(interpreted, compiled);
+}
+
+TEST(KernelProgramTest, CompareParity) {
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    ExpectParity(*Cmp(op, Col("a"), Col("b")));
+    ExpectParity(*Cmp(op, Col("a"), Lit(0.5)));
+    ExpectParity(*Cmp(op, Lit(0.5), Col("b")));
+  }
+}
+
+TEST(KernelProgramTest, ArithParity) {
+  for (ArithOp op :
+       {ArithOp::kAdd, ArithOp::kSub, ArithOp::kMul, ArithOp::kDiv}) {
+    ExpectParity(*std::make_unique<ArithExpr>(op, Col("a"), Col("b")));
+    ExpectParity(*std::make_unique<ArithExpr>(op, Col("a"), Lit(2.0)));
+    ExpectParity(*std::make_unique<ArithExpr>(op, Lit(2.0), Col("b")));
+  }
+}
+
+TEST(KernelProgramTest, DivisionByZeroMatchesIeee) {
+  // x / 0 must flow through as +/-inf (or NaN for 0/0), identically in
+  // both engines — this feeds the NaN-aware ORDER BY / GROUP BY paths.
+  DataChunk chunk;
+  chunk.names = {"x"};
+  chunk.cols = {{1.0, -1.0, 0.0, -0.0, kNan}};
+  auto expr = std::make_unique<ArithExpr>(ArithOp::kDiv, Col("x"), Lit(0.0));
+  auto program = KernelProgram::Compile(*expr, chunk.names, "test");
+  ASSERT_TRUE(program.ok());
+  std::vector<double> out;
+  ASSERT_TRUE(program->RunInto(chunk, &out).ok());
+  EXPECT_EQ(out[0], kInf);
+  EXPECT_EQ(out[1], -kInf);
+  EXPECT_TRUE(std::isnan(out[2]));  // 0/0
+  EXPECT_TRUE(std::isnan(out[3]));
+  EXPECT_TRUE(std::isnan(out[4]));
+}
+
+TEST(KernelProgramTest, LogicalCaseInParity) {
+  ExpectParity(*And(Gt(Col("a"), Lit(0.0)), Lt(Col("b"), Col("c"))));
+  ExpectParity(*Or(Eq(Col("a"), Col("b")), Not(Gt(Col("c"), Lit(5.0)))));
+  ExpectParity(*Not(Not(Gt(Col("a"), Col("b")))));
+
+  std::vector<CaseWhenExpr::Arm> arms;
+  arms.push_back({Gt(Col("a"), Lit(0.0)), Lit(1.0)});
+  arms.push_back({Gt(Col("b"), Lit(0.0)),
+                  std::make_unique<ArithExpr>(ArithOp::kMul, Col("c"),
+                                              Lit(10.0))});
+  ExpectParity(*std::make_unique<CaseWhenExpr>(std::move(arms), Lit(-1.0)));
+
+  ExpectParity(*std::make_unique<InExpr>(
+      Col("c"), std::vector<double>{0.0, 5.0, 11.0}));
+  ExpectParity(*std::make_unique<InExpr>(Col("a"), std::vector<double>{}));
+}
+
+TEST(KernelProgramTest, CaseFirstMatchWins) {
+  // Overlapping arms: row values satisfying both must take the first.
+  DataChunk chunk;
+  chunk.names = {"x"};
+  chunk.cols = {{5.0, 15.0, 25.0}};
+  std::vector<CaseWhenExpr::Arm> arms;
+  arms.push_back({Gt(Col("x"), Lit(10.0)), Lit(100.0)});
+  arms.push_back({Gt(Col("x"), Lit(20.0)), Lit(200.0)});
+  CaseWhenExpr expr(std::move(arms), Lit(0.0));
+  auto program = KernelProgram::Compile(expr, chunk.names, "test");
+  ASSERT_TRUE(program.ok());
+  std::vector<double> out;
+  ASSERT_TRUE(program->RunInto(chunk, &out).ok());
+  EXPECT_EQ(out, (std::vector<double>{0.0, 100.0, 100.0}));
+}
+
+TEST(KernelProgramTest, RandomizedParityAgainstInterpreter) {
+  // Depth-bounded random expression trees over the adversarial chunk; every
+  // tree must evaluate bit-identically in both engines.
+  std::mt19937_64 rng(20260807);
+  std::uniform_real_distribution<double> lit(-10.0, 10.0);
+  const std::vector<std::string> cols = {"a", "b", "c"};
+  std::function<ExprPtr(int)> gen = [&](int depth) -> ExprPtr {
+    if (depth <= 0 || rng() % 4 == 0) {
+      if (rng() % 2 == 0) return Col(cols[rng() % cols.size()]);
+      return Lit(lit(rng));
+    }
+    switch (rng() % 6) {
+      case 0:
+        return Cmp(static_cast<CompareOp>(rng() % 6), gen(depth - 1),
+                   gen(depth - 1));
+      case 1:
+        return std::make_unique<ArithExpr>(static_cast<ArithOp>(rng() % 4),
+                                           gen(depth - 1), gen(depth - 1));
+      case 2:
+        return And(gen(depth - 1), gen(depth - 1));
+      case 3:
+        return Or(gen(depth - 1), gen(depth - 1));
+      case 4:
+        return Not(gen(depth - 1));
+      default: {
+        std::vector<CaseWhenExpr::Arm> arms;
+        const std::size_t n = 1 + rng() % 3;
+        for (std::size_t i = 0; i < n; ++i) {
+          arms.push_back({gen(depth - 1), gen(depth - 1)});
+        }
+        return std::make_unique<CaseWhenExpr>(std::move(arms),
+                                              gen(depth - 1));
+      }
+    }
+  };
+  for (int i = 0; i < 200; ++i) {
+    ExprPtr expr = gen(4);
+    ASSERT_NO_FATAL_FAILURE(ExpectParity(*expr)) << expr->ToString();
+  }
+}
+
+TEST(KernelProgramTest, ConstantSubtreesFoldToImmediates) {
+  // An all-literal tree compiles to zero instructions and splats.
+  auto expr = std::make_unique<ArithExpr>(
+      ArithOp::kAdd, Lit(2.0),
+      std::make_unique<ArithExpr>(ArithOp::kMul, Lit(3.0), Lit(4.0)));
+  auto program = KernelProgram::Compile(*expr, {"x"}, "test");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->num_instructions(), 0u);
+  DataChunk chunk;
+  chunk.names = {"x"};
+  chunk.cols = {{1.0, 2.0, 3.0}};
+  std::vector<double> out;
+  ASSERT_TRUE(program->RunInto(chunk, &out).ok());
+  EXPECT_EQ(out, (std::vector<double>{14.0, 14.0, 14.0}));
+
+  // A constant subtree inside a live tree folds too: one compare, not two.
+  auto mixed = Gt(Col("x"), std::make_unique<ArithExpr>(ArithOp::kAdd,
+                                                        Lit(1.0), Lit(1.0)));
+  auto mixed_program = KernelProgram::Compile(*mixed, {"x"}, "test");
+  ASSERT_TRUE(mixed_program.ok());
+  EXPECT_EQ(mixed_program->num_instructions(), 1u);
+}
+
+TEST(KernelProgramTest, UnknownColumnFailsAtCompileTime) {
+  auto expr = Gt(Col("nope"), Lit(1.0));
+  auto program = KernelProgram::Compile(*expr, {"a", "b"}, "Filter predicate");
+  ASSERT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(program.status().ToString().find("'nope'"), std::string::npos);
+  EXPECT_NE(program.status().ToString().find("Filter predicate"),
+            std::string::npos);
+}
+
+TEST(KernelProgramTest, AmbiguousColumnFailsAtCompileTime) {
+  auto expr = Gt(Col("dup"), Lit(1.0));
+  auto program =
+      KernelProgram::Compile(*expr, {"dup", "x", "dup"}, "Filter predicate");
+  ASSERT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(program.status().ToString().find("ambiguous"), std::string::npos);
+  EXPECT_NE(program.status().ToString().find("'dup'"), std::string::npos);
+}
+
+TEST(KernelProgramTest, UnboundParamFailsAtCompileTime) {
+  auto expr = Gt(Col("a"), std::make_unique<ParamExpr>(0));
+  auto program = KernelProgram::Compile(*expr, {"a"}, "Filter predicate");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().ToString().find("?1"), std::string::npos);
+}
+
+TEST(ResolveOrdinalTest, ErrorsNameColumnAndOperator) {
+  auto ok = KernelProgram::ResolveOrdinal({"x", "y"}, "y", "HashJoin probe");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 1);
+  auto missing =
+      KernelProgram::ResolveOrdinal({"x", "y"}, "z", "HashJoin probe key");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(missing.status().ToString().find("'z'"), std::string::npos);
+  EXPECT_NE(missing.status().ToString().find("HashJoin probe key"),
+            std::string::npos);
+  auto dup = KernelProgram::ResolveOrdinal({"k", "k"}, "k", "GROUP BY key");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup.status().ToString().find("2 matches"), std::string::npos);
+}
+
+TEST(GatherSelectedTest, PlainCopyAndGather) {
+  std::vector<double> out;
+  GatherSelected({1, 2, 3}, {}, &out);
+  EXPECT_EQ(out, (std::vector<double>{1, 2, 3}));
+  GatherSelected({1, 2, 3, 4}, {0, 2}, &out);
+  EXPECT_EQ(out, (std::vector<double>{1, 3}));
+  GatherSelected({1, 2}, std::vector<std::int32_t>{}, &out);
+  EXPECT_EQ(out, (std::vector<double>{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// ExactFloatSum
+// ---------------------------------------------------------------------------
+
+double SumOf(const std::vector<double>& values) {
+  ExactFloatSum sum;
+  for (double v : values) sum.Add(v);
+  return sum.Round();
+}
+
+TEST(ExactFloatSumTest, CancellingMagnitudesAreExact) {
+  // Naive and Kahan summation both lose the 1.0 here in some orders; the
+  // expansion keeps it regardless of order.
+  EXPECT_EQ(SumOf({1e16, 1.0, -1e16}), 1.0);
+  EXPECT_EQ(SumOf({1.0, 1e16, -1e16}), 1.0);
+  EXPECT_EQ(SumOf({-1e16, 1e16, 1.0}), 1.0);
+  EXPECT_EQ(SumOf({1e100, 1.0, -1e100, 1e50, -1e50}), 1.0);
+}
+
+TEST(ExactFloatSumTest, OrderIndependentBitIdentical) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> mag(-1e15, 1e15);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    double v = mag(rng);
+    // Mix in wildly different exponents.
+    if (i % 7 == 0) v *= 1e-200;
+    if (i % 11 == 0) v *= 1e200;
+    values.push_back(v);
+  }
+  const double reference = SumOf(values);
+  for (int shuffle = 0; shuffle < 10; ++shuffle) {
+    std::shuffle(values.begin(), values.end(), rng);
+    EXPECT_PRED2(BitEqual, reference, SumOf(values)) << "shuffle " << shuffle;
+  }
+}
+
+TEST(ExactFloatSumTest, MergeOrderIrrelevant) {
+  // Random splits into partials merged in random order reproduce the
+  // straight-line sum bit-for-bit — the property the parallel aggregate
+  // sinks and distributed fragments rely on.
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> mag(-1e10, 1e10);
+  std::vector<double> values;
+  for (int i = 0; i < 300; ++i) values.push_back(mag(rng));
+  const double reference = SumOf(values);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t parts = 1 + rng() % 8;
+    std::vector<ExactFloatSum> partials(parts);
+    for (double v : values) partials[rng() % parts].Add(v);
+    std::shuffle(partials.begin(), partials.end(),
+                 rng);  // merge in arbitrary order
+    ExactFloatSum total;
+    for (const auto& p : partials) total.MergeFrom(p);
+    EXPECT_PRED2(BitEqual, reference, total.Round()) << "trial " << trial;
+  }
+}
+
+TEST(ExactFloatSumTest, CorrectlyRoundedHalfwayCases) {
+  // 1.0 + 2^-53 rounds to 1.0 (ties-to-even on the halfway bit), but
+  // adding another sliver must tip it to the next representable double.
+  const double ulp_half = std::ldexp(1.0, -53);
+  EXPECT_EQ(SumOf({1.0, ulp_half}), 1.0);
+  EXPECT_EQ(SumOf({1.0, ulp_half, std::ldexp(1.0, -100)}),
+            std::nextafter(1.0, 2.0));
+  EXPECT_EQ(SumOf({1.0, ulp_half, -std::ldexp(1.0, -100)}), 1.0);
+}
+
+TEST(ExactFloatSumTest, NonFiniteInputs) {
+  EXPECT_EQ(SumOf({}), 0.0);
+  EXPECT_FALSE(std::signbit(SumOf({})));
+  EXPECT_TRUE(std::signbit(SumOf({-0.0, -0.0})));
+  EXPECT_EQ(SumOf({1.0, kInf}), kInf);
+  EXPECT_EQ(SumOf({-kInf, -1.0}), -kInf);
+  EXPECT_TRUE(std::isnan(SumOf({kInf, -kInf})));
+  EXPECT_TRUE(std::isnan(SumOf({1.0, kNan, 2.0})));
+  // Finite inputs whose exact sum overflows saturate deterministically.
+  EXPECT_EQ(SumOf({1e308, 1e308}), kInf);
+  EXPECT_EQ(SumOf({-1e308, -1e308, 5.0}), -kInf);
+}
+
+}  // namespace
+}  // namespace raven::relational

@@ -71,13 +71,13 @@ struct SourceSpec {
   std::vector<std::string> numeric_cols;  // aggregation/predicate targets
 };
 
-/// Approximate scalar equality: SUM/AVG partials merge in a different order
-/// under parallel execution, so float aggregates may differ in the last
-/// bits even though every input value is identical.
-bool ApproxEqual(double a, double b) {
-  const double tolerance =
-      1e-9 * std::max({1.0, std::fabs(a), std::fabs(b)});
-  return std::fabs(a - b) <= tolerance;
+/// Exact scalar equality (with NaN == NaN). Aggregates accumulate through
+/// the order-independent ExactFloatSum, so SUM/AVG are bit-identical at
+/// every dop and under distributed execution — no tolerance is needed, and
+/// reintroducing one would mask exactly the regressions this harness is
+/// meant to catch.
+bool ExactEqual(double a, double b) {
+  return a == b || (std::isnan(a) && std::isnan(b));
 }
 
 std::vector<std::vector<double>> Rows(const relational::Table& t) {
@@ -101,7 +101,7 @@ void ExpectRowsMatch(const std::vector<std::vector<double>>& expected,
   for (std::size_t r = 0; r < expected.size(); ++r) {
     ASSERT_EQ(expected[r].size(), actual[r].size());
     for (std::size_t c = 0; c < expected[r].size(); ++c) {
-      ASSERT_PRED2(ApproxEqual, expected[r][c], actual[r][c])
+      ASSERT_PRED2(ExactEqual, expected[r][c], actual[r][c])
           << "row " << r << " col " << c;
     }
   }
@@ -620,6 +620,42 @@ TEST_F(QueryFuzzTest, TruncatedQueriesFailWithDiagnosableErrors) {
           << plan.status().ToString();
     }
   }
+}
+
+// A WHERE clause no row satisfies (the logreg score p is in [0, 1]) leaves
+// the GROUP BY with zero groups, so the HAVING filter above it opens over
+// an empty intermediate. Open-time kernel compilation still needs that
+// intermediate to carry the grouped schema — the old per-chunk interpreter
+// never resolved columns it never saw, which masked the empty-schema bug
+// this test pins down. All execution modes must succeed and agree.
+TEST_F(QueryFuzzTest, HavingOverFullyFilteredGroupByResolvesAtOpen) {
+  frontend::StaticAnalyzer analyzer(&catalog_);
+  optimizer::CrossOptimizer optimizer(&catalog_,
+                                      optimizer::OptimizerOptions());
+  const std::string sql =
+      "SELECT delayed, day_of_week FROM PREDICT(MODEL='delay', "
+      "DATA=flights) WITH(p float) WHERE p > 7.5184 AND p <> 5.9465 "
+      "GROUP BY delayed, day_of_week HAVING COUNT(*) > 6";
+  auto plan = analyzer.Analyze(sql);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(optimizer.Optimize(&plan.value()).ok());
+  auto seq = Run(*plan, 1);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  EXPECT_EQ(seq->num_rows(), 0);
+  for (std::int64_t dop : {2, 8}) {
+    auto par = Run(*plan, dop);
+    ASSERT_TRUE(par.ok()) << "dop " << dop << ": "
+                          << par.status().ToString();
+    ASSERT_NO_FATAL_FAILURE(
+        ExpectTablesMatch(*seq, *par, /*ordered=*/false))
+        << "dop " << dop;
+  }
+  PlanExecutor executor(&catalog_, &cache_);
+  ExecutionStats stats;
+  auto dist = RunDistributed(&executor, *plan, 2, &stats);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  ASSERT_NO_FATAL_FAILURE(
+      ExpectTablesMatch(*seq, *dist, /*ordered=*/false));
 }
 
 }  // namespace

@@ -232,6 +232,57 @@ TEST(OperatorTest, PredictScorerRowMismatchIsError) {
   EXPECT_FALSE(MaterializeAll(&predict).ok());
 }
 
+TEST(OperatorTest, UnknownColumnFailsAtOpenWithColumnAndOperator) {
+  // Kernel compilation happens once at Open, so a bad reference must fail
+  // there — before any chunk flows — naming both the column and the
+  // operator that tried to resolve it.
+  Table t = MakeTable(10);
+  FilterOperator filter(std::make_unique<ScanOperator>(&t),
+                        Gt(Col("nope"), Lit(1)));
+  Status open = filter.Open();
+  ASSERT_FALSE(open.ok());
+  EXPECT_EQ(open.code(), StatusCode::kNotFound);
+  EXPECT_NE(open.ToString().find("'nope'"), std::string::npos)
+      << open.ToString();
+  EXPECT_NE(open.ToString().find("Filter predicate"), std::string::npos)
+      << open.ToString();
+
+  std::vector<ExprPtr> exprs;
+  exprs.push_back(Col("missing"));
+  ProjectOperator project(std::make_unique<ScanOperator>(&t),
+                          std::move(exprs),
+                          std::vector<std::string>{"m"});
+  open = project.Open();
+  ASSERT_FALSE(open.ok());
+  EXPECT_EQ(open.code(), StatusCode::kNotFound);
+  EXPECT_NE(open.ToString().find("'missing'"), std::string::npos)
+      << open.ToString();
+  EXPECT_NE(open.ToString().find("Project expression 'm'"),
+            std::string::npos)
+      << open.ToString();
+}
+
+TEST(OperatorTest, AmbiguousColumnFailsAtOpen) {
+  // PREDICT whose output name collides with an input column makes any
+  // downstream reference to that name ambiguous — diagnosed at Open, not
+  // silently resolved to one of the two.
+  Table t = MakeTable(10);
+  auto scorer = [](const Tensor& input) -> Result<std::vector<double>> {
+    return std::vector<double>(static_cast<std::size_t>(input.dim(0)), 1.0);
+  };
+  auto predict = std::make_unique<PredictOperator>(
+      std::make_unique<ScanOperator>(&t), std::vector<std::string>{"id"},
+      /*output_name=*/"v", scorer);  // collides with the existing v
+  FilterOperator filter(std::move(predict), Gt(Col("v"), Lit(0)));
+  Status open = filter.Open();
+  ASSERT_FALSE(open.ok());
+  EXPECT_EQ(open.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(open.ToString().find("ambiguous"), std::string::npos)
+      << open.ToString();
+  EXPECT_NE(open.ToString().find("'v'"), std::string::npos)
+      << open.ToString();
+}
+
 TEST(OperatorTest, Aggregate) {
   Table t = MakeTable(10);
   AggregateOperator agg(

@@ -11,6 +11,13 @@
 #   tools/bench.sh            # full figure sweep (slow; minutes)
 #   tools/bench.sh --smoke    # minimal benchtime + large sizes filtered
 #                             # out; wired into `tools/ci.sh all`
+#   tools/bench.sh --compare BASELINE.json
+#                             # after the run, print per-benchmark
+#                             # real_time deltas vs the baseline document
+#                             # (tools/bench_compare.py); combinable with
+#                             # --smoke and --fail-over PCT (exit non-zero
+#                             # when a scan/filter/predict microbenchmark
+#                             # regressed by more than PCT percent)
 #
 # The output document maps each bench binary name to Google Benchmark's
 # native JSON (context + benchmarks array), so downstream tooling can diff
@@ -24,10 +31,24 @@ BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc)}"
 
 SMOKE=0
-if [[ "${1:-}" == "--smoke" ]]; then
-  SMOKE=1
-elif [[ -n "${1:-}" ]]; then
-  echo "usage: tools/bench.sh [--smoke]" >&2
+COMPARE=""
+FAIL_OVER=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke)
+      SMOKE=1; shift ;;
+    --compare)
+      COMPARE="${2:?--compare needs a baseline JSON path}"; shift 2 ;;
+    --fail-over)
+      FAIL_OVER="${2:?--fail-over needs a percentage}"; shift 2 ;;
+    *)
+      echo "usage: tools/bench.sh [--smoke] [--compare BASELINE.json]" \
+           "[--fail-over PCT]" >&2
+      exit 2 ;;
+  esac
+done
+if [[ -n "${COMPARE}" && ! -f "${COMPARE}" ]]; then
+  echo "bench.sh: baseline '${COMPARE}' not found" >&2
   exit 2
 fi
 
@@ -80,3 +101,11 @@ if [[ ! -s "${OUT}" ]]; then
   exit 1
 fi
 echo "bench.sh: wrote ${OUT}"
+
+if [[ -n "${COMPARE}" ]]; then
+  COMPARE_ARGS=("${COMPARE}" "${OUT}")
+  if [[ -n "${FAIL_OVER}" ]]; then
+    COMPARE_ARGS+=(--fail-over "${FAIL_OVER}")
+  fi
+  python3 tools/bench_compare.py "${COMPARE_ARGS[@]}"
+fi

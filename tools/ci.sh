@@ -88,8 +88,11 @@ case "${MODE}" in
     asan
     tsan
     # Perf trajectory data point: smoke-run the figure benches and leave
-    # BENCH_<sha>.json at the repo root.
-    tools/bench.sh --smoke
+    # BENCH_<sha>.json at the repo root. The compare gate fails the job
+    # when a scan/filter/predict microbenchmark regressed >10% vs the
+    # committed baseline (benches absent from the baseline report as
+    # "new" and never gate).
+    tools/bench.sh --smoke --compare BENCH_289e1c6.json --fail-over 10
     ;;
   *)
     echo "usage: tools/ci.sh [tier1|asan|tsan|all]" >&2
