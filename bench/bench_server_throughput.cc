@@ -14,12 +14,22 @@
 // cache-lookup + execute — the difference is the compilation tax the
 // cache removes from the hot path. Wired into tools/bench.sh (--smoke
 // keeps the row count small).
+//
+// BM_BatchedPredict then sweeps 64 / 256 clients issuing single-row
+// PREDICT statements (a prepared point lookup under the model, so the
+// pushed-down filter leaves exactly one row to score) against two
+// otherwise-identical servers: one with the cross-query inference
+// micro-batcher enabled, one with it off. Extra counters:
+//
+//   batch_pct   share of scored rows that rode a coalesced NNRT call
+//   occup_x100  rows per flushed batch x100 (100 = no coalescing)
 
 #include <benchmark/benchmark.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <memory>
 #include <string>
 #include <thread>
@@ -29,6 +39,7 @@
 #include "common/timer.h"
 #include "data/flight.h"
 #include "data/hospital.h"
+#include "ml/mlp.h"
 #include "raven/raven.h"
 #include "server/client.h"
 #include "server/query_server.h"
@@ -207,5 +218,211 @@ BENCHMARK(BM_ServerThroughput)
     ->Args({16, 1})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
+
+// ---------------------------------------------------------------------------
+// Cross-query inference micro-batching sweep.
+
+/// Small table: the point lookup under PREDICT leaves one row to score, so
+/// per-statement cost is dominated by the per-call NNRT invocation the
+/// batcher exists to amortize, not by the scan.
+constexpr std::int64_t kPredictRows = 2048;
+
+/// Flight featurizer + MLP head, declared so static analysis categorizes
+/// the stored pipeline as a neural model (and NN translation fires) rather
+/// than falling back to the opaque-UDF path.
+std::string FlightMlpScript() {
+  return "from sklearn.pipeline import Pipeline, FeatureUnion\n"
+         "from sklearn.preprocessing import StandardScaler, OneHotEncoder\n"
+         "from sklearn.neural_network import MLPRegressor\n"
+         "\n"
+         "model_pipeline = Pipeline([\n"
+         "    ('union', FeatureUnion([\n"
+         "        ('scaler', StandardScaler(columns=['dep_hour', 'distance',\n"
+         "            'day_of_week'])),\n"
+         "        ('onehot', OneHotEncoder(columns=['airline', 'origin',\n"
+         "            'dest']))\n"
+         "    ])),\n"
+         "    ('clf', MLPRegressor(max_iter=8))\n"
+         "])\n";
+}
+
+struct BatchedHarness {
+  raven::RavenContext ctx;
+  /// Identical servers except for the micro-batch window: `batched`
+  /// coalesces concurrent PREDICT rows into shared NNRT calls, `solo`
+  /// runs every row's inference by itself.
+  std::unique_ptr<raven::server::QueryServer> batched;
+  std::unique_ptr<raven::server::QueryServer> solo;
+
+  BatchedHarness() {
+    const auto& flight = raven::bench::Flight(kPredictRows);
+    MustOk(ctx.RegisterTable("flights", flight.flights), "flights");
+    // The served model is a deep, narrow MLP over the flight featurizer:
+    // single-row inference on it is dominated by per-call graph execution
+    // overhead rather than FLOPs — the Fig 2(d) regime where batching the
+    // invocation across queries pays. (A linear model would be a single
+    // cheap Gemm; batching it mostly measures the batch window.)
+    auto pipeline =
+        Must(raven::data::TrainFlightLogreg(flight, 0.01), "train");
+    {
+      const std::int64_t features = pipeline.NumFeatures();
+      constexpr std::int64_t kWidth = 16;
+      constexpr int kDepth = 128;
+      raven::ml::Mlp mlp;
+      std::int64_t in = features;
+      for (int l = 0; l <= kDepth; ++l) {
+        const bool last = l == kDepth;
+        raven::ml::DenseLayer layer;
+        layer.in = in;
+        layer.out = last ? 1 : kWidth;
+        layer.activation = last ? raven::ml::Activation::kSigmoid
+                                : raven::ml::Activation::kRelu;
+        layer.weights.resize(
+            static_cast<std::size_t>(layer.in * layer.out));
+        layer.bias.assign(static_cast<std::size_t>(layer.out), 0.01f);
+        for (std::size_t i = 0; i < layer.weights.size(); ++i) {
+          layer.weights[i] =
+              0.2f * std::sin(0.37f * static_cast<float>(i + 1));
+        }
+        mlp.AddLayer(std::move(layer));
+        in = kWidth;
+      }
+      pipeline.predictor = std::move(mlp);
+    }
+    MustOk(ctx.InsertModel("delay", FlightMlpScript(), pipeline), "delay");
+    raven::server::QueryServerOptions options;
+    options.unix_socket_path = "/tmp/raven_bench_server_batched_" +
+                               std::to_string(::getpid()) + ".sock";
+    options.plan_cache_capacity = 64;
+    // Every client gets an execution slot: coalescing only happens among
+    // queries that are concurrently inside the scorer, and slots are cheap
+    // here because batched queries spend their time waiting, not running.
+    options.admission.max_concurrent = 256;
+    options.admission.max_queue = 64;
+    options.admission.queue_timeout_millis = 120000;
+    options.default_execution.parallelism = 1;
+    options.default_execution.predict_batch_window_micros = 2000;
+    options.default_execution.predict_max_batch_rows = 256;
+    batched = std::make_unique<raven::server::QueryServer>(&ctx, options);
+    MustOk(batched->Start(), "batched server start");
+    options.unix_socket_path = "/tmp/raven_bench_server_solo_" +
+                               std::to_string(::getpid()) + ".sock";
+    options.default_execution.predict_batch_window_micros = 0;
+    solo = std::make_unique<raven::server::QueryServer>(&ctx, options);
+    MustOk(solo->Start(), "solo server start");
+  }
+
+  ~BatchedHarness() {
+    batched->Stop();
+    solo->Stop();
+  }
+};
+
+BatchedHarness& Batched() {
+  static auto* harness = new BatchedHarness();
+  return *harness;
+}
+
+void BM_BatchedPredict(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const bool batching = state.range(1) != 0;
+  BatchedHarness& harness = Batched();
+  raven::server::QueryServer& server =
+      batching ? *harness.batched : *harness.solo;
+  const int total_statements = clients * 16;
+
+  const auto before = server.batcher().stats();
+  std::vector<double> latencies;
+  std::int64_t served = 0;
+  double batch_seconds = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::vector<double>> per_client(
+        static_cast<std::size_t>(clients));
+    std::atomic<bool> failed{false};
+    state.ResumeTiming();
+
+    raven::Timer batch_timer;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int tid = 0; tid < clients; ++tid) {
+      threads.emplace_back([&, tid] {
+        raven::server::ServerClient client;
+        if (!client.ConnectUnix(server.unix_socket_path()).ok()) {
+          failed.store(true);
+          return;
+        }
+        auto prep = client.Query(
+            "PREPARE point AS SELECT id, p FROM "
+            "PREDICT(MODEL='delay', DATA=flights) WITH(p float) "
+            "WHERE id = ?");
+        if (!prep.ok() ||
+            prep->kind == raven::server::ServerResponseKind::kError) {
+          failed.store(true);
+          return;
+        }
+        auto& mine = per_client[static_cast<std::size_t>(tid)];
+        const int per_thread = total_statements / clients;
+        for (int i = 0; i < per_thread; ++i) {
+          const double id = static_cast<double>(
+              (tid * 131 + i * 17) % static_cast<int>(kPredictRows));
+          raven::Timer timer;
+          auto response = client.ExecutePrepared("point", {id});
+          if (!response.ok() ||
+              response->kind !=
+                  raven::server::ServerResponseKind::kTable) {
+            failed.store(true);
+            return;
+          }
+          mine.push_back(timer.ElapsedMicros());
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    batch_seconds += batch_timer.ElapsedSeconds();
+
+    if (failed.load()) {
+      state.SkipWithError("client statement failed");
+      return;
+    }
+    for (const auto& mine : per_client) {
+      latencies.insert(latencies.end(), mine.begin(), mine.end());
+      served += static_cast<std::int64_t>(mine.size());
+    }
+  }
+
+  if (!latencies.empty() && batch_seconds > 0) {
+    std::sort(latencies.begin(), latencies.end());
+    auto percentile = [&latencies](double p) {
+      const auto index = static_cast<std::size_t>(
+          p * static_cast<double>(latencies.size() - 1));
+      return latencies[index];
+    };
+    const auto after = server.batcher().stats();
+    state.counters["qps"] = static_cast<double>(served) / batch_seconds;
+    state.counters["p50_us"] = percentile(0.50);
+    state.counters["p99_us"] = percentile(0.99);
+    state.counters["batch_pct"] =
+        100.0 * static_cast<double>(after.rows_coalesced -
+                                    before.rows_coalesced) /
+        static_cast<double>(served);
+    const std::int64_t batches = after.batches_flushed - before.batches_flushed;
+    state.counters["occup_x100"] =
+        batches > 0 ? 100.0 *
+                          static_cast<double>(after.rows_flushed -
+                                              before.rows_flushed) /
+                          static_cast<double>(batches)
+                    : 100.0;
+  }
+}
+
+BENCHMARK(BM_BatchedPredict)
+    ->ArgNames({"clients", "batching"})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
 
 }  // namespace

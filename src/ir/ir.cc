@@ -181,6 +181,7 @@ IrNodePtr IrNode::Clone() const {
   node->pipeline = pipeline;
   node->clustered = clustered;
   node->nn_graph = nn_graph;
+  node->nn_graph_fingerprint = nn_graph_fingerprint;
   node->model_input_columns = model_input_columns;
   node->opaque_bytes = opaque_bytes;
   node->opaque_reason = opaque_reason;
@@ -294,6 +295,19 @@ IrNodePtr IrNode::ClusteredPredict(IrNodePtr child, std::string model_name,
   return node;
 }
 
+namespace {
+
+/// Content hash of a translated graph, taken once at node construction;
+/// 0 is reserved for "not computed".
+std::uint64_t FingerprintNnGraph(const nnrt::Graph& graph) {
+  BinaryWriter writer;
+  graph.Serialize(&writer);
+  const std::uint64_t h = std::hash<std::string>{}(writer.Release());
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace
+
 IrNodePtr IrNode::NnGraph(IrNodePtr child, std::string model_name,
                           std::shared_ptr<nnrt::Graph> graph,
                           std::vector<std::string> input_columns,
@@ -302,6 +316,7 @@ IrNodePtr IrNode::NnGraph(IrNodePtr child, std::string model_name,
   node->children.push_back(std::move(child));
   node->model_name = std::move(model_name);
   node->nn_graph = std::move(graph);
+  node->nn_graph_fingerprint = FingerprintNnGraph(*node->nn_graph);
   node->model_input_columns = std::move(input_columns);
   node->output_column = std::move(output_column);
   return node;
@@ -791,6 +806,7 @@ Result<IrNodePtr> DeserializeNode(BinaryReader* reader, int depth) {
                              reader->ReadStringVector());
       RAVEN_ASSIGN_OR_RETURN(auto graph, nnrt::Graph::Deserialize(reader));
       node->nn_graph = std::make_shared<nnrt::Graph>(std::move(graph));
+      node->nn_graph_fingerprint = FingerprintNnGraph(*node->nn_graph);
       break;
     }
     case IrOpKind::kClusteredPredict:

@@ -128,6 +128,11 @@ struct IrNode {
   std::shared_ptr<ClusteredModel> clustered;
   /// kNnGraph payload plus the relational columns feeding the graph input.
   std::shared_ptr<nnrt::Graph> nn_graph;
+  /// Content hash of nn_graph, computed once when the node is built (or
+  /// deserialized) so the per-execution session-cache key never has to
+  /// re-serialize the model. 0 only for hand-assembled nodes that bypassed
+  /// the factory — consumers fall back to hashing the bytes themselves.
+  std::uint64_t nn_graph_fingerprint = 0;
   std::vector<std::string> model_input_columns;
   /// kOpaquePipeline: stored bytes + why analysis failed.
   std::string opaque_bytes;

@@ -55,6 +55,12 @@ std::string InferenceSession::ToBytes() const {
 Result<std::shared_ptr<InferenceSession>> SessionCache::GetOrCreate(
     const std::string& key, const std::string& bytes,
     const SessionOptions& options) {
+  return GetOrCreate(key, [&bytes]() { return bytes; }, options);
+}
+
+Result<std::shared_ptr<InferenceSession>> SessionCache::GetOrCreate(
+    const std::string& key, const std::function<std::string()>& bytes_fn,
+    const SessionOptions& options) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
@@ -67,7 +73,7 @@ Result<std::shared_ptr<InferenceSession>> SessionCache::GetOrCreate(
   }
   // Build outside the lock; duplicate builds are harmless (last one wins).
   RAVEN_ASSIGN_OR_RETURN(auto session,
-                         InferenceSession::FromBytes(bytes, options));
+                         InferenceSession::FromBytes(bytes_fn(), options));
   std::shared_ptr<InferenceSession> shared = std::move(session);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);

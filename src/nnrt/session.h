@@ -2,6 +2,7 @@
 #define RAVEN_NNRT_SESSION_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -76,6 +77,15 @@ class SessionCache {
   /// used entry if at capacity).
   Result<std::shared_ptr<InferenceSession>> GetOrCreate(
       const std::string& key, const std::string& bytes,
+      const SessionOptions& options = SessionOptions());
+
+  /// Same, but the model bytes are produced on demand — a cache hit never
+  /// pays the serialization. The serving path keys sessions by the plan's
+  /// precomputed graph fingerprint, so re-serializing the whole model per
+  /// query just to build a key it already has would dominate small-request
+  /// latency (the overhead Fig 3's session caching exists to remove).
+  Result<std::shared_ptr<InferenceSession>> GetOrCreate(
+      const std::string& key, const std::function<std::string()>& bytes_fn,
       const SessionOptions& options = SessionOptions());
 
   /// Removes a cached session (e.g. when a model is updated

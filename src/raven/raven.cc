@@ -151,6 +151,22 @@ Result<std::string> RavenContext::Explain(const std::string& sql) {
       start = end + 1;
     }
   }
+  const std::string batchable =
+      runtime::DescribeBatchablePredicts(*plan.root());
+  if (!batchable.empty()) {
+    // Which PREDICT nodes the cross-query micro-batcher can coalesce: one
+    // line per NNRT-translated node. Eligibility is a plan property; the
+    // window/row knobs are session state, reported by the server alongside.
+    out += "=== Inference batching ===\n";
+    std::size_t start = 0;
+    while (start < batchable.size()) {
+      std::size_t end = batchable.find('\n', start);
+      if (end == std::string::npos) end = batchable.size();
+      out += "  batch-eligible: " + batchable.substr(start, end - start) +
+             "\n";
+      start = end + 1;
+    }
+  }
   out += "=== Generated SQL ===\n";
   out += runtime::GenerateSql(*plan.root());
   out += "\n";

@@ -260,6 +260,12 @@ class LimitOperator final : public PhysicalOperator {
 /// interpreted ML model, an out-of-process worker, or a container client.
 /// In parallel execution every worker scores through the same underlying
 /// session (cached in nnrt::SessionCache), so scorers must be thread-safe.
+/// Cross-query micro-batching also lives entirely inside the bound
+/// callback (runtime's MakeNnScorer routes through the server's shared
+/// PredictBatcher when the session's batch window is on): this operator —
+/// and FusedOperator's kPredict stage — submit one chunk and get its
+/// scores back, never aware whether rows from other in-flight queries
+/// shared the physical NNRT call.
 using BatchScorer =
     std::function<Result<std::vector<double>>(const Tensor& input)>;
 

@@ -64,23 +64,55 @@ BatchScorer MakeClusteredScorer(std::shared_ptr<ir::ClusteredModel> model,
 /// caching is what wins the small-batch regime in Fig 3).
 Result<BatchScorer> MakeNnScorer(const IrNode& node,
                                  const RuntimeContext& ctx) {
-  BinaryWriter writer;
-  node.nn_graph->Serialize(&writer);
-  const std::string bytes = writer.Release();
+  // Cache key: model identity + the plan's precomputed graph fingerprint.
+  // Serializing the model happens only on a cache miss (or for a
+  // hand-assembled node with no fingerprint) — a hot prepared statement
+  // must not pay a full graph serialization per execution just to look up
+  // the session it already built.
+  auto serialize = [&node]() {
+    BinaryWriter writer;
+    node.nn_graph->Serialize(&writer);
+    return writer.Release();
+  };
+  std::uint64_t fingerprint = node.nn_graph_fingerprint;
+  if (fingerprint == 0) {
+    fingerprint = std::hash<std::string>{}(serialize());
+  }
   std::string key = node.model_name;
   auto versioned = ctx.catalog->ModelCacheKey(node.model_name);
   if (versioned.ok()) key = versioned.value();
-  key += "#" + std::to_string(std::hash<std::string>{}(bytes));
+  key += "#" + std::to_string(fingerprint);
   nnrt::SessionOptions session_options;
   session_options.device = ctx.options.device;
   RAVEN_ASSIGN_OR_RETURN(
       auto session,
-      ctx.session_cache->GetOrCreate(key, bytes, session_options));
+      ctx.session_cache->GetOrCreate(key, serialize, session_options));
   const StatsSink sink{ctx.stats};
-  return BatchScorer([session, sink](const Tensor& input)
-                         -> Result<std::vector<double>> {
+  // Cross-query micro-batching: with a batcher attached and a positive
+  // window, each morsel's input is submitted to the shared scheduler, which
+  // may coalesce it with rows from concurrent queries before running the
+  // session (bit-identical per row — kernels are row-independent). A window
+  // of 0 keeps the direct per-morsel call below, byte for byte the
+  // unbatched path.
+  const std::int64_t window = ctx.options.predict_batch_window_micros;
+  const std::int64_t max_rows = ctx.options.predict_max_batch_rows;
+  const std::shared_ptr<InferenceBatcher> batcher =
+      window > 0 ? ctx.options.predict_batcher : nullptr;
+  return BatchScorer([session, sink, batcher, key, window, max_rows](
+                         const Tensor& input) -> Result<std::vector<double>> {
     nnrt::RunStats stats;
-    RAVEN_ASSIGN_OR_RETURN(Tensor preds, session->RunSingle(input, &stats));
+    Tensor preds;
+    if (batcher != nullptr) {
+      InferenceBatcher::Request request;
+      request.key = key;
+      request.session = session;
+      request.input = &input;
+      request.window_micros = window;
+      request.max_batch_rows = max_rows;
+      RAVEN_ASSIGN_OR_RETURN(preds, batcher->Score(request, &stats));
+    } else {
+      RAVEN_ASSIGN_OR_RETURN(preds, session->RunSingle(input, &stats));
+    }
     AccumulateStats(sink, preds.dim(0), &stats);
     std::vector<double> out(preds.data().begin(), preds.data().end());
     return out;
@@ -677,6 +709,26 @@ void DescribeFusedChainsNode(const IrNode& node, std::ostringstream* os) {
 std::string DescribeFusedChains(const IrNode& node) {
   std::ostringstream os;
   DescribeFusedChainsNode(node, &os);
+  return os.str();
+}
+
+namespace {
+
+void DescribeBatchablePredictsNode(const IrNode& node, std::ostringstream* os) {
+  if (node.kind == ir::IrOpKind::kNnGraph) {
+    *os << "Predict(" << node.model_name << ") -> " << node.output_column
+        << " [NNRT graph]\n";
+  }
+  for (const auto& child : node.children) {
+    DescribeBatchablePredictsNode(*child, os);
+  }
+}
+
+}  // namespace
+
+std::string DescribeBatchablePredicts(const IrNode& node) {
+  std::ostringstream os;
+  DescribeBatchablePredictsNode(node, &os);
   return os.str();
 }
 

@@ -18,6 +18,7 @@
 #include "relational/catalog.h"
 #include "relational/operators.h"
 #include "runtime/external_runtime.h"
+#include "runtime/inference_batcher.h"
 
 namespace raven::runtime {
 
@@ -60,6 +61,22 @@ struct ExecutionOptions {
   /// (<= 0 disables). A timed-out partition retries on a fresh worker, then
   /// falls back to in-process execution.
   int distributed_frame_timeout_millis = 30000;
+  /// Cross-query PREDICT micro-batching window. 0 (the default) disables
+  /// coalescing entirely: NN scorers call their session directly, the exact
+  /// per-morsel path. Positive values route in-process kNnGraph scoring
+  /// through `predict_batcher`, which may merge rows from concurrent
+  /// queries into shared NNRT batches (byte-identical per row — see
+  /// runtime/inference_batcher.h). The query server surfaces this as the
+  /// `SET batch_window_micros` session knob.
+  std::int64_t predict_batch_window_micros = 0;
+  /// Pending rows that force an early flush of a shared batch
+  /// (`SET max_batch_rows`). Submissions at or over this size score solo —
+  /// they are already amortized.
+  std::int64_t predict_max_batch_rows = 256;
+  /// The shared scheduler scorers submit to when the window is positive.
+  /// Set by the query server (one batcher across all sessions); direct API
+  /// runs leave it null and never coalesce.
+  std::shared_ptr<InferenceBatcher> predict_batcher;
 };
 
 /// Per-operator execution counters, summed over all workers that ran a
@@ -221,6 +238,13 @@ std::string GenerateSql(const ir::IrNode& node);
 /// chain of length >= 2. Used by EXPLAIN so the printed plan matches what
 /// the runtime actually executes.
 std::string DescribeFusedChains(const ir::IrNode& node);
+
+/// Describes the PREDICT nodes whose scorers route through the cross-query
+/// inference batcher when one is installed (kNnGraph nodes — their NNRT
+/// kernels compute each output row from its input row alone, which is what
+/// makes coalescing byte-identical), one node per line (e.g.
+/// "Predict(los) -> score [NNRT graph]"). Empty when the plan has none.
+std::string DescribeBatchablePredicts(const ir::IrNode& node);
 
 }  // namespace raven::runtime
 

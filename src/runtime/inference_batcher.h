@@ -1,0 +1,60 @@
+#ifndef RAVEN_RUNTIME_INFERENCE_BATCHER_H_
+#define RAVEN_RUNTIME_INFERENCE_BATCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "nnrt/executor.h"
+#include "nnrt/session.h"
+#include "tensor/tensor.h"
+
+namespace raven::runtime {
+
+/// Cross-query PREDICT micro-batching hook (paper §5: per-call overhead
+/// dominates small-batch inference, so amortize it by sharing NNRT calls).
+///
+/// The runtime defines only this interface; the concrete scheduler lives in
+/// the server layer (server::PredictBatcher), which owns the cross-session
+/// coordination. NN scorers submit their morsel's input tensor here when
+/// ExecutionOptions carries a batcher and a positive batch window; the
+/// implementation may coalesce rows from concurrent submissions that share
+/// `key` into one session Run and scatter the per-row results back.
+///
+/// Correctness contract: every registered NNRT kernel computes row i of its
+/// output from row i of its input alone (MatMul/Gemm/Softmax/ReduceSum/
+/// TreeEnsemble all loop per row), so concatenating submissions, running
+/// once, and slicing the result is bit-identical to running each submission
+/// by itself. Batching changes WHEN inference runs, never WHAT a query
+/// sees; the byte-identity invariant holds with batching on or off.
+class InferenceBatcher {
+ public:
+  /// One scorer submission: a rank-2 [rows, features] tensor plus the
+  /// session to run it on. `key` identifies the model artifact (the session
+  /// cache key: catalog model version + graph-bytes hash) — submissions
+  /// only ever coalesce when their keys match, so rows never cross models.
+  struct Request {
+    std::string key;
+    std::shared_ptr<nnrt::InferenceSession> session;
+    const Tensor* input = nullptr;  ///< borrowed for the duration of Score
+    /// How long the first submission of a batch waits for company before
+    /// flushing alone.
+    std::int64_t window_micros = 0;
+    /// Pending rows that trigger an immediate flush before the deadline.
+    std::int64_t max_batch_rows = 0;
+  };
+
+  virtual ~InferenceBatcher() = default;
+
+  /// Scores exactly the submitted rows, in their submitted order. Blocks
+  /// until the shared batch containing them has run (bounded by the window
+  /// deadline). `stats` receives this submission's share of the shared
+  /// run's cost, scaled by row fraction, so per-query stats stay additive.
+  virtual Result<Tensor> Score(const Request& request,
+                               nnrt::RunStats* stats) = 0;
+};
+
+}  // namespace raven::runtime
+
+#endif  // RAVEN_RUNTIME_INFERENCE_BATCHER_H_

@@ -1,0 +1,438 @@
+#include "server/event_loop.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace raven::server {
+namespace {
+
+/// epoll_wait timeout: the idle-sweep cadence. Connections are reaped
+/// within one tick of their deadline; the tick is coarse because idle
+/// reaping is a hygiene bound, not a latency path.
+constexpr int kSweepMillis = 200;
+
+Status WriteAllNonblocking(int fd, const char* data, std::size_t size,
+                           int timeout_millis) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_millis);
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0) {
+        return Status::IoError("response write timed out");
+      }
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (ready < 0 && errno != EINTR) {
+        return Status::IoError("poll(POLLOUT) failed: " +
+                               std::string(std::strerror(errno)));
+      }
+      continue;
+    }
+    return Status::IoError("socket write failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrameNonblocking(int fd, const std::string& payload,
+                             int timeout_millis) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::string framed(4, '\0');
+  std::memcpy(framed.data(), &len, 4);
+  framed += payload;
+  return WriteAllNonblocking(fd, framed.data(), framed.size(),
+                             timeout_millis);
+}
+
+EventLoop::EventLoop(EventLoopOptions options, OpenHandler on_open,
+                     RequestHandler on_request, CloseHandler on_close)
+    : options_(std::move(options)),
+      on_open_(std::move(on_open)),
+      on_request_(std::move(on_request)),
+      on_close_(std::move(on_close)) {}
+
+EventLoop::~EventLoop() { Stop(); }
+
+Status EventLoop::Start(int listen_fd) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("event loop is already running");
+  }
+  listen_fd_ = listen_fd;
+  // The listener must not block the loop: accept until EAGAIN.
+  const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::IoError("fcntl(listen, O_NONBLOCK) failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::IoError("epoll_create1 failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return Status::IoError("eventfd failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.ptr = &listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return Status::IoError("epoll_ctl(listen) failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  ev.data.ptr = &wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Status::IoError("epoll_ctl(wake) failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  running_.store(true, std::memory_order_release);
+  dispatch_stopping_ = false;
+  const int threads = options_.dispatch_threads > 0
+                          ? options_.dispatch_threads
+                          : 8;
+  dispatch_threads_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    dispatch_threads_.emplace_back(&EventLoop::DispatchThread, this);
+  }
+  loop_thread_ = std::thread(&EventLoop::LoopThread, this);
+  return Status::OK();
+}
+
+void EventLoop::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  WakeLoop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The loop is gone: this thread is now the sole owner of conns_. Sever
+  // every socket first so in-flight handlers fail their response writes
+  // fast (EPIPE) instead of blocking on full client buffers, and clients
+  // see EOF.
+  for (auto& entry : conns_) {
+    ::shutdown(entry.second->fd, SHUT_RDWR);
+  }
+  {
+    // Requests read but not yet started are dropped — to the client this
+    // is the same as the connection being severed before the request was
+    // read, which Stop is doing to everyone anyway. In-flight handlers
+    // run to completion (execution is not interruptible); the server shut
+    // its PredictBatcher down before stopping the loop, so none of them
+    // can be parked on a batch window.
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    dispatch_stopping_ = true;
+    jobs_.clear();
+    dispatch_cv_.notify_all();
+  }
+  for (std::thread& thread : dispatch_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  dispatch_threads_.clear();
+  // No handler can touch a connection or its context anymore: close and
+  // tear down the sessions.
+  for (auto& entry : conns_) {
+    ::close(entry.second->fd);
+    if (on_close_) on_close_(entry.second->context);
+  }
+  conns_.clear();
+  connections_open_.store(0, std::memory_order_relaxed);
+  completions_.clear();
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  listen_fd_ = -1;
+}
+
+void EventLoop::WakeLoop() {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  ssize_t n;
+  do {
+    n = ::write(wake_fd_, &one, sizeof(one));
+  } while (n < 0 && errno == EINTR);
+}
+
+void EventLoop::LoopThread() {
+  std::vector<struct epoll_event> events(64);
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()),
+                               kSweepMillis);
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n > 0) epoll_wakeups_.fetch_add(1, std::memory_order_relaxed);
+    // Socket events first, completions after: a completion may close a
+    // connection, and a stale event for it in this same batch would then
+    // dereference a freed Conn.
+    for (int i = 0; i < n; ++i) {
+      void* tag = events[static_cast<std::size_t>(i)].data.ptr;
+      if (tag == &listen_fd_) {
+        AcceptReady();
+        continue;
+      }
+      if (tag == &wake_fd_) {
+        std::uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      Conn* conn = static_cast<Conn*>(tag);
+      if (conn->phase == Phase::kBusy) {
+        // EPOLLHUP/EPOLLERR are delivered even with no subscribed events.
+        // The handler owns this connection; remember the hangup and let
+        // its (failing) response write surface it at completion.
+        conn->peer_gone = true;
+        continue;
+      }
+      ReadReady(conn);
+    }
+    HandleCompletions();
+    SweepIdle();
+  }
+}
+
+void EventLoop::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // EAGAIN, or the listener was shut down
+    }
+    if (static_cast<std::int64_t>(conns_.size()) >=
+        options_.max_connections) {
+      // Turn the connection away at the door with the canned busy frame
+      // rather than silently dropping it. Best-effort: the arrival may
+      // already be gone.
+      if (!options_.busy_payload.empty()) {
+        (void)WriteFrameNonblocking(fd, options_.busy_payload, 1000);
+      }
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->last_activity = std::chrono::steady_clock::now();
+    conn->context = on_open_ ? on_open_() : nullptr;
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.ptr = conn.get();
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      if (on_close_) on_close_(conn->context);
+      ::close(fd);
+      continue;
+    }
+    conns_[fd] = std::move(conn);
+    connections_open_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void EventLoop::ReadReady(Conn* conn) {
+  for (;;) {
+    if (conn->phase == Phase::kHeader) {
+      const ssize_t n =
+          ::read(conn->fd, conn->header + conn->header_filled,
+                 4 - conn->header_filled);
+      if (n == 0) {
+        CloseConn(conn);
+        return;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        CloseConn(conn);
+        return;
+      }
+      conn->header_filled += static_cast<std::size_t>(n);
+      if (conn->header_filled < 4) continue;
+      std::memcpy(&conn->payload_size, conn->header, 4);
+      if (conn->payload_size > options_.max_request_frame_bytes) {
+        // Refuse BEFORE allocating the claimed buffer — a hostile header
+        // cannot cost the server the allocation — then hang up: the
+        // unread payload desyncs the stream.
+        if (!options_.oversize_payload.empty()) {
+          (void)WriteFrameNonblocking(conn->fd, options_.oversize_payload,
+                                      1000);
+        }
+        CloseConn(conn);
+        return;
+      }
+      conn->phase = Phase::kPayload;
+      conn->payload.assign(conn->payload_size, '\0');
+      conn->payload_filled = 0;
+      if (conn->payload_size == 0) {
+        DispatchRequest(conn);
+        return;
+      }
+      continue;
+    }
+    // Phase::kPayload
+    const ssize_t n = ::read(
+        conn->fd, conn->payload.data() + conn->payload_filled,
+        static_cast<std::size_t>(conn->payload_size) - conn->payload_filled);
+    if (n == 0) {
+      CloseConn(conn);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      CloseConn(conn);
+      return;
+    }
+    conn->payload_filled += static_cast<std::size_t>(n);
+    if (conn->payload_filled >= conn->payload_size) {
+      // Strict request/response: stop reading until the response is out
+      // (any pipelined bytes wait in the kernel buffer).
+      DispatchRequest(conn);
+      return;
+    }
+  }
+}
+
+void EventLoop::DispatchRequest(Conn* conn) {
+  conn->phase = Phase::kBusy;
+  // Unsubscribe from readiness while the request is in flight; HUP/ERR
+  // still arrive and are remembered via peer_gone.
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = 0;
+  ev.data.ptr = conn;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  Job job;
+  job.conn = conn;
+  job.payload = std::move(conn->payload);
+  conn->payload.clear();
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    jobs_.push_back(std::move(job));
+  }
+  dispatch_cv_.notify_one();
+}
+
+void EventLoop::DispatchThread() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(dispatch_mu_);
+      dispatch_cv_.wait(lock, [this] {
+        return dispatch_stopping_ || !jobs_.empty();
+      });
+      if (dispatch_stopping_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    const std::string response =
+        on_request_(job.conn->context, std::move(job.payload));
+    // The response goes out from this thread (the loop never buffers
+    // result tables); a stalled or vanished client fails the write and
+    // the completion closes the connection.
+    const Status written =
+        WriteFrameNonblocking(job.conn->fd, response, 120000);
+    Completion completion;
+    completion.conn = job.conn;
+    completion.ok = written.ok();
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(completion);
+    }
+    WakeLoop();
+  }
+}
+
+void EventLoop::HandleCompletions() {
+  std::vector<Completion> ready;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    ready.swap(completions_);
+  }
+  for (const Completion& completion : ready) {
+    Conn* conn = completion.conn;
+    if (!completion.ok || conn->peer_gone) {
+      CloseConn(conn);
+      continue;
+    }
+    // Response delivered: this is the completed activity that re-arms the
+    // idle deadline (partial frame bytes never do).
+    conn->phase = Phase::kHeader;
+    conn->header_filled = 0;
+    conn->payload.clear();
+    conn->payload_filled = 0;
+    conn->last_activity = std::chrono::steady_clock::now();
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.ptr = conn;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) != 0) {
+      CloseConn(conn);
+    }
+  }
+}
+
+void EventLoop::SweepIdle() {
+  if (options_.idle_timeout_millis <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(options_.idle_timeout_millis);
+  std::vector<Conn*> victims;
+  for (auto& [fd, conn] : conns_) {
+    if (conn->phase == Phase::kBusy) continue;  // execution in flight
+    if (now - conn->last_activity > limit) victims.push_back(conn.get());
+  }
+  for (Conn* conn : victims) {
+    idle_drops_.fetch_add(1, std::memory_order_relaxed);
+    CloseConn(conn);
+  }
+}
+
+void EventLoop::CloseConn(Conn* conn) {
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  if (on_close_) on_close_(conn->context);
+  connections_open_.fetch_sub(1, std::memory_order_relaxed);
+  conns_.erase(conn->fd);  // frees the Conn
+}
+
+EventLoopStats EventLoop::stats() const {
+  EventLoopStats stats;
+  stats.epoll_wakeups = epoll_wakeups_.load(std::memory_order_relaxed);
+  stats.connections_open =
+      connections_open_.load(std::memory_order_relaxed);
+  stats.idle_drops = idle_drops_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace raven::server

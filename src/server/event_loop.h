@@ -1,0 +1,188 @@
+#ifndef RAVEN_SERVER_EVENT_LOOP_H_
+#define RAVEN_SERVER_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace raven::server {
+
+/// Configuration for the epoll connection core.
+struct EventLoopOptions {
+  /// Simultaneous connections; arrivals beyond this are answered with
+  /// `busy_payload` and closed. With the readiness loop an idle connection
+  /// costs a registered fd plus its session — not a thread — so this cap
+  /// bounds fds and per-connection state, no longer the thread count.
+  std::int64_t max_connections = 256;
+  /// Request frames whose header claims more than this are answered with
+  /// `oversize_payload` and hung up on, before the claimed buffer is ever
+  /// allocated (the unread payload desyncs the stream, so the connection
+  /// cannot continue).
+  std::uint32_t max_request_frame_bytes = 8u << 20;
+  /// A connection with no COMPLETED request frame for this long is dropped
+  /// (<= 0: never). Measured from the last finished request/response, and
+  /// partial frame bytes do not re-arm it — a slow-loris client dripping
+  /// single bytes still trips the deadline. Connections with a request in
+  /// flight are exempt (execution is not interruptible).
+  int idle_timeout_millis = 300000;
+  /// Threads executing request handlers. Handlers block (admission queue,
+  /// batch windows, the query itself), so this must at least cover the
+  /// admission controller's max_concurrent + max_queue — the server sizes
+  /// it so that every admission slot and queue seat can be occupied
+  /// simultaneously, preserving shed/queue semantics exactly.
+  int dispatch_threads = 8;
+  /// Pre-encoded response frames the loop writes without consulting the
+  /// handler (the handler owns response encoding otherwise).
+  std::string busy_payload;
+  std::string oversize_payload;
+};
+
+/// Counters surfaced through SHOW STATS.
+struct EventLoopStats {
+  std::int64_t epoll_wakeups = 0;     ///< epoll_wait returns with >= 1 event
+  std::int64_t connections_open = 0;  ///< registered fds right now
+  std::int64_t idle_drops = 0;        ///< connections reaped by the deadline
+};
+
+/// Single-threaded epoll readiness loop plus a small dispatch pool —
+/// replaces thread-per-connection: idle sockets cost a registered fd and a
+/// heap Conn, frame reads are resumable state machines fed by EPOLLIN, and
+/// only requests-in-flight occupy threads.
+///
+/// Lifecycle of one connection: accept (nonblocking) -> read [u32 length]
+/// header and payload across any number of EPOLLIN wakeups -> on a
+/// complete frame, unsubscribe from EPOLLIN (strict request/response: no
+/// pipelining) and hand the payload to a dispatch thread -> the handler
+/// runs and writes its response frame directly on the fd -> a completion
+/// message re-arms EPOLLIN (or closes on write failure). The loop alone
+/// creates and closes fds; a connection with a request in flight is never
+/// closed by the loop — at most shutdown() — so the descriptor cannot be
+/// recycled under the handler's feet (same discipline the thread-per-
+/// connection server used between ServeConnection and the reaper).
+class EventLoop {
+ public:
+  /// Returns the per-connection context (the server's Session) for a
+  /// freshly accepted connection. Runs on the loop thread; must be cheap.
+  using OpenHandler = std::function<void*()>;
+  /// Handles one complete request payload, returning the encoded response
+  /// payload. Runs on a dispatch thread; may block.
+  using RequestHandler = std::function<std::string(void* conn_ctx,
+                                                   std::string payload)>;
+  /// Destroys the per-connection context. Runs on the loop thread after
+  /// the fd is closed and no handler can touch the context again.
+  using CloseHandler = std::function<void(void* conn_ctx)>;
+
+  EventLoop(EventLoopOptions options, OpenHandler on_open,
+            RequestHandler on_request, CloseHandler on_close);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Takes ownership of polling `listen_fd` (bound + listening; the caller
+  /// still closes it after Stop) and starts the loop + dispatch threads.
+  Status Start(int listen_fd);
+
+  /// Severs every connection (in-flight handlers finish; their response
+  /// writes fail fast on the shut-down sockets), drops requests that were
+  /// queued but not yet started (indistinguishable, to the client, from
+  /// the connection being severed before the request was read), joins all
+  /// threads, closes every connection fd, and runs the close handler for
+  /// each context. Idempotent.
+  void Stop();
+
+  EventLoopStats stats() const;
+
+ private:
+  enum class Phase : std::uint8_t {
+    kHeader,   ///< accumulating the 4-byte length prefix
+    kPayload,  ///< accumulating payload_size payload bytes
+    kBusy,     ///< request handed to a dispatch thread; EPOLLIN unsubscribed
+  };
+
+  /// Resumable frame-read state machine for one connection. Owned by the
+  /// loop thread; a dispatch thread touches only fd (writes), context
+  /// (the handler argument), and the done/ok completion flags.
+  struct Conn {
+    int fd = -1;
+    Phase phase = Phase::kHeader;
+    unsigned char header[4] = {0, 0, 0, 0};
+    std::size_t header_filled = 0;
+    std::uint32_t payload_size = 0;
+    std::string payload;
+    std::size_t payload_filled = 0;
+    std::chrono::steady_clock::time_point last_activity;
+    void* context = nullptr;
+    /// Peer hung up while a request was in flight (EPOLLHUP/RDHUP during
+    /// kBusy); close as soon as the handler completes.
+    bool peer_gone = false;
+  };
+
+  struct Completion {
+    Conn* conn = nullptr;
+    bool ok = false;  ///< response written successfully
+  };
+
+  void LoopThread();
+  void DispatchThread();
+  void AcceptReady();
+  void ReadReady(Conn* conn);
+  /// Complete frame in hand: go busy and enqueue for dispatch.
+  void DispatchRequest(Conn* conn);
+  void HandleCompletions();
+  void SweepIdle();
+  void CloseConn(Conn* conn);
+  void WakeLoop();
+
+  const EventLoopOptions options_;
+  const OpenHandler on_open_;
+  const RequestHandler on_request_;
+  const CloseHandler on_close_;
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd for cross-thread wakeups
+  std::thread loop_thread_;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;  // loop thread only
+
+  /// Dispatch pool: requests in, completions out.
+  struct Job {
+    Conn* conn = nullptr;
+    std::string payload;
+  };
+  std::mutex dispatch_mu_;
+  std::condition_variable dispatch_cv_;
+  std::deque<Job> jobs_;
+  bool dispatch_stopping_ = false;
+  std::vector<std::thread> dispatch_threads_;
+
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+
+  std::atomic<std::int64_t> epoll_wakeups_{0};
+  std::atomic<std::int64_t> connections_open_{0};
+  std::atomic<std::int64_t> idle_drops_{0};
+};
+
+/// WriteFrame for the loop's nonblocking sockets: identical framing, but
+/// EAGAIN polls for writability against a total deadline instead of
+/// failing (the blocking WriteFrame never sees EAGAIN). Used by dispatch
+/// threads for responses and by the loop for canned busy/oversize frames.
+Status WriteFrameNonblocking(int fd, const std::string& payload,
+                             int timeout_millis);
+
+}  // namespace raven::server
+
+#endif  // RAVEN_SERVER_EVENT_LOOP_H_

@@ -1,0 +1,214 @@
+#include "server/predict_batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace raven::server {
+namespace {
+
+/// Groups coalesce only within (model key, feature width). The key alone
+/// already pins the graph bytes (it embeds the catalog model version and a
+/// hash of the serialized graph), so the width suffix is pure insurance:
+/// rows of different shapes must never share a tensor.
+std::string GroupKey(const runtime::InferenceBatcher::Request& request) {
+  return request.key + '\x1f' + std::to_string(request.input->dim(1));
+}
+
+}  // namespace
+
+PredictBatcher::~PredictBatcher() { Shutdown(); }
+
+Result<Tensor> PredictBatcher::Score(const Request& request,
+                                     nnrt::RunStats* stats) {
+  const Tensor& input = *request.input;
+  // Nothing to coalesce: degenerate shapes, and submissions already at or
+  // over the batch cap (a full morsel is amortized on its own — batching
+  // it again would only add the window's latency).
+  const bool batchable = input.rank() == 2 && input.dim(0) > 0 &&
+                         request.window_micros > 0 &&
+                         request.max_batch_rows > 1 &&
+                         input.dim(0) < request.max_batch_rows;
+  Pending pending;
+  pending.input = &input;
+  pending.rows = input.dim(0);
+  std::shared_ptr<Group> group;
+  bool leader = false;
+  std::chrono::steady_clock::time_point deadline;
+  const std::string group_key = batchable ? GroupKey(request) : std::string();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.submissions += 1;
+    stats_.rows_submitted += pending.rows;
+    if (batchable && !closed_) {
+      std::shared_ptr<Group>& slot = groups_[group_key];
+      if (slot == nullptr) {
+        slot = std::make_shared<Group>();
+        slot->session = request.session;
+        slot->limit = request.max_batch_rows;
+        leader = true;
+        deadline = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(request.window_micros);
+      }
+      group = slot;
+      group->limit = std::min(group->limit, request.max_batch_rows);
+      group->members.push_back(&pending);
+      group->rows += pending.rows;
+      if (!leader && group->rows >= group->limit) {
+        group->full = true;
+        group->cv.notify_all();
+      }
+    }
+  }
+  if (group == nullptr) return RunSolo(request, stats);
+
+  if (leader) {
+    bool full = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!group->full && !group->wake &&
+             std::chrono::steady_clock::now() < deadline) {
+        group->cv.wait_until(lock, deadline);
+      }
+      full = group->full;
+      // Claim the group: later arrivals for this key start a fresh group
+      // with their own leader. Membership is frozen from here on — joining
+      // required finding the group in the map under mu_.
+      auto it = groups_.find(group_key);
+      if (it != groups_.end() && it->second == group) groups_.erase(it);
+    }
+    FlushGroup(group.get(), full);
+  } else {
+    // Bounded transitively: the leader's wait is timed, and it always
+    // scatters + notifies, even on error and through Shutdown.
+    std::unique_lock<std::mutex> lock(mu_);
+    group->cv.wait(lock, [&pending] { return pending.done; });
+  }
+  if (!pending.result.ok()) return pending.result.status();
+  *stats = pending.run_stats;
+  return std::move(pending.result).value();
+}
+
+Result<Tensor> PredictBatcher::RunSolo(const Request& request,
+                                       nnrt::RunStats* stats) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.solo_runs += 1;
+  }
+  return request.session->RunSingle(*request.input, stats);
+}
+
+void PredictBatcher::FlushGroup(Group* group, bool full) {
+  std::int64_t total_rows = 0;
+  for (const Pending* member : group->members) total_rows += member->rows;
+
+  nnrt::RunStats run_stats;
+  Result<Tensor> batch = Status::Internal("empty batch");
+  if (group->members.size() == 1) {
+    // A batch of one runs the member's own tensor — literally the
+    // unbatched call, no concat copy.
+    batch = group->session->RunSingle(*group->members[0]->input, &run_stats);
+  } else {
+    Shape shape = group->members[0]->input->shape();
+    shape[0] = total_rows;
+    std::vector<float> data;
+    data.reserve(static_cast<std::size_t>(ShapeNumElements(shape)));
+    for (const Pending* member : group->members) {
+      const std::vector<float>& rows = member->input->data();
+      data.insert(data.end(), rows.begin(), rows.end());
+    }
+    auto concatenated = Tensor::FromData(std::move(shape), std::move(data));
+    batch = concatenated.ok()
+                ? group->session->RunSingle(concatenated.value(), &run_stats)
+                : Result<Tensor>(concatenated.status());
+  }
+
+  // Scatter. Slicing needs one output row per input row; a graph that
+  // reshapes its batch dimension away (none of the registered kernels do)
+  // would make the shared result unattributable, so fall back to solo runs
+  // rather than guess — correctness over coalescing.
+  const bool sliceable = batch.ok() && batch->rank() >= 1 &&
+                         batch->dim(0) == total_rows &&
+                         batch->num_elements() % std::max<std::int64_t>(
+                             total_rows, 1) == 0;
+  if (batch.ok() && !sliceable && group->members.size() > 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Pending* member : group->members) {
+      member->result = group->session->RunSingle(*member->input,
+                                                 &member->run_stats);
+      member->done = true;
+      stats_.batches_flushed += 1;
+      stats_.rows_flushed += member->rows;
+    }
+    group->cv.notify_all();
+    return;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.batches_flushed += 1;
+  stats_.rows_flushed += total_rows;
+  if (group->members.size() > 1) {
+    stats_.rows_coalesced += total_rows;
+    if (full) {
+      stats_.full_flushes += 1;
+    } else {
+      stats_.deadline_flushes += 1;
+    }
+  } else {
+    stats_.deadline_flushes += 1;
+  }
+  if (!batch.ok()) {
+    for (Pending* member : group->members) {
+      member->result = batch.status();
+      member->done = true;
+    }
+  } else if (group->members.size() == 1) {
+    Pending* member = group->members[0];
+    member->result = std::move(batch);
+    member->run_stats = run_stats;
+    member->done = true;
+  } else {
+    const Tensor& preds = batch.value();
+    const std::int64_t per_row = preds.num_elements() / total_rows;
+    std::int64_t offset = 0;
+    for (Pending* member : group->members) {
+      Shape shape = preds.shape();
+      shape[0] = member->rows;
+      const auto begin = preds.data().begin() + offset * per_row;
+      member->result = Tensor::FromData(
+          std::move(shape),
+          std::vector<float>(begin, begin + member->rows * per_row));
+      // Each waiter carries its row-fraction of the shared run's cost, so
+      // summing per-query stats reproduces the physical totals.
+      const double fraction = static_cast<double>(member->rows) /
+                              static_cast<double>(total_rows);
+      member->run_stats.wall_micros = run_stats.wall_micros * fraction;
+      member->run_stats.simulated_micros =
+          run_stats.simulated_micros * fraction;
+      member->run_stats.flops = run_stats.flops * fraction;
+      member->run_stats.nodes_executed = run_stats.nodes_executed;
+      member->done = true;
+      offset += member->rows;
+    }
+  }
+  group->cv.notify_all();
+}
+
+void PredictBatcher::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  // Leaders flush their groups as soon as they wake; followers are then
+  // released by the scatter. Groups stay in the map until their leader
+  // claims them — Shutdown only shortens the wait, it never drops rows.
+  for (auto& [key, group] : groups_) {
+    group->wake = true;
+    group->cv.notify_all();
+  }
+}
+
+PredictBatcher::Stats PredictBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace raven::server

@@ -1,0 +1,112 @@
+#ifndef RAVEN_SERVER_PREDICT_BATCHER_H_
+#define RAVEN_SERVER_PREDICT_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/inference_batcher.h"
+
+namespace raven::server {
+
+/// Cross-query inference micro-batch scheduler (the tentpole of the
+/// paper's per-call-overhead argument applied across sessions): PREDICT
+/// scorers from many in-flight queries submit their input rows here; rows
+/// that share a model key are concatenated — in arrival order, each
+/// submission's rows kept contiguous — into one NNRT Run, and the result
+/// is sliced back to each waiter. 64 concurrent single-row PREDICT queries
+/// cost ~1 session call instead of 64.
+///
+/// Leader/follower design, no dedicated flusher thread: the first
+/// submission of an empty group becomes the leader and waits until its
+/// `window_micros` deadline; followers that push the group to
+/// `max_batch_rows` pending rows wake it early. The leader then claims the
+/// group (new arrivals start a fresh one), runs the batch OUTSIDE the
+/// lock, scatters, and wakes everyone. All waits are bounded: followers
+/// wait on a leader that is itself bounded by a timed wait, so no
+/// submission ever blocks indefinitely — including across Shutdown.
+///
+/// Byte-identity: every NNRT kernel computes output row i from input row i
+/// alone, so the sliced results are bit-identical to solo runs (asserted
+/// by predict_batcher_test and the server soak/fuzz differential bars).
+class PredictBatcher : public runtime::InferenceBatcher {
+ public:
+  struct Stats {
+    std::int64_t submissions = 0;       ///< Score() calls routed here
+    std::int64_t rows_submitted = 0;
+    std::int64_t batches_flushed = 0;   ///< physical NNRT invocations
+    std::int64_t rows_flushed = 0;      ///< rows across those invocations
+    /// Rows that actually shared a flush with rows from another
+    /// submission (a batch of one coalesces nothing).
+    std::int64_t rows_coalesced = 0;
+    std::int64_t deadline_flushes = 0;  ///< window expired
+    std::int64_t full_flushes = 0;      ///< max_batch_rows reached
+    /// Submissions that bypassed coalescing: already at/over the row cap,
+    /// non-batchable shape, or the batcher was shut down.
+    std::int64_t solo_runs = 0;
+  };
+
+  PredictBatcher() = default;
+  ~PredictBatcher() override;
+
+  PredictBatcher(const PredictBatcher&) = delete;
+  PredictBatcher& operator=(const PredictBatcher&) = delete;
+
+  /// See runtime::InferenceBatcher. Thread-safe; called concurrently from
+  /// dispatch threads and morsel-parallel pipeline workers.
+  Result<Tensor> Score(const Request& request,
+                       nnrt::RunStats* stats) override;
+
+  /// Drains deterministically: wakes every pending leader (which flushes
+  /// its group's rows through the session as usual) and routes all later
+  /// submissions straight to their session. Called by QueryServer::Stop
+  /// BEFORE the dispatch threads are joined, so no PREDICT waiter is ever
+  /// left blocked on a batch window during shutdown. Idempotent; results
+  /// stay byte-identical (drained batches run normally, they just stop
+  /// waiting for company).
+  void Shutdown();
+
+  Stats stats() const;
+
+ private:
+  /// One blocked Score() call: its borrowed input and, after the flush,
+  /// its slice of the batch result. Lives on the submitter's stack.
+  struct Pending {
+    const Tensor* input = nullptr;
+    std::int64_t rows = 0;
+    Result<Tensor> result = Status::Internal("pending batch flush");
+    nnrt::RunStats run_stats;
+    bool done = false;
+  };
+
+  /// Submissions accumulating toward one shared NNRT call, keyed by
+  /// (model key, feature width). The first member is the leader.
+  struct Group {
+    std::vector<Pending*> members;
+    std::int64_t rows = 0;
+    std::int64_t limit = 0;  ///< min over members' max_batch_rows
+    std::shared_ptr<nnrt::InferenceSession> session;
+    bool full = false;   ///< limit reached — leader should flush now
+    bool wake = false;   ///< Shutdown — leader should flush now
+    std::condition_variable cv;
+  };
+
+  Result<Tensor> RunSolo(const Request& request, nnrt::RunStats* stats);
+  /// Runs the claimed group's batch (outside mu_), then scatters results
+  /// and stats to every member under mu_ and notifies the group.
+  void FlushGroup(Group* group, bool full);
+
+  mutable std::mutex mu_;
+  bool closed_ = false;
+  std::unordered_map<std::string, std::shared_ptr<Group>> groups_;
+  Stats stats_;
+};
+
+}  // namespace raven::server
+
+#endif  // RAVEN_SERVER_PREDICT_BATCHER_H_

@@ -2,7 +2,6 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -17,8 +16,6 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "frontend/sql_parser.h"
-#include "runtime/worker_pool.h"
-#include "runtime/worker_protocol.h"
 
 namespace raven::server {
 namespace {
@@ -118,6 +115,10 @@ std::vector<std::pair<std::string, std::int64_t>> ServerStats::ToPairs()
       {"sessions_active", sessions_active},
       {"worker_restarts", worker_restarts},
       {"catalog_version", catalog_version},
+      {"batches_flushed", batches_flushed},
+      {"rows_coalesced", rows_coalesced},
+      {"batch_occupancy_x100", batch_occupancy},
+      {"epoll_wakeups", epoll_wakeups},
   };
 }
 
@@ -125,7 +126,13 @@ QueryServer::QueryServer(RavenContext* ctx, QueryServerOptions options)
     : ctx_(ctx),
       options_(std::move(options)),
       plan_cache_(options_.plan_cache_capacity),
-      admission_(options_.admission) {}
+      admission_(options_.admission),
+      batcher_(std::make_shared<PredictBatcher>()) {
+  // Every session's PREDICT scorers route through the shared batcher (the
+  // window/row-cap knobs stay per-session SET state; with the default
+  // window of 0 the scorer never consults it).
+  options_.default_execution.predict_batcher = batcher_;
+}
 
 QueryServer::~QueryServer() { Stop(); }
 
@@ -133,6 +140,11 @@ Status QueryServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("server is already running");
   }
+  // Batcher Shutdown is permanent, so a restarted server gets a fresh
+  // (open) one; Snapshot between Stop and the next Start still reads the
+  // finished run's counters.
+  batcher_ = std::make_shared<PredictBatcher>();
+  options_.default_execution.predict_batcher = batcher_;
   // A client that disappears mid-response must surface as EPIPE on the
   // connection, not kill the server (same rationale as WorkerClient).
   ::signal(SIGPIPE, SIG_IGN);
@@ -196,125 +208,78 @@ Status QueryServer::Start() {
     listen_fd_ = -1;
     return Status::IoError("listen failed: " + error);
   }
+
+  EventLoopOptions loop;
+  loop.max_connections = options_.max_connections;
+  loop.max_request_frame_bytes = options_.max_request_frame_bytes;
+  loop.idle_timeout_millis = options_.idle_timeout_millis;
+  // Every admission slot and queue seat must be occupiable at once, or the
+  // dispatch pool — not the admission controller — would become the real
+  // shed/queue policy; the slack covers control traffic (SET, SHOW STATS,
+  // pings) arriving while all admission seats are taken.
+  loop.dispatch_threads = static_cast<int>(options_.admission.max_concurrent +
+                                           options_.admission.max_queue + 4);
+  loop.busy_payload = EncodeServerResponse(ErrorResponse(Status::ServerBusy(
+      "connection limit (" + std::to_string(options_.max_connections) +
+      ") reached; retry later")));
+  loop.oversize_payload = EncodeServerResponse(ErrorResponse(
+      Status::OutOfRange("request frame is over the cap of " +
+                         std::to_string(options_.max_request_frame_bytes) +
+                         " bytes")));
+  event_loop_ = std::make_unique<EventLoop>(
+      std::move(loop),
+      [this]() -> void* {
+        sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+        sessions_active_.fetch_add(1, std::memory_order_relaxed);
+        return new Session(
+            next_session_id_.fetch_add(1, std::memory_order_relaxed),
+            options_.default_execution);
+      },
+      [this](void* conn_ctx, std::string payload) -> std::string {
+        ServerResponse response;
+        auto request = DecodeClientRequest(payload);
+        if (!request.ok()) {
+          // Frames are length-delimited, so a malformed payload does not
+          // desynchronize the stream; answer the error and keep serving.
+          response = ErrorResponse(request.status());
+        } else {
+          response = HandleRequest(static_cast<Session*>(conn_ctx),
+                                   request.value());
+        }
+        return EncodeServerResponse(response);
+      },
+      [this](void* conn_ctx) {
+        delete static_cast<Session*>(conn_ctx);
+        sessions_active_.fetch_sub(1, std::memory_order_relaxed);
+      });
+  Status started = event_loop_->Start(listen_fd_);
+  if (!started.ok()) {
+    event_loop_.reset();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return started;
+  }
   running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread(&QueryServer::AcceptLoop, this);
   return Status::OK();
 }
 
 void QueryServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  // shutdown() only here: the accept thread still reads listen_fd_, so the
-  // close + reset wait until after the join.
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
+  // Drain the batcher FIRST: pending leaders wake and flush their groups
+  // immediately, and later submissions run solo — so the in-flight
+  // statements the loop is about to wait on can never be parked on a batch
+  // window waiting for company that will not arrive. No PREDICT waiter is
+  // dropped: drained batches run normally, they just stop waiting.
+  batcher_->Shutdown();
+  // Severs connections, finishes in-flight handlers, joins every thread.
+  if (event_loop_ != nullptr) event_loop_->Stop();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  {
-    // Sever every live connection: blocked frame reads return EOF, the
-    // connection threads run to completion (finishing any in-flight
-    // statement first) and mark themselves done.
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (Connection& conn : conns_) {
-      if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
-    }
-  }
-  ReapConnections(/*all=*/true);
   if (!options_.unix_socket_path.empty()) {
     ::unlink(options_.unix_socket_path.c_str());
   }
-}
-
-void QueryServer::ReapConnections(bool all) {
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    if (all || it->done.load(std::memory_order_acquire)) {
-      if (it->thread.joinable()) it->thread.join();
-      if (it->fd >= 0) ::close(it->fd);
-      it = conns_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-void QueryServer::AcceptLoop() {
-  while (running_.load(std::memory_order_acquire)) {
-    struct pollfd pfd;
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    const int ready = ::poll(&pfd, 1, 200);
-    if (!running_.load(std::memory_order_acquire)) break;
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    ReapConnections(/*all=*/false);
-    if (ready == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;  // listener was shut down
-    }
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    if (static_cast<std::int64_t>(conns_.size()) >=
-        options_.max_connections) {
-      // Thread budget exhausted: turn the connection away at the door with
-      // a busy frame rather than silently dropping it.
-      (void)runtime::WriteFrame(
-          fd, EncodeServerResponse(ErrorResponse(Status::ServerBusy(
-                  "connection limit (" +
-                  std::to_string(options_.max_connections) +
-                  ") reached; retry later"))));
-      ::close(fd);
-      continue;
-    }
-    conns_.emplace_back();
-    Connection* conn = &conns_.back();
-    conn->fd = fd;
-    conn->thread = std::thread(&QueryServer::ServeConnection, this, conn);
-  }
-}
-
-void QueryServer::ServeConnection(Connection* conn) {
-  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
-  sessions_active_.fetch_add(1, std::memory_order_relaxed);
-  Session session(next_session_id_.fetch_add(1, std::memory_order_relaxed),
-                  options_.default_execution);
-  for (;;) {
-    auto payload = runtime::ReadFrame(
-        conn->fd,
-        options_.idle_timeout_millis > 0 ? options_.idle_timeout_millis : -1,
-        options_.max_request_frame_bytes);
-    if (!payload.ok()) {
-      if (payload.status().code() == StatusCode::kOutOfRange) {
-        // Oversized header: tell the client why before hanging up (the
-        // unread payload makes the stream unusable afterwards).
-        (void)runtime::WriteFrame(
-            conn->fd, EncodeServerResponse(ErrorResponse(payload.status())));
-      }
-      break;  // disconnect (or Stop severed us)
-    }
-    ServerResponse response;
-    auto request = DecodeClientRequest(payload.value());
-    if (!request.ok()) {
-      // Frames are length-delimited, so a malformed payload does not
-      // desynchronize the stream; answer the error and keep serving.
-      response = ErrorResponse(request.status());
-    } else {
-      response = HandleRequest(&session, request.value());
-    }
-    if (!runtime::WriteFrame(conn->fd, EncodeServerResponse(response)).ok()) {
-      break;  // client vanished mid-response
-    }
-  }
-  // Leave the fd open (shutdown only): the reaper closes it after joining
-  // this thread, so the descriptor cannot be recycled while Stop() might
-  // still shut it down.
-  ::shutdown(conn->fd, SHUT_RDWR);
-  sessions_active_.fetch_sub(1, std::memory_order_relaxed);
-  conn->done.store(true, std::memory_order_release);
 }
 
 ServerResponse QueryServer::ErrorResponse(const Status& status) {
@@ -371,6 +336,9 @@ ServerResponse QueryServer::HandleStatement(Session* session,
   }
   if (verb == "SET") {
     return HandleSet(session, RestFrom(text, pos));
+  }
+  if (verb == "EXPLAIN") {
+    return HandleExplain(session, RestFrom(text, pos));
   }
   if (verb == "SHOW") {
     const std::string what = ToUpper(NextWord(text, &pos));
@@ -539,6 +507,40 @@ ServerResponse QueryServer::HandleExecute(Session* session,
   return ExecutePlan(session, bound_plan, cache_hit);
 }
 
+ServerResponse QueryServer::HandleExplain(Session* session,
+                                          const std::string& body) {
+  if (body.empty()) {
+    return ErrorResponse(Status::ParseError("EXPLAIN expects a statement"));
+  }
+  std::string text;
+  {
+    // Explain re-runs analyze + optimize and touches the shared
+    // optimizer's per-query costing state, so it serializes like PlanFresh
+    // (never cached — it is a diagnostic, not a hot path). Costing targets
+    // come from the server's default execution options, not the session.
+    std::lock_guard<std::mutex> lock(optimize_mu_);
+    auto explained = ctx_->Explain(session->RewriteWithViews(body));
+    if (!explained.ok()) return ErrorResponse(explained.status());
+    text = std::move(explained).value();
+  }
+  // The plan text reports which PREDICT nodes are batch-eligible; whether
+  // they actually coalesce is this session's knob state — append it so one
+  // round trip answers both questions.
+  const runtime::ExecutionOptions& exec = session->execution();
+  text += "=== Session batching knobs ===\n";
+  text += "  batch_window_micros = " +
+          std::to_string(exec.predict_batch_window_micros);
+  if (exec.predict_batch_window_micros <= 0) {
+    text += "  (0: batch-eligible nodes run per-morsel, uncoalesced)";
+  }
+  text += "\n  max_batch_rows = " +
+          std::to_string(exec.predict_max_batch_rows) + "\n";
+  ServerResponse response;
+  response.kind = ServerResponseKind::kAck;
+  response.message = std::move(text);
+  return response;
+}
+
 ServerResponse QueryServer::RunStatement(Session* session,
                                          const std::string& sql) {
   bool cache_hit = false;
@@ -653,6 +655,16 @@ ServerStats QueryServer::Snapshot() const {
   stats.sessions_active = sessions_active_.load(std::memory_order_relaxed);
   stats.worker_restarts = worker_restarts_.load(std::memory_order_relaxed);
   stats.catalog_version = ctx_->catalog().version();
+  const PredictBatcher::Stats batcher = batcher_->stats();
+  stats.batches_flushed = batcher.batches_flushed;
+  stats.rows_coalesced = batcher.rows_coalesced;
+  stats.batch_occupancy = batcher.batches_flushed > 0
+                              ? batcher.rows_flushed * 100 /
+                                    batcher.batches_flushed
+                              : 0;
+  if (event_loop_ != nullptr) {
+    stats.epoll_wakeups = event_loop_->stats().epoll_wakeups;
+  }
   return stats;
 }
 

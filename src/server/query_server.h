@@ -3,17 +3,17 @@
 
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "raven/raven.h"
 #include "server/admission.h"
+#include "server/event_loop.h"
 #include "server/plan_cache.h"
+#include "server/predict_batcher.h"
 #include "server/server_protocol.h"
 #include "server/session.h"
 
@@ -31,8 +31,10 @@ struct QueryServerOptions {
   /// per-session).
   runtime::ExecutionOptions default_execution;
   /// Simultaneous connections; arrivals beyond this are answered with a
-  /// kBusy frame and closed (each connection costs a thread, so this — not
-  /// the admission cap — bounds the server's thread count).
+  /// kBusy frame and closed. With the epoll core an idle connection costs a
+  /// registered fd plus its Session — not a thread — so this bounds fds and
+  /// per-connection state (the dispatch pool is sized from the admission
+  /// knobs instead).
   std::int64_t max_connections = 256;
   /// Request frames larger than this are rejected before their payload
   /// buffer is allocated: a hostile header cannot cost the server the
@@ -56,6 +58,14 @@ struct ServerStats {
   std::int64_t sessions_active = 0;
   std::int64_t worker_restarts = 0;
   std::int64_t catalog_version = 0;
+  /// Cross-query inference batching (PredictBatcher).
+  std::int64_t batches_flushed = 0;
+  std::int64_t rows_coalesced = 0;
+  /// Mean rows per physical NNRT call, x100 (integer stats table): 100 =
+  /// no coalescing, 6400 = 64 rows/batch.
+  std::int64_t batch_occupancy = 0;
+  /// Event-loop wakeups with >= 1 ready fd (EventLoopStats).
+  std::int64_t epoll_wakeups = 0;
 
   /// The SHOW STATS key/value pairs, in render order.
   std::vector<std::pair<std::string, std::int64_t>> ToPairs() const;
@@ -67,9 +77,14 @@ struct ServerStats {
 /// (execution knobs, temp views, prepared statements), routes statements
 /// through the shared PlanCache (normalized SQL + catalog version ->
 /// optimized IR), and bounds concurrent execution with the
-/// AdmissionController — admitted queries run on the connection's thread
-/// through the context's shared PlanExecutor, whose pipelines fan out on
-/// the process-wide ThreadPool. Statement verbs handled server-side:
+/// AdmissionController. Connections live on an epoll EventLoop (idle
+/// sockets cost a registered fd, not a thread); complete request frames
+/// are executed on the loop's dispatch pool through the context's shared
+/// PlanExecutor, whose pipelines fan out on the process-wide ThreadPool.
+/// PREDICT scorers of all sessions share one PredictBatcher, so
+/// concurrently in-flight queries against the same model coalesce their
+/// inference rows into shared NNRT calls (SET batch_window_micros > 0 to
+/// enable). Statement verbs handled server-side:
 ///
 ///   PREPARE <name> AS <select with ? placeholders>
 ///   EXECUTE <name> [( v1, v2, ... )]
@@ -77,6 +92,7 @@ struct ServerStats {
 ///   CREATE VIEW <name> AS <select>       -- session-scoped temp view
 ///   DROP VIEW <name>
 ///   SHOW STATS
+///   EXPLAIN <select>                     -- plan text, batch-eligible nodes
 ///
 /// Everything else is analyzed as an inference query. The embedding
 /// process must not call ctx->Query() concurrently with a running server
@@ -91,11 +107,12 @@ class QueryServer {
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
 
-  /// Binds, listens, and starts the accept thread.
+  /// Binds, listens, and starts the event loop + dispatch pool.
   Status Start();
-  /// Stops accepting, severs every live connection (in-flight statements
-  /// finish first — execution is not interruptible), and joins all
-  /// threads. Idempotent.
+  /// Stops accepting, drains the inference batcher (pending batched rows
+  /// flush immediately — no PREDICT waiter is left blocked on a window),
+  /// severs every live connection (in-flight statements finish first —
+  /// execution is not interruptible), and joins all threads. Idempotent.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -108,20 +125,9 @@ class QueryServer {
   ServerStats Snapshot() const;
   PlanCache& plan_cache() { return plan_cache_; }
   AdmissionController& admission() { return admission_; }
+  PredictBatcher& batcher() { return *batcher_; }
 
  private:
-  struct Connection {
-    int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};
-  };
-
-  void AcceptLoop();
-  void ServeConnection(Connection* conn);
-  /// Joins finished connection threads (called opportunistically from the
-  /// accept loop and exhaustively from Stop).
-  void ReapConnections(bool all);
-
   ServerResponse HandleRequest(Session* session, const ClientRequest& request);
   ServerResponse HandleStatement(Session* session, const std::string& sql);
   ServerResponse HandlePrepare(Session* session, const std::string& rest);
@@ -129,6 +135,7 @@ class QueryServer {
                                const std::vector<double>& params);
   ServerResponse HandleSet(Session* session, const std::string& rest);
   ServerResponse HandleCreateView(Session* session, const std::string& rest);
+  ServerResponse HandleExplain(Session* session, const std::string& body);
   ServerResponse RunStatement(Session* session, const std::string& sql);
   ServerResponse ShowStats() const;
 
@@ -153,13 +160,14 @@ class QueryServer {
   QueryServerOptions options_;
   PlanCache plan_cache_;
   AdmissionController admission_;
+  /// Shared by every session's PREDICT scorers (injected through
+  /// ExecutionOptions::predict_batcher); outlives the event loop.
+  std::shared_ptr<PredictBatcher> batcher_;
+  std::unique_ptr<EventLoop> event_loop_;
 
   std::atomic<bool> running_{false};
   int listen_fd_ = -1;
   int bound_tcp_port_ = -1;
-  std::thread accept_thread_;
-  std::mutex conns_mu_;
-  std::list<Connection> conns_;
 
   /// Serializes optimizer use: CrossOptimizer's costing targets (dop,
   /// distributed workers) are set per query. Plan-cache hits skip this

@@ -59,6 +59,26 @@ Status Session::ApplySet(const std::string& key, const std::string& value) {
     execution_.distributed_frame_timeout_millis = static_cast<int>(n);
     return Status::OK();
   }
+  if (k == "batch_window_micros") {
+    RAVEN_ASSIGN_OR_RETURN(std::int64_t n, ParseInt(k, v));
+    // Capped at 1s: the window is latency every lone PREDICT pays waiting
+    // for company, and an unbounded one would let any client park the
+    // server's dispatch threads inside the batcher.
+    if (n < 0 || n > 1000000) {
+      return Status::InvalidArgument(
+          "batch_window_micros must be in [0, 1000000] (0 = off)");
+    }
+    execution_.predict_batch_window_micros = n;
+    return Status::OK();
+  }
+  if (k == "max_batch_rows") {
+    RAVEN_ASSIGN_OR_RETURN(std::int64_t n, ParseInt(k, v));
+    if (n < 1 || n > 65536) {
+      return Status::InvalidArgument("max_batch_rows must be in [1, 65536]");
+    }
+    execution_.predict_max_batch_rows = n;
+    return Status::OK();
+  }
   if (k == "mode") {
     const std::string mode = ToLower(v);
     if (mode == "inprocess" || mode == "in_process") {
@@ -79,12 +99,14 @@ Status Session::ApplySet(const std::string& key, const std::string& value) {
   return Status::InvalidArgument(
       "unknown session knob '" + key +
       "' (parallelism, morsel_rows, mode, distributed_workers, "
-      "distributed_frame_timeout_millis)");
+      "distributed_frame_timeout_millis, batch_window_micros, "
+      "max_batch_rows)");
 }
 
 std::string Session::PlanProfile() const {
   // Only knobs the optimizer's cost model consumes belong here: adding
-  // irrelevant ones (e.g. morsel_rows) would fragment the cache.
+  // irrelevant ones (e.g. morsel_rows, the batching knobs) would fragment
+  // the cache.
   return "mode=" +
          std::to_string(static_cast<int>(execution_.mode)) +
          ";dop=" + std::to_string(execution_.parallelism) +

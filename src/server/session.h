@@ -31,9 +31,10 @@ struct PreparedStatement {
 };
 
 /// Per-connection state: execution knobs (SET), prepared statements, and
-/// temp views. Owned and touched by exactly one connection thread — no
+/// temp views. Touched by at most one dispatch thread at a time (the event
+/// loop is strict request/response per connection, no pipelining) — no
 /// locking; everything cross-session lives in the QueryServer (plan cache,
-/// admission, the engine itself).
+/// admission, the inference batcher, the engine itself).
 class Session {
  public:
   Session(std::int64_t id, runtime::ExecutionOptions defaults)
@@ -45,7 +46,8 @@ class Session {
 
   /// Applies `SET key = value`. Keys (case-insensitive): parallelism,
   /// morsel_rows, mode (inprocess|distributed|outofprocess|container),
-  /// distributed_workers, distributed_frame_timeout_millis.
+  /// distributed_workers, distributed_frame_timeout_millis,
+  /// batch_window_micros (0 = no cross-query coalescing), max_batch_rows.
   Status ApplySet(const std::string& key, const std::string& value);
 
   /// The session knobs that change what the optimizer produces (cost-based

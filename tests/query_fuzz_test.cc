@@ -526,6 +526,12 @@ TEST_F(QueryFuzzTest, ServerDifferential200QueriesBy4ConcurrentClients) {
   options.plan_cache_capacity = 512;  // all 200 shapes stay resident
   options.admission.max_concurrent = 4;
   options.default_execution.parallelism = 4;
+  // Cross-query micro-batching ON: the fuzzed shapes' PREDICT rows may
+  // coalesce across the 4 clients, and every differential comparison below
+  // still demands the in-process (unbatched, dop=1) result bit-for-bit.
+  options.default_execution.predict_batch_window_micros = 1000;
+  options.default_execution.predict_max_batch_rows = 256;
+  options.default_execution.morsel_rows = 128;
   server::QueryServer server(&server_ctx, options);
   ASSERT_TRUE(server.Start().ok());
 

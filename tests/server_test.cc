@@ -883,6 +883,10 @@ TEST_F(QueryServerTest, SoakMixedTrafficEightClients) {
   options.admission.max_concurrent = 2;
   options.admission.max_queue = 6;
   options.admission.queue_timeout_millis = 120000;
+  // Cross-query micro-batching ON for the whole soak: the byte-identity
+  // bar below also proves coalesced PREDICT rows scatter back exactly.
+  options.default_execution.predict_batch_window_micros = 1000;
+  options.default_execution.predict_max_batch_rows = 256;
   QueryServer server(&ctx_, options);
   ASSERT_TRUE(server.Start().ok());
 
@@ -1000,6 +1004,146 @@ TEST_F(QueryServerTest, SoakMixedTrafficEightClients) {
   EXPECT_GT(by_key["plan_cache_hits"], 0);
   EXPECT_GT(by_key["prepared_executions"], 0);
   server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-query inference micro-batching
+// ---------------------------------------------------------------------------
+
+TEST_F(QueryServerTest, BatchedPredictsCoalesceAcrossQueriesByteIdentically) {
+  // 'delay' is the NNRT-lowered model ('los' is a small tree the optimizer
+  // inlines into a CASE projection — nothing to batch there).
+  const std::string sql =
+      "SELECT id, p FROM PREDICT(MODEL='delay', DATA=flights) WITH(p float) "
+      "WHERE p > 0.5";
+  const Table expected = Expected(sql);
+  ASSERT_FALSE(HasFailure());
+
+  QueryServerOptions options = DefaultOptions();
+  options.default_execution.predict_batch_window_micros = 3000;
+  options.default_execution.predict_max_batch_rows = 512;
+  // Small morsels: each scorer submission stays under max_batch_rows, so
+  // concurrent queries' morsels are eligible to share NNRT calls.
+  options.default_execution.morsel_rows = 64;
+  QueryServer server(&ctx_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 6;
+  constexpr int kIterations = 5;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int tid = 0; tid < kClients; ++tid) {
+    clients.emplace_back([&] {
+      ServerClient client;
+      Status connected = client.ConnectUnix(server.unix_socket_path());
+      ASSERT_TRUE(connected.ok()) << connected.ToString();
+      for (int i = 0; i < kIterations; ++i) {
+        auto response = client.Query(sql);
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        ASSERT_EQ(response->kind, ServerResponseKind::kTable)
+            << response->message;
+        ASSERT_NO_FATAL_FAILURE(
+            ExpectTablesIdentical(expected, response->table, false));
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  // Identity held above; now prove the sharing actually happened (6
+  // clients x dop-4 morsel pipelines against one model cannot all have
+  // flown solo).
+  const ServerStats stats = server.Snapshot();
+  EXPECT_GT(stats.batches_flushed, 0);
+  EXPECT_GT(stats.rows_coalesced, 0)
+      << "no cross-query coalescing happened — concurrent PREDICT morsels "
+         "never shared an NNRT call";
+  EXPECT_GT(stats.batch_occupancy, 100);  // > 1 row per physical call, x100
+  EXPECT_GT(stats.epoll_wakeups, 0);
+  server.Stop();
+}
+
+TEST_F(QueryServerTest, ExplainReportsBatchEligiblePredicts) {
+  QueryServerOptions options = DefaultOptions();
+  QueryServer server(&ctx_, options);
+  ASSERT_TRUE(server.Start().ok());
+  ServerClient client;
+  ASSERT_TRUE(client.ConnectUnix(server.unix_socket_path()).ok());
+  auto plain = client.Query(
+      "EXPLAIN SELECT id, p FROM PREDICT(MODEL='delay', DATA=flights) "
+      "WITH(p float) WHERE p > 0.5");
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_EQ(plain->kind, ServerResponseKind::kAck) << plain->message;
+  EXPECT_NE(plain->message.find("batch-eligible: Predict(delay)"),
+            std::string::npos)
+      << plain->message;
+  EXPECT_NE(plain->message.find("batch_window_micros = 0"),
+            std::string::npos)
+      << plain->message;
+  // The knob report tracks the session's SET state.
+  auto set = client.Query("SET batch_window_micros = 500");
+  ASSERT_TRUE(set.ok() && set->kind == ServerResponseKind::kAck)
+      << set->message;
+  auto tuned = client.Query(
+      "EXPLAIN SELECT id, p FROM PREDICT(MODEL='los', DATA=patients) "
+      "WITH(p float) WHERE p > 6");
+  ASSERT_TRUE(tuned.ok());
+  ASSERT_EQ(tuned->kind, ServerResponseKind::kAck);
+  EXPECT_NE(tuned->message.find("batch_window_micros = 500"),
+            std::string::npos)
+      << tuned->message;
+  // A model-free statement has nothing to batch — and says nothing.
+  auto scan = client.Query("EXPLAIN SELECT id FROM patients WHERE age > 40");
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->kind, ServerResponseKind::kAck);
+  EXPECT_EQ(scan->message.find("batch-eligible"), std::string::npos);
+}
+
+TEST_F(QueryServerTest, StopUnderBatchedLoadDrainsPendingPredicts) {
+  QueryServerOptions options = DefaultOptions();
+  // Long windows and a cap groups never reach: without the Stop-path
+  // batcher drain, in-flight PREDICT morsels would each sit out their full
+  // window during shutdown.
+  options.default_execution.predict_batch_window_micros = 500000;
+  options.default_execution.predict_max_batch_rows = 65536;
+  options.default_execution.morsel_rows = 64;
+  QueryServer server(&ctx_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 6;
+  std::atomic<std::int64_t> completed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int tid = 0; tid < kClients; ++tid) {
+    clients.emplace_back([&] {
+      ServerClient client;
+      if (!client.ConnectUnix(server.unix_socket_path()).ok()) return;
+      for (int i = 0; i < 50; ++i) {
+        auto response = client.Query(
+            "SELECT id, p FROM PREDICT(MODEL='delay', DATA=flights) "
+            "WITH(p float) WHERE p > 0.5");
+        // Stop() severs connections; transport errors are the expected
+        // way out. Any response that does arrive must be well-formed.
+        if (!response.ok()) return;
+        if (response->kind != ServerResponseKind::kTable) return;
+        completed.fetch_add(1);
+      }
+    });
+  }
+  // Let real batched load build up, then stop under it.
+  while (completed.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto stop_start = std::chrono::steady_clock::now();
+  server.Stop();
+  const auto stop_elapsed = std::chrono::steady_clock::now() - stop_start;
+  for (auto& client : clients) client.join();
+
+  // Stop waited only for in-flight statements (which drain their batch
+  // groups immediately), never a full 500 ms window per pending morsel —
+  // and no PREDICT waiter was left blocked, or the joins above would hang.
+  EXPECT_LT(stop_elapsed, std::chrono::seconds(30));
+  EXPECT_GT(completed.load(), 0);
+  EXPECT_FALSE(server.running());
 }
 
 }  // namespace

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Docs-consistency gate, run by every tools/ci.sh job.
+
+Two classes of rot it catches:
+
+  1. Broken intra-repo markdown links: every relative link target in a
+     tracked *.md file must exist (anchors are stripped; external
+     http(s)/mailto links are not checked).
+
+  2. Operational surface drift: every `SET` knob the server accepts
+     (parsed out of src/server/session.cc) and every SHOW STATS key it
+     renders (parsed out of ServerStats::ToPairs in
+     src/server/query_server.cc) must be mentioned in
+     docs/OPERATIONS.md. Add a knob without documenting it and this
+     fails; the parse is from the code, so the doc can never silently
+     lag the implementation.
+
+Exits non-zero listing every problem found.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {".git", ".github"}
+SKIP_PREFIXES = ("build",)
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files():
+    for root, dirs, files in os.walk(REPO):
+        rel_root = os.path.relpath(root, REPO)
+        dirs[:] = [
+            d
+            for d in dirs
+            if d not in SKIP_DIRS and not d.startswith(SKIP_PREFIXES)
+        ]
+        for name in files:
+            if name.endswith(".md"):
+                yield os.path.join(root, name)
+
+
+def check_links(problems):
+    for path in markdown_files():
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        # Fenced code blocks contain things like [u32 length][payload] and
+        # example links; only prose links are contracts.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target.split("#")[0])
+            )
+            if not os.path.exists(resolved):
+                problems.append(
+                    f"{os.path.relpath(path, REPO)}: broken link '{target}'"
+                )
+
+
+def read_source(rel):
+    with open(os.path.join(REPO, rel), encoding="utf-8") as f:
+        return f.read()
+
+
+def set_knobs():
+    """Knob names session.cc's ApplySet dispatches on."""
+    src = read_source("src/server/session.cc")
+    body = src.split("Status Session::ApplySet", 1)[1]
+    knobs = re.findall(r'k == "(\w+)"', body)
+    if not knobs:
+        raise AssertionError("no SET knobs parsed from session.cc")
+    return knobs
+
+
+def stats_keys():
+    """SHOW STATS keys from ServerStats::ToPairs, in render order."""
+    src = read_source("src/server/query_server.cc")
+    body = src.split("ServerStats::ToPairs", 1)[1]
+    body = body.split("};", 1)[0]
+    keys = re.findall(r'\{"(\w+)",', body)
+    if not keys:
+        raise AssertionError("no stats keys parsed from query_server.cc")
+    return keys
+
+
+def check_operations(problems):
+    ops_path = os.path.join(REPO, "docs", "OPERATIONS.md")
+    if not os.path.exists(ops_path):
+        problems.append("docs/OPERATIONS.md is missing")
+        return
+    with open(ops_path, encoding="utf-8") as f:
+        ops = f.read()
+    for knob in set_knobs():
+        if f"`{knob}`" not in ops:
+            problems.append(
+                f"docs/OPERATIONS.md: SET knob '{knob}' is undocumented"
+            )
+    for key in stats_keys():
+        if f"`{key}`" not in ops:
+            problems.append(
+                f"docs/OPERATIONS.md: SHOW STATS key '{key}' is undocumented"
+            )
+
+
+def main():
+    problems = []
+    check_links(problems)
+    check_operations(problems)
+    if problems:
+        for p in problems:
+            print(f"check_docs: {p}", file=sys.stderr)
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("check_docs: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

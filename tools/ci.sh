@@ -6,6 +6,8 @@
 #   tools/ci.sh asan       # tier-1 under -fsanitize=address,undefined
 #   tools/ci.sh tsan       # runtime/integration suites under ThreadSanitizer
 #                          # (the morsel-parallel executor's race gate)
+#   tools/ci.sh docs       # docs-consistency gate alone (links, knob/stats
+#                          # coverage in docs/OPERATIONS.md)
 #   tools/ci.sh all        # every job back to back + a bench smoke run
 #
 # ccache is picked up automatically when installed (RAVEN_NO_CCACHE=1
@@ -20,6 +22,14 @@ CMAKE_EXTRA=()
 if [[ -z "${RAVEN_NO_CCACHE:-}" ]] && command -v ccache >/dev/null 2>&1; then
   CMAKE_EXTRA+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
+
+docs_check() {
+  # Docs-consistency gate: broken intra-repo markdown links, and SET
+  # knobs / SHOW STATS keys present in the code but missing from
+  # docs/OPERATIONS.md (tools/check_docs.py parses both lists out of the
+  # server sources, so the docs cannot silently lag the implementation).
+  python3 tools/check_docs.py
+}
 
 run_suite() {
   local build_dir="$1"; shift
@@ -48,6 +58,7 @@ tier1() {
   # All spawn real raven_worker children or socket servers; their timeouts
   # (tests/CMakeLists.txt) are sized for that.
   CONFIG_ARGS=()
+  docs_check
   run_suite build
 }
 
@@ -78,10 +89,15 @@ case "${MODE}" in
     tier1
     ;;
   asan)
+    docs_check
     asan
     ;;
   tsan)
+    docs_check
     tsan
+    ;;
+  docs)
+    docs_check
     ;;
   all)
     tier1
@@ -95,7 +111,7 @@ case "${MODE}" in
     tools/bench.sh --smoke --compare BENCH_289e1c6.json --fail-over 10
     ;;
   *)
-    echo "usage: tools/ci.sh [tier1|asan|tsan|all]" >&2
+    echo "usage: tools/ci.sh [tier1|asan|tsan|docs|all]" >&2
     exit 2
     ;;
 esac

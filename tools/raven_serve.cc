@@ -13,6 +13,9 @@
 //   --queue-timeout-ms=N      queue wait bound (default 30000)
 //   --max-result-rows=N       per-query result cap (default 0 = unlimited)
 //   --plan-cache=N            plan cache capacity (default 128)
+//   --batch-window-us=N       cross-query PREDICT micro-batch window in
+//                             microseconds (default 0 = off)
+//   --max-batch-rows=N        rows per coalesced NNRT call (default 256)
 //
 // Try it:
 //   raven_client --socket=/tmp/raven.sock \
@@ -73,6 +76,12 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--plan-cache=", &value)) {
       options.plan_cache_capacity =
           static_cast<std::size_t>(FlagInt(value, "--plan-cache"));
+    } else if (ParseFlag(argv[i], "--batch-window-us=", &value)) {
+      options.default_execution.predict_batch_window_micros =
+          FlagInt(value, "--batch-window-us");
+    } else if (ParseFlag(argv[i], "--max-batch-rows=", &value)) {
+      options.default_execution.predict_max_batch_rows =
+          FlagInt(value, "--max-batch-rows");
     } else {
       std::fprintf(stderr, "raven_serve: unknown flag '%s'\n", argv[i]);
       return 2;
