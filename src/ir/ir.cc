@@ -5,6 +5,8 @@
 #include <set>
 #include <sstream>
 
+#include "nnrt/artifact_cache.h"
+
 namespace raven::ir {
 
 const char* OpCategoryToString(OpCategory category) {
@@ -298,12 +300,12 @@ IrNodePtr IrNode::ClusteredPredict(IrNodePtr child, std::string model_name,
 namespace {
 
 /// Content hash of a translated graph, taken once at node construction;
-/// 0 is reserved for "not computed".
+/// 0 is reserved for "not computed". Delegates to the nnrt helper so the
+/// artifact cache and raven_worker derive the identical key from bytes.
 std::uint64_t FingerprintNnGraph(const nnrt::Graph& graph) {
   BinaryWriter writer;
   graph.Serialize(&writer);
-  const std::uint64_t h = std::hash<std::string>{}(writer.Release());
-  return h == 0 ? 1 : h;
+  return nnrt::FingerprintGraphBytes(writer.Release());
 }
 
 }  // namespace

@@ -1,0 +1,414 @@
+#include "nnrt/backend.h"
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace raven::nnrt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SIMD kernels.
+//
+// Byte-identity contract with kernels.cc: every element undergoes exactly the
+// same sequence of IEEE single-precision operations in the same order as the
+// scalar reference — vectorizing only across elements that the scalar code
+// computes independently (the j/column axis), never across a reduction.
+// No FMA: the accumulate is an explicit mul-round then add-round, matching
+// `orow[j] += av * brow[j]` built without -mfma/-ffast-math. Order-sensitive
+// ops (Softmax, ReduceSum, TreeEnsemble, ...) stay on the reference registry.
+// ---------------------------------------------------------------------------
+
+std::pair<std::int64_t, std::int64_t> AsMatrix(const Tensor& t) {
+  if (t.rank() == 2) return {t.dim(0), t.dim(1)};
+  if (t.rank() == 1) return {1, t.dim(0)};
+  return {1, t.num_elements()};
+}
+
+#if defined(__SSE2__)
+
+enum class BinOp { kAdd, kSub, kMul, kDiv };
+
+template <BinOp op>
+inline float ScalarBin(float x, float y) {
+  if constexpr (op == BinOp::kAdd) return x + y;
+  if constexpr (op == BinOp::kSub) return x - y;
+  if constexpr (op == BinOp::kMul) return x * y;
+  return x / y;
+}
+
+template <BinOp op>
+inline __m128 VecBin(__m128 x, __m128 y) {
+  if constexpr (op == BinOp::kAdd) return _mm_add_ps(x, y);
+  if constexpr (op == BinOp::kSub) return _mm_sub_ps(x, y);
+  if constexpr (op == BinOp::kMul) return _mm_mul_ps(x, y);
+  return _mm_div_ps(x, y);
+}
+
+template <BinOp op>
+Status SimdElementwiseBinary(KernelContext* ctx) {
+  if (ctx->inputs.size() != 2) {
+    return Status::InvalidArgument(ctx->node->op_type + " expects 2 inputs");
+  }
+  const Tensor& a = ctx->input(0);
+  const Tensor& b = ctx->input(1);
+  Tensor out = Tensor::Zeros(a.shape());
+  const auto [rows, cols] = AsMatrix(a);
+  const std::int64_t n = a.num_elements();
+  const std::int64_t bn = b.num_elements();
+  if (bn == n) {
+    std::int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      _mm_storeu_ps(out.raw() + i, VecBin<op>(_mm_loadu_ps(a.raw() + i),
+                                              _mm_loadu_ps(b.raw() + i)));
+    }
+    for (; i < n; ++i) out.raw()[i] = ScalarBin<op>(a.raw()[i], b.raw()[i]);
+  } else if (bn == 1) {
+    const float bv = b.raw()[0];
+    const __m128 vb = _mm_set1_ps(bv);
+    std::int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      _mm_storeu_ps(out.raw() + i, VecBin<op>(_mm_loadu_ps(a.raw() + i), vb));
+    }
+    for (; i < n; ++i) out.raw()[i] = ScalarBin<op>(a.raw()[i], bv);
+  } else if (bn == cols) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* arow = a.raw() + r * cols;
+      float* orow = out.raw() + r * cols;
+      std::int64_t c = 0;
+      for (; c + 4 <= cols; c += 4) {
+        _mm_storeu_ps(orow + c, VecBin<op>(_mm_loadu_ps(arow + c),
+                                           _mm_loadu_ps(b.raw() + c)));
+      }
+      for (; c < cols; ++c) orow[c] = ScalarBin<op>(arow[c], b.raw()[c]);
+    }
+  } else {
+    return Status::InvalidArgument(
+        ctx->node->op_type + ": cannot broadcast " + ShapeToString(b.shape()) +
+        " against " + ShapeToString(a.shape()));
+  }
+  ctx->flops = static_cast<double>(n);
+  ctx->outputs[0] = std::move(out);
+  return Status::OK();
+}
+
+// Relu as cmpgt+and: x > 0 ? x : 0 — identical to the scalar conditional for
+// -0.0f (compare false -> +0) and NaN (compare false -> +0), where
+// _mm_max_ps's operand-ordering subtleties would invite drift.
+Status SimdReluKernel(KernelContext* ctx) {
+  if (ctx->inputs.size() != 1) {
+    return Status::InvalidArgument("Relu expects 1 input");
+  }
+  const Tensor& a = ctx->input(0);
+  Tensor out = Tensor::Zeros(a.shape());
+  const std::int64_t n = a.num_elements();
+  const __m128 zero = _mm_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 x = _mm_loadu_ps(a.raw() + i);
+    _mm_storeu_ps(out.raw() + i, _mm_and_ps(x, _mm_cmpgt_ps(x, zero)));
+  }
+  for (; i < n; ++i) out.raw()[i] = a.raw()[i] > 0 ? a.raw()[i] : 0.f;
+  ctx->flops = static_cast<double>(n);
+  ctx->outputs[0] = std::move(out);
+  return Status::OK();
+}
+
+Status SimdMatMulImpl(const Tensor& a, const Tensor& b, const Tensor* bias,
+                      KernelContext* ctx) {
+  const auto [n, k] = AsMatrix(a);
+  if (b.rank() != 2 || b.dim(0) != k) {
+    return Status::InvalidArgument(
+        "MatMul shape mismatch: " + ShapeToString(a.shape()) + " x " +
+        ShapeToString(b.shape()));
+  }
+  const std::int64_t m = b.dim(1);
+  if (bias != nullptr && bias->num_elements() != m) {
+    return Status::InvalidArgument("Gemm bias size mismatch");
+  }
+  Tensor out = Tensor::Zeros({n, m});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (bias != nullptr) {
+      std::int64_t j = 0;
+      for (; j + 4 <= m; j += 4) {
+        _mm_storeu_ps(po + i * m + j, _mm_loadu_ps(bias->raw() + j));
+      }
+      for (; j < m; ++j) po[i * m + j] = bias->raw()[j];
+    }
+    // k stays the outer (sequential) loop exactly as in the reference so each
+    // output element accumulates its k partial products in the same order.
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;  // Preserve the reference's one-hot skip.
+      const float* brow = pb + kk * m;
+      float* orow = po + i * m;
+      const __m128 va = _mm_set1_ps(av);
+      std::int64_t j = 0;
+      for (; j + 4 <= m; j += 4) {
+        const __m128 prod = _mm_mul_ps(va, _mm_loadu_ps(brow + j));
+        _mm_storeu_ps(orow + j, _mm_add_ps(_mm_loadu_ps(orow + j), prod));
+      }
+      for (; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  ctx->flops = 2.0 * static_cast<double>(n) * static_cast<double>(k) *
+               static_cast<double>(m);
+  ctx->outputs[0] = std::move(out);
+  return Status::OK();
+}
+
+Status SimdMatMulKernel(KernelContext* ctx) {
+  if (ctx->inputs.size() != 2) {
+    return Status::InvalidArgument("MatMul expects 2 inputs");
+  }
+  return SimdMatMulImpl(ctx->input(0), ctx->input(1), nullptr, ctx);
+}
+
+Status SimdGemmKernel(KernelContext* ctx) {
+  if (ctx->inputs.size() < 2 || ctx->inputs.size() > 3) {
+    return Status::InvalidArgument("Gemm expects 2 or 3 inputs");
+  }
+  const Tensor* bias = ctx->num_inputs() == 3 ? &ctx->input(2) : nullptr;
+  return SimdMatMulImpl(ctx->input(0), ctx->input(1), bias, ctx);
+}
+
+Status SimdScalerKernel(KernelContext* ctx) {
+  if (ctx->inputs.size() != 1) {
+    return Status::InvalidArgument("Scaler expects 1 input");
+  }
+  RAVEN_ASSIGN_OR_RETURN(auto offset, ctx->node->GetFloatsAttr("offset"));
+  RAVEN_ASSIGN_OR_RETURN(auto scale, ctx->node->GetFloatsAttr("scale"));
+  const Tensor& a = ctx->input(0);
+  const auto [rows, cols] = AsMatrix(a);
+  if (static_cast<std::int64_t>(offset.size()) != cols ||
+      static_cast<std::int64_t>(scale.size()) != cols) {
+    return Status::InvalidArgument("Scaler offset/scale size mismatch");
+  }
+  // Hoist the per-element double->float casts out of the row loop; the cast
+  // result is position-independent so the values match the reference exactly.
+  std::vector<float> offs(static_cast<std::size_t>(cols));
+  std::vector<float> scls(static_cast<std::size_t>(cols));
+  for (std::int64_t c = 0; c < cols; ++c) {
+    offs[static_cast<std::size_t>(c)] =
+        static_cast<float>(offset[static_cast<std::size_t>(c)]);
+    scls[static_cast<std::size_t>(c)] =
+        static_cast<float>(scale[static_cast<std::size_t>(c)]);
+  }
+  Tensor out = Tensor::Zeros(a.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = a.raw() + r * cols;
+    float* o = out.raw() + r * cols;
+    std::int64_t c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      const __m128 x = _mm_sub_ps(_mm_loadu_ps(in + c),
+                                  _mm_loadu_ps(offs.data() + c));
+      _mm_storeu_ps(o + c, _mm_mul_ps(x, _mm_loadu_ps(scls.data() + c)));
+    }
+    for (; c < cols; ++c) {
+      o[c] = (in[c] - offs[static_cast<std::size_t>(c)]) *
+             scls[static_cast<std::size_t>(c)];
+    }
+  }
+  ctx->flops = 2.0 * static_cast<double>(a.num_elements());
+  ctx->outputs[0] = std::move(out);
+  return Status::OK();
+}
+
+const std::map<std::string, Kernel>& SimdOverrides() {
+  static const std::map<std::string, Kernel>* overrides =
+      new std::map<std::string, Kernel>{
+          {"Add", SimdElementwiseBinary<BinOp::kAdd>},
+          {"Sub", SimdElementwiseBinary<BinOp::kSub>},
+          {"Mul", SimdElementwiseBinary<BinOp::kMul>},
+          {"Div", SimdElementwiseBinary<BinOp::kDiv>},
+          {"Relu", SimdReluKernel},
+          {"MatMul", SimdMatMulKernel},
+          {"Gemm", SimdGemmKernel},
+          {"Scaler", SimdScalerKernel},
+      };
+  return *overrides;
+}
+
+#else  // !__SSE2__
+
+// Non-x86 builds: the "simd" backend degrades to the reference registry, so
+// backend selection stays portable and the differential tests pass trivially.
+const std::map<std::string, Kernel>& SimdOverrides() {
+  static const std::map<std::string, Kernel>* overrides =
+      new std::map<std::string, Kernel>{};
+  return *overrides;
+}
+
+#endif  // __SSE2__
+
+// ---------------------------------------------------------------------------
+// fp16 storage rounding.
+// ---------------------------------------------------------------------------
+
+std::uint16_t F32ToF16Bits(float x) {
+  std::uint32_t f;
+  std::memcpy(&f, &x, sizeof(f));
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::uint32_t exp = (f >> 23) & 0xffu;
+  std::uint32_t man = f & 0x7fffffu;
+  if (exp == 255u) {  // Inf / NaN (keep NaN-ness via a sticky mantissa bit).
+    return static_cast<std::uint16_t>(
+        sign | 0x7c00u | (man != 0 ? (0x200u | (man >> 13)) : 0u));
+  }
+  const int e = static_cast<int>(exp) - 127 + 15;
+  if (e >= 31) return static_cast<std::uint16_t>(sign | 0x7c00u);  // -> inf
+  if (e <= 0) {
+    if (e < -10) return static_cast<std::uint16_t>(sign);  // -> signed zero
+    // Subnormal half: shift the 24-bit significand down, rounding to even.
+    man |= 0x800000u;
+    const int shift = 14 - e;
+    const std::uint32_t half = man >> shift;
+    const std::uint32_t rem = man & ((1u << shift) - 1u);
+    const std::uint32_t mid = 1u << (shift - 1);
+    std::uint16_t out = static_cast<std::uint16_t>(sign | half);
+    if (rem > mid || (rem == mid && (half & 1u))) ++out;
+    return out;
+  }
+  std::uint32_t out =
+      sign | (static_cast<std::uint32_t>(e) << 10) | (man >> 13);
+  const std::uint32_t rem = man & 0x1fffu;
+  // Round to nearest even; a carry ripples into the exponent (and up to inf)
+  // through the packed representation, which is exactly what IEEE wants.
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out;
+  return static_cast<std::uint16_t>(out);
+}
+
+float F16BitsToF32(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  std::uint32_t man = h & 0x3ffu;
+  std::uint32_t f;
+  if (exp == 0u) {
+    if (man == 0u) {
+      f = sign;
+    } else {
+      int e = -1;
+      do {
+        man <<= 1;
+        ++e;
+      } while ((man & 0x400u) == 0u);
+      man &= 0x3ffu;
+      f = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) | (man << 13);
+    }
+  } else if (exp == 31u) {
+    f = sign | 0x7f800000u | (man << 13);
+  } else {
+    f = sign | ((exp - 15u + 127u) << 23) | (man << 13);
+  }
+  float out;
+  std::memcpy(&out, &f, sizeof(out));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Backend implementations.
+// ---------------------------------------------------------------------------
+
+class ReferenceBackend final : public Backend {
+ public:
+  const char* name() const override { return "reference"; }
+  const Kernel* FindKernel(const std::string& op_type) const override {
+    return nnrt::FindKernel(op_type);
+  }
+};
+
+class SimdBackend final : public Backend {
+ public:
+  const char* name() const override { return "simd"; }
+  const Kernel* FindKernel(const std::string& op_type) const override {
+    const auto& overrides = SimdOverrides();
+    auto it = overrides.find(op_type);
+    if (it != overrides.end()) return &it->second;
+    return nnrt::FindKernel(op_type);
+  }
+};
+
+/// Decorates the SIMD backend: runs its kernel, then rounds every output
+/// element to the nearest binary16 value. Compute stays fp32 — this models
+/// fp16 *storage* of activations, the dominant error source of a real
+/// half-precision engine, without a second dtype in Tensor.
+class Fp16Backend final : public Backend {
+ public:
+  const char* name() const override { return "fp16"; }
+  bool fp16() const override { return true; }
+  const Kernel* FindKernel(const std::string& op_type) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = wrapped_.find(op_type);
+    if (it != wrapped_.end()) return &it->second;
+    const Kernel* inner = GetBackend(BackendKind::kSimd)->FindKernel(op_type);
+    if (inner == nullptr) return nullptr;
+    Kernel k = [inner](KernelContext* ctx) -> Status {
+      RAVEN_RETURN_IF_ERROR((*inner)(ctx));
+      for (Tensor& out : ctx->outputs) {
+        float* p = out.raw();
+        const std::int64_t n = out.num_elements();
+        for (std::int64_t i = 0; i < n; ++i) p[i] = RoundToFp16(p[i]);
+      }
+      return Status::OK();
+    };
+    auto [pos, inserted] = wrapped_.emplace(op_type, std::move(k));
+    (void)inserted;
+    return &pos->second;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::map<std::string, Kernel> wrapped_;
+};
+
+}  // namespace
+
+float RoundToFp16(float x) { return F16BitsToF32(F32ToF16Bits(x)); }
+
+const Backend* GetBackend(BackendKind kind) {
+  static const ReferenceBackend* reference = new ReferenceBackend();
+  static const SimdBackend* simd = new SimdBackend();
+  static const Fp16Backend* fp16 = new Fp16Backend();
+  switch (kind) {
+    case BackendKind::kSimd:
+      return simd;
+    case BackendKind::kFp16:
+      return fp16;
+    case BackendKind::kReference:
+    default:
+      return reference;
+  }
+}
+
+const char* BackendKindToString(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSimd:
+      return "simd";
+    case BackendKind::kFp16:
+      return "fp16";
+    case BackendKind::kReference:
+    default:
+      return "reference";
+  }
+}
+
+Result<BackendKind> ParseBackendKind(const std::string& name) {
+  if (name == "reference") return BackendKind::kReference;
+  if (name == "simd") return BackendKind::kSimd;
+  if (name == "fp16") return BackendKind::kFp16;
+  return Status::InvalidArgument(
+      "unknown nn_backend '" + name +
+      "' (expected one of: reference, simd, fp16)");
+}
+
+}  // namespace raven::nnrt

@@ -1,12 +1,54 @@
 #include "nnrt/executor.h"
 
+#include <algorithm>
+
 #include "common/timer.h"
+#include "nnrt/backend.h"
 #include "nnrt/kernels.h"
 
 namespace raven::nnrt {
 
+void OpProfiler::Merge(const std::vector<OpProfile>& per_op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const OpProfile& p : per_op) {
+    OpProfile& agg = ops_[p.op_type];
+    agg.op_type = p.op_type;
+    agg.calls += p.calls;
+    agg.wall_micros += p.wall_micros;
+    agg.flops += p.flops;
+    total_calls_ += p.calls;
+    total_micros_ += p.wall_micros;
+  }
+}
+
+std::vector<OpProfile> OpProfiler::Snapshot() const {
+  std::vector<OpProfile> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(ops_.size());
+    for (const auto& [op, profile] : ops_) out.push_back(profile);
+  }
+  std::sort(out.begin(), out.end(), [](const OpProfile& a, const OpProfile& b) {
+    if (a.wall_micros != b.wall_micros) return a.wall_micros > b.wall_micros;
+    return a.op_type < b.op_type;
+  });
+  return out;
+}
+
+std::int64_t OpProfiler::total_calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_calls_;
+}
+
+double OpProfiler::total_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_micros_;
+}
+
 Result<TensorMap> ExecuteGraph(const Graph& graph, const TensorMap& inputs,
-                               RunStats* stats) {
+                               RunStats* stats, const Backend* backend,
+                               bool profile_ops) {
+  if (backend == nullptr) backend = GetBackend(BackendKind::kReference);
   Timer timer;
   TensorMap env;
   for (const auto& [name, tensor] : graph.initializers()) {
@@ -23,9 +65,10 @@ Result<TensorMap> ExecuteGraph(const Graph& graph, const TensorMap& inputs,
   RAVEN_ASSIGN_OR_RETURN(auto order, graph.TopologicalOrder());
   double total_flops = 0.0;
   std::size_t executed = 0;
+  std::map<std::string, OpProfile> per_op;
   for (std::size_t idx : order) {
     const Node& node = graph.nodes()[idx];
-    const Kernel* kernel = FindKernel(node.op_type);
+    const Kernel* kernel = backend->FindKernel(node.op_type);
     if (kernel == nullptr) {
       return Status::Unimplemented("no NNRT kernel for op '" + node.op_type +
                                    "' (node '" + node.name + "')");
@@ -43,7 +86,17 @@ Result<TensorMap> ExecuteGraph(const Graph& graph, const TensorMap& inputs,
       ctx.inputs.push_back(&it->second);
     }
     ctx.outputs.resize(node.outputs.size());
-    RAVEN_RETURN_IF_ERROR((*kernel)(&ctx));
+    if (profile_ops) {
+      Timer node_timer;
+      RAVEN_RETURN_IF_ERROR((*kernel)(&ctx));
+      OpProfile& p = per_op[node.op_type];
+      p.op_type = node.op_type;
+      ++p.calls;
+      p.wall_micros += node_timer.ElapsedMicros();
+      p.flops += ctx.flops;
+    } else {
+      RAVEN_RETURN_IF_ERROR((*kernel)(&ctx));
+    }
     for (std::size_t o = 0; o < node.outputs.size(); ++o) {
       env[node.outputs[o]] = std::move(ctx.outputs[o]);
     }
@@ -65,6 +118,9 @@ Result<TensorMap> ExecuteGraph(const Graph& graph, const TensorMap& inputs,
     stats->simulated_micros = stats->wall_micros;
     stats->flops = total_flops;
     stats->nodes_executed = executed;
+    stats->per_op.clear();
+    stats->per_op.reserve(per_op.size());
+    for (auto& [op, profile] : per_op) stats->per_op.push_back(profile);
   }
   return out;
 }

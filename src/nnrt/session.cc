@@ -12,7 +12,7 @@ Result<std::unique_ptr<InferenceSession>> InferenceSession::Create(
     RAVEN_RETURN_IF_ERROR(OptimizeGraph(&graph, &opt_stats));
   }
   return std::unique_ptr<InferenceSession>(
-      new InferenceSession(std::move(graph), options.device, opt_stats));
+      new InferenceSession(std::move(graph), options, opt_stats));
 }
 
 Result<std::unique_ptr<InferenceSession>> InferenceSession::FromBytes(
@@ -22,15 +22,29 @@ Result<std::unique_ptr<InferenceSession>> InferenceSession::FromBytes(
   return Create(std::move(graph), options);
 }
 
+Result<std::unique_ptr<InferenceSession>> InferenceSession::FromArtifact(
+    CompiledArtifact artifact, const SessionOptions& options) {
+  // Validate defensively — the artifact passed magic/version/checksum, but a
+  // graph that fails validation must still fall back to a fresh compile
+  // rather than reach Run().
+  RAVEN_RETURN_IF_ERROR(artifact.graph.Validate());
+  return std::unique_ptr<InferenceSession>(new InferenceSession(
+      std::move(artifact.graph), options, artifact.opt_stats));
+}
+
 Result<TensorMap> InferenceSession::Run(const TensorMap& inputs,
                                         RunStats* stats) const {
   RunStats local;
-  RAVEN_ASSIGN_OR_RETURN(TensorMap out, ExecuteGraph(graph_, inputs, &local));
+  RAVEN_ASSIGN_OR_RETURN(
+      TensorMap out,
+      ExecuteGraph(graph_, inputs, &local, GetBackend(backend_),
+                   /*profile_ops=*/profiler_ != nullptr));
   if (device_.type == DeviceType::kAccelerator) {
     local.simulated_micros =
         device_.launch_overhead_us + local.flops / device_.flops_per_us;
   }
-  if (stats != nullptr) *stats = local;
+  if (profiler_ != nullptr) profiler_->Merge(local.per_op);
+  if (stats != nullptr) *stats = std::move(local);
   return out;
 }
 
@@ -55,37 +69,111 @@ std::string InferenceSession::ToBytes() const {
 Result<std::shared_ptr<InferenceSession>> SessionCache::GetOrCreate(
     const std::string& key, const std::string& bytes,
     const SessionOptions& options) {
-  return GetOrCreate(key, [&bytes]() { return bytes; }, options);
+  return GetOrCreate(key, /*fingerprint=*/0, [&bytes]() { return bytes; },
+                     options);
 }
 
 Result<std::shared_ptr<InferenceSession>> SessionCache::GetOrCreate(
     const std::string& key, const std::function<std::string()>& bytes_fn,
     const SessionOptions& options) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(key, /*fingerprint=*/0, bytes_fn, options);
+}
+
+Result<std::shared_ptr<InferenceSession>> SessionCache::GetOrCreate(
+    const std::string& key, std::uint64_t fingerprint,
+    const std::function<std::string()>& bytes_fn,
+    const SessionOptions& options) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.second);
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second.first;
     }
-    ++misses_;
+    auto bit = building_.find(key);
+    if (bit == building_.end()) break;  // No builder — this thread becomes it.
+    // Single-flight: wait for the in-flight build instead of duplicating the
+    // compile. Waiters take the built session straight from the BuildState
+    // (not the LRU), so this holds even at capacity 0 or after an eviction.
+    std::shared_ptr<BuildState> state = bit->second;
+    cv_.wait(lock, [&state] { return state->done; });
+    if (!state->status.ok()) return state->status;
+    if (state->session != nullptr) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return state->session;
+    }
+    // Builder vanished without a result (should not happen) — retry.
   }
-  // Build outside the lock; duplicate builds are harmless (last one wins).
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto state = std::make_shared<BuildState>();
+  building_.emplace(key, state);
+  std::shared_ptr<ArtifactCache> artifacts = artifacts_;
+  lock.unlock();
+
+  auto built = Build(artifacts.get(), fingerprint, bytes_fn, options);
+
+  lock.lock();
+  building_.erase(key);
+  state->done = true;
+  if (built.ok()) {
+    state->session = *built;
+  } else {
+    state->status = built.status();
+  }
+  cv_.notify_all();
+  if (!built.ok()) return built.status();
+  if (capacity_ > 0) {
+    // No other thread can have inserted `key` (all inserts funnel through the
+    // builder), but an Invalidate may have raced — inserting fresh is correct
+    // either way.
+    lru_.push_front(key);
+    entries_[key] = {state->session, lru_.begin()};
+    while (entries_.size() > capacity_) {
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return state->session;
+}
+
+Result<std::shared_ptr<InferenceSession>> SessionCache::Build(
+    ArtifactCache* artifacts, std::uint64_t fingerprint,
+    const std::function<std::string()>& bytes_fn,
+    const SessionOptions& options) {
+  const bool use_artifacts = artifacts != nullptr && fingerprint != 0;
+  if (use_artifacts) {
+    auto loaded = artifacts->Load(fingerprint);
+    if (loaded.ok()) {
+      auto session =
+          InferenceSession::FromArtifact(std::move(*loaded), options);
+      if (session.ok()) {
+        artifact_hits_.fetch_add(1, std::memory_order_relaxed);
+        return std::shared_ptr<InferenceSession>(std::move(*session));
+      }
+      artifact_rejects_.fetch_add(1, std::memory_order_relaxed);
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      // Present but corrupt/truncated/stale — recompile and rewrite below.
+      artifact_rejects_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   RAVEN_ASSIGN_OR_RETURN(auto session,
                          InferenceSession::FromBytes(bytes_fn(), options));
-  std::shared_ptr<InferenceSession> shared = std::move(session);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second.second);
-    return it->second.first;
+  compiles_.fetch_add(1, std::memory_order_relaxed);
+  if (options.enable_graph_optimizations) {
+    graph_optimizations_.fetch_add(1, std::memory_order_relaxed);
   }
-  lru_.push_front(key);
-  entries_[key] = {shared, lru_.begin()};
-  while (entries_.size() > capacity_) {
-    entries_.erase(lru_.back());
-    lru_.pop_back();
+  std::shared_ptr<InferenceSession> shared = std::move(session);
+  if (use_artifacts && options.enable_graph_optimizations) {
+    // Best-effort: a failed write (disk full, read-only dir) costs the next
+    // cold start a compile, never a query.
+    if (artifacts
+            ->Store(fingerprint, shared->graph(), shared->optimization_stats())
+            .ok()) {
+      artifact_writes_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return shared;
 }
@@ -99,9 +187,52 @@ void SessionCache::Invalidate(const std::string& key) {
   }
 }
 
+void SessionCache::AttachArtifacts(std::shared_ptr<ArtifactCache> artifacts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  artifacts_ = std::move(artifacts);
+}
+
+std::shared_ptr<ArtifactCache> SessionCache::artifacts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return artifacts_;
+}
+
+void SessionCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t SessionCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
 std::size_t SessionCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+SessionCacheStats SessionCache::stats() const {
+  SessionCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.compiles = compiles_.load(std::memory_order_relaxed);
+  s.graph_optimizations =
+      graph_optimizations_.load(std::memory_order_relaxed);
+  s.artifact_hits = artifact_hits_.load(std::memory_order_relaxed);
+  s.artifact_writes = artifact_writes_.load(std::memory_order_relaxed);
+  s.artifact_rejects = artifact_rejects_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.entries = entries_.size();
+  }
+  return s;
 }
 
 }  // namespace raven::nnrt

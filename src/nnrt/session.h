@@ -1,6 +1,8 @@
 #ifndef RAVEN_NNRT_SESSION_H_
 #define RAVEN_NNRT_SESSION_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -10,6 +12,8 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "nnrt/artifact_cache.h"
+#include "nnrt/backend.h"
 #include "nnrt/device.h"
 #include "nnrt/executor.h"
 #include "nnrt/graph.h"
@@ -23,6 +27,12 @@ struct SessionOptions {
   /// session-creation time, like ONNX Runtime's graph optimization level.
   bool enable_graph_optimizations = true;
   DeviceSpec device = DeviceSpec::Cpu();
+  /// Kernel implementation set every Run() uses (see backend.h).
+  BackendKind backend = BackendKind::kReference;
+  /// When set, every Run() is per-op profiled and merged into this sink.
+  /// Must outlive the session; the serving path points it at
+  /// SessionCache::profiler().
+  OpProfiler* profiler = nullptr;
 };
 
 /// An inference session: an optimized, immutable graph plus the device it
@@ -40,6 +50,12 @@ class InferenceSession {
   static Result<std::unique_ptr<InferenceSession>> FromBytes(
       const std::string& bytes, const SessionOptions& options = SessionOptions());
 
+  /// Builds a session from an already-optimized artifact-cache graph:
+  /// validates, skips the optimizer, and reports the stored compile's
+  /// optimizer stats. The warm path of the createFromBinary idiom.
+  static Result<std::unique_ptr<InferenceSession>> FromArtifact(
+      CompiledArtifact artifact, const SessionOptions& options = SessionOptions());
+
   /// Runs the graph. On the accelerator device, stats->simulated_micros
   /// follows the device cost model; on CPU it equals wall time.
   Result<TensorMap> Run(const TensorMap& inputs, RunStats* stats = nullptr) const;
@@ -49,18 +65,44 @@ class InferenceSession {
 
   const Graph& graph() const { return graph_; }
   const DeviceSpec& device() const { return device_; }
+  BackendKind backend() const { return backend_; }
   const GraphOptStats& optimization_stats() const { return opt_stats_; }
 
   /// Serializes the (optimized) graph back to model bytes.
   std::string ToBytes() const;
 
  private:
-  InferenceSession(Graph graph, DeviceSpec device, GraphOptStats opt_stats)
-      : graph_(std::move(graph)), device_(device), opt_stats_(opt_stats) {}
+  InferenceSession(Graph graph, const SessionOptions& options,
+                   GraphOptStats opt_stats)
+      : graph_(std::move(graph)),
+        device_(options.device),
+        backend_(options.backend),
+        profiler_(options.profiler),
+        opt_stats_(opt_stats) {}
 
   Graph graph_;
   DeviceSpec device_;
+  BackendKind backend_;
+  OpProfiler* profiler_;
   GraphOptStats opt_stats_;
+};
+
+/// Counter snapshot for SHOW STATS. All monotonic except `entries`.
+struct SessionCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  /// Fresh builds from model bytes (artifact misses/rejects end up here).
+  std::uint64_t compiles = 0;
+  /// Compiles that ran the graph optimizer — the expensive step the
+  /// artifact cache exists to skip; zero on a warm-artifact cold start.
+  std::uint64_t graph_optimizations = 0;
+  std::uint64_t artifact_hits = 0;
+  std::uint64_t artifact_writes = 0;
+  /// Artifacts present but unusable (corrupt/truncated/version mismatch),
+  /// recompiled and rewritten.
+  std::uint64_t artifact_rejects = 0;
+  std::uint64_t entries = 0;
 };
 
 /// LRU cache of inference sessions keyed by model name/version. This is the
@@ -68,9 +110,17 @@ class InferenceSession {
 /// beat standalone ONNX Runtime on small requests (paper §5 observation ii):
 /// repeated inference queries reuse the session instead of re-deserializing
 /// and re-optimizing the model. Thread-safe.
+///
+/// Builds are single-flight: concurrent GetOrCreate calls for the same key
+/// elect one builder, everyone else blocks for its result — so a thundering
+/// herd on a cold model compiles (and writes its artifact) exactly once.
+/// With an ArtifactCache attached, a miss checks disk before compiling:
+/// memory → artifact file → compile.
 class SessionCache {
  public:
-  explicit SessionCache(std::size_t capacity = 32) : capacity_(capacity) {}
+  explicit SessionCache(std::size_t capacity = 32,
+                        std::shared_ptr<ArtifactCache> artifacts = nullptr)
+      : capacity_(capacity), artifacts_(std::move(artifacts)) {}
 
   /// Returns the cached session for `key`, or builds one from `bytes` via
   /// the provided options, inserting it (and evicting the least recently
@@ -88,25 +138,76 @@ class SessionCache {
       const std::string& key, const std::function<std::string()>& bytes_fn,
       const SessionOptions& options = SessionOptions());
 
+  /// Artifact-aware variant: on a memory miss, tries the attached
+  /// ArtifactCache at `fingerprint` before compiling, and persists the
+  /// optimized graph there after a fresh compile. `fingerprint` 0 means
+  /// "unknown" and skips the artifact path entirely.
+  Result<std::shared_ptr<InferenceSession>> GetOrCreate(
+      const std::string& key, std::uint64_t fingerprint,
+      const std::function<std::string()>& bytes_fn,
+      const SessionOptions& options = SessionOptions());
+
   /// Removes a cached session (e.g. when a model is updated
   /// transactionally).
   void Invalidate(const std::string& key);
 
+  /// Attaches (or replaces) the on-disk artifact tier.
+  void AttachArtifacts(std::shared_ptr<ArtifactCache> artifacts);
+  std::shared_ptr<ArtifactCache> artifacts() const;
+
+  /// Resizes the in-memory tier, evicting LRU entries if shrinking below
+  /// the current size. Capacity 0 = pass-through (build every miss, cache
+  /// nothing) — used to disable session reuse without disabling serving.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+
   std::size_t size() const;
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  SessionCacheStats stats() const;
+
+  /// Shared per-op profiling sink for sessions built through this cache
+  /// (wired up by the serving path via SessionOptions::profiler).
+  OpProfiler& profiler() { return profiler_; }
+  const OpProfiler& profiler() const { return profiler_; }
 
  private:
+  struct BuildState {
+    bool done = false;
+    Status status;  // OK + null session means "builder failed, retry".
+    std::shared_ptr<InferenceSession> session;
+  };
+
+  /// The miss path: artifact load (when attached and fingerprinted) or
+  /// fresh compile + artifact store. Runs outside mu_.
+  Result<std::shared_ptr<InferenceSession>> Build(
+      ArtifactCache* artifacts, std::uint64_t fingerprint,
+      const std::function<std::string()>& bytes_fn,
+      const SessionOptions& options);
+
   mutable std::mutex mu_;
+  std::condition_variable cv_;
   std::size_t capacity_;
+  std::shared_ptr<ArtifactCache> artifacts_;
   // MRU-first list of keys plus index into it.
   std::list<std::string> lru_;
   std::unordered_map<std::string,
                      std::pair<std::shared_ptr<InferenceSession>,
                                std::list<std::string>::iterator>>
       entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  // In-flight builds, single-flight per key.
+  std::unordered_map<std::string, std::shared_ptr<BuildState>> building_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> compiles_{0};
+  std::atomic<std::uint64_t> graph_optimizations_{0};
+  std::atomic<std::uint64_t> artifact_hits_{0};
+  std::atomic<std::uint64_t> artifact_writes_{0};
+  std::atomic<std::uint64_t> artifact_rejects_{0};
+  OpProfiler profiler_;
 };
 
 }  // namespace raven::nnrt

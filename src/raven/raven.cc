@@ -14,6 +14,14 @@ RavenContext::RavenContext(RavenOptions options)
   // follows the runtime's parallelism (kept in sync per query, so
   // post-construction `execution_options().parallelism = N` is honored).
   optimizer_parallelism_auto_ = options_.optimizer.target_parallelism <= 1;
+  if (!options_.artifact_dir.empty()) {
+    session_cache_.AttachArtifacts(
+        std::make_shared<nnrt::ArtifactCache>(options_.artifact_dir));
+    // Distributed/out-of-process children reuse the same artifact directory:
+    // a model the coordinator compiled is a warm start for every worker.
+    options_.execution.external.worker_args.push_back(
+        "--artifact-dir=" + options_.artifact_dir);
+  }
 }
 
 void RavenContext::SyncOptimizerParallelism() {

@@ -34,6 +34,11 @@ struct RavenOptions {
   optimizer::OptimizerOptions optimizer;
   runtime::ExecutionOptions execution;
   std::size_t session_cache_capacity = 32;
+  /// When non-empty, compiled (optimized) NNRT graphs persist to this
+  /// directory keyed by graph fingerprint, so later cold starts — and
+  /// raven_worker children, which inherit the directory via worker_args —
+  /// skip graph optimization entirely (`--artifact-dir` on raven_serve).
+  std::string artifact_dir;
 };
 
 /// The Raven system facade: an in-memory RDBMS with models stored in its

@@ -76,17 +76,23 @@ Result<BatchScorer> MakeNnScorer(const IrNode& node,
   };
   std::uint64_t fingerprint = node.nn_graph_fingerprint;
   if (fingerprint == 0) {
-    fingerprint = std::hash<std::string>{}(serialize());
+    fingerprint = nnrt::FingerprintGraphBytes(serialize());
   }
   std::string key = node.model_name;
   auto versioned = ctx.catalog->ModelCacheKey(node.model_name);
   if (versioned.ok()) key = versioned.value();
   key += "#" + std::to_string(fingerprint);
+  // Backend in the key: sessions are backend-bound at creation, and the
+  // PredictBatcher groups by this same key, so batches stay backend-pure.
+  key += "@";
+  key += nnrt::BackendKindToString(ctx.options.nn_backend);
   nnrt::SessionOptions session_options;
   session_options.device = ctx.options.device;
+  session_options.backend = ctx.options.nn_backend;
+  session_options.profiler = &ctx.session_cache->profiler();
   RAVEN_ASSIGN_OR_RETURN(
-      auto session,
-      ctx.session_cache->GetOrCreate(key, serialize, session_options));
+      auto session, ctx.session_cache->GetOrCreate(key, fingerprint, serialize,
+                                                   session_options));
   const StatsSink sink{ctx.stats};
   // Cross-query micro-batching: with a batcher attached and a positive
   // window, each morsel's input is submitted to the shared scheduler, which

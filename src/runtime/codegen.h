@@ -47,6 +47,10 @@ struct ExecutionOptions {
   std::int64_t morsel_rows = 0;
   /// NNRT device for in-process sessions (CPU or simulated accelerator).
   nnrt::DeviceSpec device = nnrt::DeviceSpec::Cpu();
+  /// NNRT kernel implementation set for in-process sessions (reference,
+  /// simd, fp16 — see nnrt/backend.h). Surfaced as `SET nn_backend`; part
+  /// of the session-cache key so sessions never mix backends.
+  nnrt::BackendKind nn_backend = nnrt::BackendKind::kReference;
   /// Out-of-process worker configuration (shared by the one-shot Raven Ext
   /// modes and the kDistributed worker pool: binary path, boot cost).
   ExternalRuntimeOptions external;

@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <csignal>
@@ -119,7 +120,26 @@ std::vector<std::pair<std::string, std::int64_t>> ServerStats::ToPairs()
       {"rows_coalesced", rows_coalesced},
       {"batch_occupancy_x100", batch_occupancy},
       {"epoll_wakeups", epoll_wakeups},
+      {"nn_session_hits", nn_session_hits},
+      {"nn_session_misses", nn_session_misses},
+      {"nn_session_evictions", nn_session_evictions},
+      {"nn_session_entries", nn_session_entries},
+      {"nn_graph_optimizations", nn_graph_optimizations},
+      {"nn_artifact_hits", nn_artifact_hits},
+      {"nn_artifact_writes", nn_artifact_writes},
+      {"nn_artifact_rejects", nn_artifact_rejects},
+      {"nn_ops_profiled", nn_ops_profiled},
+      {"nn_op_micros", nn_op_micros},
   };
+}
+
+std::int64_t ServerStats::BatchOccupancyX100(std::int64_t rows_flushed,
+                                             std::int64_t batches_flushed) {
+  // Round half-up rather than truncate: 1 row over 3 batches is 33, not 66
+  // truncated from intermediate math, and 5/3 rounds to 167 not 166. No
+  // batches yet is an explicit 0, not "skip the stat".
+  if (batches_flushed <= 0) return 0;
+  return (rows_flushed * 100 + batches_flushed / 2) / batches_flushed;
 }
 
 QueryServer::QueryServer(RavenContext* ctx, QueryServerOptions options)
@@ -132,6 +152,17 @@ QueryServer::QueryServer(RavenContext* ctx, QueryServerOptions options)
   // window/row-cap knobs stay per-session SET state; with the default
   // window of 0 the scorer never consults it).
   options_.default_execution.predict_batcher = batcher_;
+  // Sessions inherit the context's extra worker args (notably
+  // --artifact-dir=..., appended by RavenContext when an artifact cache is
+  // attached) so out-of-process/distributed children of server sessions
+  // warm-start from the same compiled-graph artifacts.
+  for (const std::string& arg :
+       ctx_->execution_options().external.worker_args) {
+    auto& args = options_.default_execution.external.worker_args;
+    if (std::find(args.begin(), args.end(), arg) == args.end()) {
+      args.push_back(arg);
+    }
+  }
 }
 
 QueryServer::~QueryServer() { Stop(); }
@@ -233,7 +264,7 @@ Status QueryServer::Start() {
         sessions_active_.fetch_add(1, std::memory_order_relaxed);
         return new Session(
             next_session_id_.fetch_add(1, std::memory_order_relaxed),
-            options_.default_execution);
+            options_.default_execution, &ctx_->session_cache());
       },
       [this](void* conn_ctx, std::string payload) -> std::string {
         ServerResponse response;
@@ -535,6 +566,32 @@ ServerResponse QueryServer::HandleExplain(Session* session,
   }
   text += "\n  max_batch_rows = " +
           std::to_string(exec.predict_max_batch_rows) + "\n";
+  // Backend selection + profiling: which kernel set this session's PREDICT
+  // sessions bind, the fp16 accuracy caveat, and the cumulative per-op cost
+  // breakdown the profiling hooks have gathered so far (cache-wide).
+  text += "=== NNRT backend ===\n";
+  text += "  nn_backend = ";
+  text += nnrt::BackendKindToString(exec.nn_backend);
+  if (exec.nn_backend == nnrt::BackendKind::kFp16) {
+    text +=
+        "  (outputs rounded to fp16 per op: faster dense math, "
+        "approximate scores — see docs/OPERATIONS.md for the tolerance)";
+  }
+  text += "\n";
+  const std::vector<nnrt::OpProfile> ops =
+      ctx_->session_cache().profiler().Snapshot();
+  if (!ops.empty()) {
+    text += "  per-op profile (cumulative, all sessions):\n";
+    std::size_t shown = 0;
+    for (const nnrt::OpProfile& op : ops) {
+      if (++shown > 8) break;
+      text += "    " + op.op_type + ": calls=" + std::to_string(op.calls) +
+              " micros=" + std::to_string(static_cast<std::int64_t>(
+                               op.wall_micros)) +
+              " flops=" +
+              std::to_string(static_cast<std::int64_t>(op.flops)) + "\n";
+    }
+  }
   ServerResponse response;
   response.kind = ServerResponseKind::kAck;
   response.message = std::move(text);
@@ -658,13 +715,25 @@ ServerStats QueryServer::Snapshot() const {
   const PredictBatcher::Stats batcher = batcher_->stats();
   stats.batches_flushed = batcher.batches_flushed;
   stats.rows_coalesced = batcher.rows_coalesced;
-  stats.batch_occupancy = batcher.batches_flushed > 0
-                              ? batcher.rows_flushed * 100 /
-                                    batcher.batches_flushed
-                              : 0;
+  stats.batch_occupancy = ServerStats::BatchOccupancyX100(
+      batcher.rows_flushed, batcher.batches_flushed);
   if (event_loop_ != nullptr) {
     stats.epoll_wakeups = event_loop_->stats().epoll_wakeups;
   }
+  const nnrt::SessionCacheStats nn = ctx_->session_cache().stats();
+  stats.nn_session_hits = static_cast<std::int64_t>(nn.hits);
+  stats.nn_session_misses = static_cast<std::int64_t>(nn.misses);
+  stats.nn_session_evictions = static_cast<std::int64_t>(nn.evictions);
+  stats.nn_session_entries = static_cast<std::int64_t>(nn.entries);
+  stats.nn_graph_optimizations =
+      static_cast<std::int64_t>(nn.graph_optimizations);
+  stats.nn_artifact_hits = static_cast<std::int64_t>(nn.artifact_hits);
+  stats.nn_artifact_writes = static_cast<std::int64_t>(nn.artifact_writes);
+  stats.nn_artifact_rejects = static_cast<std::int64_t>(nn.artifact_rejects);
+  const nnrt::OpProfiler& profiler = ctx_->session_cache().profiler();
+  stats.nn_ops_profiled = profiler.total_calls();
+  stats.nn_op_micros =
+      static_cast<std::int64_t>(profiler.total_micros());
   return stats;
 }
 

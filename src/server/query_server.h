@@ -66,9 +66,29 @@ struct ServerStats {
   std::int64_t batch_occupancy = 0;
   /// Event-loop wakeups with >= 1 ready fd (EventLoopStats).
   std::int64_t epoll_wakeups = 0;
+  /// NNRT session cache (nnrt::SessionCacheStats) + artifact tier.
+  std::int64_t nn_session_hits = 0;
+  std::int64_t nn_session_misses = 0;
+  std::int64_t nn_session_evictions = 0;
+  std::int64_t nn_session_entries = 0;
+  /// Fresh compiles that ran the graph optimizer; stays 0 across a
+  /// warm-artifact cold start (the CI assertion for the artifact cache).
+  std::int64_t nn_graph_optimizations = 0;
+  std::int64_t nn_artifact_hits = 0;
+  std::int64_t nn_artifact_writes = 0;
+  std::int64_t nn_artifact_rejects = 0;
+  /// Per-op backend profiling (OpProfiler totals; EXPLAIN shows the
+  /// per-op-type breakdown).
+  std::int64_t nn_ops_profiled = 0;
+  std::int64_t nn_op_micros = 0;
 
   /// The SHOW STATS key/value pairs, in render order.
   std::vector<std::pair<std::string, std::int64_t>> ToPairs() const;
+
+  /// Mean rows per flushed batch x100, rounded half-up; 0 when nothing
+  /// flushed yet. Exposed for the unit test pinning the rounding.
+  static std::int64_t BatchOccupancyX100(std::int64_t rows_flushed,
+                                         std::int64_t batches_flushed);
 };
 
 /// A long-lived concurrent query service over a RavenContext: accepts

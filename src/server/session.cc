@@ -79,6 +79,32 @@ Status Session::ApplySet(const std::string& key, const std::string& value) {
     execution_.predict_max_batch_rows = n;
     return Status::OK();
   }
+  if (k == "nn_backend") {
+    RAVEN_ASSIGN_OR_RETURN(nnrt::BackendKind kind,
+                           nnrt::ParseBackendKind(ToLower(v)));
+    // Not part of PlanProfile(): the backend binds at physical plan build
+    // (it's baked into the NNRT session-cache key), never at optimization,
+    // so it must not fragment the plan cache.
+    execution_.nn_backend = kind;
+    return Status::OK();
+  }
+  if (k == "nn_session_cache_capacity") {
+    RAVEN_ASSIGN_OR_RETURN(std::int64_t n, ParseInt(k, v));
+    if (n < 0 || n > 4096) {
+      return Status::InvalidArgument(
+          "nn_session_cache_capacity must be in [0, 4096] (0 = pass-through)");
+    }
+    if (shared_cache_ == nullptr) {
+      return Status::InvalidArgument(
+          "nn_session_cache_capacity requires a server-attached session "
+          "cache");
+    }
+    // Server-wide, not per-session: resizes the engine's shared NNRT
+    // session cache (takes effect immediately, evicting LRU entries when
+    // shrinking).
+    shared_cache_->set_capacity(static_cast<std::size_t>(n));
+    return Status::OK();
+  }
   if (k == "mode") {
     const std::string mode = ToLower(v);
     if (mode == "inprocess" || mode == "in_process") {
@@ -100,7 +126,7 @@ Status Session::ApplySet(const std::string& key, const std::string& value) {
       "unknown session knob '" + key +
       "' (parallelism, morsel_rows, mode, distributed_workers, "
       "distributed_frame_timeout_millis, batch_window_micros, "
-      "max_batch_rows)");
+      "max_batch_rows, nn_backend, nn_session_cache_capacity)");
 }
 
 std::string Session::PlanProfile() const {

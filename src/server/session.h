@@ -37,8 +37,14 @@ struct PreparedStatement {
 /// admission, the inference batcher, the engine itself).
 class Session {
  public:
-  Session(std::int64_t id, runtime::ExecutionOptions defaults)
-      : id_(id), execution_(std::move(defaults)) {}
+  /// `shared_cache` (the engine-wide NNRT session cache) enables the
+  /// server-wide `SET nn_session_cache_capacity` knob; null leaves the
+  /// knob rejected (direct API / unit-test sessions).
+  Session(std::int64_t id, runtime::ExecutionOptions defaults,
+          nnrt::SessionCache* shared_cache = nullptr)
+      : id_(id),
+        execution_(std::move(defaults)),
+        shared_cache_(shared_cache) {}
 
   std::int64_t id() const { return id_; }
   runtime::ExecutionOptions& execution() { return execution_; }
@@ -47,7 +53,9 @@ class Session {
   /// Applies `SET key = value`. Keys (case-insensitive): parallelism,
   /// morsel_rows, mode (inprocess|distributed|outofprocess|container),
   /// distributed_workers, distributed_frame_timeout_millis,
-  /// batch_window_micros (0 = no cross-query coalescing), max_batch_rows.
+  /// batch_window_micros (0 = no cross-query coalescing), max_batch_rows,
+  /// nn_backend (reference|simd|fp16), nn_session_cache_capacity
+  /// (server-wide NNRT session-cache resize).
   Status ApplySet(const std::string& key, const std::string& value);
 
   /// The session knobs that change what the optimizer produces (cost-based
@@ -73,6 +81,7 @@ class Session {
  private:
   const std::int64_t id_;
   runtime::ExecutionOptions execution_;
+  nnrt::SessionCache* shared_cache_;
   std::map<std::string, PreparedStatement> prepared_;
   /// name -> SELECT text, in creation order (later views may reference
   /// earlier ones).

@@ -1,7 +1,18 @@
 #include <gtest/gtest.h>
 
-#include <cmath>
+#include <dirent.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "nnrt/artifact_cache.h"
+#include "nnrt/backend.h"
 #include "nnrt/device.h"
 #include "nnrt/executor.h"
 #include "nnrt/graph.h"
@@ -407,6 +418,511 @@ TEST(SessionCacheTest, Invalidate) {
   (void)*cache.GetOrCreate("m", bytes);
   cache.Invalidate("m");
   EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Artifact cache + single-flight SessionCache + pluggable backends.
+
+std::string IdentityReluBytes() {
+  Graph graph;
+  graph.AddInput("x");
+  graph.AddNode(MakeNode("Identity", {"x"}, {"a"}));
+  graph.AddNode(MakeNode("Relu", {"a"}, {"y"}));
+  graph.AddOutput("y");
+  BinaryWriter w;
+  graph.Serialize(&w);
+  return w.Release();
+}
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/raven_nnrt_test_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+void RemoveDirRecursive(const std::string& dir) {
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") {
+        ::unlink((dir + "/" + name).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+void OverwriteFile(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string out;
+  if (f != nullptr) {
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+    std::fclose(f);
+  }
+  return out;
+}
+
+TEST(SessionCacheTest, ZeroCapacityPassThrough) {
+  const std::string bytes = IdentityReluBytes();
+  SessionCache cache(0);
+  auto a = cache.GetOrCreate("m", bytes);
+  ASSERT_TRUE(a.ok());
+  auto b = cache.GetOrCreate("m", bytes);
+  ASSERT_TRUE(b.ok());
+  // Pass-through: nothing cached, every call a clean miss + build — never
+  // the old insert-then-immediately-evict churn.
+  EXPECT_NE(a->get(), b->get());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  Tensor out = *(*a)->RunSingle(*Tensor::FromData({1, 1}, {-3.0f}));
+  EXPECT_EQ(out.raw()[0], 0.0f);
+}
+
+TEST(SessionCacheTest, StatsCountersAndSetCapacity) {
+  const std::string bytes = IdentityReluBytes();
+  SessionCache cache(4);
+  (void)*cache.GetOrCreate("m1", bytes);
+  (void)*cache.GetOrCreate("m2", bytes);
+  (void)*cache.GetOrCreate("m3", bytes);
+  (void)*cache.GetOrCreate("m1", bytes);
+  SessionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.compiles, 3u);
+  EXPECT_EQ(stats.graph_optimizations, 3u);
+  EXPECT_EQ(stats.artifact_hits, 0u);
+  EXPECT_EQ(stats.artifact_writes, 0u);
+
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.capacity(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  cache.set_capacity(0);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().evictions, 3u);
+}
+
+TEST(ArtifactCacheTest, MissIsNotFound) {
+  const std::string dir = MakeTempDir();
+  ArtifactCache artifacts(dir);
+  auto missing = artifacts.Load(0xabcdef);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  RemoveDirRecursive(dir);
+}
+
+TEST(ArtifactCacheTest, RoundTripPreservesGraphAndStats) {
+  const std::string dir = MakeTempDir();
+  ArtifactCache artifacts(dir);
+  const std::string bytes = IdentityReluBytes();
+  const std::uint64_t fp = FingerprintGraphBytes(bytes);
+  auto session = std::move(InferenceSession::FromBytes(bytes)).value();
+  ASSERT_EQ(session->optimization_stats().identities_removed, 1u);
+  ASSERT_TRUE(
+      artifacts.Store(fp, session->graph(), session->optimization_stats())
+          .ok());
+
+  auto loaded = artifacts.Load(fp);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->opt_stats.identities_removed, 1u);
+  TensorMap env;
+  env["x"] = *Tensor::FromData({1, 2}, {-1.0f, 2.0f});
+  TensorMap out = *ExecuteGraph(loaded->graph, env);
+  EXPECT_TRUE(out.at("y").Equals(*Tensor::FromData({1, 2}, {0.0f, 2.0f})));
+  RemoveDirRecursive(dir);
+}
+
+TEST(ArtifactCacheTest, RejectsCorruptTruncatedAndStaleVersion) {
+  const std::string dir = MakeTempDir();
+  ArtifactCache artifacts(dir);
+  const std::string bytes = IdentityReluBytes();
+  const std::uint64_t fp = FingerprintGraphBytes(bytes);
+  auto session = std::move(InferenceSession::FromBytes(bytes)).value();
+  ASSERT_TRUE(
+      artifacts.Store(fp, session->graph(), session->optimization_stats())
+          .ok());
+  const std::string path = artifacts.PathFor(fp);
+  const std::string good = ReadFileOrDie(path);
+  ASSERT_GT(good.size(), 32u);
+
+  // Corrupt: flip bytes in the middle (checksum mismatch).
+  std::string corrupt = good;
+  corrupt[good.size() / 2] ^= 0x5a;
+  OverwriteFile(path, corrupt);
+  auto r1 = artifacts.Load(fp);
+  EXPECT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().code(), StatusCode::kNotFound);
+
+  // Truncated: half the file.
+  OverwriteFile(path, good.substr(0, good.size() / 2));
+  auto r2 = artifacts.Load(fp);
+  EXPECT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().code(), StatusCode::kNotFound);
+
+  // Stale format version: a well-formed payload (magic, checksum both
+  // valid) written by a "future" build. Mirrors the pinned on-disk layout.
+  BinaryWriter payload;
+  payload.WriteString("RAVEN_NNRT_ARTIFACT");
+  payload.WriteU32(ArtifactCache::kFormatVersion + 1);
+  payload.WriteU64(fp);
+  for (int i = 0; i < 4; ++i) payload.WriteU64(0);
+  payload.WriteString(bytes);
+  // Word-stride FNV-1a, exactly as artifact_cache.cc computes it — the
+  // checksum must pass so Load fails on the version check, not here.
+  const std::string& buf = payload.buffer();
+  std::uint64_t h = 1469598103934665603ull;
+  std::size_t i = 0;
+  for (; i + 8 <= buf.size(); i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, buf.data() + i, 8);
+    h ^= word;
+    h *= 1099511628211ull;
+  }
+  for (; i < buf.size(); ++i) {
+    h ^= static_cast<unsigned char>(buf[i]);
+    h *= 1099511628211ull;
+  }
+  payload.WriteU64(h);
+  OverwriteFile(path, payload.buffer());
+  auto r3 = artifacts.Load(fp);
+  EXPECT_FALSE(r3.ok());
+  EXPECT_NE(r3.status().code(), StatusCode::kNotFound);
+  // Specifically the version check — the checksum above must have passed.
+  EXPECT_NE(r3.status().ToString().find("format version"), std::string::npos)
+      << r3.status().ToString();
+
+  // A valid rewrite heals the slot.
+  ASSERT_TRUE(
+      artifacts.Store(fp, session->graph(), session->optimization_stats())
+          .ok());
+  EXPECT_TRUE(artifacts.Load(fp).ok());
+  RemoveDirRecursive(dir);
+}
+
+TEST(SessionCacheTest, ArtifactWarmStartSkipsOptimizer) {
+  const std::string dir = MakeTempDir();
+  const std::string bytes = IdentityReluBytes();
+  const std::uint64_t fp = FingerprintGraphBytes(bytes);
+  const auto bytes_fn = [&bytes]() { return bytes; };
+
+  SessionCache cold(8, std::make_shared<ArtifactCache>(dir));
+  auto first = cold.GetOrCreate("m#1", fp, bytes_fn);
+  ASSERT_TRUE(first.ok());
+  SessionCacheStats s1 = cold.stats();
+  EXPECT_EQ(s1.compiles, 1u);
+  EXPECT_EQ(s1.graph_optimizations, 1u);
+  EXPECT_EQ(s1.artifact_writes, 1u);
+  EXPECT_EQ(s1.artifact_hits, 0u);
+
+  // A fresh cache (= restarted server / spawned worker) on the same dir:
+  // the compile — and in particular the optimizer — must not run again.
+  SessionCache warm(8, std::make_shared<ArtifactCache>(dir));
+  auto second = warm.GetOrCreate("m#1", fp, bytes_fn);
+  ASSERT_TRUE(second.ok());
+  SessionCacheStats s2 = warm.stats();
+  EXPECT_EQ(s2.artifact_hits, 1u);
+  EXPECT_EQ(s2.compiles, 0u);
+  EXPECT_EQ(s2.graph_optimizations, 0u);
+  // The warm session reports the original compile's optimizer stats and
+  // computes the same result.
+  EXPECT_EQ((*second)->optimization_stats().identities_removed, 1u);
+  Tensor in = *Tensor::FromData({1, 2}, {-1.0f, 2.0f});
+  EXPECT_TRUE((*first)->RunSingle(in)->Equals(*(*second)->RunSingle(in)));
+  RemoveDirRecursive(dir);
+}
+
+TEST(SessionCacheTest, CorruptArtifactFallsBackAndRewrites) {
+  const std::string dir = MakeTempDir();
+  const std::string bytes = IdentityReluBytes();
+  const std::uint64_t fp = FingerprintGraphBytes(bytes);
+  const auto bytes_fn = [&bytes]() { return bytes; };
+  {
+    SessionCache writer(8, std::make_shared<ArtifactCache>(dir));
+    ASSERT_TRUE(writer.GetOrCreate("m#1", fp, bytes_fn).ok());
+  }
+  ArtifactCache probe(dir);
+  OverwriteFile(probe.PathFor(fp), "not an artifact");
+
+  SessionCache cache(8, std::make_shared<ArtifactCache>(dir));
+  auto session = cache.GetOrCreate("m#1", fp, bytes_fn);
+  ASSERT_TRUE(session.ok());  // never a serving error
+  SessionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.artifact_rejects, 1u);
+  EXPECT_EQ(stats.compiles, 1u);
+  EXPECT_EQ(stats.graph_optimizations, 1u);
+  EXPECT_EQ(stats.artifact_writes, 1u);  // rewritten in place
+  Tensor out = *(*session)->RunSingle(*Tensor::FromData({1, 1}, {-2.0f}));
+  EXPECT_EQ(out.raw()[0], 0.0f);
+
+  // The rewrite produced a loadable artifact again.
+  SessionCache healed(8, std::make_shared<ArtifactCache>(dir));
+  ASSERT_TRUE(healed.GetOrCreate("m#1", fp, bytes_fn).ok());
+  EXPECT_EQ(healed.stats().artifact_hits, 1u);
+  RemoveDirRecursive(dir);
+}
+
+TEST(SessionCacheTest, ConcurrentGetOrCreateSingleFlight) {
+  const std::string dir = MakeTempDir();
+  const std::string bytes = IdentityReluBytes();
+  const std::uint64_t fp = FingerprintGraphBytes(bytes);
+  std::atomic<int> serializations{0};
+  const auto bytes_fn = [&]() {
+    serializations.fetch_add(1);
+    // Widen the race window so late arrivals find the build in flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return bytes;
+  };
+
+  SessionCache cache(8, std::make_shared<ArtifactCache>(dir));
+  constexpr int kThreads = 4;
+  std::shared_ptr<InferenceSession> sessions[kThreads];
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      auto result = cache.GetOrCreate("m#1", fp, bytes_fn);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      sessions[t] = result.value();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // One builder; everyone else waited for — and shares — its session.
+  EXPECT_EQ(serializations.load(), 1);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(sessions[0].get(), sessions[t].get());
+  }
+  SessionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.compiles, 1u);
+  EXPECT_EQ(stats.artifact_writes, 1u);
+  RemoveDirRecursive(dir);
+}
+
+// --- Backends ---------------------------------------------------------------
+
+TEST(BackendTest, ParseAndNames) {
+  EXPECT_EQ(ParseBackendKind("reference").value(), BackendKind::kReference);
+  EXPECT_EQ(ParseBackendKind("simd").value(), BackendKind::kSimd);
+  EXPECT_EQ(ParseBackendKind("fp16").value(), BackendKind::kFp16);
+  EXPECT_FALSE(ParseBackendKind("avx512").ok());
+  EXPECT_STREQ(BackendKindToString(BackendKind::kSimd), "simd");
+  EXPECT_STREQ(GetBackend(BackendKind::kReference)->name(), "reference");
+  EXPECT_TRUE(GetBackend(BackendKind::kFp16)->fp16());
+  EXPECT_FALSE(GetBackend(BackendKind::kSimd)->fp16());
+}
+
+float LcgFloat(std::uint32_t* s) {
+  *s = *s * 1664525u + 1013904223u;
+  return static_cast<float>((*s >> 8) & 0xFFFF) / 16384.0f - 2.0f;
+}
+
+Tensor RandomTensor(std::uint32_t* s, std::int64_t rows, std::int64_t cols,
+                    bool with_zeros) {
+  std::vector<float> data(static_cast<std::size_t>(rows * cols));
+  for (auto& v : data) {
+    v = LcgFloat(s);
+    // Exercise the MatMul zero-skip fast path on some elements.
+    if (with_zeros && std::fabs(v) < 0.5f) v = 0.0f;
+  }
+  return *Tensor::FromData({rows, cols}, std::move(data));
+}
+
+std::vector<float> RandomVec(std::uint32_t* s, std::int64_t n) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = LcgFloat(s);
+  return v;
+}
+
+/// A dense graph over exactly the ops the SIMD backend overrides
+/// (Gemm/MatMul/Relu/Sub/Mul/Div), with odd widths so every vectorized
+/// loop runs its scalar tail.
+Graph RandomDenseGraph(std::uint32_t seed, std::int64_t in,
+                       std::int64_t hidden, std::int64_t out) {
+  std::uint32_t s = seed * 2654435761u + 12345u;
+  Graph g;
+  g.AddInput("x");
+  g.AddInitializer("w1", RandomTensor(&s, in, hidden, false));
+  g.AddInitializer("b1", Tensor::FromVector(RandomVec(&s, hidden)));
+  g.AddNode(MakeNode("Gemm", {"x", "w1", "b1"}, {"h"}));
+  g.AddNode(MakeNode("Relu", {"h"}, {"hr"}));
+  g.AddInitializer("w2", RandomTensor(&s, hidden, out, true));
+  g.AddNode(MakeNode("MatMul", {"hr", "w2"}, {"m"}));
+  g.AddInitializer("rowv", Tensor::FromVector(RandomVec(&s, out)));
+  g.AddNode(MakeNode("Sub", {"m", "rowv"}, {"d"}));
+  g.AddNode(MakeNode("Mul", {"d", "d"}, {"sq"}));
+  g.AddInitializer("divisor", Tensor::Scalar(1.7f));
+  g.AddNode(MakeNode("Div", {"sq", "divisor"}, {"y"}));
+  g.AddOutput("y");
+  return g;
+}
+
+void ExpectBitIdentical(const TensorMap& a, const TensorMap& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, ta] : a) {
+    auto it = b.find(name);
+    ASSERT_NE(it, b.end()) << name;
+    const Tensor& tb = it->second;
+    ASSERT_EQ(ta.shape(), tb.shape()) << name;
+    EXPECT_EQ(std::memcmp(ta.raw(), tb.raw(),
+                          sizeof(float) *
+                              static_cast<std::size_t>(ta.num_elements())),
+              0)
+        << name;
+  }
+}
+
+TEST(BackendTest, SimdMatchesReferenceBitExact) {
+  const struct {
+    std::int64_t rows, in, hidden, out;
+  } kConfigs[] = {
+      {1, 4, 8, 4},    // lane-aligned
+      {3, 7, 9, 5},    // scalar tails everywhere
+      {4, 13, 11, 7},  // wider, odd
+      {2, 1, 2, 1},    // degenerate widths
+      {5, 3, 17, 3},
+  };
+  for (std::uint32_t seed = 0; seed < 4; ++seed) {
+    for (const auto& c : kConfigs) {
+      Graph g = RandomDenseGraph(seed, c.in, c.hidden, c.out);
+      std::uint32_t s = seed ^ 0xbeef;
+      TensorMap env;
+      env["x"] = RandomTensor(&s, c.rows, c.in, true);
+      auto ref = ExecuteGraph(g, env, nullptr,
+                              GetBackend(BackendKind::kReference));
+      auto simd =
+          ExecuteGraph(g, env, nullptr, GetBackend(BackendKind::kSimd));
+      ASSERT_TRUE(ref.ok() && simd.ok());
+      ExpectBitIdentical(ref.value(), simd.value());
+    }
+  }
+}
+
+TEST(BackendTest, SimdScalerBitExact) {
+  Node node = MakeNode("Scaler", {"x"}, {"y"});
+  node.attrs["offset"] = std::vector<double>{0.25, -1.5, 3.125, 0.1, -0.7};
+  node.attrs["scale"] = std::vector<double>{2.0, 0.5, -1.25, 7.3, 0.01};
+  Graph g;
+  g.AddInput("x");
+  g.AddNode(std::move(node));
+  g.AddOutput("y");
+  std::uint32_t s = 99;
+  TensorMap env;
+  env["x"] = RandomTensor(&s, 7, 5, false);
+  auto ref = ExecuteGraph(g, env, nullptr, GetBackend(BackendKind::kReference));
+  auto simd = ExecuteGraph(g, env, nullptr, GetBackend(BackendKind::kSimd));
+  ASSERT_TRUE(ref.ok() && simd.ok());
+  ExpectBitIdentical(ref.value(), simd.value());
+}
+
+TEST(BackendTest, SimdFallsBackForOrderSensitiveOps) {
+  // Softmax is deliberately NOT overridden (order-sensitive reduction);
+  // the SIMD backend must serve the reference kernel for it, exactly.
+  Graph g;
+  g.AddInput("x");
+  g.AddNode(MakeNode("Softmax", {"x"}, {"y"}));
+  g.AddOutput("y");
+  TensorMap env;
+  env["x"] = *Tensor::FromData({2, 3}, {0.5f, -1.0f, 2.0f, 3.0f, 3.0f, 0.0f});
+  auto ref = ExecuteGraph(g, env, nullptr, GetBackend(BackendKind::kReference));
+  auto simd = ExecuteGraph(g, env, nullptr, GetBackend(BackendKind::kSimd));
+  ASSERT_TRUE(ref.ok() && simd.ok());
+  ExpectBitIdentical(ref.value(), simd.value());
+  EXPECT_EQ(GetBackend(BackendKind::kSimd)->FindKernel("NoSuchOp"), nullptr);
+}
+
+TEST(BackendTest, RoundToFp16PinnedValues) {
+  EXPECT_EQ(RoundToFp16(0.0f), 0.0f);
+  EXPECT_EQ(RoundToFp16(1.0f), 1.0f);
+  EXPECT_EQ(RoundToFp16(-2.5f), -2.5f);
+  // 0.1 is inexact in binary16: nearest half is 0.0999755859375.
+  EXPECT_EQ(RoundToFp16(0.1f), 0.0999755859375f);
+  // 1 + 2^-10 is exactly representable; 1 + 2^-11 is halfway and rounds
+  // to even (down to 1.0).
+  EXPECT_EQ(RoundToFp16(1.0f + 0.0009765625f), 1.0f + 0.0009765625f);
+  EXPECT_EQ(RoundToFp16(1.0f + 0.00048828125f), 1.0f);
+  // Largest finite half; anything above overflows to infinity.
+  EXPECT_EQ(RoundToFp16(65504.0f), 65504.0f);
+  EXPECT_TRUE(std::isinf(RoundToFp16(70000.0f)));
+  EXPECT_TRUE(std::isinf(RoundToFp16(-70000.0f)));
+  EXPECT_LT(RoundToFp16(-70000.0f), 0.0f);
+  // Subnormal range: min positive half-subnormal is 2^-24.
+  EXPECT_EQ(RoundToFp16(3.0e-8f), 5.9604645e-8f);
+  EXPECT_EQ(RoundToFp16(1.0e-8f), 0.0f);
+  EXPECT_TRUE(std::isnan(RoundToFp16(std::nanf(""))));
+}
+
+TEST(BackendTest, Fp16WithinDocumentedTolerance) {
+  for (std::uint32_t seed = 0; seed < 3; ++seed) {
+    Graph g = RandomDenseGraph(seed, 6, 10, 4);
+    std::uint32_t s = seed + 7;
+    TensorMap env;
+    env["x"] = RandomTensor(&s, 3, 6, false);
+    auto ref =
+        ExecuteGraph(g, env, nullptr, GetBackend(BackendKind::kReference));
+    auto fp16 = ExecuteGraph(g, env, nullptr, GetBackend(BackendKind::kFp16));
+    ASSERT_TRUE(ref.ok() && fp16.ok());
+    const Tensor& rt = ref->at("y");
+    const Tensor& ht = fp16->at("y");
+    ASSERT_EQ(rt.shape(), ht.shape());
+    for (std::int64_t i = 0; i < rt.num_elements(); ++i) {
+      const float r = rt.raw()[i];
+      const float h = ht.raw()[i];
+      // The documented bound (docs/OPERATIONS.md): 1% relative or 1e-2
+      // absolute, whichever is larger.
+      EXPECT_NEAR(h, r, std::max(1e-2f, 0.01f * std::fabs(r)))
+          << "seed " << seed << " element " << i;
+    }
+  }
+}
+
+TEST(OpProfilerTest, ExecuteGraphFillsPerOpStats) {
+  Graph g = RandomDenseGraph(1, 4, 8, 4);
+  std::uint32_t s = 3;
+  TensorMap env;
+  env["x"] = RandomTensor(&s, 2, 4, false);
+  RunStats stats;
+  ASSERT_TRUE(ExecuteGraph(g, env, &stats, nullptr, /*profile_ops=*/true).ok());
+  ASSERT_FALSE(stats.per_op.empty());
+  std::int64_t calls = 0;
+  for (const auto& op : stats.per_op) calls += op.calls;
+  EXPECT_EQ(static_cast<std::size_t>(calls), stats.nodes_executed);
+
+  OpProfiler profiler;
+  profiler.Merge(stats.per_op);
+  profiler.Merge(stats.per_op);
+  EXPECT_EQ(profiler.total_calls(), 2 * calls);
+  auto rows = profiler.Snapshot();
+  ASSERT_FALSE(rows.empty());
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1].wall_micros, rows[i].wall_micros);
+  }
+}
+
+TEST(OpProfilerTest, SessionRunFeedsCacheProfiler) {
+  SessionCache cache(4);
+  SessionOptions options;
+  options.profiler = &cache.profiler();
+  auto session = cache.GetOrCreate("m", IdentityReluBytes(), options);
+  ASSERT_TRUE(session.ok());
+  (void)*(*session)->RunSingle(*Tensor::FromData({1, 2}, {-1.0f, 2.0f}));
+  EXPECT_GT(cache.profiler().total_calls(), 0);
+  EXPECT_FALSE(cache.profiler().Snapshot().empty());
 }
 
 TEST(KernelRegistryTest, SupportedOps) {

@@ -373,6 +373,19 @@ class QueryFuzzTest : public ::testing::Test {
     return executor.Execute(plan, options);
   }
 
+  /// Single-threaded run with an explicit NNRT kernel backend (the
+  /// session-cache key includes the backend, so runs never share sessions
+  /// across backends).
+  Result<relational::Table> RunWithBackend(const ir::IrPlan& plan,
+                                           nnrt::BackendKind backend) {
+    PlanExecutor executor(&catalog_, &cache_);
+    ExecutionOptions options;
+    options.parallelism = 1;
+    options.morsel_rows = 256;
+    options.nn_backend = backend;
+    return executor.Execute(plan, options);
+  }
+
   /// Distributed run against `executor`'s warm worker pool.
   Result<relational::Table> RunDistributed(PlanExecutor* executor,
                                            const ir::IrPlan& plan,
@@ -417,6 +430,34 @@ TEST_F(QueryFuzzTest, DifferentialParallelism200Queries) {
       ASSERT_NO_FATAL_FAILURE(
           ExpectTablesMatch(*sequential, *parallel, ordered));
     }
+    ++executed;
+  }
+  EXPECT_EQ(executed, kNumQueries);
+}
+
+TEST_F(QueryFuzzTest, SimdBackendDifferential200Queries) {
+  // The SIMD backend promises the scalar kernels' exact per-element
+  // rounding, so the whole fuzz corpus — PREDICT shapes included — must be
+  // byte-identical to the reference backend, not approximately equal.
+  const std::uint64_t seed = FuzzSeed();
+  Rng rng(seed);
+  frontend::StaticAnalyzer analyzer(&catalog_);
+  optimizer::CrossOptimizer optimizer(&catalog_,
+                                      optimizer::OptimizerOptions());
+  int executed = 0;
+  for (int q = 0; q < kNumQueries; ++q) {
+    bool ordered = false;
+    const std::string sql = GenerateQuery(rng, &ordered);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " query#" +
+                 std::to_string(q) + (ordered ? " [ordered] " : " ") + sql);
+    auto plan = analyzer.Analyze(sql);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    ASSERT_TRUE(optimizer.Optimize(&plan.value()).ok());
+    auto reference = RunWithBackend(*plan, nnrt::BackendKind::kReference);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    auto simd = RunWithBackend(*plan, nnrt::BackendKind::kSimd);
+    ASSERT_TRUE(simd.ok()) << simd.status().ToString();
+    ASSERT_NO_FATAL_FAILURE(ExpectTablesMatch(*reference, *simd, ordered));
     ++executed;
   }
   EXPECT_EQ(executed, kNumQueries);

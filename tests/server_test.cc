@@ -8,6 +8,7 @@
 // fills and sheds.
 
 #include <gtest/gtest.h>
+#include <dirent.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -15,6 +16,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -1144,6 +1147,214 @@ TEST_F(QueryServerTest, StopUnderBatchedLoadDrainsPendingPredicts) {
   EXPECT_LT(stop_elapsed, std::chrono::seconds(30));
   EXPECT_GT(completed.load(), 0);
   EXPECT_FALSE(server.running());
+}
+
+// ---------------------------------------------------------------------------
+// Batch-occupancy rounding, NNRT knobs/stats, and the artifact cold start
+// ---------------------------------------------------------------------------
+
+TEST(ServerStatsTest, BatchOccupancyRoundsHalfUpAndZeroIsExplicit) {
+  // Zero batches is explicitly 0 — not a division fault, not stale data.
+  EXPECT_EQ(ServerStats::BatchOccupancyX100(0, 0), 0);
+  EXPECT_EQ(ServerStats::BatchOccupancyX100(5, 0), 0);
+  EXPECT_EQ(ServerStats::BatchOccupancyX100(0, 5), 0);
+  // Round half-up, not truncate: 1/3 rows per batch is 33.33 -> 33,
+  // 2/3 is 66.67 -> 67 (truncation used to report 66).
+  EXPECT_EQ(ServerStats::BatchOccupancyX100(1, 3), 33);
+  EXPECT_EQ(ServerStats::BatchOccupancyX100(2, 3), 67);
+  // Exactly .5 rounds up: 1/8 rows per batch = 12.5 -> 13.
+  EXPECT_EQ(ServerStats::BatchOccupancyX100(1, 8), 13);
+  // Whole ratios stay exact.
+  EXPECT_EQ(ServerStats::BatchOccupancyX100(5, 2), 250);
+  EXPECT_EQ(ServerStats::BatchOccupancyX100(64, 1), 6400);
+}
+
+TEST_F(QueryServerTest, NnBackendAndSessionCacheKnobs) {
+  const std::string sql =
+      "SELECT id, p FROM PREDICT(MODEL='delay', DATA=flights) WITH(p float) "
+      "WHERE p > 0.5";
+  const Table expected = Expected(sql);
+  ASSERT_FALSE(HasFailure());
+  QueryServer server(&ctx_, DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ServerClient client;
+  ASSERT_TRUE(client.ConnectUnix(server.unix_socket_path()).ok());
+
+  // The SIMD backend is bit-identical to reference, so the result must be
+  // byte-identical to in-process execution.
+  auto set_simd = client.Query("SET nn_backend = simd");
+  ASSERT_TRUE(set_simd.ok());
+  ASSERT_EQ(set_simd->kind, ServerResponseKind::kAck) << set_simd->message;
+  auto simd_result = client.Query(sql);
+  ASSERT_TRUE(simd_result.ok());
+  ASSERT_EQ(simd_result->kind, ServerResponseKind::kTable)
+      << simd_result->message;
+  ExpectTablesIdentical(expected, simd_result->table, false);
+
+  // EXPLAIN reports the session's backend, and fp16 carries its accuracy
+  // caveat.
+  auto set_fp16 = client.Query("SET nn_backend = fp16");
+  ASSERT_TRUE(set_fp16.ok());
+  ASSERT_EQ(set_fp16->kind, ServerResponseKind::kAck) << set_fp16->message;
+  auto explained = client.Query("EXPLAIN " + sql);
+  ASSERT_TRUE(explained.ok());
+  ASSERT_EQ(explained->kind, ServerResponseKind::kAck);
+  EXPECT_NE(explained->message.find("nn_backend = fp16"), std::string::npos)
+      << explained->message;
+  EXPECT_NE(explained->message.find("rounded to fp16"), std::string::npos)
+      << explained->message;
+
+  // Bad values error without dropping the session.
+  auto bad_backend = client.Query("SET nn_backend = avx512");
+  ASSERT_TRUE(bad_backend.ok());
+  EXPECT_EQ(bad_backend->kind, ServerResponseKind::kError);
+
+  // The session-cache capacity knob is server-wide and bounded.
+  auto set_cap = client.Query("SET nn_session_cache_capacity = 16");
+  ASSERT_TRUE(set_cap.ok());
+  EXPECT_EQ(set_cap->kind, ServerResponseKind::kAck) << set_cap->message;
+  EXPECT_EQ(ctx_.session_cache().capacity(), 16u);
+  auto cap_negative = client.Query("SET nn_session_cache_capacity = -1");
+  ASSERT_TRUE(cap_negative.ok());
+  EXPECT_EQ(cap_negative->kind, ServerResponseKind::kError);
+  auto cap_huge = client.Query("SET nn_session_cache_capacity = 100000");
+  ASSERT_TRUE(cap_huge.ok());
+  EXPECT_EQ(cap_huge->kind, ServerResponseKind::kError);
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(QueryServerTest, ShowStatsReportsNnCounters) {
+  QueryServer server(&ctx_, DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ServerClient client;
+  ASSERT_TRUE(client.ConnectUnix(server.unix_socket_path()).ok());
+  const std::string sql =
+      "SELECT id, p FROM PREDICT(MODEL='delay', DATA=flights) WITH(p float) "
+      "WHERE p > 0.5";
+  ASSERT_TRUE(client.Query(sql).ok());
+  ASSERT_TRUE(client.Query(sql).ok());
+  auto stats = client.Query("SHOW STATS");
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->kind, ServerResponseKind::kStats);
+  std::map<std::string, std::int64_t> by_key(stats->stats.begin(),
+                                             stats->stats.end());
+  ASSERT_TRUE(by_key.count("nn_session_hits"));
+  ASSERT_TRUE(by_key.count("nn_artifact_rejects"));
+  EXPECT_GE(by_key["nn_session_misses"], 1);
+  EXPECT_GE(by_key["nn_session_hits"], 1);
+  EXPECT_GE(by_key["nn_session_entries"], 1);
+  EXPECT_GE(by_key["nn_graph_optimizations"], 1);
+  // Per-op profiling feeds SHOW STATS through the shared profiler.
+  EXPECT_GT(by_key["nn_ops_profiled"], 0);
+  // No artifact dir attached here.
+  EXPECT_EQ(by_key["nn_artifact_hits"], 0);
+  EXPECT_EQ(by_key["nn_artifact_writes"], 0);
+}
+
+/// Boots a server over a fresh RavenContext pointed at `artifact_dir`,
+/// serves `sql` once, and returns (SHOW STATS map, result table).
+std::pair<std::map<std::string, std::int64_t>, Table> ServeOnceWithArtifacts(
+    const std::string& artifact_dir, const data::FlightDataset& flight,
+    const std::string& sql) {
+  RavenOptions raven_options;
+  raven_options.artifact_dir = artifact_dir;
+  RavenContext ctx(raven_options);
+  test_util::RegisterFlightTable(&ctx.catalog(), flight);
+  auto logreg = data::TrainFlightLogreg(flight, 0.01);
+  EXPECT_TRUE(logreg.ok());
+  EXPECT_TRUE(ctx.catalog()
+                  .InsertModel("delay", data::FlightLogregScript(),
+                               logreg->ToBytes())
+                  .ok());
+  QueryServerOptions options;
+  options.unix_socket_path = UniqueSocketPath();
+  QueryServer server(&ctx, options);
+  EXPECT_TRUE(server.Start().ok());
+  ServerClient client;
+  EXPECT_TRUE(client.ConnectUnix(server.unix_socket_path()).ok());
+  auto response = client.Query(sql);
+  EXPECT_TRUE(response.ok());
+  Table table;
+  if (response.ok()) {
+    EXPECT_EQ(response->kind, ServerResponseKind::kTable)
+        << response->message;
+    table = response->table;
+  }
+  auto stats = client.Query("SHOW STATS");
+  EXPECT_TRUE(stats.ok());
+  std::map<std::string, std::int64_t> by_key;
+  if (stats.ok()) {
+    by_key.insert(stats->stats.begin(), stats->stats.end());
+  }
+  server.Stop();
+  return {std::move(by_key), std::move(table)};
+}
+
+TEST(ServerArtifactTest, WarmColdStartSkipsOptimizerAndSurvivesCorruption) {
+  char tmpl[] = "/tmp/raven_server_artifact_XXXXXX";
+  const char* made = ::mkdtemp(tmpl);
+  ASSERT_NE(made, nullptr);
+  const std::string dir = made;
+  const data::FlightDataset flight = data::MakeFlightDataset(500, 7);
+  const std::string sql =
+      "SELECT id, p FROM PREDICT(MODEL='delay', DATA=flights) WITH(p float) "
+      "WHERE p > 0.5";
+
+  // Server #1: cold compile, artifacts written.
+  auto [cold, cold_table] = ServeOnceWithArtifacts(dir, flight, sql);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  EXPECT_GE(cold["nn_graph_optimizations"], 1);
+  EXPECT_GE(cold["nn_artifact_writes"], 1);
+  EXPECT_EQ(cold["nn_artifact_hits"], 0);
+
+  // Server #2 (a process restart, modeled as a fresh context): the whole
+  // point of the artifact cache — zero graph optimizations on cold start.
+  auto [warm, warm_table] = ServeOnceWithArtifacts(dir, flight, sql);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  EXPECT_EQ(warm["nn_graph_optimizations"], 0)
+      << "warm-artifact cold start re-ran the graph optimizer";
+  EXPECT_GE(warm["nn_artifact_hits"], 1);
+  ExpectTablesIdentical(cold_table, warm_table, false);
+
+  // Corrupt every artifact on disk; serving must fall back to a fresh
+  // compile (no query error) and rewrite the artifacts.
+  int corrupted = 0;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      std::FILE* f = std::fopen((dir + "/" + name).c_str(), "wb");
+      ASSERT_NE(f, nullptr);
+      std::fputs("garbage", f);
+      std::fclose(f);
+      ++corrupted;
+    }
+    ::closedir(d);
+  }
+  ASSERT_GT(corrupted, 0);
+  auto [rescued, rescued_table] = ServeOnceWithArtifacts(dir, flight, sql);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  EXPECT_GE(rescued["nn_artifact_rejects"], 1);
+  EXPECT_GE(rescued["nn_graph_optimizations"], 1);
+  ExpectTablesIdentical(cold_table, rescued_table, false);
+
+  // And the rewrite healed the cache: one more restart warm-starts again.
+  auto [healed, healed_table] = ServeOnceWithArtifacts(dir, flight, sql);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  EXPECT_EQ(healed["nn_graph_optimizations"], 0);
+  EXPECT_GE(healed["nn_artifact_hits"], 1);
+  ExpectTablesIdentical(cold_table, healed_table, false);
+
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") {
+        ::unlink((dir + "/" + name).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
 }
 
 }  // namespace

@@ -8,12 +8,13 @@ Two classes of rot it catches:
      http(s)/mailto links are not checked).
 
   2. Operational surface drift: every `SET` knob the server accepts
-     (parsed out of src/server/session.cc) and every SHOW STATS key it
+     (parsed out of src/server/session.cc), every SHOW STATS key it
      renders (parsed out of ServerStats::ToPairs in
-     src/server/query_server.cc) must be mentioned in
-     docs/OPERATIONS.md. Add a knob without documenting it and this
-     fails; the parse is from the code, so the doc can never silently
-     lag the implementation.
+     src/server/query_server.cc), and every command-line flag
+     raven_serve / raven_worker dispatch on (ParseFlag / strncmp calls
+     in tools/) must be mentioned in docs/OPERATIONS.md. Add a knob or
+     flag without documenting it and this fails; the parse is from the
+     code, so the doc can never silently lag the implementation.
 
 Exits non-zero listing every problem found.
 """
@@ -76,6 +77,24 @@ def set_knobs():
     return knobs
 
 
+def serve_flags():
+    """Command-line flags raven_serve dispatches on (ParseFlag calls)."""
+    src = read_source("tools/raven_serve.cc")
+    flags = re.findall(r'ParseFlag\(argv\[i\],\s*"(--[\w-]+)=', src)
+    if not flags:
+        raise AssertionError("no flags parsed from raven_serve.cc")
+    return flags
+
+
+def worker_flags():
+    """Command-line flags raven_worker dispatches on (strncmp prefixes)."""
+    src = read_source("tools/raven_worker.cc")
+    flags = re.findall(r'strncmp\(argv\[i\],\s*"(--[\w-]+)=', src)
+    if not flags:
+        raise AssertionError("no flags parsed from raven_worker.cc")
+    return flags
+
+
 def stats_keys():
     """SHOW STATS keys from ServerStats::ToPairs, in render order."""
     src = read_source("src/server/query_server.cc")
@@ -103,6 +122,18 @@ def check_operations(problems):
         if f"`{key}`" not in ops:
             problems.append(
                 f"docs/OPERATIONS.md: SHOW STATS key '{key}' is undocumented"
+            )
+    for flag in serve_flags():
+        if f"`{flag}" not in ops:
+            problems.append(
+                f"docs/OPERATIONS.md: raven_serve flag '{flag}' is "
+                "undocumented"
+            )
+    for flag in worker_flags():
+        if f"`{flag}" not in ops:
+            problems.append(
+                f"docs/OPERATIONS.md: raven_worker flag '{flag}' is "
+                "undocumented"
             )
 
 

@@ -45,6 +45,73 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 }
 
+artifact_smoke() {
+  # End-to-end proof of the compiled-model artifact cache across real
+  # process restarts: server #1 compiles and persists artifacts, server #2
+  # on the same --artifact-dir must report ZERO graph optimizations while
+  # serving identical PREDICT results, and server #3 — after every artifact
+  # is corrupted in place — must fall back to a fresh compile without a
+  # single serving error (and rewrite the artifacts).
+  local build_dir="$1"
+  local serve="${build_dir}/tools/raven_serve"
+  local client="${build_dir}/tools/raven_client"
+  local dir sock pid
+  dir="$(mktemp -d /tmp/raven_ci_artifact_XXXXXX)"
+  local sql="SELECT id, p FROM PREDICT(MODEL='delay', DATA=flights) WITH(p float) WHERE p > 0.5"
+
+  start_server() {
+    sock="${dir}/raven_$1.sock"
+    "${serve}" --socket="${sock}" --rows=500 --artifact-dir="${dir}/cache" &
+    pid=$!
+    for _ in $(seq 1 100); do
+      [[ -S "${sock}" ]] && break
+      sleep 0.1
+    done
+    [[ -S "${sock}" ]] || { echo "artifact_smoke: server $1 never came up" >&2; exit 1; }
+  }
+  stop_server() {
+    kill "${pid}" 2>/dev/null || true
+    wait "${pid}" 2>/dev/null || true
+  }
+  stat_of() {  # stat_of <key>: value from SHOW STATS over the live socket
+    "${client}" --socket="${sock}" --query "SHOW STATS" \
+      | awk -v k="$1" '$1 == k { print $2 }'
+  }
+
+  start_server 1
+  "${client}" --socket="${sock}" --query "${sql}" | grep -v " ms" > "${dir}/run1.out"
+  local writes
+  writes="$(stat_of nn_artifact_writes)"
+  stop_server
+  [[ "${writes}" -ge 1 ]] || { echo "artifact_smoke: server 1 wrote no artifacts" >&2; exit 1; }
+
+  start_server 2
+  "${client}" --socket="${sock}" --query "${sql}" | grep -v " ms" > "${dir}/run2.out"
+  local opts hits
+  opts="$(stat_of nn_graph_optimizations)"
+  hits="$(stat_of nn_artifact_hits)"
+  stop_server
+  [[ "${opts}" -eq 0 ]] || { echo "artifact_smoke: warm cold-start ran ${opts} graph optimization(s), expected 0" >&2; exit 1; }
+  [[ "${hits}" -ge 1 ]] || { echo "artifact_smoke: warm cold-start loaded no artifacts" >&2; exit 1; }
+  cmp -s "${dir}/run1.out" "${dir}/run2.out" || { echo "artifact_smoke: warm results differ from cold" >&2; exit 1; }
+
+  # Corrupt every artifact in place; serving must survive via recompile.
+  local f
+  for f in "${dir}/cache"/*; do
+    echo garbage > "${f}"
+  done
+  start_server 3
+  "${client}" --socket="${sock}" --query "${sql}" | grep -v " ms" > "${dir}/run3.out"
+  local rejects
+  rejects="$(stat_of nn_artifact_rejects)"
+  stop_server
+  [[ "${rejects}" -ge 1 ]] || { echo "artifact_smoke: corrupt artifacts were not rejected" >&2; exit 1; }
+  cmp -s "${dir}/run1.out" "${dir}/run3.out" || { echo "artifact_smoke: corrupted-cache results differ" >&2; exit 1; }
+
+  rm -rf "${dir}"
+  echo "artifact_smoke: ok (writes=${writes} warm_hits=${hits} rejects=${rejects})"
+}
+
 tier1() {
   # The full ctest in run_suite includes the `fuzz`-labeled randomized
   # differential harness (tests/query_fuzz_test.cc — in-process dop {1,8},
@@ -60,6 +127,7 @@ tier1() {
   CONFIG_ARGS=()
   docs_check
   run_suite build
+  artifact_smoke build
 }
 
 asan() {

@@ -16,9 +16,13 @@
 //   --batch-window-us=N       cross-query PREDICT micro-batch window in
 //                             microseconds (default 0 = off)
 //   --max-batch-rows=N        rows per coalesced NNRT call (default 256)
+//   --artifact-dir=PATH       persist compiled NNRT graphs here; a restart
+//                             (or raven_worker child) warm-starts from them
+//   --session-cache=N         NNRT session cache capacity (default 32)
+//   --nn-backend=NAME         default NNRT backend: reference|simd|fp16
 //
 // Try it:
-//   raven_client --socket=/tmp/raven.sock \
+//   raven_client --socket=/tmp/raven.sock
 //     --query "SELECT airline, COUNT(*) AS n FROM flights GROUP BY airline"
 
 #include <unistd.h>
@@ -52,6 +56,7 @@ long FlagInt(const std::string& value, const char* name) {
 
 int main(int argc, char** argv) {
   raven::server::QueryServerOptions options;
+  raven::RavenOptions raven_options;
   long rows = 5000;
   long parallelism = 4;
   std::string value;
@@ -82,6 +87,19 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--max-batch-rows=", &value)) {
       options.default_execution.predict_max_batch_rows =
           FlagInt(value, "--max-batch-rows");
+    } else if (ParseFlag(argv[i], "--artifact-dir=", &value)) {
+      raven_options.artifact_dir = value;
+    } else if (ParseFlag(argv[i], "--session-cache=", &value)) {
+      raven_options.session_cache_capacity =
+          static_cast<std::size_t>(FlagInt(value, "--session-cache"));
+    } else if (ParseFlag(argv[i], "--nn-backend=", &value)) {
+      auto kind = raven::nnrt::ParseBackendKind(value);
+      if (!kind.ok()) {
+        std::fprintf(stderr, "raven_serve: %s\n",
+                     kind.status().ToString().c_str());
+        return 2;
+      }
+      options.default_execution.nn_backend = kind.value();
     } else {
       std::fprintf(stderr, "raven_serve: unknown flag '%s'\n", argv[i]);
       return 2;
@@ -94,7 +112,7 @@ int main(int argc, char** argv) {
   }
   options.default_execution.parallelism = parallelism;
 
-  raven::RavenContext ctx;
+  raven::RavenContext ctx(raven_options);
   {
     auto hospital = raven::data::MakeHospitalDataset(rows, 11);
     if (!ctx.RegisterTable("patient_info", hospital.patient_info).ok() ||

@@ -10,9 +10,13 @@
 // (the WorkerPool keeps them warm across queries) and stateless between
 // frames, so any partition can be retried on any worker.
 //
-// Usage: raven_worker [--boot-ms=N] [--fault=MODE]
+// Usage: raven_worker [--boot-ms=N] [--fault=MODE] [--artifact-dir=PATH]
 //   --boot-ms simulates interpreter start-up (the paper observes ~0.5 s for
 //   the external Python runtime; fork/exec alone is a few milliseconds).
+//   --artifact-dir points at the coordinator's compiled-graph artifact
+//   directory (appended automatically via worker_args when the parent has
+//   one), so a freshly spawned worker skips NNRT graph optimization for
+//   any model the coordinator — or a previous worker — compiled before.
 //   --fault injects a protocol failure on the first kExecuteFragment, for
 //   the engine's fault-injection tests:
 //     die        exit without writing anything (a mid-query crash)
@@ -26,8 +30,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "ml/pipeline.h"
 #include "nnrt/session.h"
@@ -57,6 +61,16 @@ enum class FaultMode { kNone, kDie, kTruncate, kOversize, kError };
 
 FaultMode g_fault = FaultMode::kNone;
 
+/// The worker-lifetime NNRT session cache, shared by one-shot kScoreGraph
+/// requests and fragment execution. With --artifact-dir it reads (and
+/// writes) the coordinator's compiled-graph artifacts: a fresh worker spawn
+/// then skips graph optimization for every model compiled before anywhere.
+raven::nnrt::SessionCache* SessionCacheSingleton() {
+  static raven::nnrt::SessionCache* cache =
+      new raven::nnrt::SessionCache(32);
+  return cache;
+}
+
 Result<Tensor> ScoreOnce(const ScoreRequest& request) {
   switch (request.command) {
     case WorkerCommand::kScorePipeline: {
@@ -66,20 +80,17 @@ Result<Tensor> ScoreOnce(const ScoreRequest& request) {
       return pipeline.Predict(request.input);
     }
     case WorkerCommand::kScoreGraph: {
-      // Sessions are cached per model bytes within the worker's lifetime.
-      static std::unordered_map<
-          std::size_t, std::unique_ptr<raven::nnrt::InferenceSession>>*
-          sessions = new std::unordered_map<
-              std::size_t, std::unique_ptr<raven::nnrt::InferenceSession>>();
-      const std::size_t key = std::hash<std::string>{}(request.model_bytes);
-      auto it = sessions->find(key);
-      if (it == sessions->end()) {
-        RAVEN_ASSIGN_OR_RETURN(
-            auto session,
-            raven::nnrt::InferenceSession::FromBytes(request.model_bytes));
-        it = sessions->emplace(key, std::move(session)).first;
-      }
-      return it->second->RunSingle(request.input);
+      // Keyed by the same fingerprint function the coordinator stamps into
+      // IrNode::nn_graph_fingerprint, so the artifact a raven_serve
+      // instance wrote is a warm start here.
+      const std::uint64_t fingerprint =
+          raven::nnrt::FingerprintGraphBytes(request.model_bytes);
+      RAVEN_ASSIGN_OR_RETURN(
+          auto session,
+          SessionCacheSingleton()->GetOrCreate(
+              "score_graph#" + std::to_string(fingerprint), fingerprint,
+              [&request]() { return request.model_bytes; }));
+      return session->RunSingle(request.input);
     }
     default:
       return Status::InvalidArgument("not a scoring command");
@@ -137,9 +148,7 @@ int ServeFragment(const std::string& payload) {
   }
   // Fragments may carry NNRT graphs; sessions stay cached for the worker's
   // lifetime, which is what keeps a warm pool cheaper than one-shot spawns.
-  static raven::nnrt::SessionCache* session_cache =
-      new raven::nnrt::SessionCache(32);
-  auto result = ExecuteFragmentLocally(request.value(), session_cache);
+  auto result = ExecuteFragmentLocally(request.value(), SessionCacheSingleton());
   if (!result.ok()) {
     return WriteFrame(STDOUT_FILENO,
                       EncodeFragmentError(result.status().ToString()))
@@ -233,6 +242,9 @@ int main(int argc, char** argv) {
                      mode.c_str());
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--artifact-dir=", 15) == 0) {
+      SessionCacheSingleton()->AttachArtifacts(
+          std::make_shared<raven::nnrt::ArtifactCache>(argv[i] + 15));
     }
   }
   if (boot_ms > 0) {
