@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/string_util.h"
+#include "relational/block_table.h"
 #include "relational/expression.h"
 
 namespace raven::frontend {
@@ -271,17 +272,28 @@ Result<std::string> SqlParser::ParseColumnName() {
 
 Result<double> SqlParser::ResolveStringLiteral(const std::string& column,
                                                const std::string& value) const {
-  for (const auto& table_name : catalog_.TableNames()) {
-    auto table = catalog_.GetTable(table_name);
-    if (!table.ok()) continue;
-    auto col = (*table)->GetColumn(column);
-    if (!col.ok() || !(*col)->is_categorical()) continue;
-    const auto& dict = *(*col)->dictionary;
+  auto resolve = [&](const std::vector<std::string>& dict) -> Result<double> {
     for (std::size_t i = 0; i < dict.size(); ++i) {
       if (dict[i] == value) return static_cast<double>(i);
     }
     return Status::NotFound("value '" + value + "' not in dictionary of '" +
                             column + "'");
+  };
+  for (const auto& table_name : catalog_.TableNames()) {
+    auto table = catalog_.GetTable(table_name);
+    if (!table.ok()) continue;
+    auto col = (*table)->GetColumn(column);
+    if (!col.ok() || !(*col)->is_categorical()) continue;
+    return resolve(*(*col)->dictionary);
+  }
+  // On-disk tables resolve string literals through their stored
+  // dictionaries, same semantics as in-memory ones.
+  for (const auto& table_name : catalog_.DiskTableNames()) {
+    auto table = catalog_.GetDiskTable(table_name);
+    if (!table.ok()) continue;
+    const std::vector<std::string>* dict = (*table)->Dictionary(column);
+    if (dict == nullptr) continue;
+    return resolve(*dict);
   }
   return Status::NotFound("no categorical column '" + column +
                           "' found for string literal '" + value + "'");
@@ -455,7 +467,7 @@ Result<IrNodePtr> SqlParser::ParseDataRef() {
   if (AcceptKeyword("AS") && Peek().kind == TokKind::kIdent) ++pos_;
   auto cte = ctes_.find(name);
   if (cte != ctes_.end()) return cte->second->Clone();
-  if (catalog_.HasTable(name)) return IrNode::TableScan(name);
+  if (catalog_.HasAnyTable(name)) return IrNode::TableScan(name);
   return Status::NotFound("DATA source '" + name +
                           "' is neither a CTE nor a table");
 }
@@ -469,7 +481,7 @@ Result<IrNodePtr> SqlParser::ParseTableRefChain() {
   auto cte = ctes_.find(first);
   if (cte != ctes_.end()) {
     left = cte->second->Clone();
-  } else if (catalog_.HasTable(first)) {
+  } else if (catalog_.HasAnyTable(first)) {
     left = IrNode::TableScan(first);
   } else {
     return Status::NotFound("table '" + first + "' not found");
@@ -480,7 +492,7 @@ Result<IrNodePtr> SqlParser::ParseTableRefChain() {
       return ErrorHere("expected table after JOIN");
     }
     const std::string right_name = Advance().raw;
-    if (!catalog_.HasTable(right_name)) {
+    if (!catalog_.HasAnyTable(right_name)) {
       return Status::NotFound("table '" + right_name + "' not found");
     }
     if (AcceptKeyword("AS") && Peek().kind == TokKind::kIdent) ++pos_;

@@ -346,9 +346,8 @@ Result<std::vector<std::string>> IrPlan::ComputeSchema(
     const IrNode& node, const relational::Catalog& catalog) {
   switch (node.kind) {
     case IrOpKind::kTableScan: {
-      RAVEN_ASSIGN_OR_RETURN(const relational::Table* table,
-                             catalog.GetTable(node.table_name));
-      return table->ColumnNames();
+      // TableSchema covers in-memory and on-disk tables alike.
+      return catalog.TableSchema(node.table_name);
     }
     case IrOpKind::kFilter:
     case IrOpKind::kLimit:

@@ -105,10 +105,10 @@ Result<PlanCost> EstimateCostNode(const ir::IrNode& node,
   using ir::IrOpKind;
   switch (node.kind) {
     case IrOpKind::kTableScan: {
-      RAVEN_ASSIGN_OR_RETURN(const relational::Table* table,
-                             ctx.catalog.GetTable(node.table_name));
-      const double rows = static_cast<double>(table->num_rows());
-      const double cols = static_cast<double>(table->num_columns());
+      RAVEN_ASSIGN_OR_RETURN(const auto shape,
+                             ctx.catalog.TableShape(node.table_name));
+      const double rows = static_cast<double>(shape.first);
+      const double cols = static_cast<double>(shape.second);
       return PlanCost{rows, rows * cols / dop};
     }
     case IrOpKind::kFilter: {
@@ -337,10 +337,10 @@ Result<PlanCost> EstimateDistributedCost(const ir::IrNode& node,
     while (leaf->kind != ir::IrOpKind::kTableScan) {
       leaf = leaf->children[0].get();
     }
-    RAVEN_ASSIGN_OR_RETURN(const relational::Table* table,
-                           catalog.GetTable(leaf->table_name));
+    RAVEN_ASSIGN_OR_RETURN(const auto shape,
+                           catalog.TableShape(leaf->table_name));
     const double ship =
-        kShipCostPerRow * (static_cast<double>(table->num_rows()) +
+        kShipCostPerRow * (static_cast<double>(shape.first) +
                            seq_frag.output_rows);
     // Swap the fragment's sequential compute for pool-parallel compute plus
     // the shipping tax; the remainder keeps its sequential costing.

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "optimizer/specialize.h"
+#include "relational/block_table.h"
 #include "relational/statistics.h"
 
 namespace raven::optimizer {
@@ -247,18 +248,17 @@ Result<std::size_t> RequireWalk(IrNodePtr* node, const Required& required,
   switch (n.kind) {
     case IrOpKind::kTableScan: {
       if (!required.has_value()) return std::size_t{0};
-      RAVEN_ASSIGN_OR_RETURN(const relational::Table* table,
-                             catalog.GetTable(n.table_name));
+      RAVEN_ASSIGN_OR_RETURN(const std::vector<std::string> columns,
+                             catalog.TableSchema(n.table_name));
       std::vector<std::string> keep;
-      for (const auto& col : table->ColumnNames()) {
+      for (const auto& col : columns) {
         if (required->count(col) > 0) keep.push_back(col);
       }
-      if (keep.size() ==
-          static_cast<std::size_t>(table->num_columns())) {
+      if (keep.size() == columns.size()) {
         return std::size_t{0};
       }
-      if (keep.empty() && table->num_columns() > 0) {
-        keep.push_back(table->ColumnNames().front());  // keep arity >= 1
+      if (keep.empty() && !columns.empty()) {
+        keep.push_back(columns.front());  // keep arity >= 1
       }
       *node = IrNode::ProjectColumns(std::move(*node), keep);
       return std::size_t{1};
@@ -674,13 +674,21 @@ Result<std::size_t> ApplyDataPropertyPruning(
   Status status = Status::OK();
   ir::VisitIr(root->get(), [&](IrNode* node) {
     if (!status.ok() || node->kind != IrOpKind::kTableScan) return;
+    std::map<std::string, relational::ColumnStats> table_stats;
     auto table = catalog.GetTable(node->table_name);
-    if (!table.ok()) {
-      status = table.status();
-      return;
+    if (table.ok()) {
+      table_stats = relational::ComputeTableStats(**table);
+    } else {
+      // On-disk tables: merge the per-block zone maps instead of scanning
+      // the data (the whole point of keeping stats in the .rvc meta).
+      auto disk = catalog.GetDiskTable(node->table_name);
+      if (!disk.ok()) {
+        status = table.status();
+        return;
+      }
+      table_stats = relational::MergedStats(**disk);
     }
-    for (auto& [name, column_stats] :
-         relational::ComputeTableStats(**table)) {
+    for (auto& [name, column_stats] : table_stats) {
       stats[name] = column_stats;
     }
   });
@@ -693,6 +701,10 @@ Result<std::size_t> ApplyDataPropertyPruning(
     for (const auto& column : node->model_input_columns) {
       auto it = stats.find(column);
       if (it == stats.end()) continue;
+      // A NaN/±inf row sits outside the finite min/max, so any range (or
+      // equality) predicate derived from it would mis-describe that row
+      // and specialize the model against data it will actually see.
+      if (it->second.has_non_finite || !it->second.has_finite()) continue;
       if (it->second.constant.has_value()) {
         predicates.push_back(relational::SimplePredicate{
             column, relational::CompareOp::kEq, *it->second.constant});

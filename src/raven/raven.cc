@@ -46,6 +46,12 @@ Status RavenContext::RegisterTable(const std::string& name,
   return catalog_.RegisterTable(name, std::move(table));
 }
 
+Status RavenContext::RegisterDiskTable(
+    const std::string& name,
+    std::shared_ptr<const relational::BlockTable> table) {
+  return catalog_.RegisterDiskTable(name, std::move(table));
+}
+
 Status RavenContext::InsertModel(const std::string& name,
                                  const std::string& script,
                                  const ml::ModelPipeline& pipeline) {
@@ -172,6 +178,20 @@ Result<std::string> RavenContext::Explain(const std::string& sql) {
       if (end == std::string::npos) end = batchable.size();
       out += "  batch-eligible: " + batchable.substr(start, end - start) +
              "\n";
+      start = end + 1;
+    }
+  }
+  const std::string storage =
+      runtime::DescribeStorageScans(*plan.root(), catalog_);
+  if (!storage.empty()) {
+    // One line per on-disk table the plan scans (block layout + encodings),
+    // plus the predicate conjuncts the scan checks against block zone maps.
+    out += "=== Storage ===\n";
+    std::size_t start = 0;
+    while (start < storage.size()) {
+      std::size_t end = storage.find('\n', start);
+      if (end == std::string::npos) end = storage.size();
+      out += "  " + storage.substr(start, end - start) + "\n";
       start = end + 1;
     }
   }

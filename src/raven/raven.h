@@ -58,6 +58,11 @@ class RavenContext {
 
   // -- Data & model registration -------------------------------------------
   Status RegisterTable(const std::string& name, relational::Table table);
+  /// Registers an on-disk columnar table (e.g. a memory-mapped `.rvc` file
+  /// opened with storage::DiskTable::Open). Shares the name space with
+  /// in-memory tables; scans read it block-by-block with zone-map skipping.
+  Status RegisterDiskTable(const std::string& name,
+                           std::shared_ptr<const relational::BlockTable> table);
   /// INSERT INTO models(name, script, pipeline): stores the script and the
   /// serialized trained pipeline in the catalog.
   Status InsertModel(const std::string& name, const std::string& script,

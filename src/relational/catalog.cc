@@ -1,10 +1,12 @@
 #include "relational/catalog.h"
 
+#include "relational/block_table.h"
+
 namespace raven::relational {
 
 Status Catalog::RegisterTable(const std::string& name, Table table) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (tables_.count(name) > 0) {
+  if (tables_.count(name) > 0 || disk_tables_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "' already registered");
   }
   tables_.emplace(name, std::move(table));
@@ -34,6 +36,75 @@ std::vector<std::string> Catalog::TableNames() const {
     out.push_back(name);
   }
   return out;
+}
+
+Status Catalog::RegisterDiskTable(const std::string& name,
+                                  std::shared_ptr<const BlockTable> table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("disk table '" + name + "' is null");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name) > 0 || disk_tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  disk_tables_.emplace(name, std::move(table));
+  BumpVersion();
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const BlockTable>> Catalog::GetDiskTable(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = disk_tables_.find(name);
+  if (it == disk_tables_.end()) {
+    return Status::NotFound("disk table '" + name + "' not found");
+  }
+  return it->second;
+}
+
+bool Catalog::HasDiskTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_tables_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::DiskTableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, table] : disk_tables_) {
+    (void)table;
+    out.push_back(name);
+  }
+  return out;
+}
+
+bool Catalog::HasAnyTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(name) > 0 || disk_tables_.count(name) > 0;
+}
+
+Result<std::vector<std::string>> Catalog::TableSchema(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it != tables_.end()) return it->second.ColumnNames();
+  auto dit = disk_tables_.find(name);
+  if (dit != disk_tables_.end()) return dit->second->ColumnNames();
+  return Status::NotFound("table '" + name + "' not found");
+}
+
+Result<std::pair<std::int64_t, std::int64_t>> Catalog::TableShape(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it != tables_.end()) {
+    return std::make_pair(it->second.num_rows(), it->second.num_columns());
+  }
+  auto dit = disk_tables_.find(name);
+  if (dit != disk_tables_.end()) {
+    return std::make_pair(dit->second->num_rows(),
+                          dit->second->num_columns());
+  }
+  return Status::NotFound("table '" + name + "' not found");
 }
 
 Status Catalog::InsertModel(const std::string& name, const std::string& script,

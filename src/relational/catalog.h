@@ -5,14 +5,18 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "relational/table.h"
 
 namespace raven::relational {
+
+class BlockTable;
 
 /// A stored model: the pipeline script (the paper's Python source), the
 /// serialized trained pipeline bytes, and a version stamp. Storing models
@@ -36,6 +40,27 @@ class Catalog {
   Result<const Table*> GetTable(const std::string& name) const;
   bool HasTable(const std::string& name) const;
   std::vector<std::string> TableNames() const;
+
+  // -- On-disk tables -------------------------------------------------------
+  // Block-based (.rvc) tables registered alongside in-memory ones. The two
+  // registries share one namespace: a name resolves to exactly one kind,
+  // and registration in either checks both. Planning code that only needs
+  // shape/schema goes through TableSchema/TableShape so it stays agnostic
+  // to where the rows live.
+  Status RegisterDiskTable(const std::string& name,
+                           std::shared_ptr<const BlockTable> table);
+  Result<std::shared_ptr<const BlockTable>> GetDiskTable(
+      const std::string& name) const;
+  bool HasDiskTable(const std::string& name) const;
+  std::vector<std::string> DiskTableNames() const;
+
+  /// True when `name` resolves as either table kind (FROM-clause check).
+  bool HasAnyTable(const std::string& name) const;
+  /// Column names of either table kind.
+  Result<std::vector<std::string>> TableSchema(const std::string& name) const;
+  /// (num_rows, num_columns) of either table kind.
+  Result<std::pair<std::int64_t, std::int64_t>> TableShape(
+      const std::string& name) const;
 
   // -- Model store ----------------------------------------------------------
   /// INSERT INTO scoring_models: fails if the name exists (use UpdateModel).
@@ -75,6 +100,7 @@ class Catalog {
   std::atomic<std::int64_t> version_{1};
   mutable std::mutex mu_;
   std::map<std::string, Table> tables_;
+  std::map<std::string, std::shared_ptr<const BlockTable>> disk_tables_;
   std::map<std::string, StoredModel> models_;
   std::vector<std::string> audit_log_;
   std::vector<std::function<void(const std::string&)>> listeners_;

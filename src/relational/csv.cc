@@ -1,7 +1,10 @@
 #include "relational/csv.h"
 
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 
@@ -9,27 +12,147 @@
 
 namespace raven::relational {
 
+namespace {
+
+// One parsed CSV field: its text plus whether it was quoted in the source.
+// Quoting is syntactically significant for type sniffing (a quoted field
+// pins its column categorical), so it must survive parsing.
+struct CsvField {
+  std::string text;
+  bool quoted = false;
+};
+
+// Writes one categorical value RFC-4180-style. Categorical fields are
+// ALWAYS quoted: that is what lets ReadCsv tell a categorical "1.5" from a
+// numeric 1.5, making write→read type-exact instead of heuristic.
+void WriteQuoted(std::ostream& out, const std::string& value) {
+  out << '"';
+  for (char ch : value) {
+    if (ch == '"') out << '"';
+    out << ch;
+  }
+  out << '"';
+}
+
+// Formats a double with enough digits (max_digits10 == 17) that strtod
+// recovers the exact bit pattern. Non-finite values print as nan/inf/-inf,
+// which strtod also parses back.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Splits the raw file contents into records of fields, honoring quotes
+// (embedded commas, escaped "" quotes, and embedded newlines inside quoted
+// fields). Unquoted fields are trimmed; quoted fields are verbatim.
+Result<std::vector<std::vector<CsvField>>> ParseCsv(const std::string& text) {
+  std::vector<std::vector<CsvField>> records;
+  std::vector<CsvField> record;
+  std::string field;
+  bool field_quoted = false;
+  bool in_quotes = false;
+  bool record_started = false;
+
+  auto end_field = [&] {
+    CsvField f;
+    f.quoted = field_quoted;
+    f.text = field_quoted ? field : TrimString(field);
+    record.push_back(std::move(f));
+    field.clear();
+    field_quoted = false;
+  };
+  auto end_record = [&]() -> Status {
+    if (!record_started) return Status::OK();  // blank line
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+    record_started = false;
+    return Status::OK();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        in_quotes = true;
+        field_quoted = true;
+        record_started = true;
+        break;
+      case ',':
+        record_started = true;
+        end_field();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        RAVEN_RETURN_IF_ERROR(end_record());
+        break;
+      default:
+        if (!std::isspace(static_cast<unsigned char>(ch))) {
+          record_started = true;
+        }
+        field += ch;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("CSV ends inside a quoted field");
+  }
+  RAVEN_RETURN_IF_ERROR(end_record());
+  return records;
+}
+
+bool ParsesAsDouble(const std::string& field, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
 Status WriteCsv(const Table& table, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open '" + path + "' for writing");
   const auto& cols = table.columns();
   for (std::size_t c = 0; c < cols.size(); ++c) {
     if (c > 0) out << ",";
-    out << cols[c].name;
+    WriteQuoted(out, cols[c].name);
   }
   out << "\n";
   const std::int64_t n = table.num_rows();
   for (std::int64_t r = 0; r < n; ++r) {
     for (std::size_t c = 0; c < cols.size(); ++c) {
       if (c > 0) out << ",";
+      const double raw = cols[c].data[static_cast<std::size_t>(r)];
       if (cols[c].is_categorical()) {
-        const auto code =
-            static_cast<std::size_t>(cols[c].data[static_cast<std::size_t>(r)]);
-        out << (code < cols[c].dictionary->size()
-                    ? (*cols[c].dictionary)[code]
-                    : "");
+        const auto code = static_cast<std::size_t>(raw);
+        if (raw < 0 || code >= cols[c].dictionary->size() ||
+            static_cast<double>(code) != raw) {
+          return Status::InvalidArgument(
+              "column '" + cols[c].name + "' row " + std::to_string(r) +
+              ": dictionary code " + FormatDouble(raw) +
+              " out of range (dictionary has " +
+              std::to_string(cols[c].dictionary->size()) + " entries)");
+        }
+        WriteQuoted(out, (*cols[c].dictionary)[code]);
       } else {
-        out << cols[c].data[static_cast<std::size_t>(r)];
+        out << FormatDouble(raw);
       }
     }
     out << "\n";
@@ -41,58 +164,77 @@ Status WriteCsv(const Table& table, const std::string& path) {
 Result<Table> ReadCsv(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open '" + path + "'");
-  std::string line;
-  if (!std::getline(in, line)) return Status::ParseError("empty CSV");
-  const std::vector<std::string> header = SplitString(TrimString(line), ',');
-  std::vector<std::vector<std::string>> raw(header.size());
-  while (std::getline(in, line)) {
-    if (TrimString(line).empty()) continue;
-    const std::vector<std::string> fields = SplitString(line, ',');
-    if (fields.size() != header.size()) {
-      return Status::ParseError("CSV row has " +
-                                std::to_string(fields.size()) +
-                                " fields, expected " +
-                                std::to_string(header.size()));
-    }
-    for (std::size_t c = 0; c < fields.size(); ++c) {
-      raw[c].push_back(TrimString(fields[c]));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = ParseCsv(buffer.str());
+  RAVEN_RETURN_IF_ERROR(parsed.status());
+  const auto& records = *parsed;
+  if (records.empty()) return Status::ParseError("empty CSV");
+
+  const std::vector<CsvField>& header = records.front();
+  const std::size_t width = header.size();
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != width) {
+      return Status::ParseError(
+          "CSV row has " + std::to_string(records[r].size()) +
+          " fields, expected " + std::to_string(width));
     }
   }
+  const std::size_t num_rows = records.size() - 1;
+
   Table table;
-  for (std::size_t c = 0; c < header.size(); ++c) {
+  for (std::size_t c = 0; c < width; ++c) {
+    // Pinned sniffing rules (see csv.h): any quoted field forces the
+    // column categorical; otherwise the column is numeric iff it has at
+    // least one non-empty field and every non-empty field fully parses
+    // via strtod (the literals nan/inf therefore read as numeric). Empty
+    // unquoted fields are the null sentinel (NaN) in numeric columns; an
+    // all-empty column stays categorical.
     bool numeric = true;
+    bool any_value = false;
     std::vector<double> nums;
-    nums.reserve(raw[c].size());
-    for (const auto& field : raw[c]) {
-      char* end = nullptr;
-      const double v = std::strtod(field.c_str(), &end);
-      if (end == field.c_str() || *end != '\0') {
+    nums.reserve(num_rows);
+    for (std::size_t r = 1; r <= num_rows; ++r) {
+      const CsvField& field = records[r][c];
+      if (field.quoted) {
         numeric = false;
         break;
       }
+      if (field.text.empty()) {
+        nums.push_back(std::numeric_limits<double>::quiet_NaN());
+        continue;
+      }
+      double v = 0.0;
+      if (!ParsesAsDouble(field.text, &v)) {
+        numeric = false;
+        break;
+      }
+      any_value = true;
       nums.push_back(v);
     }
-    if (numeric) {
-      RAVEN_RETURN_IF_ERROR(table.AddNumericColumn(header[c], std::move(nums)));
-    } else {
-      std::map<std::string, double> dict_index;
-      std::vector<std::string> dictionary;
-      std::vector<double> codes;
-      codes.reserve(raw[c].size());
-      for (const auto& field : raw[c]) {
-        auto it = dict_index.find(field);
-        if (it == dict_index.end()) {
-          const double code = static_cast<double>(dictionary.size());
-          dict_index[field] = code;
-          dictionary.push_back(field);
-          codes.push_back(code);
-        } else {
-          codes.push_back(it->second);
-        }
-      }
-      RAVEN_RETURN_IF_ERROR(table.AddCategoricalColumn(
-          header[c], std::move(codes), std::move(dictionary)));
+    if (numeric && any_value) {
+      RAVEN_RETURN_IF_ERROR(
+          table.AddNumericColumn(header[c].text, std::move(nums)));
+      continue;
     }
+    std::map<std::string, double> dict_index;
+    std::vector<std::string> dictionary;
+    std::vector<double> codes;
+    codes.reserve(num_rows);
+    for (std::size_t r = 1; r <= num_rows; ++r) {
+      const std::string& value = records[r][c].text;
+      auto it = dict_index.find(value);
+      if (it == dict_index.end()) {
+        const double code = static_cast<double>(dictionary.size());
+        dict_index[value] = code;
+        dictionary.push_back(value);
+        codes.push_back(code);
+      } else {
+        codes.push_back(it->second);
+      }
+    }
+    RAVEN_RETURN_IF_ERROR(table.AddCategoricalColumn(
+        header[c].text, std::move(codes), std::move(dictionary)));
   }
   return table;
 }

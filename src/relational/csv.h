@@ -8,12 +8,28 @@
 
 namespace raven::relational {
 
-/// Writes a table to CSV (categorical columns emit their dictionary
-/// strings).
+/// Writes a table to CSV so that ReadCsv recovers it exactly:
+///  - numeric values print at max_digits10 (17 significant digits), enough
+///    for strtod to recover the identical bits; NaN/±inf print as nan/inf.
+///  - categorical values (and column names) are always RFC-4180 quoted,
+///    with `"` escaped as `""` — embedded commas, quotes, and newlines
+///    survive, and the quoting itself tells ReadCsv the column is
+///    categorical even when every value looks like a number.
+/// A categorical cell whose code is not an exact in-range dictionary index
+/// is an InvalidArgument error, never a silently empty field.
 Status WriteCsv(const Table& table, const std::string& path);
 
-/// Reads a CSV with a header row. Columns whose values all parse as numbers
-/// become numeric; anything else becomes a dictionary-encoded categorical.
+/// Reads a CSV with a header row, honoring RFC-4180 quoting (embedded
+/// commas, `""` escapes, and newlines inside quoted fields). Type sniffing
+/// is pinned to these rules so the same logical column cannot flip
+/// numeric↔categorical between files:
+///  - any quoted field forces its column categorical;
+///  - otherwise a column is numeric iff it has at least one non-empty
+///    field and every non-empty (trimmed) field fully parses via strtod —
+///    so the literals `nan`/`inf` are numeric values, not strings;
+///  - empty unquoted fields in a numeric column read as NaN (the null
+///    sentinel); an all-empty column stays categorical.
+/// Unquoted fields are whitespace-trimmed; quoted fields are verbatim.
 Result<Table> ReadCsv(const std::string& path);
 
 }  // namespace raven::relational

@@ -1,23 +1,50 @@
 #include "relational/statistics.h"
 
+#include <cmath>
 #include <set>
 
 namespace raven::relational {
 
 namespace {
+
 constexpr std::int64_t kDistinctCap = 64;
+
+// Strict weak ordering over doubles that places all NaNs in a single
+// equivalence class after every real number. std::set<double> with the
+// default `<` violates its ordering contract the moment a NaN is inserted
+// (NaN < x and x < NaN are both false, yet NaN "equals" nothing), which is
+// undefined behavior — this comparator keeps the set well-formed.
+struct NanSafeLess {
+  bool operator()(double a, double b) const {
+    if (std::isnan(a)) return false;
+    if (std::isnan(b)) return true;
+    return a < b;
+  }
+};
+
 }  // namespace
 
 ColumnStats ComputeColumnStats(const Column& column) {
   ColumnStats stats;
   stats.num_rows = column.size();
   if (column.data.empty()) return stats;
-  stats.min = column.data.front();
-  stats.max = column.data.front();
-  std::set<double> distinct;
+  bool saw_finite = false;
+  std::set<double, NanSafeLess> distinct;
   for (double v : column.data) {
-    stats.min = std::min(stats.min, v);
-    stats.max = std::max(stats.max, v);
+    if (std::isfinite(v)) {
+      if (!saw_finite) {
+        stats.min = v;
+        stats.max = v;
+        saw_finite = true;
+      } else {
+        if (v < stats.min) stats.min = v;
+        if (v > stats.max) stats.max = v;
+      }
+    } else {
+      stats.has_non_finite = true;
+      ++stats.non_finite_count;
+      if (std::isnan(v)) ++stats.nan_count;
+    }
     if (stats.distinct_exact) {
       distinct.insert(v);
       if (static_cast<std::int64_t>(distinct.size()) > kDistinctCap) {
@@ -29,7 +56,10 @@ ColumnStats ComputeColumnStats(const Column& column) {
   stats.distinct = stats.distinct_exact
                        ? static_cast<std::int64_t>(distinct.size())
                        : kDistinctCap + 1;
-  if (stats.distinct_exact && stats.distinct == 1) {
+  // A constant column must be constant at a finite value: downstream
+  // predicate derivation turns `constant` into `col = c`, and `col = NaN`
+  // is false for the very rows it is meant to describe.
+  if (stats.distinct_exact && stats.distinct == 1 && !stats.has_non_finite) {
     stats.constant = stats.min;
   }
   return stats;

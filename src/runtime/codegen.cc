@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "nnrt/executor.h"
+#include "relational/block_table.h"
 
 namespace raven::runtime {
 namespace {
@@ -231,6 +232,56 @@ OperatorPtr MakeScan(const relational::Table* table, const IrNode& node,
   return std::make_unique<relational::ScanOperator>(table);
 }
 
+/// The disk table `node` scans, or nullptr when it scans an in-memory one
+/// (or is not a scan at all).
+std::shared_ptr<const relational::BlockTable> DiskTableFor(
+    const IrNode& node, const RuntimeContext& ctx) {
+  if (node.kind != IrOpKind::kTableScan || ctx.catalog == nullptr) {
+    return nullptr;
+  }
+  auto table = ctx.catalog->GetDiskTable(node.table_name);
+  return table.ok() ? *table : nullptr;
+}
+
+/// Conjuncts of `pred` with the `col <op> const` shape — the only shape a
+/// zone map can reason about. Everything else simply isn't pushed down.
+std::vector<relational::SimplePredicate> ZoneConjuncts(
+    const relational::Expr& pred) {
+  std::vector<relational::SimplePredicate> out;
+  for (const relational::Expr* conjunct : relational::ExtractConjuncts(pred)) {
+    auto simple = relational::MatchSimplePredicate(*conjunct);
+    if (simple.has_value()) out.push_back(*simple);
+  }
+  return out;
+}
+
+/// On-disk twin of MakeScan: block-aligned morsel scan when the parallel
+/// state registered this node, full block scan otherwise; zone-map
+/// predicates and the shared block counters attach when enabled.
+OperatorPtr MakeDiskScan(std::shared_ptr<const relational::BlockTable> table,
+                         const IrNode& node, const RuntimeContext& ctx,
+                         std::vector<relational::SimplePredicate> preds) {
+  std::unique_ptr<relational::DiskScanOperator> scan;
+  if (ctx.parallel != nullptr) {
+    auto it = ctx.parallel->scan_queues.find(&node);
+    if (it != ctx.parallel->scan_queues.end()) {
+      scan = std::make_unique<relational::DiskScanOperator>(
+          table, it->second.first, it->second.second);
+    }
+  }
+  if (scan == nullptr) {
+    scan = std::make_unique<relational::DiskScanOperator>(std::move(table));
+  }
+  if (ctx.options.zone_map_skipping && !preds.empty()) {
+    scan->SetZonePredicates(std::move(preds));
+  }
+  if (ctx.stats != nullptr) {
+    scan->SetBlockCounters(&ctx.stats->blocks_scanned,
+                           &ctx.stats->blocks_skipped);
+  }
+  return scan;
+}
+
 /// Maximal run of fusable single-child operators headed at `node`, in plan
 /// (top-down) order. The caller has already established `node` itself is not
 /// materialized; interior nodes re-check so a node another pipeline executed
@@ -280,8 +331,26 @@ std::string FusedChainLabel(const std::vector<const IrNode*>& chain) {
 Result<OperatorPtr> BuildFusedChain(const IrNode& head,
                                     const std::vector<const IrNode*>& chain,
                                     const RuntimeContext& ctx) {
-  RAVEN_ASSIGN_OR_RETURN(
-      auto child, BuildPhysicalPlan(*chain.back()->children[0], ctx));
+  const IrNode& below = *chain.back()->children[0];
+  OperatorPtr child;
+  if (auto disk = DiskTableFor(below, ctx); disk != nullptr) {
+    // The contiguous run of filters at the BOTTOM of the chain evaluates
+    // directly over scan output, so its conjuncts are sound zone-map
+    // inputs. Filters higher up may reference computed/renamed columns
+    // that shadow scan columns — those never push down.
+    std::vector<relational::SimplePredicate> preds;
+    for (std::size_t i = chain.size(); i-- > 0;) {
+      if (chain[i]->kind != IrOpKind::kFilter) break;
+      std::vector<relational::SimplePredicate> conjuncts =
+          ZoneConjuncts(*chain[i]->predicate);
+      preds.insert(preds.end(), conjuncts.begin(), conjuncts.end());
+    }
+    child = Instrument(MakeDiskScan(std::move(disk), below, ctx,
+                                    std::move(preds)),
+                       below, "DiskScan(" + below.table_name + ")", ctx);
+  } else {
+    RAVEN_ASSIGN_OR_RETURN(child, BuildPhysicalPlan(below, ctx));
+  }
   std::vector<relational::FusedStage> stages;
   stages.reserve(chain.size());
   for (std::size_t i = chain.size(); i-- > 0;) {
@@ -389,12 +458,30 @@ Result<OperatorPtr> BuildPhysicalPlan(const IrNode& node,
   }
   switch (node.kind) {
     case IrOpKind::kTableScan: {
+      if (auto disk = DiskTableFor(node, ctx); disk != nullptr) {
+        return Instrument(MakeDiskScan(std::move(disk), node, ctx, {}), node,
+                          "DiskScan(" + node.table_name + ")", ctx);
+      }
       RAVEN_ASSIGN_OR_RETURN(const relational::Table* table,
                              ctx.catalog->GetTable(node.table_name));
       return Instrument(MakeScan(table, node, ctx), node,
                         "Scan(" + node.table_name + ")", ctx);
     }
     case IrOpKind::kFilter: {
+      const IrNode& below = *node.children[0];
+      if (auto disk = DiskTableFor(below, ctx); disk != nullptr) {
+        // Filter directly over a disk scan (too short a run to fuse):
+        // push its range conjuncts down as zone-map inputs. The filter
+        // still evaluates every surviving block, so pushdown is an I/O
+        // optimization, never a semantic change.
+        auto scan = Instrument(
+            MakeDiskScan(std::move(disk), below, ctx,
+                         ZoneConjuncts(*node.predicate)),
+            below, "DiskScan(" + below.table_name + ")", ctx);
+        return Instrument(std::make_unique<relational::FilterOperator>(
+                              std::move(scan), node.predicate->Clone()),
+                          node, "Filter", ctx);
+      }
       RAVEN_ASSIGN_OR_RETURN(auto child,
                              BuildPhysicalPlan(*node.children[0], ctx));
       return Instrument(std::make_unique<relational::FilterOperator>(
@@ -550,6 +637,8 @@ void StatsCollector::Finalize(ExecutionStats* out) const {
   out->bytes_shipped = bytes_shipped.load(std::memory_order_relaxed);
   out->worker_restarts = worker_restarts.load(std::memory_order_relaxed);
   out->fused_chains = fused_chains.load(std::memory_order_relaxed);
+  out->blocks_scanned = blocks_scanned.load(std::memory_order_relaxed);
+  out->blocks_skipped = blocks_skipped.load(std::memory_order_relaxed);
   out->operators.clear();
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, slot] : slots_) {
@@ -735,6 +824,66 @@ void DescribeBatchablePredictsNode(const IrNode& node, std::ostringstream* os) {
 std::string DescribeBatchablePredicts(const IrNode& node) {
   std::ostringstream os;
   DescribeBatchablePredictsNode(node, &os);
+  return os.str();
+}
+
+namespace {
+
+const char* CompareOpSql(relational::CompareOp op) {
+  switch (op) {
+    case relational::CompareOp::kEq: return "=";
+    case relational::CompareOp::kNe: return "<>";
+    case relational::CompareOp::kLt: return "<";
+    case relational::CompareOp::kLe: return "<=";
+    case relational::CompareOp::kGt: return ">";
+    case relational::CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+/// Mirrors the pushdown BuildPhysicalPlan performs: conjuncts from the
+/// contiguous run of filters directly above a disk scan. `preds` carries
+/// that run's conjuncts down; every other operator kind resets it.
+void DescribeStorageScansNode(const IrNode& node,
+                              const relational::Catalog& catalog,
+                              std::vector<relational::SimplePredicate> preds,
+                              std::ostringstream* os) {
+  if (node.kind == IrOpKind::kTableScan) {
+    auto disk = catalog.GetDiskTable(node.table_name);
+    if (!disk.ok()) return;
+    *os << "DiskScan(" << node.table_name << "): " << (*disk)->Describe()
+        << "\n";
+    if (!preds.empty()) {
+      *os << "  zone-map conjuncts:";
+      for (const auto& p : preds) {
+        std::ostringstream constant;
+        constant << p.constant;
+        *os << " " << p.column << " " << CompareOpSql(p.op) << " "
+            << constant.str() << ";";
+      }
+      *os << "\n";
+    }
+    return;
+  }
+  if (node.kind == IrOpKind::kFilter && node.predicate != nullptr) {
+    std::vector<relational::SimplePredicate> conjuncts =
+        ZoneConjuncts(*node.predicate);
+    preds.insert(preds.end(), conjuncts.begin(), conjuncts.end());
+    DescribeStorageScansNode(*node.children[0], catalog, std::move(preds),
+                             os);
+    return;
+  }
+  for (const auto& child : node.children) {
+    DescribeStorageScansNode(*child, catalog, {}, os);
+  }
+}
+
+}  // namespace
+
+std::string DescribeStorageScans(const IrNode& node,
+                                 const relational::Catalog& catalog) {
+  std::ostringstream os;
+  DescribeStorageScansNode(node, catalog, {}, &os);
   return os.str();
 }
 

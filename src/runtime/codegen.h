@@ -81,6 +81,12 @@ struct ExecutionOptions {
   /// Set by the query server (one batcher across all sessions); direct API
   /// runs leave it null and never coalesce.
   std::shared_ptr<InferenceBatcher> predict_batcher;
+  /// On-disk (.rvc) scans: consult per-block zone maps against pushed-down
+  /// filter conjuncts and skip blocks that cannot match (`SET
+  /// zone_map_skipping`). Purely an I/O optimization — the filter above the
+  /// scan still evaluates — so disabling it changes block counters, never
+  /// results.
+  bool zone_map_skipping = true;
 };
 
 /// Per-operator execution counters, summed over all workers that ran a
@@ -123,6 +129,11 @@ struct ExecutionStats {
   /// Filter/project/PREDICT chains the code generator collapsed into single
   /// fused operators (counted once per chain, not per worker clone).
   std::int64_t fused_chains = 0;
+  /// On-disk scans: blocks decoded, and blocks skipped because their zone
+  /// map proved no row could match the pushed-down predicates. Each block
+  /// counts once per query regardless of worker count.
+  std::int64_t blocks_scanned = 0;
+  std::int64_t blocks_skipped = 0;
   /// Per-operator counters in plan-build order.
   std::vector<OperatorStats> operators;
 };
@@ -154,6 +165,11 @@ class StatsCollector {
   /// Bumped by BuildPhysicalPlan once per fused chain (worker 0 only, so N
   /// worker clones of the same plan don't count a chain N times).
   std::atomic<std::int64_t> fused_chains{0};
+  /// Bumped by DiskScanOperator as it decodes/skips blocks. The morsel
+  /// queue hands each block to exactly one worker, so sharing the atomics
+  /// across worker clones still counts each block once.
+  std::atomic<std::int64_t> blocks_scanned{0};
+  std::atomic<std::int64_t> blocks_skipped{0};
 
  private:
   std::atomic<std::int64_t> rows_out_{0};
@@ -249,6 +265,14 @@ std::string DescribeFusedChains(const ir::IrNode& node);
 /// makes coalescing byte-identical), one node per line (e.g.
 /// "Predict(los) -> score [NNRT graph]"). Empty when the plan has none.
 std::string DescribeBatchablePredicts(const ir::IrNode& node);
+
+/// Describes every on-disk (.rvc) scan in the plan, one per line: the
+/// block layout plus the filter conjuncts the scan will test against
+/// per-block zone maps (e.g. "DiskScan(patients): ... zone-map conjuncts:
+/// age >= 30"). Empty when the plan scans no disk tables. Used by the
+/// EXPLAIN storage section.
+std::string DescribeStorageScans(const ir::IrNode& node,
+                                 const relational::Catalog& catalog);
 
 }  // namespace raven::runtime
 

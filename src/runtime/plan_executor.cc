@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "relational/block_table.h"
 #include "relational/operators.h"
 #include "runtime/worker_pool.h"
 
@@ -196,6 +197,19 @@ class MorselExecutor {
       return Status::OK();
     }
     if (node->kind == IrOpKind::kTableScan) {
+      if (base_ctx_.catalog->HasDiskTable(node->table_name)) {
+        // Disk tables use the BLOCK as the morsel unit: a block-aligned
+        // queue means each morsel decodes exactly one block, each block is
+        // claimed by exactly one worker, and the (source, block) order key
+        // reproduces sequential row order byte-identically.
+        RAVEN_ASSIGN_OR_RETURN(
+            auto disk, base_ctx_.catalog->GetDiskTable(node->table_name));
+        auto queue = std::make_shared<MorselQueue>(disk->num_rows(),
+                                                   disk->block_rows());
+        morsels_dispensed_ += queue->num_morsels();
+        state_.scan_queues[node] = {std::move(queue), (*ordinal)++};
+        return Status::OK();
+      }
       RAVEN_ASSIGN_OR_RETURN(const Table* table,
                              base_ctx_.catalog->GetTable(node->table_name));
       add_queue(node, table->num_rows());
@@ -380,9 +394,21 @@ class DistributedExecutor {
     while (leaf->kind != IrOpKind::kTableScan) {
       leaf = leaf->children[0].get();
     }
-    RAVEN_ASSIGN_OR_RETURN(const Table* table,
-                           base_ctx_.catalog->GetTable(leaf->table_name));
-    const std::int64_t rows = table->num_rows();
+    // Disk tables distribute the same way as in-memory ones: the leaf
+    // partition materializes (ReadRows) before shipping, so pool workers
+    // stay storage-agnostic and partition outputs concatenate in the same
+    // range order either way.
+    const Table* table = nullptr;
+    std::shared_ptr<const relational::BlockTable> disk;
+    auto mem = base_ctx_.catalog->GetTable(leaf->table_name);
+    if (mem.ok()) {
+      table = *mem;
+    } else {
+      RAVEN_ASSIGN_OR_RETURN(
+          disk, base_ctx_.catalog->GetDiskTable(leaf->table_name));
+    }
+    const std::int64_t rows = table != nullptr ? table->num_rows()
+                                               : disk->num_rows();
     const std::int64_t workers = pool_->num_workers();
     if (rows == 0) return ExecuteFragmentInProcess(fragment);
     BinaryWriter plan_writer;
@@ -419,7 +445,13 @@ class DistributedExecutor {
       request.range_begin = begin;
       request.range_end = begin + size;
       BinaryWriter table_writer;
-      table->SliceRows(begin, begin + size).Serialize(&table_writer);
+      if (table != nullptr) {
+        table->SliceRows(begin, begin + size).Serialize(&table_writer);
+      } else {
+        RAVEN_ASSIGN_OR_RETURN(Table slice,
+                               disk->ReadRows(begin, begin + size));
+        slice.Serialize(&table_writer);
+      }
       request.table_bytes = table_writer.Release();
       part.frame = EncodeFragmentRequest(request);
       partitions.push_back(std::move(part));

@@ -116,6 +116,8 @@ std::vector<std::pair<std::string, std::int64_t>> ServerStats::ToPairs()
       {"sessions_active", sessions_active},
       {"worker_restarts", worker_restarts},
       {"catalog_version", catalog_version},
+      {"blocks_scanned", blocks_scanned},
+      {"blocks_skipped", blocks_skipped},
       {"batches_flushed", batches_flushed},
       {"rows_coalesced", rows_coalesced},
       {"batch_occupancy_x100", batch_occupancy},
@@ -675,6 +677,8 @@ ServerResponse QueryServer::ExecutePlan(Session* session,
   stats.queue_wait_micros = ticket->queue_wait_micros();
   worker_restarts_.fetch_add(stats.worker_restarts,
                              std::memory_order_relaxed);
+  blocks_scanned_.fetch_add(stats.blocks_scanned, std::memory_order_relaxed);
+  blocks_skipped_.fetch_add(stats.blocks_skipped, std::memory_order_relaxed);
   if (!result.ok()) return ErrorResponse(result.status());
   const std::int64_t row_cap = options_.admission.max_result_rows;
   if (row_cap > 0 && result->num_rows() > row_cap) {
@@ -711,6 +715,8 @@ ServerStats QueryServer::Snapshot() const {
   stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
   stats.sessions_active = sessions_active_.load(std::memory_order_relaxed);
   stats.worker_restarts = worker_restarts_.load(std::memory_order_relaxed);
+  stats.blocks_scanned = blocks_scanned_.load(std::memory_order_relaxed);
+  stats.blocks_skipped = blocks_skipped_.load(std::memory_order_relaxed);
   stats.catalog_version = ctx_->catalog().version();
   const PredictBatcher::Stats batcher = batcher_->stats();
   stats.batches_flushed = batcher.batches_flushed;

@@ -58,6 +58,10 @@ struct ServerStats {
   std::int64_t sessions_active = 0;
   std::int64_t worker_restarts = 0;
   std::int64_t catalog_version = 0;
+  /// Columnar-storage scans: blocks read vs. blocks zone maps pruned
+  /// (DiskScanOperator; both 0 unless disk tables are attached).
+  std::int64_t blocks_scanned = 0;
+  std::int64_t blocks_skipped = 0;
   /// Cross-query inference batching (PredictBatcher).
   std::int64_t batches_flushed = 0;
   std::int64_t rows_coalesced = 0;
@@ -201,6 +205,8 @@ class QueryServer {
   std::atomic<std::int64_t> sessions_opened_{0};
   std::atomic<std::int64_t> sessions_active_{0};
   std::atomic<std::int64_t> worker_restarts_{0};
+  std::atomic<std::int64_t> blocks_scanned_{0};
+  std::atomic<std::int64_t> blocks_skipped_{0};
 };
 
 }  // namespace raven::server

@@ -79,6 +79,18 @@ Status Session::ApplySet(const std::string& key, const std::string& value) {
     execution_.predict_max_batch_rows = n;
     return Status::OK();
   }
+  if (k == "zone_map_skipping") {
+    RAVEN_ASSIGN_OR_RETURN(std::int64_t n, ParseInt(k, v));
+    if (n != 0 && n != 1) {
+      return Status::InvalidArgument(
+          "zone_map_skipping must be 0 or 1 (1 = default)");
+    }
+    // Not part of PlanProfile(): skipping is a scan-time I/O optimization —
+    // the plan is identical either way, so it must not fragment the plan
+    // cache.
+    execution_.zone_map_skipping = (n == 1);
+    return Status::OK();
+  }
   if (k == "nn_backend") {
     RAVEN_ASSIGN_OR_RETURN(nnrt::BackendKind kind,
                            nnrt::ParseBackendKind(ToLower(v)));
@@ -126,7 +138,8 @@ Status Session::ApplySet(const std::string& key, const std::string& value) {
       "unknown session knob '" + key +
       "' (parallelism, morsel_rows, mode, distributed_workers, "
       "distributed_frame_timeout_millis, batch_window_micros, "
-      "max_batch_rows, nn_backend, nn_session_cache_capacity)");
+      "max_batch_rows, nn_backend, nn_session_cache_capacity, "
+      "zone_map_skipping)");
 }
 
 std::string Session::PlanProfile() const {

@@ -1,11 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <random>
 
 #include "relational/catalog.h"
 #include "relational/csv.h"
 #include "relational/expression.h"
 #include "relational/operators.h"
+#include "relational/statistics.h"
 #include "relational/table.h"
 
 namespace raven::relational {
@@ -358,6 +365,185 @@ TEST(CsvTest, RoundTripWithCategoricals) {
 
 TEST(CsvTest, MissingFileIsError) {
   EXPECT_FALSE(ReadCsv("/tmp/does_not_exist_raven.csv").ok());
+}
+
+namespace {
+
+void ExpectCsvRoundTripExact(const Table& t, const std::string& path) {
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  ASSERT_EQ(back->num_columns(), t.num_columns());
+  for (std::int64_t ci = 0; ci < t.num_columns(); ++ci) {
+    const Column& a = t.columns()[ci];
+    const Column& b = back->columns()[ci];
+    EXPECT_EQ(a.name, b.name);
+    ASSERT_EQ(a.is_categorical(), b.is_categorical()) << a.name;
+    for (std::int64_t i = 0; i < t.num_rows(); ++i) {
+      if (a.is_categorical()) {
+        // Compare the decoded strings: dictionaries may be re-ordered by
+        // first appearance, but every cell must read back verbatim.
+        const auto& da = *a.dictionary;
+        const auto& db = *b.dictionary;
+        ASSERT_EQ(da[static_cast<std::size_t>(a.data[i])],
+                  db[static_cast<std::size_t>(b.data[i])])
+            << a.name << " row " << i;
+      } else {
+        std::uint64_t ba, bb;
+        std::memcpy(&ba, &a.data[i], 8);
+        std::memcpy(&bb, &b.data[i], 8);
+        ASSERT_EQ(ba, bb) << a.name << " row " << i;
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+
+TEST(CsvTest, RoundTripHostileStringsAndFullPrecision) {
+  Table t;
+  (void)t.AddCategoricalColumn(
+      "weird, name", {0, 1, 2, 3},
+      {"plain", "comma, inside", "quote \" inside", "line\nbreak"});
+  (void)t.AddNumericColumn(
+      "x", {1.0 / 3.0, 0.1, -0.0, std::numeric_limits<double>::denorm_min()});
+  (void)t.AddNumericColumn("n",
+                           {std::numeric_limits<double>::quiet_NaN(),
+                            std::numeric_limits<double>::infinity(),
+                            -std::numeric_limits<double>::infinity(),
+                            1.7976931348623157e308});
+  ExpectCsvRoundTripExact(t, "/tmp/raven_csv_hostile.csv");
+}
+
+TEST(CsvTest, RoundTripPropertyRandomTables) {
+  std::mt19937_64 rng(0xC5F0BEEF);
+  const std::vector<std::string> pool = {
+      "a",    "b,c",   "d\"e", "f\ng", "",     " pad ",
+      "-1.5", "nan",   "x,\"", "\r\n", "last", "0"};
+  for (int iter = 0; iter < 20; ++iter) {
+    Table t;
+    const int cols = 1 + static_cast<int>(rng() % 4);
+    const std::int64_t rows = 1 + static_cast<std::int64_t>(rng() % 23);
+    for (int c = 0; c < cols; ++c) {
+      const std::string name = "col" + std::to_string(c);
+      if (rng() % 2 == 0) {
+        std::vector<double> data;
+        for (std::int64_t i = 0; i < rows; ++i) {
+          std::uint64_t bits = rng();
+          double v;
+          std::memcpy(&v, &bits, 8);
+          if (!std::isfinite(v)) v = static_cast<double>(bits % 1000);
+          data.push_back(v);
+        }
+        (void)t.AddNumericColumn(name, data);
+      } else {
+        // Dictionary of hostile strings; ensure at least one non-empty,
+        // non-numeric-looking value so the column sniffs categorical.
+        std::vector<double> codes;
+        std::vector<std::string> dict = {"anchor value"};
+        for (std::int64_t i = 0; i < rows; ++i) {
+          if (rng() % 3 == 0) {
+            codes.push_back(0);
+          } else {
+            dict.push_back(pool[rng() % pool.size()] + "#" +
+                           std::to_string(rng() % 7));
+            codes.push_back(static_cast<double>(dict.size() - 1));
+          }
+        }
+        (void)t.AddCategoricalColumn(name, codes, dict);
+      }
+    }
+    ExpectCsvRoundTripExact(t, "/tmp/raven_csv_prop.csv");
+  }
+}
+
+TEST(CsvTest, SniffingRulesArePinned) {
+  const std::string path = "/tmp/raven_csv_sniff.csv";
+  {
+    std::ofstream out(path);
+    out << "\"num\",\"padded\",\"quoted_num\",\"blank\",\"specials\"\n";
+    out << "1.5,  2.5  ,\"3.5\",,nan\n";
+    out << ",7,\"8\",,inf\n";
+  }
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  // Unquoted parseable fields (whitespace-trimmed) make a numeric column;
+  // an empty unquoted field is a NaN null inside it.
+  const Column* num = *back->GetColumn("num");
+  EXPECT_FALSE(num->is_categorical());
+  EXPECT_EQ(num->data[0], 1.5);
+  EXPECT_TRUE(std::isnan(num->data[1]));
+  EXPECT_EQ((*back->GetColumn("padded"))->data, (std::vector<double>{2.5, 7}));
+  // Any quoted field pins the whole column categorical — even "3.5".
+  const Column* quoted = *back->GetColumn("quoted_num");
+  ASSERT_TRUE(quoted->is_categorical());
+  EXPECT_EQ((*quoted->dictionary)[static_cast<std::size_t>(quoted->data[0])],
+            "3.5");
+  // All-empty columns have no evidence of being numeric: categorical.
+  EXPECT_TRUE((*back->GetColumn("blank"))->is_categorical());
+  // nan/inf literals are numeric.
+  const Column* specials = *back->GetColumn("specials");
+  ASSERT_FALSE(specials->is_categorical());
+  EXPECT_TRUE(std::isnan(specials->data[0]));
+  EXPECT_TRUE(std::isinf(specials->data[1]));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, OutOfRangeDictionaryCodeIsError) {
+  Table t;
+  (void)t.AddCategoricalColumn("c", {0, 5}, {"red", "blue"});
+  Status s = WriteCsv(t, "/tmp/raven_csv_badcode.csv");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("c"), std::string::npos);
+}
+
+TEST(StatisticsTest, NonFiniteValuesDoNotPoisonMinMax) {
+  Column col;
+  col.name = "v";
+  col.data = {1.0, std::numeric_limits<double>::quiet_NaN(), 2.0,
+              std::numeric_limits<double>::infinity(),
+              -std::numeric_limits<double>::infinity()};
+  ColumnStats stats = ComputeColumnStats(col);
+  EXPECT_EQ(stats.min, 1.0);
+  EXPECT_EQ(stats.max, 2.0);
+  EXPECT_EQ(stats.num_rows, 5);
+  EXPECT_EQ(stats.nan_count, 1);
+  EXPECT_EQ(stats.non_finite_count, 3);
+  EXPECT_TRUE(stats.has_non_finite);
+  EXPECT_TRUE(stats.has_finite());
+  EXPECT_FALSE(stats.constant.has_value());
+}
+
+TEST(StatisticsTest, AllNanAndEmptyColumns) {
+  Column all_nan;
+  all_nan.name = "v";
+  all_nan.data = {std::numeric_limits<double>::quiet_NaN(),
+                  std::numeric_limits<double>::quiet_NaN()};
+  ColumnStats stats = ComputeColumnStats(all_nan);
+  EXPECT_EQ(stats.nan_count, 2);
+  EXPECT_FALSE(stats.has_finite());
+  // NaNs collapse to one distinct value; no finite constant is reported.
+  EXPECT_EQ(stats.distinct, 1);
+  EXPECT_FALSE(stats.constant.has_value());
+
+  Column empty;
+  empty.name = "e";
+  ColumnStats estats = ComputeColumnStats(empty);
+  EXPECT_EQ(estats.num_rows, 0);
+  EXPECT_FALSE(estats.has_finite());
+  EXPECT_FALSE(estats.constant.has_value());
+}
+
+TEST(StatisticsTest, FiniteConstantColumnsStillReportConstant) {
+  Column col;
+  col.name = "c";
+  col.data = {7.0, 7.0, 7.0};
+  ColumnStats stats = ComputeColumnStats(col);
+  EXPECT_EQ(stats.constant, std::optional<double>(7.0));
+  EXPECT_EQ(stats.distinct, 1);
+  EXPECT_FALSE(stats.has_non_finite);
 }
 
 }  // namespace

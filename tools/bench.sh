@@ -72,9 +72,10 @@ BINARIES=("${BUILD_DIR}"/bench/bench_fig2* "${BUILD_DIR}"/bench/bench_fig3*
           "${BUILD_DIR}"/bench/bench_groupby*
           "${BUILD_DIR}"/bench/bench_distributed*
           "${BUILD_DIR}"/bench/bench_server*
-          "${BUILD_DIR}"/bench/bench_artifact*)
+          "${BUILD_DIR}"/bench/bench_artifact*
+          "${BUILD_DIR}"/bench/bench_columnar*)
 if [[ ${#BINARIES[@]} -eq 0 ]]; then
-  echo "bench.sh: no bench_fig2*/bench_fig3*/bench_groupby*/bench_distributed*/bench_server*/bench_artifact* binaries under ${BUILD_DIR}/bench" >&2
+  echo "bench.sh: no bench_fig2*/bench_fig3*/bench_groupby*/bench_distributed*/bench_server*/bench_artifact*/bench_columnar* binaries under ${BUILD_DIR}/bench" >&2
   echo "bench.sh: is Google Benchmark installed?" >&2
   exit 1
 fi

@@ -11,7 +11,8 @@ Two classes of rot it catches:
      (parsed out of src/server/session.cc), every SHOW STATS key it
      renders (parsed out of ServerStats::ToPairs in
      src/server/query_server.cc), and every command-line flag
-     raven_serve / raven_worker dispatch on (ParseFlag / strncmp calls
+     raven_serve / raven_worker / raven_ingest dispatch on (ParseFlag /
+     strncmp calls
      in tools/) must be mentioned in docs/OPERATIONS.md. Add a knob or
      flag without documenting it and this fails; the parse is from the
      code, so the doc can never silently lag the implementation.
@@ -86,6 +87,16 @@ def serve_flags():
     return flags
 
 
+def ingest_flags():
+    """Command-line flags raven_ingest dispatches on (ParseFlag calls)."""
+    src = read_source("tools/raven_ingest.cc")
+    flags = re.findall(r'ParseFlag\(argv\[i\],\s*"(--[\w-]+)=', src)
+    flags += re.findall(r'std::string\(argv\[i\]\) == "(--[\w-]+)"', src)
+    if not flags:
+        raise AssertionError("no flags parsed from raven_ingest.cc")
+    return flags
+
+
 def worker_flags():
     """Command-line flags raven_worker dispatches on (strncmp prefixes)."""
     src = read_source("tools/raven_worker.cc")
@@ -133,6 +144,12 @@ def check_operations(problems):
         if f"`{flag}" not in ops:
             problems.append(
                 f"docs/OPERATIONS.md: raven_worker flag '{flag}' is "
+                "undocumented"
+            )
+    for flag in ingest_flags():
+        if f"`{flag}" not in ops:
+            problems.append(
+                f"docs/OPERATIONS.md: raven_ingest flag '{flag}' is "
                 "undocumented"
             )
 

@@ -121,7 +121,11 @@ tier1() {
   # frames, dead worker binaries), and the `server`-labeled concurrent
   # query-server suite (tests/server_test.cc: protocol + plan cache +
   # admission units, hostile clients, and the 8-client mixed-traffic soak).
-  # Re-run any alone with `ctest --test-dir build -L fuzz|distributed|server`.
+  # The `storage`-labeled suite (tests/storage_test.cc) covers the on-disk
+  # .rvc columnar format: round trips, corruption rejection, zone-map
+  # skipping; the fuzz harness adds its on-disk differential legs on top.
+  # Re-run any alone with
+  # `ctest --test-dir build -L fuzz|distributed|server|storage`.
   # All spawn real raven_worker children or socket servers; their timeouts
   # (tests/CMakeLists.txt) are sized for that.
   CONFIG_ARGS=()
@@ -145,7 +149,9 @@ tsan() {
   # and the 4-concurrent-client server leg — the `distributed`-labeled
   # fault-injection suite, and the `server`-labeled query-server suite
   # whose 8-client soak (shared plan cache, admission queue, concurrent
-  # PlanExecutor use, disconnect-mid-query) is the newest concurrent code.
+  # PlanExecutor use, disconnect-mid-query) is the newest concurrent code,
+  # plus the `storage`-labeled suite (concurrent workers decoding shared
+  # mmap'd blocks and racing the shared block counters).
   # A TSan hit names the offending query via the printed seed. Timeouts are
   # sized for TSan's ~10x slowdown (see tests/CMakeLists.txt).
   CONFIG_ARGS=(-DRAVEN_SANITIZE=thread)

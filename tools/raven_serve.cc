@@ -20,6 +20,9 @@
 //                             (or raven_worker child) warm-starts from them
 //   --session-cache=N         NNRT session cache capacity (default 32)
 //   --nn-backend=NAME         default NNRT backend: reference|simd|fp16
+//   --attach=NAME=PATH        register the `.rvc` columnar file at PATH as
+//                             on-disk table NAME (repeatable; scans read it
+//                             block-by-block with zone-map skipping)
 //
 // Try it:
 //   raven_client --socket=/tmp/raven.sock
@@ -33,11 +36,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "data/flight.h"
 #include "data/hospital.h"
 #include "raven/raven.h"
 #include "server/query_server.h"
+#include "storage/columnar.h"
 #include "tool_flags.h"
 
 namespace {
@@ -59,6 +65,7 @@ int main(int argc, char** argv) {
   raven::RavenOptions raven_options;
   long rows = 5000;
   long parallelism = 4;
+  std::vector<std::pair<std::string, std::string>> attachments;
   std::string value;
   for (int i = 1; i < argc; ++i) {
     if (ParseFlag(argv[i], "--socket=", &value)) {
@@ -100,6 +107,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.default_execution.nn_backend = kind.value();
+    } else if (ParseFlag(argv[i], "--attach=", &value)) {
+      const std::size_t eq = value.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == value.size()) {
+        std::fprintf(stderr,
+                     "raven_serve: --attach expects NAME=PATH, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      attachments.emplace_back(value.substr(0, eq), value.substr(eq + 1));
     } else {
       std::fprintf(stderr, "raven_serve: unknown flag '%s'\n", argv[i]);
       return 2;
@@ -143,6 +159,22 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "raven_serve: failed to store model 'delay'\n");
       return 1;
     }
+  }
+  for (const auto& [name, path] : attachments) {
+    auto disk = raven::storage::DiskTable::Open(path);
+    if (!disk.ok()) {
+      std::fprintf(stderr, "raven_serve: --attach %s: %s\n", name.c_str(),
+                   disk.status().ToString().c_str());
+      return 1;
+    }
+    raven::Status attached = ctx.RegisterDiskTable(name, disk.value());
+    if (!attached.ok()) {
+      std::fprintf(stderr, "raven_serve: --attach %s: %s\n", name.c_str(),
+                   attached.ToString().c_str());
+      return 1;
+    }
+    std::printf("raven_serve: attached %s -> %s\n", name.c_str(),
+                disk.value()->Describe().c_str());
   }
 
   raven::server::QueryServer server(&ctx, options);
