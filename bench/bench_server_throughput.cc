@@ -5,8 +5,13 @@
 // every statement's round-trip latency, and reports:
 //
 //   qps      statements completed per wall second of the batch
-//   p50_us   median round-trip latency
-//   p99_us   99th-percentile round-trip latency
+//   p50_us / p95_us / p99_us
+//            round-trip latency percentiles (client-side, exact sort)
+//   srv_p50_us / srv_p95_us / srv_p99_us
+//            server-side percentiles estimated from the metrics
+//            registry's raven_query_latency_seconds histogram — the same
+//            series /metrics exports, so bench numbers and production
+//            dashboards read from one source
 //   hit_pct  plan-cache hit rate over the batch
 //
 // Cold runs clear the plan cache before every batch (every statement pays
@@ -40,6 +45,7 @@
 #include "data/flight.h"
 #include "data/hospital.h"
 #include "ml/mlp.h"
+#include "obs/metrics.h"
 #include "raven/raven.h"
 #include "server/client.h"
 #include "server/query_server.h"
@@ -202,9 +208,18 @@ void BM_ServerThroughput(benchmark::State& state) {
     };
     state.counters["qps"] = static_cast<double>(served) / batch_seconds;
     state.counters["p50_us"] = percentile(0.50);
+    state.counters["p95_us"] = percentile(0.95);
     state.counters["p99_us"] = percentile(0.99);
     state.counters["hit_pct"] =
         100.0 * static_cast<double>(hits) / static_cast<double>(served);
+    // Server-side percentiles from the metrics registry's latency histogram
+    // (obs::Histogram::Quantile — the same series /metrics exports), so a
+    // BENCH_<sha>.json diff can distinguish server time from the connection
+    // round-trip the client-side percentiles include.
+    const raven::obs::Histogram& h = server.query_latency_histogram();
+    state.counters["srv_p50_us"] = h.Quantile(0.50) * 1e6;
+    state.counters["srv_p95_us"] = h.Quantile(0.95) * 1e6;
+    state.counters["srv_p99_us"] = h.Quantile(0.99) * 1e6;
   }
 }
 
@@ -401,7 +416,12 @@ void BM_BatchedPredict(benchmark::State& state) {
     const auto after = server.batcher().stats();
     state.counters["qps"] = static_cast<double>(served) / batch_seconds;
     state.counters["p50_us"] = percentile(0.50);
+    state.counters["p95_us"] = percentile(0.95);
     state.counters["p99_us"] = percentile(0.99);
+    const raven::obs::Histogram& h = server.query_latency_histogram();
+    state.counters["srv_p50_us"] = h.Quantile(0.50) * 1e6;
+    state.counters["srv_p95_us"] = h.Quantile(0.95) * 1e6;
+    state.counters["srv_p99_us"] = h.Quantile(0.99) * 1e6;
     state.counters["batch_pct"] =
         100.0 * static_cast<double>(after.rows_coalesced -
                                     before.rows_coalesced) /

@@ -1,13 +1,44 @@
 #include "common/logging.h"
 
+#include <sys/time.h>
+
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+#include <string>
 
 namespace raven {
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+/// Reads the RAVEN_LOG environment override once, on first use. Accepts
+/// level names case-insensitively ("debug", "INFO", "warning"/"warn",
+/// "error"); anything else leaves the compiled-in default (kWarning, so
+/// tests and benchmarks stay quiet). Explicit SetLogLevel calls still win
+/// afterwards — the env var only seeds the initial value.
+int InitialLevel() {
+  const char* env = std::getenv("RAVEN_LOG");
+  if (env != nullptr) {
+    std::string v;
+    for (const char* p = env; *p; ++p) {
+      v += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+    }
+    if (v == "debug") return static_cast<int>(LogLevel::kDebug);
+    if (v == "info") return static_cast<int>(LogLevel::kInfo);
+    if (v == "warning" || v == "warn")
+      return static_cast<int>(LogLevel::kWarning);
+    if (v == "error") return static_cast<int>(LogLevel::kError);
+  }
+  return static_cast<int>(LogLevel::kWarning);
+}
+
+std::atomic<int>& MinLevel() {
+  static std::atomic<int> level{InitialLevel()};
+  return level;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,34 +54,55 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Serializes emission so concurrent sessions' lines never interleave
+/// mid-line (the 8-client soak logs from every dispatch thread). The
+/// message body is still formatted outside the lock.
+std::mutex& EmitMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
-  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  MinLevel().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(MinLevel().load(std::memory_order_relaxed));
 }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >=
-               g_min_level.load(std::memory_order_relaxed)),
+               MinLevel().load(std::memory_order_relaxed)),
       level_(level) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+    // Wall-clock timestamp with microseconds, e.g. 2026-08-08 12:34:56.789012.
+    struct timeval tv;
+    ::gettimeofday(&tv, nullptr);
+    struct tm tm_buf;
+    ::localtime_r(&tv.tv_sec, &tm_buf);
+    char ts[40];
+    std::size_t n = std::strftime(ts, sizeof(ts), "%Y-%m-%d %H:%M:%S", &tm_buf);
+    std::snprintf(ts + n, sizeof(ts) - n, ".%06ld",
+                  static_cast<long>(tv.tv_usec));
+    stream_ << "[" << ts << " " << LevelName(level_) << " " << base << ":"
+            << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    const std::string line = stream_.str();
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::fprintf(stderr, "%s\n", line.c_str());
+    std::fflush(stderr);
   }
 }
 

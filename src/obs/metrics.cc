@@ -1,0 +1,175 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace raven {
+namespace obs {
+namespace {
+
+/// Prometheus renders floats without locale surprises. Shortest precision
+/// that round-trips the double, so bucket bounds read "0.0005", not the
+/// "0.00050000000000000001" a flat %.17g would print.
+std::string FormatValue(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+    return buf;
+  }
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double parsed = 0.0;
+    if (std::sscanf(buf, "%lf", &parsed) == 1 && parsed == v) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::vector<double> LogBuckets(double start, double factor, int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double v = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::int64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  const auto it =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - bounds_.begin());  // size() == +Inf
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Relaxed CAS loop: double has no fetch_add until C++20 on all
+  // toolchains; contention here is per-query, not per-row.
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  const std::int64_t total = Count();
+  if (total <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(total);
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::int64_t in_bucket = BucketCount(i);
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      if (i == bounds_.size()) {
+        // +Inf bucket: no upper bound to interpolate toward; report the
+        // last finite boundary (the conventional conservative answer).
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      }
+      const double lo = (i == 0) ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      if (in_bucket <= 0) return hi;
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+Counter* MetricsRegistry::AddCounter(const std::string& name,
+                                     const std::string& help,
+                                     const std::string& labels) {
+  Metric m;
+  m.kind = Kind::kCounter;
+  m.name = name;
+  m.help = help;
+  m.labels = labels;
+  m.counter.reset(new Counter());
+  metrics_.push_back(std::move(m));
+  return metrics_.back().counter.get();
+}
+
+Gauge* MetricsRegistry::AddGauge(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& labels) {
+  Metric m;
+  m.kind = Kind::kGauge;
+  m.name = name;
+  m.help = help;
+  m.labels = labels;
+  m.gauge.reset(new Gauge());
+  metrics_.push_back(std::move(m));
+  return metrics_.back().gauge.get();
+}
+
+Histogram* MetricsRegistry::AddHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  Metric m;
+  m.kind = Kind::kHistogram;
+  m.name = name;
+  m.help = help;
+  m.histogram.reset(new Histogram(std::move(bounds)));
+  metrics_.push_back(std::move(m));
+  return metrics_.back().histogram.get();
+}
+
+std::string MetricsRegistry::Render() const {
+  std::string out;
+  std::string last_family;
+  for (const Metric& m : metrics_) {
+    // One HELP/TYPE header per family; labeled series registered
+    // back-to-back share it.
+    if (m.name != last_family) {
+      const char* type = m.kind == Kind::kCounter     ? "counter"
+                         : m.kind == Kind::kGauge     ? "gauge"
+                                                      : "histogram";
+      out += "# HELP " + m.name + " " + m.help + "\n";
+      out += "# TYPE " + m.name + " " + std::string(type) + "\n";
+      last_family = m.name;
+    }
+    const std::string suffix =
+        m.labels.empty() ? "" : "{" + m.labels + "}";
+    switch (m.kind) {
+      case Kind::kCounter:
+        out += m.name + suffix + " " +
+               FormatValue(static_cast<double>(m.counter->Value())) + "\n";
+        break;
+      case Kind::kGauge:
+        out += m.name + suffix + " " + FormatValue(m.gauge->Value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *m.histogram;
+        std::int64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.BucketCount(i);
+          out += m.name + "_bucket{le=\"" + FormatValue(h.bounds()[i]) +
+                 "\"} " + std::to_string(cumulative) + "\n";
+        }
+        cumulative += h.BucketCount(h.bounds().size());
+        out += m.name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(cumulative) + "\n";
+        out += m.name + "_sum " + FormatValue(h.Sum()) + "\n";
+        out += m.name + "_count " + std::to_string(h.Count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace raven

@@ -1,0 +1,116 @@
+#ifndef RAVEN_OBS_METRICS_H_
+#define RAVEN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace raven {
+namespace obs {
+
+/// Monotone (or scrape-time-set) integer series. Prometheus type: counter.
+class Counter {
+ public:
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Scrape-time fill from a lifetime counter owned elsewhere (the
+  /// ServerStats sources): the underlying source is monotone, so the
+  /// exported series is too.
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Point-in-time double series. Prometheus type: gauge.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Returns `count` bucket upper bounds growing geometrically from `start`
+/// by `factor` (e.g. LogBuckets(0.25, 2, 14) → 0.25 .. 2048). The implicit
+/// +Inf bucket is appended by the Histogram itself.
+std::vector<double> LogBuckets(double start, double factor, int count);
+
+/// Fixed-boundary histogram with lock-free observation: one relaxed
+/// fetch_add on the bucket counter plus sum/count. Boundaries are fixed at
+/// registration (Prometheus-style cumulative buckets are computed at
+/// render time, so Observe never touches more than one bucket).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  std::int64_t Count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket i (i == bounds().size() is +Inf).
+  std::int64_t BucketCount(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// containing bucket — the source for bench.sh's p50/p95/p99 columns.
+  /// Returns 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;  // strictly increasing upper bounds
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;  // bounds+1 (+Inf)
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// A process-wide (per-server, not global — twin servers in one test
+/// process must not share series) registry of named metrics, rendered in
+/// Prometheus text exposition format. Registration happens once at server
+/// construction; Render and the accessors are thread-safe because the
+/// metric set is immutable afterwards and the values are atomics.
+///
+/// Labeled series share one family: AddCounter("x_total", help,
+/// "backend=\"simd\"") renders `x_total{backend="simd"} N` with a single
+/// HELP/TYPE header per family.
+class MetricsRegistry {
+ public:
+  Counter* AddCounter(const std::string& name, const std::string& help,
+                      const std::string& labels = "");
+  Gauge* AddGauge(const std::string& name, const std::string& help,
+                  const std::string& labels = "");
+  Histogram* AddHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds);
+
+  /// Prometheus text format, families in registration order.
+  std::string Render() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Metric {
+    Kind kind;
+    std::string name;    // family name
+    std::string help;
+    std::string labels;  // rendered inside {...}; empty = unlabeled
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace obs
+}  // namespace raven
+
+#endif  // RAVEN_OBS_METRICS_H_

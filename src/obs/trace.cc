@@ -1,0 +1,239 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/serialize.h"
+
+namespace raven {
+namespace obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+Trace::Trace() : start_(std::chrono::steady_clock::now()) {}
+
+std::int64_t Trace::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+std::int64_t Trace::StartSpan(const std::string& name, std::int64_t parent) {
+  const std::int64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return 0;
+  }
+  TraceSpan span;
+  span.id = next_id_++;
+  span.parent = parent;
+  span.name = name;
+  span.start_micros = now;
+  span.duration_micros = -1;  // open
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Trace::EndSpan(std::int64_t id, const std::string& detail) {
+  if (id <= 0) return;
+  const std::int64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Spans close shortly after they open; scan from the back.
+  for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+    if (it->id == id) {
+      it->duration_micros = now - it->start_micros;
+      if (!detail.empty()) it->detail = detail;
+      return;
+    }
+  }
+}
+
+std::int64_t Trace::AddSpan(const std::string& name, std::int64_t parent,
+                            std::int64_t start_micros,
+                            std::int64_t duration_micros,
+                            const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return 0;
+  }
+  TraceSpan span;
+  span.id = next_id_++;
+  span.parent = parent;
+  span.name = name;
+  span.start_micros = start_micros;
+  span.duration_micros = duration_micros;
+  span.detail = detail;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Trace::Splice(std::int64_t parent, std::int64_t base_micros,
+                   const std::vector<TraceSpan>& spans) {
+  if (spans.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Offset worker-local ids past everything this arena has handed out.
+  const std::int64_t offset = next_id_ - 1;
+  std::int64_t max_id = next_id_ - 1;
+  for (const TraceSpan& s : spans) {
+    if (spans_.size() >= kMaxSpans) {
+      ++dropped_;
+      continue;
+    }
+    TraceSpan grafted = s;
+    grafted.id += offset;
+    grafted.parent = (s.parent == 0) ? parent : s.parent + offset;
+    grafted.start_micros += base_micros;
+    max_id = std::max(max_id, grafted.id);
+    spans_.push_back(std::move(grafted));
+  }
+  next_id_ = max_id + 1;
+}
+
+std::vector<TraceSpan> Trace::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+bool Trace::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.empty();
+}
+
+std::string Trace::RenderTree() const {
+  const std::vector<TraceSpan> spans = Snapshot();
+  std::map<std::int64_t, std::vector<const TraceSpan*>> children;
+  for (const TraceSpan& s : spans) children[s.parent].push_back(&s);
+
+  std::string out;
+  // Recursive lambda via explicit self parameter (no std::function alloc).
+  struct Renderer {
+    const std::map<std::int64_t, std::vector<const TraceSpan*>>& children;
+    std::string& out;
+    void Walk(std::int64_t parent, int depth) {
+      auto it = children.find(parent);
+      if (it == children.end()) return;
+      for (const TraceSpan* s : it->second) {
+        out.append(static_cast<std::size_t>(depth) * 2, ' ');
+        out += s->name;
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "  start=%lldus dur=%lldus",
+                      static_cast<long long>(s->start_micros),
+                      static_cast<long long>(s->duration_micros));
+        out += buf;
+        if (!s->detail.empty()) {
+          out += "  ";
+          out += s->detail;
+        }
+        out += '\n';
+        Walk(s->id, depth + 1);
+      }
+    }
+  };
+  Renderer r{children, out};
+  r.Walk(0, 0);
+  return out;
+}
+
+std::string Trace::RenderJsonLine(const std::string& query,
+                                  std::int64_t total_micros) const {
+  std::vector<TraceSpan> spans;
+  std::int64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans = spans_;
+    dropped = dropped_;
+  }
+  std::string out = "{\"query\":\"" + JsonEscape(query) + "\"";
+  out += ",\"total_micros\":" + std::to_string(total_micros);
+  if (dropped > 0) out += ",\"dropped_spans\":" + std::to_string(dropped);
+  out += ",\"spans\":[";
+  bool first = true;
+  for (const TraceSpan& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":" + std::to_string(s.id);
+    out += ",\"parent\":" + std::to_string(s.parent);
+    out += ",\"name\":\"" + JsonEscape(s.name) + "\"";
+    out += ",\"start_micros\":" + std::to_string(s.start_micros);
+    out += ",\"duration_micros\":" + std::to_string(s.duration_micros);
+    if (!s.detail.empty()) {
+      out += ",\"detail\":\"" + JsonEscape(s.detail) + "\"";
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Trace::SerializeSpans(const std::vector<TraceSpan>& spans) {
+  BinaryWriter writer;
+  writer.WriteU32(static_cast<std::uint32_t>(spans.size()));
+  for (const TraceSpan& s : spans) {
+    writer.WriteI64(s.id);
+    writer.WriteI64(s.parent);
+    writer.WriteString(s.name);
+    writer.WriteI64(s.start_micros);
+    writer.WriteI64(s.duration_micros);
+    writer.WriteString(s.detail);
+  }
+  return writer.Release();
+}
+
+Result<std::vector<TraceSpan>> Trace::DeserializeSpans(
+    const std::string& bytes) {
+  BinaryReader reader(bytes);
+  RAVEN_ASSIGN_OR_RETURN(const std::uint32_t count, reader.ReadU32());
+  if (count > 1u << 20) {
+    return Status::InvalidArgument("span list implausibly large");
+  }
+  std::vector<TraceSpan> spans;
+  spans.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TraceSpan s;
+    RAVEN_ASSIGN_OR_RETURN(s.id, reader.ReadI64());
+    RAVEN_ASSIGN_OR_RETURN(s.parent, reader.ReadI64());
+    RAVEN_ASSIGN_OR_RETURN(s.name, reader.ReadString());
+    RAVEN_ASSIGN_OR_RETURN(s.start_micros, reader.ReadI64());
+    RAVEN_ASSIGN_OR_RETURN(s.duration_micros, reader.ReadI64());
+    RAVEN_ASSIGN_OR_RETURN(s.detail, reader.ReadString());
+    spans.push_back(std::move(s));
+  }
+  return spans;
+}
+
+}  // namespace obs
+}  // namespace raven

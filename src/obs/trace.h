@@ -1,0 +1,125 @@
+#ifndef RAVEN_OBS_TRACE_H_
+#define RAVEN_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace raven {
+namespace obs {
+
+/// One completed (or in-flight) span of a query's timeline. Times are
+/// microseconds relative to the owning Trace's start, so a span tree is
+/// self-contained and can be shipped across the worker protocol without
+/// clock synchronization (worker spans are re-based when spliced).
+struct TraceSpan {
+  std::int64_t id = 0;      // 1-based; 0 is "no span"
+  std::int64_t parent = 0;  // 0 = top-level
+  std::string name;
+  std::int64_t start_micros = 0;
+  std::int64_t duration_micros = 0;
+  std::string detail;  // freeform "k=v k=v" annotations
+};
+
+/// Per-query span arena. One Trace is owned by one query execution; spans
+/// are recorded at phase and operator *boundaries* (parse, optimize, one
+/// fragment exchange, one operator's lifetime), never per row or per
+/// chunk, so the mutex guarding the arena is uncontended and off the
+/// data hot path — per-row accounting stays in the StatsCollector's
+/// atomics and is folded into operator spans once, at finalize.
+///
+/// Span ids are handed out by StartSpan/AddSpan and used as parent links;
+/// worker-side trees are spliced under an exchange span with their ids
+/// offset so the stitched tree stays consistent.
+class Trace {
+ public:
+  /// Arena cap: spans past this are counted (surfaced as "dropped" in the
+  /// JSON line) but not stored, bounding trace memory for huge queries.
+  static constexpr std::size_t kMaxSpans = 4096;
+
+  Trace();
+
+  /// Microseconds since this trace was constructed.
+  std::int64_t NowMicros() const;
+
+  /// Opens a span starting now. Returns its id (parent 0 = top-level).
+  std::int64_t StartSpan(const std::string& name, std::int64_t parent = 0);
+
+  /// Closes a span opened by StartSpan, stamping its duration (and
+  /// optionally a detail string). Unknown ids are ignored.
+  void EndSpan(std::int64_t id, const std::string& detail = "");
+
+  /// Records an already-measured span (used for post-hoc operator spans
+  /// and worker-side recording with explicit timing).
+  std::int64_t AddSpan(const std::string& name, std::int64_t parent,
+                       std::int64_t start_micros,
+                       std::int64_t duration_micros,
+                       const std::string& detail = "");
+
+  /// Grafts `spans` (a worker-local tree, ids 1..N, times relative to the
+  /// worker's own trace start) under `parent`: ids are offset past this
+  /// arena's, times are re-based onto `base_micros` (coordinator time at
+  /// which the exchange began).
+  void Splice(std::int64_t parent, std::int64_t base_micros,
+              const std::vector<TraceSpan>& spans);
+
+  std::vector<TraceSpan> Snapshot() const;
+  bool empty() const;
+
+  /// Human-readable indented tree, one line per span:
+  ///   name  start+Nus  dur=Nus  detail
+  std::string RenderTree() const;
+
+  /// The slow-query-log / SHOW TRACE format: the whole tree as ONE JSON
+  /// line {"query":...,"total_micros":N,"spans":[{...},...]}.
+  std::string RenderJsonLine(const std::string& query,
+                             std::int64_t total_micros) const;
+
+  /// Compact binary encoding of a span list for the worker frame
+  /// protocol (length-prefixed strings, little-endian i64 fields).
+  static std::string SerializeSpans(const std::vector<TraceSpan>& spans);
+  static Result<std::vector<TraceSpan>> DeserializeSpans(
+      const std::string& bytes);
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::int64_t next_id_ = 1;
+  std::int64_t dropped_ = 0;
+};
+
+/// RAII span: opens on construction, closes on destruction. A null trace
+/// makes every operation a no-op, so call sites need no `if (trace)`.
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace* trace, const char* name, std::int64_t parent = 0)
+      : trace_(trace),
+        id_(trace ? trace->StartSpan(name, parent) : 0) {}
+  ~ScopedSpan() {
+    if (trace_) trace_->EndSpan(id_, detail_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  std::int64_t id() const { return id_; }
+  void SetDetail(std::string detail) { detail_ = std::move(detail); }
+
+ private:
+  Trace* trace_;
+  std::int64_t id_;
+  std::string detail_;
+};
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace raven
+
+#endif  // RAVEN_OBS_TRACE_H_

@@ -1,5 +1,8 @@
 #include "raven/raven.h"
 
+#include <cstdio>
+#include <map>
+
 #include "common/timer.h"
 
 namespace raven {
@@ -198,6 +201,131 @@ Result<std::string> RavenContext::Explain(const std::string& sql) {
   out += "=== Generated SQL ===\n";
   out += runtime::GenerateSql(*plan.root());
   out += "\n";
+  return out;
+}
+
+namespace {
+
+/// One-line heading for a plan node in the EXPLAIN ANALYZE tree: operator
+/// kind plus the payload a reader needs to tell siblings apart.
+std::string NodeHeading(const ir::IrNode& node) {
+  std::string head = ir::IrOpKindToString(node.kind);
+  switch (node.kind) {
+    case ir::IrOpKind::kTableScan:
+      head += "(" + node.table_name + ")";
+      break;
+    case ir::IrOpKind::kJoin:
+      head += "(" + node.left_key + " = " + node.right_key + ")";
+      break;
+    case ir::IrOpKind::kLimit:
+      head += "(" + std::to_string(node.limit) + ")";
+      break;
+    case ir::IrOpKind::kModelPipeline:
+    case ir::IrOpKind::kClusteredPredict:
+    case ir::IrOpKind::kNnGraph:
+    case ir::IrOpKind::kOpaquePipeline:
+      head += "(" + node.model_name + " -> " + node.output_column + ")";
+      break;
+    default:
+      break;
+  }
+  return head;
+}
+
+std::string Micros(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", value);
+  return buf;
+}
+
+}  // namespace
+
+Result<RavenContext::ExplainAnalyzeResult> RavenContext::ExplainAnalyze(
+    const std::string& sql) {
+  SyncOptimizerParallelism();
+  RAVEN_ASSIGN_OR_RETURN(ir::IrPlan plan, analyzer_.Analyze(sql));
+  RAVEN_RETURN_IF_ERROR(optimizer_.Optimize(&plan, nullptr));
+  return ExplainAnalyzePlan(plan, options_.execution);
+}
+
+Result<RavenContext::ExplainAnalyzeResult> RavenContext::ExplainAnalyzePlan(
+    const ir::IrPlan& plan, const runtime::ExecutionOptions& exec) {
+  Timer timer;
+  ExplainAnalyzeResult out;
+  RAVEN_ASSIGN_OR_RETURN(out.table, executor_.Execute(plan, exec, &out.stats));
+  const double total_millis = timer.ElapsedMillis();
+
+  // Group the actual counters by the IR node their slot was registered
+  // under. One node can own several physical operators (an aggregate sink
+  // plus the rescan of its materialized result), hence a multimap; entries
+  // stay in slot-creation order, which is plan-build order.
+  std::multimap<const void*, const runtime::OperatorStats*> by_node;
+  for (const auto& op : out.stats.operators) by_node.emplace(op.node, &op);
+
+  std::string text = "=== EXPLAIN ANALYZE ===\n";
+  struct Renderer {
+    const std::multimap<const void*, const runtime::OperatorStats*>& by_node;
+    std::string* out;
+    void Render(const ir::IrNode& node, int depth,
+                const std::string& fused_label) {
+      auto [lo, hi] = by_node.equal_range(&node);
+      std::string line(static_cast<std::size_t>(depth) * 2, ' ');
+      line += NodeHeading(node);
+      std::string child_fused = fused_label;
+      if (lo == hi) {
+        // No slot of its own: a fusable node swallowed by the enclosing
+        // chain. Its counters live on the chain head (the fused operator is
+        // one pass per chunk; per-stage row counts do not exist).
+        if (!fused_label.empty() && ir::IsFusablePipelineKind(node.kind)) {
+          line += "  [in " + fused_label + "]";
+        }
+      } else {
+        child_fused.clear();
+        for (auto it = lo; it != hi; ++it) {
+          const runtime::OperatorStats& op = *it->second;
+          line += "  [" + op.op + ": rows=" + std::to_string(op.rows) +
+                  " chunks=" + std::to_string(op.chunks) +
+                  " open=" + Micros(op.open_micros) +
+                  "us work=" + Micros(op.wall_micros) + "us]";
+          if (op.op.rfind("Fused[", 0) == 0) child_fused = op.op;
+        }
+      }
+      *out += line + "\n";
+      for (const auto& child : node.children) {
+        Render(*child, depth + 1, child_fused);
+      }
+    }
+  };
+  Renderer renderer{by_node, &text};
+  renderer.Render(*plan.root(), 1, "");
+
+  const runtime::ExecutionStats& s = out.stats;
+  text += "=== Execution totals ===\n";
+  text += "  mode=" +
+          std::string(runtime::ExecutionModeToString(exec.mode)) +
+          " result_rows=" + std::to_string(out.table.num_rows()) +
+          " partitions=" + std::to_string(s.partitions_used) +
+          " morsels=" + std::to_string(s.morsels) +
+          " fused_chains=" + std::to_string(s.fused_chains) + "\n";
+  if (s.predict_batches > 0) {
+    text += "  predict_batches=" + std::to_string(s.predict_batches) +
+            " rows_scored=" + std::to_string(s.rows_out) +
+            " nn_wall_micros=" + Micros(s.nn_wall_micros) +
+            " nn_simulated_micros=" + Micros(s.nn_simulated_micros) + "\n";
+  }
+  if (s.blocks_scanned > 0 || s.blocks_skipped > 0) {
+    text += "  blocks_scanned=" + std::to_string(s.blocks_scanned) +
+            " blocks_skipped=" + std::to_string(s.blocks_skipped) + "\n";
+  }
+  if (s.frames_sent > 0) {
+    text += "  frames_sent=" + std::to_string(s.frames_sent) +
+            " bytes_shipped=" + std::to_string(s.bytes_shipped) +
+            " worker_restarts=" + std::to_string(s.worker_restarts) + "\n";
+  }
+  char millis[32];
+  std::snprintf(millis, sizeof(millis), "%.3f", total_millis);
+  text += "  total_millis=" + std::string(millis) + "\n";
+  out.text = std::move(text);
   return out;
 }
 

@@ -87,6 +87,26 @@ class RavenContext {
   /// generated SQL.
   Result<std::string> Explain(const std::string& sql);
 
+  /// EXPLAIN ANALYZE: executes the statement with a stats collector
+  /// attached and renders the optimized plan tree annotated with actual
+  /// per-operator counters (rows, chunks, open/work wall time, fused-chain
+  /// membership) plus execution totals. `table` is the real result of that
+  /// execution — instrumentation is observation-only, so it is
+  /// byte-identical to what Query() returns for the same statement.
+  struct ExplainAnalyzeResult {
+    std::string text;
+    relational::Table table;
+    runtime::ExecutionStats stats;
+  };
+  Result<ExplainAnalyzeResult> ExplainAnalyze(const std::string& sql);
+
+  /// EXPLAIN ANALYZE over an already-optimized plan with explicit execution
+  /// options (the server path: cached plans, per-session knobs). The
+  /// sql-taking overload above analyzes/optimizes under the context's own
+  /// options, then delegates here.
+  Result<ExplainAnalyzeResult> ExplainAnalyzePlan(
+      const ir::IrPlan& plan, const runtime::ExecutionOptions& exec);
+
   /// Analyze + optimize, returning the plan (benchmark harness hook:
   /// optimize once, execute many times).
   Result<ir::IrPlan> Prepare(const std::string& sql,

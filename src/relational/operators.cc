@@ -1030,6 +1030,16 @@ Result<bool> SortOperator::Next(DataChunk* out) {
   return true;
 }
 
+Status InstrumentedOperator::Open() {
+  const auto start = std::chrono::steady_clock::now();
+  Status status = child_->Open();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  slot_->open_nanos.fetch_add(elapsed, std::memory_order_relaxed);
+  return status;
+}
+
 Result<bool> InstrumentedOperator::Next(DataChunk* out) {
   const auto start = std::chrono::steady_clock::now();
   auto result = child_->Next(out);

@@ -573,18 +573,23 @@ struct OperatorStatsSlot {
   std::atomic<std::int64_t> rows{0};
   std::atomic<std::int64_t> chunks{0};
   std::atomic<std::int64_t> wall_nanos{0};
+  /// Time inside Open, separately from the Next work loop (pipeline
+  /// breakers like Sort/HashJoin build do real work in Open/first-Next;
+  /// the trace surfaces the split as operator open vs. work time).
+  std::atomic<std::int64_t> open_nanos{0};
 };
 
 /// Transparent wrapper recording rows/chunks/wall-time of the wrapped
-/// operator's Next into an OperatorStatsSlot via atomics — no external
-/// mutex, safe across parallel workers. Rows are counted by selection
-/// (num_selected), so a filter's row count stays "rows that survived".
+/// operator's Open/Next into an OperatorStatsSlot via atomics — no
+/// external mutex, safe across parallel workers. Rows are counted by
+/// selection (num_selected), so a filter's row count stays "rows that
+/// survived".
 class InstrumentedOperator final : public PhysicalOperator {
  public:
   InstrumentedOperator(OperatorPtr child, OperatorStatsSlot* slot)
       : child_(std::move(child)), slot_(slot) {}
 
-  Status Open() override { return child_->Open(); }
+  Status Open() override;
   Result<bool> Next(DataChunk* out) override;
   std::string Name() const override { return child_->Name(); }
   Result<std::vector<std::string>> OutputColumns() const override {

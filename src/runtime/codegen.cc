@@ -105,7 +105,8 @@ Result<BatchScorer> MakeNnScorer(const IrNode& node,
   const std::int64_t max_rows = ctx.options.predict_max_batch_rows;
   const std::shared_ptr<InferenceBatcher> batcher =
       window > 0 ? ctx.options.predict_batcher : nullptr;
-  return BatchScorer([session, sink, batcher, key, window, max_rows](
+  obs::Trace* trace = ctx.options.trace;
+  return BatchScorer([session, sink, batcher, key, window, max_rows, trace](
                          const Tensor& input) -> Result<std::vector<double>> {
     nnrt::RunStats stats;
     Tensor preds;
@@ -116,7 +117,21 @@ Result<BatchScorer> MakeNnScorer(const IrNode& node,
       request.input = &input;
       request.window_micros = window;
       request.max_batch_rows = max_rows;
-      RAVEN_ASSIGN_OR_RETURN(preds, batcher->Score(request, &stats));
+      // One span per morsel submission (bounded by morsel count, not row
+      // count): covers the batch window wait plus this submission's share
+      // of the shared flush.
+      const std::int64_t span_id =
+          trace != nullptr ? trace->StartSpan("predict_batcher.wait") : 0;
+      auto scored = batcher->Score(request, &stats);
+      if (trace != nullptr) {
+        trace->EndSpan(
+            span_id,
+            "rows=" + std::to_string(input.dim(0)) + " share_nn_micros=" +
+                std::to_string(static_cast<std::int64_t>(stats.wall_micros)) +
+                (scored.ok() ? "" : " error=1"));
+      }
+      RAVEN_RETURN_IF_ERROR(scored.status());
+      preds = std::move(scored).value();
     } else {
       RAVEN_ASSIGN_OR_RETURN(preds, session->RunSingle(input, &stats));
     }
@@ -618,9 +633,10 @@ relational::OperatorStatsSlot* StatsCollector::SlotFor(
   const auto key = std::make_pair(node, name);
   auto it = by_node_.find(key);
   if (it != by_node_.end()) return it->second;
-  slots_.emplace_back(std::piecewise_construct,
-                      std::forward_as_tuple(name), std::forward_as_tuple());
-  relational::OperatorStatsSlot* slot = &slots_.back().second;
+  slots_.emplace_back();
+  slots_.back().name = name;
+  slots_.back().node = node;
+  relational::OperatorStatsSlot* slot = &slots_.back().slot;
   by_node_[key] = slot;
   return slot;
 }
@@ -641,13 +657,19 @@ void StatsCollector::Finalize(ExecutionStats* out) const {
   out->blocks_skipped = blocks_skipped.load(std::memory_order_relaxed);
   out->operators.clear();
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, slot] : slots_) {
+  for (const auto& entry : slots_) {
     OperatorStats op;
-    op.op = name;
-    op.rows = slot.rows.load(std::memory_order_relaxed);
-    op.chunks = slot.chunks.load(std::memory_order_relaxed);
+    op.op = entry.name;
+    op.node = entry.node;
+    op.rows = entry.slot.rows.load(std::memory_order_relaxed);
+    op.chunks = entry.slot.chunks.load(std::memory_order_relaxed);
     op.wall_micros =
-        static_cast<double>(slot.wall_nanos.load(std::memory_order_relaxed)) /
+        static_cast<double>(
+            entry.slot.wall_nanos.load(std::memory_order_relaxed)) /
+        1000.0;
+    op.open_micros =
+        static_cast<double>(
+            entry.slot.open_nanos.load(std::memory_order_relaxed)) /
         1000.0;
     out->operators.push_back(std::move(op));
   }

@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "ir/ir.h"
+#include "obs/trace.h"
 #include "nnrt/session.h"
 #include "relational/catalog.h"
 #include "relational/operators.h"
@@ -87,6 +88,11 @@ struct ExecutionOptions {
   /// scan still evaluates — so disabling it changes block counters, never
   /// results.
   bool zone_map_skipping = true;
+  /// Optional per-query trace arena (obs/trace.h). Non-null enables span
+  /// recording at phase/exchange/operator boundaries — never per row, so
+  /// the data hot path takes no locks. Observation only: results are
+  /// byte-identical with tracing on or off.
+  obs::Trace* trace = nullptr;
 };
 
 /// Per-operator execution counters, summed over all workers that ran a
@@ -96,6 +102,12 @@ struct OperatorStats {
   std::int64_t rows = 0;    ///< rows emitted
   std::int64_t chunks = 0;  ///< chunks emitted
   double wall_micros = 0.0; ///< wall time inside Next (summed across workers)
+  double open_micros = 0.0; ///< wall time inside Open (summed across workers)
+  /// IR node the slot was registered under — lets EXPLAIN ANALYZE match
+  /// actual counters back onto the optimized plan tree by node identity
+  /// (names alone collide: one node can surface twice, e.g. an aggregate
+  /// sink plus the rescan of its materialized result).
+  const void* node = nullptr;
 };
 
 /// Accumulated execution statistics. Filled from a StatsCollector after the
@@ -177,8 +189,14 @@ class StatsCollector {
   std::atomic<double> nn_wall_micros_{0.0};
   std::atomic<double> nn_simulated_micros_{0.0};
 
+  struct SlotEntry {
+    std::string name;
+    const void* node;
+    relational::OperatorStatsSlot slot;
+  };
+
   mutable std::mutex mu_;  // guards the slot registry, not the counters
-  std::deque<std::pair<std::string, relational::OperatorStatsSlot>> slots_;
+  std::deque<SlotEntry> slots_;
   std::map<std::pair<const void*, std::string>,
            relational::OperatorStatsSlot*>
       by_node_;

@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "relational/block_table.h"
 #include "relational/operators.h"
 #include "runtime/worker_pool.h"
@@ -310,8 +311,11 @@ class MorselExecutor {
 /// keeps a query correct through worker deaths.
 class DistributedExecutor {
  public:
-  DistributedExecutor(RuntimeContext base_ctx, WorkerPool* pool)
-      : base_ctx_(std::move(base_ctx)), pool_(pool) {}
+  DistributedExecutor(RuntimeContext base_ctx, WorkerPool* pool,
+                      std::int64_t trace_parent = 0)
+      : base_ctx_(std::move(base_ctx)),
+        pool_(pool),
+        trace_parent_(trace_parent) {}
 
   Result<Table> Execute(const IrNode& original_root) {
     // Work on a clone: fragment subtrees are spliced out of the tree below,
@@ -425,6 +429,7 @@ class DistributedExecutor {
       std::int64_t worker = 0;
       std::int64_t begin = 0;
       std::int64_t end = 0;
+      std::int64_t exchange_span = 0;  ///< tracing only; 0 = untraced
       std::string frame;
       Result<Table> result = Status::Internal("not executed");
     };
@@ -453,6 +458,14 @@ class DistributedExecutor {
         slice.Serialize(&table_writer);
       }
       request.table_bytes = table_writer.Release();
+      if (obs::Trace* trace = base_ctx_.options.trace; trace != nullptr) {
+        // The exchange span opens before the frame encodes so its id can
+        // ride in the frame header — the worker echoes it, which is what
+        // lets a retried partition's spans stay attributable.
+        part.exchange_span = trace->StartSpan("exchange", trace_parent_);
+        request.trace_enabled = true;
+        request.trace_id = static_cast<std::uint64_t>(part.exchange_span);
+      }
       part.frame = EncodeFragmentRequest(request);
       partitions.push_back(std::move(part));
       begin += size;
@@ -462,7 +475,8 @@ class DistributedExecutor {
     for (auto& part : partitions) {
       group.Spawn([this, &part, leaf] {
         part.result = RunPartition(part.frame, leaf->table_name, part.begin,
-                                   part.end, part.worker);
+                                   part.end, part.worker,
+                                   part.exchange_span);
       });
     }
     group.Wait();
@@ -488,10 +502,27 @@ class DistributedExecutor {
   Result<Table> RunPartition(const std::string& frame,
                              const std::string& table_name,
                              std::int64_t range_begin, std::int64_t range_end,
-                             std::int64_t worker) {
+                             std::int64_t worker,
+                             std::int64_t exchange_span) {
+    obs::Trace* trace = base_ctx_.options.trace;
+    const std::string range_detail =
+        "worker=" + std::to_string(worker) + " table=" + table_name +
+        " range=[" + std::to_string(range_begin) + "," +
+        std::to_string(range_end) + ")";
     CountFrame(frame);
+    // `active_span` tracks whichever exchange attempt is currently open
+    // (the original exchange, then possibly the retry); worker span trees
+    // splice under it, and base time re-bases worker-relative times onto
+    // the coordinator clock.
+    std::int64_t active_span = exchange_span;
+    std::int64_t attempt_base = trace != nullptr ? trace->NowMicros() : 0;
     auto attempt = pool_->ExecuteFragment(worker, frame);
     if (!attempt.ok()) {
+      if (trace != nullptr) {
+        trace->EndSpan(active_span, range_detail + " error=\"" +
+                                        attempt.status().ToString() + "\"");
+        active_span = 0;
+      }
       RAVEN_LOG(Warning) << "distributed partition [" << range_begin << ", "
                          << range_end << ") of " << table_name
                          << " failed on worker " << worker << ": "
@@ -503,6 +534,10 @@ class DistributedExecutor {
           base_ctx_.stats->worker_restarts.fetch_add(
               1, std::memory_order_relaxed);
         }
+        if (trace != nullptr) {
+          active_span = trace->StartSpan("exchange.retry", trace_parent_);
+          attempt_base = trace->NowMicros();
+        }
         CountFrame(frame);
         attempt = pool_->ExecuteFragment(worker, frame);
       } else {
@@ -512,8 +547,28 @@ class DistributedExecutor {
     if (attempt.ok()) {
       CountReceived(attempt->bytes_received);
       auto table = attempt->ToTable();
-      if (table.ok()) return table;
+      if (table.ok()) {
+        if (trace != nullptr) {
+          if (!attempt->trace_spans.empty()) {
+            auto worker_spans =
+                obs::Trace::DeserializeSpans(attempt->trace_spans);
+            if (worker_spans.ok()) {
+              trace->Splice(active_span, attempt_base, worker_spans.value());
+            }
+          }
+          trace->EndSpan(active_span,
+                         range_detail + " rows=" +
+                             std::to_string(attempt->result_rows) +
+                             " bytes=" +
+                             std::to_string(attempt->bytes_received));
+        }
+        return table;
+      }
       attempt = table.status();
+    }
+    if (trace != nullptr && active_span != 0) {
+      trace->EndSpan(active_span, range_detail + " error=\"" +
+                                      attempt.status().ToString() + "\"");
     }
     RAVEN_LOG(Warning) << "distributed partition [" << range_begin << ", "
                        << range_end << ") of " << table_name
@@ -521,11 +576,30 @@ class DistributedExecutor {
                        << attempt.status().ToString();
     RAVEN_ASSIGN_OR_RETURN(FragmentRequest request,
                            DecodeFragmentRequest(frame));
-    return ExecuteFragmentLocally(request, base_ctx_.session_cache);
+    if (trace == nullptr) {
+      return ExecuteFragmentLocally(request, base_ctx_.session_cache);
+    }
+    // The fallback runs through the same decode+execute path a worker
+    // would, so it records into its own local arena and splices — exactly
+    // like a worker's shipped span tree, minus the pipe.
+    const std::int64_t fallback_span =
+        trace->StartSpan("local_fallback", trace_parent_);
+    const std::int64_t fallback_base = trace->NowMicros();
+    obs::Trace local;
+    auto result =
+        ExecuteFragmentLocally(request, base_ctx_.session_cache, &local);
+    trace->Splice(fallback_span, fallback_base, local.Snapshot());
+    trace->EndSpan(fallback_span,
+                   range_detail +
+                       (result.ok() ? "" : " error=\"" +
+                                               result.status().ToString() +
+                                               "\""));
+    return result;
   }
 
   RuntimeContext base_ctx_;
   WorkerPool* pool_;
+  std::int64_t trace_parent_ = 0;
 };
 
 }  // namespace
@@ -581,7 +655,18 @@ Result<Table> PlanExecutor::Execute(const ir::IrPlan& plan,
   ctx.catalog = catalog_;
   ctx.session_cache = session_cache_;
   ctx.options = options;
-  ctx.stats = stats != nullptr ? &collector : nullptr;
+  // A trace needs operator slots even when the caller passes no stats
+  // sink: operator spans render from the collector at the end.
+  obs::Trace* trace = options.trace;
+  ctx.stats = (stats != nullptr || trace != nullptr) ? &collector : nullptr;
+
+  const std::int64_t exec_start =
+      trace != nullptr ? trace->NowMicros() : 0;
+  const std::int64_t exec_span =
+      trace != nullptr ? trace->StartSpan("execute") : 0;
+  std::string exec_detail;
+  Result<Table> result = Status::Internal("not executed");
+  bool executed = false;
 
   // Distributed execution ships the plan's distributable fragments to the
   // persistent worker pool and runs the remainder in-process. If the pool
@@ -590,37 +675,64 @@ Result<Table> PlanExecutor::Execute(const ir::IrPlan& plan,
   if (options.mode == ExecutionMode::kDistributed) {
     std::shared_ptr<WorkerPool> pool = EnsurePool(options);
     if (pool != nullptr) {
-      DistributedExecutor dexec(ctx, pool.get());
-      Result<Table> result = dexec.Execute(*plan.root());
+      DistributedExecutor dexec(ctx, pool.get(), exec_span);
+      result = dexec.Execute(*plan.root());
       collector.partitions_used.store(pool->num_workers());
-      if (stats != nullptr) collector.Finalize(stats);
-      return result;
+      exec_detail = "mode=distributed workers=" +
+                    std::to_string(pool->num_workers());
+      executed = true;
     }
   }
 
-  // Morsel-parallel execution covers every in-process plan shape except:
-  // LIMIT (an ordered early-out — splitting it across workers changes which
-  // rows survive) and opaque pipelines (each worker tree would boot its own
-  // external process).
-  const bool parallel =
-      options.parallelism > 1 &&
-      (options.mode == ExecutionMode::kInProcess ||
-       options.mode == ExecutionMode::kDistributed) &&
-      !PlanContains(plan.root(), IrOpKind::kLimit) &&
-      !PlanContains(plan.root(), IrOpKind::kOpaquePipeline);
+  if (!executed) {
+    // Morsel-parallel execution covers every in-process plan shape except:
+    // LIMIT (an ordered early-out — splitting it across workers changes
+    // which rows survive) and opaque pipelines (each worker tree would boot
+    // its own external process).
+    const bool parallel =
+        options.parallelism > 1 &&
+        (options.mode == ExecutionMode::kInProcess ||
+         options.mode == ExecutionMode::kDistributed) &&
+        !PlanContains(plan.root(), IrOpKind::kLimit) &&
+        !PlanContains(plan.root(), IrOpKind::kOpaquePipeline);
 
-  Result<Table> result = Status::Internal("not executed");
-  if (parallel) {
-    MorselExecutor executor(ctx, options.parallelism);
-    result = executor.Execute(*plan.root());
-    collector.partitions_used.store(options.parallelism);
-    collector.morsels.store(executor.morsels_dispensed());
-  } else {
-    auto root_op = BuildPhysicalPlan(*plan.root(), ctx);
-    result = root_op.ok() ? relational::MaterializeAll(root_op.value().get())
-                          : Result<Table>(root_op.status());
+    if (parallel) {
+      MorselExecutor executor(ctx, options.parallelism);
+      result = executor.Execute(*plan.root());
+      collector.partitions_used.store(options.parallelism);
+      collector.morsels.store(executor.morsels_dispensed());
+      exec_detail = "mode=parallel dop=" + std::to_string(options.parallelism);
+    } else {
+      auto root_op = BuildPhysicalPlan(*plan.root(), ctx);
+      result = root_op.ok()
+                   ? relational::MaterializeAll(root_op.value().get())
+                   : Result<Table>(root_op.status());
+      exec_detail = "mode=sequential";
+    }
   }
   if (stats != nullptr) collector.Finalize(stats);
+  if (trace != nullptr) {
+    // Operator spans are AGGREGATES, not timeline intervals: duration is
+    // Open+Next wall time summed across worker clones, anchored at the
+    // execute span's start (see docs/OBSERVABILITY.md).
+    ExecutionStats rendered;
+    collector.Finalize(&rendered);
+    for (const OperatorStats& op : rendered.operators) {
+      trace->AddSpan(
+          "op:" + op.op, exec_span, exec_start,
+          static_cast<std::int64_t>(op.wall_micros + op.open_micros),
+          "rows=" + std::to_string(op.rows) +
+              " chunks=" + std::to_string(op.chunks) +
+              " open_micros=" + std::to_string(
+                  static_cast<std::int64_t>(op.open_micros)) +
+              " work_micros=" + std::to_string(
+                  static_cast<std::int64_t>(op.wall_micros)));
+    }
+    if (!result.ok()) {
+      exec_detail += " error=\"" + result.status().ToString() + "\"";
+    }
+    trace->EndSpan(exec_span, exec_detail);
+  }
   return result;
 }
 

@@ -90,6 +90,7 @@ Result<FragmentResult> WorkerPool::ExecuteFragment(
       case FragmentEventKind::kDone:
         result.result_names = std::move(event.result_names);
         result.result_rows = event.result_rows;
+        result.trace_spans = std::move(event.trace_spans);
         return result;
       case FragmentEventKind::kError:
         return Status::ExecutionError("worker fragment execution failed: " +
@@ -111,7 +112,13 @@ Status WorkerPool::RestartWorker(std::int64_t w) {
 }
 
 Result<relational::Table> ExecuteFragmentLocally(
-    const FragmentRequest& request, nnrt::SessionCache* session_cache) {
+    const FragmentRequest& request, nnrt::SessionCache* session_cache,
+    obs::Trace* trace) {
+  // Explicit start/end (not ScopedSpan): the span covers decode only, not
+  // the execute below. Error returns leave it open — the whole call fails
+  // and the trace is discarded with it.
+  const std::int64_t decode_id =
+      trace != nullptr ? trace->StartSpan("fragment.decode") : 0;
   BinaryReader table_reader(request.table_bytes);
   RAVEN_ASSIGN_OR_RETURN(relational::Table slice,
                          relational::Table::Deserialize(&table_reader));
@@ -127,12 +134,22 @@ Result<relational::Table> ExecuteFragmentLocally(
   relational::Catalog catalog;
   RAVEN_RETURN_IF_ERROR(
       catalog.RegisterTable(request.table_name, std::move(slice)));
+  if (trace != nullptr) {
+    trace->EndSpan(
+        decode_id,
+        "table=" + request.table_name + " rows=" +
+            std::to_string(request.range_end - request.range_begin) +
+            (request.trace_id != 0
+                 ? " exchange_span=" + std::to_string(request.trace_id)
+                 : ""));
+  }
   ir::IrPlan plan(std::move(fragment));
   PlanExecutor executor(&catalog, session_cache);
   // Partitions execute sequentially: the partition loop is the parallelism,
   // and sequential execution keeps partition output byte-identical to the
   // corresponding rows of a sequential whole-table run.
   ExecutionOptions options;
+  options.trace = trace;
   return executor.Execute(plan, options);
 }
 

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "nnrt/session.h"
+#include "obs/trace.h"
 #include "relational/chunk.h"
 #include "relational/table.h"
 #include "runtime/external_runtime.h"
@@ -45,6 +46,9 @@ struct FragmentResult {
   std::vector<std::string> result_names;      ///< schema (even when 0 rows)
   std::int64_t result_rows = 0;
   std::int64_t bytes_received = 0;  ///< response payload bytes (stats)
+  /// Worker-side span tree from the kDone frame (empty unless the request
+  /// enabled tracing); obs::Trace::DeserializeSpans decodes it.
+  std::string trace_spans;
 
   /// Concatenates the chunks into a Table (column-less when the worker
   /// reported no schema, matching the engine's empty convention).
@@ -122,9 +126,12 @@ class WorkerPool {
 /// is the single implementation behind both sides of the protocol — the
 /// worker's kExecuteFragment handler and the engine's in-process fallback
 /// when a partition exhausts its retry — so the fallback exercises the same
-/// decode path a worker would.
+/// decode path a worker would. A non-null `trace` records the fragment's
+/// spans (decode, execute, per-operator) into it: the worker serializes
+/// that tree into its kDone frame, the fallback stitches it directly.
 Result<relational::Table> ExecuteFragmentLocally(
-    const FragmentRequest& request, nnrt::SessionCache* session_cache);
+    const FragmentRequest& request, nnrt::SessionCache* session_cache,
+    obs::Trace* trace = nullptr);
 
 }  // namespace raven::runtime
 

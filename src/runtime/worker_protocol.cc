@@ -13,8 +13,10 @@ namespace {
 
 /// Version byte of the kExecuteFragment payload, bumped on layout changes
 /// so mixed-version engine/worker pairs fail with a parse error instead of
-/// misreading each other.
-constexpr std::uint8_t kFragmentProtocolVersion = 1;
+/// misreading each other. v2 added trace propagation: a trace-enabled flag
+/// plus the coordinator's exchange span id in the request, and the
+/// worker-side span tree in the kDone frame.
+constexpr std::uint8_t kFragmentProtocolVersion = 2;
 
 }  // namespace
 
@@ -69,6 +71,8 @@ std::string EncodeFragmentRequest(const FragmentRequest& request) {
   writer.WriteI64(request.range_begin);
   writer.WriteI64(request.range_end);
   writer.WriteString(request.table_bytes);
+  writer.WriteBool(request.trace_enabled);
+  writer.WriteU64(request.trace_id);
   return writer.Release();
 }
 
@@ -92,6 +96,8 @@ Result<FragmentRequest> DecodeFragmentRequest(const std::string& payload) {
     return Status::ParseError("bad fragment partition range");
   }
   RAVEN_ASSIGN_OR_RETURN(request.table_bytes, reader.ReadString());
+  RAVEN_ASSIGN_OR_RETURN(request.trace_enabled, reader.ReadBool());
+  RAVEN_ASSIGN_OR_RETURN(request.trace_id, reader.ReadU64());
   return request;
 }
 
@@ -104,11 +110,13 @@ std::string EncodeFragmentChunk(const relational::DataChunk& chunk) {
 }
 
 std::string EncodeFragmentDone(const std::vector<std::string>& names,
-                               std::int64_t rows) {
+                               std::int64_t rows,
+                               const std::string& trace_spans) {
   BinaryWriter writer;
   writer.WriteU8(static_cast<std::uint8_t>(FragmentEventKind::kDone));
   writer.WriteStringVector(names);
   writer.WriteI64(rows);
+  writer.WriteString(trace_spans);
   return writer.Release();
 }
 
@@ -147,6 +155,7 @@ Result<FragmentEvent> DecodeFragmentEvent(const std::string& payload) {
       if (event.result_rows < 0) {
         return Status::ParseError("negative fragment row count");
       }
+      RAVEN_ASSIGN_OR_RETURN(event.trace_spans, reader.ReadString());
       return event;
     }
     case FragmentEventKind::kError: {

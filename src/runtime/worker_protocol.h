@@ -63,6 +63,14 @@ struct FragmentRequest {
   std::int64_t range_begin = 0;
   std::int64_t range_end = 0;
   std::string table_bytes;
+  /// Coordinator-side tracing state, carried in the frame header (protocol
+  /// v2): when enabled, the worker records its own span tree (fragment
+  /// decode/execute, per-operator) and ships it back in the kDone frame so
+  /// the coordinator can stitch it under the exchange span. `trace_id` is
+  /// the coordinator's exchange span id, echoed in the worker's root span
+  /// detail so stitched trees stay attributable after retries.
+  bool trace_enabled = false;
+  std::uint64_t trace_id = 0;
 };
 
 std::string EncodeFragmentRequest(const FragmentRequest& request);
@@ -82,12 +90,16 @@ struct FragmentEvent {
   relational::DataChunk chunk;            ///< kChunk
   std::vector<std::string> result_names;  ///< kDone
   std::int64_t result_rows = 0;           ///< kDone
+  /// kDone: worker-side span tree (obs::Trace::SerializeSpans bytes);
+  /// empty when the request did not enable tracing.
+  std::string trace_spans;                ///< kDone
   std::string error;                      ///< kError
 };
 
 std::string EncodeFragmentChunk(const relational::DataChunk& chunk);
 std::string EncodeFragmentDone(const std::vector<std::string>& names,
-                               std::int64_t rows);
+                               std::int64_t rows,
+                               const std::string& trace_spans = "");
 std::string EncodeFragmentError(const std::string& message);
 Result<FragmentEvent> DecodeFragmentEvent(const std::string& payload);
 

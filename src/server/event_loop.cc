@@ -262,6 +262,34 @@ void EventLoop::AcceptReady() {
 }
 
 void EventLoop::ReadReady(Conn* conn) {
+  if (options_.http_mode) {
+    // HTTP framing: accumulate until the blank line ending the request
+    // head. No header/payload phases — the terminator is in-band.
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+      if (n == 0) {
+        CloseConn(conn);
+        return;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        CloseConn(conn);
+        return;
+      }
+      conn->payload.append(buf, static_cast<std::size_t>(n));
+      if (conn->payload.size() > options_.max_request_frame_bytes) {
+        CloseConn(conn);
+        return;
+      }
+      if (conn->payload.find("\r\n\r\n") != std::string::npos ||
+          conn->payload.find("\n\n") != std::string::npos) {
+        DispatchRequest(conn);
+        return;
+      }
+    }
+  }
   for (;;) {
     if (conn->phase == Phase::kHeader) {
       const ssize_t n =
@@ -360,9 +388,14 @@ void EventLoop::DispatchThread() {
         on_request_(job.conn->context, std::move(job.payload));
     // The response goes out from this thread (the loop never buffers
     // result tables); a stalled or vanished client fails the write and
-    // the completion closes the connection.
+    // the completion closes the connection. HTTP mode writes the handler's
+    // bytes verbatim — the response is a complete HTTP message, and the
+    // completion below closes the connection either way.
     const Status written =
-        WriteFrameNonblocking(job.conn->fd, response, 120000);
+        options_.http_mode
+            ? WriteAllNonblocking(job.conn->fd, response.data(),
+                                  response.size(), 120000)
+            : WriteFrameNonblocking(job.conn->fd, response, 120000);
     Completion completion;
     completion.conn = job.conn;
     completion.ok = written.ok();
@@ -382,7 +415,9 @@ void EventLoop::HandleCompletions() {
   }
   for (const Completion& completion : ready) {
     Conn* conn = completion.conn;
-    if (!completion.ok || conn->peer_gone) {
+    if (!completion.ok || conn->peer_gone || options_.http_mode) {
+      // HTTP mode is connection-per-request (close-delimited responses),
+      // so a successful completion closes too.
       CloseConn(conn);
       continue;
     }

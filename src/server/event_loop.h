@@ -46,6 +46,13 @@ struct EventLoopOptions {
   /// handler (the handler owns response encoding otherwise).
   std::string busy_payload;
   std::string oversize_payload;
+  /// Plaintext-HTTP framing instead of [u32 length] frames: a request is
+  /// complete at the first blank line (the GET has no body we care about),
+  /// the handler's return value is written raw — it must be a full HTTP
+  /// response — and the connection closes after the write (HTTP/1.0
+  /// close-delimited). Used by the metrics endpoint; busy/oversize payloads
+  /// should stay empty in this mode (they would be frame-wrapped).
+  bool http_mode = false;
 };
 
 /// Counters surfaced through SHOW STATS.

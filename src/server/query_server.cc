@@ -91,6 +91,40 @@ Result<std::vector<double>> ParseParamList(const std::string& rest) {
   return params;
 }
 
+/// Binds and listens on 127.0.0.1:`port` (0 = kernel-picked); on success
+/// returns the fd and stores the resolved port in `bound_port`.
+Result<int> ListenLoopbackTcp(int port, int* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket(AF_INET) failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("bind(127.0.0.1:" + std::to_string(port) +
+                           ") failed: " + error);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    *bound_port = static_cast<int>(ntohs(bound.sin_port));
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("listen failed: " + error);
+  }
+  return fd;
+}
+
 }  // namespace
 
 std::vector<std::pair<std::string, std::int64_t>> ServerStats::ToPairs()
@@ -132,6 +166,7 @@ std::vector<std::pair<std::string, std::int64_t>> ServerStats::ToPairs()
       {"nn_artifact_rejects", nn_artifact_rejects},
       {"nn_ops_profiled", nn_ops_profiled},
       {"nn_op_micros", nn_op_micros},
+      {"slow_queries", slow_queries},
   };
 }
 
@@ -165,6 +200,75 @@ QueryServer::QueryServer(RavenContext* ctx, QueryServerOptions options)
       args.push_back(arg);
     }
   }
+  // Metric series register once here and stay immutable; values update
+  // push-style on the query path (histograms) or at scrape time from
+  // Snapshot() (counters/gauges whose lifetime sources live elsewhere).
+  h_query_latency_ = metrics_.AddHistogram(
+      "raven_query_latency_seconds",
+      "Server-side statement latency (admission wait included)",
+      obs::LogBuckets(0.0005, 2.0, 16));
+  h_queue_wait_ = metrics_.AddHistogram(
+      "raven_queue_wait_seconds",
+      "Wall time queued in the admission controller before execution",
+      obs::LogBuckets(0.0001, 2.0, 18));
+  h_query_rows_ = metrics_.AddHistogram(
+      "raven_query_rows", "Result rows per executed statement",
+      obs::LogBuckets(1.0, 4.0, 10));
+  c_queries_served_ = metrics_.AddCounter(
+      "raven_queries_served_total", "Statements executed to completion");
+  c_plan_cache_hits_ = metrics_.AddCounter(
+      "raven_plan_cache_hits_total", "Plan cache lookups that skipped "
+      "parse+optimize");
+  c_plan_cache_misses_ = metrics_.AddCounter(
+      "raven_plan_cache_misses_total", "Plan cache lookups that planned "
+      "fresh");
+  c_queries_shed_ = metrics_.AddCounter(
+      "raven_queries_shed_total", "Statements rejected by admission "
+      "control");
+  c_sessions_opened_ = metrics_.AddCounter("raven_sessions_opened_total",
+                                           "Connections accepted");
+  c_worker_restarts_ = metrics_.AddCounter(
+      "raven_worker_restarts_total",
+      "Distributed pool workers replaced after a failed exchange");
+  c_blocks_scanned_ = metrics_.AddCounter(
+      "raven_blocks_scanned_total", "Columnar storage blocks decoded");
+  c_blocks_skipped_ = metrics_.AddCounter(
+      "raven_blocks_skipped_total",
+      "Columnar storage blocks pruned by zone maps");
+  c_batches_flushed_ = metrics_.AddCounter(
+      "raven_predict_batches_flushed_total",
+      "Cross-query inference batches flushed");
+  c_rows_coalesced_ = metrics_.AddCounter(
+      "raven_predict_rows_coalesced_total",
+      "PREDICT rows that shared another query's NNRT call");
+  c_nn_session_hits_ = metrics_.AddCounter(
+      "raven_nn_session_hits_total", "NNRT session cache hits");
+  c_nn_session_misses_ = metrics_.AddCounter(
+      "raven_nn_session_misses_total", "NNRT session cache misses");
+  c_nn_op_micros_ = metrics_.AddCounter(
+      "raven_nn_op_micros_total",
+      "Cumulative NNRT kernel wall time across all backends, micros");
+  c_epoll_wakeups_ = metrics_.AddCounter(
+      "raven_epoll_wakeups_total", "Event-loop wakeups with ready fds");
+  c_slow_queries_ = metrics_.AddCounter(
+      "raven_slow_queries_total",
+      "Statements at or over their session's slow_query_millis");
+  g_sessions_active_ =
+      metrics_.AddGauge("raven_sessions_active", "Open client sessions");
+  g_queries_active_ = metrics_.AddGauge(
+      "raven_queries_active", "Statements holding an admission slot");
+  g_queries_queued_ = metrics_.AddGauge(
+      "raven_queries_queued", "Statements waiting in the admission queue");
+  g_plan_cache_entries_ = metrics_.AddGauge("raven_plan_cache_entries",
+                                            "Cached optimized plans");
+  g_plan_cache_hit_ratio_ = metrics_.AddGauge(
+      "raven_plan_cache_hit_ratio",
+      "Lifetime plan-cache hits / lookups (0 before the first lookup)");
+  g_batch_occupancy_ = metrics_.AddGauge(
+      "raven_batch_occupancy_x100",
+      "Mean PREDICT rows per flushed NNRT batch, x100");
+  g_connections_open_ = metrics_.AddGauge("raven_connections_open",
+                                          "Registered connection fds");
 }
 
 QueryServer::~QueryServer() { Stop(); }
@@ -292,7 +396,45 @@ Status QueryServer::Start() {
     listen_fd_ = -1;
     return started;
   }
+  // Running from here on: the optional listeners below roll everything
+  // back through Stop() on failure.
   running_.store(true, std::memory_order_release);
+  if (!options_.slow_query_log_path.empty()) {
+    std::lock_guard<std::mutex> lock(slow_log_mu_);
+    slow_log_ = std::fopen(options_.slow_query_log_path.c_str(), "a");
+    if (slow_log_ == nullptr) {
+      const std::string error = std::strerror(errno);
+      Stop();
+      return Status::IoError("open slow-query log " +
+                             options_.slow_query_log_path + ": " + error);
+    }
+  }
+  if (options_.metrics_port >= 0) {
+    auto fd = ListenLoopbackTcp(options_.metrics_port, &bound_metrics_port_);
+    if (!fd.ok()) {
+      Stop();
+      return Status(fd.status().code(),
+                    "metrics listener: " + fd.status().message());
+    }
+    metrics_listen_fd_ = fd.value();
+    EventLoopOptions mloop;
+    mloop.http_mode = true;
+    mloop.max_connections = 32;
+    mloop.max_request_frame_bytes = 64u << 10;
+    mloop.idle_timeout_millis = 10000;
+    mloop.dispatch_threads = 2;
+    metrics_loop_ = std::make_unique<EventLoop>(
+        std::move(mloop), []() -> void* { return nullptr; },
+        [this](void*, std::string request) -> std::string {
+          return HandleMetricsHttp(request);
+        },
+        [](void*) {});
+    Status metrics_started = metrics_loop_->Start(metrics_listen_fd_);
+    if (!metrics_started.ok()) {
+      Stop();
+      return metrics_started;
+    }
+  }
   return Status::OK();
 }
 
@@ -306,9 +448,25 @@ void QueryServer::Stop() {
   batcher_->Shutdown();
   // Severs connections, finishes in-flight handlers, joins every thread.
   if (event_loop_ != nullptr) event_loop_->Stop();
+  if (metrics_loop_ != nullptr) {
+    metrics_loop_->Stop();
+    metrics_loop_.reset();
+  }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  if (metrics_listen_fd_ >= 0) {
+    ::close(metrics_listen_fd_);
+    metrics_listen_fd_ = -1;
+    bound_metrics_port_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(slow_log_mu_);
+    if (slow_log_ != nullptr) {
+      std::fclose(slow_log_);
+      slow_log_ = nullptr;
+    }
   }
   if (!options_.unix_socket_path.empty()) {
     ::unlink(options_.unix_socket_path.c_str());
@@ -371,15 +529,35 @@ ServerResponse QueryServer::HandleStatement(Session* session,
     return HandleSet(session, RestFrom(text, pos));
   }
   if (verb == "EXPLAIN") {
+    std::size_t peek = pos;
+    if (ToUpper(NextWord(text, &peek)) == "ANALYZE") {
+      return HandleExplainAnalyze(session, RestFrom(text, peek));
+    }
     return HandleExplain(session, RestFrom(text, pos));
+  }
+  if (verb == "TRACE") {
+    return HandleTrace(session, RestFrom(text, pos));
   }
   if (verb == "SHOW") {
     const std::string what = ToUpper(NextWord(text, &pos));
-    if (what != "STATS") {
-      return ErrorResponse(
-          Status::ParseError("only SHOW STATS is supported"));
+    if (what == "STATS") return ShowStats();
+    if (what == "METRICS") {
+      ServerResponse response;
+      response.kind = ServerResponseKind::kAck;
+      response.message = RenderMetrics();
+      return response;
     }
-    return ShowStats();
+    if (what == "TRACE") {
+      ServerResponse response;
+      response.kind = ServerResponseKind::kAck;
+      response.message =
+          session->last_trace_tree().empty()
+              ? "(no trace recorded; SET trace = on or TRACE <statement>)"
+              : session->last_trace_tree();
+      return response;
+    }
+    return ErrorResponse(Status::ParseError(
+        "expected SHOW STATS, SHOW METRICS, or SHOW TRACE"));
   }
   if (verb == "CREATE") {
     return HandleCreateView(session, RestFrom(text, pos));
@@ -507,6 +685,13 @@ ServerResponse QueryServer::HandleExecute(Session* session,
         Status::NotFound("no prepared statement named '" + name + "'"));
   }
   PreparedStatement& prepared = it->second;
+  // Prepared executions trace like plain statements (re-plan spans
+  // included) when the session asked for tracing.
+  std::unique_ptr<obs::Trace> trace;
+  if (session->trace_enabled() || session->slow_query_millis() > 0) {
+    trace = std::make_unique<obs::Trace>();
+  }
+  Timer timer;
   bool cache_hit = true;
   if (prepared.catalog_version != ctx_->catalog().version() ||
       prepared.profile != session->PlanProfile()) {
@@ -516,7 +701,8 @@ ServerResponse QueryServer::HandleExecute(Session* session,
     // plan cache, applied to the session-pinned template. Version read
     // before planning, same staleness direction as HandlePrepare.
     const std::int64_t planned_version = ctx_->catalog().version();
-    auto replanned = PlanStatement(session, prepared.sql, &cache_hit);
+    auto replanned =
+        PlanStatement(session, prepared.sql, &cache_hit, trace.get());
     if (!replanned.ok()) return ErrorResponse(replanned.status());
     prepared.plan = (*replanned)->plan;
     prepared.param_count = (*replanned)->param_count;
@@ -531,13 +717,20 @@ ServerResponse QueryServer::HandleExecute(Session* session,
         std::to_string(params.size())));
   }
   prepared_executions_.fetch_add(1, std::memory_order_relaxed);
+  ServerResponse response;
   if (prepared.param_count == 0) {
-    return ExecutePlan(session, *prepared.plan, cache_hit);
+    response = ExecutePlan(session, *prepared.plan, cache_hit, trace.get());
+  } else {
+    auto bound = ir::BindPlanParameters(*prepared.plan->root(), params);
+    if (!bound.ok()) return ErrorResponse(bound.status());
+    const ir::IrPlan bound_plan(std::move(bound).value());
+    response = ExecutePlan(session, bound_plan, cache_hit, trace.get());
   }
-  auto bound = ir::BindPlanParameters(*prepared.plan->root(), params);
-  if (!bound.ok()) return ErrorResponse(bound.status());
-  const ir::IrPlan bound_plan(std::move(bound).value());
-  return ExecutePlan(session, bound_plan, cache_hit);
+  if (trace != nullptr) {
+    FinishTrace(session, "EXECUTE " + name, timer.ElapsedMillis(),
+                trace.get());
+  }
+  return response;
 }
 
 ServerResponse QueryServer::HandleExplain(Session* session,
@@ -601,22 +794,171 @@ ServerResponse QueryServer::HandleExplain(Session* session,
 }
 
 ServerResponse QueryServer::RunStatement(Session* session,
-                                         const std::string& sql) {
+                                         const std::string& sql,
+                                         bool force_trace) {
+  std::unique_ptr<obs::Trace> trace;
+  if (force_trace || session->trace_enabled() ||
+      session->slow_query_millis() > 0) {
+    trace = std::make_unique<obs::Trace>();
+  }
+  Timer timer;
+  const std::int64_t rewrite_span =
+      trace != nullptr ? trace->StartSpan("rewrite_views") : 0;
+  const std::string rewritten = session->RewriteWithViews(sql);
+  if (trace != nullptr) trace->EndSpan(rewrite_span);
   bool cache_hit = false;
-  auto planned =
-      PlanStatement(session, session->RewriteWithViews(sql), &cache_hit);
+  auto planned = PlanStatement(session, rewritten, &cache_hit, trace.get());
   if (!planned.ok()) return ErrorResponse(planned.status());
   if ((*planned)->param_count > 0) {
     return ErrorResponse(Status::InvalidArgument(
         "statement has ? placeholders; use PREPARE/EXECUTE to bind them"));
   }
-  return ExecutePlan(session, *(*planned)->plan, cache_hit);
+  ServerResponse response =
+      ExecutePlan(session, *(*planned)->plan, cache_hit, trace.get());
+  if (trace != nullptr) {
+    FinishTrace(session, sql, timer.ElapsedMillis(), trace.get());
+  }
+  return response;
+}
+
+ServerResponse QueryServer::HandleTrace(Session* session,
+                                        const std::string& rest) {
+  if (rest.empty()) {
+    return ErrorResponse(Status::ParseError("TRACE expects a statement"));
+  }
+  // Execute exactly like the plain statement (same plan cache, admission,
+  // knobs) with the trace forced on; the response is the span tree, not
+  // the result rows — TRACE is the diagnostic form of the statement.
+  ServerResponse executed = RunStatement(session, rest, /*force_trace=*/true);
+  if (executed.kind == ServerResponseKind::kError ||
+      executed.kind == ServerResponseKind::kBusy) {
+    return executed;
+  }
+  ServerResponse response;
+  response.kind = ServerResponseKind::kAck;
+  response.message = session->last_trace_tree();
+  return response;
+}
+
+ServerResponse QueryServer::HandleExplainAnalyze(Session* session,
+                                                 const std::string& body) {
+  if (body.empty()) {
+    return ErrorResponse(
+        Status::ParseError("EXPLAIN ANALYZE expects a statement"));
+  }
+  bool cache_hit = false;
+  auto planned =
+      PlanStatement(session, session->RewriteWithViews(body), &cache_hit);
+  if (!planned.ok()) return ErrorResponse(planned.status());
+  if ((*planned)->param_count > 0) {
+    return ErrorResponse(Status::InvalidArgument(
+        "EXPLAIN ANALYZE cannot bind ? placeholders; inline the values"));
+  }
+  // EXPLAIN ANALYZE really executes, so it takes an admission slot like
+  // any statement and its counters feed the serving totals.
+  auto ticket = admission_.Admit();
+  if (!ticket.ok()) return ErrorResponse(ticket.status());
+  auto analyzed =
+      ctx_->ExplainAnalyzePlan(*(*planned)->plan, session->execution());
+  if (!analyzed.ok()) return ErrorResponse(analyzed.status());
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  blocks_scanned_.fetch_add(analyzed->stats.blocks_scanned,
+                            std::memory_order_relaxed);
+  blocks_skipped_.fetch_add(analyzed->stats.blocks_skipped,
+                            std::memory_order_relaxed);
+  worker_restarts_.fetch_add(analyzed->stats.worker_restarts,
+                             std::memory_order_relaxed);
+  ServerResponse response;
+  response.kind = ServerResponseKind::kAck;
+  response.message = std::move(analyzed->text);
+  response.plan_cache_hit = cache_hit;
+  return response;
+}
+
+void QueryServer::FinishTrace(Session* session, const std::string& sql,
+                              double total_millis, obs::Trace* trace) {
+  const std::string json = trace->RenderJsonLine(
+      sql, static_cast<std::int64_t>(total_millis * 1000.0));
+  const std::int64_t threshold = session->slow_query_millis();
+  if (threshold > 0 && total_millis >= static_cast<double>(threshold)) {
+    slow_queries_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(slow_log_mu_);
+    if (slow_log_ != nullptr) {
+      std::fputs(json.c_str(), slow_log_);
+      std::fputc('\n', slow_log_);
+      std::fflush(slow_log_);
+    }
+  }
+  session->SetLastTrace(trace->RenderTree(), json);
+}
+
+std::string QueryServer::RenderMetrics() {
+  const ServerStats s = Snapshot();
+  std::lock_guard<std::mutex> lock(scrape_mu_);
+  c_queries_served_->Set(s.queries_served);
+  c_plan_cache_hits_->Set(s.plan_cache.hits);
+  c_plan_cache_misses_->Set(s.plan_cache.misses);
+  c_queries_shed_->Set(s.admission.shed);
+  c_sessions_opened_->Set(s.sessions_opened);
+  c_worker_restarts_->Set(s.worker_restarts);
+  c_blocks_scanned_->Set(s.blocks_scanned);
+  c_blocks_skipped_->Set(s.blocks_skipped);
+  c_batches_flushed_->Set(s.batches_flushed);
+  c_rows_coalesced_->Set(s.rows_coalesced);
+  c_nn_session_hits_->Set(s.nn_session_hits);
+  c_nn_session_misses_->Set(s.nn_session_misses);
+  c_nn_op_micros_->Set(s.nn_op_micros);
+  c_epoll_wakeups_->Set(s.epoll_wakeups);
+  c_slow_queries_->Set(s.slow_queries);
+  g_sessions_active_->Set(static_cast<double>(s.sessions_active));
+  g_queries_active_->Set(static_cast<double>(s.admission.active));
+  g_queries_queued_->Set(static_cast<double>(s.admission.queued));
+  g_plan_cache_entries_->Set(static_cast<double>(s.plan_cache.entries));
+  const std::int64_t lookups = s.plan_cache.hits + s.plan_cache.misses;
+  g_plan_cache_hit_ratio_->Set(
+      lookups > 0 ? static_cast<double>(s.plan_cache.hits) /
+                        static_cast<double>(lookups)
+                  : 0.0);
+  g_batch_occupancy_->Set(static_cast<double>(s.batch_occupancy));
+  if (event_loop_ != nullptr) {
+    g_connections_open_->Set(
+        static_cast<double>(event_loop_->stats().connections_open));
+  }
+  return metrics_.Render();
+}
+
+std::string QueryServer::HandleMetricsHttp(const std::string& request) {
+  // Request line: METHOD SP PATH SP VERSION. Anything that is not a GET of
+  // /metrics is a 404 — the endpoint is a scrape target, not a web server.
+  std::string path;
+  const std::size_t sp1 = request.find(' ');
+  if (sp1 != std::string::npos) {
+    const std::size_t sp2 = request.find(' ', sp1 + 1);
+    if (sp2 != std::string::npos) path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+  }
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  std::string status_line = "HTTP/1.0 404 Not Found";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body = "not found; scrape /metrics\n";
+  if (path == "/metrics" || path == "/metrics/") {
+    status_line = "HTTP/1.0 200 OK";
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = RenderMetrics();
+  }
+  return status_line + "\r\nContent-Type: " + content_type +
+         "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n" + body;
 }
 
 Result<std::shared_ptr<const CachedPlan>> QueryServer::PlanStatement(
-    Session* session, const std::string& sql, bool* cache_hit) {
-  RAVEN_ASSIGN_OR_RETURN(std::string normalized,
-                         frontend::NormalizeSql(sql));
+    Session* session, const std::string& sql, bool* cache_hit,
+    obs::Trace* trace) {
+  const std::int64_t lookup_span =
+      trace != nullptr ? trace->StartSpan("plan_cache.lookup") : 0;
+  auto normalized_or = frontend::NormalizeSql(sql);
+  if (!normalized_or.ok()) return normalized_or.status();
+  const std::string normalized = std::move(normalized_or).value();
   // The profile is the LAST \x1f-delimited segment and is machine-generated
   // (Session::PlanProfile must never emit \x1f): however the SQL segment
   // re-segments — string literals CAN carry arbitrary bytes — the final
@@ -626,22 +968,29 @@ Result<std::shared_ptr<const CachedPlan>> QueryServer::PlanStatement(
   const std::int64_t version = ctx_->catalog().version();
   if (auto cached = plan_cache_.Get(key, version)) {
     *cache_hit = true;
+    if (trace != nullptr) trace->EndSpan(lookup_span, "hit");
     return cached;
   }
   *cache_hit = false;
+  if (trace != nullptr) trace->EndSpan(lookup_span, "miss");
   RAVEN_ASSIGN_OR_RETURN(std::shared_ptr<const CachedPlan> fresh,
-                         PlanFresh(session, sql));
+                         PlanFresh(session, sql, trace));
   plan_cache_.Put(key, version, fresh);
   return fresh;
 }
 
 Result<std::shared_ptr<const CachedPlan>> QueryServer::PlanFresh(
-    Session* session, const std::string& sql) {
+    Session* session, const std::string& sql, obs::Trace* trace) {
   // The analyzer is stateless and the catalog thread-safe, so analysis
   // runs concurrently across sessions; only Optimize is serialized (its
   // costing targets are per-query fields on the shared CrossOptimizer).
+  const std::int64_t parse_span =
+      trace != nullptr ? trace->StartSpan("parse") : 0;
   RAVEN_ASSIGN_OR_RETURN(ir::IrPlan plan, ctx_->analyzer().Analyze(sql));
+  if (trace != nullptr) trace->EndSpan(parse_span);
   {
+    const std::int64_t optimize_span =
+        trace != nullptr ? trace->StartSpan("optimize") : 0;
     std::lock_guard<std::mutex> lock(optimize_mu_);
     const runtime::ExecutionOptions& exec = session->execution();
     optimizer::OptimizerOptions& opts = ctx_->optimizer_options();
@@ -653,6 +1002,7 @@ Result<std::shared_ptr<const CachedPlan>> QueryServer::PlanFresh(
             ? exec.distributed_workers
             : 0;
     RAVEN_RETURN_IF_ERROR(ctx_->cross_optimizer().Optimize(&plan));
+    if (trace != nullptr) trace->EndSpan(optimize_span);
   }
   auto cached = std::make_shared<CachedPlan>();
   cached->param_count = ir::PlanParamCount(*plan.root());
@@ -663,13 +1013,23 @@ Result<std::shared_ptr<const CachedPlan>> QueryServer::PlanFresh(
 
 ServerResponse QueryServer::ExecutePlan(Session* session,
                                         const ir::IrPlan& plan,
-                                        bool cache_hit) {
+                                        bool cache_hit, obs::Trace* trace) {
   Timer timer;
+  const std::int64_t admit_span =
+      trace != nullptr ? trace->StartSpan("admission.wait") : 0;
   auto ticket = admission_.Admit();
+  if (trace != nullptr) {
+    trace->EndSpan(admit_span,
+                   ticket.ok() ? "wait_micros=" +
+                                     std::to_string(static_cast<std::int64_t>(
+                                         ticket->queue_wait_micros()))
+                               : "shed");
+  }
   if (!ticket.ok()) return ErrorResponse(ticket.status());
   runtime::ExecutionStats stats;
-  auto result =
-      ctx_->executor().Execute(plan, session->execution(), &stats);
+  runtime::ExecutionOptions exec = session->execution();
+  exec.trace = trace;
+  auto result = ctx_->executor().Execute(plan, exec, &stats);
   // The serving-path fields of ExecutionStats are filled here — the
   // response below is built FROM the stats, so an embedder reading the
   // stats and a client reading the response see the same numbers.
@@ -693,6 +1053,12 @@ ServerResponse QueryServer::ExecutePlan(Session* session,
   response.plan_cache_hit = stats.plan_cache_hit;
   response.queue_wait_micros = stats.queue_wait_micros;
   response.total_millis = timer.ElapsedMillis();
+  // Push-style latency observations: histograms can't be reconstructed at
+  // scrape time from totals, so they're fed on the query path (lock-free
+  // bucket increments — the only metrics work the hot path does).
+  h_query_latency_->Observe(response.total_millis / 1000.0);
+  h_queue_wait_->Observe(stats.queue_wait_micros / 1e6);
+  h_query_rows_->Observe(static_cast<double>(response.table.num_rows()));
   return response;
 }
 
@@ -740,6 +1106,7 @@ ServerStats QueryServer::Snapshot() const {
   stats.nn_ops_profiled = profiler.total_calls();
   stats.nn_op_micros =
       static_cast<std::int64_t>(profiler.total_micros());
+  stats.slow_queries = slow_queries_.load(std::memory_order_relaxed);
   return stats;
 }
 

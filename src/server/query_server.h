@@ -9,6 +9,10 @@
 #include <utility>
 #include <vector>
 
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "raven/raven.h"
 #include "server/admission.h"
 #include "server/event_loop.h"
@@ -45,6 +49,15 @@ struct QueryServerOptions {
   /// (<= 0: never). Without it, max_connections idle sockets would pin
   /// every slot forever — the cheapest possible denial of service.
   int idle_timeout_millis = 300000;
+  /// When >= 0, a second loopback TCP listener serves `GET /metrics` in
+  /// Prometheus text format on this port (0 lets the kernel pick; see
+  /// metrics_tcp_port() after Start). Plain HTTP/1.0, connection per
+  /// request, served off an http-mode EventLoop.
+  int metrics_port = -1;
+  /// When non-empty, statements that finish at or over their session's
+  /// `SET slow_query_millis` threshold append their span tree to this file
+  /// as one JSON line each (opened for append at Start).
+  std::string slow_query_log_path;
 };
 
 /// Aggregate serving counters (SHOW STATS renders these).
@@ -85,6 +98,9 @@ struct ServerStats {
   /// per-op-type breakdown).
   std::int64_t nn_ops_profiled = 0;
   std::int64_t nn_op_micros = 0;
+  /// Statements that crossed their session's slow_query_millis threshold
+  /// (each also wrote one JSON line to the slow-query log when configured).
+  std::int64_t slow_queries = 0;
 
   /// The SHOW STATS key/value pairs, in render order.
   std::vector<std::pair<std::string, std::int64_t>> ToPairs() const;
@@ -116,7 +132,11 @@ struct ServerStats {
 ///   CREATE VIEW <name> AS <select>       -- session-scoped temp view
 ///   DROP VIEW <name>
 ///   SHOW STATS
+///   SHOW METRICS                         -- Prometheus text exposition
+///   SHOW TRACE                           -- last recorded span tree
+///   TRACE <select>                       -- execute traced, return the tree
 ///   EXPLAIN <select>                     -- plan text, batch-eligible nodes
+///   EXPLAIN ANALYZE <select>             -- execute + actual-counter tree
 ///
 /// Everything else is analyzed as an inference query. The embedding
 /// process must not call ctx->Query() concurrently with a running server
@@ -142,6 +162,8 @@ class QueryServer {
   bool running() const { return running_.load(std::memory_order_acquire); }
   /// Bound TCP port (ephemeral port resolved), or -1 for a Unix listener.
   int tcp_port() const { return bound_tcp_port_; }
+  /// Bound metrics port (ephemeral port resolved), or -1 when disabled.
+  int metrics_tcp_port() const { return bound_metrics_port_; }
   const std::string& unix_socket_path() const {
     return options_.unix_socket_path;
   }
@@ -150,6 +172,14 @@ class QueryServer {
   PlanCache& plan_cache() { return plan_cache_; }
   AdmissionController& admission() { return admission_; }
   PredictBatcher& batcher() { return *batcher_; }
+  /// The Prometheus text exposition: fills the scrape-time counters/gauges
+  /// from Snapshot(), then renders every registered series (SHOW METRICS
+  /// and the /metrics endpoint both come through here).
+  std::string RenderMetrics();
+  /// The metrics histograms, for bench/test quantile reads.
+  const obs::Histogram& query_latency_histogram() const {
+    return *h_query_latency_;
+  }
 
  private:
   ServerResponse HandleRequest(Session* session, const ClientRequest& request);
@@ -160,23 +190,42 @@ class QueryServer {
   ServerResponse HandleSet(Session* session, const std::string& rest);
   ServerResponse HandleCreateView(Session* session, const std::string& rest);
   ServerResponse HandleExplain(Session* session, const std::string& body);
-  ServerResponse RunStatement(Session* session, const std::string& sql);
+  ServerResponse HandleExplainAnalyze(Session* session,
+                                      const std::string& body);
+  ServerResponse HandleTrace(Session* session, const std::string& rest);
+  ServerResponse RunStatement(Session* session, const std::string& sql,
+                              bool force_trace = false);
   ServerResponse ShowStats() const;
+
+  /// Builds one raw HTTP response for the metrics listener (GET /metrics;
+  /// anything else is 404).
+  std::string HandleMetricsHttp(const std::string& request);
+
+  /// Renders + stores the statement's trace in the session, and appends
+  /// the JSON line to the slow-query log when the statement crossed the
+  /// session's slow_query_millis threshold.
+  void FinishTrace(Session* session, const std::string& sql,
+                   double total_millis, obs::Trace* trace);
 
   /// Parse + optimize `sql` (already view-rewritten) for the session's
   /// planning profile, going through the shared plan cache. `cache_hit`
-  /// reports whether parse+optimize were skipped.
+  /// reports whether parse+optimize were skipped. A non-null `trace`
+  /// records the lookup/parse/optimize spans.
   Result<std::shared_ptr<const CachedPlan>> PlanStatement(
-      Session* session, const std::string& sql, bool* cache_hit);
+      Session* session, const std::string& sql, bool* cache_hit,
+      obs::Trace* trace = nullptr);
   /// The uncached slow path: analyze, then optimize under optimize_mu_
   /// (the shared CrossOptimizer's costing knobs are per-query state).
   Result<std::shared_ptr<const CachedPlan>> PlanFresh(Session* session,
-                                                      const std::string& sql);
+                                                      const std::string& sql,
+                                                      obs::Trace* trace);
 
   /// Admission-gated execution of an optimized plan; fills the response's
-  /// table and serving stats.
+  /// table and serving stats, feeds the latency/queue-wait histograms, and
+  /// (with a non-null trace) records the admission-wait span and threads
+  /// the trace into the executor.
   ServerResponse ExecutePlan(Session* session, const ir::IrPlan& plan,
-                             bool cache_hit);
+                             bool cache_hit, obs::Trace* trace = nullptr);
 
   static ServerResponse ErrorResponse(const Status& status);
 
@@ -192,6 +241,47 @@ class QueryServer {
   std::atomic<bool> running_{false};
   int listen_fd_ = -1;
   int bound_tcp_port_ = -1;
+  /// Metrics endpoint: its own listener + http-mode loop so a scraper can
+  /// never occupy a query connection slot (and vice versa).
+  std::unique_ptr<EventLoop> metrics_loop_;
+  int metrics_listen_fd_ = -1;
+  int bound_metrics_port_ = -1;
+
+  /// Slow-query log sink (append; one JSON span-tree line per statement
+  /// over threshold). Guarded by slow_log_mu_ — emission is rare.
+  std::mutex slow_log_mu_;
+  std::FILE* slow_log_ = nullptr;
+
+  /// Metric series live for the server's lifetime; push-style histograms
+  /// observe on the query path, scrape-time counters/gauges fill from
+  /// Snapshot() under scrape_mu_ in RenderMetrics.
+  obs::MetricsRegistry metrics_;
+  std::mutex scrape_mu_;
+  obs::Histogram* h_query_latency_ = nullptr;
+  obs::Histogram* h_queue_wait_ = nullptr;
+  obs::Histogram* h_query_rows_ = nullptr;
+  obs::Counter* c_queries_served_ = nullptr;
+  obs::Counter* c_plan_cache_hits_ = nullptr;
+  obs::Counter* c_plan_cache_misses_ = nullptr;
+  obs::Counter* c_queries_shed_ = nullptr;
+  obs::Counter* c_sessions_opened_ = nullptr;
+  obs::Counter* c_worker_restarts_ = nullptr;
+  obs::Counter* c_blocks_scanned_ = nullptr;
+  obs::Counter* c_blocks_skipped_ = nullptr;
+  obs::Counter* c_batches_flushed_ = nullptr;
+  obs::Counter* c_rows_coalesced_ = nullptr;
+  obs::Counter* c_nn_session_hits_ = nullptr;
+  obs::Counter* c_nn_session_misses_ = nullptr;
+  obs::Counter* c_nn_op_micros_ = nullptr;
+  obs::Counter* c_epoll_wakeups_ = nullptr;
+  obs::Counter* c_slow_queries_ = nullptr;
+  obs::Gauge* g_sessions_active_ = nullptr;
+  obs::Gauge* g_queries_active_ = nullptr;
+  obs::Gauge* g_queries_queued_ = nullptr;
+  obs::Gauge* g_plan_cache_entries_ = nullptr;
+  obs::Gauge* g_plan_cache_hit_ratio_ = nullptr;
+  obs::Gauge* g_batch_occupancy_ = nullptr;
+  obs::Gauge* g_connections_open_ = nullptr;
 
   /// Serializes optimizer use: CrossOptimizer's costing targets (dop,
   /// distributed workers) are set per query. Plan-cache hits skip this
@@ -207,6 +297,7 @@ class QueryServer {
   std::atomic<std::int64_t> worker_restarts_{0};
   std::atomic<std::int64_t> blocks_scanned_{0};
   std::atomic<std::int64_t> blocks_skipped_{0};
+  std::atomic<std::int64_t> slow_queries_{0};
 };
 
 }  // namespace raven::server

@@ -117,6 +117,31 @@ Status Session::ApplySet(const std::string& key, const std::string& value) {
     shared_cache_->set_capacity(static_cast<std::size_t>(n));
     return Status::OK();
   }
+  if (k == "trace") {
+    const std::string mode = ToLower(v);
+    if (mode == "on" || mode == "1" || mode == "true") {
+      trace_enabled_ = true;
+    } else if (mode == "off" || mode == "0" || mode == "false") {
+      trace_enabled_ = false;
+    } else {
+      return Status::InvalidArgument("trace must be on or off");
+    }
+    // Not part of PlanProfile(): tracing observes execution, it never
+    // changes the plan — results are byte-identical either way, so it must
+    // not fragment the plan cache.
+    return Status::OK();
+  }
+  if (k == "slow_query_millis") {
+    RAVEN_ASSIGN_OR_RETURN(std::int64_t n, ParseInt(k, v));
+    if (n < 0 || n > 3600000) {
+      return Status::InvalidArgument(
+          "slow_query_millis must be in [0, 3600000] (0 = off)");
+    }
+    // Not part of PlanProfile() for the same reason as trace: a logging
+    // threshold, not a planning input.
+    slow_query_millis_ = n;
+    return Status::OK();
+  }
   if (k == "mode") {
     const std::string mode = ToLower(v);
     if (mode == "inprocess" || mode == "in_process") {
@@ -139,7 +164,7 @@ Status Session::ApplySet(const std::string& key, const std::string& value) {
       "' (parallelism, morsel_rows, mode, distributed_workers, "
       "distributed_frame_timeout_millis, batch_window_micros, "
       "max_batch_rows, nn_backend, nn_session_cache_capacity, "
-      "zone_map_skipping)");
+      "zone_map_skipping, trace, slow_query_millis)");
 }
 
 std::string Session::PlanProfile() const {

@@ -55,8 +55,26 @@ class Session {
   /// distributed_workers, distributed_frame_timeout_millis,
   /// batch_window_micros (0 = no cross-query coalescing), max_batch_rows,
   /// nn_backend (reference|simd|fp16), nn_session_cache_capacity
-  /// (server-wide NNRT session-cache resize).
+  /// (server-wide NNRT session-cache resize), trace (on|off — record a
+  /// span tree per statement, SHOW TRACE reads the last one),
+  /// slow_query_millis (0 = off — statements at or over the threshold
+  /// emit their span tree to the server's slow-query log).
   Status ApplySet(const std::string& key, const std::string& value);
+
+  /// `SET trace` state: record a per-statement span tree even without the
+  /// TRACE verb. Observation only — never part of PlanProfile().
+  bool trace_enabled() const { return trace_enabled_; }
+  /// `SET slow_query_millis` threshold; 0 disables slow-query logging.
+  std::int64_t slow_query_millis() const { return slow_query_millis_; }
+
+  /// Last recorded trace (tree text + one-line JSON), overwritten per
+  /// traced statement; SHOW TRACE returns the tree.
+  void SetLastTrace(std::string tree, std::string json) {
+    last_trace_tree_ = std::move(tree);
+    last_trace_json_ = std::move(json);
+  }
+  const std::string& last_trace_tree() const { return last_trace_tree_; }
+  const std::string& last_trace_json() const { return last_trace_json_; }
 
   /// The session knobs that change what the optimizer produces (cost-based
   /// representation choices depend on them); part of the plan-cache key so
@@ -82,6 +100,10 @@ class Session {
   const std::int64_t id_;
   runtime::ExecutionOptions execution_;
   nnrt::SessionCache* shared_cache_;
+  bool trace_enabled_ = false;
+  std::int64_t slow_query_millis_ = 0;
+  std::string last_trace_tree_;
+  std::string last_trace_json_;
   std::map<std::string, PreparedStatement> prepared_;
   /// name -> SELECT text, in creation order (later views may reference
   /// earlier ones).

@@ -31,9 +31,11 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "data/flight.h"
 #include "data/hospital.h"
 #include "frontend/analyzer.h"
@@ -841,6 +843,144 @@ TEST_F(QueryFuzzTest, ServerDifferential200QueriesBy4ConcurrentClients) {
   EXPECT_EQ(stats.evictions, 0);
   EXPECT_EQ(stats.invalidations, 0);
   server.Stop();
+}
+
+TEST_F(QueryFuzzTest, TraceOnOffDifferential200Queries) {
+  // Observation must never change results: the same 200 seeded queries run
+  // untraced (dop 1 ground truth) and with a live obs::Trace arena at dop
+  // {1, 8} and under distributed execution — every traced result must be
+  // byte-identical, and every trace must actually have recorded the run
+  // (an empty arena would make this leg vacuous).
+  const std::uint64_t seed = FuzzSeed();
+  Rng rng(seed);
+  frontend::StaticAnalyzer analyzer(&catalog_);
+  optimizer::CrossOptimizer optimizer(&catalog_,
+                                      optimizer::OptimizerOptions());
+  PlanExecutor dist(&catalog_, &cache_);  // warm pool across all queries
+  int executed = 0;
+  for (int q = 0; q < kNumQueries; ++q) {
+    bool ordered = false;
+    const std::string sql = GenerateQuery(rng, &ordered);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " query#" +
+                 std::to_string(q) + (ordered ? " [ordered] " : " ") + sql);
+    auto plan = analyzer.Analyze(sql);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    ASSERT_TRUE(optimizer.Optimize(&plan.value()).ok());
+    auto untraced = Run(*plan, 1);
+    ASSERT_TRUE(untraced.ok()) << untraced.status().ToString();
+    for (std::int64_t dop : {1, 8}) {
+      SCOPED_TRACE("traced parallelism=" + std::to_string(dop));
+      obs::Trace trace;
+      PlanExecutor executor(&catalog_, &cache_);
+      ExecutionOptions options;
+      options.parallelism = dop;
+      options.morsel_rows = 256;
+      options.trace = &trace;
+      auto traced = executor.Execute(plan.value(), options);
+      ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+      ASSERT_NO_FATAL_FAILURE(
+          ExpectTablesMatch(*untraced, *traced, ordered));
+      ASSERT_FALSE(trace.empty()) << "trace recorded nothing";
+    }
+    {
+      SCOPED_TRACE("traced distributed workers=2");
+      obs::Trace trace;
+      ExecutionOptions options;
+      options.mode = ExecutionMode::kDistributed;
+      options.distributed_workers = 2;
+      options.distributed_frame_timeout_millis = 60000;
+      options.trace = &trace;
+      auto traced = dist.Execute(plan.value(), options);
+      ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+      ASSERT_NO_FATAL_FAILURE(
+          ExpectTablesMatch(*untraced, *traced, ordered));
+      bool saw_exchange = false;
+      for (const auto& span : trace.Snapshot()) {
+        if (span.name == "exchange") saw_exchange = true;
+      }
+      ASSERT_TRUE(saw_exchange) << "no exchange span in distributed trace";
+    }
+    ++executed;
+  }
+  EXPECT_EQ(executed, kNumQueries);
+}
+
+TEST_F(QueryFuzzTest, ExplainAnalyzeDifferential200Queries) {
+  // EXPLAIN ANALYZE really executes the statement, and its result table —
+  // not just its report — must be byte-identical to the plain run at every
+  // execution mode: dop 1, dop 8, distributed over a warm pool, and with
+  // every table served from on-disk `.rvc` storage.
+  RavenContext ctx;
+  ASSERT_NO_FATAL_FAILURE(
+      test_util::RegisterHospitalTables(&ctx.catalog(), hospital_));
+  test_util::InsertHospitalTreeModel(&ctx.catalog(), hospital_, 5);
+  ASSERT_NO_FATAL_FAILURE(
+      test_util::RegisterFlightTable(&ctx.catalog(), flight_));
+  {
+    auto logreg = data::TrainFlightLogreg(flight_, 0.01);
+    ASSERT_TRUE(logreg.ok());
+    ASSERT_TRUE(ctx.catalog()
+                    .InsertModel("delay", data::FlightLogregScript(),
+                                 logreg->ToBytes())
+                    .ok());
+  }
+  RavenContext disk_ctx;
+  std::vector<std::string> cleanup;
+  ASSERT_NO_FATAL_FAILURE(BuildDiskCatalog(&disk_ctx.catalog(), &cleanup));
+
+  ExecutionOptions exec1;
+  exec1.parallelism = 1;
+  exec1.morsel_rows = 256;
+  ExecutionOptions exec8 = exec1;
+  exec8.parallelism = 8;
+  ExecutionOptions execd;
+  execd.mode = ExecutionMode::kDistributed;
+  execd.distributed_workers = 2;
+  execd.distributed_frame_timeout_millis = 60000;
+
+  const std::uint64_t seed = FuzzSeed();
+  Rng rng(seed);
+  frontend::StaticAnalyzer analyzer(&catalog_);
+  optimizer::CrossOptimizer optimizer(&catalog_,
+                                      optimizer::OptimizerOptions());
+  int executed = 0;
+  for (int q = 0; q < kNumQueries; ++q) {
+    bool ordered = false;
+    const std::string sql = GenerateQuery(rng, &ordered);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " query#" +
+                 std::to_string(q) + (ordered ? " [ordered] " : " ") + sql);
+    auto plan = analyzer.Analyze(sql);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    ASSERT_TRUE(optimizer.Optimize(&plan.value()).ok());
+    auto expected = Run(*plan, 1);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+    auto ctx_plan = ctx.Prepare(sql);
+    ASSERT_TRUE(ctx_plan.ok()) << ctx_plan.status().ToString();
+    for (const auto& [label, exec] :
+         std::vector<std::pair<const char*, const ExecutionOptions*>>{
+             {"dop=1", &exec1}, {"dop=8", &exec8}, {"distributed", &execd}}) {
+      SCOPED_TRACE(label);
+      auto analyzed = ctx.ExplainAnalyzePlan(*ctx_plan, *exec);
+      ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+      ASSERT_NE(analyzed->text.find("=== EXPLAIN ANALYZE ==="),
+                std::string::npos);
+      ASSERT_NO_FATAL_FAILURE(
+          ExpectTablesMatch(*expected, analyzed->table, ordered));
+    }
+    {
+      SCOPED_TRACE("disk dop=8");
+      auto disk_plan = disk_ctx.Prepare(sql);
+      ASSERT_TRUE(disk_plan.ok()) << disk_plan.status().ToString();
+      auto analyzed = disk_ctx.ExplainAnalyzePlan(*disk_plan, exec8);
+      ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+      ASSERT_NO_FATAL_FAILURE(
+          ExpectTablesMatch(*expected, analyzed->table, ordered));
+    }
+    ++executed;
+  }
+  EXPECT_EQ(executed, kNumQueries);
+  for (const auto& path : cleanup) std::remove(path.c_str());
 }
 
 TEST_F(QueryFuzzTest, TruncatedQueriesFailWithDiagnosableErrors) {

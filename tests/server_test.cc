@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 #include <dirent.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -19,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -1249,6 +1251,230 @@ TEST_F(QueryServerTest, ShowStatsReportsNnCounters) {
   // No artifact dir attached here.
   EXPECT_EQ(by_key["nn_artifact_hits"], 0);
   EXPECT_EQ(by_key["nn_artifact_writes"], 0);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: tracing, the slow-query log, metrics, EXPLAIN ANALYZE
+// ---------------------------------------------------------------------------
+
+/// Minimal HTTP/1.0 GET against the loopback metrics listener; returns the
+/// raw response (status line, headers, body).
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)::write(fd, request.data(), request.size());
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(QueryServerTest, TraceKnobAndVerbRecordSessionScopedSpanTrees) {
+  QueryServer server(&ctx_, DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ServerClient client;
+  ASSERT_TRUE(client.ConnectUnix(server.unix_socket_path()).ok());
+
+  auto before = client.Query("SHOW TRACE");
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->kind, ServerResponseKind::kAck);
+  EXPECT_NE(before->message.find("(no trace recorded"), std::string::npos)
+      << before->message;
+
+  ASSERT_EQ(client.Query("SET trace = on")->kind, ServerResponseKind::kAck);
+  auto traced = client.Query("SELECT COUNT(*) AS n FROM flights");
+  ASSERT_TRUE(traced.ok());
+  ASSERT_EQ(traced->kind, ServerResponseKind::kTable) << traced->message;
+  auto tree = client.Query("SHOW TRACE");
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree->kind, ServerResponseKind::kAck);
+  for (const char* span : {"plan_cache.lookup", "parse", "optimize",
+                           "admission.wait", "execute", "op:"}) {
+    EXPECT_NE(tree->message.find(span), std::string::npos)
+        << "missing span '" << span << "' in:\n"
+        << tree->message;
+  }
+
+  // TRACE <statement> really executes the statement and answers with the
+  // tree instead of the rows; its plan probe shows up as a cache hit.
+  auto verb = client.Query("TRACE SELECT COUNT(*) AS n FROM flights");
+  ASSERT_TRUE(verb.ok());
+  ASSERT_EQ(verb->kind, ServerResponseKind::kAck) << verb->message;
+  EXPECT_NE(verb->message.find("execute"), std::string::npos)
+      << verb->message;
+  EXPECT_NE(verb->message.find("hit"), std::string::npos) << verb->message;
+
+  // Errors pass through; a bare TRACE is rejected.
+  EXPECT_EQ(client.Query("TRACE")->kind, ServerResponseKind::kError);
+  EXPECT_EQ(client.Query("TRACE SELECT nope FROM missing")->kind,
+            ServerResponseKind::kError);
+
+  // The recorded tree is session state, not server state.
+  ServerClient other;
+  ASSERT_TRUE(other.ConnectUnix(server.unix_socket_path()).ok());
+  auto fresh = other.Query("SHOW TRACE");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(fresh->message.find("(no trace recorded"), std::string::npos);
+}
+
+TEST_F(QueryServerTest, SlowQueryLogAppendsJsonSpanTreesOverThreshold) {
+  const std::string log_path = "/tmp/raven_server_test_slow_" +
+                               std::to_string(::getpid()) + ".jsonl";
+  std::remove(log_path.c_str());
+  QueryServerOptions options = DefaultOptions();
+  options.slow_query_log_path = log_path;
+  QueryServer server(&ctx_, options);
+  ASSERT_TRUE(server.Start().ok());
+  ServerClient client;
+  ASSERT_TRUE(client.ConnectUnix(server.unix_socket_path()).ok());
+
+  // No threshold set: nothing logs, however slow the statement.
+  ASSERT_EQ(client.Query("SELECT COUNT(*) AS n FROM flights")->kind,
+            ServerResponseKind::kTable);
+  {
+    std::FILE* f = std::fopen(log_path.c_str(), "rb");
+    ASSERT_NE(f, nullptr) << "log not opened at Start";
+    std::fseek(f, 0, SEEK_END);
+    EXPECT_EQ(std::ftell(f), 0) << "logged without a threshold";
+    std::fclose(f);
+  }
+
+  // Threshold 1 ms; a many-to-many self join is reliably over it.
+  ASSERT_EQ(client.Query("SET slow_query_millis = 1")->kind,
+            ServerResponseKind::kAck);
+  const std::string heavy =
+      "SELECT COUNT(*) AS n FROM flights AS f "
+      "JOIN flights AS g ON f.airline = g.airline";
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(client.Query(heavy)->kind, ServerResponseKind::kTable);
+  }
+
+  auto stats = client.Query("SHOW STATS");
+  ASSERT_TRUE(stats.ok());
+  std::map<std::string, std::int64_t> by_key(stats->stats.begin(),
+                                             stats->stats.end());
+  ASSERT_TRUE(by_key.count("slow_queries"));
+  EXPECT_GE(by_key["slow_queries"], 1);
+
+  server.Stop();  // flushes and closes the log
+  std::ifstream log(log_path);
+  ASSERT_TRUE(log.good());
+  std::string line;
+  int json_lines = 0;
+  while (std::getline(log, line)) {
+    EXPECT_NE(line.find("\"query\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"total_micros\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"spans\":["), std::string::npos) << line;
+    EXPECT_NE(line.find("\"name\":\"execute\""), std::string::npos) << line;
+    ++json_lines;
+  }
+  EXPECT_GE(json_lines, 1);
+  EXPECT_EQ(json_lines, by_key["slow_queries"]);
+  std::remove(log_path.c_str());
+}
+
+TEST_F(QueryServerTest, ShowMetricsAndHttpScrapeExportTheSameRegistry) {
+  QueryServerOptions options = DefaultOptions();
+  options.metrics_port = 0;  // kernel-assigned
+  QueryServer server(&ctx_, options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.metrics_tcp_port(), 0);
+  ServerClient client;
+  ASSERT_TRUE(client.ConnectUnix(server.unix_socket_path()).ok());
+
+  const std::string sql = "SELECT COUNT(*) AS n FROM flights";
+  ASSERT_EQ(client.Query(sql)->kind, ServerResponseKind::kTable);
+  ASSERT_EQ(client.Query(sql)->kind, ServerResponseKind::kTable);
+  EXPECT_EQ(server.query_latency_histogram().Count(), 2);
+
+  auto shown = client.Query("SHOW METRICS");
+  ASSERT_TRUE(shown.ok());
+  ASSERT_EQ(shown->kind, ServerResponseKind::kAck);
+  const std::string& text = shown->message;
+  EXPECT_NE(text.find("# TYPE raven_queries_served_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("raven_queries_served_total 2\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("raven_plan_cache_hits_total 1\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("raven_sessions_active 1\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE raven_query_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("raven_query_latency_seconds_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("raven_query_latency_seconds_count 2\n"),
+            std::string::npos)
+      << text;
+
+  // The HTTP endpoint serves the same registry in the same format.
+  const std::string scraped = HttpGet(server.metrics_tcp_port(), "/metrics");
+  EXPECT_EQ(scraped.rfind("HTTP/1.0 200 OK", 0), 0u) << scraped;
+  EXPECT_NE(scraped.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << scraped;
+  EXPECT_NE(scraped.find("raven_queries_served_total 2\n"),
+            std::string::npos)
+      << scraped;
+  EXPECT_NE(scraped.find("raven_query_latency_seconds_count 2\n"),
+            std::string::npos);
+
+  // Anything but /metrics is a 404, and scrapes never count as queries.
+  const std::string missing = HttpGet(server.metrics_tcp_port(), "/bogus");
+  EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+  EXPECT_EQ(server.Snapshot().queries_served, 2);
+}
+
+TEST_F(QueryServerTest, ExplainAnalyzeExecutesUnderTheSessionPlanCache) {
+  QueryServer server(&ctx_, DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ServerClient client;
+  ASSERT_TRUE(client.ConnectUnix(server.unix_socket_path()).ok());
+
+  const std::string sql =
+      "SELECT airline, COUNT(*) AS n FROM flights GROUP BY airline";
+  auto cold = client.Query("EXPLAIN ANALYZE " + sql);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->kind, ServerResponseKind::kAck) << cold->message;
+  EXPECT_FALSE(cold->plan_cache_hit);
+  EXPECT_NE(cold->message.find("=== EXPLAIN ANALYZE ==="), std::string::npos)
+      << cold->message;
+  EXPECT_NE(cold->message.find("result_rows="), std::string::npos);
+  EXPECT_NE(cold->message.find("[Scan(flights):"), std::string::npos)
+      << cold->message;
+
+  // The statement body shares the cache with its plain spelling.
+  ASSERT_EQ(client.Query(sql)->kind, ServerResponseKind::kTable);
+  auto warm = client.Query("EXPLAIN ANALYZE " + sql);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm->kind, ServerResponseKind::kAck);
+  EXPECT_TRUE(warm->plan_cache_hit);
+
+  // It executes for real: three of the served statements were ours.
+  EXPECT_EQ(server.Snapshot().queries_served, 3);
+
+  EXPECT_EQ(client.Query("EXPLAIN ANALYZE")->kind,
+            ServerResponseKind::kError);
+  auto params = client.Query(
+      "EXPLAIN ANALYZE SELECT id FROM flights WHERE distance > ?");
+  ASSERT_TRUE(params.ok());
+  ASSERT_EQ(params->kind, ServerResponseKind::kError);
+  EXPECT_NE(params->message.find("cannot bind"), std::string::npos)
+      << params->message;
 }
 
 /// Boots a server over a fresh RavenContext pointed at `artifact_dir`,

@@ -10,12 +10,15 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "data/hospital.h"
 #include "ir/ir.h"
+#include "obs/trace.h"
 #include "raven/raven.h"
 #include "relational/expression.h"
 #include "runtime/plan_executor.h"
@@ -227,6 +230,101 @@ TEST_F(WorkerPoolTest, StopJoinsWorkersDeterministically) {
   // The kShutdown ack + reap means no child survives Stop.
   for (pid_t pid : pids) {
     EXPECT_NE(::kill(pid, 0), 0) << "worker " << pid << " still alive";
+  }
+}
+
+TEST_F(WorkerPoolTest, TraceStitchesWorkerSpansAndShowsRetryFallbackLadder) {
+  // The distributed retry ladder must be *visible*, not just correct: a
+  // healthy exchange carries the worker's own spans spliced underneath, a
+  // SIGKILLed worker leaves an exchange.retry on the fresh worker, and a
+  // persistent fault (the respawned worker misbehaves too) ends in a
+  // local_fallback span — one trace line per hop of the never-fail ladder.
+  auto spans_named = [](const std::vector<obs::TraceSpan>& spans,
+                        const std::string& name) {
+    std::vector<const obs::TraceSpan*> out;
+    for (const auto& s : spans) {
+      if (s.name == name) out.push_back(&s);
+    }
+    return out;
+  };
+  auto has_ancestor_named = [](const std::vector<obs::TraceSpan>& spans,
+                               const obs::TraceSpan& span,
+                               const std::string& name) {
+    std::map<std::int64_t, const obs::TraceSpan*> by_id;
+    for (const auto& s : spans) by_id[s.id] = &s;
+    for (std::int64_t parent = span.parent; parent != 0;) {
+      auto it = by_id.find(parent);
+      if (it == by_id.end()) return false;
+      if (it->second->name == name) return true;
+      parent = it->second->parent;
+    }
+    return false;
+  };
+
+  PlanExecutor executor(&catalog_, &cache_);
+  const ExecutionOptions distributed = DistributedOptions(2);
+  ir::IrPlan plan = test_util::AnalyzePlan(
+      catalog_, "SELECT id, age FROM patients WHERE age > 40");
+  auto expected = RunSequential(&executor, plan);
+  ASSERT_TRUE(expected.ok());
+
+  // Healthy run: per-partition exchanges with stitched worker trees.
+  {
+    obs::Trace trace;
+    ExecutionOptions traced = distributed;
+    traced.trace = &trace;
+    auto actual = executor.Execute(plan, traced);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    ASSERT_NO_FATAL_FAILURE(ExpectTablesEqual(*expected, *actual));
+    const std::vector<obs::TraceSpan> spans = trace.Snapshot();
+    EXPECT_GE(spans_named(spans, "exchange").size(), 2u)
+        << "one exchange per partition";
+    const auto decodes = spans_named(spans, "fragment.decode");
+    ASSERT_FALSE(decodes.empty())
+        << "worker-side spans were not shipped back";
+    for (const obs::TraceSpan* decode : decodes) {
+      EXPECT_TRUE(has_ancestor_named(spans, *decode, "exchange"))
+          << "worker span not stitched under its exchange";
+    }
+    EXPECT_TRUE(spans_named(spans, "exchange.retry").empty());
+    EXPECT_TRUE(spans_named(spans, "local_fallback").empty());
+  }
+
+  // SIGKILL one worker: the retry on its replacement shows up as a span,
+  // and the result is still byte-identical.
+  std::shared_ptr<WorkerPool> pool = executor.worker_pool();
+  ASSERT_NE(pool, nullptr);
+  ASSERT_EQ(::kill(pool->worker_pid(0), SIGKILL), 0);
+  {
+    obs::Trace trace;
+    ExecutionOptions traced = distributed;
+    traced.trace = &trace;
+    ExecutionStats stats;
+    auto actual = executor.Execute(plan, traced, &stats);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    ASSERT_NO_FATAL_FAILURE(ExpectTablesEqual(*expected, *actual));
+    EXPECT_GE(stats.worker_restarts, 1);
+    const std::vector<obs::TraceSpan> spans = trace.Snapshot();
+    EXPECT_FALSE(spans_named(spans, "exchange.retry").empty())
+        << trace.RenderTree();
+  }
+
+  // --fault=die on every worker (respawns inherit the flag): the retry
+  // dies too, so the partition's trace ends in local_fallback.
+  {
+    PlanExecutor faulty(&catalog_, &cache_);
+    obs::Trace trace;
+    ExecutionOptions traced = DistributedOptions(2, {"--fault=die"});
+    traced.trace = &trace;
+    ExecutionStats stats;
+    auto actual = faulty.Execute(plan, traced, &stats);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    ASSERT_NO_FATAL_FAILURE(ExpectTablesEqual(*expected, *actual));
+    const std::vector<obs::TraceSpan> spans = trace.Snapshot();
+    EXPECT_FALSE(spans_named(spans, "exchange.retry").empty())
+        << trace.RenderTree();
+    EXPECT_FALSE(spans_named(spans, "local_fallback").empty())
+        << trace.RenderTree();
   }
 }
 

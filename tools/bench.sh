@@ -2,8 +2,10 @@
 # Runs the paper-figure benchmarks (bench_fig2* + bench_fig3) plus the
 # operator-regression benches (bench_groupby_parallelism,
 # bench_distributed_scan_predict — in-process vs 4-worker-pool scan+PREDICT,
-# bench_server_throughput — QPS + p50/p99 of the query server under
-# 1/4/16 concurrent clients, cold vs warm plan cache) with
+# bench_server_throughput — QPS + p50/p95/p99 of the query server under
+# 1/4/16 concurrent clients (client-side exact percentiles AND server-side
+# percentiles from the raven_query_latency_seconds metrics histogram),
+# cold vs warm plan cache) with
 # --benchmark_format=json and writes one combined JSON document to
 # BENCH_<short-sha>.json at the repo root — the perf-trajectory data point
 # CI uploads as an artifact.

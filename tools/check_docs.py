@@ -17,6 +17,12 @@ Two classes of rot it catches:
      flag without documenting it and this fails; the parse is from the
      code, so the doc can never silently lag the implementation.
 
+  3. Metrics drift: every raven_* series registered on the server's
+     MetricsRegistry (AddCounter / AddGauge / AddHistogram literals in
+     src/server/query_server.cc) must be mentioned in
+     docs/OBSERVABILITY.md — the dashboard reference can never silently
+     miss a series the server exports.
+
 Exits non-zero listing every problem found.
 """
 
@@ -117,6 +123,37 @@ def stats_keys():
     return keys
 
 
+def metric_names():
+    """raven_* series from AddCounter/AddGauge/AddHistogram literals.
+
+    The name is the first string literal after the call — possibly on the
+    next line, the registrations wrap — hence the dotall skip over
+    whitespace only.
+    """
+    src = read_source("src/server/query_server.cc")
+    names = re.findall(
+        r'Add(?:Counter|Gauge|Histogram)\(\s*"(raven_\w+)"', src
+    )
+    if not names:
+        raise AssertionError("no metric names parsed from query_server.cc")
+    return names
+
+
+def check_observability(problems):
+    obs_path = os.path.join(REPO, "docs", "OBSERVABILITY.md")
+    if not os.path.exists(obs_path):
+        problems.append("docs/OBSERVABILITY.md is missing")
+        return
+    with open(obs_path, encoding="utf-8") as f:
+        obs = f.read()
+    for name in metric_names():
+        if f"`{name}`" not in obs:
+            problems.append(
+                f"docs/OBSERVABILITY.md: metric series '{name}' is "
+                "undocumented"
+            )
+
+
 def check_operations(problems):
     ops_path = os.path.join(REPO, "docs", "OPERATIONS.md")
     if not os.path.exists(ops_path):
@@ -158,6 +195,7 @@ def main():
     problems = []
     check_links(problems)
     check_operations(problems)
+    check_observability(problems)
     if problems:
         for p in problems:
             print(f"check_docs: {p}", file=sys.stderr)

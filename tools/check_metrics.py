@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Prometheus text-format checker for the raven_serve /metrics endpoint.
+
+Stdlib only (CI runs it without pip). Three jobs in one tool:
+
+  1. Syntax: every line must be a # HELP / # TYPE comment or a
+     `name{labels} value` sample; sample names need a preceding # TYPE;
+     histogram buckets must be cumulative-monotone with le="+Inf" equal
+     to the series' _count.
+  2. Presence: --require NAME fails unless a sample of NAME (or a
+     histogram series NAME_bucket/_sum/_count) is present.
+  3. Monotonicity: with TWO scrapes, every `counter` sample and every
+     histogram _count/bucket in the second must be >= the first —
+     counters never go backwards between scrapes of a live server.
+
+Usage:
+  check_metrics.py SCRAPE [SCRAPE2] [--require NAME ...]
+  check_metrics.py --fetch URL OUT      # save one scrape (no curl in CI)
+
+SCRAPE is a file path or an http:// URL (fetched with urllib).
+Exit status 0 when every check passes, 1 otherwise.
+"""
+
+import re
+import sys
+import urllib.request
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def fail(msg):
+    print("check_metrics: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def read_scrape(source):
+    if source.startswith("http://") or source.startswith("https://"):
+        with urllib.request.urlopen(source, timeout=10) as response:
+            return response.read().decode("utf-8")
+    with open(source, "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def parse_value(text, where):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    try:
+        return float(text)
+    except ValueError:
+        fail("%s: malformed value '%s'" % (where, text))
+
+
+def parse(text, source):
+    """Returns (samples, types): samples maps 'name{labels}' -> float,
+    types maps base metric name -> declared TYPE."""
+    samples = {}
+    types = {}
+    helps = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        where = "%s:%d" % (source, lineno)
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                fail("%s: comment is neither # HELP nor # TYPE: '%s'"
+                     % (where, line))
+            if not NAME_RE.match(parts[2]):
+                fail("%s: bad metric name '%s'" % (where, parts[2]))
+            if parts[1] == "HELP":
+                helps.add(parts[2])
+            else:
+                if len(parts) < 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary",
+                        "untyped"):
+                    fail("%s: bad TYPE line '%s'" % (where, line))
+                types[parts[2]] = parts[3]
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail("%s: malformed sample line '%s'" % (where, line))
+        labels = m.group("labels")
+        if labels:
+            for label in re.split(r",(?=[a-zA-Z_])", labels):
+                if not LABEL_RE.match(label):
+                    fail("%s: malformed label '%s'" % (where, label))
+        base = m.group("name")
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in types:
+                base = base[: -len(suffix)]
+                break
+        if base not in types:
+            fail("%s: sample '%s' has no preceding # TYPE"
+                 % (where, m.group("name")))
+        key = m.group("name") + ("{%s}" % labels if labels else "")
+        if key in samples:
+            fail("%s: duplicate sample '%s'" % (where, key))
+        samples[key] = parse_value(m.group("value"), where)
+    return samples, types
+
+
+def histogram_series(samples, name):
+    """All le= buckets of one histogram as [(le, count)] sorted by le."""
+    buckets = []
+    prefix = name + "_bucket{le=\""
+    for key, value in samples.items():
+        if key.startswith(prefix) and key.endswith("\"}"):
+            le = parse_value(key[len(prefix):-2], key)
+            buckets.append((le, value))
+    return sorted(buckets)
+
+
+def check_histograms(samples, types, source):
+    for name, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = histogram_series(samples, name)
+        if not buckets:
+            fail("%s: histogram %s has no buckets" % (source, name))
+        if buckets[-1][0] != float("inf"):
+            fail("%s: histogram %s lacks an le=\"+Inf\" bucket"
+                 % (source, name))
+        prev = 0.0
+        for le, count in buckets:
+            if count < prev:
+                fail("%s: histogram %s bucket le=%s (%g) below previous "
+                     "(%g); buckets must be cumulative"
+                     % (source, name, le, count, prev))
+            prev = count
+        count_key = name + "_count"
+        if count_key not in samples:
+            fail("%s: histogram %s lacks %s" % (source, name, count_key))
+        if samples[count_key] != buckets[-1][1]:
+            fail("%s: histogram %s: _count=%g != +Inf bucket=%g"
+                 % (source, name, samples[count_key], buckets[-1][1]))
+        if name + "_sum" not in samples:
+            fail("%s: histogram %s lacks %s_sum" % (source, name, name))
+
+
+def check_monotone(first, second, types, source2):
+    """Counters and histogram cumulative counts never decrease between
+    scrapes of one live server."""
+    for key, before in first[0].items():
+        base = key.split("{", 1)[0]
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix):
+                base = base[: -len(suffix)]
+                break
+        kind = types.get(base)
+        cumulative = kind == "counter" or (
+            kind == "histogram" and not key.startswith(base + "_sum"))
+        if not cumulative:
+            continue
+        after = second[0].get(key)
+        if after is None:
+            fail("%s: cumulative series '%s' vanished between scrapes"
+                 % (source2, key))
+        if after < before:
+            fail("%s: cumulative series '%s' went backwards: %g -> %g"
+                 % (source2, key, before, after))
+
+
+def main(argv):
+    if len(argv) >= 3 and argv[0] == "--fetch":
+        with open(argv[2], "w", encoding="utf-8") as f:
+            f.write(read_scrape(argv[1]))
+        return
+    sources = []
+    required = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--require":
+            i += 1
+            if i == len(argv):
+                fail("--require needs a metric name")
+            required.append(argv[i])
+        else:
+            sources.append(argv[i])
+        i += 1
+    if not sources or len(sources) > 2:
+        fail("usage: check_metrics.py SCRAPE [SCRAPE2] [--require NAME ...]")
+
+    parsed = []
+    for source in sources:
+        samples, types = parse(read_scrape(source), source)
+        check_histograms(samples, types, source)
+        parsed.append((samples, types))
+
+    samples, types = parsed[0]
+    for name in required:
+        present = name in types or any(
+            key.split("{", 1)[0] == name for key in samples)
+        if not present:
+            fail("%s: required metric '%s' is missing" % (sources[0], name))
+
+    if len(parsed) == 2:
+        if parsed[0][1].keys() != parsed[1][1].keys():
+            fail("scrapes declare different metric sets")
+        check_monotone(parsed[0], parsed[1], parsed[1][1], sources[1])
+
+    print("check_metrics: ok (%d samples, %d metrics%s)"
+          % (len(samples), len(types),
+             ", monotone across 2 scrapes" if len(parsed) == 2 else ""))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

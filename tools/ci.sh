@@ -8,6 +8,8 @@
 #                          # (the morsel-parallel executor's race gate)
 #   tools/ci.sh docs       # docs-consistency gate alone (links, knob/stats
 #                          # coverage in docs/OPERATIONS.md)
+#   tools/ci.sh metrics_smoke  # live-server Prometheus scrape gate alone
+#                          # (syntax, core series, monotonicity, slow log)
 #   tools/ci.sh all        # every job back to back + a bench smoke run
 #
 # ccache is picked up automatically when installed (RAVEN_NO_CCACHE=1
@@ -112,6 +114,76 @@ artifact_smoke() {
   echo "artifact_smoke: ok (writes=${writes} warm_hits=${hits} rejects=${rejects})"
 }
 
+metrics_smoke() {
+  # End-to-end proof of the observability surface against a LIVE server:
+  # scrape the plaintext-HTTP /metrics endpoint twice with real queries in
+  # between, validate Prometheus text syntax (tools/check_metrics.py),
+  # assert the core serving series are present, and assert every counter
+  # and histogram count is monotone across the two scrapes. Also covers
+  # the slow-query log (a SET slow_query_millis=0-threshold query must
+  # land exactly one JSON span-tree line per statement).
+  local build_dir="$1"
+  local serve="${build_dir}/tools/raven_serve"
+  local client="${build_dir}/tools/raven_client"
+  local dir sock pid port
+  dir="$(mktemp -d /tmp/raven_ci_metrics_XXXXXX)"
+  sock="${dir}/raven.sock"
+
+  "${serve}" --socket="${sock}" --rows=2000 --metrics-port=0 \
+    --slow-query-log="${dir}/slow.jsonl" > "${dir}/serve.log" &
+  pid=$!
+  trap 'kill "${pid}" 2>/dev/null || true' RETURN
+  for _ in $(seq 1 100); do
+    [[ -S "${sock}" ]] && break
+    sleep 0.1
+  done
+  [[ -S "${sock}" ]] || { echo "metrics_smoke: server never came up" >&2; exit 1; }
+  port="$(sed -n 's#.*metrics on http://127.0.0.1:\([0-9]*\)/metrics#\1#p' "${dir}/serve.log")"
+  [[ -n "${port}" ]] || { echo "metrics_smoke: no metrics port in serve log" >&2; exit 1; }
+
+  "${client}" --socket="${sock}" \
+    --query "SELECT airline, COUNT(*) AS n FROM flights GROUP BY airline" \
+    > /dev/null
+  python3 tools/check_metrics.py --fetch "http://127.0.0.1:${port}/metrics" "${dir}/scrape1.txt"
+  # Real traffic between the scrapes: a repeat (plan-cache hit) and one
+  # slow-logged statement — the many-to-many self-join runs ~10ms at 2000
+  # rows, an order of magnitude over the 1ms threshold, so the log line is
+  # deterministic.
+  "${client}" --socket="${sock}" \
+    --query "SELECT airline, COUNT(*) AS n FROM flights GROUP BY airline" \
+    --query "SET slow_query_millis = 1" \
+    --query "SELECT f.airline, COUNT(*) AS n FROM flights AS f JOIN flights AS g ON f.airline = g.airline GROUP BY f.airline" \
+    > /dev/null
+  python3 tools/check_metrics.py --fetch "http://127.0.0.1:${port}/metrics" "${dir}/scrape2.txt"
+
+  python3 tools/check_metrics.py "${dir}/scrape1.txt" "${dir}/scrape2.txt" \
+    --require raven_queries_served_total \
+    --require raven_plan_cache_hits_total \
+    --require raven_plan_cache_misses_total \
+    --require raven_sessions_active \
+    --require raven_queries_active \
+    --require raven_query_latency_seconds \
+    --require raven_queue_wait_seconds \
+    --require raven_query_rows
+
+  # The second scrape must show forward progress, not just syntax: at least
+  # one statement was served between the scrapes.
+  local served1 served2
+  served1="$(awk '$1 == "raven_queries_served_total" { print int($2) }' "${dir}/scrape1.txt")"
+  served2="$(awk '$1 == "raven_queries_served_total" { print int($2) }' "${dir}/scrape2.txt")"
+  [[ "${served2}" -gt "${served1}" ]] || { echo "metrics_smoke: raven_queries_served_total did not advance (${served1} -> ${served2})" >&2; exit 1; }
+
+  local slow_lines
+  slow_lines="$(wc -l < "${dir}/slow.jsonl" 2>/dev/null || echo 0)"
+  [[ "${slow_lines}" -ge 1 ]] || { echo "metrics_smoke: slow-query log is empty" >&2; exit 1; }
+  grep -q '"spans":\[' "${dir}/slow.jsonl" || { echo "metrics_smoke: slow-query log lines carry no span tree" >&2; exit 1; }
+
+  kill "${pid}" 2>/dev/null || true
+  wait "${pid}" 2>/dev/null || true
+  rm -rf "${dir}"
+  echo "metrics_smoke: ok (served ${served1} -> ${served2}, ${slow_lines} slow-log line(s))"
+}
+
 tier1() {
   # The full ctest in run_suite includes the `fuzz`-labeled randomized
   # differential harness (tests/query_fuzz_test.cc — in-process dop {1,8},
@@ -132,6 +204,7 @@ tier1() {
   docs_check
   run_suite build
   artifact_smoke build
+  metrics_smoke build
 }
 
 asan() {
@@ -173,6 +246,10 @@ case "${MODE}" in
   docs)
     docs_check
     ;;
+  metrics_smoke)
+    # Assumes an existing tier-1 build/ (run `tools/ci.sh` first).
+    metrics_smoke build
+    ;;
   all)
     tier1
     asan
@@ -185,7 +262,7 @@ case "${MODE}" in
     tools/bench.sh --smoke --compare BENCH_289e1c6.json --fail-over 10
     ;;
   *)
-    echo "usage: tools/ci.sh [tier1|asan|tsan|docs|all]" >&2
+    echo "usage: tools/ci.sh [tier1|asan|tsan|docs|metrics_smoke|all]" >&2
     exit 2
     ;;
 esac

@@ -7,8 +7,16 @@
 //   raven_client --socket=/tmp/raven.sock --query "SHOW STATS"
 //   echo "SELECT COUNT(*) AS n FROM flights" | raven_client --port=4242
 //
+// `--json` switches every response to one JSON object per statement on
+// stdout (scripting mode — SHOW STATS / SHOW METRICS / TRACE pipe into jq):
+//   tables  {"columns":[...],"rows":[[...],...],"total_millis":N}
+//   stats   {"stats":{"key":N,...}}
+//   acks    {"ok":true,"message":"..."}
+//   errors  {"error":"..."} (still exit 1; nothing goes to stderr)
+//
 // Exit status: 0 when every statement succeeded, 1 otherwise.
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -16,12 +24,94 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "server/client.h"
 #include "tool_flags.h"
 
 namespace {
 
+using raven::obs::JsonEscape;
 using raven::tools::ParseFlag;
+
+/// One table cell as a JSON value: the dictionary string for categorical
+/// columns, a bare number otherwise (NaN/inf have no JSON spelling — null).
+std::string CellJson(const raven::relational::Column& column,
+                     std::int64_t row) {
+  const double value = column.data[static_cast<std::size_t>(row)];
+  if (column.is_categorical()) {
+    const auto& dict = *column.dictionary;
+    const auto code = static_cast<std::size_t>(value);
+    if (value >= 0 && code < dict.size()) {
+      return "\"" + JsonEscape(dict[code]) + "\"";
+    }
+  }
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  return buf;
+}
+
+/// Prints one response as a single JSON line; returns false for
+/// error/busy responses.
+bool PrintResponseJson(const raven::server::ServerResponse& response) {
+  using raven::server::ServerResponseKind;
+  std::string out;
+  bool ok = true;
+  switch (response.kind) {
+    case ServerResponseKind::kAck:
+      out = "{\"ok\":true,\"message\":\"" + JsonEscape(response.message) +
+            "\"}";
+      break;
+    case ServerResponseKind::kTable: {
+      out = "{\"columns\":[";
+      const auto& columns = response.table.columns();
+      for (std::size_t c = 0; c < columns.size(); ++c) {
+        if (c > 0) out += ",";
+        out += "\"" + JsonEscape(columns[c].name) + "\"";
+      }
+      out += "],\"rows\":[";
+      for (std::int64_t r = 0; r < response.table.num_rows(); ++r) {
+        if (r > 0) out += ",";
+        out += "[";
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+          if (c > 0) out += ",";
+          out += CellJson(columns[c], r);
+        }
+        out += "]";
+      }
+      char millis[32];
+      std::snprintf(millis, sizeof(millis), "%.3f", response.total_millis);
+      out += "],\"total_millis\":";
+      out += millis;
+      out += response.plan_cache_hit ? ",\"plan_cache_hit\":true}"
+                                     : ",\"plan_cache_hit\":false}";
+      break;
+    }
+    case ServerResponseKind::kStats: {
+      out = "{\"stats\":{";
+      bool first = true;
+      for (const auto& [key, value] : response.stats) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"" + JsonEscape(key) +
+               "\":" + std::to_string(static_cast<long long>(value));
+      }
+      out += "}}";
+      break;
+    }
+    case ServerResponseKind::kBusy:
+    case ServerResponseKind::kError:
+      out = "{\"error\":\"" + JsonEscape(response.message) + "\"}";
+      ok = false;
+      break;
+  }
+  std::printf("%s\n", out.c_str());
+  return ok;
+}
 
 /// Prints one response; returns false for error/busy responses.
 bool PrintResponse(const raven::server::ServerResponse& response) {
@@ -61,11 +151,14 @@ int main(int argc, char** argv) {
   std::string socket_path;
   std::string host = "127.0.0.1";
   int port = -1;
+  bool json = false;
   std::vector<std::string> queries;
   std::string value;
   for (int i = 1; i < argc; ++i) {
     if (ParseFlag(argv[i], "--socket=", &value)) {
       socket_path = value;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (ParseFlag(argv[i], "--host=", &value)) {
       host = value;
     } else if (ParseFlag(argv[i], "--port=", &value)) {
@@ -109,7 +202,9 @@ int main(int argc, char** argv) {
                    response.status().ToString().c_str());
       return 1;  // transport failure: stop, the connection is gone
     }
-    all_ok = PrintResponse(response.value()) && all_ok;
+    all_ok = (json ? PrintResponseJson(response.value())
+                   : PrintResponse(response.value())) &&
+             all_ok;
   }
   return all_ok ? 0 : 1;
 }

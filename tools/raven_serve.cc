@@ -23,6 +23,12 @@
 //   --attach=NAME=PATH        register the `.rvc` columnar file at PATH as
 //                             on-disk table NAME (repeatable; scans read it
 //                             block-by-block with zone-map skipping)
+//   --metrics-port=N          serve Prometheus text metrics over plaintext
+//                             HTTP on 127.0.0.1:N (0 = pick a free port;
+//                             scrape GET /metrics)
+//   --slow-query-log=PATH     append one JSON span-tree line per statement
+//                             at or over a session's SET slow_query_millis
+//                             threshold
 //
 // Try it:
 //   raven_client --socket=/tmp/raven.sock
@@ -107,6 +113,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.default_execution.nn_backend = kind.value();
+    } else if (ParseFlag(argv[i], "--metrics-port=", &value)) {
+      options.metrics_port = static_cast<int>(FlagInt(value, "--metrics-port"));
+    } else if (ParseFlag(argv[i], "--slow-query-log=", &value)) {
+      options.slow_query_log_path = value;
     } else if (ParseFlag(argv[i], "--attach=", &value)) {
       const std::size_t eq = value.find('=');
       if (eq == std::string::npos || eq == 0 || eq + 1 == value.size()) {
@@ -189,6 +199,10 @@ int main(int argc, char** argv) {
   } else {
     std::printf("raven_serve: listening on 127.0.0.1:%d\n",
                 server.tcp_port());
+  }
+  if (server.metrics_tcp_port() >= 0) {
+    std::printf("raven_serve: metrics on http://127.0.0.1:%d/metrics\n",
+                server.metrics_tcp_port());
   }
   std::printf("raven_serve: tables patients/patient_info/blood_tests/"
               "prenatal_tests/flights, models los/delay (%ld rows)\n",

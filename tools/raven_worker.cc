@@ -35,6 +35,7 @@
 
 #include "ml/pipeline.h"
 #include "nnrt/session.h"
+#include "obs/trace.h"
 #include "relational/chunk.h"
 #include "runtime/worker_pool.h"
 #include "runtime/worker_protocol.h"
@@ -148,7 +149,15 @@ int ServeFragment(const std::string& payload) {
   }
   // Fragments may carry NNRT graphs; sessions stay cached for the worker's
   // lifetime, which is what keeps a warm pool cheaper than one-shot spawns.
-  auto result = ExecuteFragmentLocally(request.value(), SessionCacheSingleton());
+  // A trace-enabled request (protocol v2) records the fragment's span tree
+  // into a worker-local arena, shipped back in the kDone frame for the
+  // coordinator to stitch under its exchange span.
+  std::unique_ptr<raven::obs::Trace> trace;
+  if (request->trace_enabled) {
+    trace = std::make_unique<raven::obs::Trace>();
+  }
+  auto result = ExecuteFragmentLocally(request.value(), SessionCacheSingleton(),
+                                       trace.get());
   if (!result.ok()) {
     return WriteFrame(STDOUT_FILENO,
                       EncodeFragmentError(result.status().ToString()))
@@ -170,8 +179,12 @@ int ServeFragment(const std::string& payload) {
     }
     if (!WriteFrame(STDOUT_FILENO, EncodeFragmentChunk(chunk)).ok()) return 1;
   }
+  const std::string trace_spans =
+      trace != nullptr
+          ? raven::obs::Trace::SerializeSpans(trace->Snapshot())
+          : std::string();
   if (!WriteFrame(STDOUT_FILENO,
-                  EncodeFragmentDone(table.ColumnNames(), rows))
+                  EncodeFragmentDone(table.ColumnNames(), rows, trace_spans))
            .ok()) {
     return 1;
   }
